@@ -1,0 +1,38 @@
+// Ablation: the paper's "pipelining can exploit the unused flipflops
+// present in the slices ... and cause only a moderate increase in area."
+// Sweep pipeline depth for the 64-bit adder with FF absorption disabled
+// (every pipeline FF costs fresh slices), at the calibrated 0.55, and at a
+// perfect 1.0, and show the area trajectories.
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+#include "units/fp_unit.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flopsim;
+
+  const double fractions[] = {0.0, 0.55, 1.0};
+  analysis::Table t(
+      "Ablation: slices vs. pipeline depth under FF absorption 0 / 0.55 / 1 "
+      "(64-bit adder)",
+      {"stages", "slices (absorb=0)", "slices (absorb=0.55)",
+       "slices (absorb=1.0)"});
+
+  units::UnitConfig probe_cfg;
+  const units::FpUnit probe(units::UnitKind::kAdder, fp::FpFormat::binary64(),
+                            probe_cfg);
+  for (int s = 1; s <= probe.max_stages(); s += 2) {
+    std::vector<std::string> row{analysis::Table::num(static_cast<long>(s))};
+    for (double f : fractions) {
+      units::UnitConfig cfg;
+      cfg.stages = s;
+      cfg.tech.set_ff_absorption(f);
+      const units::FpUnit u(units::UnitKind::kAdder, fp::FpFormat::binary64(),
+                            cfg);
+      row.push_back(
+          analysis::Table::num(static_cast<long>(u.area().total.slices)));
+    }
+    t.add_row(std::move(row));
+  }
+  bench::emit(t, argc, argv);
+  return 0;
+}

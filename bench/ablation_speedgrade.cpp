@@ -1,0 +1,38 @@
+// Sensitivity: -7 vs. -5 speed grade. The paper targets the -7 grade
+// XC2VP125; this shows how the min/max/opt selections shift on slower
+// silicon (frequencies drop ~17%, optima move to slightly deeper designs).
+#include "analysis/pareto.hpp"
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flopsim;
+
+  analysis::Table t("Sensitivity: speed grade -7 vs -5 (opt designs)",
+                    {"unit", "grade", "opt stages", "slices", "MHz",
+                     "MHz/slice"});
+  struct Grade {
+    const char* name;
+    device::TechModel tech;
+  };
+  const Grade grades[] = {{"-7", device::TechModel::virtex2pro7()},
+                          {"-5", device::TechModel::virtex2pro5()}};
+  for (auto kind : {units::UnitKind::kAdder, units::UnitKind::kMultiplier}) {
+    for (const fp::FpFormat& fmt :
+         {fp::FpFormat::binary32(), fp::FpFormat::binary64()}) {
+      for (const Grade& g : grades) {
+        const auto sel = analysis::select_min_max_opt(analysis::sweep_unit(
+            kind, fmt, device::Objective::kArea, g.tech));
+        t.add_row({std::string(to_string(kind)) + "<" + fmt.name() + ">",
+                   g.name,
+                   analysis::Table::num(static_cast<long>(sel.opt.stages)),
+                   analysis::Table::num(
+                       static_cast<long>(sel.opt.area.slices)),
+                   analysis::Table::num(sel.opt.freq_mhz, 1),
+                   analysis::Table::num(sel.opt.freq_per_area, 4)});
+      }
+    }
+  }
+  bench::emit(t, argc, argv);
+  return 0;
+}

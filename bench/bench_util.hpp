@@ -1,0 +1,54 @@
+// Shared plumbing for the table/figure bench binaries: print every table to
+// stdout and, when invoked with `--csv <dir>`, drop a CSV per table for
+// plotting.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+
+namespace flopsim::bench {
+
+inline std::string csv_dir(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") return argv[i + 1];
+  }
+  return {};
+}
+
+inline std::string slug(const std::string& title) {
+  std::string s;
+  for (char c : title) {
+    if (isalnum(static_cast<unsigned char>(c))) {
+      s += static_cast<char>(tolower(static_cast<unsigned char>(c)));
+    } else if (!s.empty() && s.back() != '_') {
+      s += '_';
+    }
+    if (s.size() > 48) break;
+  }
+  while (!s.empty() && s.back() == '_') s.pop_back();
+  return s;
+}
+
+inline void emit(const std::vector<analysis::Table>& tables, int argc,
+                 char** argv) {
+  const std::string dir = csv_dir(argc, argv);
+  for (const analysis::Table& t : tables) {
+    t.print(std::cout);
+    if (!dir.empty()) {
+      const std::string path = dir + "/" + slug(t.title()) + ".csv";
+      if (!t.write_csv(path)) {
+        std::cerr << "warning: could not write " << path << "\n";
+      }
+    }
+  }
+}
+
+inline void emit(const analysis::Table& t, int argc, char** argv) {
+  emit(std::vector<analysis::Table>{t}, argc, argv);
+}
+
+}  // namespace flopsim::bench

@@ -1,0 +1,24 @@
+// Scaling study: the Section 4.2 matmul design across the Virtex-II Pro
+// family — GFLOPS tracks the slice budget (PE count), frequency stays put.
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+#include "kernel/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flopsim;
+
+  analysis::Table t(
+      "Device scaling: single-precision matmul (pl=19) across the family",
+      {"device", "slices", "PEs", "GFLOPS", "Power (W)", "GFLOPS/W"});
+  const kernel::KernelDesign d(kernel::pe_moderate_pipelined());
+  for (const device::Device& dev : device::device_database()) {
+    t.add_row({dev.name,
+               analysis::Table::num(static_cast<long>(dev.capacity.slices)),
+               analysis::Table::num(static_cast<long>(d.max_pes(dev))),
+               analysis::Table::num(d.device_gflops(dev), 1),
+               analysis::Table::num(d.device_power_w(dev), 1),
+               analysis::Table::num(d.gflops_per_watt(dev), 2)});
+  }
+  bench::emit(t, argc, argv);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Extension bench: the price of IEEE completeness. The paper: "Denormal
+// and NaN numbers are generally considered rare and may not justify the
+// usage of a lot of hardware required for their handling." This bench
+// builds both variants of each core and prints exactly how much hardware
+// (and frequency at matched depth) that handling costs.
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+#include "units/fp_unit.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flopsim;
+
+  analysis::Table t(
+      "Extension: cost of denormal+NaN support (paper policy vs full IEEE)",
+      {"unit", "mode", "max stages", "slices @s10", "FFs @s10", "MHz @s10",
+       "MHz @max depth"});
+  for (auto kind : {units::UnitKind::kAdder, units::UnitKind::kMultiplier}) {
+    for (const fp::FpFormat& fmt :
+         {fp::FpFormat::binary32(), fp::FpFormat::binary64()}) {
+      for (bool ieee : {false, true}) {
+        units::UnitConfig cfg;
+        cfg.stages = 10;
+        cfg.ieee_mode = ieee;
+        const units::FpUnit u(kind, fmt, cfg);
+        units::UnitConfig deep = cfg;
+        deep.stages = 999;
+        const units::FpUnit d(kind, fmt, deep);
+        t.add_row({std::string(to_string(kind)) + "<" + fmt.name() + ">",
+                   ieee ? "full IEEE" : "paper",
+                   analysis::Table::num(static_cast<long>(u.max_stages())),
+                   analysis::Table::num(
+                       static_cast<long>(u.area().total.slices)),
+                   analysis::Table::num(static_cast<long>(u.area().total.ffs)),
+                   analysis::Table::num(u.freq_mhz(), 1),
+                   analysis::Table::num(d.freq_mhz(), 1)});
+      }
+    }
+  }
+  bench::emit(t, argc, argv);
+  return 0;
+}

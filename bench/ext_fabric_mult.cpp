@@ -1,0 +1,38 @@
+// Extension bench: embedded MULT18X18 vs LUT-fabric mantissa multipliers —
+// the resource-mix knob behind the paper's note that tool speed
+// optimization "might result in more embedded multipliers being used up".
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+#include "units/fp_unit.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flopsim;
+
+  analysis::Table t(
+      "Extension: embedded vs LUT-fabric mantissa multiplier",
+      {"format", "variant", "max stages", "slices @opt-ish", "BMULTs",
+       "MHz @s8", "MHz @max"});
+  for (const fp::FpFormat& fmt :
+       {fp::FpFormat::binary32(), fp::FpFormat::binary48(),
+        fp::FpFormat::binary64()}) {
+    for (bool embedded : {true, false}) {
+      units::UnitConfig cfg;
+      cfg.stages = 8;
+      cfg.use_embedded_multipliers = embedded;
+      const units::FpUnit u(units::UnitKind::kMultiplier, fmt, cfg);
+      units::UnitConfig deep = cfg;
+      deep.stages = 999;
+      const units::FpUnit d(units::UnitKind::kMultiplier, fmt, deep);
+      t.add_row({fmt.name(), embedded ? "MULT18X18" : "LUT fabric",
+                 analysis::Table::num(static_cast<long>(u.max_stages())),
+                 analysis::Table::num(
+                     static_cast<long>(u.area().total.slices)),
+                 analysis::Table::num(
+                     static_cast<long>(u.area().total.bmults)),
+                 analysis::Table::num(u.freq_mhz(), 1),
+                 analysis::Table::num(d.freq_mhz(), 1)});
+    }
+  }
+  bench::emit(t, argc, argv);
+  return 0;
+}

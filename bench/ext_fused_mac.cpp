@@ -1,0 +1,73 @@
+// Extension bench: fused MAC vs the paper's separate multiplier + adder PE.
+// One rounding instead of two; the double-width align/add/normalize caps
+// the clock below the separate pair while the shared denorm/round tails
+// keep area comparable.
+#include <cmath>
+
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+#include "fp/ops.hpp"
+#include "kernel/metrics.hpp"
+#include "units/fp_unit.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flopsim;
+
+  analysis::Table t(
+      "Extension: fused MAC vs separate multiplier+adder",
+      {"format", "datapath", "max stages", "slices @s12", "BMULTs",
+       "MHz @s12", "MHz @max"});
+  for (const fp::FpFormat& fmt :
+       {fp::FpFormat::binary32(), fp::FpFormat::binary64()}) {
+    units::UnitConfig cfg;
+    cfg.stages = 12;
+    units::UnitConfig deep;
+    deep.stages = 999;
+
+    const units::FpUnit add(units::UnitKind::kAdder, fmt, cfg);
+    const units::FpUnit mul(units::UnitKind::kMultiplier, fmt, cfg);
+    const units::FpUnit add_d(units::UnitKind::kAdder, fmt, deep);
+    const units::FpUnit mul_d(units::UnitKind::kMultiplier, fmt, deep);
+    t.add_row(
+        {fmt.name(), "mult + adder (paper PE)",
+         analysis::Table::num(
+             static_cast<long>(add.max_stages() + mul.max_stages())),
+         analysis::Table::num(static_cast<long>(add.area().total.slices +
+                                                mul.area().total.slices)),
+         analysis::Table::num(static_cast<long>(mul.area().total.bmults)),
+         analysis::Table::num(std::min(add.freq_mhz(), mul.freq_mhz()), 1),
+         analysis::Table::num(std::min(add_d.freq_mhz(), mul_d.freq_mhz()),
+                              1)});
+
+    const units::FpUnit mac(units::UnitKind::kMac, fmt, cfg);
+    const units::FpUnit mac_d(units::UnitKind::kMac, fmt, deep);
+    t.add_row({fmt.name(), "fused MAC (1 rounding)",
+               analysis::Table::num(static_cast<long>(mac.max_stages())),
+               analysis::Table::num(
+                   static_cast<long>(mac.area().total.slices)),
+               analysis::Table::num(
+                   static_cast<long>(mac.area().total.bmults)),
+               analysis::Table::num(mac.freq_mhz(), 1),
+               analysis::Table::num(mac_d.freq_mhz(), 1)});
+  }
+  bench::emit(t, argc, argv);
+
+  // Kernel level: a full matmul design with fused vs separate PEs.
+  analysis::Table k(
+      "Extension: matmul design with fused vs separate PEs (XC2VP125)",
+      {"PE datapath", "PL", "PEs", "MHz", "GFLOPS", "GFLOPS/W"});
+  const device::Device dev = device::xc2vp125();
+  for (bool fused : {false, true}) {
+    kernel::PeConfig cfg = kernel::pe_moderate_pipelined();
+    cfg.use_fused_mac = fused;
+    const kernel::KernelDesign d(cfg);
+    k.add_row({fused ? "fused MAC" : "mult + adder (paper)",
+               analysis::Table::num(static_cast<long>(d.pl())),
+               analysis::Table::num(static_cast<long>(d.max_pes(dev))),
+               analysis::Table::num(d.freq_mhz(), 1),
+               analysis::Table::num(d.device_gflops(dev), 1),
+               analysis::Table::num(d.gflops_per_watt(dev), 2)});
+  }
+  bench::emit(k, argc, argv);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Extension bench: LU decomposition performance vs. problem size on the
+// moderate-pipelined PE array — latency, achieved MFLOPS, and the share of
+// cycles lost to phase drains (the serial bottleneck the systolic LU papers
+// attack).
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+#include "kernel/lu.hpp"
+#include "kernel/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flopsim;
+
+  kernel::PeConfig cfg = kernel::pe_moderate_pipelined();
+  const kernel::KernelDesign design(cfg);
+  analysis::Table t(
+      "Extension: LU decomposition on 8 PEs + 1 divider (pl=19 units)",
+      {"n", "cycles", "latency us", "MFLOPS", "drain cycles %"});
+  for (int n : {8, 16, 24, 32, 48}) {
+    kernel::LuArray array(n, 8, cfg);
+    // Diagonally dominant input.
+    std::vector<double> av(static_cast<std::size_t>(n) * n, 0.5);
+    for (int i = 0; i < n; ++i) av[static_cast<std::size_t>(i) * n + i] = n;
+    const kernel::Matrix a = kernel::matrix_from_doubles(av, n, cfg.fmt);
+    const kernel::LuRun run = array.run(a);
+    const double us = run.cycles / design.freq_mhz();
+    const double flops = 2.0 / 3.0 * n * n * n;
+    t.add_row({analysis::Table::num(static_cast<long>(n)),
+               analysis::Table::num(run.cycles),
+               analysis::Table::num(us, 3),
+               analysis::Table::num(flops / us, 1),
+               analysis::Table::num(100.0 * run.bubbles / run.cycles, 1)});
+  }
+  bench::emit(t, argc, argv);
+  return 0;
+}

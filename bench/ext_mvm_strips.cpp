@@ -1,0 +1,49 @@
+// Extension bench: matrix-vector multiplication strip-width tradeoff. The
+// per-PE row strip r = n/p is MVM's analogue of the matmul block size:
+// strips below PL pad, wasting issues and energy (the same Section 5
+// mechanism on the second kernel).
+#include "analysis/report.hpp"
+#include "fp/ops.hpp"
+#include "bench_util.hpp"
+#include "kernel/metrics.hpp"
+#include "kernel/mvm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flopsim;
+
+  const int n = 64;
+  kernel::PeConfig cfg = kernel::pe_moderate_pipelined();  // PL = 19
+  const kernel::KernelDesign design(cfg);
+  analysis::Table t(
+      "Extension: MVM (n=64) strip-width tradeoff on pl=19 PEs",
+      {"PEs", "rows/PE", "cycles", "latency us", "padded issues %",
+       "energy/PE (nJ)"});
+
+  // A fixed random problem.
+  std::vector<double> av(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n * n; ++i) av[static_cast<std::size_t>(i)] = (i % 17) - 8;
+  const kernel::Matrix a = kernel::matrix_from_doubles(av, n, cfg.fmt);
+  std::vector<fp::u64> x(static_cast<std::size_t>(n));
+  fp::FpEnv env = fp::FpEnv::paper();
+  for (int i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = fp::from_double(1.0 + i % 5, cfg.fmt, env).bits;
+  }
+
+  for (int p : {1, 2, 4, 8, 16, 32, 64}) {
+    kernel::LinearArrayMvm array(n, p, cfg);
+    const kernel::MvmRun run = array.run(a, x);
+    const double padded_pct =
+        100.0 * run.padded_issues / std::max(1L, run.mac_issues);
+    const auto e = design.energy_from_counts(
+        run.cycles, run.mac_issues / p,
+        static_cast<long>(n) * run.r_eff + 2L * n / p);
+    t.add_row({analysis::Table::num(static_cast<long>(p)),
+               analysis::Table::num(static_cast<long>(n / p)),
+               analysis::Table::num(run.cycles),
+               analysis::Table::num(run.cycles / design.freq_mhz(), 3),
+               analysis::Table::num(padded_pct, 1),
+               analysis::Table::num(e.total_nj, 1)});
+  }
+  bench::emit(t, argc, argv);
+  return 0;
+}

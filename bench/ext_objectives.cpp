@@ -1,0 +1,38 @@
+// Extension bench: synthesis/PAR objective comparison. The paper: "using a
+// different optimization objective (speed or area) for the synthesis and
+// place and route tool gives vastly different results ... the
+// throughput/area metric should be obtained for all implementations with
+// different pipelining stages and also for different optimization
+// objectives."
+#include "analysis/pareto.hpp"
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flopsim;
+
+  analysis::Table t("Extension: AREA vs SPEED objective (opt and max designs)",
+                    {"unit", "objective", "opt s", "opt MHz", "opt slices",
+                     "opt MHz/slice", "max MHz", "max slices"});
+  for (auto kind : {units::UnitKind::kAdder, units::UnitKind::kMultiplier}) {
+    for (const fp::FpFormat& fmt :
+         {fp::FpFormat::binary32(), fp::FpFormat::binary64()}) {
+      for (auto obj : {device::Objective::kArea, device::Objective::kSpeed}) {
+        const auto sweep = analysis::sweep_unit(kind, fmt, obj);
+        const auto sel = analysis::select_min_max_opt(sweep);
+        t.add_row({std::string(to_string(kind)) + "<" + fmt.name() + ">",
+                   to_string(obj),
+                   analysis::Table::num(static_cast<long>(sel.opt.stages)),
+                   analysis::Table::num(sel.opt.freq_mhz, 1),
+                   analysis::Table::num(
+                       static_cast<long>(sel.opt.area.slices)),
+                   analysis::Table::num(sel.opt.freq_per_area, 4),
+                   analysis::Table::num(sel.max.freq_mhz, 1),
+                   analysis::Table::num(
+                       static_cast<long>(sel.max.area.slices))});
+      }
+    }
+  }
+  bench::emit(t, argc, argv);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Extension bench: the precision axis the paper treats as given (32/48/64
+// bits), evaluated end to end — device GFLOPS, power, AND the numerical
+// error each precision actually delivers on a matmul workload, measured
+// against a binary64 softfloat reference. This is the quantitative case
+// for the 48-bit middle format.
+#include <cmath>
+#include <random>
+
+#include "analysis/accuracy.hpp"
+#include "analysis/report.hpp"
+#include "analysis/sweep.hpp"
+#include "bench_util.hpp"
+#include "fp/ops.hpp"
+#include "kernel/matmul.hpp"
+#include "kernel/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flopsim;
+
+  const device::Device dev = device::xc2vp125();
+  analysis::Table t(
+      "Extension: precision tradeoff (pl~19 PEs, 24x24 matmul error vs "
+      "binary64)",
+      {"format", "PEs", "GFLOPS", "Power (W)", "max rel error", "max ulp"});
+
+  // One fixed problem, mildly ill-conditioned entries.
+  const int n = 24;
+  std::mt19937_64 rng(77);
+  std::vector<double> av(n * n), bv(n * n);
+  for (double& v : av) v = (static_cast<double>(rng() % 20000) - 10000.0) / 97.0;
+  for (double& v : bv) v = (static_cast<double>(rng() % 20000) - 10000.0) / 89.0;
+
+  // binary64 softfloat reference result.
+  const kernel::Matrix a64 =
+      kernel::matrix_from_doubles(av, n, fp::FpFormat::binary64());
+  const kernel::Matrix b64 =
+      kernel::matrix_from_doubles(bv, n, fp::FpFormat::binary64());
+  const kernel::Matrix ref = kernel::reference_gemm(
+      a64, b64, fp::FpFormat::binary64(), fp::RoundingMode::kNearestEven);
+
+  for (const fp::FpFormat& fmt : analysis::paper_formats()) {
+    kernel::PeConfig cfg = kernel::pe_moderate_pipelined();
+    cfg.fmt = fmt;
+    const kernel::KernelDesign design(cfg);
+
+    const kernel::Matrix a = kernel::matrix_from_doubles(av, n, fmt);
+    const kernel::Matrix b = kernel::matrix_from_doubles(bv, n, fmt);
+    const kernel::Matrix c =
+        kernel::reference_gemm(a, b, fmt, cfg.rounding);
+    const analysis::AccuracyStats st =
+        analysis::compare_to_reference(c.bits, fmt, ref.bits);
+    char err[32];
+    std::snprintf(err, sizeof err, "%.2e", st.max_rel_error);
+    t.add_row({fmt.name(),
+               analysis::Table::num(static_cast<long>(design.max_pes(dev))),
+               analysis::Table::num(design.device_gflops(dev), 1),
+               analysis::Table::num(design.device_power_w(dev), 1), err,
+               analysis::Table::num(st.max_ulp_error, 1)});
+  }
+  bench::emit(t, argc, argv);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Extension bench: the paper's architectural choice, quantified. A 2-D
+// systolic grid vs. the paper's linear array, both on pl=19 units: the
+// grid needs n^2 PEs (so only small n fits a device) and must interleave
+// a batch of >= Ladd+1 independent problems to keep its accumulators
+// hazard-free; the linear array needs n PEs and hides latency inside a
+// single problem once n >= PL. Section 2.1's argument, in numbers.
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+#include "kernel/metrics.hpp"
+#include "kernel/systolic2d.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flopsim;
+
+  const kernel::PeConfig cfg = kernel::pe_moderate_pipelined();
+  const device::Device dev = device::xc2vp125();
+  const kernel::KernelDesign design(cfg);
+  const int pe_slices = design.pe_resources().slices;
+  const int usable = static_cast<int>(dev.capacity.slices * 0.85);
+
+  analysis::Table t(
+      "Extension: 2-D systolic grid vs linear array (pl=19 units, " +
+          dev.name + ")",
+      {"architecture", "largest n on device", "PEs", "min interleave",
+       "GFLOPS", "latency for one nxn (us)"});
+
+  // Linear array: p = n PEs, no batching needed once n >= PL.
+  {
+    const int n = design.max_pes(dev);
+    t.add_row({"linear array (paper)",
+               analysis::Table::num(static_cast<long>(n)),
+               analysis::Table::num(static_cast<long>(n)), "1 problem",
+               analysis::Table::num(design.device_gflops(dev), 1),
+               analysis::Table::num(design.latency_us(n), 2)});
+  }
+  // 2-D grid: n^2 PEs; largest n with n^2 <= usable/pe_slices.
+  {
+    int n = 1;
+    while ((n + 1) * (n + 1) * pe_slices <= usable) ++n;
+    kernel::Systolic2dMatmul grid(n, 1, cfg);
+    const int batch = grid.min_batch();
+    const long cyc = kernel::Systolic2dMatmul(n, batch, cfg)
+                         .predicted_cycles();
+    const double f = design.freq_mhz();
+    // Steady-state GFLOPS: 2*batch*n^3 FLOPs over cyc/f microseconds.
+    const double gflops = 2.0 * batch * n * n * n / (cyc / f * 1e3);
+    t.add_row({"2-D systolic grid",
+               analysis::Table::num(static_cast<long>(n)),
+               analysis::Table::num(static_cast<long>(n) * n),
+               analysis::Table::num(static_cast<long>(batch)) + " problems",
+               analysis::Table::num(gflops, 1),
+               analysis::Table::num(cyc / f / batch, 2)});
+  }
+  bench::emit(t, argc, argv);
+  return 0;
+}

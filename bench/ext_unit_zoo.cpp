@@ -1,0 +1,36 @@
+// Extension bench: the full core family on one axis — Figure-2-style
+// freq/area sweeps for the divider, square root, and fused MAC (64-bit),
+// alongside the paper's adder and multiplier.
+#include "analysis/report.hpp"
+#include "analysis/sweep.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flopsim;
+
+  analysis::Table t(
+      "Extension: Freq/Area vs. pipeline stages, all 64-bit cores "
+      "(MHz/slice)",
+      {"stages", "adder", "multiplier", "divider", "sqrt", "fused MAC"});
+  std::vector<analysis::SweepResult> sweeps;
+  int maxs = 0;
+  for (units::UnitKind kind :
+       {units::UnitKind::kAdder, units::UnitKind::kMultiplier,
+        units::UnitKind::kDivider, units::UnitKind::kSqrt,
+        units::UnitKind::kMac}) {
+    sweeps.push_back(analysis::sweep_unit(kind, fp::FpFormat::binary64()));
+    maxs = std::max(maxs, static_cast<int>(sweeps.back().points.size()));
+  }
+  for (int s = 1; s <= maxs; s += 2) {
+    std::vector<std::string> row{analysis::Table::num(static_cast<long>(s))};
+    for (const auto& sw : sweeps) {
+      row.push_back(s <= static_cast<int>(sw.points.size())
+                        ? analysis::Table::num(sw.at_stages(s).freq_per_area,
+                                               4)
+                        : "-");
+    }
+    t.add_row(std::move(row));
+  }
+  bench::emit(t, argc, argv);
+  return 0;
+}

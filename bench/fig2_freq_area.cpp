@@ -1,0 +1,12 @@
+// Regenerates Figure 2: Freq/Area vs. pipeline stages for adders and
+// multipliers at 32/48/64-bit precision.
+#include "analysis/experiments.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flopsim;
+  bench::emit(analysis::fig2_freq_area(units::UnitKind::kAdder), argc, argv);
+  bench::emit(analysis::fig2_freq_area(units::UnitKind::kMultiplier), argc,
+              argv);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Regenerates Figure 3: power vs. pipeline stages (100 MHz) for adders and
+// multipliers at 32/48/64-bit precision.
+#include "analysis/experiments.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flopsim;
+  bench::emit(analysis::fig3_power(units::UnitKind::kAdder), argc, argv);
+  bench::emit(analysis::fig3_power(units::UnitKind::kMultiplier), argc, argv);
+  return 0;
+}

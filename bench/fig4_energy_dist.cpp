@@ -1,0 +1,10 @@
+// Regenerates Figure 4: PE energy distribution for n = 10 and n = 30 under
+// minimum / moderate / maximum pipelining.
+#include "analysis/experiments.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  flopsim::bench::emit(flopsim::analysis::fig4_energy_distribution(), argc,
+                       argv);
+  return 0;
+}

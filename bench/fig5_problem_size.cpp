@@ -1,0 +1,9 @@
+// Regenerates Figure 5: energy / resources / latency vs. problem size n for
+// pl = 10/19/25.
+#include "analysis/experiments.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  flopsim::bench::emit(flopsim::analysis::fig5_problem_size(), argc, argv);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Regenerates Figure 6: energy / resources / latency vs. block size b for
+// problem size n = 16, pl = 10/19/25.
+#include "analysis/experiments.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  flopsim::bench::emit(flopsim::analysis::fig6_block_size(), argc, argv);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Regenerates Section 4.2: matrix-multiply GFLOPS on the XC2VP125 and the
+// GFLOPS / GFLOPS-per-watt comparison against the Pentium 4 and G4.
+#include "analysis/experiments.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  flopsim::bench::emit(flopsim::analysis::section42_matmul(), argc, argv);
+  return 0;
+}

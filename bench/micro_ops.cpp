@@ -1,0 +1,169 @@
+// Google-benchmark micro suite: throughput of the softfloat kernels, the
+// structural units (combinational and pipelined), and the array simulator.
+// Not a paper artifact — this measures the *simulator*, and guards against
+// performance regressions in the library itself.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "fp/ops.hpp"
+#include "kernel/matmul.hpp"
+#include "units/fp_unit.hpp"
+
+namespace {
+
+using namespace flopsim;
+
+std::vector<fp::u64> random_bits(fp::FpFormat fmt, int n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<fp::u64> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng() & fmt.bits_mask();
+  return v;
+}
+
+template <fp::FpValue (*Op)(const fp::FpValue&, const fp::FpValue&,
+                            fp::FpEnv&)>
+void BM_softfloat_binop(benchmark::State& state, fp::FpFormat fmt) {
+  const auto a = random_bits(fmt, 1024, 1);
+  const auto b = random_bits(fmt, 1024, 2);
+  fp::FpEnv env = fp::FpEnv::ieee();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const fp::FpValue r =
+        Op(fp::FpValue(a[i & 1023], fmt), fp::FpValue(b[i & 1023], fmt), env);
+    benchmark::DoNotOptimize(r.bits);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_softfloat_add32(benchmark::State& s) {
+  BM_softfloat_binop<fp::add>(s, fp::FpFormat::binary32());
+}
+void BM_softfloat_add64(benchmark::State& s) {
+  BM_softfloat_binop<fp::add>(s, fp::FpFormat::binary64());
+}
+void BM_softfloat_mul64(benchmark::State& s) {
+  BM_softfloat_binop<fp::mul>(s, fp::FpFormat::binary64());
+}
+void BM_softfloat_div64(benchmark::State& s) {
+  BM_softfloat_binop<fp::div>(s, fp::FpFormat::binary64());
+}
+BENCHMARK(BM_softfloat_add32);
+BENCHMARK(BM_softfloat_add64);
+BENCHMARK(BM_softfloat_mul64);
+BENCHMARK(BM_softfloat_div64);
+
+void BM_softfloat_fma64(benchmark::State& state) {
+  const fp::FpFormat fmt = fp::FpFormat::binary64();
+  const auto a = random_bits(fmt, 1024, 11);
+  const auto b = random_bits(fmt, 1024, 12);
+  const auto c = random_bits(fmt, 1024, 13);
+  fp::FpEnv env = fp::FpEnv::ieee();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const fp::FpValue r =
+        fp::fma(fp::FpValue(a[i & 1023], fmt), fp::FpValue(b[i & 1023], fmt),
+                fp::FpValue(c[i & 1023], fmt), env);
+    benchmark::DoNotOptimize(r.bits);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_softfloat_fma64);
+
+void BM_unit_mac64_eval(benchmark::State& state) {
+  units::UnitConfig cfg;
+  const units::FpUnit unit(units::UnitKind::kMac, fp::FpFormat::binary64(),
+                           cfg);
+  const fp::FpFormat fmt = fp::FpFormat::binary64();
+  const auto a = random_bits(fmt, 1024, 14);
+  const auto b = random_bits(fmt, 1024, 15);
+  const auto c = random_bits(fmt, 1024, 16);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const units::UnitOutput r = unit.evaluate(
+        {a[i & 1023], b[i & 1023], false, c[i & 1023]});
+    benchmark::DoNotOptimize(r.result);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_unit_mac64_eval);
+
+void BM_softfloat_sqrt64(benchmark::State& state) {
+  const fp::FpFormat fmt = fp::FpFormat::binary64();
+  const auto a = random_bits(fmt, 1024, 3);
+  fp::FpEnv env = fp::FpEnv::ieee();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const fp::FpValue r = fp::sqrt(fp::abs(fp::FpValue(a[i & 1023], fmt)), env);
+    benchmark::DoNotOptimize(r.bits);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_softfloat_sqrt64);
+
+void BM_unit_combinational(benchmark::State& state, units::UnitKind kind,
+                           fp::FpFormat fmt) {
+  units::UnitConfig cfg;
+  const units::FpUnit unit(kind, fmt, cfg);
+  const auto a = random_bits(fmt, 1024, 4);
+  const auto b = random_bits(fmt, 1024, 5);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const units::UnitOutput r =
+        unit.evaluate({a[i & 1023], b[i & 1023], false});
+    benchmark::DoNotOptimize(r.result);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_unit_add64_eval(benchmark::State& s) {
+  BM_unit_combinational(s, units::UnitKind::kAdder, fp::FpFormat::binary64());
+}
+void BM_unit_mul64_eval(benchmark::State& s) {
+  BM_unit_combinational(s, units::UnitKind::kMultiplier,
+                        fp::FpFormat::binary64());
+}
+BENCHMARK(BM_unit_add64_eval);
+BENCHMARK(BM_unit_mul64_eval);
+
+void BM_unit_pipelined_step(benchmark::State& state) {
+  units::UnitConfig cfg;
+  cfg.stages = 12;
+  units::FpUnit unit(units::UnitKind::kAdder, fp::FpFormat::binary64(), cfg);
+  const fp::FpFormat fmt = fp::FpFormat::binary64();
+  const auto a = random_bits(fmt, 1024, 6);
+  const auto b = random_bits(fmt, 1024, 7);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    unit.step(units::UnitInput{a[i & 1023], b[i & 1023], false});
+    if (const auto out = unit.output()) benchmark::DoNotOptimize(out->result);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_unit_pipelined_step);
+
+void BM_array_matmul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  kernel::PeConfig cfg;
+  cfg.adder_stages = 6;
+  cfg.mult_stages = 4;
+  kernel::LinearArrayMatmul array(n, cfg);
+  std::vector<double> av(static_cast<std::size_t>(n) * n, 1.25);
+  const kernel::Matrix a = kernel::matrix_from_doubles(av, n, cfg.fmt);
+  for (auto _ : state) {
+    const kernel::MatmulRun run = array.run(a, a);
+    benchmark::DoNotOptimize(run.c.bits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2L * n * n * n);
+}
+BENCHMARK(BM_array_matmul)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,10 @@
+// Regenerates Table 1: min/max/opt 32/48/64-bit floating-point adders.
+#include "analysis/experiments.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flopsim;
+  bench::emit(analysis::table_min_max_opt(units::UnitKind::kAdder), argc,
+              argv);
+  return 0;
+}

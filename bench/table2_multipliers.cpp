@@ -1,0 +1,10 @@
+// Regenerates Table 2: min/max/opt 32/48/64-bit floating-point multipliers.
+#include "analysis/experiments.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flopsim;
+  bench::emit(analysis::table_min_max_opt(units::UnitKind::kMultiplier), argc,
+              argv);
+  return 0;
+}

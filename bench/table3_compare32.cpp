@@ -1,0 +1,8 @@
+// Regenerates Table 3: 32-bit units vs. Nallatech and Quixilica cores.
+#include "analysis/experiments.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  flopsim::bench::emit(flopsim::analysis::table3_compare32(), argc, argv);
+  return 0;
+}

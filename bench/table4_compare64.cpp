@@ -1,0 +1,9 @@
+// Regenerates Table 4: 64-bit units vs. the NEU parameterized library,
+// including power at 100 MHz.
+#include "analysis/experiments.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  flopsim::bench::emit(flopsim::analysis::table4_compare64(), argc, argv);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// The Section 5 workflow as a program: give the designer's constraints,
+// get the architecture. "Based upon the area, latency and energy
+// constraints, architectural choices can be made from Figure 5" — here the
+// optimizer scans the (adder, multiplier) depth grid and answers directly.
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/optimizer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flopsim;
+
+  analysis::KernelConstraints c;
+  c.n = argc > 1 ? std::atoi(argv[1]) : 32;
+  if (argc > 2) c.max_latency_us = std::atof(argv[2]);
+  if (argc > 3) c.max_pe_slices = std::atoi(argv[3]);
+
+  std::printf("designing a matmul PE for n=%d", c.n);
+  if (c.max_latency_us < 1e30) std::printf(", latency <= %.2f us", c.max_latency_us);
+  if (c.max_pe_slices < INT_MAX) std::printf(", <= %d slices/PE", c.max_pe_slices);
+  std::printf("\n\n");
+
+  struct Goal {
+    const char* name;
+    analysis::KernelObjective obj;
+  };
+  for (const Goal& g : {Goal{"minimum energy", analysis::KernelObjective::kMinEnergy},
+                        Goal{"minimum latency", analysis::KernelObjective::kMinLatency},
+                        Goal{"minimum area", analysis::KernelObjective::kMinArea}}) {
+    const auto choice = analysis::choose_matmul_design(c, g.obj);
+    if (!choice) {
+      std::printf("%-16s infeasible under these constraints\n", g.name);
+      continue;
+    }
+    std::printf("%-16s adder s=%-2d mult s=%-2d (PL=%2d)  %7.1f MHz  "
+                "%5d slices/PE  %8.2f us  %9.1f nJ/PE\n",
+                g.name, choice->cfg.adder_stages, choice->cfg.mult_stages,
+                choice->pl, choice->freq_mhz, choice->pe_slices,
+                choice->latency_us, choice->energy_nj);
+  }
+  std::printf("\n(usage: accelerator_designer [n] [max_latency_us] "
+              "[max_pe_slices])\n");
+  return 0;
+}

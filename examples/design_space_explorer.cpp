@@ -1,0 +1,62 @@
+// Design-space explorer: sweep pipeline depth for a chosen unit/precision/
+// objective, print the full curve, the frequency-area Pareto frontier, and
+// the min/max/opt selection — the workflow behind the paper's Tables 1-2.
+//
+// Usage: design_space_explorer [add|mul] [32|48|64] [area|speed]
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "analysis/pareto.hpp"
+#include "analysis/report.hpp"
+#include "analysis/sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flopsim;
+
+  units::UnitKind kind = units::UnitKind::kAdder;
+  fp::FpFormat fmt = fp::FpFormat::binary32();
+  device::Objective obj = device::Objective::kArea;
+  if (argc > 1 && std::strcmp(argv[1], "mul") == 0) {
+    kind = units::UnitKind::kMultiplier;
+  }
+  if (argc > 2) {
+    if (std::strcmp(argv[2], "48") == 0) fmt = fp::FpFormat::binary48();
+    if (std::strcmp(argv[2], "64") == 0) fmt = fp::FpFormat::binary64();
+  }
+  if (argc > 3 && std::strcmp(argv[3], "speed") == 0) {
+    obj = device::Objective::kSpeed;
+  }
+
+  const analysis::SweepResult sweep = analysis::sweep_unit(kind, fmt, obj);
+  analysis::Table t("Pipeline sweep: " + std::string(to_string(kind)) + "<" +
+                        fmt.name() + "> objective=" + to_string(obj),
+                    {"stages", "MHz", "crit ns", "slices", "FFs", "MHz/slice",
+                     "mW@100MHz"});
+  for (const analysis::DesignPoint& p : sweep.points) {
+    t.add_row({analysis::Table::num(static_cast<long>(p.stages)),
+               analysis::Table::num(p.freq_mhz, 1),
+               analysis::Table::num(p.critical_ns, 2),
+               analysis::Table::num(static_cast<long>(p.area.slices)),
+               analysis::Table::num(static_cast<long>(p.area.ffs)),
+               analysis::Table::num(p.freq_per_area, 4),
+               analysis::Table::num(p.power_mw_100, 1)});
+  }
+  t.print(std::cout);
+
+  const analysis::Selection sel = analysis::select_min_max_opt(sweep);
+  std::printf("min: s=%d (%.1f MHz, %d slices)\n", sel.min.stages,
+              sel.min.freq_mhz, sel.min.area.slices);
+  std::printf("max: s=%d (%.1f MHz, %d slices)\n", sel.max.stages,
+              sel.max.freq_mhz, sel.max.area.slices);
+  std::printf("opt: s=%d (%.1f MHz, %d slices, %.4f MHz/slice)\n\n",
+              sel.opt.stages, sel.opt.freq_mhz, sel.opt.area.slices,
+              sel.opt.freq_per_area);
+
+  std::printf("frequency-area Pareto frontier:");
+  for (const analysis::DesignPoint& p : analysis::pareto_frontier(sweep)) {
+    std::printf(" s%d(%.0fMHz/%dsl)", p.stages, p.freq_mhz, p.area.slices);
+  }
+  std::printf("\n");
+  return 0;
+}

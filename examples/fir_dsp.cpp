@@ -1,0 +1,83 @@
+// Signal-processing demo — the paper's lead motivation ("radar/sonar
+// signal processing, image processing"): an 11-tap low-pass FIR running
+// cycle-accurately on the transposed PE chain, cleaning a noisy tone.
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "fp/ops.hpp"
+#include "kernel/fir.hpp"
+
+int main() {
+  using namespace flopsim;
+
+  kernel::PeConfig cfg;
+  cfg.adder_stages = 10;
+  cfg.mult_stages = 6;
+  fp::FpEnv env = fp::FpEnv::paper();
+
+  // 11-tap windowed-sinc low-pass (cutoff ~0.1 fs).
+  const int t = 11;
+  std::vector<fp::u64> h;
+  double norm = 0.0;
+  std::vector<double> hd;
+  for (int k = 0; k < t; ++k) {
+    const double m = k - (t - 1) / 2.0;
+    const double sinc = m == 0.0 ? 1.0 : std::sin(0.2 * M_PI * m) / (M_PI * m) / 0.2;
+    const double w = 0.54 - 0.46 * std::cos(2 * M_PI * k / (t - 1));
+    hd.push_back(0.2 * sinc * w);
+    norm += hd.back();
+  }
+  for (double& v : hd) v /= norm;
+  for (double v : hd) h.push_back(fp::from_double(v, cfg.fmt, env).bits);
+
+  // A 0.05 fs tone buried in wideband noise.
+  const int n = 2048;
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> noise(-1.0, 1.0);
+  std::vector<double> clean(n), noisy(n);
+  std::vector<fp::u64> x;
+  for (int i = 0; i < n; ++i) {
+    clean[i] = std::sin(2 * M_PI * 0.05 * i);
+    noisy[i] = clean[i] + 0.8 * noise(rng);
+    x.push_back(fp::from_double(noisy[i], cfg.fmt, env).bits);
+  }
+
+  kernel::FirFilter fir(h, cfg);
+  const kernel::FirRun run = fir.run(x);
+
+  auto snr_db = [&](const std::vector<double>& sig, int delay) {
+    double s = 0.0, e = 0.0;
+    for (int i = 200; i < n - 200; ++i) {
+      const double ref = clean[i - delay];
+      s += ref * ref;
+      e += (sig[i] - ref) * (sig[i] - ref);
+    }
+    return 10.0 * std::log10(s / e);
+  };
+  std::vector<double> filtered(n);
+  for (int i = 0; i < n; ++i) {
+    filtered[i] = fp::to_double_exact(fp::FpValue(run.y[i], cfg.fmt));
+  }
+  const int group_delay = (t - 1) / 2;
+  const double snr_in = snr_db(noisy, 0);
+  const double snr_out = snr_db(filtered, group_delay);
+
+  std::printf("11-tap low-pass FIR on %d taps x (mult s=%d + adder s=%d)\n",
+              t, cfg.mult_stages, cfg.adder_stages);
+  std::printf("  throughput      1 sample/cycle (%d samples in %ld cycles)\n",
+              n, run.cycles);
+  std::printf("  clock           %.1f MHz -> %.1f Msamples/s\n",
+              fir.freq_mhz(), fir.freq_mhz());
+  std::printf("  skew FIFOs      max depth %d (deep adders need alignment)\n",
+              run.max_skew_fifo);
+  std::printf("  resources       %s\n", fir.resources().to_string().c_str());
+  std::printf("  SNR             %.1f dB in -> %.1f dB out\n", snr_in,
+              snr_out);
+  const bool ok = snr_out > snr_in + 5.0 &&
+                  run.y == kernel::reference_fir(h, x, cfg.fmt, cfg.rounding);
+  std::printf("  verification    %s\n",
+              ok ? "bit-exact vs softfloat, SNR improved" : "FAILED");
+  return ok ? 0 : 1;
+}

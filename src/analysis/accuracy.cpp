@@ -1,0 +1,58 @@
+#include "analysis/accuracy.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace flopsim::analysis {
+
+double ulp_error(const fp::FpValue& v, double reference) {
+  const double got = fp::to_double_exact(v);
+  if (std::isnan(got) || std::isnan(reference)) {
+    return (std::isnan(got) && std::isnan(reference))
+               ? 0.0
+               : std::numeric_limits<double>::infinity();
+  }
+  if (std::isinf(got) || std::isinf(reference)) {
+    return got == reference ? 0.0
+                            : std::numeric_limits<double>::infinity();
+  }
+  // The ulp of v's format at the reference's magnitude.
+  fp::FpEnv env = fp::FpEnv::ieee();
+  const fp::FpValue ref_in_fmt = fp::from_double(reference, v.fmt, env);
+  const double u = fp::to_double_exact(fp::ulp(ref_in_fmt));
+  if (u == 0.0 || std::isinf(u)) {
+    return got == reference ? 0.0
+                            : std::numeric_limits<double>::infinity();
+  }
+  return std::abs(got - reference) / u;
+}
+
+AccuracyStats compare_to_reference(const std::vector<fp::u64>& got_bits,
+                                   fp::FpFormat fmt,
+                                   const std::vector<fp::u64>& ref_bits64) {
+  if (got_bits.size() != ref_bits64.size()) {
+    throw std::invalid_argument("compare_to_reference: size mismatch");
+  }
+  AccuracyStats st;
+  double rel_sum = 0.0;
+  for (std::size_t i = 0; i < got_bits.size(); ++i) {
+    const fp::FpValue v(got_bits[i], fmt);
+    const double want = fp::to_double_exact(
+        fp::FpValue(ref_bits64[i], fp::FpFormat::binary64()));
+    if (!std::isfinite(want) || want == 0.0) {
+      ++st.exceptional;
+      continue;
+    }
+    const double got = fp::to_double_exact(v);
+    const double rel = std::abs((got - want) / want);
+    st.max_rel_error = std::max(st.max_rel_error, rel);
+    rel_sum += rel;
+    st.max_ulp_error = std::max(st.max_ulp_error, ulp_error(v, want));
+    ++st.compared;
+  }
+  if (st.compared > 0) st.mean_rel_error = rel_sum / st.compared;
+  return st;
+}
+
+}  // namespace flopsim::analysis

@@ -1,0 +1,31 @@
+// Numerical-accuracy analysis: quantify what a precision/rounding choice
+// costs in result quality — the flip side of the paper's area/throughput
+// tradeoffs (library extension; used by bench/ext_precision).
+#pragma once
+
+#include <vector>
+
+#include "fp/ops.hpp"
+
+namespace flopsim::analysis {
+
+struct AccuracyStats {
+  double max_rel_error = 0.0;   ///< max |got-want|/|want| over nonzero refs
+  double mean_rel_error = 0.0;
+  double max_ulp_error = 0.0;   ///< error in ulps of the *measured* format
+  long compared = 0;            ///< finite, nonzero reference entries
+  long exceptional = 0;         ///< entries skipped (inf/NaN/zero reference)
+};
+
+/// Compare values in format `fmt` against binary64 reference encodings.
+/// Sizes must match (std::invalid_argument otherwise).
+AccuracyStats compare_to_reference(const std::vector<fp::u64>& got_bits,
+                                   fp::FpFormat fmt,
+                                   const std::vector<fp::u64>& ref_bits64);
+
+/// ULP distance between a value and a binary64 reference, measured in ulps
+/// of v's format at the reference's magnitude. Infinity for mismatched
+/// specials.
+double ulp_error(const fp::FpValue& v, double reference);
+
+}  // namespace flopsim::analysis

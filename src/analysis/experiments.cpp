@@ -1,0 +1,304 @@
+#include "analysis/experiments.hpp"
+
+#include <cmath>
+
+#include "analysis/pareto.hpp"
+#include "device/device.hpp"
+#include "device/vendor_cores.hpp"
+#include "kernel/metrics.hpp"
+#include "power/processors.hpp"
+
+namespace flopsim::analysis {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::string unit_label(units::UnitKind kind) {
+  return kind == units::UnitKind::kAdder ? "Adders" : "Multipliers";
+}
+
+const std::vector<kernel::PeConfig>& reference_pe_configs() {
+  static const std::vector<kernel::PeConfig> cfgs = {
+      kernel::pe_min_pipelined(), kernel::pe_moderate_pipelined(),
+      kernel::pe_max_pipelined()};
+  return cfgs;
+}
+
+}  // namespace
+
+Table fig2_freq_area(units::UnitKind kind) {
+  Table t("Figure 2: Freq/Area vs. No. of Pipeline Stages for " +
+              unit_label(kind) + " (MHz/slice)",
+          {"stages", "32-bit", "48-bit", "64-bit"});
+  std::vector<SweepResult> sweeps;
+  int max_stages = 0;
+  for (const fp::FpFormat& fmt : paper_formats()) {
+    sweeps.push_back(sweep_unit(kind, fmt));
+    max_stages =
+        std::max(max_stages, static_cast<int>(sweeps.back().points.size()));
+  }
+  for (int s = 1; s <= max_stages; ++s) {
+    std::vector<std::string> row{Table::num(static_cast<long>(s))};
+    for (const SweepResult& sw : sweeps) {
+      row.push_back(
+          s <= static_cast<int>(sw.points.size())
+              ? Table::num(sw.at_stages(s).freq_per_area, 4)
+              : "-");
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+Table table_min_max_opt(units::UnitKind kind) {
+  const bool adder = kind == units::UnitKind::kAdder;
+  Table t(std::string(adder ? "Table 1" : "Table 2") +
+              ": Analysis of 32, 48, 64-bit Floating Point " +
+              (adder ? "Adders" : "Multipliers"),
+          {"metric", "32 min", "32 max", "32 opt", "48 min", "48 max",
+           "48 opt", "64 min", "64 max", "64 opt"});
+
+  std::vector<Selection> sel;
+  for (const fp::FpFormat& fmt : paper_formats()) {
+    sel.push_back(select_min_max_opt(sweep_unit(kind, fmt)));
+  }
+  auto row = [&](const std::string& name, auto getter, int precision) {
+    std::vector<std::string> cells{name};
+    for (const Selection& s : sel) {
+      for (const DesignPoint* p : {&s.min, &s.max, &s.opt}) {
+        cells.push_back(Table::num(getter(*p), precision));
+      }
+    }
+    t.add_row(std::move(cells));
+  };
+  row("No. of Pipeline Stages",
+      [](const DesignPoint& p) { return static_cast<double>(p.stages); }, 0);
+  row("Area (slices)",
+      [](const DesignPoint& p) { return static_cast<double>(p.area.slices); },
+      0);
+  row("LUTs",
+      [](const DesignPoint& p) { return static_cast<double>(p.area.luts); },
+      0);
+  row("Flip Flops",
+      [](const DesignPoint& p) { return static_cast<double>(p.area.ffs); }, 0);
+  row("Clock Rate (MHz)",
+      [](const DesignPoint& p) { return p.freq_mhz; }, 1);
+  row("Freq/Area (MHz/slice)",
+      [](const DesignPoint& p) { return p.freq_per_area; }, 4);
+  return t;
+}
+
+namespace {
+
+void add_compare_rows(Table& t, const std::string& group,
+                      const DesignPoint& usc,
+                      const std::vector<device::VendorCore>& vendors,
+                      const std::string& op, bool with_power,
+                      double usc_power_mw) {
+  auto add = [&](const std::string& who, double stages, double slices,
+                 double mhz, double fpa, double power) {
+    std::vector<std::string> row{group + " " + who,
+                                 Table::num(stages, 0),
+                                 Table::num(slices, 0),
+                                 Table::num(mhz, 1),
+                                 Table::num(fpa, 4)};
+    if (with_power) row.push_back(Table::num(power, 0));
+    t.add_row(std::move(row));
+  };
+  add("USC", usc.stages, usc.area.slices, usc.freq_mhz, usc.freq_per_area,
+      usc_power_mw);
+  for (const auto& v : vendors) {
+    if (v.operation != op) continue;
+    add(v.vendor, v.stages, v.area.slices, v.clock_mhz, v.freq_per_area(),
+        v.power_mw_100mhz > 0 ? v.power_mw_100mhz : kNaN);
+  }
+}
+
+}  // namespace
+
+Table table3_compare32() {
+  Table t("Table 3: Comparison of 32-bit Floating Point Units",
+          {"unit", "pipelines", "slices", "MHz", "MHz/slice"});
+  const auto vendors = device::table3_cores();
+  const DesignPoint add_fast = select_fastest(
+      sweep_unit(units::UnitKind::kAdder, fp::FpFormat::binary32()));
+  const DesignPoint mul_fast = select_fastest(
+      sweep_unit(units::UnitKind::kMultiplier, fp::FpFormat::binary32()));
+  add_compare_rows(t, "adder", add_fast, vendors, "add", false, kNaN);
+  add_compare_rows(t, "mult", mul_fast, vendors, "mul", false, kNaN);
+  return t;
+}
+
+Table table4_compare64() {
+  Table t("Table 4: Comparison of 64-bit Floating Point Units",
+          {"unit", "pipelines", "slices", "MHz", "MHz/slice", "mW@100MHz"});
+  const auto vendors = device::table4_cores();
+  const DesignPoint add_fast = select_fastest(
+      sweep_unit(units::UnitKind::kAdder, fp::FpFormat::binary64()));
+  const DesignPoint mul_fast = select_fastest(
+      sweep_unit(units::UnitKind::kMultiplier, fp::FpFormat::binary64()));
+  add_compare_rows(t, "adder", add_fast, vendors, "add", true,
+                   add_fast.power_mw_100);
+  add_compare_rows(t, "mult", mul_fast, vendors, "mul", true,
+                   mul_fast.power_mw_100);
+  return t;
+}
+
+Table fig3_power(units::UnitKind kind) {
+  Table t("Figure 3: Power vs. No. of Pipeline Stages for " +
+              unit_label(kind) + " (mW at 100 MHz)",
+          {"stages", "32-bit", "48-bit", "64-bit"});
+  std::vector<SweepResult> sweeps;
+  int max_stages = 0;
+  for (const fp::FpFormat& fmt : paper_formats()) {
+    sweeps.push_back(sweep_unit(kind, fmt));
+    max_stages =
+        std::max(max_stages, static_cast<int>(sweeps.back().points.size()));
+  }
+  for (int s = 1; s <= max_stages; ++s) {
+    std::vector<std::string> row{Table::num(static_cast<long>(s))};
+    for (const SweepResult& sw : sweeps) {
+      row.push_back(s <= static_cast<int>(sw.points.size())
+                        ? Table::num(sw.at_stages(s).power_mw_100, 1)
+                        : "-");
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+std::vector<Table> section42_matmul() {
+  std::vector<Table> out;
+  const device::Device dev = device::xc2vp125();
+
+  Table perf("Section 4.2: Matrix multiplication on " + dev.name,
+             {"design", "PL", "PEs", "MHz", "GFLOPS", "Power (W)",
+              "GFLOPS/W"});
+  auto add_design = [&](const std::string& name,
+                        const kernel::PeConfig& cfg) {
+    const kernel::KernelDesign d(cfg);
+    perf.add_row({name, Table::num(static_cast<long>(d.pl())),
+                  Table::num(static_cast<long>(d.max_pes(dev))),
+                  Table::num(d.freq_mhz(), 1),
+                  Table::num(d.device_gflops(dev), 1),
+                  Table::num(d.device_power_w(dev), 1),
+                  Table::num(d.gflops_per_watt(dev), 2)});
+  };
+  add_design("single (pl=10)", kernel::pe_min_pipelined());
+  add_design("single (pl=19)", kernel::pe_moderate_pipelined());
+  add_design("single (pl=25)", kernel::pe_max_pipelined());
+  add_design("double (opt)", kernel::pe_double_optimal());
+  out.push_back(std::move(perf));
+
+  const kernel::KernelDesign best(kernel::pe_moderate_pipelined());
+  const kernel::KernelDesign dbl(kernel::pe_double_optimal());
+  Table cmp("Section 4.2: Comparison against general-purpose processors",
+            {"platform", "GFLOPS (single)", "GFLOPS (double)", "Power (W)",
+             "GFLOPS/W (single)", "FPGA speedup", "FPGA GFLOPS/W gain"});
+  const double fpga_gf = best.device_gflops(dev);
+  const double fpga_gfw = best.gflops_per_watt(dev);
+  cmp.add_row({"FPGA " + dev.name, Table::num(fpga_gf, 1),
+               Table::num(dbl.device_gflops(dev), 1),
+               Table::num(best.device_power_w(dev), 1),
+               Table::num(fpga_gfw, 2), "1.0x", "1.0x"});
+  for (const auto& p : power::processor_database()) {
+    cmp.add_row({p.name, Table::num(p.gflops_single, 1),
+                 Table::num(p.gflops_double, 1), Table::num(p.power_w, 1),
+                 Table::num(p.gflops_per_watt_single(), 3),
+                 Table::num(fpga_gf / p.gflops_single, 1) + "x",
+                 Table::num(fpga_gfw / p.gflops_per_watt_single(), 1) + "x"});
+  }
+  out.push_back(std::move(cmp));
+  return out;
+}
+
+Table fig4_energy_distribution() {
+  Table t("Figure 4: PE energy distribution (nJ) for n = 10 and n = 30",
+          {"component", "n=10 pl=10", "n=10 pl=19", "n=10 pl=25",
+           "n=30 pl=10", "n=30 pl=19", "n=30 pl=25"});
+  std::vector<power::EnergyReport> reps;
+  for (int n : {10, 30}) {
+    for (const kernel::PeConfig& cfg : reference_pe_configs()) {
+      reps.push_back(kernel::KernelDesign(cfg).pe_energy(n));
+    }
+  }
+  for (const char* comp : {"IO", "Misc", "Storage", "MAC"}) {
+    std::vector<std::string> row{comp};
+    for (const auto& rep : reps) {
+      row.push_back(Table::num(rep.component_nj(comp), 1));
+    }
+    t.add_row(std::move(row));
+  }
+  std::vector<std::string> total{"total"};
+  for (const auto& rep : reps) total.push_back(Table::num(rep.total_nj, 1));
+  t.add_row(std::move(total));
+  return t;
+}
+
+std::vector<Table> fig5_problem_size() {
+  const std::vector<int> sizes = {4, 8, 12, 16, 24, 32, 48, 64};
+  std::vector<kernel::KernelDesign> designs;
+  for (const auto& cfg : reference_pe_configs()) designs.emplace_back(cfg);
+
+  Table e("Figure 5a: Energy (nJ per PE) vs. problem size n",
+          {"n", "pl=10", "pl=19", "pl=25"});
+  Table r("Figure 5b: Resources vs. problem size n (n-PE array)",
+          {"n", "slices pl=10", "slices pl=19", "slices pl=25", "BMults/PE",
+           "BRAMs/PE"});
+  Table l("Figure 5c: Latency (usec) vs. problem size n",
+          {"n", "pl=10", "pl=19", "pl=25"});
+  for (int n : sizes) {
+    std::vector<std::string> er{Table::num(static_cast<long>(n))};
+    std::vector<std::string> rr{Table::num(static_cast<long>(n))};
+    std::vector<std::string> lr{Table::num(static_cast<long>(n))};
+    for (const auto& d : designs) {
+      er.push_back(Table::num(d.pe_energy(n).total_nj, 1));
+      rr.push_back(Table::num(
+          static_cast<long>(d.pe_resources().slices) * n));
+      lr.push_back(Table::num(d.latency_us(n), 3));
+    }
+    const auto& d0 = designs.front();
+    rr.push_back(Table::num(static_cast<long>(d0.pe_resources().bmults)));
+    rr.push_back(Table::num(static_cast<long>(d0.pe_resources().brams)));
+    e.add_row(std::move(er));
+    r.add_row(std::move(rr));
+    l.add_row(std::move(lr));
+  }
+  return {std::move(e), std::move(r), std::move(l)};
+}
+
+std::vector<Table> fig6_block_size() {
+  const int n = 16;
+  const std::vector<int> blocks = {1, 2, 4, 8, 16};
+  std::vector<kernel::KernelDesign> designs;
+  for (const auto& cfg : reference_pe_configs()) designs.emplace_back(cfg);
+
+  Table e("Figure 6a: Energy (nJ per PE) vs. block size b (n = 16)",
+          {"b", "pl=10", "pl=19", "pl=25"});
+  Table r("Figure 6b: Resources vs. block size b (b-PE array)",
+          {"b", "slices pl=10", "slices pl=19", "slices pl=25", "BMults/PE",
+           "BRAMs/PE"});
+  Table l("Figure 6c: Latency (usec) vs. block size b (n = 16)",
+          {"b", "pl=10", "pl=19", "pl=25"});
+  for (int b : blocks) {
+    std::vector<std::string> er{Table::num(static_cast<long>(b))};
+    std::vector<std::string> rr{Table::num(static_cast<long>(b))};
+    std::vector<std::string> lr{Table::num(static_cast<long>(b))};
+    for (const auto& d : designs) {
+      er.push_back(Table::num(d.pe_energy_blocked(n, b).total_nj, 1));
+      rr.push_back(Table::num(
+          static_cast<long>(d.pe_resources().slices) * b));
+      const long cycles = kernel::block_matmul_stats(n, b, d.pl()).cycles;
+      lr.push_back(Table::num(cycles / d.freq_mhz(), 3));
+    }
+    const auto& d0 = designs.front();
+    rr.push_back(Table::num(static_cast<long>(d0.pe_resources().bmults)));
+    rr.push_back(Table::num(static_cast<long>(d0.pe_resources().brams)));
+    e.add_row(std::move(er));
+    r.add_row(std::move(rr));
+    l.add_row(std::move(lr));
+  }
+  return {std::move(e), std::move(r), std::move(l)};
+}
+
+}  // namespace flopsim::analysis

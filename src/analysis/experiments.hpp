@@ -1,0 +1,47 @@
+// One generator per table/figure of the paper's evaluation. Each returns a
+// Table (or a set of Tables) that a bench binary prints and optionally
+// dumps to CSV; the integration tests assert the paper's qualitative
+// relations on the same data.
+#pragma once
+
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "analysis/sweep.hpp"
+
+namespace flopsim::analysis {
+
+/// Figure 2: Freq/Area (MHz/slice) vs. number of pipeline stages, for the
+/// adder (a) or multiplier (b), at 32/48/64-bit precision.
+Table fig2_freq_area(units::UnitKind kind);
+
+/// Table 1 / Table 2: min / max / opt implementations per precision.
+Table table_min_max_opt(units::UnitKind kind);
+
+/// Table 3: 32-bit adder & multiplier vs. Nallatech and Quixilica.
+Table table3_compare32();
+
+/// Table 4: 64-bit adder & multiplier vs. the NEU parameterized library,
+/// including power at 100 MHz.
+Table table4_compare64();
+
+/// Figure 3: power (mW at 100 MHz) vs. number of pipeline stages.
+Table fig3_power(units::UnitKind kind);
+
+/// Section 4.2: device-level matmul GFLOPS, speedups and GFLOPS/W against
+/// the Pentium 4 and G4 references.
+std::vector<Table> section42_matmul();
+
+/// Figure 4: per-PE energy distribution (MAC/Storage/IO/Misc) for problem
+/// sizes n = 10 and n = 30 under pl = 10/19/25.
+Table fig4_energy_distribution();
+
+/// Figure 5: (a) energy, (b) resources, (c) latency vs. problem size n for
+/// pl = 10/19/25.
+std::vector<Table> fig5_problem_size();
+
+/// Figure 6: (a) energy, (b) resources, (c) latency vs. block size b for
+/// problem size n = 16, pl = 10/19/25.
+std::vector<Table> fig6_block_size();
+
+}  // namespace flopsim::analysis

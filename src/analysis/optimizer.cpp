@@ -1,0 +1,57 @@
+#include "analysis/optimizer.hpp"
+
+namespace flopsim::analysis {
+
+KernelChoice evaluate_candidate(const kernel::PeConfig& cfg, int n) {
+  const kernel::KernelDesign d(cfg);
+  KernelChoice c;
+  c.cfg = cfg;
+  c.pl = d.pl();
+  c.latency_us = d.latency_us(n);
+  c.energy_nj = d.pe_energy(n).total_nj;
+  c.pe_slices = d.pe_resources().slices;
+  c.freq_mhz = d.freq_mhz();
+  return c;
+}
+
+std::vector<kernel::PeConfig> candidate_grid(fp::FpFormat fmt) {
+  units::UnitConfig probe_cfg;
+  const units::FpUnit add_probe(units::UnitKind::kAdder, fmt, probe_cfg);
+  const units::FpUnit mul_probe(units::UnitKind::kMultiplier, fmt, probe_cfg);
+
+  std::vector<kernel::PeConfig> grid;
+  for (int sa = 1; sa <= add_probe.max_stages(); sa += 2) {
+    for (int sm = 1; sm <= mul_probe.max_stages(); sm += 2) {
+      kernel::PeConfig cfg;
+      cfg.fmt = fmt;
+      cfg.adder_stages = sa;
+      cfg.mult_stages = sm;
+      grid.push_back(cfg);
+    }
+  }
+  return grid;
+}
+
+std::optional<KernelChoice> choose_matmul_design(
+    const KernelConstraints& constraints, KernelObjective objective,
+    fp::FpFormat fmt) {
+  std::optional<KernelChoice> best;
+  auto better = [objective](const KernelChoice& a, const KernelChoice& b) {
+    switch (objective) {
+      case KernelObjective::kMinEnergy: return a.energy_nj < b.energy_nj;
+      case KernelObjective::kMinLatency: return a.latency_us < b.latency_us;
+      case KernelObjective::kMinArea: return a.pe_slices < b.pe_slices;
+    }
+    return false;
+  };
+  for (const kernel::PeConfig& cfg : candidate_grid(fmt)) {
+    const KernelChoice c = evaluate_candidate(cfg, constraints.n);
+    if (c.latency_us > constraints.max_latency_us) continue;
+    if (c.energy_nj > constraints.max_energy_nj) continue;
+    if (c.pe_slices > constraints.max_pe_slices) continue;
+    if (!best.has_value() || better(c, *best)) best = c;
+  }
+  return best;
+}
+
+}  // namespace flopsim::analysis

@@ -1,0 +1,49 @@
+// Constraint-driven kernel design selection — the paper's Section 5
+// workflow made executable: "based upon the area, latency and energy
+// constraints, architectural choices can be made from Figure 5."
+//
+// The optimizer scans the (adder stages x multiplier stages) grid for a
+// given precision, evaluates each PE design with the kernel metrics
+// (latency, per-PE energy, area for problem size n), filters by the
+// constraints, and returns the best design under the chosen objective.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "kernel/metrics.hpp"
+
+namespace flopsim::analysis {
+
+struct KernelConstraints {
+  int n = 16;  ///< problem size the design must serve
+  double max_latency_us = std::numeric_limits<double>::infinity();
+  double max_energy_nj = std::numeric_limits<double>::infinity();
+  int max_pe_slices = std::numeric_limits<int>::max();
+};
+
+enum class KernelObjective { kMinEnergy, kMinLatency, kMinArea };
+
+struct KernelChoice {
+  kernel::PeConfig cfg;
+  int pl = 0;
+  double latency_us = 0.0;
+  double energy_nj = 0.0;
+  int pe_slices = 0;
+  double freq_mhz = 0.0;
+};
+
+/// Evaluate one candidate (shared with tests and the explorer example).
+KernelChoice evaluate_candidate(const kernel::PeConfig& cfg, int n);
+
+/// Scan the depth grid (strided for tractability) and pick the best
+/// feasible design; nullopt if the constraints exclude everything.
+std::optional<KernelChoice> choose_matmul_design(
+    const KernelConstraints& constraints, KernelObjective objective,
+    fp::FpFormat fmt = fp::FpFormat::binary32());
+
+/// The candidate grid the optimizer scans (exposed for tests).
+std::vector<kernel::PeConfig> candidate_grid(fp::FpFormat fmt);
+
+}  // namespace flopsim::analysis

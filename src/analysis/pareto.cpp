@@ -1,0 +1,54 @@
+#include "analysis/pareto.hpp"
+
+#include <stdexcept>
+
+namespace flopsim::analysis {
+
+Selection select_min_max_opt(const SweepResult& sweep) {
+  if (sweep.points.empty()) {
+    throw std::invalid_argument("select_min_max_opt: empty sweep");
+  }
+  Selection sel;
+  sel.min = sweep.points.front();
+  sel.max = sweep.points.back();
+  sel.opt = sweep.points.front();
+  for (const DesignPoint& p : sweep.points) {
+    if (p.freq_per_area > sel.opt.freq_per_area) sel.opt = p;
+  }
+  return sel;
+}
+
+DesignPoint select_fastest(const SweepResult& sweep) {
+  if (sweep.points.empty()) {
+    throw std::invalid_argument("select_fastest: empty sweep");
+  }
+  DesignPoint best = sweep.points.front();
+  for (const DesignPoint& p : sweep.points) {
+    if (p.freq_mhz > best.freq_mhz ||
+        (p.freq_mhz == best.freq_mhz && p.area.slices < best.area.slices)) {
+      best = p;
+    }
+  }
+  return best;
+}
+
+std::vector<DesignPoint> pareto_frontier(const SweepResult& sweep) {
+  std::vector<DesignPoint> frontier;
+  for (const DesignPoint& p : sweep.points) {
+    bool dominated = false;
+    for (const DesignPoint& q : sweep.points) {
+      const bool better_or_equal =
+          q.freq_mhz >= p.freq_mhz && q.area.slices <= p.area.slices;
+      const bool strictly_better =
+          q.freq_mhz > p.freq_mhz || q.area.slices < p.area.slices;
+      if (better_or_equal && strictly_better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(p);
+  }
+  return frontier;
+}
+
+}  // namespace flopsim::analysis

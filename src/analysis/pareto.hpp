@@ -1,0 +1,26 @@
+// Selection of the paper's min / max / opt implementations and the
+// frequency-area Pareto frontier.
+#pragma once
+
+#include "analysis/sweep.hpp"
+
+namespace flopsim::analysis {
+
+struct Selection {
+  DesignPoint min;  ///< least pipelined (1 stage)
+  DesignPoint max;  ///< most deeply pipelined
+  DesignPoint opt;  ///< "the implementation reaches highest freq/area ratio"
+};
+
+Selection select_min_max_opt(const SweepResult& sweep);
+
+/// The highest-frequency design, tie-broken by smallest area — what the
+/// paper fields against the commercial/academic cores in Tables 3 and 4
+/// (its cores clock higher; the custom-format vendors sometimes keep the
+/// better MHz/slice).
+DesignPoint select_fastest(const SweepResult& sweep);
+
+/// Points not dominated in (frequency up, slices down), ordered by stages.
+std::vector<DesignPoint> pareto_frontier(const SweepResult& sweep);
+
+}  // namespace flopsim::analysis

@@ -1,0 +1,41 @@
+// Plain-text table/figure rendering shared by the bench binaries, plus CSV
+// export for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace flopsim::analysis {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers);
+
+  /// Append a row (must match the header count).
+  void add_row(std::vector<std::string> cells);
+
+  /// Numeric convenience: formats with the given precision, "-" for NaN.
+  static std::string num(double v, int precision = 2);
+  static std::string num(long v);
+
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Fixed-width rendering with a title banner.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+  std::string to_csv() const;
+  /// JSON object: {"title": ..., "headers": [...], "rows": [[...], ...]}.
+  std::string to_json() const;
+  /// Write CSV next to the binary outputs (returns success).
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flopsim::analysis

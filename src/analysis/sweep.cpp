@@ -1,0 +1,53 @@
+#include "analysis/sweep.hpp"
+
+#include <stdexcept>
+
+#include "power/unit_power.hpp"
+
+namespace flopsim::analysis {
+
+const DesignPoint& SweepResult::at_stages(int stages) const {
+  for (const DesignPoint& p : points) {
+    if (p.stages == stages) return p;
+  }
+  throw std::out_of_range("SweepResult: no such depth");
+}
+
+SweepResult sweep_unit(units::UnitKind kind, fp::FpFormat fmt,
+                       device::Objective objective,
+                       const device::TechModel& tech) {
+  SweepResult result;
+  result.kind = kind;
+  result.fmt = fmt;
+  result.objective = objective;
+
+  units::UnitConfig cfg;
+  cfg.objective = objective;
+  cfg.tech = tech;
+  const units::FpUnit probe(kind, fmt, cfg);
+  const int maxs = probe.max_stages();
+  result.points.reserve(static_cast<std::size_t>(maxs));
+  for (int s = 1; s <= maxs; ++s) {
+    cfg.stages = s;
+    const units::FpUnit unit(kind, fmt, cfg);
+    DesignPoint p;
+    p.stages = s;
+    const rtl::Timing t = unit.timing();
+    p.freq_mhz = t.freq_mhz;
+    p.critical_ns = t.critical_ns;
+    const rtl::AreaBreakdown a = unit.area();
+    p.area = a.total;
+    p.pipeline_ffs = a.pipeline_ffs;
+    p.freq_per_area = unit.freq_per_area();
+    p.power_mw_100 = power::unit_power(unit, 100.0).total_mw();
+    result.points.push_back(p);
+  }
+  return result;
+}
+
+std::vector<fp::FpFormat> paper_formats() {
+  return {fp::FpFormat::binary32(), fp::FpFormat::binary48(),
+          fp::FpFormat::binary64()};
+}
+
+}  // namespace flopsim::analysis

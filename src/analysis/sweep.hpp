@@ -1,0 +1,40 @@
+// Pipeline-depth design-space sweeps — the raw data behind Figures 2 and 3
+// and Tables 1 and 2.
+#pragma once
+
+#include <vector>
+
+#include "device/tech.hpp"
+#include "units/fp_unit.hpp"
+
+namespace flopsim::analysis {
+
+struct DesignPoint {
+  int stages = 0;
+  double freq_mhz = 0.0;
+  double critical_ns = 0.0;
+  device::Resources area;
+  int pipeline_ffs = 0;
+  double freq_per_area = 0.0;   ///< MHz/slice — the paper's metric
+  double power_mw_100 = 0.0;    ///< dynamic power at 100 MHz
+};
+
+struct SweepResult {
+  units::UnitKind kind = units::UnitKind::kAdder;
+  fp::FpFormat fmt = fp::FpFormat::binary32();
+  device::Objective objective = device::Objective::kArea;
+  std::vector<DesignPoint> points;  ///< stages 1..max_stages, in order
+
+  const DesignPoint& at_stages(int stages) const;
+};
+
+/// Generate and evaluate the unit at every pipeline depth.
+SweepResult sweep_unit(units::UnitKind kind, fp::FpFormat fmt,
+                       device::Objective objective = device::Objective::kArea,
+                       const device::TechModel& tech =
+                           device::TechModel::virtex2pro7());
+
+/// The paper's three evaluated precisions.
+std::vector<fp::FpFormat> paper_formats();
+
+}  // namespace flopsim::analysis

@@ -1,0 +1,59 @@
+#include "device/device.hpp"
+
+#include <algorithm>
+
+namespace flopsim::device {
+
+int Device::max_instances(const Resources& per_instance) const {
+  const int usable_slices =
+      static_cast<int>(capacity.slices * usable_fraction);
+  int n = per_instance.slices > 0 ? usable_slices / per_instance.slices
+                                  : capacity.slices;
+  auto limit = [&n](int have, int need) {
+    if (need > 0) n = std::min(n, have / need);
+  };
+  limit(capacity.luts, per_instance.luts);
+  limit(capacity.ffs, per_instance.ffs);
+  limit(capacity.bmults, per_instance.bmults);
+  limit(capacity.brams, per_instance.brams);
+  return std::max(0, n);
+}
+
+bool Device::fits(const Resources& r) const { return r.fits_in(capacity); }
+
+namespace {
+
+Device make_v2pro(const std::string& name, int slices, int bmults,
+                  int brams) {
+  Device d;
+  d.name = name;
+  d.capacity.slices = slices;
+  d.capacity.luts = 2 * slices;
+  d.capacity.ffs = 2 * slices;
+  d.capacity.bmults = bmults;
+  d.capacity.brams = brams;
+  return d;
+}
+
+}  // namespace
+
+Device xc2vp125() { return make_v2pro("XC2VP125", 55616, 556, 556); }
+Device xc2vp100() { return make_v2pro("XC2VP100", 44096, 444, 444); }
+Device xc2vp50() { return make_v2pro("XC2VP50", 23616, 232, 232); }
+Device xc2vp30() { return make_v2pro("XC2VP30", 13696, 136, 136); }
+Device xc2vp7() { return make_v2pro("XC2VP7", 4928, 44, 44); }
+
+const std::vector<Device>& device_database() {
+  static const std::vector<Device> db = {xc2vp125(), xc2vp100(), xc2vp50(),
+                                         xc2vp30(), xc2vp7()};
+  return db;
+}
+
+std::optional<Device> find_device(const std::string& name) {
+  for (const Device& d : device_database()) {
+    if (d.name == name) return d;
+  }
+  return std::nullopt;
+}
+
+}  // namespace flopsim::device

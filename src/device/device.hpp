@@ -1,0 +1,43 @@
+// FPGA device database: capacity of the parts the paper targets.
+//
+// Capacity is what turns unit-level MHz/slice into device-level GFLOPS: the
+// matrix-multiply array instantiates as many PEs as the slice/BMULT/BRAM
+// budget allows.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/resources.hpp"
+#include "device/tech.hpp"
+
+namespace flopsim::device {
+
+struct Device {
+  std::string name;
+  Resources capacity;
+  TechModel tech = TechModel::virtex2pro7();
+  /// Fraction of slices realistically usable by the datapath once global
+  /// routing/control overhead is paid (full-device designs never reach 100%).
+  double usable_fraction = 0.85;
+
+  /// Largest count of identical instances that fit.
+  int max_instances(const Resources& per_instance) const;
+  bool fits(const Resources& r) const;
+};
+
+/// The paper's device: Xilinx Virtex-II Pro XC2VP125, -7 speed grade.
+Device xc2vp125();
+/// Smaller siblings for scaling studies.
+Device xc2vp100();
+Device xc2vp50();
+Device xc2vp30();
+Device xc2vp7();
+
+/// All devices in the database.
+const std::vector<Device>& device_database();
+/// Lookup by name; nullopt if unknown.
+std::optional<Device> find_device(const std::string& name);
+
+}  // namespace flopsim::device

@@ -1,0 +1,15 @@
+#include "device/resources.hpp"
+
+#include <cstdio>
+
+namespace flopsim::device {
+
+std::string Resources::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "{slices=%d luts=%d ffs=%d bmults=%d brams=%d}", slices, luts,
+                ffs, bmults, brams);
+  return buf;
+}
+
+}  // namespace flopsim::device

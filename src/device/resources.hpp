@@ -1,0 +1,47 @@
+// FPGA resource vectors: the unit of area accounting throughout the library.
+//
+// Mirrors what the paper reports per design: slices, LUTs, flip-flops,
+// embedded 18x18 multipliers (BMULTs) and block RAMs.
+#pragma once
+
+#include <string>
+
+namespace flopsim::device {
+
+struct Resources {
+  int slices = 0;
+  int luts = 0;
+  int ffs = 0;
+  int bmults = 0;
+  int brams = 0;
+
+  Resources& operator+=(const Resources& o) {
+    slices += o.slices;
+    luts += o.luts;
+    ffs += o.ffs;
+    bmults += o.bmults;
+    brams += o.brams;
+    return *this;
+  }
+  friend Resources operator+(Resources a, const Resources& b) { return a += b; }
+  friend Resources operator*(Resources a, int k) {
+    a.slices *= k;
+    a.luts *= k;
+    a.ffs *= k;
+    a.bmults *= k;
+    a.brams *= k;
+    return a;
+  }
+  friend bool operator==(const Resources&, const Resources&) = default;
+
+  /// True iff every field of this fits within @p budget.
+  bool fits_in(const Resources& budget) const {
+    return slices <= budget.slices && luts <= budget.luts &&
+           ffs <= budget.ffs && bmults <= budget.bmults &&
+           brams <= budget.brams;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace flopsim::device

@@ -1,0 +1,170 @@
+#include "device/tech.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flopsim::device {
+
+const char* to_string(Objective o) {
+  return o == Objective::kArea ? "AREA" : "SPEED";
+}
+
+TechModel TechModel::virtex2pro7() {
+  TechModel t;
+  // Delay constants (ns) calibrated to the paper's stated datapoints; see
+  // header comment.
+  t.lut_ns_ = 0.45;
+  t.carry_per_bit_ns_ = 0.09;
+  t.net_ns_ = 1.20;
+  t.mux_level_ns_ = 1.25;
+  t.bmult_ns_ = 3.00;
+  t.reg_overhead_ns_ = 1.00;
+  t.speed_delay_factor_ = 0.88;
+  t.speed_area_factor_ = 1.22;
+  t.par_speed_factor_ = 1.12;
+  t.ffs_per_slice_ = 2;
+  t.ff_absorption_ = 0.55;
+  // Power coefficients (1.5 V core, mW/MHz scaled per 100 elements).
+  t.clock_mw_per_mhz_100ff_ = 0.030;
+  t.logic_mw_per_mhz_100lut_ = 0.040;
+  t.signal_mw_per_mhz_100net_ = 0.028;
+  t.bmult_mw_per_mhz_ = 0.020;
+  t.bram_mw_per_mhz_ = 0.040;
+  t.static_mw_per_slice_ = 0.025;
+  return t;
+}
+
+TechModel TechModel::virtex2pro5() {
+  TechModel t = virtex2pro7();
+  t.lut_ns_ *= 1.2;
+  t.carry_per_bit_ns_ *= 1.2;
+  t.net_ns_ *= 1.2;
+  t.mux_level_ns_ *= 1.2;
+  t.bmult_ns_ *= 1.2;
+  t.reg_overhead_ns_ *= 1.1;
+  return t;
+}
+
+double TechModel::dscale(Objective o) const {
+  return o == Objective::kSpeed ? speed_delay_factor_ : 1.0;
+}
+
+double TechModel::ascale(Objective o) const {
+  return o == Objective::kSpeed ? speed_area_factor_ : 1.0;
+}
+
+double TechModel::comparator_delay(int bits, Objective o) const {
+  // Carry-chain equality/magnitude compare: ~0.0128 ns/bit.
+  return (lut_ns_ + net_ns_ + 0.0128 * bits) * dscale(o);
+}
+
+double TechModel::adder_delay(int bits, Objective o) const {
+  // Carry chain: calibrated so a 54-bit adder needs several chunks to clear
+  // 200 MHz (the paper: "a 54bit adder/subtractor can achieve 200MHz with 4
+  // pipelining stages").
+  return (lut_ns_ + net_ns_ + carry_per_bit_ns_ * bits) * dscale(o);
+}
+
+double TechModel::adder_chained_delay(int bits, Objective o) const {
+  // Continuing carry chain: per-bit propagation plus a small boundary cost.
+  return (0.2 + carry_per_bit_ns_ * bits) * dscale(o);
+}
+
+double TechModel::mux_level_delay(int bits, Objective o) const {
+  return (mux_level_ns_ + 0.001 * bits) * dscale(o);
+}
+
+double TechModel::mux_level_chained_delay(int bits, Objective o) const {
+  // Cascaded shifter level: LUT + short local route only.
+  return (0.95 + 0.001 * bits) * dscale(o);
+}
+
+double TechModel::priority_encoder_delay(int bits, Objective o) const {
+  // Wide priority encoders are LUT-tree limited: ~0.05 ns/bit on a 1.7 ns
+  // base. At 54 bits this lands below 200 MHz, forcing the split the paper
+  // describes ("broken into two smaller priority encoders and a 3-bit
+  // adder").
+  return (1.70 + 0.05 * bits) * dscale(o);
+}
+
+double TechModel::bmult_delay(Objective o) const {
+  return bmult_ns_ * dscale(o);
+}
+
+double TechModel::csa_level_delay(int bits, Objective o) const {
+  return (lut_ns_ + net_ns_ + 0.002 * bits) * dscale(o);
+}
+
+double TechModel::csa_level_chained_delay(int bits, Objective o) const {
+  return (lut_ns_ + 0.5 * net_ns_ + 0.002 * bits) * dscale(o);
+}
+
+double TechModel::lut_logic_delay(Objective o) const {
+  return (lut_ns_ + net_ns_) * dscale(o);
+}
+
+double TechModel::gate_delay(Objective o) const {
+  return lut_ns_ * dscale(o);
+}
+
+Resources TechModel::comparator_area(int bits, Objective o) const {
+  // The paper: "Comparators take about n/2 slices for a bitwidth of n."
+  Resources r;
+  r.slices = static_cast<int>(std::ceil(bits / 2.0 * ascale(o)));
+  r.luts = bits;
+  return r;
+}
+
+Resources TechModel::adder_area(int bits, Objective o) const {
+  // The paper: adders take about n/2 slices (excluding pipelining).
+  Resources r;
+  r.slices = static_cast<int>(std::ceil(bits / 2.0 * ascale(o)));
+  r.luts = bits;
+  return r;
+}
+
+Resources TechModel::mux_level_area(int bits, Objective o) const {
+  // One level of an n-bit barrel shifter is n 2:1 muxes: n/2 slices. Stacked
+  // log2(n) levels give the paper's n*log(n)/2 total.
+  Resources r;
+  r.slices = static_cast<int>(std::ceil(bits / 2.0 * ascale(o)));
+  r.luts = bits;
+  return r;
+}
+
+Resources TechModel::priority_encoder_area(int bits, Objective o) const {
+  Resources r;
+  r.slices = static_cast<int>(std::ceil(bits * 0.75 * ascale(o)));
+  r.luts = static_cast<int>(bits * 1.5);
+  return r;
+}
+
+Resources TechModel::csa_level_area(int bits, Objective o) const {
+  Resources r;
+  r.slices = static_cast<int>(std::ceil(bits / 2.0 * ascale(o)));
+  r.luts = bits;
+  return r;
+}
+
+Resources TechModel::lut_logic_area(int bits, Objective o) const {
+  Resources r;
+  r.slices = static_cast<int>(std::ceil(bits / 2.0 * ascale(o)));
+  r.luts = bits;
+  return r;
+}
+
+double TechModel::par_area_factor(Objective o) const {
+  return o == Objective::kSpeed ? par_speed_factor_ : 1.0;
+}
+
+TechModel& TechModel::set_ff_absorption(double fraction) {
+  ff_absorption_ = std::clamp(fraction, 0.0, 1.0);
+  return *this;
+}
+
+TechModel& TechModel::set_register_overhead(double ns) {
+  reg_overhead_ns_ = ns;
+  return *this;
+}
+
+}  // namespace flopsim::device

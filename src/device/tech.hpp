@@ -1,0 +1,136 @@
+// Technology model: per-primitive combinational delay and area for a
+// Virtex-II-Pro-class fabric.
+//
+// This is the substitute for the paper's ISE 5.2i synthesis + place-and-route
+// timing (see DESIGN.md): each primitive the paper's subunits are built from
+// (carry-chain comparator/adder, barrel-shifter mux levels, priority encoder,
+// embedded 18x18 multiplier, pipeline registers) gets an analytic delay and
+// an area vector. Constants are calibrated against the datapoints the paper
+// states in prose:
+//   * <=11-bit comparators achieve 250 MHz; the 54-bit mantissa comparator
+//     achieves 220 MHz;
+//   * comparators and adders take about n/2 slices; shifters n*log2(n)/2;
+//   * three serial mux levels exceed 200 MHz, higher rates need two;
+//   * a 54-bit fixed-point adder needs ~4 pipeline stages for 200 MHz;
+//   * a 54-bit priority encoder must be split in two (+ small adder) to
+//     exceed 200 MHz;
+//   * a 54-bit fixed-point multiplier needs ~7 pipeline stages for 200 MHz.
+#pragma once
+
+#include "device/resources.hpp"
+
+namespace flopsim::device {
+
+/// The synthesis/place-and-route optimization objective. The paper: "using a
+/// different optimization objective (speed or area) for the synthesis and
+/// place and route tool gives vastly different results" — SPEED replicates
+/// logic (faster, larger), AREA packs tightly.
+enum class Objective { kArea, kSpeed };
+
+const char* to_string(Objective o);
+
+class TechModel {
+ public:
+  /// Virtex-II Pro, -7 speed grade (the paper's XC2VP125-7).
+  static TechModel virtex2pro7();
+  /// Virtex-II Pro, -5 speed grade: ~20% slower, for sensitivity studies.
+  static TechModel virtex2pro5();
+
+  // --- register timing -----------------------------------------------------
+  /// Clock-to-out + setup + average clock skew: the per-stage overhead added
+  /// to the combinational delay of the critical stage.
+  double register_overhead_ns() const { return reg_overhead_ns_; }
+
+  // --- primitive delays (ns), already including local net delay ------------
+  double comparator_delay(int bits, Objective o) const;
+  /// One chunk of a carry-chain adder/subtractor.
+  double adder_delay(int bits, Objective o) const;
+  /// Same chunk when the carry chain continues from the previous chunk in
+  /// the same stage (no fresh LUT/net base).
+  double adder_chained_delay(int bits, Objective o) const;
+  /// One 2:1 mux level of a barrel shifter (datapath `bits` wide).
+  double mux_level_delay(int bits, Objective o) const;
+  /// A mux level directly cascading a previous level in the same stage.
+  double mux_level_chained_delay(int bits, Objective o) const;
+  double priority_encoder_delay(int bits, Objective o) const;
+  /// Embedded MULT18X18 block, including input/output nets.
+  double bmult_delay(Objective o) const;
+  /// One carry-save compression level of the multiplier's adder tree.
+  double csa_level_delay(int bits, Objective o) const;
+  double csa_level_chained_delay(int bits, Objective o) const;
+  /// Simple LUT logic (XOR of signs, exception detect, small muxes).
+  double lut_logic_delay(Objective o) const;
+  /// A single cascaded LUT with no fresh net (e.g. the hidden-bit AND fed
+  /// by the denormalizer's comparator).
+  double gate_delay(Objective o) const;
+
+  // --- primitive areas ------------------------------------------------------
+  Resources comparator_area(int bits, Objective o) const;
+  Resources adder_area(int bits, Objective o) const;
+  Resources mux_level_area(int bits, Objective o) const;
+  Resources priority_encoder_area(int bits, Objective o) const;
+  Resources csa_level_area(int bits, Objective o) const;
+  Resources lut_logic_area(int bits, Objective o) const;
+
+  // --- packing --------------------------------------------------------------
+  /// FFs per slice (Virtex-II Pro: 2).
+  int ffs_per_slice() const { return ffs_per_slice_; }
+  /// Fraction of the flip-flops co-located with already-counted logic slices
+  /// that pipelining can actually reach ("pipelining can exploit the unused
+  /// flipflops present in the slices").
+  double ff_absorption() const { return ff_absorption_; }
+
+  /// Extra area factor applied by SPEED place-and-route (slices burned for
+  /// routing) — the paper calls this out explicitly.
+  double par_area_factor(Objective o) const;
+
+  // --- ablation hooks --------------------------------------------------------
+  /// Override the FF-absorption fraction (ablates the paper's "pipelining
+  /// can exploit the unused flipflops" effect). Chainable.
+  TechModel& set_ff_absorption(double fraction);
+  /// Override the per-stage register overhead (ns). Chainable.
+  TechModel& set_register_overhead(double ns);
+
+  // --- power ("XPower"-like) coefficients, at 1.5 V core ---------------------
+  /// mW per MHz per 100 FFs of clock-tree + register power.
+  double clock_power_coeff() const { return clock_mw_per_mhz_100ff_; }
+  /// mW per MHz per 100 LUTs of logic power at 100% toggle activity.
+  double logic_power_coeff() const { return logic_mw_per_mhz_100lut_; }
+  /// mW per MHz per 100 signal nets at 100% toggle activity.
+  double signal_power_coeff() const { return signal_mw_per_mhz_100net_; }
+  /// mW per MHz per BMULT at 100% activity.
+  double bmult_power_coeff() const { return bmult_mw_per_mhz_; }
+  /// mW per MHz per BRAM with its port active.
+  double bram_power_coeff() const { return bram_mw_per_mhz_; }
+  /// Quiescent (static) power, mW per occupied slice. Excluded from the
+  /// unit-level reports (the paper counts "only the clocks, signal and logic
+  /// power" there) but charged in kernel-level energy, where the paper says
+  /// quiescent power "[has] to be counted for a design on the complete
+  /// device".
+  double static_power_coeff() const { return static_mw_per_slice_; }
+
+ private:
+  // Delay model parameters (ns).
+  double lut_ns_;            // one LUT + local net
+  double carry_per_bit_ns_;  // carry chain propagation per bit
+  double net_ns_;            // average inter-primitive net
+  double mux_level_ns_;      // one barrel-shifter level
+  double bmult_ns_;          // embedded multiplier block
+  double reg_overhead_ns_;
+  double speed_delay_factor_;  // SPEED objective delay scaling (<1)
+  double speed_area_factor_;   // SPEED objective area scaling (>1)
+  double par_speed_factor_;    // SPEED PAR extra slices for routing
+  int ffs_per_slice_;
+  double ff_absorption_;
+  double clock_mw_per_mhz_100ff_;
+  double logic_mw_per_mhz_100lut_;
+  double signal_mw_per_mhz_100net_;
+  double bmult_mw_per_mhz_;
+  double bram_mw_per_mhz_;
+  double static_mw_per_slice_;
+
+  double dscale(Objective o) const;
+  double ascale(Objective o) const;
+};
+
+}  // namespace flopsim::device

@@ -1,0 +1,32 @@
+#include "device/vendor_cores.hpp"
+
+namespace flopsim::device {
+
+std::vector<VendorCore> table3_cores() {
+  std::vector<VendorCore> cores;
+  // Nallatech 32-bit cores: fewer stages, custom format (no IEEE interface
+  // conversion counted), hence small area and competitive MHz/slice.
+  cores.push_back({"Nallatech", "add", 32, 8, {345, 620, 560, 0, 0}, 212.0,
+                   0.0, true});
+  cores.push_back({"Nallatech", "mul", 32, 6, {182, 330, 290, 4, 0}, 224.0,
+                   0.0, true});
+  // Quixilica (QinetiQ) 32-bit cores: likewise custom-format.
+  cores.push_back({"Quixilica", "add", 32, 9, {291, 540, 510, 0, 0}, 201.0,
+                   0.0, true});
+  cores.push_back({"Quixilica", "mul", 32, 6, {215, 400, 350, 4, 0}, 181.0,
+                   0.0, true});
+  return cores;
+}
+
+std::vector<VendorCore> table4_cores() {
+  std::vector<VendorCore> cores;
+  // Belanovic & Leeser parameterized library (FPL 2002), 64-bit instances:
+  // portable VHDL, shallow pipelines, hence low clock rates.
+  cores.push_back({"NEU", "add", 64, 4, {1090, 2010, 880, 0, 0}, 105.0,
+                   385.0, false});
+  cores.push_back({"NEU", "mul", 64, 5, {880, 1620, 770, 9, 0}, 110.0,
+                   348.0, false});
+  return cores;
+}
+
+}  // namespace flopsim::device

@@ -1,0 +1,45 @@
+// Third-party core descriptors for the paper's comparison tables.
+//
+// The paper compares its cores against Nallatech and Quixilica commercial
+// cores (Table 3, 32-bit) and the Northeastern University parameterized
+// library of Belanovic & Leeser (Table 4, 64-bit). It compares against
+// *published* datapoints, not re-synthesized designs, so we do the same:
+// each descriptor encodes pipeline depth, area, and clock rate consistent
+// with the era's published figures (see EXPERIMENTS.md for provenance and
+// the approximations involved). Qualitative relations the paper highlights
+// are preserved: the commercial cores use custom (non-IEEE-interfaced)
+// formats and fewer stages, giving lower clock rates but sometimes better
+// frequency/area because they omit format-conversion hardware.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/resources.hpp"
+
+namespace flopsim::device {
+
+struct VendorCore {
+  std::string vendor;     ///< "Nallatech", "Quixilica", "NEU"
+  std::string operation;  ///< "add" or "mul"
+  int bits = 32;
+  int stages = 0;
+  Resources area;
+  double clock_mhz = 0.0;
+  /// Power at 100 MHz (mW); 0 = not published.
+  double power_mw_100mhz = 0.0;
+  /// True if the core uses a custom format needing conversion modules at
+  /// system interfaces (the paper's caveat for Nallatech/Quixilica).
+  bool custom_format = false;
+
+  double freq_per_area() const {
+    return area.slices > 0 ? clock_mhz / area.slices : 0.0;
+  }
+};
+
+/// Cores for Table 3 (32-bit comparison).
+std::vector<VendorCore> table3_cores();
+/// Cores for Table 4 (64-bit comparison).
+std::vector<VendorCore> table4_cores();
+
+}  // namespace flopsim::device

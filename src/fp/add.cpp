@@ -1,0 +1,109 @@
+// Floating-point addition/subtraction — the software reference for the
+// paper's three-stage adder (denormalize/swap/align, mantissa add/sub,
+// normalize/round). Carries guard/round/sticky per the classic algorithm.
+#include <stdexcept>
+
+#include "fp/internal.hpp"
+#include "fp/ops.hpp"
+
+namespace flopsim::fp {
+namespace {
+
+using detail::kGrsBits;
+
+/// Shared magnitude add/subtract once specials are dispatched.
+/// `bsign` is b's sign with any subtraction negation already applied.
+FpValue add_finite(const FpValue& a, bool bsign, const FpValue& b,
+                   FpEnv& env) {
+  const FpFormat fmt = a.fmt;
+  detail::Unpacked ua = detail::unpack_finite(a);
+  detail::Unpacked ub = detail::unpack_finite(b);
+  ub.sign = bsign;
+
+  u64 sa = ua.sig << kGrsBits;
+  u64 sb = ub.sig << kGrsBits;
+  int exp;
+  const int d = ua.exp - ub.exp;
+  if (d > 0) {
+    sb = shift_right_jam64(sb, d);
+    exp = ua.exp;
+  } else if (d < 0) {
+    sa = shift_right_jam64(sa, -d);
+    exp = ub.exp;
+  } else {
+    exp = ua.exp;
+  }
+
+  bool sign;
+  u64 sig;
+  if (ua.sign == ub.sign) {
+    sign = ua.sign;
+    sig = sa + sb;
+  } else if (sa > sb) {
+    sign = ua.sign;
+    sig = sa - sb;
+  } else if (sb > sa) {
+    sign = ub.sign;
+    sig = sb - sa;
+  } else {
+    // Exact cancellation: IEEE mandates +0 except when rounding toward -inf.
+    return make_zero(fmt, env.rounding == RoundingMode::kTowardNegative);
+  }
+  return detail::round_pack(sign, exp, sig, fmt, env);
+}
+
+FpValue add_signed(const FpValue& a, const FpValue& b, bool negate_b,
+                   FpEnv& env) {
+  if (!(a.fmt == b.fmt)) {
+    throw std::invalid_argument("fp::add: operand formats differ");
+  }
+  const FpClass ca = detail::effective_class(a, env);
+  const FpClass cb = detail::effective_class(b, env);
+  const bool bsign = b.sign() ^ negate_b;
+
+  if (ca == FpClass::kQuietNaN || ca == FpClass::kSignalingNaN ||
+      cb == FpClass::kQuietNaN || cb == FpClass::kSignalingNaN) {
+    return detail::propagate_nan(a, b, env);
+  }
+  if (ca == FpClass::kInfinity && cb == FpClass::kInfinity) {
+    if (a.sign() != bsign) return detail::invalid_result(a.fmt, env);
+    return make_inf(a.fmt, a.sign());
+  }
+  if (ca == FpClass::kInfinity) return make_inf(a.fmt, a.sign());
+  if (cb == FpClass::kInfinity) return make_inf(a.fmt, bsign);
+  if (ca == FpClass::kZero && cb == FpClass::kZero) {
+    if (a.sign() == bsign) return make_zero(a.fmt, a.sign());
+    return make_zero(a.fmt, env.rounding == RoundingMode::kTowardNegative);
+  }
+  if (ca == FpClass::kZero) {
+    return compose(b.fmt, bsign, b.biased_exp(), b.frac());
+  }
+  if (cb == FpClass::kZero) return a;
+  return add_finite(a, bsign, b, env);
+}
+
+}  // namespace
+
+FpValue add(const FpValue& a, const FpValue& b, FpEnv& env) {
+  return add_signed(a, b, /*negate_b=*/false, env);
+}
+
+FpValue sub(const FpValue& a, const FpValue& b, FpEnv& env) {
+  return add_signed(a, b, /*negate_b=*/true, env);
+}
+
+FpValue neg(const FpValue& a) {
+  return FpValue(a.bits ^ a.fmt.sign_mask(), a.fmt);
+}
+
+FpValue abs(const FpValue& a) {
+  return FpValue(a.bits & ~a.fmt.sign_mask(), a.fmt);
+}
+
+FpValue copysign(const FpValue& magnitude, const FpValue& sign) {
+  return FpValue((magnitude.bits & ~magnitude.fmt.sign_mask()) |
+                     (sign.sign() ? magnitude.fmt.sign_mask() : 0),
+                 magnitude.fmt);
+}
+
+}  // namespace flopsim::fp

@@ -1,0 +1,30 @@
+#include "fp/bits.hpp"
+
+namespace flopsim::fp {
+
+Sqrt128Result isqrt128(u128 x) noexcept {
+  if (x == 0) return {0, true};
+  // Newton iteration seeded from a power-of-two estimate; converges in a
+  // handful of steps for 128-bit inputs.
+  const int bits = 128 - clz128(x);
+  u128 r = u128{1} << ((bits + 1) / 2);
+  while (true) {
+    const u128 next = (r + x / r) >> 1;
+    if (next >= r) break;
+    r = next;
+  }
+  // r may overshoot by one for non-squares near boundaries.
+  while (r * r > x) --r;
+  while ((r + 1) * (r + 1) <= x) ++r;
+  return {static_cast<u64>(r), r * r == x};
+}
+
+u64 reverse_bits64(u64 x, int width) noexcept {
+  u64 out = 0;
+  for (int i = 0; i < width; ++i) {
+    out = (out << 1) | ((x >> i) & 1);
+  }
+  return out;
+}
+
+}  // namespace flopsim::fp

@@ -1,0 +1,72 @@
+// Low-level wide-integer bit kernels shared by the softfloat core and the
+// structural RTL simulation.
+//
+// All routines are branch-light and allocation-free; they are the innermost
+// loops of both the reference arithmetic and the cycle-accurate simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace flopsim::fp {
+
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+using u128 = unsigned __int128;
+
+/// Mask with the low @p n bits set. Valid for n in [0, 64].
+constexpr u64 mask64(int n) noexcept {
+  return n >= 64 ? ~u64{0} : ((u64{1} << n) - 1);
+}
+
+/// Mask with the low @p n bits set. Valid for n in [0, 128].
+constexpr u128 mask128(int n) noexcept {
+  return n >= 128 ? ~u128{0} : ((u128{1} << n) - 1);
+}
+
+/// Number of leading zero bits of a 64-bit value; 64 for x == 0.
+constexpr int clz64(u64 x) noexcept {
+  return x == 0 ? 64 : __builtin_clzll(x);
+}
+
+/// Number of leading zero bits of a 128-bit value; 128 for x == 0.
+constexpr int clz128(u128 x) noexcept {
+  const u64 hi = static_cast<u64>(x >> 64);
+  return hi != 0 ? clz64(hi) : 64 + clz64(static_cast<u64>(x));
+}
+
+/// Count of set bits.
+constexpr int popcount64(u64 x) noexcept { return __builtin_popcountll(x); }
+
+/// Logical right shift that ORs every bit shifted out into the result LSB
+/// ("jamming" shift). This is how hardware keeps a sticky bit when aligning
+/// significands; losing it would break round-to-nearest-even.
+constexpr u64 shift_right_jam64(u64 x, int dist) noexcept {
+  if (dist <= 0) return x;
+  if (dist >= 64) return x != 0 ? 1 : 0;
+  return (x >> dist) | ((x & mask64(dist)) != 0 ? 1 : 0);
+}
+
+/// 128-bit jamming right shift.
+constexpr u128 shift_right_jam128(u128 x, int dist) noexcept {
+  if (dist <= 0) return x;
+  if (dist >= 128) return x != 0 ? 1 : 0;
+  return (x >> dist) | ((x & mask128(dist)) != 0 ? 1 : 0);
+}
+
+/// Position (0-based, from LSB) of the most significant set bit; -1 for 0.
+constexpr int msb_index64(u64 x) noexcept { return 63 - clz64(x); }
+
+/// Integer square root of a 128-bit value (floor), plus exactness flag via
+/// the remainder. Used by the float square-root kernel.
+struct Sqrt128Result {
+  u64 root;        ///< floor(sqrt(x)); fits in 64 bits for any 128-bit input
+  bool exact;      ///< true iff root * root == x
+};
+Sqrt128Result isqrt128(u128 x) noexcept;
+
+/// Reverse the low @p width bits of @p x (upper bits are dropped).
+u64 reverse_bits64(u64 x, int width) noexcept;
+
+}  // namespace flopsim::fp

@@ -1,0 +1,87 @@
+// IEEE comparison predicates and min/max.
+#include <stdexcept>
+
+#include "fp/internal.hpp"
+#include "fp/ops.hpp"
+
+namespace flopsim::fp {
+namespace {
+
+/// Map an encoding to a signed magnitude key such that the IEEE ordering of
+/// finite/infinite values equals integer ordering of keys. ±0 share key 0.
+i64 order_key(const FpValue& v) {
+  const u64 mag = v.bits & ~v.fmt.sign_mask();
+  return v.sign() ? -static_cast<i64>(mag) : static_cast<i64>(mag);
+}
+
+bool is_any_nan(const FpValue& v, const FpEnv& env) {
+  const FpClass c = detail::effective_class(v, env);
+  return c == FpClass::kQuietNaN || c == FpClass::kSignalingNaN;
+}
+
+}  // namespace
+
+Ordering compare(const FpValue& a, const FpValue& b, FpEnv& env) {
+  if (!(a.fmt == b.fmt)) {
+    throw std::invalid_argument("fp::compare: operand formats differ");
+  }
+  if (is_any_nan(a, env) || is_any_nan(b, env)) {
+    if (classify(a) == FpClass::kSignalingNaN ||
+        classify(b) == FpClass::kSignalingNaN) {
+      env.raise(kFlagInvalid);
+    }
+    return Ordering::kUnordered;
+  }
+  // Under flush-to-zero, subnormal encodings compare as zero.
+  auto key = [&env](const FpValue& v) -> i64 {
+    if (env.flush_subnormals && classify(v) == FpClass::kSubnormal) return 0;
+    return order_key(v);
+  };
+  const i64 ka = key(a);
+  const i64 kb = key(b);
+  if (ka < kb) return Ordering::kLess;
+  if (ka > kb) return Ordering::kGreater;
+  return Ordering::kEqual;
+}
+
+bool is_equal(const FpValue& a, const FpValue& b, FpEnv& env) {
+  return compare(a, b, env) == Ordering::kEqual;
+}
+
+bool is_less(const FpValue& a, const FpValue& b, FpEnv& env) {
+  const Ordering o = compare(a, b, env);
+  if (o == Ordering::kUnordered) {
+    env.raise(kFlagInvalid);  // signaling predicate
+    return false;
+  }
+  return o == Ordering::kLess;
+}
+
+bool is_less_equal(const FpValue& a, const FpValue& b, FpEnv& env) {
+  const Ordering o = compare(a, b, env);
+  if (o == Ordering::kUnordered) {
+    env.raise(kFlagInvalid);
+    return false;
+  }
+  return o != Ordering::kGreater;
+}
+
+FpValue min(const FpValue& a, const FpValue& b, FpEnv& env) {
+  const bool na = is_any_nan(a, env);
+  const bool nb = is_any_nan(b, env);
+  if (na && nb) return detail::propagate_nan(a, b, env);
+  if (na) return b;
+  if (nb) return a;
+  return compare(a, b, env) == Ordering::kGreater ? b : a;
+}
+
+FpValue max(const FpValue& a, const FpValue& b, FpEnv& env) {
+  const bool na = is_any_nan(a, env);
+  const bool nb = is_any_nan(b, env);
+  if (na && nb) return detail::propagate_nan(a, b, env);
+  if (na) return b;
+  if (nb) return a;
+  return compare(a, b, env) == Ordering::kLess ? b : a;
+}
+
+}  // namespace flopsim::fp

@@ -1,0 +1,147 @@
+// Format conversions and host/integer interop.
+#include <bit>
+#include <cmath>
+
+#include "fp/internal.hpp"
+#include "fp/ops.hpp"
+
+namespace flopsim::fp {
+
+FpValue convert(const FpValue& v, FpFormat dst, FpEnv& env) {
+  const FpClass c = detail::effective_class(v, env);
+  switch (c) {
+    case FpClass::kQuietNaN:
+    case FpClass::kSignalingNaN:
+      if (c == FpClass::kSignalingNaN) env.raise(kFlagInvalid);
+      return make_qnan(dst);
+    case FpClass::kInfinity:
+      return make_inf(dst, v.sign());
+    case FpClass::kZero:
+      return make_zero(dst, v.sign());
+    case FpClass::kSubnormal:
+    case FpClass::kNormal:
+      break;
+  }
+  const detail::Unpacked u = detail::unpack_finite(v);
+  // Rebias into the destination; round_pack normalizes and rounds.
+  const int exp = u.exp - v.fmt.bias() - v.fmt.frac_bits() + dst.bias() +
+                  dst.frac_bits();
+  return detail::round_pack(u.sign, exp, u.sig << detail::kGrsBits, dst, env);
+}
+
+FpValue from_float(float x, FpFormat fmt, FpEnv& env) {
+  const FpValue raw(std::bit_cast<u32>(x), FpFormat::binary32());
+  if (fmt == FpFormat::binary32() && !env.flush_subnormals &&
+      env.nan_supported) {
+    return raw;
+  }
+  return convert(raw, fmt, env);
+}
+
+FpValue from_double(double x, FpFormat fmt, FpEnv& env) {
+  const FpValue raw(std::bit_cast<u64>(x), FpFormat::binary64());
+  if (fmt == FpFormat::binary64() && !env.flush_subnormals &&
+      env.nan_supported) {
+    return raw;
+  }
+  return convert(raw, fmt, env);
+}
+
+float to_float(const FpValue& v, FpEnv& env) {
+  const FpValue out = convert(v, FpFormat::binary32(), env);
+  return std::bit_cast<float>(static_cast<u32>(out.bits));
+}
+
+double to_double(const FpValue& v, FpEnv& env) {
+  const FpValue out = convert(v, FpFormat::binary64(), env);
+  return std::bit_cast<double>(out.bits);
+}
+
+double to_double_exact(const FpValue& v) {
+  // Every supported format (frac <= 52, exp <= 15 with range inside
+  // binary64's for exp_bits <= 11) widens exactly; formats with more
+  // exponent range than binary64 saturate to +-inf, which only matters for
+  // diagnostic printing.
+  FpEnv env = FpEnv::ieee();
+  return to_double(v, env);
+}
+
+FpValue from_int64(i64 x, FpFormat fmt, FpEnv& env) {
+  if (x == 0) return make_zero(fmt, false);
+  const bool sign = x < 0;
+  // Magnitude of INT64_MIN does not fit in i64; route through u64.
+  const u64 mag = sign ? (~static_cast<u64>(x) + 1) : static_cast<u64>(x);
+  const int F = fmt.frac_bits();
+  // value = mag * 2^0 = sig * 2^(exp - bias - F - 3) with sig msb at F+3.
+  const int msb = msb_index64(mag);
+  u64 sig;
+  if (msb > F + 3) {
+    sig = shift_right_jam64(mag, msb - (F + 3));
+  } else {
+    sig = mag << ((F + 3) - msb);
+  }
+  const int exp = msb + fmt.bias();
+  return detail::round_pack(sign, exp, sig, fmt, env);
+}
+
+i64 to_int64(const FpValue& v, FpEnv& env) {
+  const FpClass c = detail::effective_class(v, env);
+  if (c == FpClass::kQuietNaN || c == FpClass::kSignalingNaN) {
+    env.raise(kFlagInvalid);
+    return 0;
+  }
+  if (c == FpClass::kZero) return 0;
+  if (c == FpClass::kInfinity) {
+    env.raise(kFlagInvalid);
+    return v.sign() ? INT64_MIN : INT64_MAX;
+  }
+  const detail::Unpacked u = detail::unpack_finite(v);
+  const int F = v.fmt.frac_bits();
+  const int ue = u.exp - v.fmt.bias();  // value = sig * 2^(ue - F)
+  if (ue >= 63) {
+    // Magnitude >= 2^63 (except exactly INT64_MIN, conservatively invalid
+    // for positives; -2^63 is representable).
+    if (v.sign() && ue == 63 && u.sig == (u64{1} << F)) return INT64_MIN;
+    env.raise(kFlagInvalid);
+    return v.sign() ? INT64_MIN : INT64_MAX;
+  }
+  const int shift = ue - F;
+  u64 mag;
+  bool inexact = false;
+  if (shift >= 0) {
+    mag = u.sig << shift;
+  } else {
+    const int dist = -shift;
+    const u64 whole = dist >= 64 ? 0 : (u.sig >> dist);
+    const u64 tail = dist >= 64 ? u.sig : (u.sig & mask64(dist));
+    inexact = tail != 0;
+    bool inc = false;
+    switch (env.rounding) {
+      case RoundingMode::kNearestEven: {
+        if (dist <= 64 && dist >= 1) {
+          const u64 half = u64{1} << (dist - 1);
+          inc = tail > half || (tail == half && (whole & 1));
+        }
+        break;
+      }
+      case RoundingMode::kTowardZero:
+        break;
+      case RoundingMode::kTowardPositive:
+        inc = !v.sign() && inexact;
+        break;
+      case RoundingMode::kTowardNegative:
+        inc = v.sign() && inexact;
+        break;
+    }
+    mag = whole + (inc ? 1 : 0);
+  }
+  if (inexact) env.raise(kFlagInexact);
+  if (mag > (v.sign() ? (u64{1} << 63) : (u64{1} << 63) - 1)) {
+    env.raise(kFlagInvalid);
+    return v.sign() ? INT64_MIN : INT64_MAX;
+  }
+  if (v.sign() && mag == (u64{1} << 63)) return INT64_MIN;
+  return v.sign() ? -static_cast<i64>(mag) : static_cast<i64>(mag);
+}
+
+}  // namespace flopsim::fp

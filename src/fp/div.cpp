@@ -1,0 +1,57 @@
+// Floating-point division (extension beyond the paper's adder/multiplier;
+// the vendor cores the paper compares against ship one).
+#include <stdexcept>
+
+#include "fp/internal.hpp"
+#include "fp/ops.hpp"
+
+namespace flopsim::fp {
+
+FpValue div(const FpValue& a, const FpValue& b, FpEnv& env) {
+  if (!(a.fmt == b.fmt)) {
+    throw std::invalid_argument("fp::div: operand formats differ");
+  }
+  const FpFormat fmt = a.fmt;
+  const FpClass ca = detail::effective_class(a, env);
+  const FpClass cb = detail::effective_class(b, env);
+  const bool sign = a.sign() ^ b.sign();
+
+  if (ca == FpClass::kQuietNaN || ca == FpClass::kSignalingNaN ||
+      cb == FpClass::kQuietNaN || cb == FpClass::kSignalingNaN) {
+    return detail::propagate_nan(a, b, env);
+  }
+  if (ca == FpClass::kInfinity) {
+    if (cb == FpClass::kInfinity) return detail::invalid_result(fmt, env);
+    return make_inf(fmt, sign);
+  }
+  if (cb == FpClass::kInfinity) return make_zero(fmt, sign);
+  if (cb == FpClass::kZero) {
+    if (ca == FpClass::kZero) return detail::invalid_result(fmt, env);
+    env.raise(kFlagDivByZero);
+    return make_inf(fmt, sign);
+  }
+  if (ca == FpClass::kZero) return make_zero(fmt, sign);
+
+  detail::Unpacked ua = detail::unpack_finite(a);
+  detail::Unpacked ub = detail::unpack_finite(b);
+  const int F = fmt.frac_bits();
+  // Normalize honored subnormals.
+  for (detail::Unpacked* u : {&ua, &ub}) {
+    const int msb = msb_index64(u->sig);
+    if (msb < F) {
+      u->sig <<= (F - msb);
+      u->exp -= (F - msb);
+    }
+  }
+
+  // Long division with F+4 fraction bits; the remainder provides the sticky.
+  const u128 num = static_cast<u128>(ua.sig) << (F + 4);
+  const u128 den = ub.sig;
+  u64 q = static_cast<u64>(num / den);
+  if (num % den != 0) q |= 1;
+
+  const int exp = ua.exp - ub.exp + fmt.bias() - 1;
+  return detail::round_pack(sign, exp, q, fmt, env);
+}
+
+}  // namespace flopsim::fp

@@ -1,0 +1,30 @@
+#include "fp/env.hpp"
+
+namespace flopsim::fp {
+
+std::string to_string(RoundingMode mode) {
+  switch (mode) {
+    case RoundingMode::kNearestEven: return "nearest-even";
+    case RoundingMode::kTowardZero: return "toward-zero";
+    case RoundingMode::kTowardPositive: return "toward-positive";
+    case RoundingMode::kTowardNegative: return "toward-negative";
+  }
+  return "unknown";
+}
+
+std::string flags_to_string(std::uint8_t flags) {
+  if (flags == kFlagNone) return "none";
+  std::string out;
+  auto append = [&out](const char* name) {
+    if (!out.empty()) out += "|";
+    out += name;
+  };
+  if (flags & kFlagInvalid) append("invalid");
+  if (flags & kFlagDivByZero) append("div-by-zero");
+  if (flags & kFlagOverflow) append("overflow");
+  if (flags & kFlagUnderflow) append("underflow");
+  if (flags & kFlagInexact) append("inexact");
+  return out;
+}
+
+}  // namespace flopsim::fp

@@ -1,0 +1,73 @@
+// Evaluation environment: rounding mode, special-value policy, and sticky
+// exception flags.
+//
+// Two policies matter for the reproduction:
+//  * FULL IEEE (default): subnormals, NaN propagation, all four rounding
+//    directions. This is the golden reference we validate bit-exactly
+//    against host hardware for binary32/binary64.
+//  * PAPER mode (`FpEnv::paper()`): the policy of the paper's FPGA cores —
+//    subnormal inputs and outputs flush to zero, NaNs are not representable
+//    (invalid operations return infinity and raise kInvalid), and only
+//    round-to-nearest-even and truncation are offered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace flopsim::fp {
+
+enum class RoundingMode : std::uint8_t {
+  kNearestEven,     ///< IEEE default; the paper's "rounding-to-nearest"
+  kTowardZero,      ///< the paper's "truncation"
+  kTowardPositive,  ///< extension beyond the paper's two modes
+  kTowardNegative,  ///< extension beyond the paper's two modes
+};
+
+std::string to_string(RoundingMode mode);
+
+/// Sticky exception flags, IEEE-754 style. Bitwise-OR accumulated.
+enum Flags : std::uint8_t {
+  kFlagNone = 0,
+  kFlagInexact = 1 << 0,
+  kFlagUnderflow = 1 << 1,
+  kFlagOverflow = 1 << 2,
+  kFlagDivByZero = 1 << 3,
+  kFlagInvalid = 1 << 4,
+};
+
+std::string flags_to_string(std::uint8_t flags);
+
+struct FpEnv {
+  RoundingMode rounding = RoundingMode::kNearestEven;
+  /// Flush-to-zero: subnormal inputs are read as zero and subnormal results
+  /// are replaced by zero (kUnderflow raised). Matches the paper's cores.
+  bool flush_subnormals = false;
+  /// When false, the format's NaN encodings are not produced: invalid
+  /// operations return infinity (kInvalid still raised) and NaN-encoded
+  /// inputs are interpreted as infinity. Matches the paper's cores.
+  bool nan_supported = true;
+  std::uint8_t flags = kFlagNone;
+
+  void raise(std::uint8_t f) { flags |= f; }
+  bool any(std::uint8_t f) const { return (flags & f) != 0; }
+  void clear_flags() { flags = kFlagNone; }
+
+  /// The environment of the paper's hardware: round-to-nearest (or
+  /// truncation), flush subnormals, no NaN support.
+  static FpEnv paper(RoundingMode mode = RoundingMode::kNearestEven) {
+    FpEnv env;
+    env.rounding = mode;
+    env.flush_subnormals = true;
+    env.nan_supported = false;
+    return env;
+  }
+
+  /// Full IEEE-754 environment.
+  static FpEnv ieee(RoundingMode mode = RoundingMode::kNearestEven) {
+    FpEnv env;
+    env.rounding = mode;
+    return env;
+  }
+};
+
+}  // namespace flopsim::fp

@@ -1,0 +1,143 @@
+// Fused multiply-add: a * b + c rounded once.
+//
+// The exact product (up to 2F+2 bits) and the addend are aligned in a
+// 128-bit frame with guard/round/sticky, summed, then jam-compressed into
+// the 64-bit working form round_pack expects. Library extension beyond the
+// paper (its PEs use a separate multiplier and adder; compare
+// kernel/ProcessingElement, which rounds twice per MAC like the paper's
+// hardware).
+#include <stdexcept>
+
+#include "fp/internal.hpp"
+#include "fp/ops.hpp"
+
+namespace flopsim::fp {
+namespace {
+
+using detail::kGrsBits;
+
+void normalize_sig(detail::Unpacked& u, int frac_bits) {
+  const int msb = msb_index64(u.sig);
+  if (msb < frac_bits) {
+    u.sig <<= (frac_bits - msb);
+    u.exp -= (frac_bits - msb);
+  }
+}
+
+bool is_nan_class(FpClass c) {
+  return c == FpClass::kQuietNaN || c == FpClass::kSignalingNaN;
+}
+
+}  // namespace
+
+FpValue fma(const FpValue& a, const FpValue& b, const FpValue& c,
+            FpEnv& env) {
+  if (!(a.fmt == b.fmt) || !(a.fmt == c.fmt)) {
+    throw std::invalid_argument("fp::fma: operand formats differ");
+  }
+  const FpFormat fmt = a.fmt;
+  const int F = fmt.frac_bits();
+  const FpClass ca = detail::effective_class(a, env);
+  const FpClass cb = detail::effective_class(b, env);
+  const FpClass cc = detail::effective_class(c, env);
+
+  if (is_nan_class(ca) || is_nan_class(cb) || is_nan_class(cc)) {
+    if (classify(a) == FpClass::kSignalingNaN ||
+        classify(b) == FpClass::kSignalingNaN ||
+        classify(c) == FpClass::kSignalingNaN) {
+      env.raise(kFlagInvalid);
+    }
+    // 0 * inf + qNaN is still invalid per IEEE.
+    if ((ca == FpClass::kInfinity && cb == FpClass::kZero) ||
+        (ca == FpClass::kZero && cb == FpClass::kInfinity)) {
+      env.raise(kFlagInvalid);
+    }
+    return env.nan_supported ? make_qnan(fmt) : make_inf(fmt, false);
+  }
+
+  const bool sign_p = a.sign() ^ b.sign();
+  // Product specials.
+  if (ca == FpClass::kInfinity || cb == FpClass::kInfinity) {
+    if (ca == FpClass::kZero || cb == FpClass::kZero) {
+      return detail::invalid_result(fmt, env);
+    }
+    if (cc == FpClass::kInfinity && c.sign() != sign_p) {
+      return detail::invalid_result(fmt, env);
+    }
+    return make_inf(fmt, sign_p);
+  }
+  if (cc == FpClass::kInfinity) return make_inf(fmt, c.sign());
+
+  const bool prod_zero = ca == FpClass::kZero || cb == FpClass::kZero;
+  if (prod_zero) {
+    if (cc == FpClass::kZero) {
+      if (sign_p == c.sign()) return make_zero(fmt, sign_p);
+      return make_zero(fmt, env.rounding == RoundingMode::kTowardNegative);
+    }
+    return compose(fmt, c.sign(), c.biased_exp(), c.frac());
+  }
+
+  // Exact product in a 128-bit frame: value = sig * 2^(exp - bias - 2F - 3).
+  detail::Unpacked ua = detail::unpack_finite(a);
+  detail::Unpacked ub = detail::unpack_finite(b);
+  normalize_sig(ua, F);
+  normalize_sig(ub, F);
+  u128 sig_p = (static_cast<u128>(ua.sig) * ub.sig) << kGrsBits;
+  int exp_p = ua.exp + ub.exp - fmt.bias();
+
+  bool sign;
+  int exp;
+  u128 sig;
+  if (cc == FpClass::kZero) {
+    sign = sign_p;
+    exp = exp_p;
+    sig = sig_p;
+  } else {
+    detail::Unpacked uc = detail::unpack_finite(c);
+    normalize_sig(uc, F);
+    uc.sign = c.sign();
+    // Addend in the product's frame: sc * 2^(ec - bias - F) =
+    // (sc << (F + 3)) * 2^(ec - bias - 2F - 3).
+    u128 sig_c = static_cast<u128>(uc.sig) << (F + kGrsBits);
+    int exp_c = uc.exp;
+
+    const int d = exp_p - exp_c;
+    if (d > 0) {
+      sig_c = shift_right_jam128(sig_c, d);
+      exp = exp_p;
+    } else if (d < 0) {
+      sig_p = shift_right_jam128(sig_p, -d);
+      exp = exp_c;
+    } else {
+      exp = exp_p;
+    }
+    if (sign_p == uc.sign) {
+      sign = sign_p;
+      sig = sig_p + sig_c;
+    } else if (sig_p > sig_c) {
+      sign = sign_p;
+      sig = sig_p - sig_c;
+    } else if (sig_c > sig_p) {
+      sign = uc.sign;
+      sig = sig_c - sig_p;
+    } else {
+      return make_zero(fmt, env.rounding == RoundingMode::kTowardNegative);
+    }
+  }
+
+  // Compress to the 64-bit working form: msb at F + 3.
+  const int msb = 127 - clz128(sig);
+  const int target = F + kGrsBits;
+  u64 sig64;
+  if (msb > target) {
+    sig64 = static_cast<u64>(shift_right_jam128(sig, msb - target));
+  } else {
+    sig64 = static_cast<u64>(sig << (target - msb));
+  }
+  // value = sig * 2^(exp - bias - 2F - 3); after placing the msb at F+3 the
+  // round_pack exponent is exp - F + (msb - target) ... folded below.
+  const int exp64 = exp - F + (msb - target);
+  return detail::round_pack(sign, exp64, sig64, fmt, env);
+}
+
+}  // namespace flopsim::fp

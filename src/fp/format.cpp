@@ -1,0 +1,30 @@
+#include "fp/format.hpp"
+
+#include <stdexcept>
+
+namespace flopsim::fp {
+
+FpFormat::FpFormat(int exp_bits, int frac_bits)
+    : exp_bits_(exp_bits), frac_bits_(frac_bits) {
+  if (exp_bits < 2 || exp_bits > 15) {
+    throw std::invalid_argument("FpFormat: exp_bits must be in [2, 15]");
+  }
+  if (frac_bits < 1 || frac_bits > 52) {
+    throw std::invalid_argument("FpFormat: frac_bits must be in [1, 52]");
+  }
+  if (1 + exp_bits + frac_bits > 64) {
+    throw std::invalid_argument("FpFormat: total width must be <= 64 bits");
+  }
+}
+
+std::string FpFormat::name() const {
+  if (*this == binary32()) return "binary32";
+  if (*this == binary48()) return "binary48";
+  if (*this == binary64()) return "binary64";
+  if (*this == binary16()) return "binary16";
+  if (*this == bfloat16()) return "bfloat16";
+  return "fp<e" + std::to_string(exp_bits_) + ",f" + std::to_string(frac_bits_) +
+         ">";
+}
+
+}  // namespace flopsim::fp

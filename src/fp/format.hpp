@@ -1,0 +1,66 @@
+// Parameterized floating-point format descriptor.
+//
+// The paper treats precision (32/48/64-bit) as one design axis of its FPGA
+// cores; this type is the software twin of that axis. A format is
+// sign + exponent(exp_bits) + fraction(frac_bits), IEEE-754 style with a
+// hidden leading significand bit, biased exponent, and the usual encodings
+// for zero / subnormal / infinity / NaN. Whether subnormals and NaNs are
+// *honored* is a property of the evaluation environment (FpEnv), not of the
+// format: the paper's hardware flushes subnormals and has no NaN handling.
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "fp/bits.hpp"
+
+namespace flopsim::fp {
+
+class FpFormat {
+ public:
+  /// Construct a custom format. Constraints: 2 <= exp_bits <= 15,
+  /// 1 <= frac_bits <= 52, and total width (1 + exp + frac) <= 64.
+  /// Violations throw std::invalid_argument.
+  FpFormat(int exp_bits, int frac_bits);
+
+  // The three precisions the paper evaluates. binary48 follows the
+  // Belanovic-Leeser parameterized-library convention of keeping the
+  // binary64 exponent range and shortening the fraction.
+  static FpFormat binary32() { return FpFormat(8, 23); }
+  static FpFormat binary48() { return FpFormat(11, 36); }
+  static FpFormat binary64() { return FpFormat(11, 52); }
+  // Extra presets exercised by tests/examples (extension beyond the paper).
+  static FpFormat binary16() { return FpFormat(5, 10); }
+  static FpFormat bfloat16() { return FpFormat(8, 7); }
+
+  int exp_bits() const { return exp_bits_; }
+  int frac_bits() const { return frac_bits_; }
+  int total_bits() const { return 1 + exp_bits_ + frac_bits_; }
+  /// Significand width including the hidden bit.
+  int sig_bits() const { return frac_bits_ + 1; }
+
+  int bias() const { return (1 << (exp_bits_ - 1)) - 1; }
+  /// All-ones biased exponent (Inf/NaN encoding).
+  int max_biased_exp() const { return (1 << exp_bits_) - 1; }
+  /// Largest biased exponent of a finite value.
+  int max_finite_exp() const { return max_biased_exp() - 1; }
+  int min_normal_exp() const { return 1; }
+
+  u64 frac_mask() const { return mask64(frac_bits_); }
+  u64 exp_mask() const { return mask64(exp_bits_) << frac_bits_; }
+  u64 sign_mask() const { return u64{1} << (exp_bits_ + frac_bits_); }
+  /// Mask of all encoding bits of this format.
+  u64 bits_mask() const { return mask64(total_bits()); }
+  /// MSB of the fraction field — the quiet bit of a NaN.
+  u64 quiet_bit() const { return u64{1} << (frac_bits_ - 1); }
+
+  std::string name() const;
+
+  friend bool operator==(const FpFormat&, const FpFormat&) = default;
+
+ private:
+  int exp_bits_;
+  int frac_bits_;
+};
+
+}  // namespace flopsim::fp

@@ -1,0 +1,53 @@
+// Internal softfloat plumbing shared by the arithmetic kernels: the unpacked
+// significand form and the single rounding/packing routine every operation
+// funnels through. Not part of the public API.
+#pragma once
+
+#include "fp/env.hpp"
+#include "fp/format.hpp"
+#include "fp/value.hpp"
+
+namespace flopsim::fp::detail {
+
+// Number of extra low-order working bits carried through the kernels:
+// guard, round, sticky.
+inline constexpr int kGrsBits = 3;
+
+/// A finite value in unpacked form. `sig` carries the significand with the
+/// hidden bit explicit at position fmt.frac_bits() (so for a normal input,
+/// sig is in [2^F, 2^(F+1)) with F = frac_bits).
+struct Unpacked {
+  bool sign = false;
+  int exp = 0;  ///< biased exponent
+  u64 sig = 0;  ///< significand, hidden bit explicit, no GRS bits
+};
+
+/// Unpack a finite, nonzero value. Subnormals (when honored) are represented
+/// with exp = 1 and sig < 2^F (caller normalizes if it needs to).
+Unpacked unpack_finite(const FpValue& v);
+
+/// Read a value under the env policy: with flush_subnormals, subnormal
+/// encodings classify as zero; with !nan_supported, NaN encodings classify
+/// as infinity. Returns the effective class.
+FpClass effective_class(const FpValue& v, const FpEnv& env);
+
+/// Round and pack a result.
+///
+/// @param sig significand with the binary point such that a normalized value
+///        has its MSB at bit F + kGrsBits (i.e. value in
+///        [2^(F+3), 2^(F+4))); the low 3 bits are guard/round/sticky. The
+///        routine tolerates sig up to one bit above the normalized range
+///        (carry-out form) and any smaller value (it normalizes left).
+/// @param exp biased exponent matching that normalization; may be <= 0
+///        (subnormal range) or >= max (overflow region).
+FpValue round_pack(bool sign, int exp, u64 sig, FpFormat fmt, FpEnv& env);
+
+/// The NaN (or, in no-NaN mode, infinity) produced by an invalid operation.
+FpValue invalid_result(FpFormat fmt, FpEnv& env);
+
+/// Propagate NaN from operands per IEEE (quiet the signaling bit); raises
+/// kInvalid for signaling NaNs. Pre: at least one of a/b is NaN, and the env
+/// supports NaNs.
+FpValue propagate_nan(const FpValue& a, const FpValue& b, FpEnv& env);
+
+}  // namespace flopsim::fp::detail

@@ -1,0 +1,51 @@
+// Neighbour and ULP utilities.
+//
+// For the monotone IEEE encodings these reduce to integer steps on the
+// magnitude bits: incrementing the encoding of a positive finite value
+// yields the next value up, across binade boundaries and from the largest
+// subnormal into the normals alike.
+#include "fp/internal.hpp"
+#include "fp/ops.hpp"
+
+namespace flopsim::fp {
+
+FpValue next_up(const FpValue& v) {
+  if (v.is_nan()) return v;
+  const u64 mag = v.bits & ~v.fmt.sign_mask();
+  if (!v.sign()) {
+    if (v.is_inf()) return v;  // +inf saturates
+    return FpValue(mag + 1, v.fmt);
+  }
+  // Negative: step toward zero; -0 steps to the smallest positive value.
+  if (mag == 0) return FpValue(1, v.fmt);
+  return FpValue((mag - 1) | v.fmt.sign_mask(), v.fmt);
+}
+
+FpValue next_down(const FpValue& v) {
+  if (v.is_nan()) return v;
+  return neg(next_up(neg(v)));
+}
+
+FpValue ulp(const FpValue& v) {
+  if (v.is_nan() || v.is_inf()) return make_inf(v.fmt, false);
+  const FpValue a = abs(v);
+  if (a.is_zero() || a.is_subnormal() ||
+      a.biased_exp() == v.fmt.min_normal_exp()) {
+    // In the bottom binade the spacing is the smallest subnormal.
+    return FpValue(1, v.fmt);
+  }
+  // Spacing of the binade of |v|: 2^(e - bias - F).
+  const int e = a.biased_exp() - v.fmt.frac_bits();
+  if (e >= v.fmt.min_normal_exp()) {
+    return compose(v.fmt, false, e, 0);
+  }
+  // Subnormal-range spacing (2^(e - bias - F) below the normal range):
+  // encode through round_pack under a local full-IEEE environment — the
+  // value is an exact subnormal power of two.
+  FpEnv local = FpEnv::ieee();
+  return detail::round_pack(
+      false, e, u64{1} << (v.fmt.frac_bits() + detail::kGrsBits), v.fmt,
+      local);
+}
+
+}  // namespace flopsim::fp

@@ -1,0 +1,83 @@
+// Public arithmetic API of the parameterized softfloat core.
+//
+// Every operation takes its rounding mode and special-value policy from an
+// FpEnv and accumulates IEEE exception flags into it. Operands of
+// two-operand functions must share a format (std::invalid_argument
+// otherwise); use convert() to mix precisions explicitly, as the paper's
+// hardware would with explicit format-conversion modules.
+#pragma once
+
+#include "fp/env.hpp"
+#include "fp/value.hpp"
+
+namespace flopsim::fp {
+
+FpValue add(const FpValue& a, const FpValue& b, FpEnv& env);
+FpValue sub(const FpValue& a, const FpValue& b, FpEnv& env);
+FpValue mul(const FpValue& a, const FpValue& b, FpEnv& env);
+// div, sqrt and fma are extensions beyond the paper's adder/multiplier
+// pair; the related work it cites (Quixilica, NEU library) ships div/sqrt,
+// and fused MACs are the natural follow-on for the matmul PE.
+FpValue div(const FpValue& a, const FpValue& b, FpEnv& env);
+FpValue sqrt(const FpValue& a, FpEnv& env);
+/// Fused multiply-add: a * b + c with a single rounding.
+FpValue fma(const FpValue& a, const FpValue& b, const FpValue& c, FpEnv& env);
+
+/// IEEE remainder: a - n*b with n = a/b rounded to the nearest integer
+/// (ties to even). Always exact; raises kInvalid for b == 0 or a == inf.
+FpValue remainder(const FpValue& a, const FpValue& b, FpEnv& env);
+
+/// Round to an integral value in the same format, honoring env.rounding
+/// (IEEE roundToIntegralExact; raises kFlagInexact when it changes v).
+FpValue round_to_integral(const FpValue& v, FpEnv& env);
+
+// Sign-bit operations (exact, never raise flags).
+FpValue neg(const FpValue& a);
+FpValue abs(const FpValue& a);
+FpValue copysign(const FpValue& magnitude, const FpValue& sign);
+
+enum class Ordering : std::uint8_t { kLess, kEqual, kGreater, kUnordered };
+
+/// Four-way IEEE comparison; raises kInvalid only for signaling NaNs.
+Ordering compare(const FpValue& a, const FpValue& b, FpEnv& env);
+/// Quiet equality (raises kInvalid only on signaling NaN operands).
+bool is_equal(const FpValue& a, const FpValue& b, FpEnv& env);
+/// Signaling less-than / less-equal (raise kInvalid on any NaN operand).
+bool is_less(const FpValue& a, const FpValue& b, FpEnv& env);
+bool is_less_equal(const FpValue& a, const FpValue& b, FpEnv& env);
+/// IEEE minNum/maxNum semantics: a number beats a quiet NaN.
+FpValue min(const FpValue& a, const FpValue& b, FpEnv& env);
+FpValue max(const FpValue& a, const FpValue& b, FpEnv& env);
+
+// Neighbour/ULP utilities (exact; never raise flags). Extensions used
+// heavily by the test harness and by accuracy analysis.
+/// The next representable value toward +infinity (IEEE nextUp).
+FpValue next_up(const FpValue& v);
+/// The next representable value toward -infinity (IEEE nextDown).
+FpValue next_down(const FpValue& v);
+/// The distance between v and the next representable magnitude, as a value
+/// of v's format (the classic ulp(v)); inf for non-finite v. Exact, raises
+/// no flags, independent of any environment policy.
+FpValue ulp(const FpValue& v);
+
+/// Convert between formats with correct rounding.
+FpValue convert(const FpValue& v, FpFormat dst, FpEnv& env);
+
+// Host interop. binary32/binary64 round-trips are bit-exact.
+FpValue from_float(float x, FpFormat fmt, FpEnv& env);
+FpValue from_double(double x, FpFormat fmt, FpEnv& env);
+float to_float(const FpValue& v, FpEnv& env);
+double to_double(const FpValue& v, FpEnv& env);
+
+/// Exact binary64 view of any value whose format fits in binary64
+/// (all formats with frac_bits <= 52 and exp_bits <= 11 do). NaNs map to a
+/// quiet NaN. Never raises flags.
+double to_double_exact(const FpValue& v);
+
+// Integer conversions (extension).
+FpValue from_int64(i64 x, FpFormat fmt, FpEnv& env);
+/// Round to integer per env.rounding; saturates and raises kInvalid on NaN
+/// or out-of-range.
+i64 to_int64(const FpValue& v, FpEnv& env);
+
+}  // namespace flopsim::fp

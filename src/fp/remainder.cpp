@@ -1,0 +1,155 @@
+// IEEE remainder and roundToIntegral — both exact-result operations built
+// on integer arithmetic (library extensions).
+#include <stdexcept>
+
+#include "fp/internal.hpp"
+#include "fp/ops.hpp"
+
+namespace flopsim::fp {
+namespace {
+
+void normalize_sig(detail::Unpacked& u, int frac_bits) {
+  const int msb = msb_index64(u.sig);
+  if (msb < frac_bits) {
+    u.sig <<= (frac_bits - msb);
+    u.exp -= (frac_bits - msb);
+  }
+}
+
+bool is_nan_class(FpClass c) {
+  return c == FpClass::kQuietNaN || c == FpClass::kSignalingNaN;
+}
+
+}  // namespace
+
+FpValue remainder(const FpValue& a, const FpValue& b, FpEnv& env) {
+  if (!(a.fmt == b.fmt)) {
+    throw std::invalid_argument("fp::remainder: operand formats differ");
+  }
+  const FpFormat fmt = a.fmt;
+  const FpClass ca = detail::effective_class(a, env);
+  const FpClass cb = detail::effective_class(b, env);
+  if (is_nan_class(ca) || is_nan_class(cb)) {
+    return detail::propagate_nan(a, b, env);
+  }
+  if (ca == FpClass::kInfinity || cb == FpClass::kZero) {
+    return detail::invalid_result(fmt, env);
+  }
+  if (cb == FpClass::kInfinity || ca == FpClass::kZero) {
+    return compose(fmt, a.sign(), a.biased_exp(), a.frac());  // exact: a
+  }
+
+  detail::Unpacked ua = detail::unpack_finite(a);
+  detail::Unpacked ub = detail::unpack_finite(b);
+  const int F = fmt.frac_bits();
+  normalize_sig(ua, F);
+  normalize_sig(ub, F);
+  const int diff = ua.exp - ub.exp;
+
+  if (diff <= -2) {
+    // |a| < |b|/2: n = 0, the remainder is a itself.
+    return compose(fmt, a.sign(), a.biased_exp(), a.frac());
+  }
+
+  if (diff == -1) {
+    // |a| in [|b|/4, |b|): n is 0 or 1. At a's scale, |b|/2 has
+    // significand exactly ub.sig, so the midpoint compare is direct; the
+    // tie (|a| == |b|/2) keeps n = 0 (even).
+    if (ua.sig > ub.sig) {
+      // n = 1: |r| = |b| - |a| = (2*ub.sig - ua.sig) at a's scale.
+      const u64 mag = 2 * ub.sig - ua.sig;
+      return detail::round_pack(!a.sign(), ua.exp,
+                                mag << detail::kGrsBits, fmt, env);
+    }
+    return compose(fmt, a.sign(), a.biased_exp(), a.frac());
+  }
+
+  // diff >= 0: restoring reduction of |a| by |b| at b's scale. The parity
+  // of the truncated quotient (needed for ties-to-even) is the parity of
+  // the last chunk's partial quotient, since earlier contributions are
+  // shifted left of the LSB.
+  u64 rem = ua.sig;
+  bool q_lsb = false;
+  if (rem >= ub.sig) {
+    rem -= ub.sig;
+    q_lsb = true;
+  }
+  int left = diff;
+  while (left > 0) {
+    const int step = left < 8 ? left : 8;
+    const u128 wide = static_cast<u128>(rem) << step;
+    q_lsb = ((static_cast<u64>(wide / ub.sig)) & 1) != 0;
+    rem = static_cast<u64>(wide % ub.sig);
+    left -= step;
+  }
+
+  // Nearest adjustment: pull the remainder into (-|b|/2, |b|/2], breaking
+  // the tie toward even n.
+  bool negate = false;
+  const u64 twice = 2 * rem;  // rem < ub.sig < 2^(F+1): no overflow
+  if (twice > ub.sig || (twice == ub.sig && q_lsb)) {
+    rem = ub.sig - rem;
+    negate = true;
+  }
+
+  if (rem == 0) {
+    return make_zero(fmt, a.sign());  // IEEE: zero remainder takes a's sign
+  }
+  // Value = rem * 2^(eb - bias - F): exact.
+  return detail::round_pack(a.sign() ^ negate, ub.exp,
+                            rem << detail::kGrsBits, fmt, env);
+}
+
+FpValue round_to_integral(const FpValue& v, FpEnv& env) {
+  const FpClass c = detail::effective_class(v, env);
+  if (is_nan_class(c)) return detail::propagate_nan(v, v, env);
+  if (c == FpClass::kInfinity) return make_inf(v.fmt, v.sign());
+  if (c == FpClass::kZero) return make_zero(v.fmt, v.sign());
+
+  detail::Unpacked u = detail::unpack_finite(v);
+  const int F = v.fmt.frac_bits();
+  normalize_sig(u, F);
+  const int ue = u.exp - v.fmt.bias();
+  if (ue >= F) return v;  // already integral
+
+  const bool sign = v.sign();
+  u64 integer;
+  bool inexact;
+  if (ue < -1) {
+    // |v| < 0.5: rounds to (signed) zero except directed modes away from 0.
+    inexact = true;
+    integer = 0;
+    if ((env.rounding == RoundingMode::kTowardPositive && !sign) ||
+        (env.rounding == RoundingMode::kTowardNegative && sign)) {
+      integer = 1;
+    }
+  } else {
+    const int d = F - ue;  // fractional bits to drop (1..F+1)
+    const u64 kept = u.sig >> d;
+    const u64 tail = u.sig & mask64(d);
+    inexact = tail != 0;
+    bool inc = false;
+    const u64 half = u64{1} << (d - 1);
+    switch (env.rounding) {
+      case RoundingMode::kNearestEven:
+        inc = tail > half || (tail == half && (kept & 1));
+        break;
+      case RoundingMode::kTowardZero:
+        break;
+      case RoundingMode::kTowardPositive:
+        inc = !sign && inexact;
+        break;
+      case RoundingMode::kTowardNegative:
+        inc = sign && inexact;
+        break;
+    }
+    integer = kept + (inc ? 1 : 0);
+  }
+  if (inexact) env.raise(kFlagInexact);
+  if (integer == 0) return make_zero(v.fmt, sign);
+  // Value = integer * 2^0: exact (at most F+1 significant bits).
+  return detail::round_pack(sign, v.fmt.bias() + F,
+                            integer << detail::kGrsBits, v.fmt, env);
+}
+
+}  // namespace flopsim::fp

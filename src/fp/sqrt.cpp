@@ -1,0 +1,46 @@
+// Floating-point square root (extension; see div.cpp note).
+#include "fp/internal.hpp"
+#include "fp/ops.hpp"
+
+namespace flopsim::fp {
+
+FpValue sqrt(const FpValue& a, FpEnv& env) {
+  const FpFormat fmt = a.fmt;
+  const FpClass ca = detail::effective_class(a, env);
+
+  if (ca == FpClass::kQuietNaN || ca == FpClass::kSignalingNaN) {
+    return detail::propagate_nan(a, a, env);
+  }
+  if (ca == FpClass::kZero) return make_zero(fmt, a.sign());
+  if (a.sign()) return detail::invalid_result(fmt, env);
+  if (ca == FpClass::kInfinity) return make_inf(fmt, false);
+
+  detail::Unpacked u = detail::unpack_finite(a);
+  const int F = fmt.frac_bits();
+  {
+    const int msb = msb_index64(u.sig);
+    if (msb < F) {
+      u.sig <<= (F - msb);
+      u.exp -= (F - msb);
+    }
+  }
+
+  // value = sig * 2^(ue - F). Make ue even by folding one bit into sig, then
+  // sqrt(sig * 2^(F+6)) has its MSB exactly at F+3 — the normalized position
+  // round_pack expects, so guard/round stay exact and only the remainder
+  // feeds the sticky.
+  int ue = u.exp - fmt.bias();
+  u128 s2 = u.sig;
+  if (ue & 1) {
+    s2 <<= 1;
+    ue -= 1;
+  }
+  const Sqrt128Result r = isqrt128(s2 << (F + 6));
+  u64 sig = r.root;
+  if (!r.exact) sig |= 1;
+
+  const int exp = ue / 2 + fmt.bias();
+  return detail::round_pack(false, exp, sig, fmt, env);
+}
+
+}  // namespace flopsim::fp

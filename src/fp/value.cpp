@@ -1,0 +1,246 @@
+#include "fp/value.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "fp/internal.hpp"
+
+namespace flopsim::fp {
+
+std::string to_string(FpClass cls) {
+  switch (cls) {
+    case FpClass::kZero: return "zero";
+    case FpClass::kSubnormal: return "subnormal";
+    case FpClass::kNormal: return "normal";
+    case FpClass::kInfinity: return "infinity";
+    case FpClass::kQuietNaN: return "qnan";
+    case FpClass::kSignalingNaN: return "snan";
+  }
+  return "unknown";
+}
+
+FpClass classify(const FpValue& v) {
+  const int e = v.biased_exp();
+  const u64 f = v.frac();
+  if (e == 0) return f == 0 ? FpClass::kZero : FpClass::kSubnormal;
+  if (e == v.fmt.max_biased_exp()) {
+    if (f == 0) return FpClass::kInfinity;
+    return (f & v.fmt.quiet_bit()) != 0 ? FpClass::kQuietNaN
+                                        : FpClass::kSignalingNaN;
+  }
+  return FpClass::kNormal;
+}
+
+FpValue make_zero(FpFormat fmt, bool sign) {
+  return FpValue(sign ? fmt.sign_mask() : 0, fmt);
+}
+
+FpValue make_inf(FpFormat fmt, bool sign) {
+  u64 bits = fmt.exp_mask();
+  if (sign) bits |= fmt.sign_mask();
+  return FpValue(bits, fmt);
+}
+
+FpValue make_qnan(FpFormat fmt) {
+  return FpValue(fmt.exp_mask() | fmt.quiet_bit(), fmt);
+}
+
+FpValue make_max_finite(FpFormat fmt, bool sign) {
+  u64 bits = (static_cast<u64>(fmt.max_finite_exp()) << fmt.frac_bits()) |
+             fmt.frac_mask();
+  if (sign) bits |= fmt.sign_mask();
+  return FpValue(bits, fmt);
+}
+
+FpValue make_min_normal(FpFormat fmt, bool sign) {
+  u64 bits = u64{1} << fmt.frac_bits();
+  if (sign) bits |= fmt.sign_mask();
+  return FpValue(bits, fmt);
+}
+
+FpValue make_one(FpFormat fmt, bool sign) {
+  u64 bits = static_cast<u64>(fmt.bias()) << fmt.frac_bits();
+  if (sign) bits |= fmt.sign_mask();
+  return FpValue(bits, fmt);
+}
+
+FpValue compose(FpFormat fmt, bool sign, int biased_exp, u64 frac) {
+  u64 bits = (static_cast<u64>(biased_exp) & mask64(fmt.exp_bits()))
+                 << fmt.frac_bits() |
+             (frac & fmt.frac_mask());
+  if (sign) bits |= fmt.sign_mask();
+  return FpValue(bits, fmt);
+}
+
+std::string to_string(const FpValue& v) {
+  char buf[128];
+  const FpClass cls = classify(v);
+  double approx = 0.0;
+  switch (cls) {
+    case FpClass::kZero:
+      approx = v.sign() ? -0.0 : 0.0;
+      break;
+    case FpClass::kInfinity:
+      approx = v.sign() ? -HUGE_VAL : HUGE_VAL;
+      break;
+    case FpClass::kQuietNaN:
+    case FpClass::kSignalingNaN:
+      approx = std::nan("");
+      break;
+    case FpClass::kSubnormal:
+      approx = std::ldexp(static_cast<double>(v.frac()),
+                          1 - v.fmt.bias() - v.fmt.frac_bits());
+      if (v.sign()) approx = -approx;
+      break;
+    case FpClass::kNormal:
+      approx = std::ldexp(
+          static_cast<double>(v.frac() | (u64{1} << v.fmt.frac_bits())),
+          v.biased_exp() - v.fmt.bias() - v.fmt.frac_bits());
+      if (v.sign()) approx = -approx;
+      break;
+  }
+  std::snprintf(buf, sizeof buf, "%s{0x%llx %s ~%.17g}", v.fmt.name().c_str(),
+                static_cast<unsigned long long>(v.bits),
+                to_string(cls).c_str(), approx);
+  return buf;
+}
+
+namespace detail {
+
+Unpacked unpack_finite(const FpValue& v) {
+  Unpacked u;
+  u.sign = v.sign();
+  const int e = v.biased_exp();
+  if (e == 0) {
+    u.exp = 1;
+    u.sig = v.frac();
+  } else {
+    u.exp = e;
+    u.sig = v.frac() | (u64{1} << v.fmt.frac_bits());
+  }
+  return u;
+}
+
+FpClass effective_class(const FpValue& v, const FpEnv& env) {
+  FpClass cls = classify(v);
+  if (env.flush_subnormals && cls == FpClass::kSubnormal) return FpClass::kZero;
+  if (!env.nan_supported &&
+      (cls == FpClass::kQuietNaN || cls == FpClass::kSignalingNaN)) {
+    return FpClass::kInfinity;
+  }
+  return cls;
+}
+
+FpValue round_pack(bool sign, int exp, u64 sig, FpFormat fmt, FpEnv& env) {
+  const int F = fmt.frac_bits();
+  const int top = F + kGrsBits;  // bit index of the hidden bit while rounding
+
+  if (sig == 0) return make_zero(fmt, sign);
+
+  // Normalize so the MSB sits at `top`.
+  const int msb = msb_index64(sig);
+  if (msb > top) {
+    sig = shift_right_jam64(sig, msb - top);
+    exp += msb - top;
+  } else if (msb < top) {
+    sig <<= (top - msb);
+    exp -= (top - msb);
+  }
+
+  bool tiny = false;
+  if (exp <= 0) {
+    // Result is below the normal range: denormalize (or flush).
+    tiny = true;
+    if (env.flush_subnormals) {
+      env.raise(kFlagUnderflow | kFlagInexact);
+      return make_zero(fmt, sign);
+    }
+    sig = shift_right_jam64(sig, 1 - exp);
+    exp = 0;
+  } else if (exp >= fmt.max_biased_exp()) {
+    // Magnitude is at least 2 * 2^emax: overflow regardless of rounding.
+    env.raise(kFlagOverflow | kFlagInexact);
+    switch (env.rounding) {
+      case RoundingMode::kNearestEven:
+        return make_inf(fmt, sign);
+      case RoundingMode::kTowardZero:
+        return make_max_finite(fmt, sign);
+      case RoundingMode::kTowardPositive:
+        return sign ? make_max_finite(fmt, true) : make_inf(fmt, false);
+      case RoundingMode::kTowardNegative:
+        return sign ? make_inf(fmt, true) : make_max_finite(fmt, false);
+    }
+  }
+
+  const u64 grs = sig & 7;
+  u64 kept = sig >> kGrsBits;
+  bool inc = false;
+  switch (env.rounding) {
+    case RoundingMode::kNearestEven:
+      inc = grs > 4 || (grs == 4 && (kept & 1) != 0);
+      break;
+    case RoundingMode::kTowardZero:
+      inc = false;
+      break;
+    case RoundingMode::kTowardPositive:
+      inc = !sign && grs != 0;
+      break;
+    case RoundingMode::kTowardNegative:
+      inc = sign && grs != 0;
+      break;
+  }
+  if (inc) ++kept;
+
+  const bool inexact = grs != 0;
+  if (inexact) env.raise(kFlagInexact);
+  if (tiny && inexact) env.raise(kFlagUnderflow);
+
+  if ((kept >> (F + 1)) != 0) {
+    // Rounding carried out of the significand: 1.111..1 -> 10.000..0.
+    kept >>= 1;
+    ++exp;
+  }
+  if (exp >= fmt.max_biased_exp() && kept >= (u64{1} << F)) {
+    env.raise(kFlagOverflow | kFlagInexact);
+    switch (env.rounding) {
+      case RoundingMode::kNearestEven:
+        return make_inf(fmt, sign);
+      case RoundingMode::kTowardZero:
+        return make_max_finite(fmt, sign);
+      case RoundingMode::kTowardPositive:
+        return sign ? make_max_finite(fmt, true) : make_inf(fmt, false);
+      case RoundingMode::kTowardNegative:
+        return sign ? make_inf(fmt, true) : make_max_finite(fmt, false);
+    }
+  }
+
+  // Pack. In the normal path (exp >= 1) kept carries the hidden bit, which
+  // must be stripped. In the subnormal path (exp == 0) kept packs directly —
+  // and a subnormal that rounded up to 2^F lands exactly on the minimum
+  // normal encoding.
+  u64 bits;
+  if (exp == 0) {
+    bits = kept;
+  } else {
+    bits = (static_cast<u64>(exp) << F) + (kept - (u64{1} << F));
+  }
+  if (sign) bits |= fmt.sign_mask();
+  return FpValue(bits, fmt);
+}
+
+FpValue invalid_result(FpFormat fmt, FpEnv& env) {
+  env.raise(kFlagInvalid);
+  return env.nan_supported ? make_qnan(fmt) : make_inf(fmt, false);
+}
+
+FpValue propagate_nan(const FpValue& a, const FpValue& b, FpEnv& env) {
+  const FpClass ca = classify(a);
+  const FpClass cb = classify(b);
+  if (ca == FpClass::kSignalingNaN || cb == FpClass::kSignalingNaN) {
+    env.raise(kFlagInvalid);
+  }
+  return make_qnan(a.fmt);
+}
+
+}  // namespace detail
+}  // namespace flopsim::fp

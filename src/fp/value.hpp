@@ -1,0 +1,75 @@
+// FpValue: one floating-point datum — raw encoding bits plus its format.
+#pragma once
+
+#include <string>
+
+#include "fp/bits.hpp"
+#include "fp/env.hpp"
+#include "fp/format.hpp"
+
+namespace flopsim::fp {
+
+enum class FpClass : std::uint8_t {
+  kZero,
+  kSubnormal,
+  kNormal,
+  kInfinity,
+  kQuietNaN,
+  kSignalingNaN,
+};
+
+std::string to_string(FpClass cls);
+
+struct FpValue {
+  u64 bits = 0;
+  FpFormat fmt = FpFormat::binary32();
+
+  FpValue() = default;
+  FpValue(u64 bits_in, FpFormat fmt_in) : bits(bits_in & fmt_in.bits_mask()), fmt(fmt_in) {}
+
+  bool sign() const { return (bits & fmt.sign_mask()) != 0; }
+  int biased_exp() const {
+    return static_cast<int>((bits & fmt.exp_mask()) >> fmt.frac_bits());
+  }
+  u64 frac() const { return bits & fmt.frac_mask(); }
+
+  bool is_zero() const { return (bits & ~fmt.sign_mask()) == 0; }
+  bool is_subnormal() const { return biased_exp() == 0 && frac() != 0; }
+  bool is_normal() const {
+    const int e = biased_exp();
+    return e > 0 && e < fmt.max_biased_exp();
+  }
+  bool is_finite() const { return biased_exp() != fmt.max_biased_exp(); }
+  bool is_inf() const {
+    return biased_exp() == fmt.max_biased_exp() && frac() == 0;
+  }
+  bool is_nan() const {
+    return biased_exp() == fmt.max_biased_exp() && frac() != 0;
+  }
+
+  friend bool operator==(const FpValue& a, const FpValue& b) {
+    return a.bits == b.bits && a.fmt == b.fmt;
+  }
+};
+
+/// Classify under FULL IEEE interpretation (independent of env policy).
+FpClass classify(const FpValue& v);
+
+// Canonical constructors.
+FpValue make_zero(FpFormat fmt, bool sign = false);
+FpValue make_inf(FpFormat fmt, bool sign = false);
+FpValue make_qnan(FpFormat fmt);
+/// Largest finite magnitude of the format.
+FpValue make_max_finite(FpFormat fmt, bool sign = false);
+/// Smallest positive normal value.
+FpValue make_min_normal(FpFormat fmt, bool sign = false);
+/// 1.0 in the given format.
+FpValue make_one(FpFormat fmt, bool sign = false);
+/// Compose from fields (fields are masked into range).
+FpValue compose(FpFormat fmt, bool sign, int biased_exp, u64 frac);
+
+/// Human-readable rendering: hex bits plus decoded sign/exp/frac and an
+/// approximate decimal value.
+std::string to_string(const FpValue& v);
+
+}  // namespace flopsim::fp

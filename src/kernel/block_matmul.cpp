@@ -1,0 +1,82 @@
+#include "kernel/block_matmul.hpp"
+
+#include <stdexcept>
+
+namespace flopsim::kernel {
+
+BlockMatmulStats block_matmul_stats(int n, int b, int pl) {
+  if (b <= 0 || n <= 0 || n % b != 0) {
+    throw std::invalid_argument("block_matmul: b must divide n");
+  }
+  BlockMatmulStats st;
+  st.n = n;
+  st.b = b;
+  st.block_schedule = make_schedule(b, pl);
+  const long grid = n / b;
+  st.block_products = grid * grid * grid;
+  st.cycles = st.block_products * st.block_schedule.total_cycles();
+  st.mac_issues =
+      st.block_products * st.block_schedule.issues_per_pe() * b;
+  st.padded_issues =
+      st.block_products * st.block_schedule.padded_issues_per_pe() * b;
+  st.padding_fraction =
+      st.mac_issues > 0
+          ? static_cast<double>(st.padded_issues) / st.mac_issues
+          : 0.0;
+  return st;
+}
+
+BlockMatmulRun block_matmul(const Matrix& a, const Matrix& b_mat, int b,
+                            const PeConfig& cfg) {
+  const int n = a.n;
+  if (b_mat.n != n) {
+    throw std::invalid_argument("block_matmul: operand size mismatch");
+  }
+  LinearArrayMatmul array(b, cfg);
+  const int grid = n / b;
+
+  auto tile = [&](const Matrix& m, int bi, int bj) {
+    Matrix t = Matrix::zero(b, cfg.fmt);
+    for (int i = 0; i < b; ++i) {
+      for (int j = 0; j < b; ++j) {
+        t.at(i, j) = m.at(bi * b + i, bj * b + j);
+      }
+    }
+    return t;
+  };
+
+  BlockMatmulRun out;
+  out.c = Matrix::zero(n, cfg.fmt);
+  long cycles = 0, issues = 0, padded = 0;
+  Schedule sched{};
+  for (int bi = 0; bi < grid; ++bi) {
+    for (int bj = 0; bj < grid; ++bj) {
+      Matrix acc = Matrix::zero(b, cfg.fmt);
+      for (int bk = 0; bk < grid; ++bk) {
+        const Matrix ta = tile(a, bi, bk);
+        const Matrix tb = tile(b_mat, bk, bj);
+        MatmulRun r = array.run(ta, tb, &acc);
+        acc = std::move(r.c);
+        cycles += r.cycles;
+        issues += r.mac_issues;
+        padded += r.padded_issues;
+        out.hazards += r.hazards;
+        sched = r.schedule;
+      }
+      for (int i = 0; i < b; ++i) {
+        for (int j = 0; j < b; ++j) {
+          out.c.at(bi * b + i, bj * b + j) = acc.at(i, j);
+        }
+      }
+    }
+  }
+  out.stats = block_matmul_stats(n, b, sched.pl);
+  // The analytic model must agree with what actually ran.
+  if (out.stats.cycles != cycles || out.stats.mac_issues != issues ||
+      out.stats.padded_issues != padded) {
+    throw std::logic_error("block_matmul: analytic model diverged from sim");
+  }
+  return out;
+}
+
+}  // namespace flopsim::kernel

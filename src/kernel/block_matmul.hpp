@@ -1,0 +1,42 @@
+// Block matrix multiplication on a b-PE linear array.
+//
+// The paper (after [5]) handles problems larger than the array with block
+// decomposition: C is computed as (n/b)^2 tiles, each accumulating n/b
+// block products on an array of b PEs. Block size b is the design parameter
+// of Figure 6 — when b is smaller than the unit latency PL, each block
+// phase is zero-padded and energy is wasted.
+#pragma once
+
+#include "kernel/matmul.hpp"
+
+namespace flopsim::kernel {
+
+struct BlockMatmulStats {
+  int n = 0;
+  int b = 0;
+  Schedule block_schedule;      ///< schedule of one block product
+  long block_products = 0;      ///< (n/b)^3
+  long cycles = 0;              ///< total, all block products
+  long mac_issues = 0;
+  long padded_issues = 0;
+  double padding_fraction = 0.0;
+};
+
+/// Analytic cost model of the blocked execution (validated against the
+/// cycle-accurate run below).
+BlockMatmulStats block_matmul_stats(int n, int b, int pl);
+
+struct BlockMatmulRun {
+  Matrix c;
+  BlockMatmulStats stats;
+  long hazards = 0;
+};
+
+/// Cycle-accurate blocked execution: every block product runs on the b-PE
+/// array; tiles of C stay resident in the accumulators across the k-block
+/// loop, so the accumulation order (k ascending) matches the unblocked
+/// array and reference_gemm bit-for-bit. Requires b to divide n.
+BlockMatmulRun block_matmul(const Matrix& a, const Matrix& b_mat, int b,
+                            const PeConfig& cfg);
+
+}  // namespace flopsim::kernel

@@ -1,0 +1,159 @@
+#include "kernel/fir.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+#include "fp/ops.hpp"
+
+namespace flopsim::kernel {
+
+FirFilter::FirFilter(const std::vector<fp::u64>& taps, const PeConfig& cfg)
+    : taps_(taps.rbegin(), taps.rend()), cfg_(cfg) {
+  // Transposed form: the tap nearest the output multiplies h[0], so the
+  // chain holds the coefficients in reverse order.
+  if (taps.empty()) throw std::invalid_argument("FirFilter: no taps");
+  mults_.reserve(taps.size());
+  for (std::size_t t = 0; t < taps.size(); ++t) {
+    mults_.emplace_back(units::UnitKind::kMultiplier, cfg.fmt,
+                        cfg.mult_config());
+  }
+  for (std::size_t t = 1; t < taps.size(); ++t) {
+    adders_.emplace_back(units::UnitKind::kAdder, cfg.fmt,
+                         cfg.adder_config());
+  }
+}
+
+int FirFilter::latency() const {
+  // Steady state: Lm + La + (T-2)(La-1); see header comment. Early outputs
+  // (zero history) can emerge sooner.
+  const int lm = cfg_.mult_stages;
+  const int la = cfg_.adder_stages;
+  const int t = taps();
+  if (t == 1) return lm;
+  return lm + la + std::max(0, t - 2) * std::max(1, la - 1);
+}
+
+device::Resources FirFilter::resources() const {
+  device::Resources r;
+  for (const auto& m : mults_) r += m.area().total;
+  for (const auto& a : adders_) r += a.area().total;
+  // Skew FIFOs: tap t buffers ~(t-1)(La-1) products of full width.
+  const int la = cfg_.adder_stages;
+  long fifo_words = 0;
+  for (int t = 2; t < taps(); ++t) fifo_words += (t - 1) * (la - 1);
+  r.ffs += static_cast<int>(fifo_words) * cfg_.fmt.total_bits();
+  r.slices += static_cast<int>(fifo_words) * cfg_.fmt.total_bits() / 2;
+  return r;
+}
+
+double FirFilter::freq_mhz() const {
+  double f = mults_.front().freq_mhz();
+  if (!adders_.empty()) f = std::min(f, adders_.front().freq_mhz());
+  return f;
+}
+
+FirRun FirFilter::run(const std::vector<fp::u64>& x) {
+  const int T = taps();
+  const std::size_t n_samples = x.size();
+  for (auto& m : mults_) m.reset();
+  for (auto& a : adders_) a.reset();
+
+  // Qp[t]: products waiting at tap t. Qs[t]: upstream partials waiting at
+  // tap t (t >= 1), pre-seeded with the zero history for sample 0.
+  std::vector<std::deque<fp::u64>> qp(static_cast<std::size_t>(T));
+  std::vector<std::deque<fp::u64>> qs(static_cast<std::size_t>(T));
+  for (int t = 1; t < T; ++t) qs[static_cast<std::size_t>(t)].push_back(0);
+
+  FirRun run;
+  run.y.reserve(n_samples);
+  std::size_t fed = 0;
+  long cycle = 0;
+  const long limit = static_cast<long>(n_samples) * (T + 64) + 1024;
+  while (run.y.size() < n_samples) {
+    // Broadcast the next sample to every tap's multiplier.
+    for (int t = 0; t < T; ++t) {
+      auto& m = mults_[static_cast<std::size_t>(t)];
+      if (fed < n_samples) {
+        m.step(units::UnitInput{taps_[static_cast<std::size_t>(t)], x[fed],
+                                false});
+      } else {
+        m.step(std::nullopt);
+      }
+      if (const auto out = m.output()) {
+        qp[static_cast<std::size_t>(t)].push_back(out->result);
+        run.flags |= out->flags;
+      }
+      run.max_skew_fifo = std::max(
+          run.max_skew_fifo,
+          static_cast<int>(qp[static_cast<std::size_t>(t)].size()));
+    }
+    if (fed < n_samples) ++fed;
+
+    // Tap 0's partial is its product; taps >= 1 add product + upstream.
+    if (!qp[0].empty()) {
+      const fp::u64 s0 = qp[0].front();
+      qp[0].pop_front();
+      if (T == 1) {
+        run.y.push_back(s0);
+      } else {
+        qs[1].push_back(s0);
+      }
+    }
+    for (int t = 1; t < T; ++t) {
+      auto& add = adders_[static_cast<std::size_t>(t - 1)];
+      std::optional<units::UnitInput> in;
+      if (!qp[static_cast<std::size_t>(t)].empty() &&
+          !qs[static_cast<std::size_t>(t)].empty()) {
+        in = units::UnitInput{qp[static_cast<std::size_t>(t)].front(),
+                              qs[static_cast<std::size_t>(t)].front(), false};
+        qp[static_cast<std::size_t>(t)].pop_front();
+        qs[static_cast<std::size_t>(t)].pop_front();
+      }
+      add.step(in);
+      if (const auto out = add.output()) {
+        run.flags |= out->flags;
+        if (t == T - 1) {
+          run.y.push_back(out->result);
+        } else {
+          qs[static_cast<std::size_t>(t + 1)].push_back(out->result);
+        }
+      }
+    }
+    ++cycle;
+    if (cycle > limit) {
+      throw std::logic_error("FirFilter: pipeline deadlock");
+    }
+  }
+  run.cycles = cycle;
+  return run;
+}
+
+std::vector<fp::u64> reference_fir(const std::vector<fp::u64>& taps,
+                                   const std::vector<fp::u64>& x,
+                                   fp::FpFormat fmt,
+                                   fp::RoundingMode rounding) {
+  const int T = static_cast<int>(taps.size());
+  const std::vector<fp::u64> chain(taps.rbegin(), taps.rend());
+  fp::FpEnv env = fp::FpEnv::paper(rounding);
+  std::vector<fp::FpValue> prev(static_cast<std::size_t>(T),
+                                fp::make_zero(fmt));
+  std::vector<fp::u64> y;
+  y.reserve(x.size());
+  for (fp::u64 xn : x) {
+    std::vector<fp::FpValue> cur(static_cast<std::size_t>(T),
+                                 fp::make_zero(fmt));
+    for (int t = 0; t < T; ++t) {
+      const fp::FpValue p = fp::mul(
+          fp::FpValue(chain[static_cast<std::size_t>(t)], fmt),
+          fp::FpValue(xn, fmt), env);
+      cur[static_cast<std::size_t>(t)] =
+          t == 0 ? p
+                 : fp::add(prev[static_cast<std::size_t>(t - 1)], p, env);
+    }
+    y.push_back(cur[static_cast<std::size_t>(T - 1)].bits);
+    prev = std::move(cur);
+  }
+  return y;
+}
+
+}  // namespace flopsim::kernel

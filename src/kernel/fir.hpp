@@ -1,0 +1,65 @@
+// Transposed-form FIR filter on a chain of multiplier+adder PEs — the
+// signal-processing kernel from the paper's motivating applications
+// ("radar/sonar signal processing, image processing"), and a different
+// array topology from the matmul family: partial sums flow tap-to-tap
+// through the adders instead of accumulating in place.
+//
+//   s_0[n]   = h_0 * x[n]
+//   s_t[n]   = s_{t-1}[n-1] + h_t * x[n]
+//   y[n]     = s_{T-1}[n]
+//
+// With L-cycle pipelined adders the tap-to-tap recurrence forces skew
+// buffering: tap t's product must wait for the upstream partial of the
+// previous sample, so FIFO depth grows along the chain — deep pipelining
+// buys clock rate but costs alignment registers, the kernel-level face of
+// the paper's area-vs-depth tradeoff. The simulation pairs operands
+// through explicit queues (hardware's skew FIFOs) and reports their
+// maximum depth.
+//
+// Output is bit-exact with the softfloat reference using the same
+// recurrence order.
+#pragma once
+
+#include <vector>
+
+#include "kernel/pe.hpp"  // PeConfig
+#include "units/fp_unit.hpp"
+
+namespace flopsim::kernel {
+
+struct FirRun {
+  std::vector<fp::u64> y;
+  long cycles = 0;
+  int max_skew_fifo = 0;  ///< deepest product queue observed (skew registers)
+  std::uint8_t flags = 0;
+};
+
+class FirFilter {
+ public:
+  /// @param taps coefficient encodings h[0..T-1] in cfg.fmt.
+  FirFilter(const std::vector<fp::u64>& taps, const PeConfig& cfg);
+
+  /// Filter the sample stream (one sample per cycle in). Emits exactly
+  /// x.size() outputs; the first T-1 use an implicit zero history.
+  FirRun run(const std::vector<fp::u64>& x);
+
+  int taps() const { return static_cast<int>(taps_.size()); }
+  /// Steady-state latency from sample in to y out.
+  int latency() const;
+  device::Resources resources() const;
+  double freq_mhz() const;
+
+ private:
+  std::vector<fp::u64> taps_;
+  PeConfig cfg_;
+  std::vector<units::FpUnit> mults_;
+  std::vector<units::FpUnit> adders_;  // taps-1 of them (tap 0 has no add)
+};
+
+/// Reference with identical recurrence order under the paper env.
+std::vector<fp::u64> reference_fir(const std::vector<fp::u64>& taps,
+                                   const std::vector<fp::u64>& x,
+                                   fp::FpFormat fmt,
+                                   fp::RoundingMode rounding);
+
+}  // namespace flopsim::kernel

@@ -1,0 +1,192 @@
+#include "kernel/lu.hpp"
+
+#include <stdexcept>
+
+#include "fp/ops.hpp"
+
+namespace flopsim::kernel {
+namespace {
+
+/// Column owner and local index under round-robin column distribution.
+int owner_of(int col, int p) { return col % p; }
+int local_of(int col, int p) { return col / p; }
+
+fp::u64 negate_bits(fp::u64 v, fp::FpFormat fmt) {
+  return v ^ fmt.sign_mask();
+}
+
+}  // namespace
+
+LuArray::LuArray(int n, int p, const PeConfig& cfg)
+    : n_(n),
+      p_(p),
+      cfg_(cfg),
+      divider_(units::UnitKind::kDivider, cfg.fmt, cfg.adder_config()) {
+  if (n <= 0 || p <= 0 || p > n) {
+    throw std::invalid_argument("LuArray: need 0 < p <= n");
+  }
+  PeConfig pe_cfg = cfg;
+  // Each PE stores its column strip of A in local memory: ceil(n/p) columns
+  // of n elements each.
+  const int cols = (n + p - 1) / p;
+  pe_cfg.storage_rows = std::max(cfg.storage_rows, cols * n + 8);
+  pes_.reserve(static_cast<std::size_t>(p));
+  for (int q = 0; q < p; ++q) pes_.emplace_back(pe_cfg);
+}
+
+int LuArray::divider_latency() const { return divider_.latency(); }
+
+LuRun LuArray::run(const Matrix& a) {
+  if (a.n != n_) throw std::invalid_argument("LuArray: size mismatch");
+  const fp::FpFormat fmt = cfg_.fmt;
+  auto slot = [this](int col, int row) {
+    return local_of(col, p_) * n_ + row;
+  };
+
+  // Load A into the PEs' local stores.
+  for (auto& pe : pes_) pe.clear();
+  divider_.reset();
+  for (int j = 0; j < n_; ++j) {
+    for (int i = 0; i < n_; ++i) {
+      pes_[static_cast<std::size_t>(owner_of(j, p_))].set_acc(slot(j, i),
+                                                              a.at(i, j));
+    }
+  }
+
+  LuRun run;
+  for (int k = 0; k < n_ - 1; ++k) {
+    ProcessingElement& pivot_pe =
+        pes_[static_cast<std::size_t>(owner_of(k, p_))];
+    const fp::u64 pivot = pivot_pe.acc(slot(k, k));
+    if (fp::FpValue(pivot, fmt).biased_exp() == 0) {
+      throw std::domain_error("LuArray: zero (or flushed) pivot");
+    }
+
+    // --- divide phase: l[i][k] = a[i][k] / pivot, streamed ------------------
+    const int m = n_ - 1 - k;
+    std::vector<fp::u64> l(static_cast<std::size_t>(m));
+    {
+      std::size_t got = 0;
+      for (int t = 0; t < m + divider_.latency(); ++t) {
+        std::optional<units::UnitInput> in;
+        if (t < m) {
+          in = units::UnitInput{pivot_pe.acc(slot(k, k + 1 + t)), pivot,
+                                false};
+        }
+        divider_.step(in);
+        if (const auto out = divider_.output()) {
+          l[got++] = out->result;
+          run.flags |= out->flags;
+        }
+        ++run.cycles;
+      }
+      if (got != l.size()) {
+        throw std::logic_error("LuArray: divider did not drain");
+      }
+      run.divides += m;
+      run.bubbles += divider_.latency();
+    }
+    // Store L back in place.
+    for (int i = 0; i < m; ++i) {
+      pivot_pe.set_acc(slot(k, k + 1 + i), l[static_cast<std::size_t>(i)]);
+    }
+
+    // --- update phase: a[i][j] += (-l[i][k]) * a[k][j], PEs in parallel -----
+    long phase_cycles = 0;
+    for (int q = 0; q < p_; ++q) {
+      ProcessingElement& pe = pes_[static_cast<std::size_t>(q)];
+      long issues = 0;
+      for (int j = k + 1; j < n_; ++j) {
+        if (owner_of(j, p_) != q) continue;
+        const fp::u64 u_kj = pe.acc(slot(j, k));  // row k is stable
+        for (int i = 0; i < m; ++i) {
+          pe.step(ProcessingElement::MacIssue{
+              negate_bits(l[static_cast<std::size_t>(i)], fmt), u_kj,
+              slot(j, k + 1 + i)});
+          ++issues;
+        }
+      }
+      while (!pe.drained()) pe.step(std::nullopt);
+      run.macs += issues;
+      run.hazards += pe.hazards();
+      run.flags |= pe.flags();
+      phase_cycles =
+          std::max(phase_cycles, issues + pe.total_latency());
+    }
+    run.cycles += phase_cycles;
+    run.bubbles += pes_[0].total_latency();
+  }
+
+  // Extract the in-place factors.
+  run.lu = Matrix::zero(n_, fmt);
+  for (int j = 0; j < n_; ++j) {
+    const ProcessingElement& pe =
+        pes_[static_cast<std::size_t>(owner_of(j, p_))];
+    for (int i = 0; i < n_; ++i) run.lu.at(i, j) = pe.acc(slot(j, i));
+  }
+  if (run.hazards > 0) {
+    throw std::runtime_error("LuArray: unexpected RAW hazard");
+  }
+  return run;
+}
+
+Matrix reference_lu(const Matrix& a, fp::FpFormat fmt,
+                    fp::RoundingMode rounding) {
+  Matrix lu = a;
+  fp::FpEnv env = fp::FpEnv::paper(rounding);
+  for (int k = 0; k < lu.n - 1; ++k) {
+    const fp::FpValue pivot(lu.at(k, k), fmt);
+    if (pivot.biased_exp() == 0) {
+      throw std::domain_error("reference_lu: zero (or flushed) pivot");
+    }
+    for (int i = k + 1; i < lu.n; ++i) {
+      lu.at(i, k) = fp::div(fp::FpValue(lu.at(i, k), fmt), pivot, env).bits;
+    }
+    for (int j = k + 1; j < lu.n; ++j) {
+      const fp::FpValue u_kj(lu.at(k, j), fmt);
+      for (int i = k + 1; i < lu.n; ++i) {
+        const fp::FpValue prod = fp::mul(
+            fp::neg(fp::FpValue(lu.at(i, k), fmt)), u_kj, env);
+        lu.at(i, j) =
+            fp::add(fp::FpValue(lu.at(i, j), fmt), prod, env).bits;
+      }
+    }
+  }
+  return lu;
+}
+
+std::vector<fp::u64> lu_solve(const Matrix& lu, const std::vector<fp::u64>& b,
+                              fp::FpFormat fmt, fp::RoundingMode rounding) {
+  const int n = lu.n;
+  if (static_cast<int>(b.size()) != n) {
+    throw std::invalid_argument("lu_solve: size mismatch");
+  }
+  fp::FpEnv env = fp::FpEnv::paper(rounding);
+  // Forward substitution with the unit-diagonal L.
+  std::vector<fp::FpValue> y(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    fp::FpValue acc(b[static_cast<std::size_t>(i)], fmt);
+    for (int j = 0; j < i; ++j) {
+      const fp::FpValue prod = fp::mul(fp::FpValue(lu.at(i, j), fmt),
+                                       y[static_cast<std::size_t>(j)], env);
+      acc = fp::sub(acc, prod, env);
+    }
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+  // Back substitution with U.
+  std::vector<fp::u64> x(static_cast<std::size_t>(n), 0);
+  for (int i = n - 1; i >= 0; --i) {
+    fp::FpValue acc = y[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < n; ++j) {
+      const fp::FpValue prod =
+          fp::mul(fp::FpValue(lu.at(i, j), fmt),
+                  fp::FpValue(x[static_cast<std::size_t>(j)], fmt), env);
+      acc = fp::sub(acc, prod, env);
+    }
+    x[static_cast<std::size_t>(i)] =
+        fp::div(acc, fp::FpValue(lu.at(i, i), fmt), env).bits;
+  }
+  return x;
+}
+
+}  // namespace flopsim::kernel

@@ -1,0 +1,62 @@
+// LU decomposition on the PE array + a pipelined divider — the companion
+// kernel the same group built on these cores ("A High-Performance and
+// Energy-efficient Architecture for Floating-point based LU Decomposition
+// on FPGAs", Govindu et al.); here as a library extension showing the units
+// carry a second full linear-algebra kernel.
+//
+// Right-looking LU without pivoting: for each k,
+//   divide phase:  l[i][k] = a[i][k] / a[k][k]   (streamed through the
+//                  pipelined divider, one per cycle)
+//   update phase:  a[i][j] -= l[i][k] * a[k][j]  (MACs across the PE strip,
+//                  one per cycle per PE; the per-column row sweep reuses
+//                  accumulator rows, so columns shorter than the adder
+//                  latency insert bubbles — the same latency-hiding
+//                  constraint as the matmul kernel's zero padding)
+//
+// The factorization is bit-exact with a softfloat reference using the
+// identical operation order.
+#pragma once
+
+#include "kernel/matmul.hpp"  // Matrix, PeConfig
+
+namespace flopsim::kernel {
+
+struct LuRun {
+  /// In-place factors: U on and above the diagonal, unit-lower L below.
+  Matrix lu;
+  long cycles = 0;
+  long divides = 0;
+  long macs = 0;
+  long bubbles = 0;  ///< stall cycles inserted to respect hazard windows
+  long hazards = 0;  ///< must be 0
+  std::uint8_t flags = 0;
+};
+
+class LuArray {
+ public:
+  /// @param n matrix size; @param p PEs for the update phase (p <= n).
+  LuArray(int n, int p, const PeConfig& cfg);
+
+  /// Factor A (throws std::domain_error on a zero pivot).
+  LuRun run(const Matrix& a);
+
+  int divider_latency() const;
+
+ private:
+  int n_;
+  int p_;
+  PeConfig cfg_;
+  units::FpUnit divider_;
+  std::vector<ProcessingElement> pes_;
+};
+
+/// Softfloat reference with the identical operation order.
+Matrix reference_lu(const Matrix& a, fp::FpFormat fmt,
+                    fp::RoundingMode rounding);
+
+/// Solve L U x = b with the factors from run()/reference_lu (forward +
+/// back substitution in the same arithmetic).
+std::vector<fp::u64> lu_solve(const Matrix& lu, const std::vector<fp::u64>& b,
+                              fp::FpFormat fmt, fp::RoundingMode rounding);
+
+}  // namespace flopsim::kernel

@@ -1,0 +1,143 @@
+#include "kernel/matmul.hpp"
+
+#include <stdexcept>
+
+#include "fp/ops.hpp"
+
+namespace flopsim::kernel {
+
+Matrix Matrix::zero(int n, fp::FpFormat fmt) {
+  (void)fmt;  // all-zero encoding is +0 in every format
+  Matrix m;
+  m.n = n;
+  m.bits.assign(static_cast<std::size_t>(n) * n, 0);
+  return m;
+}
+
+Matrix matrix_from_doubles(const std::vector<double>& vals, int n,
+                           fp::FpFormat fmt) {
+  if (static_cast<int>(vals.size()) != n * n) {
+    throw std::invalid_argument("matrix_from_doubles: size mismatch");
+  }
+  Matrix m = Matrix::zero(n, fmt);
+  fp::FpEnv env = fp::FpEnv::paper();
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    m.bits[i] = fp::from_double(vals[i], fmt, env).bits;
+  }
+  return m;
+}
+
+LinearArrayMatmul::LinearArrayMatmul(int n, const PeConfig& cfg)
+    : n_(n), cfg_(cfg) {
+  if (n <= 0) throw std::invalid_argument("LinearArrayMatmul: n must be > 0");
+  PeConfig pe_cfg = cfg;
+  // Storage must cover the padded row range.
+  const ProcessingElement probe(pe_cfg);
+  pe_cfg.storage_rows =
+      std::max(cfg.storage_rows, n + probe.total_latency() + 8);
+  pes_.reserve(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) pes_.emplace_back(pe_cfg);
+}
+
+MatmulRun LinearArrayMatmul::run(const Matrix& a, const Matrix& b,
+                                 const Matrix* c0) {
+  if (a.n != n_ || b.n != n_ || (c0 != nullptr && c0->n != n_)) {
+    throw std::invalid_argument("LinearArrayMatmul: operand size mismatch");
+  }
+  const int pl = pes_[0].total_latency();
+  const Schedule sched =
+      make_schedule(n_, pad_override_ >= 0 ? pad_override_ : pl);
+
+  for (int j = 0; j < n_; ++j) {
+    pes_[static_cast<std::size_t>(j)].clear();
+    if (c0 != nullptr) {
+      for (int i = 0; i < n_; ++i) {
+        pes_[static_cast<std::size_t>(j)].set_acc(i, c0->at(i, j));
+      }
+    }
+  }
+
+  MatmulRun run;
+  run.schedule = sched;
+  const long issue_span = static_cast<long>(n_) * sched.n_eff;
+  const long total = issue_span + (n_ - 1) + pl + 1;
+  for (long t = 0; t < total; ++t) {
+    for (int j = 0; j < n_; ++j) {
+      ProcessingElement& pe = pes_[static_cast<std::size_t>(j)];
+      const long tj = t - j;  // systolic skew: PE j runs j cycles behind
+      std::optional<ProcessingElement::MacIssue> issue;
+      if (tj >= 0 && tj < issue_span) {
+        const int k = static_cast<int>(tj / sched.n_eff);
+        const int i = static_cast<int>(tj % sched.n_eff);
+        if (i < n_) {
+          issue = ProcessingElement::MacIssue{a.at(i, k), b.at(k, j), i};
+        } else {
+          // Zero padding: the unit computes 0*0 + acc_pad — real switching,
+          // wasted work (the paper's Section 5 energy-waste source).
+          issue = ProcessingElement::MacIssue{0, 0, i};
+          ++run.padded_issues;
+        }
+        ++run.mac_issues;
+      }
+      pe.step(issue);
+    }
+  }
+  run.cycles = total;
+
+  run.c = Matrix::zero(n_, cfg_.fmt);
+  for (int j = 0; j < n_; ++j) {
+    const ProcessingElement& pe = pes_[static_cast<std::size_t>(j)];
+    if (!pe.drained()) {
+      throw std::logic_error("LinearArrayMatmul: pipeline not drained");
+    }
+    run.hazards += pe.hazards();
+    run.flags |= pe.flags();
+    for (int i = 0; i < n_; ++i) run.c.at(i, j) = pe.acc(i);
+  }
+  if (run.hazards > 0 && pad_override_ < 0) {
+    throw std::runtime_error(
+        "LinearArrayMatmul: RAW hazard despite default padding");
+  }
+  return run;
+}
+
+Matrix reference_gemm(const Matrix& a, const Matrix& b, fp::FpFormat fmt,
+                      fp::RoundingMode rounding, const Matrix* c0) {
+  const int n = a.n;
+  Matrix c = Matrix::zero(n, fmt);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      fp::FpEnv env = fp::FpEnv::paper(rounding);
+      fp::FpValue acc(c0 != nullptr ? c0->at(i, j) : 0, fmt);
+      for (int k = 0; k < n; ++k) {
+        const fp::FpValue prod =
+            fp::mul(fp::FpValue(a.at(i, k), fmt), fp::FpValue(b.at(k, j), fmt),
+                    env);
+        acc = fp::add(acc, prod, env);
+      }
+      c.at(i, j) = acc.bits;
+    }
+  }
+  return c;
+}
+
+Matrix reference_gemm_fused(const Matrix& a, const Matrix& b,
+                            fp::FpFormat fmt, fp::RoundingMode rounding,
+                            const Matrix* c0) {
+  const int n = a.n;
+  Matrix c = Matrix::zero(n, fmt);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      fp::FpEnv env = fp::FpEnv::paper(rounding);
+      fp::FpValue acc(c0 != nullptr ? c0->at(i, j) : 0, fmt);
+      for (int k = 0; k < n; ++k) {
+        acc = fp::fma(fp::FpValue(a.at(i, k), fmt),
+                      fp::FpValue(b.at(k, j), fmt), acc, env);
+      }
+      c.at(i, j) = acc.bits;
+    }
+  }
+  return c;
+}
+
+}  // namespace flopsim::kernel

@@ -1,0 +1,79 @@
+// Cycle-accurate linear-array matrix multiplication on the structural FP
+// units — the kernel the paper uses to evaluate its cores (Section 4.2).
+#pragma once
+
+#include <vector>
+
+#include "kernel/pe.hpp"
+#include "kernel/schedule.hpp"
+
+namespace flopsim::kernel {
+
+/// Dense row-major matrix of operand encodings in a shared format.
+struct Matrix {
+  int n = 0;
+  std::vector<fp::u64> bits;  // n*n, row-major
+
+  static Matrix zero(int n, fp::FpFormat fmt);
+  fp::u64& at(int r, int c) { return bits[static_cast<std::size_t>(r) * n + c]; }
+  const fp::u64& at(int r, int c) const {
+    return bits[static_cast<std::size_t>(r) * n + c];
+  }
+};
+
+/// Build a matrix from doubles (rounded into fmt under the paper env).
+Matrix matrix_from_doubles(const std::vector<double>& vals, int n,
+                           fp::FpFormat fmt);
+
+struct MatmulRun {
+  Matrix c;
+  Schedule schedule;
+  long cycles = 0;
+  long mac_issues = 0;     ///< across all PEs, incl. padding
+  long padded_issues = 0;  ///< zero-padded MACs (wasted)
+  long hazards = 0;
+  std::uint8_t flags = 0;  ///< accumulated FP exception flags
+};
+
+class LinearArrayMatmul {
+ public:
+  /// Array of p = n PEs (one C column each).
+  LinearArrayMatmul(int n, const PeConfig& cfg);
+
+  /// Compute C = C0 + A*B cycle-by-cycle on the array. C0 defaults to zero;
+  /// passing an accumulator matrix is how block decomposition chains block
+  /// products. Throws std::runtime_error on a RAW hazard unless the
+  /// schedule padding covers the latency (it always does with the default
+  /// threshold).
+  MatmulRun run(const Matrix& a, const Matrix& b,
+                const Matrix* c0 = nullptr);
+
+  /// Override the padding threshold (default: PL = Lmul + Ladd, the paper's
+  /// rule). Used by tests to demonstrate the hazard window.
+  void set_pad_threshold(int pl) { pad_override_ = pl; }
+
+  int n() const { return n_; }
+  const ProcessingElement& pe(int j) const {
+    return pes_[static_cast<std::size_t>(j)];
+  }
+
+ private:
+  int n_;
+  PeConfig cfg_;
+  std::vector<ProcessingElement> pes_;
+  int pad_override_ = -1;
+};
+
+/// Reference GEMM with the same arithmetic and accumulation order as the
+/// array (k ascending), under the paper env: the array must match this
+/// bit-for-bit.
+Matrix reference_gemm(const Matrix& a, const Matrix& b, fp::FpFormat fmt,
+                      fp::RoundingMode rounding, const Matrix* c0 = nullptr);
+
+/// Reference for fused-MAC PEs: acc = fma(a, b, acc) per k, single
+/// rounding per accumulate.
+Matrix reference_gemm_fused(const Matrix& a, const Matrix& b,
+                            fp::FpFormat fmt, fp::RoundingMode rounding,
+                            const Matrix* c0 = nullptr);
+
+}  // namespace flopsim::kernel

@@ -1,0 +1,162 @@
+#include "kernel/metrics.hpp"
+
+#include <algorithm>
+
+#include "power/unit_power.hpp"
+
+namespace flopsim::kernel {
+namespace {
+
+/// Device-level overhead not attributable to PEs: I/O banks and the global
+/// clock trunk (mW).
+constexpr double kDeviceOverheadMw = 500.0;
+
+}  // namespace
+
+KernelDesign::KernelDesign(const PeConfig& cfg)
+    : cfg_(cfg), probe_(cfg) {}
+
+int KernelDesign::max_pes(const device::Device& dev) const {
+  return dev.max_instances(pe_resources());
+}
+
+double KernelDesign::device_gflops(const device::Device& dev) const {
+  // One multiplier + one adder per PE: 2 FLOPs per cycle per PE.
+  return 2.0 * max_pes(dev) * freq_mhz() / 1000.0;
+}
+
+double KernelDesign::device_power_w(const device::Device& dev) const {
+  const double f = freq_mhz();
+  const device::TechModel& tech = cfg_.tech;
+
+  // MAC switching with glitch amplification (weighted by LUT count).
+  const double ga = power::glitch_factor(
+      power::avg_pieces_per_stage(probe_.adder()));
+  const double gm = power::glitch_factor(
+      power::avg_pieces_per_stage(probe_.multiplier()));
+  const auto aa = probe_.adder().area().total;
+  const auto am = probe_.multiplier().area().total;
+  const double g =
+      (ga * aa.luts + gm * am.luts) / std::max(1, aa.luts + am.luts);
+
+  const double mac_mw =
+      power::estimate_power(probe_.mac_resources(), f, 0.5 * g, tech)
+          .total_mw();
+  const double sto_mw =
+      power::estimate_power(probe_.storage_resources(), f, 0.5, tech)
+          .total_mw();
+  const double ctl_mw =
+      power::estimate_power(probe_.control_resources(), f, 0.4, tech)
+          .total_mw();
+  const double static_mw =
+      pe_resources().slices * tech.static_power_coeff();
+  const double pe_mw = mac_mw + sto_mw + ctl_mw + static_mw;
+  return (max_pes(dev) * pe_mw + kDeviceOverheadMw) / 1000.0;
+}
+
+double KernelDesign::gflops_per_watt(const device::Device& dev) const {
+  const double w = device_power_w(dev);
+  return w > 0.0 ? device_gflops(dev) / w : 0.0;
+}
+
+long KernelDesign::latency_cycles(int n) const {
+  return make_schedule(n, pl()).total_cycles();
+}
+
+double KernelDesign::latency_us(int n) const {
+  return latency_cycles(n) / freq_mhz();
+}
+
+power::EnergyReport KernelDesign::energy_from_counts(
+    long cycles, long issues_per_pe, long io_words_per_pe) const {
+  const device::TechModel& tech = cfg_.tech;
+  const double ga = power::glitch_factor(
+      power::avg_pieces_per_stage(probe_.adder()));
+  const double gm = power::glitch_factor(
+      power::avg_pieces_per_stage(probe_.multiplier()));
+  const auto aa = probe_.adder().area().total;
+  const auto am = probe_.multiplier().area().total;
+  const double g =
+      (ga * aa.luts + gm * am.luts) / std::max(1, aa.luts + am.luts);
+
+  std::vector<power::Component> comps;
+  comps.push_back({"MAC", probe_.mac_resources(), 0.5 * g,
+                   static_cast<double>(issues_per_pe)});
+  // One accumulator read and one write per MAC, plus the resident-B load.
+  comps.push_back({"Storage", probe_.storage_resources(), 0.5,
+                   2.0 * issues_per_pe});
+  device::Resources io_res;
+  io_res.luts = cfg_.fmt.total_bits();
+  io_res.ffs = cfg_.fmt.total_bits();
+  comps.push_back({"IO", io_res, 1.0, static_cast<double>(io_words_per_pe)});
+  comps.push_back({"Misc", probe_.control_resources(), 0.4,
+                   static_cast<double>(cycles)});
+
+  power::EnergyReport rep =
+      power::estimate_energy(comps, freq_mhz(), cycles, tech);
+
+  // Quiescent power burns for the whole runtime; the paper folds it in at
+  // the system level. Attribute it to Misc.
+  const double runtime_s = cycles / (freq_mhz() * 1e6);
+  const double static_nj =
+      pe_resources().slices * tech.static_power_coeff() * runtime_s * 1e6;
+  for (auto& e : rep.entries) {
+    if (e.name == "Misc") {
+      e.energy_nj += static_nj;
+      break;
+    }
+  }
+  rep.total_nj += static_nj;
+  return rep;
+}
+
+power::EnergyReport KernelDesign::pe_energy(int n) const {
+  const Schedule s = make_schedule(n, pl());
+  const long io_words = static_cast<long>(n) * s.n_eff + 2L * n;
+  return energy_from_counts(s.total_cycles(), s.issues_per_pe(), io_words);
+}
+
+power::EnergyReport KernelDesign::pe_energy_blocked(int n, int b) const {
+  const BlockMatmulStats st = block_matmul_stats(n, b, pl());
+  const long per_pe_issues = st.mac_issues / b;
+  const long io_words =
+      st.block_products *
+      (static_cast<long>(b) * st.block_schedule.n_eff + 2L * b);
+  return energy_from_counts(st.cycles, per_pe_issues, io_words);
+}
+
+double KernelDesign::padding_waste_fraction(int n) const {
+  const Schedule s = make_schedule(n, pl());
+  return s.padding_fraction();
+}
+
+PeConfig pe_min_pipelined() {
+  PeConfig c;
+  c.adder_stages = 6;
+  c.mult_stages = 4;  // PL = 10
+  return c;
+}
+
+PeConfig pe_moderate_pipelined() {
+  PeConfig c;
+  c.adder_stages = 12;
+  c.mult_stages = 7;  // PL = 19
+  return c;
+}
+
+PeConfig pe_max_pipelined() {
+  PeConfig c;
+  c.adder_stages = 16;
+  c.mult_stages = 9;  // PL = 25
+  return c;
+}
+
+PeConfig pe_double_optimal() {
+  PeConfig c;
+  c.fmt = fp::FpFormat::binary64();
+  c.adder_stages = 12;
+  c.mult_stages = 7;
+  return c;
+}
+
+}  // namespace flopsim::kernel

@@ -1,0 +1,73 @@
+// Kernel-level performance, resource, and energy metrics — the quantities
+// behind Section 4.2 (GFLOPS, GFLOPS/W) and Section 5 (Figures 4-6).
+#pragma once
+
+#include "device/device.hpp"
+#include "kernel/block_matmul.hpp"
+#include "kernel/pe.hpp"
+#include "power/energy_model.hpp"
+#include "power/processors.hpp"
+
+namespace flopsim::kernel {
+
+/// A matrix-multiply design point: PE configuration + the analysis around
+/// it. Construction instantiates one probe PE (cheap) to pull latencies,
+/// frequencies and resource vectors from the structural units.
+class KernelDesign {
+ public:
+  explicit KernelDesign(const PeConfig& cfg);
+
+  const PeConfig& config() const { return cfg_; }
+  /// PL: total MAC latency (multiplier + adder stages).
+  int pl() const { return probe_.total_latency(); }
+  /// The array clock: bounded by the slower unit.
+  double freq_mhz() const { return probe_.freq_mhz(); }
+  device::Resources pe_resources() const { return probe_.resources(); }
+
+  /// PEs that fit on the device (the array size p).
+  int max_pes(const device::Device& dev) const;
+  /// Sustained device throughput for large problems: 2 FLOPs/cycle/PE.
+  double device_gflops(const device::Device& dev) const;
+  /// Full-device power (dynamic for all PEs + device static).
+  double device_power_w(const device::Device& dev) const;
+  double gflops_per_watt(const device::Device& dev) const;
+
+  /// Latency in cycles / microseconds of an n x n product on an n-PE array
+  /// (zero-padded below PL per the paper's rule).
+  long latency_cycles(int n) const;
+  double latency_us(int n) const;
+
+  /// Per-PE energy breakdown for one n x n product (Figures 4 and 5):
+  /// components MAC / Storage / IO / Misc, with zero-padding counted as
+  /// real (wasted) MAC work.
+  power::EnergyReport pe_energy(int n) const;
+  /// Same for blocked execution with block size b (Figure 6): the b-PE
+  /// array processes all (n/b)^3 block products.
+  power::EnergyReport pe_energy_blocked(int n, int b) const;
+
+  /// Energy wasted on zero-padding, as a fraction of MAC energy.
+  double padding_waste_fraction(int n) const;
+
+  /// General per-PE energy accounting from activity counts — lets other
+  /// kernels (MVM, LU) reuse the same component model.
+  power::EnergyReport energy_from_counts(long cycles, long issues_per_pe,
+                                         long io_words_per_pe) const;
+
+ private:
+
+  PeConfig cfg_;
+  ProcessingElement probe_;
+};
+
+/// Convenience: the paper's three reference pipelining configurations for
+/// binary32 PEs — minimum (PL=10), moderate (PL=19), maximum (PL=25),
+/// matching Figures 4-6's pl = 10 / 19 / 25.
+PeConfig pe_min_pipelined();
+PeConfig pe_moderate_pipelined();
+PeConfig pe_max_pipelined();
+
+/// Double-precision counterpart used in Section 4.2's double-precision
+/// GFLOPS claim.
+PeConfig pe_double_optimal();
+
+}  // namespace flopsim::kernel

@@ -1,0 +1,95 @@
+#include "kernel/mvm.hpp"
+
+#include <stdexcept>
+
+#include "fp/ops.hpp"
+
+namespace flopsim::kernel {
+
+LinearArrayMvm::LinearArrayMvm(int n, int p, const PeConfig& cfg)
+    : n_(n), p_(p), cfg_(cfg) {
+  if (n <= 0 || p <= 0 || n % p != 0) {
+    throw std::invalid_argument("LinearArrayMvm: p must divide n");
+  }
+  PeConfig pe_cfg = cfg;
+  const ProcessingElement probe(pe_cfg);
+  pe_cfg.storage_rows =
+      std::max(cfg.storage_rows, n / p + probe.total_latency() + 8);
+  pes_.reserve(static_cast<std::size_t>(p));
+  for (int j = 0; j < p; ++j) pes_.emplace_back(pe_cfg);
+}
+
+int LinearArrayMvm::pl() const { return pes_[0].total_latency(); }
+
+MvmRun LinearArrayMvm::run(const Matrix& a, const std::vector<fp::u64>& x) {
+  if (a.n != n_ || static_cast<int>(x.size()) != n_) {
+    throw std::invalid_argument("LinearArrayMvm: operand size mismatch");
+  }
+  const int r = n_ / p_;
+  const int r_eff = std::max(r, pl());
+
+  for (auto& pe : pes_) pe.clear();
+
+  MvmRun run;
+  run.r_eff = r_eff;
+  const long issue_span = static_cast<long>(n_) * r_eff;
+  const long total = issue_span + (p_ - 1) + pl() + 1;
+  for (long t = 0; t < total; ++t) {
+    for (int j = 0; j < p_; ++j) {
+      ProcessingElement& pe = pes_[static_cast<std::size_t>(j)];
+      const long tj = t - j;  // systolic skew of the x stream
+      std::optional<ProcessingElement::MacIssue> issue;
+      if (tj >= 0 && tj < issue_span) {
+        const int k = static_cast<int>(tj / r_eff);
+        const int i = static_cast<int>(tj % r_eff);
+        if (i < r) {
+          issue = ProcessingElement::MacIssue{a.at(j * r + i, k), x[k], i};
+        } else {
+          issue = ProcessingElement::MacIssue{0, 0, i};
+          ++run.padded_issues;
+        }
+        ++run.mac_issues;
+      }
+      pe.step(issue);
+    }
+  }
+  run.cycles = total;
+
+  run.y.assign(static_cast<std::size_t>(n_), 0);
+  for (int j = 0; j < p_; ++j) {
+    const ProcessingElement& pe = pes_[static_cast<std::size_t>(j)];
+    if (!pe.drained()) {
+      throw std::logic_error("LinearArrayMvm: pipeline not drained");
+    }
+    run.hazards += pe.hazards();
+    run.flags |= pe.flags();
+    for (int i = 0; i < r; ++i) {
+      run.y[static_cast<std::size_t>(j * r + i)] = pe.acc(i);
+    }
+  }
+  if (run.hazards > 0) {
+    throw std::runtime_error("LinearArrayMvm: RAW hazard despite padding");
+  }
+  return run;
+}
+
+std::vector<fp::u64> reference_mvm(const Matrix& a,
+                                   const std::vector<fp::u64>& x,
+                                   fp::FpFormat fmt,
+                                   fp::RoundingMode rounding) {
+  const int n = a.n;
+  std::vector<fp::u64> y(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    fp::FpEnv env = fp::FpEnv::paper(rounding);
+    fp::FpValue acc = fp::make_zero(fmt);
+    for (int k = 0; k < n; ++k) {
+      const fp::FpValue prod = fp::mul(fp::FpValue(a.at(i, k), fmt),
+                                       fp::FpValue(x[k], fmt), env);
+      acc = fp::add(acc, prod, env);
+    }
+    y[static_cast<std::size_t>(i)] = acc.bits;
+  }
+  return y;
+}
+
+}  // namespace flopsim::kernel

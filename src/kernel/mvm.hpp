@@ -1,0 +1,56 @@
+// Matrix-vector multiplication on the linear PE array (library extension:
+// the paper motivates its cores with "kernels like matrix and vector
+// operations"; this is the vector one).
+//
+// y = A x for an n x n matrix on p PEs (p | n): PE j owns the row strip
+// y[j*r .. (j+1)*r), r = n/p, with its strip of A resident in local
+// storage. The vector element x[k] streams through the array systolically;
+// during phase k PE j folds a[row][k] * x[k] into each of its rows. A row
+// is revisited once per phase — the same RAW window as the matmul kernel —
+// so the row loop zero-pads to r_eff = max(r, PL) per the paper's rule.
+#pragma once
+
+#include <vector>
+
+#include "kernel/matmul.hpp"  // Matrix, PeConfig
+#include "kernel/schedule.hpp"
+
+namespace flopsim::kernel {
+
+struct MvmRun {
+  std::vector<fp::u64> y;
+  long cycles = 0;
+  long mac_issues = 0;
+  long padded_issues = 0;
+  long hazards = 0;
+  std::uint8_t flags = 0;
+  int r_eff = 0;  ///< padded rows-per-PE inner loop
+};
+
+class LinearArrayMvm {
+ public:
+  /// @param n problem size; @param p PE count (must divide n).
+  LinearArrayMvm(int n, int p, const PeConfig& cfg);
+
+  /// Compute y = A x cycle-by-cycle.
+  MvmRun run(const Matrix& a, const std::vector<fp::u64>& x);
+
+  int n() const { return n_; }
+  int pes() const { return p_; }
+  /// Padding threshold (PL of the PE).
+  int pl() const;
+
+ private:
+  int n_;
+  int p_;
+  PeConfig cfg_;
+  std::vector<ProcessingElement> pes_;
+};
+
+/// Reference with the same arithmetic/order under the paper env.
+std::vector<fp::u64> reference_mvm(const Matrix& a,
+                                   const std::vector<fp::u64>& x,
+                                   fp::FpFormat fmt,
+                                   fp::RoundingMode rounding);
+
+}  // namespace flopsim::kernel

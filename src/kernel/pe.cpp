@@ -1,0 +1,175 @@
+#include "kernel/pe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace flopsim::kernel {
+
+units::UnitConfig PeConfig::adder_config() const {
+  units::UnitConfig c;
+  c.stages = adder_stages;
+  c.rounding = rounding;
+  c.objective = objective;
+  c.tech = tech;
+  return c;
+}
+
+units::UnitConfig PeConfig::mult_config() const {
+  units::UnitConfig c = adder_config();
+  c.stages = mult_stages;
+  return c;
+}
+
+units::UnitConfig PeConfig::mac_config() const {
+  units::UnitConfig c = adder_config();
+  c.stages = adder_stages + mult_stages;
+  return c;
+}
+
+ProcessingElement::ProcessingElement(const PeConfig& cfg)
+    : cfg_(cfg),
+      mult_(units::UnitKind::kMultiplier, cfg.fmt, cfg.mult_config()),
+      adder_(units::UnitKind::kAdder, cfg.fmt, cfg.adder_config()),
+      acc_(static_cast<std::size_t>(cfg.storage_rows), 0),
+      pending_writes_(static_cast<std::size_t>(cfg.storage_rows), 0) {
+  if (cfg.storage_rows <= 0) {
+    throw std::invalid_argument("PeConfig: storage_rows must be positive");
+  }
+  if (cfg.use_fused_mac) {
+    mac_.emplace(units::UnitKind::kMac, cfg.fmt, cfg.mac_config());
+  }
+}
+
+int ProcessingElement::total_latency() const {
+  return mac_.has_value() ? mac_->latency()
+                          : mult_.latency() + adder_.latency();
+}
+
+void ProcessingElement::step(const std::optional<MacIssue>& issue) {
+  if (mac_.has_value()) {
+    // Fused datapath: acc[row] is the addend, read at issue time — the
+    // hazard window is the full MAC latency.
+    if (issue.has_value()) {
+      if (issue->row < 0 || issue->row >= cfg_.storage_rows) {
+        throw std::out_of_range("ProcessingElement: accumulator row");
+      }
+      const std::size_t row = static_cast<std::size_t>(issue->row);
+      if (pending_writes_[row] > 0) ++hazards_;
+      mac_->step(units::UnitInput{issue->a, issue->b, false, acc_[row]});
+      adder_rows_.push(issue->row);
+      ++pending_writes_[row];
+      ++mac_issues_;
+      ++in_flight_;
+    } else {
+      mac_->step(std::nullopt);
+    }
+    if (const auto out = mac_->output()) {
+      const int row = adder_rows_.front();
+      adder_rows_.pop();
+      acc_[static_cast<std::size_t>(row)] = out->result;
+      flags_ |= out->flags;
+      --pending_writes_[static_cast<std::size_t>(row)];
+      --in_flight_;
+    }
+    return;
+  }
+
+  // Multiplier front end.
+  if (issue.has_value()) {
+    if (issue->row < 0 || issue->row >= cfg_.storage_rows) {
+      throw std::out_of_range("ProcessingElement: accumulator row");
+    }
+    mult_.step(units::UnitInput{issue->a, issue->b, false});
+    mult_rows_.push(issue->row);
+    ++mac_issues_;
+    ++in_flight_;
+  } else {
+    mult_.step(std::nullopt);
+  }
+
+  // The operand register between the units issues into the adder, and the
+  // fresh product (paired with the accumulator read — where a RAW hazard
+  // can bite) loads it for next cycle. Total MAC latency is Lmul + Ladd.
+  adder_.step(add_stage_reg_);
+  add_stage_reg_.reset();
+  if (const auto prod = mult_.output()) {
+    const int row = mult_rows_.front();
+    mult_rows_.pop();
+    if (pending_writes_[static_cast<std::size_t>(row)] > 0) ++hazards_;
+    add_stage_reg_ = units::UnitInput{
+        prod->result, acc_[static_cast<std::size_t>(row)], false};
+    flags_ |= prod->flags;
+    adder_rows_.push(row);
+    ++pending_writes_[static_cast<std::size_t>(row)];
+  }
+
+  // Writeback.
+  if (const auto sum = adder_.output()) {
+    const int row = adder_rows_.front();
+    adder_rows_.pop();
+    acc_[static_cast<std::size_t>(row)] = sum->result;
+    flags_ |= sum->flags;
+    --pending_writes_[static_cast<std::size_t>(row)];
+    --in_flight_;
+  }
+}
+
+void ProcessingElement::clear() {
+  std::fill(acc_.begin(), acc_.end(), 0);
+  std::fill(pending_writes_.begin(), pending_writes_.end(), 0);
+  mult_rows_ = {};
+  adder_rows_ = {};
+  mult_.reset();
+  adder_.reset();
+  if (mac_.has_value()) mac_->reset();
+  add_stage_reg_.reset();
+  in_flight_ = 0;
+  mac_issues_ = 0;
+  hazards_ = 0;
+  flags_ = 0;
+}
+
+device::Resources ProcessingElement::mac_resources() const {
+  return mac_.has_value() ? mac_->area().total
+                          : adder_.area().total + mult_.area().total;
+}
+
+device::Resources ProcessingElement::storage_resources() const {
+  device::Resources r;
+  const int n = cfg_.fmt.total_bits();
+  r.brams = 1;  // accumulator bank
+  // Resident-B register, input pass register, and the BRAM access mux.
+  r.ffs = 2 * n;
+  r.luts = n;
+  r.slices = n;
+  return r;
+}
+
+device::Resources ProcessingElement::control_resources() const {
+  device::Resources r;
+  // Counters and comparators for the (k, i) schedule...
+  r.slices = 24;
+  r.luts = 40;
+  r.ffs = 24;
+  // ...plus the control shift registers: "the control signals also have to
+  // be shifted using shift registers so that the correct schedule of
+  // operations is maintained" — their length tracks the pipeline latency.
+  const int ctl_bits = 4 * total_latency();
+  r.ffs += ctl_bits;
+  r.slices += static_cast<int>(
+      std::ceil(static_cast<double>(ctl_bits) /
+                (cfg_.tech.ffs_per_slice() * cfg_.tech.ff_absorption() + 1)));
+  return r;
+}
+
+device::Resources ProcessingElement::resources() const {
+  return mac_resources() + storage_resources() + control_resources();
+}
+
+double ProcessingElement::freq_mhz() const {
+  return mac_.has_value() ? mac_->freq_mhz()
+                          : std::min(adder_.freq_mhz(), mult_.freq_mhz());
+}
+
+}  // namespace flopsim::kernel

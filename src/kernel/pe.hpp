@@ -1,0 +1,105 @@
+// Processing element of the matrix-multiply linear array.
+//
+// Per the paper: "a linear array of identical PEs, each of which contains a
+// floating-point adder and a floating-point multiplier", plus local storage
+// (a BRAM bank of accumulators and the resident B operand) and control
+// (counters and the control-signal shift registers whose length tracks the
+// units' pipeline latency).
+//
+// The PE is cycle-accurate: the multiplier and adder inside are the
+// structural pipelined units, so a MAC issued at cycle t writes back at
+// t + Lmul + Ladd, and accumulator reuse inside that window is a real
+// read-after-write hazard the PE detects and counts.
+#pragma once
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "device/resources.hpp"
+#include "units/fp_unit.hpp"
+
+namespace flopsim::kernel {
+
+struct PeConfig {
+  fp::FpFormat fmt = fp::FpFormat::binary32();
+  int adder_stages = 8;
+  int mult_stages = 5;
+  fp::RoundingMode rounding = fp::RoundingMode::kNearestEven;
+  device::Objective objective = device::Objective::kArea;
+  device::TechModel tech = device::TechModel::virtex2pro7();
+  /// Accumulator words of local storage (BRAM depth used).
+  int storage_rows = 1024;
+  /// Use one fused MAC core (single rounding per accumulate) instead of
+  /// the paper's multiplier + adder pair. Extension; the MAC depth is
+  /// adder_stages + mult_stages for comparability.
+  bool use_fused_mac = false;
+
+  units::UnitConfig adder_config() const;
+  units::UnitConfig mult_config() const;
+  units::UnitConfig mac_config() const;
+};
+
+class ProcessingElement {
+ public:
+  explicit ProcessingElement(const PeConfig& cfg);
+
+  /// A multiply-accumulate: acc[row] += a * b (operand encodings).
+  struct MacIssue {
+    fp::u64 a = 0;
+    fp::u64 b = 0;
+    int row = 0;
+  };
+
+  /// Advance one clock, optionally issuing a MAC.
+  void step(const std::optional<MacIssue>& issue);
+
+  /// Total issue-to-writeback latency: Lmul + Ladd — the paper's "PL".
+  int total_latency() const;
+  int adder_latency() const { return adder_.latency(); }
+  int mult_latency() const { return mult_.latency(); }
+
+  fp::u64 acc(int row) const { return acc_.at(static_cast<std::size_t>(row)); }
+  void set_acc(int row, fp::u64 v) { acc_.at(static_cast<std::size_t>(row)) = v; }
+  void clear();
+
+  /// True when no MAC is in flight.
+  bool drained() const { return in_flight_ == 0; }
+
+  long mac_issues() const { return mac_issues_; }
+  /// Accumulator reads that raced a pending writeback (stale data read).
+  long hazards() const { return hazards_; }
+  std::uint8_t flags() const { return flags_; }
+
+  /// Per-PE FPGA resources: units + storage + control. Control includes the
+  /// latency-proportional control shift registers the paper describes.
+  device::Resources resources() const;
+  device::Resources mac_resources() const;
+  device::Resources storage_resources() const;
+  device::Resources control_resources() const;
+
+  /// The slower of the two units bounds the PE clock.
+  double freq_mhz() const;
+
+  const units::FpUnit& adder() const { return adder_; }
+  const units::FpUnit& multiplier() const { return mult_; }
+
+ private:
+  PeConfig cfg_;
+  units::FpUnit mult_;
+  units::FpUnit adder_;
+  std::optional<units::FpUnit> mac_;  // engaged when cfg.use_fused_mac
+  std::vector<fp::u64> acc_;
+  std::vector<int> pending_writes_;  // per row, writebacks in flight
+  /// Registered operand stage between multiplier output and adder input —
+  /// the accumulator read happens when this register loads.
+  std::optional<units::UnitInput> add_stage_reg_;
+  std::queue<int> mult_rows_;        // row tags riding the multiplier
+  std::queue<int> adder_rows_;       // row tags riding the adder
+  int in_flight_ = 0;
+  long mac_issues_ = 0;
+  long hazards_ = 0;
+  std::uint8_t flags_ = 0;
+};
+
+}  // namespace flopsim::kernel

@@ -1,0 +1,94 @@
+#include "kernel/reducer.hpp"
+
+#include "fp/ops.hpp"
+
+namespace flopsim::kernel {
+
+StreamingReducer::StreamingReducer(fp::FpFormat fmt,
+                                   const units::UnitConfig& adder_cfg)
+    : fmt_(fmt), adder_(units::UnitKind::kAdder, fmt, adder_cfg) {
+  lane_.assign(static_cast<std::size_t>(adder_.latency()) + 1, 0);
+}
+
+void StreamingReducer::step(const std::optional<units::UnitInput>& in,
+                            int dest_lane) {
+  adder_.step(in);
+  if (in.has_value()) in_flight_.push(dest_lane);
+  if (const auto out = adder_.output()) {
+    lane_[static_cast<std::size_t>(in_flight_.front())] = out->result;
+    in_flight_.pop();
+    flags_ |= out->flags;
+  }
+  ++cycles_;
+}
+
+void StreamingReducer::push(fp::u64 value_bits) {
+  // Round-robin across Ladd+1 lanes keeps every lane revisit outside the
+  // adder's hazard window.
+  const int l = next_lane_;
+  next_lane_ = (next_lane_ + 1) % lanes();
+  step(units::UnitInput{lane_[static_cast<std::size_t>(l)],
+                        value_bits & fmt_.bits_mask(), false},
+       l);
+  ++pushed_;
+}
+
+void StreamingReducer::drain() {
+  while (!in_flight_.empty()) step(std::nullopt, 0);
+}
+
+fp::u64 StreamingReducer::finish() {
+  drain();
+  // Pairwise tree over the lanes, reusing the same pipelined adder: issue
+  // each level back-to-back (independent pairs: no hazards), drain, repeat.
+  std::vector<fp::u64> vals = lane_;
+  while (vals.size() > 1) {
+    std::vector<fp::u64> next((vals.size() + 1) / 2, 0);
+    // Map pair i -> lane slot i for collection.
+    for (std::size_t i = 0; i + 1 < vals.size(); i += 2) {
+      step(units::UnitInput{vals[i], vals[i + 1], false},
+           static_cast<int>(i / 2));
+    }
+    drain();
+    for (std::size_t i = 0; i + 1 < vals.size(); i += 2) {
+      next[i / 2] = lane_[i / 2];
+    }
+    if (vals.size() % 2 == 1) next.back() = vals.back();
+    vals = std::move(next);
+  }
+  const fp::u64 total = vals.front();
+
+  // Reset for reuse.
+  std::fill(lane_.begin(), lane_.end(), 0);
+  next_lane_ = 0;
+  pushed_ = 0;
+  adder_.reset();
+  in_flight_ = {};
+  return total;
+}
+
+fp::u64 StreamingReducer::reference(const std::vector<fp::u64>& values,
+                                    fp::FpFormat fmt,
+                                    const units::UnitConfig& cfg) {
+  fp::FpEnv env = fp::FpEnv::paper(cfg.rounding);
+  units::UnitConfig probe_cfg = cfg;
+  const units::FpUnit probe(units::UnitKind::kAdder, fmt, probe_cfg);
+  const std::size_t k = static_cast<std::size_t>(probe.latency()) + 1;
+
+  std::vector<fp::FpValue> lanes(k, fp::make_zero(fmt));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    lanes[i % k] = fp::add(lanes[i % k], fp::FpValue(values[i], fmt), env);
+  }
+  std::vector<fp::FpValue> vals = lanes;
+  while (vals.size() > 1) {
+    std::vector<fp::FpValue> next;
+    for (std::size_t i = 0; i + 1 < vals.size(); i += 2) {
+      next.push_back(fp::add(vals[i], vals[i + 1], env));
+    }
+    if (vals.size() % 2 == 1) next.push_back(vals.back());
+    vals = std::move(next);
+  }
+  return vals.front().bits;
+}
+
+}  // namespace flopsim::kernel

@@ -1,0 +1,61 @@
+// StreamingReducer: a hazard-free accumulator built from one pipelined
+// adder — the general form of the latency-hiding trick the paper's kernels
+// rely on ("data dependencies occur after long and definite intervals ...
+// a designer can hide the latency of the deeply-pipelined floating-point
+// units").
+//
+// A deeply pipelined adder cannot fold a new value into a single register
+// every cycle (the accumulate loop is a RAW hazard of length Ladd). The
+// reducer keeps K = Ladd + 1 interleaved partial sums, absorbing one input
+// per cycle at full throughput, and on finish() drains the pipeline and
+// folds the lanes pairwise through the same adder. Results are bit-exact
+// with the software reference that uses the same lane-then-tree order.
+#pragma once
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "units/fp_unit.hpp"
+
+namespace flopsim::kernel {
+
+class StreamingReducer {
+ public:
+  /// @param adder_cfg pipeline configuration of the underlying adder.
+  StreamingReducer(fp::FpFormat fmt, const units::UnitConfig& adder_cfg);
+
+  /// Feed one value (one clock).
+  void push(fp::u64 value_bits);
+
+  /// Drain the pipeline, fold the lanes, and return the total. The reducer
+  /// can be reused afterwards (state resets).
+  fp::u64 finish();
+
+  int lanes() const { return static_cast<int>(lane_.size()); }
+  long cycles() const { return cycles_; }
+  long pushed() const { return pushed_; }
+  std::uint8_t flags() const { return flags_; }
+
+  /// Software reference with the identical lane + pairwise-tree order.
+  static fp::u64 reference(const std::vector<fp::u64>& values,
+                           fp::FpFormat fmt, const units::UnitConfig& cfg);
+
+  const units::FpUnit& adder() const { return adder_; }
+
+ private:
+  void step(const std::optional<units::UnitInput>& in, int dest_lane);
+  /// Run the pipeline empty, writing back everything in flight.
+  void drain();
+
+  fp::FpFormat fmt_;
+  units::FpUnit adder_;
+  std::vector<fp::u64> lane_;   // partial sums
+  std::queue<int> in_flight_;   // destination lane per adder occupant
+  long cycles_ = 0;
+  long pushed_ = 0;
+  int next_lane_ = 0;
+  std::uint8_t flags_ = 0;
+};
+
+}  // namespace flopsim::kernel

@@ -1,0 +1,18 @@
+#include "kernel/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flopsim::kernel {
+
+Schedule make_schedule(int n, int pl) {
+  if (n <= 0) throw std::invalid_argument("Schedule: n must be positive");
+  if (pl < 0) throw std::invalid_argument("Schedule: pl must be nonnegative");
+  Schedule s;
+  s.n = n;
+  s.pl = pl;
+  s.n_eff = std::max(n, pl);
+  return s;
+}
+
+}  // namespace flopsim::kernel

@@ -1,0 +1,49 @@
+// The linear-array matrix-multiply schedule (Jang-Choi-Prasanna, FPT'02)
+// with the paper's latency-hiding rules.
+//
+// For an n x n product on p = n PEs, PE j owns column j of C and, during
+// phase k, the resident operand b[k][j]. Elements a[i][k] stream through
+// the array systolically (PE j sees them j cycles after PE 0). Each phase
+// runs the row index i through the inner loop; accumulator c[i][j] is
+// revisited once per phase.
+//
+// Hazards: a revisit issued before the previous writeback lands reads stale
+// data. With the PE handoff used here the dangerous window is the adder
+// latency La ("there will be read-after-write hazards only if the matrix
+// size is less than the number of pipeline stages"). The paper pads
+// conservatively against the full unit latency PL = Lmul + Ladd: "the
+// problem size should be greater than the sum of the adder and the
+// multiplier latencies... For smaller problem sizes, zero padding has to be
+// used". n_eff = max(n, PL); the padded fraction is pure energy waste.
+#pragma once
+
+namespace flopsim::kernel {
+
+struct Schedule {
+  int n = 0;      ///< problem size
+  int pl = 0;     ///< padding threshold (PL = Lmul + Ladd)
+  int n_eff = 0;  ///< padded inner-loop length: max(n, pl)
+
+  /// Cycles of one phase (one k value).
+  long phase_cycles() const { return n_eff; }
+  /// Total cycles for the full product on p = n PEs: n phases, the systolic
+  /// skew across the array, and the pipeline drain.
+  long total_cycles() const {
+    return static_cast<long>(n) * n_eff + (n - 1) + pl + 1;
+  }
+  /// MAC issues per PE (real + padded).
+  long issues_per_pe() const { return static_cast<long>(n) * n_eff; }
+  /// Padded (zero-operand) issues per PE — the wasted work.
+  long padded_issues_per_pe() const {
+    return static_cast<long>(n) * (n_eff - n);
+  }
+  /// Fraction of issues wasted on zero padding.
+  double padding_fraction() const {
+    return n_eff > 0 ? static_cast<double>(n_eff - n) / n_eff : 0.0;
+  }
+};
+
+/// Build the schedule for problem size n with padding threshold pl.
+Schedule make_schedule(int n, int pl);
+
+}  // namespace flopsim::kernel

@@ -1,0 +1,92 @@
+#include "kernel/systolic2d.hpp"
+
+#include <stdexcept>
+
+namespace flopsim::kernel {
+
+Systolic2dMatmul::Systolic2dMatmul(int n, int batch, const PeConfig& cfg)
+    : n_(n), batch_(batch), cfg_(cfg) {
+  if (n <= 0 || batch <= 0) {
+    throw std::invalid_argument("Systolic2dMatmul: n and batch must be > 0");
+  }
+  PeConfig pe_cfg = cfg;
+  pe_cfg.storage_rows = std::max(cfg.storage_rows, batch + 4);
+  grid_.reserve(static_cast<std::size_t>(n) * n);
+  for (int i = 0; i < n * n; ++i) grid_.emplace_back(pe_cfg);
+}
+
+int Systolic2dMatmul::min_batch() const {
+  return grid_[0].adder_latency() + 1;
+}
+
+device::Resources Systolic2dMatmul::resources() const {
+  return grid_[0].resources() * (n_ * n_);
+}
+
+double Systolic2dMatmul::freq_mhz() const { return grid_[0].freq_mhz(); }
+
+long Systolic2dMatmul::predicted_cycles() const {
+  // Issue span n*batch steps, wavefront skew 2(n-1), MAC drain.
+  return static_cast<long>(n_) * batch_ + 2L * (n_ - 1) +
+         grid_[0].total_latency() + 1;
+}
+
+Systolic2dRun Systolic2dMatmul::run(const std::vector<Matrix>& a,
+                                    const std::vector<Matrix>& b) {
+  if (static_cast<int>(a.size()) != batch_ ||
+      static_cast<int>(b.size()) != batch_) {
+    throw std::invalid_argument("Systolic2dMatmul: batch size mismatch");
+  }
+  for (const Matrix& m : a) {
+    if (m.n != n_) throw std::invalid_argument("Systolic2dMatmul: A size");
+  }
+  for (const Matrix& m : b) {
+    if (m.n != n_) throw std::invalid_argument("Systolic2dMatmul: B size");
+  }
+  for (auto& pe : grid_) pe.clear();
+
+  Systolic2dRun run;
+  const long issue_span = static_cast<long>(n_) * batch_;
+  const long total = predicted_cycles();
+  for (long t = 0; t < total; ++t) {
+    for (int i = 0; i < n_; ++i) {
+      for (int j = 0; j < n_; ++j) {
+        ProcessingElement& pe =
+            grid_[static_cast<std::size_t>(i) * n_ + j];
+        const long s = t - i - j;  // wavefront skew
+        std::optional<ProcessingElement::MacIssue> issue;
+        if (s >= 0 && s < issue_span) {
+          const int kk = static_cast<int>(s / batch_);
+          const int m = static_cast<int>(s % batch_);
+          issue = ProcessingElement::MacIssue{
+              a[static_cast<std::size_t>(m)].at(i, kk),
+              b[static_cast<std::size_t>(m)].at(kk, j), m};
+          ++run.mac_issues;
+        }
+        pe.step(issue);
+      }
+    }
+  }
+  run.cycles = total;
+
+  run.c.assign(static_cast<std::size_t>(batch_), Matrix::zero(n_, cfg_.fmt));
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      const ProcessingElement& pe =
+          grid_[static_cast<std::size_t>(i) * n_ + j];
+      if (!pe.drained()) {
+        throw std::logic_error("Systolic2dMatmul: pipeline not drained");
+      }
+      run.hazards += pe.hazards();
+      run.flags |= pe.flags();
+      for (int m = 0; m < batch_; ++m) {
+        run.c[static_cast<std::size_t>(m)].at(i, j) = pe.acc(m);
+      }
+    }
+  }
+  // Hazard counting resets per PE across calls via clear(); the caller
+  // decides whether an under-batched (hazardous) run was intentional.
+  return run;
+}
+
+}  // namespace flopsim::kernel

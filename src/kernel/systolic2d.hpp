@@ -1,0 +1,63 @@
+// Baseline architecture: the classic 2-D systolic matrix-multiply array,
+// for comparison with the paper's linear array.
+//
+// An n x n grid of PEs; A rows stream left-to-right skewed by row index, B
+// columns stream top-to-bottom skewed by column index, so PE(i,j) sees the
+// matching (a[i][k], b[k][j]) at cycle k + i + j and accumulates c[i][j]
+// in place. The textbook form assumes a single-cycle MAC — with the
+// paper's deeply pipelined adders, PE-local accumulation every cycle is a
+// RAW hazard. The standard fix is problem interleaving: a batch of
+// independent products shares the grid round-robin, spacing each
+// accumulator's revisits by the batch size. Batch >= Ladd + 1 is
+// hazard-free.
+//
+// This is exactly the contrast the paper draws in Section 2.1: kernels for
+// deeply pipelined units need "data dependencies ... after long and
+// definite intervals" — the linear array gets them from the problem size,
+// the 2-D grid has to import them via batching (and pays n^2 PEs of area
+// granularity). See bench/ext_systolic2d.
+#pragma once
+
+#include <vector>
+
+#include "kernel/matmul.hpp"
+
+namespace flopsim::kernel {
+
+struct Systolic2dRun {
+  std::vector<Matrix> c;  ///< one result per batch member
+  long cycles = 0;
+  long mac_issues = 0;
+  long hazards = 0;
+  std::uint8_t flags = 0;
+};
+
+class Systolic2dMatmul {
+ public:
+  /// @param n problem and grid size (n x n PEs!); @param batch interleaved
+  /// independent products (>= Ladd + 1 for hazard-free operation).
+  Systolic2dMatmul(int n, int batch, const PeConfig& cfg);
+
+  /// Multiply `batch` independent pairs.
+  Systolic2dRun run(const std::vector<Matrix>& a,
+                    const std::vector<Matrix>& b);
+
+  int n() const { return n_; }
+  int batch() const { return batch_; }
+  /// Minimum hazard-free batch for this PE configuration.
+  int min_batch() const;
+  /// Grid resources: n^2 PEs.
+  device::Resources resources() const;
+  double freq_mhz() const;
+
+  /// Analytic cycle count for one batched run.
+  long predicted_cycles() const;
+
+ private:
+  int n_;
+  int batch_;
+  PeConfig cfg_;
+  std::vector<ProcessingElement> grid_;  // n*n, row-major
+};
+
+}  // namespace flopsim::kernel

@@ -1,0 +1,62 @@
+#include "power/activity.hpp"
+
+#include <random>
+#include <vector>
+
+#include "fp/bits.hpp"
+
+namespace flopsim::power {
+
+ActivityStats measure_activity(units::FpUnit& unit, int n,
+                               std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const fp::FpFormat fmt = unit.format();
+
+  unit.reset();
+  std::vector<rtl::SignalSet> prev = unit.latches();
+  // Per-bit toggle support: a register bit counts toward the activity
+  // denominator only if it ever toggles during the workload (bits that are
+  // constant are either unused lanes or tied logic and burn no switching
+  // power).
+  std::vector<std::array<fp::u64, rtl::kMaxSignals>> support(
+      prev.size(), std::array<fp::u64, rtl::kMaxSignals>{});
+  long total_toggles = 0;
+  long cycles = 0;
+  for (int i = 0; i < n + unit.latency(); ++i) {
+    std::optional<units::UnitInput> in;
+    if (i < n) {
+      in = units::UnitInput{rng() & fmt.bits_mask(), rng() & fmt.bits_mask(),
+                            (rng() & 1) != 0 &&
+                                unit.kind() == units::UnitKind::kAdder};
+    }
+    unit.step(in);
+    const auto& cur = unit.latches();
+    for (std::size_t s = 0; s < cur.size(); ++s) {
+      for (int lane = 0; lane < rtl::kMaxSignals; ++lane) {
+        const fp::u64 diff = cur[s][lane] ^ prev[s][lane];
+        total_toggles += fp::popcount64(diff);
+        support[s][static_cast<std::size_t>(lane)] |= diff;
+      }
+    }
+    prev = cur;
+    ++cycles;
+  }
+  unit.reset();
+
+  long support_bits = 0;
+  for (const auto& stage : support) {
+    for (fp::u64 mask : stage) support_bits += fp::popcount64(mask);
+  }
+
+  ActivityStats st;
+  st.cycles = cycles;
+  st.bits_observed = support_bits;
+  st.avg_toggle_rate =
+      cycles > 0 && support_bits > 0
+          ? static_cast<double>(total_toggles) /
+                (static_cast<double>(cycles) * support_bits)
+          : 0.0;
+  return st;
+}
+
+}  // namespace flopsim::power

@@ -1,0 +1,25 @@
+// Toggle-activity measurement from cycle-accurate simulation.
+//
+// XPower needs switching activity; the paper's authors fed it simulation
+// traces. We do the equivalent: drive a unit with a workload and count, per
+// cycle, the fraction of latched bits that toggled.
+#pragma once
+
+#include <cstdint>
+
+#include "units/fp_unit.hpp"
+
+namespace flopsim::power {
+
+struct ActivityStats {
+  double avg_toggle_rate = 0.0;  ///< toggled-bit fraction per cycle, [0,1]
+  long cycles = 0;
+  long bits_observed = 0;
+};
+
+/// Drive `unit` with `n` random operand pairs (seeded deterministically) and
+/// measure the average toggle rate of its pipeline state.
+ActivityStats measure_activity(units::FpUnit& unit, int n,
+                               std::uint64_t seed = 0x7051);
+
+}  // namespace flopsim::power

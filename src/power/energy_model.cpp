@@ -1,0 +1,37 @@
+#include "power/energy_model.hpp"
+
+namespace flopsim::power {
+
+double EnergyReport::component_nj(const std::string& name) const {
+  for (const EnergyEntry& e : entries) {
+    if (e.name == name) return e.energy_nj;
+  }
+  return 0.0;
+}
+
+EnergyReport estimate_energy(const std::vector<Component>& components,
+                             double freq_mhz, double total_cycles,
+                             const device::TechModel& tech) {
+  EnergyReport rep;
+  rep.freq_mhz = freq_mhz;
+  rep.total_cycles = total_cycles;
+  const double runtime_s =
+      freq_mhz > 0.0 ? total_cycles / (freq_mhz * 1e6) : 0.0;
+  for (const Component& c : components) {
+    const PowerBreakdown p = estimate_power(c.res, freq_mhz, c.activity, tech);
+    // Clock power runs for the whole execution (the clock tree does not
+    // gate with the component); switching power only while active.
+    const double active_s =
+        freq_mhz > 0.0 ? c.active_cycles / (freq_mhz * 1e6) : 0.0;
+    const double switching_mw =
+        p.logic_mw + p.signal_mw + p.bmult_mw + p.bram_mw;
+    const double e_nj =
+        (p.clock_mw * runtime_s + switching_mw * active_s) * 1e6;
+    rep.entries.push_back(
+        {c.name, e_nj, runtime_s > 0.0 ? e_nj / (runtime_s * 1e6) : 0.0});
+    rep.total_nj += e_nj;
+  }
+  return rep;
+}
+
+}  // namespace flopsim::power

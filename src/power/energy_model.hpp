@@ -1,0 +1,49 @@
+// Domain-specific energy modeling (Choi et al., ERSA'02), as used by the
+// paper's Section 5.
+//
+// The architecture is decomposed into components (here: MAC, Storage, I/O,
+// Misc). "From the algorithm, we know when and for how long each component
+// is active and its switching activity" — a component contributes
+// P(resources, activity) * active_cycles of energy. The kernel module
+// supplies those activity schedules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/resources.hpp"
+#include "device/tech.hpp"
+#include "power/power_model.hpp"
+
+namespace flopsim::power {
+
+struct Component {
+  std::string name;            ///< "MAC", "Storage", "I/O", "Misc"
+  device::Resources res;
+  double activity = 0.5;       ///< toggle rate while active
+  double active_cycles = 0.0;  ///< cycles this component is busy
+};
+
+struct EnergyEntry {
+  std::string name;
+  double energy_nj = 0.0;
+  double avg_power_mw = 0.0;  ///< energy / total runtime
+};
+
+struct EnergyReport {
+  std::vector<EnergyEntry> entries;
+  double total_nj = 0.0;
+  double total_cycles = 0.0;
+  double freq_mhz = 0.0;
+
+  /// Energy of a named component (0 if absent).
+  double component_nj(const std::string& name) const;
+};
+
+/// Assemble the report: each component burns its power over its active
+/// cycles plus clock power over the whole runtime.
+EnergyReport estimate_energy(const std::vector<Component>& components,
+                             double freq_mhz, double total_cycles,
+                             const device::TechModel& tech);
+
+}  // namespace flopsim::power

@@ -1,0 +1,37 @@
+#include "power/power_model.hpp"
+
+namespace flopsim::power {
+
+PowerBreakdown estimate_power(const device::Resources& r, double freq_mhz,
+                              double activity,
+                              const device::TechModel& tech) {
+  PowerBreakdown p;
+  // The clock tree toggles every cycle regardless of data activity.
+  p.clock_mw = tech.clock_power_coeff() * (r.ffs / 100.0) * freq_mhz;
+  p.logic_mw =
+      tech.logic_power_coeff() * (r.luts / 100.0) * freq_mhz * activity;
+  // Nets: every LUT output and FF output is a routed signal.
+  const double nets = (r.luts + r.ffs) / 100.0;
+  p.signal_mw = tech.signal_power_coeff() * nets * freq_mhz * activity;
+  p.bmult_mw = tech.bmult_power_coeff() * r.bmults * freq_mhz * activity;
+  p.bram_mw = tech.bram_power_coeff() * r.brams * freq_mhz * activity;
+  return p;
+}
+
+double glitch_factor(double avg_pieces_per_stage) {
+  return glitch_factor(avg_pieces_per_stage, 0.45);
+}
+
+double glitch_factor(double avg_pieces_per_stage, double coeff) {
+  if (avg_pieces_per_stage <= 1.0) return 1.0;
+  const double g = 1.0 + coeff * (avg_pieces_per_stage - 1.0);
+  return g > 3.0 ? 3.0 : g;
+}
+
+double energy_nj(const PowerBreakdown& p, double freq_mhz, double cycles) {
+  if (freq_mhz <= 0.0) return 0.0;
+  const double seconds = cycles / (freq_mhz * 1e6);
+  return p.total_mw() * 1e-3 /*W*/ * seconds * 1e9 /*nJ*/;
+}
+
+}  // namespace flopsim::power

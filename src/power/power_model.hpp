@@ -1,0 +1,48 @@
+// XPower-like dynamic power estimation.
+//
+// The paper reports power from Xilinx XPower, counting "only the clocks,
+// signal and logic power" (inputs/outputs and quiescent power excluded).
+// This model mirrors that decomposition: each contribution is an activity-
+// and frequency-scaled product of the design's resource counts and the
+// technology's per-resource coefficients.
+#pragma once
+
+#include "device/resources.hpp"
+#include "device/tech.hpp"
+
+namespace flopsim::power {
+
+struct PowerBreakdown {
+  double clock_mw = 0.0;   ///< clock tree + flip-flops (activity-independent)
+  double logic_mw = 0.0;   ///< LUT switching
+  double signal_mw = 0.0;  ///< net switching
+  double bmult_mw = 0.0;   ///< embedded multipliers
+  double bram_mw = 0.0;    ///< block RAM ports
+
+  double total_mw() const {
+    return clock_mw + logic_mw + signal_mw + bmult_mw + bram_mw;
+  }
+};
+
+/// Dynamic power of a design occupying `r`, clocked at `freq_mhz`, with
+/// average toggle activity `activity` in [0, 1] (fraction of nodes toggling
+/// per cycle). XPower's default assumption is ~0.5 for datapaths;
+/// power::measure_activity() computes the true value from simulation.
+PowerBreakdown estimate_power(const device::Resources& r, double freq_mhz,
+                              double activity,
+                              const device::TechModel& tech);
+
+/// Energy in nJ for running at `freq_mhz` for `cycles` clock cycles.
+double energy_nj(const PowerBreakdown& p, double freq_mhz, double cycles);
+
+/// Glitch multiplier on switching activity as a function of the average
+/// combinational depth per stage (pieces/stage). Long unregistered chains
+/// glitch — spurious transitions multiply switching power; pipeline
+/// registers stop glitch propagation (Wilton et al., the effect behind the
+/// paper's "deeply pipelined architecture ... might consume the least
+/// energy"). 1.0 at depth 1; capped at 3.0.
+double glitch_factor(double avg_pieces_per_stage);
+/// Same, exposing the growth coefficient for ablation (default 0.45).
+double glitch_factor(double avg_pieces_per_stage, double coeff);
+
+}  // namespace flopsim::power

@@ -1,0 +1,32 @@
+// Reference general-purpose processor models for the paper's GFLOPS and
+// GFLOPS/W comparisons (Section 4.2): a 2.54 GHz Pentium 4 and a 1 GHz G4.
+//
+// The paper cites vendor/benchmark figures rather than measuring; we encode
+// sustained matrix-multiply GFLOPS and typical dissipation of the same
+// parts. See EXPERIMENTS.md for provenance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flopsim::power {
+
+struct ProcessorModel {
+  std::string name;
+  double clock_ghz = 0.0;
+  double gflops_single = 0.0;  ///< sustained single-precision matmul
+  double gflops_double = 0.0;  ///< sustained double-precision matmul
+  double power_w = 0.0;        ///< typical dissipation under load
+
+  double gflops_per_watt_single() const { return gflops_single / power_w; }
+  double gflops_per_watt_double() const { return gflops_double / power_w; }
+};
+
+/// 2.54 GHz Intel Pentium 4 (Northwood): SSE/SSE2 matmul, ~60 W.
+ProcessorModel pentium4_254();
+/// 1 GHz Motorola PowerPC G4 (7455): AltiVec matmul, ~21.3 W.
+ProcessorModel g4_1000();
+
+const std::vector<ProcessorModel>& processor_database();
+
+}  // namespace flopsim::power

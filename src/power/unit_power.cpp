@@ -1,0 +1,18 @@
+#include "power/unit_power.hpp"
+
+namespace flopsim::power {
+
+double avg_pieces_per_stage(const units::FpUnit& unit) {
+  return static_cast<double>(unit.pieces().size()) / unit.stages();
+}
+
+PowerBreakdown unit_power(const units::FpUnit& unit, double freq_mhz,
+                          double base_activity, double glitch_coeff) {
+  const double activity =
+      base_activity *
+      glitch_factor(avg_pieces_per_stage(unit), glitch_coeff);
+  return estimate_power(unit.area().total, freq_mhz, activity,
+                        unit.config().tech);
+}
+
+}  // namespace flopsim::power

@@ -1,0 +1,46 @@
+// Piece: one atomic combinational block of a structural unit.
+//
+// Pieces are the granularity at which the paper inserts pipeline registers:
+// "a pipeline stage can be inserted between the comparator and multiplexer",
+// "three muxes in serial can be considered as a stage", "the priority
+// encoder has to be broken into two smaller priority encoders and a 3-bit
+// adder", etc. A unit is an ordered chain of pieces; the pipeline planner
+// (pipeline.hpp) chooses which inter-piece boundaries become registers.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "device/resources.hpp"
+#include "rtl/signals.hpp"
+
+namespace flopsim::rtl {
+
+struct Piece {
+  std::string name;   ///< e.g. "align_l2"
+  std::string group;  ///< owning subunit, e.g. "shifter" — used in reports
+  double delay_ns = 0.0;
+  /// Contribution when this piece shares a stage with its same-group
+  /// predecessor (e.g. a carry chain continuing across chunk boundaries
+  /// pays no fresh LUT/net base). Negative = no discount.
+  double delay_chained_ns = -1.0;
+  device::Resources area;
+  /// Total width (bits) of live signals if a register is placed after this
+  /// piece — the FF cost of cutting here.
+  int live_bits = 0;
+  /// Whether a register may legally be inserted after this piece. The final
+  /// piece's boundary is the always-present output register.
+  bool cut_after = true;
+  std::function<void(SignalSet&)> eval;
+};
+
+using PieceChain = std::vector<Piece>;
+
+/// Run the whole chain combinationally (the zero-register reference).
+void evaluate_chain(const PieceChain& chain, SignalSet& s);
+
+/// Sum of piece areas (logic only, no pipeline registers).
+device::Resources chain_logic_area(const PieceChain& chain);
+
+}  // namespace flopsim::rtl

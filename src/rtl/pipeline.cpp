@@ -1,0 +1,140 @@
+#include "rtl/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace flopsim::rtl {
+
+void evaluate_chain(const PieceChain& chain, SignalSet& s) {
+  for (const Piece& p : chain) p.eval(s);
+}
+
+device::Resources chain_logic_area(const PieceChain& chain) {
+  device::Resources r;
+  for (const Piece& p : chain) r += p.area;
+  return r;
+}
+
+int max_stages(const PieceChain& chain) {
+  int cuts = 0;
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    if (chain[i].cut_after) ++cuts;
+  }
+  return cuts + 1;
+}
+
+PipelinePlan plan_pipeline(const PieceChain& chain, int stages) {
+  const int n = static_cast<int>(chain.size());
+  if (n == 0) throw std::invalid_argument("plan_pipeline: empty chain");
+  stages = std::clamp(stages, 1, max_stages(chain));
+
+  // Legal boundaries: boundary b (1..n-1) sits after piece b-1. Boundary 0
+  // and n are the chain ends.
+  std::vector<int> boundaries{0};
+  for (int i = 0; i + 1 < n; ++i) {
+    if (chain[i].cut_after) boundaries.push_back(i + 1);
+  }
+  boundaries.push_back(n);
+  const int nb = static_cast<int>(boundaries.size());
+
+  auto seg = [&](int bi, int bj) {  // delay of pieces between boundaries
+    return segment_delay(chain, boundaries[bi], boundaries[bj]);
+  };
+
+  // dp[k][j]: min possible max-stage-delay splitting boundaries[0..j] into k
+  // stages; choice[k][j]: the boundary index of the last cut.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> dp(
+      stages + 1, std::vector<double>(nb, kInf));
+  std::vector<std::vector<int>> choice(
+      stages + 1, std::vector<int>(nb, -1));
+  for (int j = 1; j < nb; ++j) dp[1][j] = seg(0, j);
+  for (int k = 2; k <= stages; ++k) {
+    for (int j = k; j < nb; ++j) {
+      for (int m = k - 1; m < j; ++m) {
+        const double cand = std::max(dp[k - 1][m], seg(m, j));
+        if (cand < dp[k][j]) {
+          dp[k][j] = cand;
+          choice[k][j] = m;
+        }
+      }
+    }
+  }
+
+  PipelinePlan plan;
+  std::vector<int> rev;
+  int j = nb - 1;
+  for (int k = stages; k >= 2; --k) {
+    j = choice[k][j];
+    rev.push_back(boundaries[j]);
+  }
+  plan.stage_begin.push_back(0);
+  for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+    plan.stage_begin.push_back(*it);
+  }
+  plan.stage_begin.push_back(n);
+  return plan;
+}
+
+double segment_delay(const PieceChain& chain, int begin, int end) {
+  double d = 0.0;
+  for (int i = begin; i < end; ++i) {
+    const Piece& p = chain[i];
+    const bool chained = i > begin && p.delay_chained_ns >= 0 &&
+                         chain[i - 1].group == p.group;
+    d += chained ? p.delay_chained_ns : p.delay_ns;
+  }
+  return d;
+}
+
+Timing evaluate_timing(const PieceChain& chain, const PipelinePlan& plan,
+                       const device::TechModel& tech) {
+  Timing t;
+  for (int s = 0; s < plan.stages(); ++s) {
+    const double d =
+        segment_delay(chain, plan.stage_begin[s], plan.stage_begin[s + 1]);
+    if (d > t.critical_ns) {
+      t.critical_ns = d;
+      t.critical_stage = s;
+    }
+  }
+  t.period_ns = t.critical_ns + tech.register_overhead_ns();
+  t.freq_mhz = 1000.0 / t.period_ns;
+  return t;
+}
+
+AreaBreakdown evaluate_area(const PieceChain& chain, const PipelinePlan& plan,
+                            const device::TechModel& tech,
+                            device::Objective objective) {
+  AreaBreakdown a;
+  a.logic = chain_logic_area(chain);
+
+  // Register bits: one latch of the live width at each internal cut, plus
+  // the always-present output register after the final piece, plus the
+  // 1-bit DONE/valid shift register per stage.
+  int ffs = 0;
+  for (int s = 1; s < plan.stages(); ++s) {
+    ffs += chain[plan.stage_begin[s] - 1].live_bits;
+  }
+  ffs += chain.back().live_bits;  // output register
+  ffs += plan.stages();           // DONE shift register
+  a.pipeline_ffs = ffs;
+
+  // Absorb FFs into the flip-flops co-located with the logic slices.
+  const int capacity = static_cast<int>(
+      a.logic.slices * tech.ffs_per_slice() * tech.ff_absorption());
+  a.absorbed_ffs = std::min(ffs, capacity);
+  const int spill = ffs - a.absorbed_ffs;
+  const int spill_slices =
+      (spill + tech.ffs_per_slice() - 1) / tech.ffs_per_slice();
+
+  a.total = a.logic;
+  a.total.slices = static_cast<int>(
+      std::ceil((a.logic.slices + spill_slices) * tech.par_area_factor(objective)));
+  a.total.ffs = ffs;
+  return a;
+}
+
+}  // namespace flopsim::rtl

@@ -1,0 +1,32 @@
+// SignalSet: the bundle of values crossing a pipeline-stage boundary.
+//
+// The structural FP units are chains of combinational "pieces" (see
+// piece.hpp). Between any two pieces a pipeline register may be inserted;
+// whatever the downstream pieces still need must then be latched. SignalSet
+// is that latch content: a fixed array of 64-bit lanes (each unit assigns
+// its own meaning per lane), a valid bit (the paper's DONE signal shifts
+// through these), and the exception flags the paper carries forward
+// stage-by-stage.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "fp/bits.hpp"
+
+namespace flopsim::rtl {
+
+inline constexpr int kMaxSignals = 20;
+
+struct SignalSet {
+  std::array<fp::u64, kMaxSignals> lane{};
+  bool valid = false;
+  std::uint8_t flags = 0;  ///< fp::Flags bits, carried forward per stage
+
+  fp::u64& operator[](int i) { return lane[static_cast<std::size_t>(i)]; }
+  const fp::u64& operator[](int i) const {
+    return lane[static_cast<std::size_t>(i)];
+  }
+};
+
+}  // namespace flopsim::rtl

@@ -1,0 +1,40 @@
+#include "rtl/simulator.hpp"
+
+#include <stdexcept>
+
+namespace flopsim::rtl {
+
+PipelineSim::PipelineSim(const PieceChain* chain, PipelinePlan plan)
+    : chain_(chain), plan_(std::move(plan)) {
+  if (chain_ == nullptr || chain_->empty() || plan_.stages() < 1) {
+    throw std::invalid_argument("PipelineSim: empty chain or plan");
+  }
+  latch_.resize(static_cast<std::size_t>(plan_.stages()));
+}
+
+void PipelineSim::step(const std::optional<SignalSet>& input) {
+  // Evaluate stages back-to-front so each stage consumes the upstream
+  // latch's pre-edge value — i.e. true synchronous behaviour.
+  for (int s = plan_.stages() - 1; s >= 0; --s) {
+    SignalSet work;
+    if (s == 0) {
+      work = input.value_or(SignalSet{});
+    } else {
+      work = latch_[s - 1];
+    }
+    if (work.valid) {
+      for (int i = plan_.stage_begin[s]; i < plan_.stage_begin[s + 1]; ++i) {
+        (*chain_)[i].eval(work);
+      }
+    }
+    latch_[s] = work;
+  }
+  ++cycles_;
+}
+
+void PipelineSim::reset() {
+  for (SignalSet& l : latch_) l = SignalSet{};
+  cycles_ = 0;
+}
+
+}  // namespace flopsim::rtl

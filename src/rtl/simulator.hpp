@@ -1,0 +1,47 @@
+// Cycle-accurate simulation of a pipelined piece chain.
+//
+// Each call to step() advances one clock: every stage evaluates its pieces
+// on the contents of the upstream latch, and the result is captured in its
+// own latch. Data emerges after exactly plan.stages() cycles with the DONE
+// (valid) bit set — latency is the pipeline depth, throughput one operation
+// per cycle, exactly like the paper's cores.
+#pragma once
+
+#include <optional>
+
+#include "rtl/pipeline.hpp"
+
+namespace flopsim::rtl {
+
+class PipelineSim {
+ public:
+  PipelineSim(const PieceChain* chain, PipelinePlan plan);
+
+  /// Advance one clock. `input` is the operand bundle presented this cycle
+  /// (std::nullopt = bubble).
+  void step(const std::optional<SignalSet>& input);
+
+  /// The output register contents after the latest step(); .valid is the
+  /// DONE signal.
+  const SignalSet& output() const { return latch_.back(); }
+
+  int latency() const { return plan_.stages(); }
+
+  /// Drop all in-flight state (e.g. between test vectors).
+  void reset();
+
+  /// Total cycles stepped since construction/reset.
+  long cycles() const { return cycles_; }
+
+  /// Stage output registers after the latest step() (for activity
+  /// measurement and debugging).
+  const std::vector<SignalSet>& latches() const { return latch_; }
+
+ private:
+  const PieceChain* chain_;  // not owned
+  PipelinePlan plan_;
+  std::vector<SignalSet> latch_;  // latch_[s] = output register of stage s
+  long cycles_ = 0;
+};
+
+}  // namespace flopsim::rtl

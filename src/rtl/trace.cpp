@@ -1,0 +1,103 @@
+#include "rtl/trace.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace flopsim::rtl {
+
+TraceRecorder::TraceRecorder(std::vector<int> lanes)
+    : lanes_(std::move(lanes)) {}
+
+void TraceRecorder::capture(const PipelineSim& sim) {
+  frames_.push_back(Frame{sim.latches()});
+}
+
+std::vector<int> TraceRecorder::effective_lanes() const {
+  if (!lanes_.empty()) return lanes_;
+  std::vector<int> all(kMaxSignals);
+  for (int i = 0; i < kMaxSignals; ++i) all[static_cast<std::size_t>(i)] = i;
+  return all;
+}
+
+void TraceRecorder::dump_text(std::ostream& os) const {
+  const std::vector<int> lanes = effective_lanes();
+  if (frames_.empty()) {
+    os << "(empty trace)\n";
+    return;
+  }
+  const std::size_t stages = frames_.front().latches.size();
+  os << "cycle";
+  for (std::size_t s = 0; s < stages; ++s) {
+    os << " | s" << s << ".v";
+    for (int l : lanes) os << " s" << s << ".L" << l;
+  }
+  os << "\n";
+  for (std::size_t c = 0; c < frames_.size(); ++c) {
+    os << std::setw(5) << c;
+    for (const SignalSet& latch : frames_[c].latches) {
+      os << " | " << (latch.valid ? 1 : 0);
+      for (int l : lanes) {
+        os << " " << std::hex << latch[l] << std::dec;
+      }
+    }
+    os << "\n";
+  }
+}
+
+void TraceRecorder::dump_vcd(std::ostream& os, const std::string& top) const {
+  const std::vector<int> lanes = effective_lanes();
+  const std::size_t stages =
+      frames_.empty() ? 0 : frames_.front().latches.size();
+
+  os << "$timescale 1ns $end\n";
+  os << "$scope module " << top << " $end\n";
+  // Identifier per signal: printable ASCII starting at '!'.
+  auto ident = [&lanes](std::size_t stage, std::size_t lane_idx,
+                        bool valid) -> std::string {
+    const std::size_t per_stage = lanes.size() + 1;
+    const std::size_t index =
+        stage * per_stage + (valid ? 0 : lane_idx + 1);
+    std::string id;
+    std::size_t v = index;
+    do {
+      id += static_cast<char>('!' + v % 94);
+      v /= 94;
+    } while (v != 0);
+    return id;
+  };
+  for (std::size_t s = 0; s < stages; ++s) {
+    os << "$var wire 1 " << ident(s, 0, true) << " stage" << s
+       << "_valid $end\n";
+    for (std::size_t li = 0; li < lanes.size(); ++li) {
+      os << "$var wire 64 " << ident(s, li, false) << " stage" << s
+         << "_lane" << lanes[li] << " $end\n";
+    }
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  std::vector<SignalSet> prev(stages);
+  bool first = true;
+  for (std::size_t c = 0; c < frames_.size(); ++c) {
+    os << "#" << c << "\n";
+    for (std::size_t s = 0; s < stages; ++s) {
+      const SignalSet& cur = frames_[c].latches[s];
+      if (first || cur.valid != prev[s].valid) {
+        os << (cur.valid ? '1' : '0') << ident(s, 0, true) << "\n";
+      }
+      for (std::size_t li = 0; li < lanes.size(); ++li) {
+        const fp::u64 v = cur[lanes[li]];
+        if (first || v != prev[s][lanes[li]]) {
+          os << "b";
+          for (int bit = 63; bit >= 0; --bit) {
+            os << ((v >> bit) & 1 ? '1' : '0');
+          }
+          os << " " << ident(s, li, false) << "\n";
+        }
+      }
+      prev[s] = cur;
+    }
+    first = false;
+  }
+}
+
+}  // namespace flopsim::rtl

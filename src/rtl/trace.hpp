@@ -1,0 +1,45 @@
+// TraceRecorder: waveform capture for pipelined simulations.
+//
+// Snapshot the stage registers after each clock and export either a
+// human-readable table or a minimal VCD file (loadable in GTKWave and
+// friends) — the debugging workflow an RTL engineer expects from a
+// simulator.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rtl/simulator.hpp"
+
+namespace flopsim::rtl {
+
+class TraceRecorder {
+ public:
+  /// @param lanes the lane indices worth recording (defaults to all).
+  explicit TraceRecorder(std::vector<int> lanes = {});
+
+  /// Capture the simulator's stage registers for the current cycle.
+  void capture(const PipelineSim& sim);
+
+  long cycles() const { return static_cast<long>(frames_.size()); }
+
+  /// Columnar text dump: one row per cycle, one column per (stage, lane).
+  void dump_text(std::ostream& os) const;
+
+  /// Minimal VCD: one 64-bit wire per (stage, lane) plus per-stage valid.
+  void dump_vcd(std::ostream& os, const std::string& top = "flopsim") const;
+
+  void clear() { frames_.clear(); }
+
+ private:
+  struct Frame {
+    std::vector<SignalSet> latches;
+  };
+  std::vector<int> lanes_;
+  std::vector<Frame> frames_;
+
+  std::vector<int> effective_lanes() const;
+};
+
+}  // namespace flopsim::rtl

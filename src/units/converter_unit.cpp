@@ -1,0 +1,246 @@
+#include "units/converter_unit.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "fp/bits.hpp"
+
+namespace flopsim::units {
+namespace {
+
+using fp::u64;
+
+constexpr int kLaneIn = 0;
+constexpr int kLaneResult = 0;
+constexpr int kExp = 3;   // running exponent (signed, dst-biased)
+constexpr int kWork = 5;  // significand datapath
+constexpr int kCtl = 7;
+constexpr int kGrs = 12;
+constexpr int kKept = 13;
+
+constexpr u64 kCtlSign = 1u << 0;
+constexpr u64 kCtlInf = 1u << 1;
+constexpr u64 kCtlZero = 1u << 2;
+
+rtl::PieceChain build_converter_chain(fp::FpFormat src, fp::FpFormat dst,
+                                      const UnitConfig& cfg) {
+  cfg.validate();
+  const int Fs = src.frac_bits();
+  const int Fd = dst.frac_bits();
+  const int Es = src.exp_bits();
+  const int Ed = dst.exp_bits();
+  const int Nd = dst.total_bits();
+  const device::TechModel& tech = cfg.tech;
+  const device::Objective obj = cfg.objective;
+  const bool rne = cfg.rounding == fp::RoundingMode::kNearestEven;
+  const bool narrowing = Fd < Fs;
+
+  rtl::PieceChain chain;
+
+  // ---- unpack + classify ----------------------------------------------------
+  {
+    rtl::Piece p;
+    p.name = "unpack";
+    p.group = "denorm";
+    p.delay_ns = tech.comparator_delay(Es, obj) + tech.gate_delay(obj);
+    p.area = tech.comparator_area(Es, obj) * 2 +
+             tech.lut_logic_area(Fs + 1, obj);
+    p.live_bits = 1 + (Es + 2) + (Fs + 1) + 3;
+    p.eval = [src, Fs, Es](rtl::SignalSet& s) {
+      const u64 in = s[kLaneIn] & src.bits_mask();
+      const int emax = (1 << Es) - 1;
+      const int e = static_cast<int>((in >> Fs) & fp::mask64(Es));
+      s[kCtl] = 0;
+      if ((in >> (src.total_bits() - 1)) & 1) s[kCtl] |= kCtlSign;
+      if (e == emax) s[kCtl] |= kCtlInf;  // NaN encodings read as infinity
+      if (e == 0) s[kCtl] |= kCtlZero;    // flush-to-zero
+      s[kWork] = e == 0 ? 0
+                        : ((in & fp::mask64(Fs)) | (u64{1} << Fs));
+      s[kExp] = static_cast<u64>(e);
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- exponent re-bias ------------------------------------------------------
+  {
+    rtl::Piece p;
+    p.name = "rebias";
+    p.group = "exponent";
+    p.delay_ns = tech.adder_delay(std::max(Es, Ed) + 1, obj);
+    p.area = tech.adder_area(std::max(Es, Ed) + 1, obj);
+    p.live_bits = 1 + (Ed + 3) + (Fs + 1) + 3;
+    const int delta = dst.bias() - src.bias();
+    p.eval = [delta](rtl::SignalSet& s) {
+      s[kExp] = static_cast<u64>(static_cast<fp::i64>(s[kExp]) + delta);
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- significand align: fixed shift (+ sticky OR when narrowing) ---------
+  {
+    rtl::Piece p;
+    p.name = narrowing ? "align_jam" : "align_pad";
+    p.group = "align";
+    p.delay_ns =
+        narrowing ? tech.lut_logic_delay(obj) : tech.gate_delay(obj);
+    p.area = narrowing ? tech.lut_logic_area(Fs - Fd, obj)
+                       : device::Resources{};
+    p.live_bits = 1 + (Ed + 3) + (Fd + 4) + 3;
+    p.eval = [Fs, Fd](rtl::SignalSet& s) {
+      // Working form: msb of a normal value at Fd + 3 (GRS appended).
+      u64 w = s[kWork] << 3;
+      const int shift = Fs - Fd;
+      if (shift > 0) {
+        w = fp::shift_right_jam64(w, shift);
+      } else if (shift < 0) {
+        w <<= -shift;
+      }
+      s[kWork] = w;
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- rounding (narrowing only needs the increment chain) -----------------
+  if (narrowing) {
+    const int rm_bits = Fd + 2;
+    const int rm_chunks = (rm_bits + 13) / 14;
+    for (int c = 0; c < rm_chunks; ++c) {
+      const int bits = (rm_bits + rm_chunks - 1) / rm_chunks;
+      rtl::Piece p;
+      p.name = "round_mant_c" + std::to_string(c);
+      p.group = "round";
+      p.delay_ns = tech.adder_delay(bits, obj);
+      p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
+      p.area = tech.adder_area(bits, obj);
+      p.live_bits = 1 + (Ed + 3) + (Fd + 2) + 3 + 3;
+      const bool last = c == rm_chunks - 1;
+      p.eval = [rne, last](rtl::SignalSet& s) {
+        if (!last) return;
+        const u64 grs = s[kWork] & 7;
+        u64 kept = s[kWork] >> 3;
+        bool inc = false;
+        if (rne) inc = grs > 4 || (grs == 4 && (kept & 1) != 0);
+        s[kGrs] = grs;
+        s[kKept] = kept + (inc ? 1 : 0);
+      };
+      chain.push_back(std::move(p));
+    }
+  } else {
+    rtl::Piece p;
+    p.name = "round_exact";
+    p.group = "round";
+    p.delay_ns = tech.gate_delay(obj);
+    p.live_bits = 1 + (Ed + 3) + (Fd + 2) + 3 + 3;
+    p.eval = [](rtl::SignalSet& s) {
+      s[kGrs] = 0;
+      s[kKept] = s[kWork] >> 3;
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- pack with range checks -----------------------------------------------
+  {
+    rtl::Piece p;
+    p.name = "pack";
+    p.group = "round";
+    p.delay_ns = tech.adder_delay(Ed, obj) + tech.lut_logic_delay(obj);
+    p.area = tech.adder_area(Ed, obj) + tech.comparator_area(Ed, obj) * 2 +
+             tech.lut_logic_area(Nd, obj);
+    p.live_bits = Nd + 5;
+    p.eval = [dst, Fd, Ed, rne, Nd](rtl::SignalSet& s) {
+      const int emax = (1 << Ed) - 1;
+      const bool sign = (s[kCtl] & kCtlSign) != 0;
+      const u64 sign_mask = u64{1} << (Nd - 1);
+      std::uint8_t flags = 0;
+      u64 result;
+      if (s[kCtl] & kCtlInf) {
+        result = dst.exp_mask() | (sign ? sign_mask : 0);
+      } else if (s[kCtl] & kCtlZero) {
+        result = sign ? sign_mask : 0;
+      } else {
+        fp::i64 exp = static_cast<fp::i64>(s[kExp]);
+        u64 kept = s[kKept];
+        if (exp <= 0) {
+          flags |= fp::kFlagUnderflow | fp::kFlagInexact;
+          result = sign ? sign_mask : 0;
+        } else {
+          if ((kept >> (Fd + 1)) & 1) {
+            kept >>= 1;
+            exp += 1;
+          }
+          if (s[kGrs] != 0) flags |= fp::kFlagInexact;
+          if (exp >= emax) {
+            flags |= fp::kFlagOverflow | fp::kFlagInexact;
+            result = rne ? dst.exp_mask()
+                         : ((static_cast<u64>(emax - 1) << Fd) |
+                            fp::mask64(Fd));
+            if (sign) result |= sign_mask;
+          } else {
+            result = (static_cast<u64>(exp) << Fd) | (kept & fp::mask64(Fd));
+            if (sign) result |= sign_mask;
+          }
+        }
+      }
+      s[kLaneResult] = result;
+      s.flags = flags;
+    };
+    chain.push_back(std::move(p));
+  }
+
+  assert(!chain.empty());
+  return chain;
+}
+
+}  // namespace
+
+FormatConverter::FormatConverter(fp::FpFormat src, fp::FpFormat dst,
+                                 const UnitConfig& cfg)
+    : src_(src),
+      dst_(dst),
+      cfg_(cfg),
+      chain_(std::make_unique<rtl::PieceChain>(
+          build_converter_chain(src, dst, cfg))),
+      plan_(rtl::plan_pipeline(*chain_, cfg.stages)),
+      sim_(chain_.get(), plan_) {}
+
+std::string FormatConverter::name() const {
+  return "fp_cvt<" + src_.name() + "->" + dst_.name() + ">/s" +
+         std::to_string(stages());
+}
+
+rtl::Timing FormatConverter::timing() const {
+  return rtl::evaluate_timing(*chain_, plan_, cfg_.tech);
+}
+
+rtl::AreaBreakdown FormatConverter::area() const {
+  return rtl::evaluate_area(*chain_, plan_, cfg_.tech, cfg_.objective);
+}
+
+void FormatConverter::step(const std::optional<fp::u64>& in) {
+  if (in.has_value()) {
+    rtl::SignalSet s;
+    s.valid = true;
+    s[kLaneIn] = *in;
+    sim_.step(s);
+  } else {
+    sim_.step(std::nullopt);
+  }
+}
+
+std::optional<FormatConverter::Output> FormatConverter::output() const {
+  const rtl::SignalSet& out = sim_.output();
+  if (!out.valid) return std::nullopt;
+  return Output{out[kLaneResult], out.flags};
+}
+
+void FormatConverter::reset() { sim_.reset(); }
+
+FormatConverter::Output FormatConverter::evaluate(fp::u64 in) const {
+  rtl::SignalSet s;
+  s.valid = true;
+  s[kLaneIn] = in;
+  rtl::evaluate_chain(*chain_, s);
+  return Output{s[kLaneResult], s.flags};
+}
+
+}  // namespace flopsim::units

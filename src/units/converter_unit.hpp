@@ -1,0 +1,66 @@
+// FormatConverter: a pipelined format-conversion core.
+//
+// The paper notes that "some of the commercial floating-point cores use a
+// custom format with conversion to and from the IEEE754 standard at
+// interfaces to other resources in the system" — this is that interface
+// module, generated for any (src, dst) format pair. Widening conversions
+// (dst covers src's range and precision) are pure rewiring plus an
+// exponent re-bias; narrowing conversions need the align/round datapath.
+//
+// Like the arithmetic cores, depth only changes latency: every pipeline
+// depth is bit-exact with fp::convert under FpEnv::paper.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "fp/format.hpp"
+#include "rtl/pipeline.hpp"
+#include "rtl/simulator.hpp"
+#include "units/unit_config.hpp"
+
+namespace flopsim::units {
+
+class FormatConverter {
+ public:
+  FormatConverter(fp::FpFormat src, fp::FpFormat dst, const UnitConfig& cfg);
+
+  FormatConverter(const FormatConverter&) = delete;
+  FormatConverter& operator=(const FormatConverter&) = delete;
+  FormatConverter(FormatConverter&&) = default;
+  FormatConverter& operator=(FormatConverter&&) = default;
+
+  fp::FpFormat src() const { return src_; }
+  fp::FpFormat dst() const { return dst_; }
+  std::string name() const;
+
+  int stages() const { return plan_.stages(); }
+  int latency() const { return plan_.stages(); }
+  int max_stages() const { return rtl::max_stages(*chain_); }
+  rtl::Timing timing() const;
+  rtl::AreaBreakdown area() const;
+  double freq_mhz() const { return timing().freq_mhz; }
+
+  struct Output {
+    fp::u64 result = 0;
+    std::uint8_t flags = 0;
+  };
+
+  /// Present a source encoding (or a bubble) and advance one clock.
+  void step(const std::optional<fp::u64>& in);
+  std::optional<Output> output() const;
+  void reset();
+
+  /// Combinational reference.
+  Output evaluate(fp::u64 in) const;
+
+ private:
+  fp::FpFormat src_;
+  fp::FpFormat dst_;
+  UnitConfig cfg_;
+  std::unique_ptr<rtl::PieceChain> chain_;
+  rtl::PipelinePlan plan_;
+  rtl::PipelineSim sim_;
+};
+
+}  // namespace flopsim::units

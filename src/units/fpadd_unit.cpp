@@ -1,0 +1,489 @@
+// Structural floating-point adder/subtractor, following the paper's block
+// diagram (Figure 1a) and subunit descriptions verbatim:
+//
+//   stage 1  denormalization/preshifting
+//            - denormalizer (exp==0 comparators, hidden bit insertion; with
+//              the paper's policy a subnormal input flushes to zero)
+//            - swapper (magnitude comparator + mux; a pipeline register may
+//              sit between comparator and mux)
+//            - aligner (barrel shifter, one piece per mux level; the paper
+//              groups ~3 levels per stage at 200 MHz)
+//   stage 2  fixed-point mantissa adder/subtractor (carry-chain chunks, the
+//            library-core "number of pipeline stages as a parameter") and
+//            the pre-normalizer (1-bit shift on carry-out + exponent +1)
+//   stage 3  normalizer (priority encoder split into two halves + combine,
+//            exponent subtract, left barrel shifter) and rounding (constant
+//            adders for mantissa and exponent)
+//
+// Exceptions are detected where they arise, carried forward in control
+// lanes, and assembled into the flag byte in the final piece; DONE is the
+// simulator's valid bit. Results are bit-exact with fp::add/sub under
+// FpEnv::paper at every pipeline depth.
+#include <cassert>
+
+#include "fp/bits.hpp"
+#include "units/fp_unit.hpp"
+
+namespace flopsim::units::detail {
+namespace {
+
+using fp::u64;
+
+// Lane assignments (see fp_unit.hpp for the input/output convention).
+constexpr int kExpA = 3;   // biased exponent of A; later: running exponent
+constexpr int kExpB = 4;
+constexpr int kManA = 5;   // significand incl. hidden bit; later: manBigExt
+constexpr int kManB = 6;   // later: manSmallExt
+constexpr int kCtl = 7;    // control bits, see below
+constexpr int kAux = 8;    // aLarger, then clamped alignment distance
+constexpr int kSum = 9;    // mantissa datapath result (W+1 bits)
+constexpr int kCarry = 10; // ripple carry between adder chunks
+constexpr int kPenc = 11;  // priority-encoder intermediate, then lz
+constexpr int kGrs = 12;   // guard/round/sticky bits
+constexpr int kKept = 13;  // rounded significand
+
+// kCtl bits.
+constexpr u64 kCtlSignA = 1u << 0;
+constexpr u64 kCtlSignB = 1u << 1;  // effective sign (op folded in)
+constexpr u64 kCtlInfA = 1u << 2;
+constexpr u64 kCtlInfB = 1u << 3;
+constexpr u64 kCtlEffSub = 1u << 4;
+constexpr u64 kCtlSignRes = 1u << 5;
+constexpr u64 kCtlZeroRes = 1u << 6;
+// IEEE-mode extension bits.
+constexpr u64 kCtlNan = 1u << 7;    // some input is NaN
+constexpr u64 kCtlSnan = 1u << 8;   // some input is a signaling NaN
+constexpr u64 kCtlTiny = 1u << 9;   // result below the normal range
+
+bool ctl(const rtl::SignalSet& s, u64 bit) { return (s[kCtl] & bit) != 0; }
+void set_ctl(rtl::SignalSet& s, u64 bit, bool v) {
+  if (v) {
+    s[kCtl] |= bit;
+  } else {
+    s[kCtl] &= ~bit;
+  }
+}
+
+}  // namespace
+
+rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
+  const int F = fmt.frac_bits();
+  const int E = fmt.exp_bits();
+  const int N = fmt.total_bits();
+  const int W = F + 4;  // working mantissa width: hidden + frac + GRS
+  const device::TechModel& tech = cfg.tech;
+  const device::Objective obj = cfg.objective;
+  const bool rne = cfg.rounding == fp::RoundingMode::kNearestEven;
+  const bool ieee = cfg.ieee_mode;
+
+  rtl::PieceChain chain;
+
+  // ---- denormalizer --------------------------------------------------------
+  // Two exp==0 comparators (flush + hidden bit) and two exp==max detectors.
+  {
+    rtl::Piece p;
+    p.name = "denorm";
+    p.group = "denorm";
+    p.delay_ns = tech.comparator_delay(E, obj) + tech.gate_delay(obj);
+    p.area = tech.comparator_area(E, obj) * 4 + tech.lut_logic_area(F + 1, obj) * 2;
+    p.live_bits = 2 * (1 + E + (F + 1)) + 4;
+    p.eval = [fmt, F, E, N, ieee](rtl::SignalSet& s) {
+      const u64 a = s[kLaneInA] & fmt.bits_mask();
+      const u64 b = s[kLaneInB] & fmt.bits_mask();
+      const bool sub = (s[kLaneInCtl] & 1) != 0;
+      const u64 frac_mask = fp::mask64(F);
+      const int emax = (1 << E) - 1;
+      const int ea = static_cast<int>((a >> F) & fp::mask64(E));
+      const int eb = static_cast<int>((b >> F) & fp::mask64(E));
+      s[kCtl] = 0;
+      if (ieee) {
+        // Gradual underflow: subnormal significands keep their bits with
+        // the hidden bit clear and an effective exponent of 1.
+        s[kManA] = ea == 0 ? (a & frac_mask)
+                           : ((a & frac_mask) | (u64{1} << F));
+        s[kManB] = eb == 0 ? (b & frac_mask)
+                           : ((b & frac_mask) | (u64{1} << F));
+        s[kExpA] = static_cast<u64>(ea == 0 ? 1 : ea);
+        s[kExpB] = static_cast<u64>(eb == 0 ? 1 : eb);
+        const bool nan_a = ea == emax && (a & frac_mask) != 0;
+        const bool nan_b = eb == emax && (b & frac_mask) != 0;
+        set_ctl(s, kCtlNan, nan_a || nan_b);
+        set_ctl(s, kCtlSnan,
+                (nan_a && ((a >> (F - 1)) & 1) == 0) ||
+                    (nan_b && ((b >> (F - 1)) & 1) == 0));
+        set_ctl(s, kCtlInfA, ea == emax && (a & frac_mask) == 0);
+        set_ctl(s, kCtlInfB, eb == emax && (b & frac_mask) == 0);
+      } else {
+        // exp==0: flush to zero (no subnormal support); exp==max: infinity
+        // (NaN encodings are not distinguished — no NaN support).
+        s[kManA] = ea == 0 ? 0 : ((a & frac_mask) | (u64{1} << F));
+        s[kManB] = eb == 0 ? 0 : ((b & frac_mask) | (u64{1} << F));
+        s[kExpA] = static_cast<u64>(ea);
+        s[kExpB] = static_cast<u64>(eb);
+        set_ctl(s, kCtlInfA, ea == emax);
+        set_ctl(s, kCtlInfB, eb == emax);
+      }
+      set_ctl(s, kCtlSignA, (a >> (N - 1)) & 1);
+      set_ctl(s, kCtlSignB, ((b >> (N - 1)) & 1) ^ static_cast<u64>(sub));
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- swapper: magnitude comparator, then mux -----------------------------
+  {
+    rtl::Piece p;
+    p.name = "magcmp";
+    p.group = "swap";
+    // Compares {exp, mantissa}: an (N-1)-bit magnitude comparator — the
+    // paper's "mantissa comparator for double precision can achieve 220MHz".
+    p.delay_ns = tech.comparator_delay(N - 1, obj);
+    p.area = tech.comparator_area(N - 1, obj);
+    p.live_bits = 2 * (1 + E + (F + 1)) + 4 + 1;
+    p.eval = [](rtl::SignalSet& s) {
+      const bool a_larger =
+          (s[kExpA] > s[kExpB]) ||
+          (s[kExpA] == s[kExpB] && s[kManA] >= s[kManB]);
+      s[kAux] = a_larger ? 1 : 0;
+    };
+    chain.push_back(std::move(p));
+  }
+  {
+    rtl::Piece p;
+    p.name = "swap_mux";
+    p.group = "swap";
+    // Mux of both operands plus, in parallel, the exponent subtractor that
+    // produces the alignment distance.
+    p.delay_ns =
+        std::max(tech.mux_level_delay(F + 1, obj), tech.adder_delay(E, obj));
+    p.area = tech.mux_level_area(2 * (F + 1), obj) + tech.adder_area(E, obj);
+    p.live_bits = (E) + 2 * W + (E + 1) + 6;
+    p.eval = [W](rtl::SignalSet& s) {
+      const bool a_larger = s[kAux] != 0;
+      const u64 man_big = a_larger ? s[kManA] : s[kManB];
+      const u64 man_small = a_larger ? s[kManB] : s[kManA];
+      const u64 exp_big = a_larger ? s[kExpA] : s[kExpB];
+      const u64 exp_small = a_larger ? s[kExpB] : s[kExpA];
+      const bool sign_a = ctl(s, kCtlSignA);
+      const bool sign_b = ctl(s, kCtlSignB);
+      set_ctl(s, kCtlEffSub, sign_a != sign_b);
+      set_ctl(s, kCtlSignRes, a_larger ? sign_a : sign_b);
+      s[kExpA] = exp_big;  // running exponent from here on
+      s[kManA] = man_big << 3;
+      s[kManB] = man_small << 3;
+      u64 d = exp_big - exp_small;
+      if (d > static_cast<u64>(W)) d = static_cast<u64>(W);
+      s[kAux] = d;
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- alignment barrel shifter (right, with sticky jam) -------------------
+  const int levels = fp::msb_index64(static_cast<u64>(W)) + 1;
+  for (int l = 0; l < levels; ++l) {
+    rtl::Piece p;
+    p.name = "align_l" + std::to_string(l);
+    p.group = "align";
+    p.delay_ns = tech.mux_level_delay(W, obj);
+    p.delay_chained_ns = tech.mux_level_chained_delay(W, obj);
+    p.area = tech.mux_level_area(W, obj);
+    p.live_bits = E + 2 * W + (levels - l) + 6;
+    p.eval = [l](rtl::SignalSet& s) {
+      if ((s[kAux] >> l) & 1) {
+        s[kManB] = fp::shift_right_jam64(s[kManB], 1 << l);
+      }
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- fixed-point mantissa adder/subtractor (carry chunks) ----------------
+  const int add_bits = W;  // operand width; result is W+1 bits
+  const int n_chunks = (add_bits + 13) / 14;
+  const int chunk_bits = (add_bits + n_chunks - 1) / n_chunks;
+  for (int c = 0; c < n_chunks; ++c) {
+    const int lo = c * chunk_bits;
+    const int hi = std::min(add_bits, lo + chunk_bits);
+    rtl::Piece p;
+    p.name = "madd_c" + std::to_string(c);
+    p.group = "mantissa_add";
+    p.delay_ns = tech.adder_delay(hi - lo, obj);
+    p.delay_chained_ns = tech.adder_chained_delay(hi - lo, obj);
+    p.area = tech.adder_area(hi - lo, obj);
+    p.live_bits = E + W + (W + 1) + 2 + 6;
+    p.cut_after = true;
+    const bool first = c == 0;
+    const bool last = c == n_chunks - 1;
+    p.eval = [lo, hi, first, last, W](rtl::SignalSet& s) {
+      const bool eff_sub = ctl(s, kCtlEffSub);
+      if (first) {
+        s[kSum] = 0;
+        s[kCarry] = eff_sub ? 1 : 0;  // two's complement +1
+      }
+      const u64 m = fp::mask64(hi - lo);
+      const u64 x = (s[kManA] >> lo) & m;
+      const u64 yraw = (s[kManB] >> lo) & m;
+      const u64 y = eff_sub ? (~yraw & m) : yraw;
+      const u64 t = x + y + s[kCarry];
+      s[kSum] |= (t & m) << lo;
+      s[kCarry] = t >> (hi - lo);
+      if (last && !eff_sub) {
+        s[kSum] |= s[kCarry] << W;  // carry-out becomes bit W
+      }
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- pre-normalizer: 1-bit shift on carry-out + exponent increment -------
+  {
+    rtl::Piece p;
+    p.name = "prenorm";
+    p.group = "mantissa_add";
+    p.delay_ns =
+        std::max(tech.mux_level_delay(W, obj), tech.adder_delay(E, obj));
+    p.area = tech.mux_level_area(W, obj) + tech.adder_area(E, obj);
+    p.live_bits = E + 1 + (W + 1) + 6;
+    p.eval = [W](rtl::SignalSet& s) {
+      if ((s[kSum] >> W) & 1) {
+        s[kSum] = fp::shift_right_jam64(s[kSum], 1);
+        s[kExpA] += 1;
+      }
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- normalizer: split priority encoder + exponent adjust + left shift ---
+  {
+    rtl::Piece p;
+    p.name = "penc_hi";
+    p.group = "normalize";
+    p.delay_ns = tech.priority_encoder_delay((W + 1) / 2, obj);
+    p.area = tech.priority_encoder_area((W + 1) / 2, obj);
+    p.live_bits = E + 1 + W + 8 + 6;
+    p.eval = [W](rtl::SignalSet& s) {
+      // Encode the leading one within the upper half [W/2, W).
+      const int half = W / 2;
+      const u64 hi_bits = s[kSum] >> half;
+      s[kPenc] = hi_bits != 0
+                     ? (u64{1} << 63) | static_cast<u64>(
+                                            half + fp::msb_index64(hi_bits))
+                     : 0;
+    };
+    chain.push_back(std::move(p));
+  }
+  {
+    rtl::Piece p;
+    p.name = "penc_lo";
+    p.group = "normalize";
+    // Lower-half encoder plus the small combining adder the paper describes.
+    p.delay_ns = tech.priority_encoder_delay((W + 1) / 2, obj) +
+                 tech.adder_chained_delay(3, obj);
+    // When fused with penc_hi in one stage the two halves run in parallel
+    // and only the combining adder adds delay.
+    p.delay_chained_ns = tech.adder_chained_delay(3, obj);
+    p.area = tech.priority_encoder_area((W + 1) / 2, obj) +
+             tech.adder_area(4, obj);
+    p.live_bits = E + 1 + W + 7 + 6;
+    p.eval = [F, W](rtl::SignalSet& s) {
+      int msb;
+      if (s[kPenc] >> 63) {
+        msb = static_cast<int>(s[kPenc] & fp::mask64(8));
+      } else if (s[kSum] != 0) {
+        msb = fp::msb_index64(s[kSum] & fp::mask64(W / 2));
+      } else {
+        set_ctl(s, kCtlZeroRes, true);
+        s[kPenc] = 0;
+        return;
+      }
+      s[kPenc] = static_cast<u64>((F + 3) - msb);  // left-shift distance
+    };
+    chain.push_back(std::move(p));
+  }
+  {
+    rtl::Piece p;
+    p.name = "norm_exp";
+    p.group = "normalize";
+    p.delay_ns = tech.adder_delay(E, obj);
+    p.area = tech.adder_area(E, obj);
+    p.live_bits = (E + 1) + W + 7 + 6;
+    p.eval = [](rtl::SignalSet& s) {
+      // Signed running exponent: may go <= 0 (underflow detected at round).
+      s[kExpA] = static_cast<u64>(static_cast<fp::i64>(s[kExpA]) -
+                                  static_cast<fp::i64>(s[kPenc]));
+    };
+    chain.push_back(std::move(p));
+  }
+  for (int l = 0; l < levels; ++l) {
+    rtl::Piece p;
+    p.name = "norm_l" + std::to_string(l);
+    p.group = "norm_shift";
+    p.delay_ns = tech.mux_level_delay(W, obj);
+    p.delay_chained_ns = tech.mux_level_chained_delay(W, obj);
+    p.area = tech.mux_level_area(W, obj);
+    p.live_bits = (E + 1) + W + (levels - l) + 6;
+    p.eval = [l](rtl::SignalSet& s) {
+      if ((s[kPenc] >> l) & 1) s[kSum] <<= (1 << l);
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- IEEE mode only: gradual-underflow denormalizer -----------------------
+  // The hardware cost the paper avoided: a tininess detector plus a second
+  // variable right shifter to denormalize results below the normal range.
+  if (ieee) {
+    {
+      rtl::Piece p;
+      p.name = "tiny_detect";
+      p.group = "denorm_result";
+      p.delay_ns = tech.adder_delay(E + 1, obj);
+      p.area = tech.adder_area(E + 1, obj) + tech.comparator_area(E, obj);
+      p.live_bits = (E + 1) + W + levels + 1 + 8;
+      p.eval = [W](rtl::SignalSet& s) {
+        const fp::i64 exp = static_cast<fp::i64>(s[kExpA]);
+        if (exp <= 0 && !ctl(s, kCtlZeroRes)) {
+          set_ctl(s, kCtlTiny, true);
+          const fp::i64 shift = 1 - exp;
+          s[kAux] = static_cast<u64>(shift > W ? W : shift);
+        } else {
+          s[kAux] = 0;
+        }
+      };
+      chain.push_back(std::move(p));
+    }
+    for (int l = 0; l < levels; ++l) {
+      rtl::Piece p;
+      p.name = "denorm_l" + std::to_string(l);
+      p.group = "denorm_result";
+      p.delay_ns = tech.mux_level_delay(W, obj);
+      p.delay_chained_ns = tech.mux_level_chained_delay(W, obj);
+      p.area = tech.mux_level_area(W, obj);
+      p.live_bits = (E + 1) + W + (levels - l) + 8;
+      p.eval = [l](rtl::SignalSet& s) {
+        if ((s[kAux] >> l) & 1) {
+          s[kSum] = fp::shift_right_jam64(s[kSum], 1 << l);
+        }
+      };
+      chain.push_back(std::move(p));
+    }
+  }
+
+  // ---- rounding: constant adders for mantissa and exponent -----------------
+  // Constant (increment) adder over the kept mantissa, in carry chunks.
+  const int rm_bits = F + 2;
+  const int rm_chunks = (rm_bits + 13) / 14;
+  for (int c = 0; c < rm_chunks; ++c) {
+    const int bits = (rm_bits + rm_chunks - 1) / rm_chunks;
+    rtl::Piece p;
+    p.name = "round_mant_c" + std::to_string(c);
+    p.group = "round";
+    p.delay_ns = tech.adder_delay(bits, obj);
+    p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
+    p.area = tech.adder_area(bits, obj);
+    p.live_bits = (E + 1) + (F + 2) + 3 + 6;
+    const bool last = c == rm_chunks - 1;
+    p.eval = [rne, last](rtl::SignalSet& s) {
+      if (!last) return;
+      const u64 grs = s[kSum] & 7;
+      u64 kept = s[kSum] >> 3;
+      bool inc = false;
+      if (rne) inc = grs > 4 || (grs == 4 && (kept & 1) != 0);
+      s[kGrs] = grs;
+      s[kKept] = kept + (inc ? 1 : 0);
+    };
+    chain.push_back(std::move(p));
+  }
+  {
+    // Constant exponent adder plus the over/underflow detectors.
+    rtl::Piece p;
+    p.name = "round_exp";
+    p.group = "round";
+    p.delay_ns = tech.adder_delay(E, obj);
+    p.area = tech.adder_area(E, obj) + tech.comparator_area(E, obj) * 2;
+    p.live_bits = (E + 1) + (F + 2) + 3 + 6;
+    p.eval = [](rtl::SignalSet&) {
+      // Timing/area placeholder: the carry out of the rounding increment and
+      // the range detectors are consumed by the pack piece below.
+    };
+    chain.push_back(std::move(p));
+  }
+  {
+    // Final result mux: specials override, compose sign/exponent/fraction.
+    rtl::Piece p;
+    p.name = "pack";
+    p.group = "round";
+    p.delay_ns = tech.lut_logic_delay(obj);
+    p.area = tech.lut_logic_area(N, obj);
+    p.live_bits = N + 5;  // result + flags
+    p.eval = [fmt, F, E, rne, N, ieee](rtl::SignalSet& s) {
+      const int emax = (1 << E) - 1;
+      const bool inf_a = ctl(s, kCtlInfA);
+      const bool inf_b = ctl(s, kCtlInfB);
+      const bool sign_a = ctl(s, kCtlSignA);
+      const bool sign_b = ctl(s, kCtlSignB);
+      const u64 sign_mask = u64{1} << (N - 1);
+      std::uint8_t flags = 0;
+      u64 result;
+      if (ieee && (ctl(s, kCtlNan) ||
+                   (inf_a && inf_b && sign_a != sign_b))) {
+        if (ctl(s, kCtlSnan) || !ctl(s, kCtlNan)) flags |= fp::kFlagInvalid;
+        result = fmt.exp_mask() | fmt.quiet_bit();  // canonical qNaN
+      } else if (ieee && ctl(s, kCtlTiny) && !inf_a && !inf_b &&
+                 !ctl(s, kCtlZeroRes)) {
+        // Gradual underflow: kept already denormalized; the pack addition
+        // turns a round-up to 2^F into the minimum normal encoding.
+        const bool sign = ctl(s, kCtlSignRes);
+        if (s[kGrs] != 0) {
+          flags |= fp::kFlagInexact | fp::kFlagUnderflow;
+        }
+        result = s[kKept] | (sign ? sign_mask : 0);
+      } else if (inf_a && inf_b) {
+        if (sign_a != sign_b) {
+          flags |= fp::kFlagInvalid;
+          result = fmt.exp_mask();  // +inf (no NaN support)
+        } else {
+          result = fmt.exp_mask() | (sign_a ? sign_mask : 0);
+        }
+      } else if (inf_a) {
+        result = fmt.exp_mask() | (sign_a ? sign_mask : 0);
+      } else if (inf_b) {
+        result = fmt.exp_mask() | (sign_b ? sign_mask : 0);
+      } else if (ctl(s, kCtlZeroRes)) {
+        // Exact cancellation gives +0; a zero datapath result otherwise
+        // keeps the larger operand's sign (covers -0 + -0 = -0).
+        result = (!ctl(s, kCtlEffSub) && ctl(s, kCtlSignRes)) ? sign_mask : 0;
+      } else {
+        const bool sign = ctl(s, kCtlSignRes);
+        fp::i64 exp = static_cast<fp::i64>(s[kExpA]);
+        u64 kept = s[kKept];
+        if (exp <= 0) {
+          // Flush-to-zero underflow (tininess before rounding). IEEE mode
+          // never reaches here: the tiny branch above consumed it.
+          flags |= fp::kFlagUnderflow | fp::kFlagInexact;
+          result = sign ? sign_mask : 0;
+        } else {
+          if ((kept >> (F + 1)) & 1) {  // rounding carried out
+            kept >>= 1;
+            exp += 1;
+          }
+          if (s[kGrs] != 0) flags |= fp::kFlagInexact;
+          if (exp >= emax) {
+            flags |= fp::kFlagOverflow | fp::kFlagInexact;
+            result = rne ? fmt.exp_mask()
+                         : ((static_cast<u64>(emax - 1) << F) |
+                            fp::mask64(F));
+            if (sign) result |= sign_mask;
+          } else {
+            result = (static_cast<u64>(exp) << F) | (kept & fp::mask64(F));
+            if (sign) result |= sign_mask;
+          }
+        }
+      }
+      s[kLaneResult] = result;
+      s.flags = flags;
+    };
+    chain.push_back(std::move(p));
+  }
+
+  assert(!chain.empty());
+  return chain;
+}
+
+}  // namespace flopsim::units::detail

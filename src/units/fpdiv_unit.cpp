@@ -1,0 +1,377 @@
+// Structural floating-point divider (library extension — the commercial
+// cores the paper compares against, e.g. Quixilica, ship one; the paper's
+// own analysis covers adder and multiplier only).
+//
+// Datapath: the shared denormalizer, then a classic restoring division
+// array — one initial magnitude step plus rows producing two quotient bits
+// each (borrow-save rows, so a row is LUT-limited rather than full
+// carry-propagate) — then the same normalize/round tail as the multiplier.
+// The exponent subtractor and bias adder ride in parallel with the first
+// rows. Dividers pipeline very deep: a 64-bit instance exposes ~35 stages.
+//
+// Bit-exact with fp::div under FpEnv::paper at every pipeline depth.
+#include <cassert>
+
+#include "fp/bits.hpp"
+#include "units/fp_unit.hpp"
+
+namespace flopsim::units::detail {
+namespace {
+
+using fp::u64;
+
+constexpr int kExpA = 3;
+constexpr int kExpB = 4;
+constexpr int kManA = 5;   // numerator significand; later: partial remainder
+constexpr int kManB = 6;   // divisor significand
+constexpr int kCtl = 7;
+constexpr int kQuot = 8;   // quotient bits, msb-first accumulation
+constexpr int kWork = 10;  // normalized working significand
+constexpr int kExp = 11;   // running result exponent (signed)
+constexpr int kGrs = 12;
+constexpr int kKept = 13;
+
+constexpr u64 kCtlSignA = 1u << 0;
+constexpr u64 kCtlSignB = 1u << 1;
+constexpr u64 kCtlInfA = 1u << 2;
+constexpr u64 kCtlInfB = 1u << 3;
+constexpr u64 kCtlZeroA = 1u << 4;
+constexpr u64 kCtlZeroB = 1u << 5;
+constexpr u64 kCtlNan = 1u << 6;
+constexpr u64 kCtlSnan = 1u << 7;
+constexpr u64 kCtlTiny = 1u << 8;
+
+bool ctl(const rtl::SignalSet& s, u64 bit) { return (s[kCtl] & bit) != 0; }
+void set_ctl(rtl::SignalSet& s, u64 bit, bool v) {
+  if (v) {
+    s[kCtl] |= bit;
+  } else {
+    s[kCtl] &= ~bit;
+  }
+}
+
+/// One restoring-division step: shift the remainder, subtract the divisor
+/// if it fits, emit a quotient bit.
+void div_step(rtl::SignalSet& s) {
+  s[kManA] <<= 1;
+  s[kQuot] <<= 1;
+  if (s[kManA] >= s[kManB]) {
+    s[kManA] -= s[kManB];
+    s[kQuot] |= 1;
+  }
+}
+
+}  // namespace
+
+rtl::PieceChain build_divider_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
+  const int F = fmt.frac_bits();
+  const int E = fmt.exp_bits();
+  const int N = fmt.total_bits();
+  const device::TechModel& tech = cfg.tech;
+  const device::Objective obj = cfg.objective;
+  const bool rne = cfg.rounding == fp::RoundingMode::kNearestEven;
+  const bool ieee = cfg.ieee_mode;
+
+  rtl::PieceChain chain;
+
+  // ---- denormalizer (shared subunit) ---------------------------------------
+  {
+    rtl::Piece p;
+    p.name = "denorm";
+    p.group = "denorm";
+    p.delay_ns = tech.comparator_delay(E, obj) + tech.gate_delay(obj);
+    p.area =
+        tech.comparator_area(E, obj) * 4 + tech.lut_logic_area(F + 1, obj) * 2;
+    p.live_bits = 2 * (1 + E + (F + 1)) + 6;
+    p.eval = [fmt, F, E, N, ieee](rtl::SignalSet& s) {
+      const u64 a = s[kLaneInA] & fmt.bits_mask();
+      const u64 b = s[kLaneInB] & fmt.bits_mask();
+      const u64 frac_mask = fp::mask64(F);
+      const int emax = (1 << E) - 1;
+      const int ea = static_cast<int>((a >> F) & fp::mask64(E));
+      const int eb = static_cast<int>((b >> F) & fp::mask64(E));
+      s[kExpA] = static_cast<u64>(ea);
+      s[kExpB] = static_cast<u64>(eb);
+      s[kCtl] = 0;
+      if (ieee) {
+        s[kManA] = ea == 0 ? (a & frac_mask)
+                           : ((a & frac_mask) | (u64{1} << F));
+        s[kManB] = eb == 0 ? (b & frac_mask)
+                           : ((b & frac_mask) | (u64{1} << F));
+        s[kExpA] = static_cast<u64>(ea == 0 ? 1 : ea);
+        s[kExpB] = static_cast<u64>(eb == 0 ? 1 : eb);
+        const bool nan_a = ea == emax && (a & frac_mask) != 0;
+        const bool nan_b = eb == emax && (b & frac_mask) != 0;
+        set_ctl(s, kCtlNan, nan_a || nan_b);
+        set_ctl(s, kCtlSnan,
+                (nan_a && ((a >> (F - 1)) & 1) == 0) ||
+                    (nan_b && ((b >> (F - 1)) & 1) == 0));
+        set_ctl(s, kCtlInfA, ea == emax && (a & frac_mask) == 0);
+        set_ctl(s, kCtlInfB, eb == emax && (b & frac_mask) == 0);
+        set_ctl(s, kCtlZeroA, ea == 0 && (a & frac_mask) == 0);
+        set_ctl(s, kCtlZeroB, eb == 0 && (b & frac_mask) == 0);
+      } else {
+        s[kManA] = ea == 0 ? 0 : ((a & frac_mask) | (u64{1} << F));
+        s[kManB] = eb == 0 ? 0 : ((b & frac_mask) | (u64{1} << F));
+        set_ctl(s, kCtlInfA, ea == emax);
+        set_ctl(s, kCtlInfB, eb == emax);
+        set_ctl(s, kCtlZeroA, ea == 0);
+        set_ctl(s, kCtlZeroB, eb == 0);
+      }
+      set_ctl(s, kCtlSignA, (a >> (N - 1)) & 1);
+      set_ctl(s, kCtlSignB, (b >> (N - 1)) & 1);
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- IEEE mode only: subnormal-operand normalizers ------------------------
+  if (ieee) {
+    const int lvls = fp::msb_index64(static_cast<u64>(F + 1)) + 1;
+    for (int op = 0; op < 2; ++op) {
+      rtl::Piece p;
+      p.name = op == 0 ? "norm_op_a" : "norm_op_b";
+      p.group = "op_norm";
+      p.delay_ns = tech.priority_encoder_delay(F + 1, obj) +
+                   lvls * tech.mux_level_chained_delay(F + 1, obj);
+      p.area = tech.priority_encoder_area(F + 1, obj) +
+               tech.mux_level_area(F + 1, obj) * lvls +
+               tech.adder_area(E + 1, obj);
+      p.live_bits = 2 * (1 + E + 2 + (F + 1)) + 9;
+      const int lane_m = op == 0 ? kManA : kManB;
+      const int lane_e = op == 0 ? kExpA : kExpB;
+      p.eval = [lane_m, lane_e, F](rtl::SignalSet& s) {
+        if (s[lane_m] == 0) return;
+        const int msb = fp::msb_index64(s[lane_m]);
+        if (msb < F) {
+          s[lane_m] <<= (F - msb);
+          s[lane_e] = static_cast<u64>(static_cast<fp::i64>(s[lane_e]) -
+                                       (F - msb));
+        }
+      };
+      chain.push_back(std::move(p));
+    }
+  }
+
+  // ---- initial magnitude step + exponent arithmetic ------------------------
+  {
+    rtl::Piece p;
+    p.name = "div_init";
+    p.group = "divide";
+    p.delay_ns =
+        std::max(tech.comparator_delay(F + 1, obj), tech.adder_delay(E, obj));
+    p.area = tech.comparator_area(F + 1, obj) + tech.adder_area(F + 1, obj) +
+             tech.adder_area(E, obj) * 2;
+    p.live_bits = (F + 2) + (F + 1) + (F + 5) + (E + 2) + 6;
+    const int bias = fmt.bias();
+    p.eval = [bias](rtl::SignalSet& s) {
+      // First quotient bit: numerator may equal or exceed the divisor.
+      s[kQuot] = 0;
+      if (s[kManB] != 0 && s[kManA] >= s[kManB]) {
+        s[kManA] -= s[kManB];
+        s[kQuot] = 1;
+      }
+      // Exponent subtract and bias add, in parallel with the array.
+      s[kExp] = static_cast<u64>(static_cast<fp::i64>(s[kExpA]) -
+                                 static_cast<fp::i64>(s[kExpB]) + bias - 1);
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- restoring rows: two quotient bits per piece --------------------------
+  // F+4 more bits complete the F+5-bit raw quotient.
+  const int rest_bits = F + 4;
+  const int n_rows = (rest_bits + 1) / 2;
+  for (int r = 0; r < n_rows; ++r) {
+    rtl::Piece p;
+    p.name = "div_r" + std::to_string(r);
+    p.group = "divide";
+    // Borrow-save row pair: LUT + short route, width-dependent.
+    p.delay_ns = (0.45 + 1.2 * 0.5 + 0.015 * (F + 2)) *
+                 (obj == device::Objective::kSpeed ? 0.88 : 1.0);
+    p.delay_chained_ns = p.delay_ns * 0.8;
+    p.area = tech.adder_area(F + 2, obj);
+    p.live_bits = (F + 2) + (F + 1) + (F + 5) + (E + 2) + 6;
+    const int bits_this_row = std::min(2, rest_bits - 2 * r);
+    const bool last = r == n_rows - 1;
+    p.eval = [bits_this_row, last](rtl::SignalSet& s) {
+      for (int i = 0; i < bits_this_row; ++i) div_step(s);
+      if (last && s[kManA] != 0) s[kQuot] |= 1;  // remainder -> sticky
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- normalize: quotient msb is at F+3 or F+4 ----------------------------
+  {
+    rtl::Piece p;
+    p.name = "norm2";
+    p.group = "normalize";
+    p.delay_ns =
+        std::max(tech.mux_level_delay(F + 4, obj), tech.adder_delay(E, obj));
+    p.area = tech.mux_level_area(F + 4, obj) + tech.adder_area(E, obj);
+    p.live_bits = (F + 4) + (E + 2) + 6;
+    p.eval = [F](rtl::SignalSet& s) {
+      u64 q = s[kQuot];
+      if ((q >> (F + 4)) & 1) {
+        q = fp::shift_right_jam64(q, 1);
+        s[kExp] = static_cast<u64>(static_cast<fp::i64>(s[kExp]) + 1);
+      }
+      s[kWork] = q;
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- IEEE mode only: gradual-underflow denormalizer -----------------------
+  if (ieee) {
+    const int wlvls = fp::msb_index64(static_cast<u64>(F + 4)) + 1;
+    {
+      rtl::Piece p;
+      p.name = "tiny_detect";
+      p.group = "denorm_result";
+      p.delay_ns = tech.adder_delay(E + 1, obj);
+      p.area = tech.adder_area(E + 1, obj) + tech.comparator_area(E, obj);
+      p.live_bits = (F + 4) + (E + 2) + wlvls + 9;
+      const int wmax = F + 4;
+      p.eval = [wmax](rtl::SignalSet& s) {
+        const fp::i64 exp = static_cast<fp::i64>(s[kExp]);
+        if (exp <= 0 && s[kWork] != 0) {
+          set_ctl(s, kCtlTiny, true);
+          const fp::i64 shift = 1 - exp;
+          s[kQuot] = static_cast<u64>(shift > wmax ? wmax : shift);
+        } else {
+          s[kQuot] = 0;  // lane reuse: shift amount
+        }
+      };
+      chain.push_back(std::move(p));
+    }
+    for (int l = 0; l < wlvls; ++l) {
+      rtl::Piece p;
+      p.name = "denorm_l" + std::to_string(l);
+      p.group = "denorm_result";
+      p.delay_ns = tech.mux_level_delay(F + 4, obj);
+      p.delay_chained_ns = tech.mux_level_chained_delay(F + 4, obj);
+      p.area = tech.mux_level_area(F + 4, obj);
+      p.live_bits = (F + 4) + (E + 2) + (wlvls - l) + 9;
+      p.eval = [l](rtl::SignalSet& s) {
+        if ((s[kQuot] >> l) & 1) {
+          s[kWork] = fp::shift_right_jam64(s[kWork], 1 << l);
+        }
+      };
+      chain.push_back(std::move(p));
+    }
+  }
+
+  // ---- rounding (same module as adder/multiplier) ---------------------------
+  const int rm_bits = F + 2;
+  const int rm_chunks = (rm_bits + 13) / 14;
+  for (int c = 0; c < rm_chunks; ++c) {
+    const int bits = (rm_bits + rm_chunks - 1) / rm_chunks;
+    rtl::Piece p;
+    p.name = "round_mant_c" + std::to_string(c);
+    p.group = "round";
+    p.delay_ns = tech.adder_delay(bits, obj);
+    p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
+    p.area = tech.adder_area(bits, obj);
+    p.live_bits = (E + 2) + (F + 2) + 3 + 6;
+    const bool last = c == rm_chunks - 1;
+    p.eval = [rne, last](rtl::SignalSet& s) {
+      if (!last) return;
+      const u64 grs = s[kWork] & 7;
+      u64 kept = s[kWork] >> 3;
+      bool inc = false;
+      if (rne) inc = grs > 4 || (grs == 4 && (kept & 1) != 0);
+      s[kGrs] = grs;
+      s[kKept] = kept + (inc ? 1 : 0);
+    };
+    chain.push_back(std::move(p));
+  }
+  {
+    rtl::Piece p;
+    p.name = "round_exp";
+    p.group = "round";
+    p.delay_ns = tech.adder_delay(E, obj);
+    p.area = tech.adder_area(E, obj) + tech.comparator_area(E, obj) * 2;
+    p.live_bits = (E + 2) + (F + 2) + 3 + 6;
+    p.eval = [](rtl::SignalSet&) {};
+    chain.push_back(std::move(p));
+  }
+  {
+    rtl::Piece p;
+    p.name = "pack";
+    p.group = "round";
+    p.delay_ns = tech.lut_logic_delay(obj);
+    p.area = tech.lut_logic_area(N, obj);
+    p.live_bits = N + 5;
+    p.eval = [fmt, F, E, rne, N, ieee](rtl::SignalSet& s) {
+      const int emax = (1 << E) - 1;
+      const bool inf_a = ctl(s, kCtlInfA);
+      const bool inf_b = ctl(s, kCtlInfB);
+      const bool zero_a = ctl(s, kCtlZeroA);
+      const bool zero_b = ctl(s, kCtlZeroB);
+      const bool sign = ctl(s, kCtlSignA) != ctl(s, kCtlSignB);
+      const u64 sign_mask = u64{1} << (N - 1);
+      std::uint8_t flags = 0;
+      u64 result;
+      if (ieee && (ctl(s, kCtlNan) || (inf_a && inf_b) ||
+                   (zero_a && zero_b))) {
+        if (ctl(s, kCtlSnan) || !ctl(s, kCtlNan)) flags |= fp::kFlagInvalid;
+        result = fmt.exp_mask() | fmt.quiet_bit();
+      } else if (ieee && ctl(s, kCtlTiny) && !inf_a && !inf_b && !zero_a &&
+                 !zero_b) {
+        if (s[kGrs] != 0) {
+          flags |= fp::kFlagInexact | fp::kFlagUnderflow;
+        }
+        result = s[kKept] | (sign ? sign_mask : 0);
+      } else if (inf_a) {
+        if (inf_b) {
+          flags |= fp::kFlagInvalid;
+          result = fmt.exp_mask();  // +inf (no NaN support)
+        } else {
+          result = fmt.exp_mask() | (sign ? sign_mask : 0);
+        }
+      } else if (inf_b) {
+        result = sign ? sign_mask : 0;  // finite / inf = 0
+      } else if (zero_b) {
+        if (zero_a) {
+          flags |= fp::kFlagInvalid;
+          result = fmt.exp_mask();
+        } else {
+          flags |= fp::kFlagDivByZero;
+          result = fmt.exp_mask() | (sign ? sign_mask : 0);
+        }
+      } else if (zero_a) {
+        result = sign ? sign_mask : 0;
+      } else {
+        fp::i64 exp = static_cast<fp::i64>(s[kExp]);
+        u64 kept = s[kKept];
+        if (exp <= 0) {
+          flags |= fp::kFlagUnderflow | fp::kFlagInexact;
+          result = sign ? sign_mask : 0;
+        } else {
+          if ((kept >> (F + 1)) & 1) {
+            kept >>= 1;
+            exp += 1;
+          }
+          if (s[kGrs] != 0) flags |= fp::kFlagInexact;
+          if (exp >= emax) {
+            flags |= fp::kFlagOverflow | fp::kFlagInexact;
+            result = rne ? fmt.exp_mask()
+                         : ((static_cast<u64>(emax - 1) << F) |
+                            fp::mask64(F));
+            if (sign) result |= sign_mask;
+          } else {
+            result = (static_cast<u64>(exp) << F) | (kept & fp::mask64(F));
+            if (sign) result |= sign_mask;
+          }
+        }
+      }
+      s[kLaneResult] = result;
+      s.flags = flags;
+    };
+    chain.push_back(std::move(p));
+  }
+
+  assert(!chain.empty());
+  return chain;
+}
+
+}  // namespace flopsim::units::detail

@@ -1,0 +1,559 @@
+// Structural fused multiply-add core: result = a * b + c with a single
+// rounding (library extension — the paper's PEs round twice per MAC; fused
+// MACs are where FPGA arithmetic went next, cf. the later DSP48 slices).
+//
+// Datapath (classic fused-MAC structure, swap-based):
+//   1. shared denormalizer over all three operands
+//   2. the multiplier's exact partial-product array (MULT18X18 + compressor
+//      tree + full-width CPA) — the product is kept EXACT (2F+2 bits)
+//   3. swap: the wider of {product, addend} anchors; the smaller aligns
+//      through a double-width (128-bit) jam shifter
+//   4. a double-width adder/subtractor in carry chunks
+//   5. a double-width normalizer (split priority encoder + shifter)
+//   6. the shared rounding tail
+//
+// Bit-exact with fp::fma under FpEnv::paper at every pipeline depth. The
+// price of the single rounding is visible in the numbers: double-width
+// alignment, addition, and normalization make the MAC bigger than the
+// paper's adder and multiplier combined at the same depth (see
+// bench/ext_fused_mac).
+#include <cassert>
+
+#include "fp/bits.hpp"
+#include "units/fp_unit.hpp"
+
+namespace flopsim::units::detail {
+namespace {
+
+using fp::u128;
+using fp::u64;
+
+// Lanes. The 128-bit frames occupy lane pairs (lo, hi).
+constexpr int kManA = 3;
+constexpr int kManB = 4;
+constexpr int kManC = 5;
+constexpr int kExpC = 6;
+constexpr int kCtl = 7;
+constexpr int kBigLo = 8;    // anchor frame
+constexpr int kBigHi = 9;
+constexpr int kSmallLo = 10;  // aligning frame
+constexpr int kSmallHi = 11;
+constexpr int kExp = 12;   // running result exponent (biased, signed)
+constexpr int kAux = 13;   // alignment distance, then normalize shift
+constexpr int kCarry = 14;
+constexpr int kPenc = 15;
+constexpr int kGrs = 16;
+constexpr int kKept = 17;
+constexpr int kExpP = 18;  // product exponent before the swap
+
+constexpr u64 kCtlSignP = 1u << 0;   // product sign (sa ^ sb)
+constexpr u64 kCtlSignC = 1u << 1;
+constexpr u64 kCtlInfP = 1u << 2;    // a or b infinite (and no zero)
+constexpr u64 kCtlInfC = 1u << 3;
+constexpr u64 kCtlZeroP = 1u << 4;   // a or b zero
+constexpr u64 kCtlZeroC = 1u << 5;
+constexpr u64 kCtlInvalid = 1u << 6;  // inf * 0, or inf - inf via c
+constexpr u64 kCtlEffSub = 1u << 7;
+constexpr u64 kCtlSignRes = 1u << 8;
+constexpr u64 kCtlZeroRes = 1u << 9;
+constexpr u64 kCtlSignBig = 1u << 10;   // sign of the anchor frame
+constexpr u64 kCtlSignSmall = 1u << 11;
+// IEEE-mode extension bits.
+constexpr u64 kCtlNan = 1u << 12;
+constexpr u64 kCtlSnan = 1u << 13;
+constexpr u64 kCtlTiny = 1u << 14;
+constexpr u64 kCtlItz = 1u << 15;  // inf * zero (invalid even beside NaN)
+
+bool ctl(const rtl::SignalSet& s, u64 bit) { return (s[kCtl] & bit) != 0; }
+void set_ctl(rtl::SignalSet& s, u64 bit, bool v) {
+  if (v) {
+    s[kCtl] |= bit;
+  } else {
+    s[kCtl] &= ~bit;
+  }
+}
+
+u128 get128(const rtl::SignalSet& s, int lo_lane) {
+  return (static_cast<u128>(s[lo_lane + 1]) << 64) | s[lo_lane];
+}
+
+void put128(rtl::SignalSet& s, int lo_lane, u128 v) {
+  s[lo_lane] = static_cast<u64>(v);
+  s[lo_lane + 1] = static_cast<u64>(v >> 64);
+}
+
+}  // namespace
+
+rtl::PieceChain build_mac_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
+  const int F = fmt.frac_bits();
+  const int E = fmt.exp_bits();
+  const int N = fmt.total_bits();
+  const int sig_bits = F + 1;
+  const int prod_bits = 2 * sig_bits;
+  const device::TechModel& tech = cfg.tech;
+  const device::Objective obj = cfg.objective;
+  const bool rne = cfg.rounding == fp::RoundingMode::kNearestEven;
+  const bool ieee = cfg.ieee_mode;
+
+  const int chunks = (sig_bits + 16) / 17;
+  const int n_bmults = chunks * chunks;
+  int csa_levels = 0;
+  for (int r = n_bmults; r > 1; r = (r + 3) / 4) ++csa_levels;
+
+  rtl::PieceChain chain;
+
+  // ---- denormalizer for three operands --------------------------------------
+  {
+    rtl::Piece p;
+    p.name = "denorm3";
+    p.group = "denorm";
+    p.delay_ns = tech.comparator_delay(E, obj) + tech.gate_delay(obj) +
+                 (ieee ? tech.priority_encoder_delay(F + 1, obj) : 0.0);
+    p.area = tech.comparator_area(E, obj) * 6 +
+             tech.lut_logic_area(F + 1, obj) * 3 +
+             (ieee ? (tech.priority_encoder_area(F + 1, obj) +
+                      tech.mux_level_area(F + 1, obj) * 6) *
+                         3
+                   : device::Resources{});
+    p.live_bits = 3 * (1 + E + sig_bits) + 10;
+    p.eval = [fmt, F, E, N, ieee](rtl::SignalSet& s) {
+      const u64 emax_mask = fp::mask64(E);
+      const int emax = (1 << E) - 1;
+      bool any_nan = false, any_snan = false;
+      auto unpack = [&](u64 enc, u64& man, int& e, bool& sign, bool& inf,
+                        bool& zero) {
+        enc &= fmt.bits_mask();
+        e = static_cast<int>((enc >> F) & emax_mask);
+        const u64 frac = enc & fp::mask64(F);
+        sign = ((enc >> (N - 1)) & 1) != 0;
+        if (ieee) {
+          const bool nan = e == emax && frac != 0;
+          any_nan |= nan;
+          any_snan |= nan && ((enc >> (F - 1)) & 1) == 0;
+          inf = e == emax && frac == 0;
+          zero = e == 0 && frac == 0;
+          man = e == 0 ? frac : (frac | (u64{1} << F));
+          // Normalize honored subnormals right here (the operand
+          // normalizer hardware is charged via the IEEE area below).
+          if (e == 0 && frac != 0) {
+            const int msb = fp::msb_index64(man);
+            man <<= (F - msb);
+            e = 1 - (F - msb);
+          } else if (e == 0) {
+            e = 1;
+          }
+        } else {
+          man = e == 0 ? 0 : (frac | (u64{1} << F));
+          inf = e == emax;  // NaN encodings read as infinity (paper policy)
+          zero = e == 0;
+        }
+      };
+      u64 ma, mb, mc;
+      int ea, eb, ec;
+      bool sa, sb, sc, ia, ib, ic, za, zb, zc;
+      unpack(s[kLaneInA], ma, ea, sa, ia, za);
+      unpack(s[kLaneInB], mb, eb, sb, ib, zb);
+      unpack(s[kLaneInC], mc, ec, sc, ic, zc);
+      s[kManA] = ma;
+      s[kManB] = mb;
+      s[kManC] = mc;
+      s[kExpC] = static_cast<u64>(ec);
+      s[kExpP] = static_cast<u64>(ea + eb);
+      s[kCtl] = 0;
+      set_ctl(s, kCtlNan, any_nan);
+      set_ctl(s, kCtlSnan, any_snan);
+      set_ctl(s, kCtlSignP, sa != sb);
+      set_ctl(s, kCtlSignC, sc);
+      const bool prod_inf = (ia || ib) && !(za || zb);
+      set_ctl(s, kCtlInfP, prod_inf);
+      set_ctl(s, kCtlInfC, ic);
+      set_ctl(s, kCtlZeroP, za || zb);
+      set_ctl(s, kCtlZeroC, zc);
+      const bool inf_times_zero = (ia && zb) || (ib && za);
+      const bool inf_conflict =
+          prod_inf && ic && (sa != sb) != sc;
+      set_ctl(s, kCtlItz, inf_times_zero);
+      set_ctl(s, kCtlInvalid, inf_times_zero || inf_conflict);
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- exact product (shared structure with the multiplier) -----------------
+  {
+    rtl::Piece p;
+    p.name = "bmult";
+    p.group = "mantissa_mul";
+    p.delay_ns = std::max(tech.bmult_delay(obj), tech.adder_delay(E, obj));
+    p.area = tech.adder_area(E + 1, obj);
+    p.area.bmults = n_bmults;
+    p.live_bits = prod_bits + sig_bits + 2 * (E + 2) + 10;
+    const int bias = fmt.bias();
+    p.eval = [chunks, bias](rtl::SignalSet& s) {
+      u128 prod = 0;
+      for (int i = 0; i < chunks; ++i) {
+        const u64 ca = (s[kManA] >> (17 * i)) & fp::mask64(17);
+        if (ca == 0) continue;
+        for (int j = 0; j < chunks; ++j) {
+          const u64 cb = (s[kManB] >> (17 * j)) & fp::mask64(17);
+          prod += static_cast<u128>(ca * cb) << (17 * (i + j));
+        }
+      }
+      put128(s, kBigLo, prod);  // staging; the swap reassigns frames
+      // Exponent bias subtract rides with the array (parallel in hardware).
+      s[kExpP] = static_cast<u64>(static_cast<fp::i64>(s[kExpP]) - bias);
+    };
+    chain.push_back(std::move(p));
+  }
+  for (int l = 0; l < csa_levels; ++l) {
+    rtl::Piece p;
+    p.name = "csa_l" + std::to_string(l);
+    p.group = "mantissa_mul";
+    p.delay_ns = tech.csa_level_delay(prod_bits, obj);
+    p.delay_chained_ns = tech.csa_level_chained_delay(prod_bits, obj);
+    p.area = tech.csa_level_area(prod_bits, obj);
+    p.live_bits = prod_bits + sig_bits + 2 * (E + 2) + 10;
+    p.eval = [](rtl::SignalSet&) {
+      // Carry-save value progresses; already exact in the lanes.
+    };
+    chain.push_back(std::move(p));
+  }
+  // Full-width CPA: the fused datapath needs every product bit resolved.
+  {
+    const int n_cpa = std::max(1, (prod_bits + 15) / 16);
+    const int cpa_chunk = (prod_bits + n_cpa - 1) / n_cpa;
+    for (int c = 0; c < n_cpa; ++c) {
+      rtl::Piece p;
+      p.name = "cpa_c" + std::to_string(c);
+      p.group = "cpa";
+      p.delay_ns = tech.adder_delay(cpa_chunk, obj);
+      p.delay_chained_ns = tech.adder_chained_delay(cpa_chunk, obj);
+      p.area = tech.adder_area(cpa_chunk, obj);
+      p.live_bits = prod_bits + sig_bits + 2 * (E + 2) + 10;
+      p.eval = [](rtl::SignalSet&) {};  // value already exact in the lanes
+      chain.push_back(std::move(p));
+    }
+  }
+
+  // ---- swap: anchor the larger of product / addend ---------------------------
+  // Working frames carry GRS: product frame = prod << 3 (value scale
+  // 2^(expP - bias - 2F - 3)); addend frame = man_c << (F + 3).
+  const int frame_bits = prod_bits + 4;  // max meaningful width
+  {
+    rtl::Piece p;
+    p.name = "fma_swap";
+    p.group = "align";
+    p.delay_ns = std::max(tech.comparator_delay(E + 2, obj),
+                          tech.mux_level_delay(frame_bits, obj)) +
+                 tech.adder_delay(E + 1, obj);
+    p.area = tech.comparator_area(E + 2, obj) +
+             tech.mux_level_area(2 * frame_bits, obj) +
+             tech.adder_area(E + 1, obj);
+    p.live_bits = 2 * frame_bits + (E + 2) + 8 + 10;
+    const int F_ = F;
+    p.eval = [F_](rtl::SignalSet& s) {
+      const u128 prod = get128(s, kBigLo) << 3;
+      const u128 cfrm = static_cast<u128>(s[kManC]) << (F_ + 3);
+      const fp::i64 exp_p = static_cast<fp::i64>(s[kExpP]);
+      const fp::i64 exp_c = static_cast<fp::i64>(s[kExpC]);
+      // Anchor by EXPONENT (the subtract order is decided after alignment,
+      // like the reference); a zero frame never anchors, so tiny nonzero
+      // operands are not jammed away against it.
+      bool p_big;
+      fp::i64 d;
+      if (cfrm == 0) {
+        p_big = true;
+        d = 0;
+      } else if (prod == 0) {
+        p_big = false;
+        d = 0;
+      } else {
+        p_big = exp_p >= exp_c;
+        d = p_big ? exp_p - exp_c : exp_c - exp_p;
+      }
+      put128(s, kBigLo, p_big ? prod : cfrm);
+      put128(s, kSmallLo, p_big ? cfrm : prod);
+      s[kExp] = static_cast<u64>(p_big ? exp_p : exp_c);
+      s[kAux] = static_cast<u64>(d > 127 ? 127 : d);
+      const bool sign_p = ctl(s, kCtlSignP);
+      const bool sign_c = ctl(s, kCtlSignC);
+      set_ctl(s, kCtlEffSub, sign_p != sign_c);
+      set_ctl(s, kCtlSignBig, p_big ? sign_p : sign_c);
+      set_ctl(s, kCtlSignSmall, p_big ? sign_c : sign_p);
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- double-width alignment shifter ----------------------------------------
+  const int align_levels = 7;  // up to 127-bit jam shift
+  for (int l = 0; l < align_levels; ++l) {
+    rtl::Piece p;
+    p.name = "align_l" + std::to_string(l);
+    p.group = "align";
+    p.delay_ns = tech.mux_level_delay(frame_bits, obj);
+    p.delay_chained_ns = tech.mux_level_chained_delay(frame_bits, obj);
+    p.area = tech.mux_level_area(frame_bits, obj);
+    p.live_bits = 2 * frame_bits + (E + 2) + (align_levels - l) + 10;
+    p.eval = [l](rtl::SignalSet& s) {
+      if ((s[kAux] >> l) & 1) {
+        put128(s, kSmallLo, fp::shift_right_jam128(get128(s, kSmallLo),
+                                                   1 << l));
+      }
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- double-width adder/subtractor in carry chunks -------------------------
+  {
+    const int n_chunks = (frame_bits + 15) / 16;
+    for (int c = 0; c < n_chunks; ++c) {
+      rtl::Piece p;
+      p.name = "msum_c" + std::to_string(c);
+      p.group = "mantissa_add";
+      const int bits =
+          std::min(16, frame_bits - c * 16) > 0
+              ? std::min(16, frame_bits - c * 16)
+              : 16;
+      p.delay_ns = tech.adder_delay(bits, obj);
+      p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
+      p.area = tech.adder_area(bits, obj);
+      p.live_bits = frame_bits + 1 + (E + 2) + 10;
+      const bool last = c == n_chunks - 1;
+      p.eval = [last](rtl::SignalSet& s) {
+        if (!last) return;  // the full op resolves with the final carry
+        const u128 big = get128(s, kBigLo);
+        const u128 small = get128(s, kSmallLo);
+        u128 sum;
+        if (ctl(s, kCtlEffSub)) {
+          // Equal exponents can leave the "small" side larger: the aligned
+          // compare decides both the order and the result sign.
+          if (big == small) {
+            set_ctl(s, kCtlZeroRes, true);
+            sum = 0;
+          } else if (big > small) {
+            sum = big - small;
+            set_ctl(s, kCtlSignRes, ctl(s, kCtlSignBig));
+          } else {
+            sum = small - big;
+            set_ctl(s, kCtlSignRes, ctl(s, kCtlSignSmall));
+          }
+        } else {
+          sum = big + small;
+          set_ctl(s, kCtlSignRes, ctl(s, kCtlSignBig));
+        }
+        put128(s, kBigLo, sum);
+      };
+      chain.push_back(std::move(p));
+    }
+  }
+
+  // ---- double-width normalizer -----------------------------------------------
+  {
+    rtl::Piece p;
+    p.name = "penc128";
+    p.group = "normalize";
+    // Two half-width encoders + combine, like the adder's, but double wide.
+    p.delay_ns = tech.priority_encoder_delay(frame_bits / 2, obj) +
+                 tech.adder_chained_delay(4, obj);
+    p.area = tech.priority_encoder_area(frame_bits / 2, obj) * 2 +
+             tech.adder_area(4, obj);
+    p.live_bits = frame_bits + (E + 2) + 8 + 10;
+    const int F_ = F;
+    p.eval = [F_](rtl::SignalSet& s) {
+      const u128 sum = get128(s, kBigLo);
+      if (sum == 0) return;
+      const int msb = 127 - fp::clz128(sum);
+      // Required shift to put the msb at F+3 (negative = shift left).
+      s[kPenc] = static_cast<u64>(
+          static_cast<fp::i64>(msb - (F_ + 3)));
+    };
+    chain.push_back(std::move(p));
+  }
+  {
+    rtl::Piece p;
+    p.name = "norm_exp";
+    p.group = "normalize";
+    p.delay_ns = tech.adder_delay(E + 1, obj);
+    p.area = tech.adder_area(E + 1, obj);
+    p.live_bits = frame_bits + (E + 2) + 8 + 10;
+    const int F_ = F;
+    p.eval = [F_](rtl::SignalSet& s) {
+      // round_pack semantics: value = sig * 2^(exp - bias - F - 3) with the
+      // frame at 2^(exp - bias - 2F - 3): e64 = exp - F + (msb - (F+3)).
+      s[kExp] = static_cast<u64>(static_cast<fp::i64>(s[kExp]) - F_ +
+                                 static_cast<fp::i64>(s[kPenc]));
+    };
+    chain.push_back(std::move(p));
+  }
+  for (int l = 0; l < align_levels; ++l) {
+    rtl::Piece p;
+    p.name = "norm_l" + std::to_string(l);
+    p.group = "norm_shift";
+    p.delay_ns = tech.mux_level_delay(frame_bits, obj);
+    p.delay_chained_ns = tech.mux_level_chained_delay(frame_bits, obj);
+    p.area = tech.mux_level_area(frame_bits, obj);
+    p.live_bits = frame_bits + (E + 2) + (align_levels - l) + 10;
+    p.eval = [l](rtl::SignalSet& s) {
+      const fp::i64 shift = static_cast<fp::i64>(s[kPenc]);
+      const fp::i64 mag = shift < 0 ? -shift : shift;
+      if ((mag >> l) & 1) {
+        u128 sum = get128(s, kBigLo);
+        if (shift > 0) {
+          sum = fp::shift_right_jam128(sum, 1 << l);
+        } else {
+          sum <<= (1 << l);
+        }
+        put128(s, kBigLo, sum);
+      }
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- IEEE mode only: gradual-underflow denormalizer -----------------------
+  if (ieee) {
+    const int wlvls = fp::msb_index64(static_cast<u64>(F + 4)) + 1;
+    {
+      rtl::Piece p;
+      p.name = "tiny_detect";
+      p.group = "denorm_result";
+      p.delay_ns = tech.adder_delay(E + 1, obj);
+      p.area = tech.adder_area(E + 1, obj) + tech.comparator_area(E, obj);
+      p.live_bits = (F + 4) + (E + 2) + wlvls + 12;
+      const int wmax = F + 4;
+      p.eval = [wmax](rtl::SignalSet& s) {
+        const fp::i64 exp = static_cast<fp::i64>(s[kExp]);
+        if (exp <= 0 && s[kBigLo] != 0 && !ctl(s, kCtlZeroRes)) {
+          set_ctl(s, kCtlTiny, true);
+          const fp::i64 shift = 1 - exp;
+          s[kAux] = static_cast<u64>(shift > wmax ? wmax : shift);
+        } else {
+          s[kAux] = 0;
+        }
+      };
+      chain.push_back(std::move(p));
+    }
+    for (int l = 0; l < wlvls; ++l) {
+      rtl::Piece p;
+      p.name = "denorm_l" + std::to_string(l);
+      p.group = "denorm_result";
+      p.delay_ns = tech.mux_level_delay(F + 4, obj);
+      p.delay_chained_ns = tech.mux_level_chained_delay(F + 4, obj);
+      p.area = tech.mux_level_area(F + 4, obj);
+      p.live_bits = (F + 4) + (E + 2) + (wlvls - l) + 12;
+      p.eval = [l](rtl::SignalSet& s) {
+        if ((s[kAux] >> l) & 1) {
+          s[kBigLo] = fp::shift_right_jam64(s[kBigLo], 1 << l);
+        }
+      };
+      chain.push_back(std::move(p));
+    }
+  }
+
+  // ---- rounding tail ----------------------------------------------------------
+  const int rm_bits = F + 2;
+  const int rm_chunks = (rm_bits + 13) / 14;
+  for (int c = 0; c < rm_chunks; ++c) {
+    const int bits = (rm_bits + rm_chunks - 1) / rm_chunks;
+    rtl::Piece p;
+    p.name = "round_mant_c" + std::to_string(c);
+    p.group = "round";
+    p.delay_ns = tech.adder_delay(bits, obj);
+    p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
+    p.area = tech.adder_area(bits, obj);
+    p.live_bits = (E + 2) + (F + 2) + 3 + 10;
+    const bool last = c == rm_chunks - 1;
+    p.eval = [rne, last](rtl::SignalSet& s) {
+      if (!last) return;
+      const u64 work = s[kBigLo];  // normalized: fits the low lane
+      const u64 grs = work & 7;
+      u64 kept = work >> 3;
+      bool inc = false;
+      if (rne) inc = grs > 4 || (grs == 4 && (kept & 1) != 0);
+      s[kGrs] = grs;
+      s[kKept] = kept + (inc ? 1 : 0);
+    };
+    chain.push_back(std::move(p));
+  }
+  {
+    rtl::Piece p;
+    p.name = "pack";
+    p.group = "round";
+    p.delay_ns = tech.adder_delay(E, obj) + tech.lut_logic_delay(obj);
+    p.area = tech.adder_area(E, obj) + tech.comparator_area(E, obj) * 2 +
+             tech.lut_logic_area(N, obj);
+    p.live_bits = N + 5;
+    p.eval = [fmt, F, E, rne, N, ieee](rtl::SignalSet& s) {
+      const int emax = (1 << E) - 1;
+      const u64 sign_mask = u64{1} << (N - 1);
+      std::uint8_t flags = 0;
+      u64 result = 0;
+      const bool sign_p = ctl(s, kCtlSignP);
+      const bool sign_c = ctl(s, kCtlSignC);
+      bool datapath = false;
+      result = 0;
+      if (ieee && (ctl(s, kCtlNan) || ctl(s, kCtlInvalid))) {
+        // NaN result; invalid for signaling NaNs, inf*0 (even beside a
+        // quiet NaN), and inf-inf conflicts.
+        if (ctl(s, kCtlSnan) || ctl(s, kCtlItz) ||
+            (!ctl(s, kCtlNan) && ctl(s, kCtlInvalid))) {
+          flags |= fp::kFlagInvalid;
+        }
+        result = fmt.exp_mask() | fmt.quiet_bit();
+      } else if (ieee && ctl(s, kCtlTiny) && !ctl(s, kCtlInfP) &&
+                 !ctl(s, kCtlInfC) && !ctl(s, kCtlZeroRes)) {
+        const bool sign = ctl(s, kCtlSignRes);
+        if (s[kGrs] != 0) {
+          flags |= fp::kFlagInexact | fp::kFlagUnderflow;
+        }
+        result = s[kKept] | (sign ? sign_mask : 0);
+      } else if (ctl(s, kCtlInvalid)) {
+        flags |= fp::kFlagInvalid;
+        result = fmt.exp_mask();  // +inf (no NaN support)
+      } else if (ctl(s, kCtlInfP)) {
+        result = fmt.exp_mask() | (sign_p ? sign_mask : 0);
+      } else if (ctl(s, kCtlInfC)) {
+        result = fmt.exp_mask() | (sign_c ? sign_mask : 0);
+      } else if (ctl(s, kCtlZeroP) && ctl(s, kCtlZeroC)) {
+        result = (sign_p == sign_c && sign_p) ? sign_mask : 0;
+      } else if (ctl(s, kCtlZeroRes)) {
+        result = 0;  // exact cancellation: +0 under RNE/truncation
+      } else {
+        // Normal path — including a zero product, where the addend rode
+        // the datapath unscathed (aligned against a zero frame).
+        datapath = true;
+      }
+      if (datapath) {
+        const bool sign = ctl(s, kCtlSignRes);
+        fp::i64 exp = static_cast<fp::i64>(s[kExp]);
+        u64 kept = s[kKept];
+        if (exp <= 0) {
+          flags |= fp::kFlagUnderflow | fp::kFlagInexact;
+          result = sign ? sign_mask : 0;
+        } else {
+          if ((kept >> (F + 1)) & 1) {
+            kept >>= 1;
+            exp += 1;
+          }
+          if (s[kGrs] != 0) flags |= fp::kFlagInexact;
+          if (exp >= emax) {
+            flags |= fp::kFlagOverflow | fp::kFlagInexact;
+            result = rne ? fmt.exp_mask()
+                         : ((static_cast<u64>(emax - 1) << F) |
+                            fp::mask64(F));
+            if (sign) result |= sign_mask;
+          } else {
+            result = (static_cast<u64>(exp) << F) | (kept & fp::mask64(F));
+            if (sign) result |= sign_mask;
+          }
+        }
+      }
+      s[kLaneResult] = result;
+      s.flags = flags;
+    };
+    chain.push_back(std::move(p));
+  }
+
+  assert(!chain.empty());
+  return chain;
+}
+
+}  // namespace flopsim::units::detail

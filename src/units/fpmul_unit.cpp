@@ -1,0 +1,485 @@
+// Structural floating-point multiplier, following the paper's block diagram
+// (Figure 1b):
+//
+//   stage 1  denormalizer (same module as the adder's)
+//   stage 2  fixed-point mantissa multiplier built from embedded MULT18X18
+//            blocks + a 4:2 compressor tree + a carry-propagate adder over
+//            the bits that matter (the low half only feeds the sticky OR) —
+//            "typically, for the 54bit fixed-point multiplication, seven
+//            pipelining stages are required to achieve 200MHz"; in parallel,
+//            the exponent adder and bias subtractor (cuttable between)
+//   stage 3  normalizer (small shifter + exponent subtract; "since we do not
+//            consider denormal numbers, we shift the mantissa of the result
+//            atmost by two bits") and the same rounding module as the adder
+//
+// Bit-exact with fp::mul under FpEnv::paper at every pipeline depth.
+#include <cassert>
+
+#include "fp/bits.hpp"
+#include "units/fp_unit.hpp"
+
+namespace flopsim::units::detail {
+namespace {
+
+using fp::u64;
+using fp::u128;
+
+constexpr int kExpA = 3;
+constexpr int kExpB = 4;
+constexpr int kManA = 5;
+constexpr int kManB = 6;
+constexpr int kCtl = 7;
+constexpr int kProdLo = 8;
+constexpr int kProdHi = 9;
+constexpr int kWork = 10;  // jammed working significand (<= F+4 bits)
+constexpr int kExp = 11;   // running result exponent (signed)
+constexpr int kGrs = 12;
+constexpr int kKept = 13;
+
+constexpr u64 kCtlSignA = 1u << 0;
+constexpr u64 kCtlSignB = 1u << 1;
+constexpr u64 kCtlInfA = 1u << 2;
+constexpr u64 kCtlInfB = 1u << 3;
+constexpr u64 kCtlZeroA = 1u << 4;
+constexpr u64 kCtlZeroB = 1u << 5;
+// IEEE-mode extension bits.
+constexpr u64 kCtlNan = 1u << 6;
+constexpr u64 kCtlSnan = 1u << 7;
+constexpr u64 kCtlTiny = 1u << 8;
+
+bool ctl(const rtl::SignalSet& s, u64 bit) { return (s[kCtl] & bit) != 0; }
+void set_ctl(rtl::SignalSet& s, u64 bit, bool v) {
+  if (v) {
+    s[kCtl] |= bit;
+  } else {
+    s[kCtl] &= ~bit;
+  }
+}
+
+}  // namespace
+
+rtl::PieceChain build_multiplier_chain(fp::FpFormat fmt,
+                                       const UnitConfig& cfg) {
+  const int F = fmt.frac_bits();
+  const int E = fmt.exp_bits();
+  const int N = fmt.total_bits();
+  const int sig_bits = F + 1;
+  const int prod_bits = 2 * sig_bits;
+  const device::TechModel& tech = cfg.tech;
+  const device::Objective obj = cfg.objective;
+  const bool rne = cfg.rounding == fp::RoundingMode::kNearestEven;
+  const bool ieee = cfg.ieee_mode;
+
+  // MULT18X18 usage: 17 unsigned bits per chunk.
+  const int chunks = (sig_bits + 16) / 17;
+  const int n_bmults = chunks * chunks;
+  // 4:2 compressor tree levels to reduce chunks^2 partial products.
+  int csa_levels = 0;
+  for (int r = n_bmults; r > 1; r = (r + 3) / 4) ++csa_levels;
+  // Carry-propagate chunks over the significant upper bits (the low F-2
+  // bits feed only the sticky OR).
+  const int cpa_bits = prod_bits - std::max(0, F - 2);
+  const int n_cpa = std::max(1, (cpa_bits + 15) / 16);
+  const int cpa_chunk = (cpa_bits + n_cpa - 1) / n_cpa;
+
+  rtl::PieceChain chain;
+
+  // ---- denormalizer (same module as the adder's) ---------------------------
+  {
+    rtl::Piece p;
+    p.name = "denorm";
+    p.group = "denorm";
+    p.delay_ns = tech.comparator_delay(E, obj) + tech.gate_delay(obj);
+    p.area =
+        tech.comparator_area(E, obj) * 4 + tech.lut_logic_area(F + 1, obj) * 2;
+    p.live_bits = 2 * (1 + E + sig_bits) + 6;
+    p.eval = [fmt, F, E, N, ieee](rtl::SignalSet& s) {
+      const u64 a = s[kLaneInA] & fmt.bits_mask();
+      const u64 b = s[kLaneInB] & fmt.bits_mask();
+      const u64 frac_mask = fp::mask64(F);
+      const int emax = (1 << E) - 1;
+      const int ea = static_cast<int>((a >> F) & fp::mask64(E));
+      const int eb = static_cast<int>((b >> F) & fp::mask64(E));
+      s[kExpA] = static_cast<u64>(ea);
+      s[kExpB] = static_cast<u64>(eb);
+      s[kCtl] = 0;
+      if (ieee) {
+        s[kManA] = ea == 0 ? (a & frac_mask)
+                           : ((a & frac_mask) | (u64{1} << F));
+        s[kManB] = eb == 0 ? (b & frac_mask)
+                           : ((b & frac_mask) | (u64{1} << F));
+        s[kExpA] = static_cast<u64>(ea == 0 ? 1 : ea);
+        s[kExpB] = static_cast<u64>(eb == 0 ? 1 : eb);
+        const bool nan_a = ea == emax && (a & frac_mask) != 0;
+        const bool nan_b = eb == emax && (b & frac_mask) != 0;
+        set_ctl(s, kCtlNan, nan_a || nan_b);
+        set_ctl(s, kCtlSnan,
+                (nan_a && ((a >> (F - 1)) & 1) == 0) ||
+                    (nan_b && ((b >> (F - 1)) & 1) == 0));
+        set_ctl(s, kCtlInfA, ea == emax && (a & frac_mask) == 0);
+        set_ctl(s, kCtlInfB, eb == emax && (b & frac_mask) == 0);
+        set_ctl(s, kCtlZeroA, s[kManA] == 0 && ea == 0);
+        set_ctl(s, kCtlZeroB, s[kManB] == 0 && eb == 0);
+      } else {
+        s[kManA] = ea == 0 ? 0 : ((a & frac_mask) | (u64{1} << F));
+        s[kManB] = eb == 0 ? 0 : ((b & frac_mask) | (u64{1} << F));
+        set_ctl(s, kCtlInfA, ea == emax);
+        set_ctl(s, kCtlInfB, eb == emax);
+        set_ctl(s, kCtlZeroA, ea == 0);
+        set_ctl(s, kCtlZeroB, eb == 0);
+      }
+      set_ctl(s, kCtlSignA, (a >> (N - 1)) & 1);
+      set_ctl(s, kCtlSignB, (b >> (N - 1)) & 1);
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- IEEE mode only: subnormal-operand normalizers -----------------------
+  // Each operand needs a priority encoder + left shifter to renormalize a
+  // subnormal significand before the multiplier array — a major share of
+  // the "lot of hardware" the paper declined to spend.
+  if (ieee) {
+    const int lvls = fp::msb_index64(static_cast<u64>(F + 1)) + 1;
+    // Both operands normalize in parallel in hardware; model one encoder
+    // piece (covering both, side by side) then cuttable shifter levels.
+    {
+      rtl::Piece p;
+      p.name = "norm_op_penc";
+      p.group = "op_norm";
+      p.delay_ns = tech.priority_encoder_delay(F + 1, obj);
+      p.area = tech.priority_encoder_area(F + 1, obj) * 2 +
+               tech.adder_area(E + 1, obj) * 2;
+      p.live_bits = 2 * (1 + E + 2 + sig_bits) + 2 * lvls + 9;
+      p.eval = [F](rtl::SignalSet& s) {
+        // Shift amounts, packed: low 8 bits for A, next 8 for B.
+        u64 packed = 0;
+        if (s[kManA] != 0) {
+          const int msb = fp::msb_index64(s[kManA]);
+          if (msb < F) packed |= static_cast<u64>(F - msb);
+        }
+        if (s[kManB] != 0) {
+          const int msb = fp::msb_index64(s[kManB]);
+          if (msb < F) packed |= static_cast<u64>(F - msb) << 8;
+        }
+        s[kProdLo] = packed;  // lane free until the BMULT stage
+      };
+      chain.push_back(std::move(p));
+    }
+    for (int l = 0; l < lvls; ++l) {
+      rtl::Piece p;
+      p.name = "norm_op_l" + std::to_string(l);
+      p.group = "op_norm";
+      p.delay_ns = tech.mux_level_delay(F + 1, obj);
+      p.delay_chained_ns = tech.mux_level_chained_delay(F + 1, obj);
+      p.area = tech.mux_level_area(F + 1, obj) * 2;
+      p.live_bits = 2 * (1 + E + 2 + sig_bits) + 2 * (lvls - l) + 9;
+      const bool last = l == lvls - 1;
+      p.eval = [l, last](rtl::SignalSet& s) {
+        const u64 sa = s[kProdLo] & 0xff;
+        const u64 sb = (s[kProdLo] >> 8) & 0xff;
+        if ((sa >> l) & 1) s[kManA] <<= (1 << l);
+        if ((sb >> l) & 1) s[kManB] <<= (1 << l);
+        if (last) {
+          // Exponent adjusters ride with the final level.
+          s[kExpA] = static_cast<u64>(static_cast<fp::i64>(s[kExpA]) -
+                                      static_cast<fp::i64>(sa));
+          s[kExpB] = static_cast<u64>(static_cast<fp::i64>(s[kExpB]) -
+                                      static_cast<fp::i64>(sb));
+        }
+      };
+      chain.push_back(std::move(p));
+    }
+  }
+
+  // ---- mantissa partial products: MULT18X18 array or LUT fabric ------------
+  if (cfg.use_embedded_multipliers) {
+    rtl::Piece p;
+    p.name = "bmult";
+    p.group = "mantissa_mul";
+    p.delay_ns = std::max(tech.bmult_delay(obj), tech.adder_delay(E, obj));
+    p.area = tech.adder_area(E, obj);
+    p.area.bmults = n_bmults;
+    p.live_bits = prod_bits + (E + 2) + 6;
+    p.eval = [chunks](rtl::SignalSet& s) {
+      // The 17-bit chunk products of the MULT18X18 array, combined exactly.
+      u128 prod = 0;
+      for (int i = 0; i < chunks; ++i) {
+        const u64 ca = (s[kManA] >> (17 * i)) & fp::mask64(17);
+        if (ca == 0) continue;
+        for (int j = 0; j < chunks; ++j) {
+          const u64 cb = (s[kManB] >> (17 * j)) & fp::mask64(17);
+          prod += static_cast<u128>(ca * cb) << (17 * (i + j));
+        }
+      }
+      s[kProdLo] = static_cast<u64>(prod);
+      s[kProdHi] = static_cast<u64>(prod >> 64);
+      s[kExp] = s[kExpA] + s[kExpB];  // exponent adder, in parallel
+    };
+    chain.push_back(std::move(p));
+  } else {
+    // LUT-fabric multiplier: radix-4 partial-product rows compressed in
+    // carry-save form, a few rows per piece. Burns ~sig^2/4 slices but no
+    // BMULTs, and exposes more pipeline cut points.
+    const int rows = (sig_bits + 1) / 2;
+    const int rows_per_piece = 3;
+    const int n_pieces = (rows + rows_per_piece - 1) / rows_per_piece;
+    for (int g = 0; g < n_pieces; ++g) {
+      rtl::Piece p;
+      p.name = "ppgen_" + std::to_string(g);
+      p.group = "mantissa_mul";
+      const int gr = std::min(rows_per_piece, rows - g * rows_per_piece);
+      p.delay_ns = tech.csa_level_delay(prod_bits, obj) +
+                   (gr - 1) * tech.csa_level_chained_delay(prod_bits, obj);
+      p.delay_chained_ns = gr * tech.csa_level_chained_delay(prod_bits, obj);
+      p.area = tech.csa_level_area(prod_bits, obj) * gr;
+      p.live_bits = prod_bits + sig_bits + (E + 2) + 6;
+      const bool first = g == 0;
+      const int row_lo = g * rows_per_piece;
+      p.eval = [first, row_lo, gr](rtl::SignalSet& s) {
+        if (first) {
+          s[kProdLo] = 0;
+          s[kProdHi] = 0;
+          s[kExp] = s[kExpA] + s[kExpB];  // exponent adder rides along
+        }
+        u128 acc = (static_cast<u128>(s[kProdHi]) << 64) | s[kProdLo];
+        for (int r = row_lo; r < row_lo + gr; ++r) {
+          // Radix-4 row: two multiplicand bits at a time.
+          const u64 bits2 = (s[kManB] >> (2 * r)) & 3;
+          if (bits2 != 0) {
+            acc += static_cast<u128>(s[kManA]) * bits2 << (2 * r);
+          }
+        }
+        s[kProdLo] = static_cast<u64>(acc);
+        s[kProdHi] = static_cast<u64>(acc >> 64);
+      };
+      chain.push_back(std::move(p));
+    }
+  }
+
+  // ---- 4:2 compressor tree; first level also subtracts the bias ------------
+  for (int l = 0; l < csa_levels; ++l) {
+    rtl::Piece p;
+    p.name = "csa_l" + std::to_string(l);
+    p.group = "mantissa_mul";
+    p.delay_ns = std::max(tech.csa_level_delay(prod_bits, obj),
+                          l == 0 ? tech.adder_delay(E, obj) : 0.0);
+    p.delay_chained_ns = tech.csa_level_chained_delay(prod_bits, obj);
+    p.area = tech.csa_level_area(prod_bits, obj) +
+             (l == 0 ? tech.adder_area(E, obj) : device::Resources{});
+    p.live_bits = prod_bits + (E + 2) + 6;
+    const bool first = l == 0;
+    const int bias = fmt.bias();
+    p.eval = [first, bias](rtl::SignalSet& s) {
+      if (first) {
+        // Bias subtractor (+1 re-centers the jam normalization below).
+        s[kExp] = static_cast<u64>(static_cast<fp::i64>(s[kExp]) - bias + 1);
+      }
+      // Partial products progress through carry-save form; the running
+      // value is already exact in kProdLo/kProdHi.
+    };
+    chain.push_back(std::move(p));
+  }
+  if (csa_levels == 0) {
+    // Single-BMULT formats: the bias subtract rides with the CPA below, so
+    // fold it into the first CPA chunk via a flag captured there.
+  }
+
+  // ---- carry-propagate chunks; the last one forms the jammed significand ---
+  for (int c = 0; c < n_cpa; ++c) {
+    rtl::Piece p;
+    p.name = "cpa_c" + std::to_string(c);
+    p.group = "cpa";
+    p.delay_ns = tech.adder_delay(cpa_chunk, obj);
+    p.delay_chained_ns = tech.adder_chained_delay(cpa_chunk, obj);
+    p.area = tech.adder_area(cpa_chunk, obj);
+    const bool last = c == n_cpa - 1;
+    const bool do_bias = csa_levels == 0 && c == 0;
+    const int bias = fmt.bias();
+    if (last) p.area += tech.lut_logic_area(std::max(1, F - 2), obj);
+    p.live_bits = last ? ((F + 4) + (E + 2) + 6) : (prod_bits + (E + 2) + 6);
+    p.eval = [last, do_bias, bias, F](rtl::SignalSet& s) {
+      if (do_bias) {
+        s[kExp] = static_cast<u64>(static_cast<fp::i64>(s[kExp]) - bias + 1);
+      }
+      if (!last) return;
+      const u128 prod =
+          (static_cast<u128>(s[kProdHi]) << 64) | s[kProdLo];
+      const int shift = F - 2;
+      u64 work;
+      if (shift >= 0) {
+        work = static_cast<u64>(fp::shift_right_jam128(prod, shift));
+      } else {
+        work = static_cast<u64>(prod) << (-shift);
+      }
+      s[kWork] = work;
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- normalizer: at most a 1-bit adjust + exponent subtract --------------
+  {
+    rtl::Piece p;
+    p.name = "norm2";
+    p.group = "normalize";
+    p.delay_ns =
+        std::max(tech.mux_level_delay(F + 4, obj), tech.adder_delay(E, obj));
+    p.area = tech.mux_level_area(F + 4, obj) + tech.adder_area(E, obj);
+    p.live_bits = (F + 4) + (E + 2) + 6;
+    p.eval = [F](rtl::SignalSet& s) {
+      // Product of [1,2)x[1,2) is in [1,4): after the jam the MSB sits at
+      // F+2 or F+3; align it to F+3.
+      if (s[kWork] != 0 && ((s[kWork] >> (F + 3)) & 1) == 0) {
+        s[kWork] <<= 1;
+        s[kExp] = static_cast<u64>(static_cast<fp::i64>(s[kExp]) - 1);
+      }
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- IEEE mode only: gradual-underflow denormalizer -----------------------
+  if (ieee) {
+    const int wlvls = fp::msb_index64(static_cast<u64>(F + 4)) + 1;
+    {
+      rtl::Piece p;
+      p.name = "tiny_detect";
+      p.group = "denorm_result";
+      p.delay_ns = tech.adder_delay(E + 1, obj);
+      p.area = tech.adder_area(E + 1, obj) + tech.comparator_area(E, obj);
+      p.live_bits = (F + 4) + (E + 2) + wlvls + 9;
+      const int wmax = F + 4;
+      p.eval = [wmax](rtl::SignalSet& s) {
+        const fp::i64 exp = static_cast<fp::i64>(s[kExp]);
+        if (exp <= 0 && s[kWork] != 0) {
+          set_ctl(s, kCtlTiny, true);
+          const fp::i64 shift = 1 - exp;
+          s[kProdLo] = static_cast<u64>(shift > wmax ? wmax : shift);
+        } else {
+          s[kProdLo] = 0;  // lane reuse: shift amount
+        }
+      };
+      chain.push_back(std::move(p));
+    }
+    for (int l = 0; l < wlvls; ++l) {
+      rtl::Piece p;
+      p.name = "denorm_l" + std::to_string(l);
+      p.group = "denorm_result";
+      p.delay_ns = tech.mux_level_delay(F + 4, obj);
+      p.delay_chained_ns = tech.mux_level_chained_delay(F + 4, obj);
+      p.area = tech.mux_level_area(F + 4, obj);
+      p.live_bits = (F + 4) + (E + 2) + (wlvls - l) + 9;
+      p.eval = [l](rtl::SignalSet& s) {
+        if ((s[kProdLo] >> l) & 1) {
+          s[kWork] = fp::shift_right_jam64(s[kWork], 1 << l);
+        }
+      };
+      chain.push_back(std::move(p));
+    }
+  }
+
+  // ---- rounding (same module as the adder's) --------------------------------
+  const int rm_bits = F + 2;
+  const int rm_chunks = (rm_bits + 13) / 14;
+  for (int c = 0; c < rm_chunks; ++c) {
+    const int bits = (rm_bits + rm_chunks - 1) / rm_chunks;
+    rtl::Piece p;
+    p.name = "round_mant_c" + std::to_string(c);
+    p.group = "round";
+    p.delay_ns = tech.adder_delay(bits, obj);
+    p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
+    p.area = tech.adder_area(bits, obj);
+    p.live_bits = (E + 2) + (F + 2) + 3 + 6;
+    const bool last = c == rm_chunks - 1;
+    p.eval = [rne, last](rtl::SignalSet& s) {
+      if (!last) return;
+      const u64 grs = s[kWork] & 7;
+      u64 kept = s[kWork] >> 3;
+      bool inc = false;
+      if (rne) inc = grs > 4 || (grs == 4 && (kept & 1) != 0);
+      s[kGrs] = grs;
+      s[kKept] = kept + (inc ? 1 : 0);
+    };
+    chain.push_back(std::move(p));
+  }
+  {
+    rtl::Piece p;
+    p.name = "round_exp";
+    p.group = "round";
+    p.delay_ns = tech.adder_delay(E, obj);
+    p.area = tech.adder_area(E, obj) + tech.comparator_area(E, obj) * 2;
+    p.live_bits = (E + 2) + (F + 2) + 3 + 6;
+    p.eval = [](rtl::SignalSet&) {
+      // Timing/area placeholder; consumed by pack below.
+    };
+    chain.push_back(std::move(p));
+  }
+  {
+    rtl::Piece p;
+    p.name = "pack";
+    p.group = "round";
+    p.delay_ns = tech.lut_logic_delay(obj);
+    p.area = tech.lut_logic_area(N, obj);
+    p.live_bits = N + 5;
+    p.eval = [fmt, F, E, rne, N, ieee](rtl::SignalSet& s) {
+      const int emax = (1 << E) - 1;
+      const bool inf_a = ctl(s, kCtlInfA);
+      const bool inf_b = ctl(s, kCtlInfB);
+      const bool zero_a = ctl(s, kCtlZeroA);
+      const bool zero_b = ctl(s, kCtlZeroB);
+      const bool sign = ctl(s, kCtlSignA) != ctl(s, kCtlSignB);
+      const u64 sign_mask = u64{1} << (N - 1);
+      std::uint8_t flags = 0;
+      u64 result;
+      if (ieee && (ctl(s, kCtlNan) ||
+                   ((inf_a || inf_b) && (zero_a || zero_b)))) {
+        if (ctl(s, kCtlSnan) || !ctl(s, kCtlNan)) flags |= fp::kFlagInvalid;
+        result = fmt.exp_mask() | fmt.quiet_bit();
+      } else if (ieee && ctl(s, kCtlTiny) && !inf_a && !inf_b && !zero_a &&
+                 !zero_b) {
+        if (s[kGrs] != 0) {
+          flags |= fp::kFlagInexact | fp::kFlagUnderflow;
+        }
+        result = s[kKept] | (sign ? sign_mask : 0);
+      } else if (inf_a || inf_b) {
+        if (zero_a || zero_b) {
+          flags |= fp::kFlagInvalid;
+          result = fmt.exp_mask();  // +inf, no NaN support
+        } else {
+          result = fmt.exp_mask() | (sign ? sign_mask : 0);
+        }
+      } else if (zero_a || zero_b) {
+        result = sign ? sign_mask : 0;
+      } else {
+        fp::i64 exp = static_cast<fp::i64>(s[kExp]);
+        u64 kept = s[kKept];
+        if (exp <= 0) {
+          flags |= fp::kFlagUnderflow | fp::kFlagInexact;
+          result = sign ? sign_mask : 0;
+        } else {
+          if ((kept >> (F + 1)) & 1) {
+            kept >>= 1;
+            exp += 1;
+          }
+          if (s[kGrs] != 0) flags |= fp::kFlagInexact;
+          if (exp >= emax) {
+            flags |= fp::kFlagOverflow | fp::kFlagInexact;
+            result = rne ? fmt.exp_mask()
+                         : ((static_cast<u64>(emax - 1) << F) |
+                            fp::mask64(F));
+            if (sign) result |= sign_mask;
+          } else {
+            result = (static_cast<u64>(exp) << F) | (kept & fp::mask64(F));
+            if (sign) result |= sign_mask;
+          }
+        }
+      }
+      s[kLaneResult] = result;
+      s.flags = flags;
+    };
+    chain.push_back(std::move(p));
+  }
+
+  assert(!chain.empty());
+  return chain;
+}
+
+}  // namespace flopsim::units::detail

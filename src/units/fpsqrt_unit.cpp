@@ -1,0 +1,224 @@
+// Structural floating-point square root (library extension — completes the
+// Quixilica-style core family alongside the divider).
+//
+// Datapath: denormalize, make the exponent even (folding one bit into the
+// significand), then a classic restoring square-root digit recurrence —
+// one root bit per step, two steps per piece, like the divider's rows —
+// and the shared rounding tail. The root of a normalized significand lands
+// with its MSB exactly at F+3, so no normalization shifter is needed, and
+// a valid input can neither overflow nor underflow.
+//
+// Bit-exact with fp::sqrt under FpEnv::paper at every pipeline depth.
+#include <cassert>
+
+#include "fp/bits.hpp"
+#include "units/fp_unit.hpp"
+
+namespace flopsim::units::detail {
+namespace {
+
+using fp::u64;
+using fp::u128;
+
+constexpr int kXLo = 3;   // radicand, low/high lanes (consumed msb-first)
+constexpr int kXHi = 4;
+constexpr int kRem = 5;   // partial remainder
+constexpr int kRoot = 6;  // root bits, msb-first
+constexpr int kCtl = 7;
+constexpr int kExp = 11;  // result exponent (biased)
+constexpr int kGrs = 12;
+constexpr int kKept = 13;
+
+constexpr u64 kCtlSign = 1u << 0;
+constexpr u64 kCtlInf = 1u << 1;
+constexpr u64 kCtlZero = 1u << 2;
+constexpr u64 kCtlNan = 1u << 3;
+constexpr u64 kCtlSnan = 1u << 4;
+
+/// One restoring square-root step: consume the radicand's top 2 bits.
+void sqrt_step(rtl::SignalSet& s) {
+  // Shift the top two bits of X into the remainder.
+  u128 x = (static_cast<u128>(s[kXHi]) << 64) | s[kXLo];
+  const int top = 127 - 1;
+  const u64 two = static_cast<u64>(x >> top);
+  x <<= 2;
+  s[kXHi] = static_cast<u64>(x >> 64);
+  s[kXLo] = static_cast<u64>(x);
+  u64 rem = (s[kRem] << 2) | two;
+  const u64 trial = (s[kRoot] << 2) | 1;
+  if (rem >= trial) {
+    rem -= trial;
+    s[kRoot] = (s[kRoot] << 1) | 1;
+  } else {
+    s[kRoot] <<= 1;
+  }
+  s[kRem] = rem;
+}
+
+}  // namespace
+
+rtl::PieceChain build_sqrt_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
+  const int F = fmt.frac_bits();
+  const int E = fmt.exp_bits();
+  const int N = fmt.total_bits();
+  const device::TechModel& tech = cfg.tech;
+  const device::Objective obj = cfg.objective;
+  const bool rne = cfg.rounding == fp::RoundingMode::kNearestEven;
+  const bool ieee = cfg.ieee_mode;
+
+  rtl::PieceChain chain;
+
+  // ---- denormalize + exponent-parity prep ----------------------------------
+  {
+    rtl::Piece p;
+    p.name = "denorm_prep";
+    p.group = "denorm";
+    p.delay_ns = tech.comparator_delay(E, obj) + tech.gate_delay(obj) +
+                 tech.adder_delay(E, obj) +
+                 (ieee ? tech.priority_encoder_delay(F + 1, obj) : 0.0);
+    p.area = tech.comparator_area(E, obj) * 2 + tech.adder_area(E, obj) +
+             tech.lut_logic_area(F + 2, obj) +
+             (ieee ? tech.priority_encoder_area(F + 1, obj) +
+                         tech.mux_level_area(F + 1, obj) * 6
+                   : device::Resources{});
+    p.live_bits = 128 + (E + 2) + (F + 6) * 2 + 4;
+    const int bias = fmt.bias();
+    p.eval = [fmt, F, E, N, bias, ieee](rtl::SignalSet& s) {
+      const u64 a = s[kLaneInA] & fmt.bits_mask();
+      const int emax = (1 << E) - 1;
+      const int e = static_cast<int>((a >> F) & fp::mask64(E));
+      const u64 frac = a & fp::mask64(F);
+      s[kCtl] = 0;
+      if ((a >> (N - 1)) & 1) s[kCtl] |= kCtlSign;
+      u64 sig;
+      int ue;
+      if (ieee) {
+        const bool nan = e == emax && frac != 0;
+        if (nan) s[kCtl] |= kCtlNan;
+        if (nan && ((a >> (F - 1)) & 1) == 0) s[kCtl] |= kCtlSnan;
+        if (e == emax && frac == 0) s[kCtl] |= kCtlInf;
+        if (e == 0 && frac == 0) s[kCtl] |= kCtlZero;
+        // Gradual underflow: normalize a subnormal significand (the
+        // operand-normalizer hardware is charged to this piece in IEEE
+        // mode via the area below).
+        sig = e == 0 ? frac : (frac | (u64{1} << F));
+        ue = (e == 0 ? 1 : e) - bias;
+        if (sig != 0 && e == 0) {
+          const int msb = fp::msb_index64(sig);
+          sig <<= (F - msb);
+          ue -= (F - msb);
+        }
+      } else {
+        if (e == emax) s[kCtl] |= kCtlInf;
+        if (e == 0) s[kCtl] |= kCtlZero;
+        sig = e == 0 ? 0 : (frac | (u64{1} << F));
+        ue = e - bias;
+      }
+      u128 s2 = sig;
+      if (ue & 1) {
+        s2 <<= 1;
+        ue -= 1;
+      }
+      // Radicand X = s2 << (F+6), pre-shifted so its 2(F+4) working bits
+      // start at the top of the 128-bit window.
+      const int xbits = 2 * (F + 4);
+      u128 x = s2 << (F + 6);
+      x <<= (128 - xbits);
+      s[kXHi] = static_cast<u64>(x >> 64);
+      s[kXLo] = static_cast<u64>(x);
+      s[kRem] = 0;
+      s[kRoot] = 0;
+      s[kExp] = static_cast<u64>(ue / 2 + bias);
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- restoring root rows: two root bits per piece -------------------------
+  const int root_bits = F + 4;
+  const int n_rows = (root_bits + 1) / 2;
+  for (int r = 0; r < n_rows; ++r) {
+    rtl::Piece p;
+    p.name = "sqrt_r" + std::to_string(r);
+    p.group = "sqrt";
+    p.delay_ns = (0.45 + 1.2 * 0.5 + 0.017 * (F + 4)) *
+                 (obj == device::Objective::kSpeed ? 0.88 : 1.0);
+    p.delay_chained_ns = p.delay_ns * 0.8;
+    p.area = tech.adder_area(F + 4, obj);
+    p.live_bits = 128 + (F + 6) * 2 + (E + 2) + 4;
+    const int bits_this_row = std::min(2, root_bits - 2 * r);
+    const bool last = r == n_rows - 1;
+    p.eval = [bits_this_row, last](rtl::SignalSet& s) {
+      for (int i = 0; i < bits_this_row; ++i) sqrt_step(s);
+      if (last && s[kRem] != 0) s[kRoot] |= 1;  // remainder -> sticky
+    };
+    chain.push_back(std::move(p));
+  }
+
+  // ---- rounding (root MSB sits exactly at F+3: no normalizer) ---------------
+  const int rm_bits = F + 2;
+  const int rm_chunks = (rm_bits + 13) / 14;
+  for (int c = 0; c < rm_chunks; ++c) {
+    const int bits = (rm_bits + rm_chunks - 1) / rm_chunks;
+    rtl::Piece p;
+    p.name = "round_mant_c" + std::to_string(c);
+    p.group = "round";
+    p.delay_ns = tech.adder_delay(bits, obj);
+    p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
+    p.area = tech.adder_area(bits, obj);
+    p.live_bits = (E + 2) + (F + 2) + 3 + 4;
+    const bool last = c == rm_chunks - 1;
+    p.eval = [rne, last](rtl::SignalSet& s) {
+      if (!last) return;
+      const u64 grs = s[kRoot] & 7;
+      u64 kept = s[kRoot] >> 3;
+      bool inc = false;
+      if (rne) inc = grs > 4 || (grs == 4 && (kept & 1) != 0);
+      s[kGrs] = grs;
+      s[kKept] = kept + (inc ? 1 : 0);
+    };
+    chain.push_back(std::move(p));
+  }
+  {
+    rtl::Piece p;
+    p.name = "pack";
+    p.group = "round";
+    p.delay_ns = tech.adder_delay(E, obj) + tech.lut_logic_delay(obj);
+    p.area = tech.adder_area(E, obj) + tech.lut_logic_area(N, obj);
+    p.live_bits = N + 5;
+    p.eval = [fmt, F, N, ieee](rtl::SignalSet& s) {
+      const bool sign = (s[kCtl] & kCtlSign) != 0;
+      const u64 sign_mask = u64{1} << (N - 1);
+      std::uint8_t flags = 0;
+      u64 result;
+      if (ieee && (s[kCtl] & kCtlNan)) {
+        if (s[kCtl] & kCtlSnan) flags |= fp::kFlagInvalid;
+        result = fmt.exp_mask() | fmt.quiet_bit();
+      } else if (s[kCtl] & kCtlZero) {
+        result = sign ? sign_mask : 0;  // sqrt(+-0) = +-0
+      } else if (sign) {
+        flags |= fp::kFlagInvalid;
+        // Negative: qNaN with NaN support, +inf without.
+        result = ieee ? (fmt.exp_mask() | fmt.quiet_bit()) : fmt.exp_mask();
+      } else if (s[kCtl] & kCtlInf) {
+        result = fmt.exp_mask();
+      } else {
+        fp::i64 exp = static_cast<fp::i64>(s[kExp]);
+        u64 kept = s[kKept];
+        if ((kept >> (F + 1)) & 1) {
+          kept >>= 1;
+          exp += 1;
+        }
+        if (s[kGrs] != 0) flags |= fp::kFlagInexact;
+        result = (static_cast<u64>(exp) << F) | (kept & fp::mask64(F));
+      }
+      s[kLaneResult] = result;
+      s.flags = flags;
+    };
+    chain.push_back(std::move(p));
+  }
+
+  assert(!chain.empty());
+  return chain;
+}
+
+}  // namespace flopsim::units::detail

@@ -1,0 +1,19 @@
+#include "units/unit_config.hpp"
+
+#include <stdexcept>
+
+namespace flopsim::units {
+
+void UnitConfig::validate() const {
+  if (rounding != fp::RoundingMode::kNearestEven &&
+      rounding != fp::RoundingMode::kTowardZero) {
+    throw std::invalid_argument(
+        "UnitConfig: the cores implement only rounding-to-nearest and "
+        "truncation (per the paper)");
+  }
+  if (stages < 1) {
+    throw std::invalid_argument("UnitConfig: stages must be >= 1");
+  }
+}
+
+}  // namespace flopsim::units

@@ -1,0 +1,40 @@
+// Configuration of a generated floating-point core.
+#pragma once
+
+#include "device/tech.hpp"
+#include "fp/env.hpp"
+
+namespace flopsim::units {
+
+struct UnitConfig {
+  /// Requested pipeline depth (clamped to [1, max_stages] of the chain).
+  int stages = 1;
+  /// The paper's cores offer round-to-nearest and truncation only;
+  /// other modes are rejected.
+  fp::RoundingMode rounding = fp::RoundingMode::kNearestEven;
+  device::Objective objective = device::Objective::kArea;
+  device::TechModel tech = device::TechModel::virtex2pro7();
+  /// Full IEEE-754 mode (extension): gradual underflow and NaN handling in
+  /// hardware — the support the paper declined ("denormal and NaN numbers
+  /// are generally considered rare and may not justify the usage of a lot
+  /// of hardware"). Supported by the adder and multiplier generators; costs
+  /// extra normalize/denormalize shifters. See bench/ext_denormal_cost.
+  bool ieee_mode = false;
+  /// Multiplier only: use the embedded MULT18X18 blocks (default, as the
+  /// paper does) or build the mantissa multiplier from LUT fabric — the
+  /// knob behind the paper's remark that tool speed optimization "might
+  /// result in more embedded multipliers being used up". Fabric multipliers
+  /// burn slices instead of BMULTs and pipeline deeper.
+  bool use_embedded_multipliers = true;
+
+  /// Throws std::invalid_argument for configurations the paper's hardware
+  /// cannot express.
+  void validate() const;
+
+  /// The softfloat environment this hardware configuration realizes.
+  fp::FpEnv env() const {
+    return ieee_mode ? fp::FpEnv::ieee(rounding) : fp::FpEnv::paper(rounding);
+  }
+};
+
+}  // namespace flopsim::units

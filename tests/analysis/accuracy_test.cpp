@@ -1,0 +1,89 @@
+// Accuracy analysis utilities.
+#include "analysis/accuracy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace flopsim::analysis {
+namespace {
+
+fp::u64 enc64(double x) {
+  fp::FpEnv env = fp::FpEnv::ieee();
+  return fp::from_double(x, fp::FpFormat::binary64(), env).bits;
+}
+
+fp::u64 enc32(double x) {
+  fp::FpEnv env = fp::FpEnv::ieee();
+  return fp::from_double(x, fp::FpFormat::binary32(), env).bits;
+}
+
+TEST(Accuracy, ExactMatchIsZeroError) {
+  const std::vector<fp::u64> got = {enc32(1.5), enc32(-2.25)};
+  const std::vector<fp::u64> ref = {enc64(1.5), enc64(-2.25)};
+  const AccuracyStats st =
+      compare_to_reference(got, fp::FpFormat::binary32(), ref);
+  EXPECT_EQ(st.compared, 2);
+  EXPECT_DOUBLE_EQ(st.max_rel_error, 0.0);
+  EXPECT_DOUBLE_EQ(st.max_ulp_error, 0.0);
+}
+
+TEST(Accuracy, RoundedValueIsWithinHalfUlp) {
+  // 1/3 in binary32 vs exact binary64: correctly rounded -> <= 0.5 ulp.
+  const std::vector<fp::u64> got = {enc32(1.0 / 3.0)};
+  const std::vector<fp::u64> ref = {enc64(1.0 / 3.0)};
+  const AccuracyStats st =
+      compare_to_reference(got, fp::FpFormat::binary32(), ref);
+  EXPECT_GT(st.max_ulp_error, 0.0);
+  EXPECT_LE(st.max_ulp_error, 0.5 + 1e-9);
+  EXPECT_LT(st.max_rel_error, std::ldexp(1.0, -23));
+}
+
+TEST(Accuracy, UlpErrorKnownDistance) {
+  // One binary32 ulp away from the reference -> ~1 ulp error.
+  fp::FpEnv env = fp::FpEnv::ieee();
+  const fp::FpValue x = fp::from_double(1.5, fp::FpFormat::binary32(), env);
+  const fp::FpValue next = fp::next_up(x);
+  EXPECT_NEAR(ulp_error(next, 1.5), 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(ulp_error(x, 1.5), 0.0);
+}
+
+TEST(Accuracy, SpecialsHandled) {
+  const fp::FpValue inf = fp::make_inf(fp::FpFormat::binary32());
+  EXPECT_DOUBLE_EQ(ulp_error(inf, HUGE_VAL), 0.0);
+  EXPECT_TRUE(std::isinf(ulp_error(inf, 1.0)));
+  const fp::FpValue nan = fp::make_qnan(fp::FpFormat::binary32());
+  EXPECT_DOUBLE_EQ(ulp_error(nan, std::nan("")), 0.0);
+  EXPECT_TRUE(std::isinf(ulp_error(nan, 1.0)));
+}
+
+TEST(Accuracy, ZeroAndNonfiniteRefsSkipped) {
+  const std::vector<fp::u64> got = {enc32(0.0), enc32(1.0), enc32(2.0)};
+  const std::vector<fp::u64> ref = {enc64(0.0),
+                                    fp::make_inf(fp::FpFormat::binary64()).bits,
+                                    enc64(2.0)};
+  const AccuracyStats st =
+      compare_to_reference(got, fp::FpFormat::binary32(), ref);
+  EXPECT_EQ(st.compared, 1);
+  EXPECT_EQ(st.exceptional, 2);
+}
+
+TEST(Accuracy, MeanLeMax) {
+  std::vector<fp::u64> got, ref;
+  for (int i = 1; i <= 20; ++i) {
+    got.push_back(enc32(i + 0.001 * i));
+    ref.push_back(enc64(i));
+  }
+  const AccuracyStats st =
+      compare_to_reference(got, fp::FpFormat::binary32(), ref);
+  EXPECT_GT(st.mean_rel_error, 0.0);
+  EXPECT_LE(st.mean_rel_error, st.max_rel_error);
+}
+
+TEST(Accuracy, SizeMismatchThrows) {
+  EXPECT_THROW(compare_to_reference({1, 2}, fp::FpFormat::binary32(), {1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flopsim::analysis

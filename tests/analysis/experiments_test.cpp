@@ -1,0 +1,235 @@
+// End-to-end checks of the experiment generators: every table/figure of the
+// paper is produced with the right structure, and the headline qualitative
+// relations the paper reports hold in the generated data.
+#include "analysis/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace flopsim::analysis {
+namespace {
+
+double cell(const Table& t, std::size_t row, std::size_t col) {
+  return std::strtod(t.rows().at(row).at(col).c_str(), nullptr);
+}
+
+TEST(Experiments, Fig2CurvesRiseThenFall) {
+  for (units::UnitKind kind :
+       {units::UnitKind::kAdder, units::UnitKind::kMultiplier}) {
+    const Table t = fig2_freq_area(kind);
+    ASSERT_EQ(t.headers().size(), 4u);
+    ASSERT_GT(t.rows().size(), 5u);
+    for (std::size_t col = 1; col <= 3; ++col) {
+      // Find the peak; it must be interior and the curve must end below it
+      // ("the curves flatten out towards the end and may dip").
+      double peak = 0.0;
+      std::size_t peak_row = 0;
+      double last = 0.0;
+      double first = 0.0;
+      for (std::size_t r = 0; r < t.rows().size(); ++r) {
+        if (t.rows()[r][col] == "-") continue;
+        const double v = cell(t, r, col);
+        if (r == 0) first = v;
+        if (v > peak) {
+          peak = v;
+          peak_row = r;
+        }
+        last = v;
+      }
+      EXPECT_GT(peak_row, 0u) << "col " << col;
+      EXPECT_GT(peak, first) << "col " << col;
+      EXPECT_LT(last, peak) << "col " << col;
+    }
+  }
+}
+
+TEST(Experiments, Fig2WiderPrecisionLowerMetric) {
+  const Table t = fig2_freq_area(units::UnitKind::kAdder);
+  // At every common depth: 32-bit metric > 48-bit > 64-bit.
+  for (const auto& row : t.rows()) {
+    if (row[1] == "-" || row[2] == "-" || row[3] == "-") continue;
+    const double m32 = std::strtod(row[1].c_str(), nullptr);
+    const double m48 = std::strtod(row[2].c_str(), nullptr);
+    const double m64 = std::strtod(row[3].c_str(), nullptr);
+    EXPECT_GT(m32, m48);
+    EXPECT_GT(m48, m64);
+  }
+}
+
+class MinMaxOptTest : public ::testing::TestWithParam<units::UnitKind> {};
+
+TEST_P(MinMaxOptTest, TableStructureAndRelations) {
+  const Table t = table_min_max_opt(GetParam());
+  ASSERT_EQ(t.headers().size(), 10u);
+  ASSERT_EQ(t.rows().size(), 6u);
+  // Rows: stages, slices, LUTs, FFs, MHz, MHz/slice. For each precision
+  // (columns 1-3, 4-6, 7-9 = min,max,opt):
+  for (std::size_t base : {1u, 4u, 7u}) {
+    const double s_min = cell(t, 0, base);
+    const double s_max = cell(t, 0, base + 1);
+    const double s_opt = cell(t, 0, base + 2);
+    EXPECT_EQ(s_min, 1.0);
+    EXPECT_GT(s_max, s_opt);
+    EXPECT_GT(s_opt, s_min);
+    // Area grows with depth; frequency too.
+    EXPECT_LE(cell(t, 1, base), cell(t, 1, base + 2));
+    EXPECT_LE(cell(t, 1, base + 2), cell(t, 1, base + 1));
+    EXPECT_LT(cell(t, 4, base), cell(t, 4, base + 2));
+    EXPECT_LE(cell(t, 4, base + 2), cell(t, 4, base + 1));
+    // Opt has the best MHz/slice of the three.
+    EXPECT_GE(cell(t, 5, base + 2), cell(t, 5, base));
+    EXPECT_GE(cell(t, 5, base + 2), cell(t, 5, base + 1));
+  }
+  // Paper abstract: deep pipelining exceeds 240 MHz single / 200 MHz double.
+  EXPECT_GT(cell(t, 4, 2), 240.0);
+  EXPECT_GT(cell(t, 4, 8), 200.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Units, MinMaxOptTest,
+                         ::testing::Values(units::UnitKind::kAdder,
+                                           units::UnitKind::kMultiplier),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param) + 3);
+                         });
+
+TEST(Experiments, Table3ListsAllVendors) {
+  const Table t = table3_compare32();
+  ASSERT_EQ(t.rows().size(), 6u);  // adder x3, mult x3
+  int usc = 0, nalla = 0, quix = 0;
+  for (const auto& row : t.rows()) {
+    if (row[0].find("USC") != std::string::npos) ++usc;
+    if (row[0].find("Nallatech") != std::string::npos) ++nalla;
+    if (row[0].find("Quixilica") != std::string::npos) ++quix;
+    EXPECT_GT(std::strtod(row[3].c_str(), nullptr), 100.0);  // MHz sane
+  }
+  EXPECT_EQ(usc, 2);
+  EXPECT_EQ(nalla, 2);
+  EXPECT_EQ(quix, 2);
+}
+
+TEST(Experiments, Table3UscFasterButVendorsWinMhzPerSlice) {
+  // The paper's cores clock higher; "due to a lower area, their
+  // Frequency/Area metric is sometimes better than ours" — both relations
+  // must show up.
+  const Table t = table3_compare32();
+  double usc_add_mhz = 0, vendor_best_mhz = 0;
+  double usc_add_fpa = 0, vendor_best_fpa = 0;
+  for (const auto& row : t.rows()) {
+    const double mhz = std::strtod(row[3].c_str(), nullptr);
+    const double fpa = std::strtod(row[4].c_str(), nullptr);
+    if (row[0] == "adder USC") {
+      usc_add_mhz = mhz;
+      usc_add_fpa = fpa;
+    } else if (row[0].find("adder") == 0) {
+      vendor_best_mhz = std::max(vendor_best_mhz, mhz);
+      vendor_best_fpa = std::max(vendor_best_fpa, fpa);
+    }
+  }
+  EXPECT_GT(usc_add_mhz, vendor_best_mhz);
+  EXPECT_GT(vendor_best_fpa, usc_add_fpa);
+}
+
+TEST(Experiments, Table4UscDominatesNEU) {
+  const Table t = table4_compare64();
+  ASSERT_EQ(t.rows().size(), 4u);
+  ASSERT_EQ(t.headers().size(), 6u);  // includes mW@100MHz
+  double usc_mhz = 0, neu_mhz = 0;
+  for (const auto& row : t.rows()) {
+    if (row[0] == "adder USC") usc_mhz = std::strtod(row[3].c_str(), nullptr);
+    if (row[0] == "adder NEU") neu_mhz = std::strtod(row[3].c_str(), nullptr);
+    EXPECT_GT(std::strtod(row[5].c_str(), nullptr), 0.0);  // power present
+  }
+  EXPECT_GT(usc_mhz, neu_mhz);
+}
+
+TEST(Experiments, Fig3PowerBandAndRisingTail) {
+  for (units::UnitKind kind :
+       {units::UnitKind::kAdder, units::UnitKind::kMultiplier}) {
+    const Table t = fig3_power(kind);
+    for (std::size_t col = 1; col <= 3; ++col) {
+      double minv = 1e18, last = 0.0;
+      for (std::size_t r = 0; r < t.rows().size(); ++r) {
+        if (t.rows()[r][col] == "-") continue;
+        const double v = cell(t, r, col);
+        EXPECT_GT(v, 10.0);
+        EXPECT_LT(v, 1000.0);
+        minv = std::min(minv, v);
+        last = v;
+      }
+      // Deep end is register-dominated: above the sweep minimum.
+      EXPECT_GT(last, minv);
+    }
+  }
+}
+
+TEST(Experiments, Section42HeadlineNumbers) {
+  const auto tables = section42_matmul();
+  ASSERT_EQ(tables.size(), 2u);
+  const Table& perf = tables[0];
+  ASSERT_EQ(perf.rows().size(), 4u);
+  // Single precision rows in the paper band, double ~8 GFLOPS.
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_GT(cell(perf, r, 4), 15.0);
+    EXPECT_LT(cell(perf, r, 4), 26.0);
+  }
+  EXPECT_GT(cell(perf, 3, 4), 6.0);
+  EXPECT_LT(cell(perf, 3, 4), 12.0);
+
+  const Table& cmp = tables[1];
+  ASSERT_EQ(cmp.rows().size(), 3u);
+  // FPGA speedup column: ~6x over the P4, ~3x over the G4.
+  const double sp_p4 = std::strtod(cmp.rows()[1][5].c_str(), nullptr);
+  const double sp_g4 = std::strtod(cmp.rows()[2][5].c_str(), nullptr);
+  EXPECT_NEAR(sp_p4, 6.0, 2.0);
+  EXPECT_NEAR(sp_g4, 3.0, 1.2);
+}
+
+TEST(Experiments, Fig4DeepPipesWasteAtSmallN) {
+  const Table t = fig4_energy_distribution();
+  ASSERT_EQ(t.rows().size(), 5u);  // IO, Misc, Storage, MAC, total
+  const auto& total = t.rows()[4];
+  ASSERT_EQ(total[0], "total");
+  // n=10: pl=25 total >> pl=10 total; n=30: within ~25%.
+  const double n10_pl10 = std::strtod(total[1].c_str(), nullptr);
+  const double n10_pl25 = std::strtod(total[3].c_str(), nullptr);
+  const double n30_pl10 = std::strtod(total[4].c_str(), nullptr);
+  const double n30_pl25 = std::strtod(total[6].c_str(), nullptr);
+  EXPECT_GT(n10_pl25, 2.0 * n10_pl10);
+  EXPECT_LT(n30_pl25, 1.25 * n30_pl10);
+}
+
+TEST(Experiments, Fig5Shapes) {
+  const auto tables = fig5_problem_size();
+  ASSERT_EQ(tables.size(), 3u);
+  const Table& energy = tables[0];
+  const Table& latency = tables[2];
+  // Energy grows with n in every series.
+  for (std::size_t col = 1; col <= 3; ++col) {
+    for (std::size_t r = 1; r < energy.rows().size(); ++r) {
+      EXPECT_GT(cell(energy, r, col), cell(energy, r - 1, col));
+    }
+  }
+  // At the largest n, the deep design has the lowest wall-clock latency
+  // (Figure 5c) even though it was worst at the smallest n.
+  const std::size_t lastr = latency.rows().size() - 1;
+  EXPECT_LT(cell(latency, lastr, 3), cell(latency, lastr, 1));
+  EXPECT_GT(cell(latency, 0, 3), cell(latency, 0, 1));
+}
+
+TEST(Experiments, Fig6SmallBlocksWaste) {
+  const auto tables = fig6_block_size();
+  ASSERT_EQ(tables.size(), 3u);
+  const Table& energy = tables[0];
+  // b=1 row vs b=16 row: small blocks waste dramatically (every series).
+  const std::size_t first = 0, last = energy.rows().size() - 1;
+  for (std::size_t col = 1; col <= 3; ++col) {
+    EXPECT_GT(cell(energy, first, col), 1.5 * cell(energy, last, col));
+  }
+  // Resources scale with b (b-PE array).
+  const Table& res = tables[1];
+  EXPECT_GT(cell(res, last, 1), cell(res, first, 1));
+}
+
+}  // namespace
+}  // namespace flopsim::analysis

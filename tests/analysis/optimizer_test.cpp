@@ -1,0 +1,106 @@
+// Constraint-driven design selection (Section 5 workflow).
+#include "analysis/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flopsim::analysis {
+namespace {
+
+TEST(Optimizer, GridCoversDepthSpace) {
+  const auto grid = candidate_grid(fp::FpFormat::binary32());
+  ASSERT_GT(grid.size(), 20u);
+  int max_add = 0, max_mul = 0;
+  for (const auto& c : grid) {
+    max_add = std::max(max_add, c.adder_stages);
+    max_mul = std::max(max_mul, c.mult_stages);
+  }
+  EXPECT_GT(max_add, 15);
+  EXPECT_GT(max_mul, 5);
+}
+
+TEST(Optimizer, UnconstrainedObjectivesPickDifferentDesigns) {
+  KernelConstraints none;
+  none.n = 64;
+  const auto e = choose_matmul_design(none, KernelObjective::kMinEnergy);
+  const auto l = choose_matmul_design(none, KernelObjective::kMinLatency);
+  const auto a = choose_matmul_design(none, KernelObjective::kMinArea);
+  ASSERT_TRUE(e && l && a);
+  // Latency wants deep pipelines; area wants shallow.
+  EXPECT_GT(l->pl, a->pl);
+  EXPECT_LE(a->pe_slices, e->pe_slices);
+  EXPECT_LE(l->latency_us, e->latency_us);
+  EXPECT_LE(e->energy_nj, l->energy_nj);
+  EXPECT_LE(e->energy_nj, a->energy_nj);
+}
+
+TEST(Optimizer, SmallProblemsFavorShallowEnergy) {
+  // With n far below deep-pipeline PLs, padding penalizes depth, so the
+  // energy-optimal design is shallower than for large n.
+  KernelConstraints small;
+  small.n = 6;
+  KernelConstraints large;
+  large.n = 64;
+  const auto s = choose_matmul_design(small, KernelObjective::kMinEnergy);
+  const auto l = choose_matmul_design(large, KernelObjective::kMinEnergy);
+  ASSERT_TRUE(s && l);
+  EXPECT_LE(s->pl, l->pl);
+}
+
+TEST(Optimizer, LatencyConstraintForcesDeeperDesigns) {
+  KernelConstraints c;
+  c.n = 64;
+  const auto any = choose_matmul_design(c, KernelObjective::kMinArea);
+  ASSERT_TRUE(any);
+  // Now demand a latency only fast (deep) designs can reach.
+  const auto fastest = choose_matmul_design(c, KernelObjective::kMinLatency);
+  ASSERT_TRUE(fastest);
+  c.max_latency_us = fastest->latency_us * 1.05;
+  const auto constrained = choose_matmul_design(c, KernelObjective::kMinArea);
+  ASSERT_TRUE(constrained);
+  EXPECT_GT(constrained->pl, any->pl);
+  EXPECT_LE(constrained->latency_us, c.max_latency_us);
+}
+
+TEST(Optimizer, AreaConstraintRespected) {
+  KernelConstraints c;
+  c.n = 32;
+  c.max_pe_slices = 700;
+  const auto choice = choose_matmul_design(c, KernelObjective::kMinLatency);
+  ASSERT_TRUE(choice);
+  EXPECT_LE(choice->pe_slices, 700);
+}
+
+TEST(Optimizer, InfeasibleConstraintsReturnNullopt) {
+  KernelConstraints c;
+  c.n = 16;
+  c.max_pe_slices = 1;  // nothing fits in one slice
+  EXPECT_FALSE(
+      choose_matmul_design(c, KernelObjective::kMinEnergy).has_value());
+  KernelConstraints c2;
+  c2.n = 16;
+  c2.max_latency_us = 1e-6;  // impossible speed
+  EXPECT_FALSE(
+      choose_matmul_design(c2, KernelObjective::kMinEnergy).has_value());
+}
+
+TEST(Optimizer, EvaluateCandidateConsistentWithKernelDesign) {
+  const kernel::PeConfig cfg = kernel::pe_moderate_pipelined();
+  const KernelChoice c = evaluate_candidate(cfg, 32);
+  const kernel::KernelDesign d(cfg);
+  EXPECT_EQ(c.pl, d.pl());
+  EXPECT_DOUBLE_EQ(c.latency_us, d.latency_us(32));
+  EXPECT_DOUBLE_EQ(c.energy_nj, d.pe_energy(32).total_nj);
+  EXPECT_EQ(c.pe_slices, d.pe_resources().slices);
+}
+
+TEST(Optimizer, DoublePrecisionGridWorks) {
+  KernelConstraints c;
+  c.n = 32;
+  const auto choice = choose_matmul_design(c, KernelObjective::kMinEnergy,
+                                           fp::FpFormat::binary64());
+  ASSERT_TRUE(choice);
+  EXPECT_EQ(choice->cfg.fmt, fp::FpFormat::binary64());
+}
+
+}  // namespace
+}  // namespace flopsim::analysis

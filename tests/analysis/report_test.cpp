@@ -1,0 +1,112 @@
+// Table rendering and CSV export.
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace flopsim::analysis {
+namespace {
+
+Table sample() {
+  Table t("Sample", {"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"beta", "20"});
+  return t;
+}
+
+TEST(Report, PrintContainsTitleHeadersRows) {
+  const std::string s = sample().to_string();
+  EXPECT_NE(s.find("== Sample =="), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("20"), std::string::npos);
+}
+
+TEST(Report, ColumnsAlign) {
+  Table t("T", {"a", "b"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  // Find the column position of 'b' values: right-aligned, same end column.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t nl = s.find('\n', pos);
+    lines.push_back(s.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  ASSERT_GE(lines.size(), 5u);
+  EXPECT_EQ(lines[2].size(), lines[3].size());  // header sep ... rows equal
+  EXPECT_EQ(lines[3].size(), lines[4].size());
+}
+
+TEST(Report, NumFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(1.0, 0), "1");
+  EXPECT_EQ(Table::num(42L), "42");
+  EXPECT_EQ(Table::num(std::nan(""), 2), "-");
+}
+
+TEST(Report, RowWidthValidation) {
+  Table t("T", {"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table("T", {}), std::invalid_argument);
+}
+
+TEST(Report, CsvRoundTrip) {
+  const std::string csv = sample().to_csv();
+  EXPECT_EQ(csv, "name,value\nalpha,1.5\nbeta,20\n");
+}
+
+TEST(Report, CsvQuoting) {
+  Table t("T", {"a", "b"});
+  t.add_row({"x,y", "he said \"hi\""});
+  EXPECT_EQ(t.to_csv(), "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Report, WriteCsvToFile) {
+  const std::string path = ::testing::TempDir() + "/flopsim_report_test.csv";
+  ASSERT_TRUE(sample().write_csv(path));
+  std::ifstream in(path);
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "name,value");
+  std::remove(path.c_str());
+}
+
+TEST(Report, WriteCsvFailsGracefully) {
+  EXPECT_FALSE(sample().write_csv("/nonexistent-dir/x.csv"));
+}
+
+}  // namespace
+}  // namespace flopsim::analysis
+
+namespace flopsim::analysis {
+namespace {
+
+TEST(Report, JsonStructure) {
+  Table t("T1", {"a", "b"});
+  t.add_row({"x", "1.5"});
+  EXPECT_EQ(t.to_json(),
+            "{\"title\":\"T1\",\"headers\":[\"a\",\"b\"],"
+            "\"rows\":[[\"x\",\"1.5\"]]}");
+}
+
+TEST(Report, JsonEscaping) {
+  Table t("quote \" and backslash \\", {"h"});
+  t.add_row({"line\nbreak"});
+  const std::string j = t.to_json();
+  EXPECT_NE(j.find("quote \\\" and backslash \\\\"), std::string::npos);
+  EXPECT_NE(j.find("line\\nbreak"), std::string::npos);
+}
+
+TEST(Report, JsonEmptyRows) {
+  Table t("E", {"only"});
+  EXPECT_EQ(t.to_json(), "{\"title\":\"E\",\"headers\":[\"only\"],\"rows\":[]}");
+}
+
+}  // namespace
+}  // namespace flopsim::analysis

@@ -1,0 +1,171 @@
+// Device database, capacity arithmetic, and vendor-core descriptors.
+#include "device/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/vendor_cores.hpp"
+
+namespace flopsim::device {
+namespace {
+
+TEST(Resources, Arithmetic) {
+  Resources a{10, 20, 30, 2, 1};
+  Resources b{1, 2, 3, 0, 0};
+  const Resources sum = a + b;
+  EXPECT_EQ(sum.slices, 11);
+  EXPECT_EQ(sum.luts, 22);
+  EXPECT_EQ(sum.ffs, 33);
+  EXPECT_EQ(sum.bmults, 2);
+  const Resources tripled = b * 3;
+  EXPECT_EQ(tripled.slices, 3);
+  EXPECT_EQ(tripled.ffs, 9);
+}
+
+TEST(Resources, FitsIn) {
+  Resources budget{100, 200, 200, 4, 4};
+  EXPECT_TRUE((Resources{100, 200, 200, 4, 4}).fits_in(budget));
+  EXPECT_TRUE((Resources{1, 1, 1, 0, 0}).fits_in(budget));
+  EXPECT_FALSE((Resources{101, 0, 0, 0, 0}).fits_in(budget));
+  EXPECT_FALSE((Resources{0, 0, 0, 5, 0}).fits_in(budget));
+}
+
+TEST(Resources, ToStringContainsFields) {
+  const std::string s = Resources{1, 2, 3, 4, 5}.to_string();
+  EXPECT_NE(s.find("slices=1"), std::string::npos);
+  EXPECT_NE(s.find("brams=5"), std::string::npos);
+}
+
+TEST(Device, PaperDeviceCapacity) {
+  const Device d = xc2vp125();
+  EXPECT_EQ(d.name, "XC2VP125");
+  EXPECT_EQ(d.capacity.slices, 55616);
+  EXPECT_EQ(d.capacity.bmults, 556);
+  EXPECT_EQ(d.capacity.brams, 556);
+  EXPECT_EQ(d.capacity.ffs, 2 * d.capacity.slices);
+}
+
+TEST(Device, DatabaseOrderingBySize) {
+  const auto& db = device_database();
+  ASSERT_GE(db.size(), 4u);
+  for (std::size_t i = 1; i < db.size(); ++i) {
+    EXPECT_LT(db[i].capacity.slices, db[i - 1].capacity.slices);
+  }
+}
+
+TEST(Device, FindByName) {
+  ASSERT_TRUE(find_device("XC2VP50").has_value());
+  EXPECT_EQ(find_device("XC2VP50")->capacity.slices, 23616);
+  EXPECT_FALSE(find_device("XC9999").has_value());
+}
+
+TEST(Device, MaxInstancesSliceLimited) {
+  const Device d = xc2vp125();
+  Resources pe{1000, 0, 0, 0, 0};
+  // 85% usable slices by default.
+  EXPECT_EQ(d.max_instances(pe), static_cast<int>(55616 * 0.85) / 1000);
+}
+
+TEST(Device, MaxInstancesBmultLimited) {
+  const Device d = xc2vp125();
+  Resources pe{10, 0, 0, 16, 0};
+  EXPECT_EQ(d.max_instances(pe), 556 / 16);
+}
+
+TEST(Device, MaxInstancesZeroForOversized) {
+  const Device d = xc2vp7();
+  Resources pe{100000, 0, 0, 0, 0};
+  EXPECT_EQ(d.max_instances(pe), 0);
+}
+
+TEST(VendorCores, Table3HasFourCustomFormatCores) {
+  const auto cores = table3_cores();
+  ASSERT_EQ(cores.size(), 4u);
+  for (const auto& c : cores) {
+    EXPECT_EQ(c.bits, 32);
+    EXPECT_TRUE(c.custom_format);  // the paper's caveat
+    EXPECT_GT(c.clock_mhz, 0.0);
+    EXPECT_GT(c.area.slices, 0);
+    EXPECT_GT(c.freq_per_area(), 0.0);
+  }
+}
+
+TEST(VendorCores, Table4NEUSlowerThanTypicalUSC) {
+  // The NEU library cores are shallow-pipelined and well below 200 MHz —
+  // the relation Table 4 is built on.
+  for (const auto& c : table4_cores()) {
+    EXPECT_EQ(c.bits, 64);
+    EXPECT_LT(c.clock_mhz, 150.0);
+    EXPECT_GT(c.power_mw_100mhz, 0.0);
+    EXPECT_FALSE(c.custom_format);
+  }
+}
+
+}  // namespace
+}  // namespace flopsim::device
+
+namespace flopsim::device {
+namespace {
+
+TEST(TechModel, SpeedGradeIsSlower) {
+  const TechModel t7 = TechModel::virtex2pro7();
+  const TechModel t5 = TechModel::virtex2pro5();
+  EXPECT_GT(t5.adder_delay(32, Objective::kArea),
+            t7.adder_delay(32, Objective::kArea));
+  EXPECT_GT(t5.bmult_delay(Objective::kArea),
+            t7.bmult_delay(Objective::kArea));
+  EXPECT_GT(t5.register_overhead_ns(), t7.register_overhead_ns());
+}
+
+TEST(TechModel, SpeedObjectiveFasterAndLarger) {
+  const TechModel t = TechModel::virtex2pro7();
+  EXPECT_LT(t.adder_delay(32, Objective::kSpeed),
+            t.adder_delay(32, Objective::kArea));
+  EXPECT_GT(t.adder_area(32, Objective::kSpeed).slices,
+            t.adder_area(32, Objective::kArea).slices);
+  EXPECT_GT(t.par_area_factor(Objective::kSpeed), 1.0);
+  EXPECT_DOUBLE_EQ(t.par_area_factor(Objective::kArea), 1.0);
+}
+
+TEST(TechModel, DelaysScaleWithWidth) {
+  const TechModel t = TechModel::virtex2pro7();
+  for (int n : {8, 16, 32, 64}) {
+    EXPECT_LT(t.adder_delay(n, Objective::kArea),
+              t.adder_delay(n + 8, Objective::kArea));
+    EXPECT_LT(t.comparator_delay(n, Objective::kArea),
+              t.comparator_delay(n + 8, Objective::kArea));
+    EXPECT_LT(t.priority_encoder_delay(n, Objective::kArea),
+              t.priority_encoder_delay(n + 8, Objective::kArea));
+  }
+}
+
+TEST(TechModel, ChainedDelaysCheaperThanSolo) {
+  const TechModel t = TechModel::virtex2pro7();
+  EXPECT_LT(t.adder_chained_delay(14, Objective::kArea),
+            t.adder_delay(14, Objective::kArea));
+  EXPECT_LT(t.mux_level_chained_delay(54, Objective::kArea),
+            t.mux_level_delay(54, Objective::kArea));
+  EXPECT_LT(t.csa_level_chained_delay(106, Objective::kArea),
+            t.csa_level_delay(106, Objective::kArea));
+}
+
+TEST(TechModel, AblationHooks) {
+  TechModel t = TechModel::virtex2pro7();
+  t.set_ff_absorption(0.0);
+  EXPECT_DOUBLE_EQ(t.ff_absorption(), 0.0);
+  t.set_ff_absorption(2.0);  // clamped
+  EXPECT_DOUBLE_EQ(t.ff_absorption(), 1.0);
+  t.set_register_overhead(1.5);
+  EXPECT_DOUBLE_EQ(t.register_overhead_ns(), 1.5);
+}
+
+TEST(TechModel, PaperAreaRules) {
+  // "Comparators take about n/2 slices"; "[the shifter] takes up about
+  // nlogn/2 slices" (per level: n/2).
+  const TechModel t = TechModel::virtex2pro7();
+  EXPECT_EQ(t.comparator_area(54, Objective::kArea).slices, 27);
+  EXPECT_EQ(t.adder_area(54, Objective::kArea).slices, 27);
+  EXPECT_EQ(t.mux_level_area(54, Objective::kArea).slices, 27);
+}
+
+}  // namespace
+}  // namespace flopsim::device

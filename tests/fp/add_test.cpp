@@ -1,0 +1,187 @@
+// Directed addition/subtraction cases: special values, signed zeros,
+// cancellation, sticky-bit behaviour, overflow per rounding mode.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace flopsim::fp {
+namespace {
+
+using testing::f32;
+using testing::f64;
+
+TEST(Add, SimpleExact) {
+  FpEnv env = FpEnv::ieee();
+  EXPECT_EQ(add(f32(1.0f), f32(2.0f), env).bits, f32(3.0f).bits);
+  EXPECT_EQ(env.flags, kFlagNone);
+}
+
+TEST(Add, ExactCancellationGivesPositiveZero) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue r = sub(f32(1.5f), f32(1.5f), env);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_FALSE(r.sign());
+}
+
+TEST(Add, ExactCancellationTowardNegativeGivesNegativeZero) {
+  FpEnv env = FpEnv::ieee(RoundingMode::kTowardNegative);
+  const FpValue r = sub(f32(1.5f), f32(1.5f), env);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_TRUE(r.sign());
+}
+
+TEST(Add, SignedZeroCombinations) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue pz = make_zero(FpFormat::binary32(), false);
+  const FpValue nz = make_zero(FpFormat::binary32(), true);
+  EXPECT_FALSE(add(pz, pz, env).sign());
+  EXPECT_TRUE(add(nz, nz, env).sign());
+  EXPECT_FALSE(add(pz, nz, env).sign());  // +0 + -0 = +0 (RNE)
+  EXPECT_FALSE(add(nz, pz, env).sign());
+}
+
+TEST(Add, ZeroPlusXIsX) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue x = f32(3.25f);
+  EXPECT_EQ(add(make_zero(FpFormat::binary32()), x, env).bits, x.bits);
+  EXPECT_EQ(add(x, make_zero(FpFormat::binary32()), env).bits, x.bits);
+  EXPECT_EQ(sub(make_zero(FpFormat::binary32()), x, env).bits,
+            f32(-3.25f).bits);
+}
+
+TEST(Add, InfinityArithmetic) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue inf = make_inf(FpFormat::binary32());
+  const FpValue ninf = make_inf(FpFormat::binary32(), true);
+  EXPECT_TRUE(add(inf, f32(1.0f), env).is_inf());
+  EXPECT_TRUE(add(inf, inf, env).is_inf());
+  EXPECT_TRUE(sub(ninf, inf, env).is_inf());
+  EXPECT_TRUE(sub(ninf, inf, env).sign());
+}
+
+TEST(Add, InfMinusInfIsInvalid) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue inf = make_inf(FpFormat::binary32());
+  const FpValue r = sub(inf, inf, env);
+  EXPECT_TRUE(r.is_nan());
+  EXPECT_TRUE(env.any(kFlagInvalid));
+}
+
+TEST(Add, NaNPropagates) {
+  FpEnv env = FpEnv::ieee();
+  EXPECT_TRUE(add(make_qnan(FpFormat::binary32()), f32(1.0f), env).is_nan());
+  EXPECT_FALSE(env.any(kFlagInvalid));  // quiet NaN does not raise
+}
+
+TEST(Add, SignalingNaNRaisesInvalid) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue snan =
+      FpValue(FpFormat::binary32().exp_mask() | 1, FpFormat::binary32());
+  EXPECT_TRUE(add(snan, f32(1.0f), env).is_nan());
+  EXPECT_TRUE(env.any(kFlagInvalid));
+}
+
+TEST(Add, StickyBitRoundsCorrectly) {
+  // 2^24 + 1 is not representable in binary32: ties to even -> 2^24.
+  FpEnv env = FpEnv::ieee();
+  const FpValue big = f32(16777216.0f);  // 2^24
+  const FpValue r = add(big, f32(1.0f), env);
+  EXPECT_EQ(r.bits, big.bits);
+  EXPECT_TRUE(env.any(kFlagInexact));
+  // 2^24 + 2 is representable: exact.
+  env.clear_flags();
+  const FpValue r2 = add(big, f32(2.0f), env);
+  EXPECT_EQ(r2.bits, f32(16777218.0f).bits);
+  EXPECT_FALSE(env.any(kFlagInexact));
+  // 2^24 + 3 rounds up to 2^24 + 4.
+  env.clear_flags();
+  const FpValue r3 = add(big, f32(3.0f), env);
+  EXPECT_EQ(r3.bits, f32(16777220.0f).bits);
+  EXPECT_TRUE(env.any(kFlagInexact));
+}
+
+TEST(Add, MassiveCancellationIsExact) {
+  // Nearby operands: (1 + 2^-23) - 1 = 2^-23 exactly (Sterbenz).
+  FpEnv env = FpEnv::ieee();
+  const FpValue a = FpValue(f32(1.0f).bits + 1, FpFormat::binary32());
+  const FpValue r = sub(a, f32(1.0f), env);
+  EXPECT_EQ(r.bits, f32(0x1p-23f).bits);
+  EXPECT_FALSE(env.any(kFlagInexact));
+}
+
+TEST(Add, OverflowToInfinityRNE) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue maxf = make_max_finite(FpFormat::binary32());
+  const FpValue r = add(maxf, maxf, env);
+  EXPECT_TRUE(r.is_inf());
+  EXPECT_TRUE(env.any(kFlagOverflow));
+  EXPECT_TRUE(env.any(kFlagInexact));
+}
+
+TEST(Add, OverflowTowardZeroSaturatesToMaxFinite) {
+  FpEnv env = FpEnv::ieee(RoundingMode::kTowardZero);
+  const FpValue maxf = make_max_finite(FpFormat::binary32());
+  const FpValue r = add(maxf, maxf, env);
+  EXPECT_EQ(r.bits, maxf.bits);
+  EXPECT_TRUE(env.any(kFlagOverflow));
+}
+
+TEST(Add, OverflowDirectedModesRespectSign) {
+  const FpValue maxf = make_max_finite(FpFormat::binary32());
+  const FpValue nmaxf = make_max_finite(FpFormat::binary32(), true);
+  {
+    FpEnv env = FpEnv::ieee(RoundingMode::kTowardPositive);
+    EXPECT_TRUE(add(maxf, maxf, env).is_inf());
+    EXPECT_EQ(add(nmaxf, nmaxf, env).bits, nmaxf.bits);
+  }
+  {
+    FpEnv env = FpEnv::ieee(RoundingMode::kTowardNegative);
+    EXPECT_EQ(add(maxf, maxf, env).bits, maxf.bits);
+    EXPECT_TRUE(add(nmaxf, nmaxf, env).is_inf());
+  }
+}
+
+TEST(Add, SubnormalResultUnderflows) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue mn = make_min_normal(FpFormat::binary32());
+  const FpValue half_mn = f32(0x1p-127f);  // subnormal-range value
+  const FpValue r = sub(mn, half_mn, env);
+  EXPECT_TRUE(r.is_subnormal());
+  // Exact subnormal result: no underflow flag without inexactness.
+  EXPECT_FALSE(env.any(kFlagUnderflow));
+}
+
+TEST(Add, Binary48Midpoint) {
+  // In binary48 (36 fraction bits) 1 + 2^-37 ties to even -> 1.
+  const FpFormat fmt = FpFormat::binary48();
+  FpEnv env = FpEnv::ieee();
+  const FpValue one = make_one(fmt);
+  const FpValue tiny = compose(fmt, false, fmt.bias() - 37, 0);
+  const FpValue r = add(one, tiny, env);
+  EXPECT_EQ(r.bits, one.bits);
+  EXPECT_TRUE(env.any(kFlagInexact));
+  // 1 + 2^-36 is exactly the next representable value.
+  env.clear_flags();
+  const FpValue ulp = compose(fmt, false, fmt.bias() - 36, 0);
+  EXPECT_EQ(add(one, ulp, env).bits, one.bits + 1);
+  EXPECT_FALSE(env.any(kFlagInexact));
+}
+
+TEST(Add, MismatchedFormatsThrow) {
+  FpEnv env = FpEnv::ieee();
+  EXPECT_THROW(add(f32(1.0f), f64(1.0), env), std::invalid_argument);
+}
+
+TEST(Add, NegAbsCopysign) {
+  EXPECT_EQ(neg(f32(2.0f)).bits, f32(-2.0f).bits);
+  EXPECT_EQ(neg(neg(f32(2.0f))).bits, f32(2.0f).bits);
+  EXPECT_EQ(abs(f32(-7.25f)).bits, f32(7.25f).bits);
+  EXPECT_EQ(copysign(f32(3.0f), f32(-1.0f)).bits, f32(-3.0f).bits);
+  EXPECT_EQ(copysign(f32(-3.0f), f32(1.0f)).bits, f32(3.0f).bits);
+  // Sign ops are exact even on NaN/inf.
+  EXPECT_TRUE(neg(make_qnan(FpFormat::binary32())).is_nan());
+  EXPECT_TRUE(neg(make_inf(FpFormat::binary32())).sign());
+}
+
+}  // namespace
+}  // namespace flopsim::fp

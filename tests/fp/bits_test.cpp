@@ -1,0 +1,128 @@
+#include "fp/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace flopsim::fp {
+namespace {
+
+TEST(Bits, Mask64) {
+  EXPECT_EQ(mask64(0), 0u);
+  EXPECT_EQ(mask64(1), 1u);
+  EXPECT_EQ(mask64(8), 0xffu);
+  EXPECT_EQ(mask64(63), 0x7fffffffffffffffull);
+  EXPECT_EQ(mask64(64), ~u64{0});
+}
+
+TEST(Bits, Mask128) {
+  EXPECT_EQ(mask128(0), u128{0});
+  EXPECT_EQ(static_cast<u64>(mask128(64)), ~u64{0});
+  EXPECT_EQ(mask128(128), ~u128{0});
+  EXPECT_EQ(static_cast<u64>(mask128(65) >> 64), 1u);
+}
+
+TEST(Bits, Clz64) {
+  EXPECT_EQ(clz64(0), 64);
+  EXPECT_EQ(clz64(1), 63);
+  EXPECT_EQ(clz64(u64{1} << 63), 0);
+  EXPECT_EQ(clz64(0xff), 56);
+}
+
+TEST(Bits, Clz128) {
+  EXPECT_EQ(clz128(0), 128);
+  EXPECT_EQ(clz128(1), 127);
+  EXPECT_EQ(clz128(u128{1} << 64), 63);
+  EXPECT_EQ(clz128(u128{1} << 127), 0);
+}
+
+TEST(Bits, MsbIndex) {
+  EXPECT_EQ(msb_index64(1), 0);
+  EXPECT_EQ(msb_index64(2), 1);
+  EXPECT_EQ(msb_index64(0x80), 7);
+  EXPECT_EQ(msb_index64(~u64{0}), 63);
+}
+
+TEST(Bits, ShiftRightJam64Basics) {
+  EXPECT_EQ(shift_right_jam64(0b1000, 3), 0b1u);
+  // A dropped one-bit must stick.
+  EXPECT_EQ(shift_right_jam64(0b1001, 3), 0b1u | 1u);
+  EXPECT_EQ(shift_right_jam64(0b1000, 4), 1u);  // fully shifted out, nonzero
+  EXPECT_EQ(shift_right_jam64(0, 17), 0u);
+  EXPECT_EQ(shift_right_jam64(42, 0), 42u);
+  EXPECT_EQ(shift_right_jam64(42, -3), 42u);  // negative dist is a no-op
+  EXPECT_EQ(shift_right_jam64(1, 64), 1u);
+  EXPECT_EQ(shift_right_jam64(1, 200), 1u);
+}
+
+TEST(Bits, ShiftRightJamPreservesNonzeroness) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const u64 x = rng();
+    const int d = static_cast<int>(rng() % 80);
+    const u64 r = shift_right_jam64(x, d);
+    EXPECT_EQ(r != 0, x != 0);
+    // Jam only perturbs bit 0: the upper bits equal the plain shift.
+    if (d < 64) {
+      EXPECT_EQ(r >> 1, (x >> d) >> 1);
+    }
+  }
+}
+
+TEST(Bits, ShiftRightJam128MatchesNarrow) {
+  std::mt19937_64 rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const u64 x = rng();
+    const int d = static_cast<int>(rng() % 70);
+    EXPECT_EQ(static_cast<u64>(shift_right_jam128(x, d)),
+              shift_right_jam64(x, d));
+  }
+}
+
+TEST(Bits, Isqrt128Exact) {
+  for (u64 r : {u64{0}, u64{1}, u64{2}, u64{3}, u64{255}, u64{65536},
+                u64{0xffffffff}, u64{1} << 50}) {
+    const auto s = isqrt128(static_cast<u128>(r) * r);
+    EXPECT_EQ(s.root, r);
+    EXPECT_TRUE(s.exact);
+  }
+}
+
+TEST(Bits, Isqrt128Floor) {
+  std::mt19937_64 rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const u128 x = (static_cast<u128>(rng()) << 49) ^ rng();
+    const auto s = isqrt128(x);
+    const u128 r = s.root;
+    EXPECT_LE(r * r, x);
+    EXPECT_GT((r + 1) * (r + 1), x);
+    EXPECT_EQ(s.exact, r * r == x);
+  }
+}
+
+TEST(Bits, Isqrt128NonSquaresInexact) {
+  EXPECT_FALSE(isqrt128(2).exact);
+  EXPECT_FALSE(isqrt128(3).exact);
+  EXPECT_EQ(isqrt128(3).root, 1u);
+  EXPECT_EQ(isqrt128(8).root, 2u);
+}
+
+TEST(Bits, ReverseBits) {
+  EXPECT_EQ(reverse_bits64(0b001, 3), 0b100u);
+  EXPECT_EQ(reverse_bits64(0b110, 3), 0b011u);
+  EXPECT_EQ(reverse_bits64(0x1, 1), 0x1u);
+  std::mt19937_64 rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    const u64 x = rng() & mask64(17);
+    EXPECT_EQ(reverse_bits64(reverse_bits64(x, 17), 17), x);
+  }
+}
+
+TEST(Bits, Popcount) {
+  EXPECT_EQ(popcount64(0), 0);
+  EXPECT_EQ(popcount64(0xff), 8);
+  EXPECT_EQ(popcount64(~u64{0}), 64);
+}
+
+}  // namespace
+}  // namespace flopsim::fp

@@ -1,0 +1,121 @@
+// Comparison predicates and min/max.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace flopsim::fp {
+namespace {
+
+using testing::f32;
+
+TEST(Compare, BasicOrdering) {
+  FpEnv env = FpEnv::ieee();
+  EXPECT_EQ(compare(f32(1.0f), f32(2.0f), env), Ordering::kLess);
+  EXPECT_EQ(compare(f32(2.0f), f32(1.0f), env), Ordering::kGreater);
+  EXPECT_EQ(compare(f32(2.0f), f32(2.0f), env), Ordering::kEqual);
+  EXPECT_EQ(compare(f32(-1.0f), f32(1.0f), env), Ordering::kLess);
+  EXPECT_EQ(compare(f32(-1.0f), f32(-2.0f), env), Ordering::kGreater);
+}
+
+TEST(Compare, SignedZerosAreEqual) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue pz = make_zero(FpFormat::binary32());
+  EXPECT_EQ(compare(pz, neg(pz), env), Ordering::kEqual);
+  EXPECT_TRUE(is_equal(pz, neg(pz), env));
+  EXPECT_FALSE(is_less(pz, neg(pz), env));
+  EXPECT_TRUE(is_less_equal(neg(pz), pz, env));
+}
+
+TEST(Compare, InfinityOrdering) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue inf = make_inf(FpFormat::binary32());
+  EXPECT_EQ(compare(make_max_finite(FpFormat::binary32()), inf, env),
+            Ordering::kLess);
+  EXPECT_EQ(compare(neg(inf), inf, env), Ordering::kLess);
+  EXPECT_EQ(compare(inf, inf, env), Ordering::kEqual);
+}
+
+TEST(Compare, NaNIsUnordered) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue nan = make_qnan(FpFormat::binary32());
+  EXPECT_EQ(compare(nan, f32(1.0f), env), Ordering::kUnordered);
+  EXPECT_EQ(compare(nan, nan, env), Ordering::kUnordered);
+  EXPECT_FALSE(is_equal(nan, nan, env));
+  // Quiet comparison with qNaN does not raise invalid.
+  EXPECT_FALSE(env.any(kFlagInvalid));
+}
+
+TEST(Compare, SignalingPredicatesRaiseOnNaN) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue nan = make_qnan(FpFormat::binary32());
+  EXPECT_FALSE(is_less(nan, f32(1.0f), env));
+  EXPECT_TRUE(env.any(kFlagInvalid));
+  env.clear_flags();
+  EXPECT_FALSE(is_less_equal(f32(1.0f), nan, env));
+  EXPECT_TRUE(env.any(kFlagInvalid));
+}
+
+TEST(Compare, SNaNRaisesEvenOnQuietCompare) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue snan =
+      FpValue(FpFormat::binary32().exp_mask() | 1, FpFormat::binary32());
+  EXPECT_EQ(compare(snan, f32(1.0f), env), Ordering::kUnordered);
+  EXPECT_TRUE(env.any(kFlagInvalid));
+}
+
+TEST(Compare, SubnormalOrdering) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue s1 = FpValue(1, FpFormat::binary32());
+  const FpValue s2 = FpValue(2, FpFormat::binary32());
+  EXPECT_EQ(compare(s1, s2, env), Ordering::kLess);
+  EXPECT_EQ(compare(neg(s2), neg(s1), env), Ordering::kLess);
+  EXPECT_EQ(compare(s1, make_zero(FpFormat::binary32()), env),
+            Ordering::kGreater);
+}
+
+TEST(Compare, FlushToZeroTreatsSubnormalAsZero) {
+  FpEnv env = FpEnv::paper();
+  const FpValue sub = FpValue(1, FpFormat::binary32());
+  EXPECT_EQ(compare(sub, make_zero(FpFormat::binary32()), env),
+            Ordering::kEqual);
+  EXPECT_EQ(compare(sub, neg(sub), env), Ordering::kEqual);
+}
+
+TEST(Compare, MinMaxBasics) {
+  FpEnv env = FpEnv::ieee();
+  EXPECT_EQ(min(f32(1.0f), f32(2.0f), env).bits, f32(1.0f).bits);
+  EXPECT_EQ(max(f32(1.0f), f32(2.0f), env).bits, f32(2.0f).bits);
+  EXPECT_EQ(min(f32(-1.0f), f32(-2.0f), env).bits, f32(-2.0f).bits);
+}
+
+TEST(Compare, MinMaxNumberBeatsQuietNaN) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue nan = make_qnan(FpFormat::binary32());
+  EXPECT_EQ(min(nan, f32(5.0f), env).bits, f32(5.0f).bits);
+  EXPECT_EQ(max(f32(5.0f), nan, env).bits, f32(5.0f).bits);
+  EXPECT_TRUE(min(nan, nan, env).is_nan());
+}
+
+TEST(Compare, AgreesWithHostOnRandomBits) {
+  testing::ValueGen gen(FpFormat::binary64(), 0xc0ffee);
+  for (int i = 0; i < 100000; ++i) {
+    const FpValue a = gen.uniform_bits();
+    const FpValue b = gen.uniform_bits();
+    const double da = testing::as_double(a);
+    const double db = testing::as_double(b);
+    FpEnv env = FpEnv::ieee();
+    const Ordering o = compare(a, b, env);
+    if (std::isnan(da) || std::isnan(db)) {
+      ASSERT_EQ(o, Ordering::kUnordered);
+    } else if (da < db) {
+      ASSERT_EQ(o, Ordering::kLess);
+    } else if (da > db) {
+      ASSERT_EQ(o, Ordering::kGreater);
+    } else {
+      ASSERT_EQ(o, Ordering::kEqual);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flopsim::fp

@@ -1,0 +1,198 @@
+// Format conversions, host interop, integer conversions.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace flopsim::fp {
+namespace {
+
+using testing::f32;
+using testing::f64;
+
+TEST(Convert, WideningIsExact) {
+  testing::ValueGen gen(FpFormat::binary32(), 0xabc1);
+  for (int i = 0; i < 50000; ++i) {
+    const FpValue a = gen.uniform_bits();
+    if (a.is_nan()) continue;
+    FpEnv env = FpEnv::ieee();
+    const FpValue wide = convert(a, FpFormat::binary64(), env);
+    EXPECT_FALSE(env.any(kFlagInexact));
+    const double host = static_cast<double>(testing::as_float(a));
+    ASSERT_TRUE(testing::BitsMatchHost(wide, host)) << to_string(a);
+  }
+}
+
+TEST(Convert, NarrowingMatchesHost) {
+  testing::ValueGen gen(FpFormat::binary64(), 0xabc2);
+  for (int i = 0; i < 100000; ++i) {
+    const FpValue a = gen.uniform_bits();
+    FpEnv env = FpEnv::ieee();
+    const FpValue narrow = convert(a, FpFormat::binary32(), env);
+    const float host = static_cast<float>(testing::as_double(a));
+    ASSERT_TRUE(testing::BitsMatchHost(narrow, host)) << to_string(a);
+  }
+}
+
+TEST(Convert, Binary48RoundTripThrough64IsIdentity) {
+  // binary48 -> binary64 is exact, and back is exact too.
+  testing::ValueGen gen(FpFormat::binary48(), 0xabc3);
+  for (int i = 0; i < 50000; ++i) {
+    const FpValue a = gen.uniform_bits();
+    if (a.is_nan()) continue;
+    FpEnv env = FpEnv::ieee();
+    const FpValue wide = convert(a, FpFormat::binary64(), env);
+    const FpValue back = convert(wide, FpFormat::binary48(), env);
+    ASSERT_EQ(back.bits, a.bits) << to_string(a);
+    EXPECT_FALSE(env.any(kFlagInexact));
+  }
+}
+
+TEST(Convert, NarrowingToBinary48RoundsNearestEven) {
+  FpEnv env = FpEnv::ieee();
+  // A binary64 value exactly halfway between two binary48 values:
+  // 1 + 2^-37 with 36 fraction bits kept -> ties to even -> 1.
+  const FpValue x = f64(1.0 + std::ldexp(1.0, -37));
+  const FpValue r = convert(x, FpFormat::binary48(), env);
+  EXPECT_EQ(r.bits, make_one(FpFormat::binary48()).bits);
+  EXPECT_TRUE(env.any(kFlagInexact));
+}
+
+TEST(Convert, SpecialsMapAcrossFormats) {
+  FpEnv env = FpEnv::ieee();
+  EXPECT_TRUE(
+      convert(make_inf(FpFormat::binary64(), true), FpFormat::binary32(), env)
+          .is_inf());
+  EXPECT_TRUE(
+      convert(make_qnan(FpFormat::binary32()), FpFormat::binary64(), env)
+          .is_nan());
+  const FpValue nz =
+      convert(make_zero(FpFormat::binary64(), true), FpFormat::binary32(), env);
+  EXPECT_TRUE(nz.is_zero());
+  EXPECT_TRUE(nz.sign());
+}
+
+TEST(Convert, OverflowOnNarrowing) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue big = f64(1e300);
+  EXPECT_TRUE(convert(big, FpFormat::binary32(), env).is_inf());
+  EXPECT_TRUE(env.any(kFlagOverflow));
+}
+
+TEST(Convert, UnderflowToSubnormalOnNarrowing) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue tiny = f64(1e-310);  // subnormal range of binary64? No:
+  // 1e-310 is subnormal in binary64 itself; converting to binary32 flushes
+  // to zero with underflow.
+  const FpValue r = convert(tiny, FpFormat::binary32(), env);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_TRUE(env.any(kFlagUnderflow));
+}
+
+TEST(Convert, HostRoundTrips) {
+  FpEnv env = FpEnv::ieee();
+  for (float v : {0.0f, 1.5f, -2.25e10f, 1e-42f}) {
+    EXPECT_EQ(to_float(from_float(v, FpFormat::binary32(), env), env), v);
+  }
+  for (double v : {0.0, -3.5, 1e300, 5e-324}) {
+    EXPECT_EQ(to_double(from_double(v, FpFormat::binary64(), env), env), v);
+  }
+}
+
+TEST(Convert, FromDoubleToBinary48AndBack) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue x = from_double(1.0 / 3.0, FpFormat::binary48(), env);
+  const double back = to_double_exact(x);
+  EXPECT_NEAR(back, 1.0 / 3.0, std::ldexp(1.0, -37));
+  EXPECT_NE(back, 1.0 / 3.0);  // binary48 has fewer digits than binary64
+}
+
+TEST(Convert, FromInt64Exact) {
+  FpEnv env = FpEnv::ieee();
+  EXPECT_EQ(to_double_exact(from_int64(0, FpFormat::binary64(), env)), 0.0);
+  EXPECT_EQ(to_double_exact(from_int64(42, FpFormat::binary64(), env)), 42.0);
+  EXPECT_EQ(to_double_exact(from_int64(-42, FpFormat::binary64(), env)),
+            -42.0);
+  EXPECT_EQ(to_double_exact(from_int64(INT64_MIN, FpFormat::binary64(), env)),
+            static_cast<double>(INT64_MIN));
+  EXPECT_FALSE(env.any(kFlagInexact));
+}
+
+TEST(Convert, FromInt64RoundsInNarrowFormat) {
+  FpEnv env = FpEnv::ieee();
+  // 2^24 + 1 rounds in binary32.
+  const FpValue r = from_int64((i64{1} << 24) + 1, FpFormat::binary32(), env);
+  EXPECT_TRUE(env.any(kFlagInexact));
+  EXPECT_EQ(testing::as_float(r), 16777216.0f);
+}
+
+TEST(Convert, FromInt64MatchesHostRandom) {
+  std::mt19937_64 rng(0xdead);
+  for (int i = 0; i < 50000; ++i) {
+    const i64 x = static_cast<i64>(rng());
+    FpEnv env = FpEnv::ieee();
+    const FpValue r = from_int64(x, FpFormat::binary64(), env);
+    ASSERT_TRUE(testing::BitsMatchHost(r, static_cast<double>(x))) << x;
+    FpEnv env32 = FpEnv::ieee();
+    const FpValue r32 = from_int64(x, FpFormat::binary32(), env32);
+    ASSERT_TRUE(testing::BitsMatchHost(r32, static_cast<float>(x))) << x;
+  }
+}
+
+TEST(Convert, ToInt64Basics) {
+  FpEnv env = FpEnv::ieee();
+  EXPECT_EQ(to_int64(f64(0.0), env), 0);
+  EXPECT_EQ(to_int64(f64(1.5), env), 2);   // ties to even
+  EXPECT_EQ(to_int64(f64(2.5), env), 2);   // ties to even
+  EXPECT_EQ(to_int64(f64(-1.5), env), -2);
+  EXPECT_EQ(to_int64(f64(123456789.0), env), 123456789);
+}
+
+TEST(Convert, ToInt64RoundingModes) {
+  {
+    FpEnv env = FpEnv::ieee(RoundingMode::kTowardZero);
+    EXPECT_EQ(to_int64(f64(1.9), env), 1);
+    EXPECT_EQ(to_int64(f64(-1.9), env), -1);
+  }
+  {
+    FpEnv env = FpEnv::ieee(RoundingMode::kTowardPositive);
+    EXPECT_EQ(to_int64(f64(1.1), env), 2);
+    EXPECT_EQ(to_int64(f64(-1.9), env), -1);
+  }
+  {
+    FpEnv env = FpEnv::ieee(RoundingMode::kTowardNegative);
+    EXPECT_EQ(to_int64(f64(1.9), env), 1);
+    EXPECT_EQ(to_int64(f64(-1.1), env), -2);
+  }
+}
+
+TEST(Convert, ToInt64OutOfRange) {
+  FpEnv env = FpEnv::ieee();
+  EXPECT_EQ(to_int64(f64(1e300), env), INT64_MAX);
+  EXPECT_TRUE(env.any(kFlagInvalid));
+  env.clear_flags();
+  EXPECT_EQ(to_int64(f64(-1e300), env), INT64_MIN);
+  EXPECT_TRUE(env.any(kFlagInvalid));
+  env.clear_flags();
+  EXPECT_EQ(to_int64(make_qnan(FpFormat::binary64()), env), 0);
+  EXPECT_TRUE(env.any(kFlagInvalid));
+  env.clear_flags();
+  // Exactly -2^63 is representable.
+  EXPECT_EQ(to_int64(f64(-9223372036854775808.0), env), INT64_MIN);
+  EXPECT_FALSE(env.any(kFlagInvalid));
+}
+
+TEST(Convert, ToInt64MatchesHostRandomInRange) {
+  std::mt19937_64 rng(0xbeef);
+  for (int i = 0; i < 50000; ++i) {
+    const double d = std::ldexp(static_cast<double>(static_cast<i64>(rng())),
+                                -(static_cast<int>(rng() % 20)));
+    if (!(d > -9.2e18 && d < 9.2e18)) continue;
+    FpEnv env = FpEnv::ieee();
+    const i64 ours = to_int64(f64(d), env);
+    const i64 host = std::llrint(d);  // host default mode: nearest-even
+    ASSERT_EQ(ours, host) << d;
+  }
+}
+
+}  // namespace
+}  // namespace flopsim::fp

@@ -1,0 +1,135 @@
+// Directed division and square-root cases (library extensions).
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace flopsim::fp {
+namespace {
+
+using testing::f32;
+
+TEST(Div, SimpleExact) {
+  FpEnv env = FpEnv::ieee();
+  EXPECT_EQ(div(f32(12.0f), f32(4.0f), env).bits, f32(3.0f).bits);
+  EXPECT_FALSE(env.any(kFlagInexact));
+}
+
+TEST(Div, OneThirdRoundsCorrectly) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue r = div(f32(1.0f), f32(3.0f), env);
+  EXPECT_EQ(r.bits, f32(1.0f / 3.0f).bits);
+  EXPECT_TRUE(env.any(kFlagInexact));
+}
+
+TEST(Div, ByZeroRaisesDivByZero) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue r = div(f32(1.0f), make_zero(FpFormat::binary32()), env);
+  EXPECT_TRUE(r.is_inf());
+  EXPECT_TRUE(env.any(kFlagDivByZero));
+  EXPECT_FALSE(env.any(kFlagInvalid));
+  // Sign of zero matters.
+  env.clear_flags();
+  EXPECT_TRUE(div(f32(1.0f), neg(make_zero(FpFormat::binary32())), env).sign());
+}
+
+TEST(Div, ZeroOverZeroIsInvalid) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue z = make_zero(FpFormat::binary32());
+  EXPECT_TRUE(div(z, z, env).is_nan());
+  EXPECT_TRUE(env.any(kFlagInvalid));
+  EXPECT_FALSE(env.any(kFlagDivByZero));
+}
+
+TEST(Div, InfOverInfIsInvalid) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue inf = make_inf(FpFormat::binary32());
+  EXPECT_TRUE(div(inf, inf, env).is_nan());
+  EXPECT_TRUE(env.any(kFlagInvalid));
+}
+
+TEST(Div, FiniteOverInfIsZero) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue r = div(f32(-5.0f), make_inf(FpFormat::binary32()), env);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_TRUE(r.sign());
+}
+
+TEST(Div, SelfDivisionIsOne) {
+  FpEnv env = FpEnv::ieee();
+  for (float v : {1.0f, -2.5f, 3.4e38f, 1.17e-38f, 1e-42f}) {
+    const FpValue r = div(f32(v), f32(v), env);
+    EXPECT_EQ(to_double_exact(r), 1.0) << v;
+  }
+}
+
+TEST(Div, SubnormalQuotient) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue r = div(f32(0x1p-126f), f32(4.0f), env);
+  EXPECT_TRUE(r.is_subnormal());
+  EXPECT_EQ(r.bits, f32(0x1p-128f).bits);
+}
+
+TEST(Sqrt, ExactSquares) {
+  FpEnv env = FpEnv::ieee();
+  for (float v : {1.0f, 4.0f, 9.0f, 0.25f, 1048576.0f}) {
+    const FpValue r = sqrt(f32(v * v / v), env);  // sqrt(v) of square args
+    EXPECT_EQ(to_double_exact(sqrt(f32(v * v), env)), v) << v;
+    (void)r;
+  }
+  EXPECT_FALSE(env.any(kFlagInvalid));
+}
+
+TEST(Sqrt, SqrtTwoRoundsCorrectly) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue r = sqrt(f32(2.0f), env);
+  EXPECT_EQ(r.bits, f32(std::sqrt(2.0f)).bits);
+  EXPECT_TRUE(env.any(kFlagInexact));
+}
+
+TEST(Sqrt, NegativeIsInvalid) {
+  FpEnv env = FpEnv::ieee();
+  EXPECT_TRUE(sqrt(f32(-1.0f), env).is_nan());
+  EXPECT_TRUE(env.any(kFlagInvalid));
+}
+
+TEST(Sqrt, SignedZeroPassesThrough) {
+  FpEnv env = FpEnv::ieee();
+  EXPECT_FALSE(sqrt(make_zero(FpFormat::binary32()), env).sign());
+  EXPECT_TRUE(sqrt(make_zero(FpFormat::binary32(), true), env).sign());
+  EXPECT_FALSE(env.any(kFlagInvalid));  // sqrt(-0) = -0 is NOT invalid
+}
+
+TEST(Sqrt, InfinityPassesThrough) {
+  FpEnv env = FpEnv::ieee();
+  EXPECT_TRUE(sqrt(make_inf(FpFormat::binary32()), env).is_inf());
+  EXPECT_TRUE(sqrt(make_inf(FpFormat::binary32(), true), env).is_nan());
+  EXPECT_TRUE(env.any(kFlagInvalid));
+}
+
+TEST(Sqrt, SubnormalInput) {
+  FpEnv env = FpEnv::ieee();
+  // sqrt(2^-148) = 2^-74 exactly (even exponent, power of two).
+  const FpValue r = sqrt(f32(0x1p-148f), env);
+  EXPECT_EQ(r.bits, f32(0x1p-74f).bits);
+  EXPECT_FALSE(env.any(kFlagInexact));
+}
+
+TEST(Sqrt, OddExponentPowerOfTwo) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue r = sqrt(f32(0x1p-3f), env);  // sqrt(1/8)
+  EXPECT_EQ(r.bits, f32(std::sqrt(0.125f)).bits);
+}
+
+TEST(Sqrt, Binary48Value) {
+  const FpFormat fmt = FpFormat::binary48();
+  FpEnv env = FpEnv::ieee();
+  const FpValue four = from_double(4.0, fmt, env);
+  EXPECT_EQ(to_double_exact(sqrt(four, env)), 2.0);
+  const FpValue x = from_double(2.0, fmt, env);
+  const double got = to_double_exact(sqrt(x, env));
+  // Correct to binary48 precision: within 2^-36 relative.
+  EXPECT_NEAR(got, std::sqrt(2.0), std::ldexp(1.0, -36));
+}
+
+}  // namespace
+}  // namespace flopsim::fp

@@ -1,0 +1,140 @@
+// Exhaustive verification on a tiny format: FpFormat(4,3) has 256
+// encodings, so EVERY operand pair can be checked — no sampling gaps.
+// The oracle computes exactly in binary64 (3-bit significands make add,
+// sub and mul exact in double) and rounds once via convert(), which the
+// host-parity suites have independently validated.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace flopsim::fp {
+namespace {
+
+const FpFormat kTiny(4, 3);  // 1 + 4 + 3 = 8 bits
+
+double tiny_to_double(u64 bits) {
+  return to_double_exact(FpValue(bits, kTiny));
+}
+
+/// Round an exactly-representable double into kTiny under env.
+FpValue oracle_round(double exact, FpEnv& env) {
+  return from_double(exact, kTiny, env);
+}
+
+class ExhaustiveTinyTest : public ::testing::TestWithParam<RoundingMode> {};
+
+TEST_P(ExhaustiveTinyTest, AdditionAllPairs) {
+  const RoundingMode mode = GetParam();
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      const FpValue va(a, kTiny), vb(b, kTiny);
+      FpEnv env = FpEnv::ieee(mode);
+      const FpValue r = add(va, vb, env);
+      const double da = tiny_to_double(a);
+      const double db = tiny_to_double(b);
+      if (std::isnan(da) || std::isnan(db)) {
+        ASSERT_TRUE(r.is_nan());
+        continue;
+      }
+      const double exact = da + db;  // exact: 3-bit significands
+      if (std::isnan(exact)) {  // inf + -inf
+        ASSERT_TRUE(r.is_nan());
+        continue;
+      }
+      FpEnv oenv = FpEnv::ieee(mode);
+      const FpValue expect = oracle_round(exact, oenv);
+      if (exact == 0.0 && da != 0.0) {
+        // Exact cancellation: sign rule checked separately below.
+        ASSERT_TRUE(r.is_zero()) << a << "+" << b;
+        ASSERT_EQ(r.sign(), mode == RoundingMode::kTowardNegative)
+            << a << "+" << b;
+      } else if (exact == 0.0) {
+        ASSERT_TRUE(r.is_zero()) << a << "+" << b;
+      } else {
+        ASSERT_EQ(r.bits, expect.bits)
+            << to_string(va) << " + " << to_string(vb);
+      }
+    }
+  }
+}
+
+TEST_P(ExhaustiveTinyTest, MultiplicationAllPairs) {
+  const RoundingMode mode = GetParam();
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      const FpValue va(a, kTiny), vb(b, kTiny);
+      FpEnv env = FpEnv::ieee(mode);
+      const FpValue r = mul(va, vb, env);
+      const double da = tiny_to_double(a);
+      const double db = tiny_to_double(b);
+      if (std::isnan(da) || std::isnan(db)) {
+        ASSERT_TRUE(r.is_nan());
+        continue;
+      }
+      const double exact = da * db;  // exact in double
+      if (std::isnan(exact)) {  // 0 * inf
+        ASSERT_TRUE(r.is_nan());
+        continue;
+      }
+      FpEnv oenv = FpEnv::ieee(mode);
+      const FpValue expect = oracle_round(exact, oenv);
+      ASSERT_EQ(r.bits, expect.bits)
+          << to_string(va) << " * " << to_string(vb);
+    }
+  }
+}
+
+TEST_P(ExhaustiveTinyTest, SubtractionAllPairs) {
+  const RoundingMode mode = GetParam();
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      const FpValue va(a, kTiny), vb(b, kTiny);
+      FpEnv e1 = FpEnv::ieee(mode);
+      FpEnv e2 = FpEnv::ieee(mode);
+      // sub must equal add of the negation, bit for bit.
+      ASSERT_EQ(sub(va, vb, e1).bits, add(va, neg(vb), e2).bits)
+          << a << " " << b;
+    }
+  }
+}
+
+TEST_P(ExhaustiveTinyTest, SqrtAllValues) {
+  const RoundingMode mode = GetParam();
+  for (unsigned a = 0; a < 256; ++a) {
+    const FpValue va(a, kTiny);
+    FpEnv env = FpEnv::ieee(mode);
+    const FpValue r = sqrt(va, env);
+    const double da = tiny_to_double(a);
+    if (std::isnan(da) || (da < 0 && da != 0.0)) {
+      ASSERT_TRUE(r.is_nan()) << a;
+      continue;
+    }
+    // sqrt of a representable value: double sqrt is correctly rounded to
+    // binary64, far more precision than kTiny needs — but the double
+    // rounding could bite on ties, so verify with the sandwich property
+    // instead: r is representable and r is the correct rounding of the
+    // real root (checked via squaring neighbours).
+    const double root = std::sqrt(da);
+    FpEnv oenv = FpEnv::ieee(mode);
+    const FpValue expect = from_double(root, kTiny, oenv);
+    // For 3-bit significands binary64 sqrt has 49 spare bits: no
+    // double-rounding ties are possible.
+    ASSERT_EQ(r.bits, expect.bits) << to_string(va);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ExhaustiveTinyTest,
+                         ::testing::Values(RoundingMode::kNearestEven,
+                                           RoundingMode::kTowardZero,
+                                           RoundingMode::kTowardPositive,
+                                           RoundingMode::kTowardNegative),
+                         [](const ::testing::TestParamInfo<RoundingMode>& i) {
+                           std::string n = to_string(i.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace flopsim::fp

@@ -1,0 +1,121 @@
+// Systematic exception-flag semantics: which flags each operation raises,
+// per case class — the contract the paper's "exceptions are detected and
+// carried forward" hardware relies on.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace flopsim::fp {
+namespace {
+
+using testing::f32;
+using testing::f64;
+
+std::uint8_t flags_of_add(const FpValue& a, const FpValue& b) {
+  FpEnv env = FpEnv::ieee();
+  (void)add(a, b, env);
+  return env.flags;
+}
+
+std::uint8_t flags_of_mul(const FpValue& a, const FpValue& b) {
+  FpEnv env = FpEnv::ieee();
+  (void)mul(a, b, env);
+  return env.flags;
+}
+
+TEST(Flags, ExactOpsRaiseNothing) {
+  EXPECT_EQ(flags_of_add(f32(1.0f), f32(2.0f)), kFlagNone);
+  EXPECT_EQ(flags_of_mul(f32(4.0f), f32(0.25f)), kFlagNone);
+  EXPECT_EQ(flags_of_add(f32(1.0f), make_inf(FpFormat::binary32())),
+            kFlagNone);
+  EXPECT_EQ(flags_of_mul(f32(0.0f), f32(5.0f)), kFlagNone);
+}
+
+TEST(Flags, InexactExactlyWhenRoundingLosesBits) {
+  EXPECT_EQ(flags_of_add(f32(1.0f), f32(0x1p-25f)), kFlagInexact);
+  EXPECT_EQ(flags_of_mul(f32(1.0f / 3.0f), f32(1.0f / 3.0f)), kFlagInexact);
+}
+
+TEST(Flags, OverflowImpliesInexact) {
+  const FpValue maxf = make_max_finite(FpFormat::binary32());
+  EXPECT_EQ(flags_of_add(maxf, maxf), kFlagOverflow | kFlagInexact);
+  EXPECT_EQ(flags_of_mul(maxf, f32(2.0f)), kFlagOverflow | kFlagInexact);
+}
+
+TEST(Flags, UnderflowNeedsTinyAndInexact) {
+  // Tiny and inexact: both flags.
+  EXPECT_EQ(flags_of_mul(f32(0x1p-100f), f32(0x1p-100f)),
+            kFlagUnderflow | kFlagInexact);
+  // Tiny but exact (subnormal representable): no underflow under IEEE.
+  EXPECT_EQ(flags_of_mul(f32(0x1p-100f), f32(0x1p-30f)), kFlagNone);
+}
+
+TEST(Flags, InvalidCases) {
+  const FpFormat fmt = FpFormat::binary32();
+  const FpValue inf = make_inf(fmt);
+  const FpValue zero = make_zero(fmt);
+  struct Case {
+    const char* what;
+    std::uint8_t got;
+  };
+  FpEnv e1 = FpEnv::ieee();
+  (void)sub(inf, inf, e1);
+  FpEnv e2 = FpEnv::ieee();
+  (void)mul(inf, zero, e2);
+  FpEnv e3 = FpEnv::ieee();
+  (void)div(zero, zero, e3);
+  FpEnv e4 = FpEnv::ieee();
+  (void)div(inf, inf, e4);
+  FpEnv e5 = FpEnv::ieee();
+  (void)sqrt(f32(-4.0f), e5);
+  for (const Case& c : {Case{"inf-inf", e1.flags}, Case{"inf*0", e2.flags},
+                        Case{"0/0", e3.flags}, Case{"inf/inf", e4.flags},
+                        Case{"sqrt(-)", e5.flags}}) {
+    EXPECT_EQ(c.got, kFlagInvalid) << c.what;
+  }
+}
+
+TEST(Flags, DivByZeroDistinctFromInvalid) {
+  FpEnv env = FpEnv::ieee();
+  (void)div(f32(3.0f), make_zero(FpFormat::binary32()), env);
+  EXPECT_EQ(env.flags, kFlagDivByZero);
+}
+
+TEST(Flags, QuietNaNOperandsRaiseNothing) {
+  const FpValue nan = make_qnan(FpFormat::binary64());
+  FpEnv env = FpEnv::ieee();
+  (void)add(nan, f64(1.0), env);
+  (void)mul(nan, nan, env);
+  (void)div(f64(1.0), nan, env);
+  (void)sqrt(nan, env);
+  EXPECT_EQ(env.flags, kFlagNone);
+}
+
+TEST(Flags, StickyAccumulationAcrossOps) {
+  FpEnv env = FpEnv::ieee();
+  (void)add(f32(1.0f), f32(0x1p-25f), env);               // inexact
+  (void)mul(make_max_finite(FpFormat::binary32()),
+            f32(2.0f), env);                              // overflow
+  (void)div(f32(1.0f), make_zero(FpFormat::binary32()), env);  // div-by-0
+  EXPECT_EQ(env.flags, kFlagInexact | kFlagOverflow | kFlagDivByZero);
+  env.clear_flags();
+  EXPECT_EQ(env.flags, kFlagNone);
+}
+
+TEST(Flags, FlagsToStringRendering) {
+  EXPECT_EQ(flags_to_string(kFlagNone), "none");
+  EXPECT_EQ(flags_to_string(kFlagInexact), "inexact");
+  EXPECT_EQ(flags_to_string(kFlagInvalid | kFlagOverflow | kFlagInexact),
+            "invalid|overflow|inexact");
+}
+
+TEST(Flags, PaperModeFlushRaisesUnderflowEvenWhenExact) {
+  // FTZ hardware loses the value either way; the paper env flags it.
+  FpEnv env = FpEnv::paper();
+  (void)mul(testing::f32(0x1p-100f), testing::f32(0x1p-30f), env);
+  EXPECT_TRUE(env.any(kFlagUnderflow));
+  EXPECT_TRUE(env.any(kFlagInexact));
+}
+
+}  // namespace
+}  // namespace flopsim::fp

@@ -1,0 +1,197 @@
+// Fused multiply-add: host parity, special values, algebraic identities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.hpp"
+
+namespace flopsim::fp {
+namespace {
+
+using testing::BitsMatchHost;
+using testing::ValueGen;
+using testing::as_double;
+using testing::as_float;
+using testing::f32;
+using testing::f64;
+
+TEST(Fma, SimpleExact) {
+  FpEnv env = FpEnv::ieee();
+  EXPECT_EQ(fma(f32(2.0f), f32(3.0f), f32(4.0f), env).bits, f32(10.0f).bits);
+  EXPECT_EQ(env.flags, kFlagNone);
+}
+
+TEST(Fma, SingleRoundingBeatsTwoRoundings) {
+  // The defining property: a*b+c with one rounding differs from
+  // round(round(a*b)+c) on witnesses like this one.
+  FpEnv env = FpEnv::ieee();
+  const FpValue a = f64(1.0 + std::ldexp(1.0, -30));
+  const FpValue b = f64(1.0 + std::ldexp(1.0, -30));
+  const FpValue c = neg(f64(1.0 + std::ldexp(1.0, -29)));
+  const FpValue fused = fma(a, b, c, env);
+  const FpValue two_step = add(mul(a, b, env), c, env);
+  const double host = std::fma(as_double(a), as_double(b), as_double(c));
+  EXPECT_TRUE(BitsMatchHost(fused, host));
+  EXPECT_NE(fused.bits, two_step.bits);
+}
+
+TEST(Fma, HostParityUniformBits64) {
+  ValueGen gen(FpFormat::binary64(), 0xf3a1);
+  for (int i = 0; i < 200000; ++i) {
+    const FpValue a = gen.uniform_bits();
+    const FpValue b = gen.uniform_bits();
+    const FpValue c = gen.uniform_bits();
+    FpEnv env = FpEnv::ieee();
+    const FpValue r = fma(a, b, c, env);
+    const double host = std::fma(as_double(a), as_double(b), as_double(c));
+    ASSERT_TRUE(BitsMatchHost(r, host))
+        << to_string(a) << " " << to_string(b) << " " << to_string(c);
+  }
+}
+
+TEST(Fma, HostParityUniformBits32) {
+  ValueGen gen(FpFormat::binary32(), 0xf3a2);
+  for (int i = 0; i < 200000; ++i) {
+    const FpValue a = gen.uniform_bits();
+    const FpValue b = gen.uniform_bits();
+    const FpValue c = gen.uniform_bits();
+    FpEnv env = FpEnv::ieee();
+    const FpValue r = fma(a, b, c, env);
+    const float host = std::fmaf(as_float(a), as_float(b), as_float(c));
+    ASSERT_TRUE(BitsMatchHost(r, host))
+        << to_string(a) << " " << to_string(b) << " " << to_string(c);
+  }
+}
+
+TEST(Fma, HostParityCancellation) {
+  // Correlated exponents force the near-total-cancellation paths where the
+  // 128-bit frame has to be exact.
+  ValueGen gen(FpFormat::binary64(), 0xf3a3);
+  for (int i = 0; i < 200000; ++i) {
+    const auto [a, b] = gen.correlated_pair();
+    FpEnv env0 = FpEnv::ieee();
+    const FpValue c = neg(mul(a, b, env0));  // c ~ -a*b
+    FpEnv env = FpEnv::ieee();
+    const FpValue r = fma(a, b, c, env);
+    const double host = std::fma(as_double(a), as_double(b), as_double(c));
+    ASSERT_TRUE(BitsMatchHost(r, host))
+        << to_string(a) << " " << to_string(b) << " " << to_string(c);
+  }
+}
+
+TEST(Fma, ResidualIsExact) {
+  // fma(a, b, -round(a*b)) yields the exact rounding error of the product —
+  // the classic two-product trick must come out exact (inexact flag clear).
+  ValueGen gen(FpFormat::binary64(), 0xf3a4);
+  for (int i = 0; i < 20000; ++i) {
+    const FpValue a = gen.near_exp(1023, 100);
+    const FpValue b = gen.near_exp(1023, 100);
+    FpEnv env = FpEnv::ieee();
+    const FpValue p = mul(a, b, env);
+    env.clear_flags();
+    const FpValue r = fma(a, b, neg(p), env);
+    ASSERT_FALSE(env.any(kFlagInexact))
+        << to_string(a) << " " << to_string(b) << " residual "
+        << to_string(r);
+  }
+}
+
+TEST(Fma, ZeroAddendMatchesMul) {
+  ValueGen gen(FpFormat::binary48(), 0xf3a5);
+  const FpValue zero = make_zero(FpFormat::binary48());
+  for (int i = 0; i < 50000; ++i) {
+    const FpValue a = gen.uniform_bits();
+    const FpValue b = gen.uniform_bits();
+    if (a.is_nan() || b.is_nan()) continue;
+    FpEnv e1 = FpEnv::ieee();
+    FpEnv e2 = FpEnv::ieee();
+    const FpValue r1 = fma(a, b, zero, e1);
+    const FpValue r2 = mul(a, b, e2);
+    if (r1.is_nan() || r2.is_nan()) {
+      ASSERT_EQ(r1.is_nan(), r2.is_nan());
+      continue;
+    }
+    // Signs of exact zero results may differ (0*x + 0 rules); values match.
+    if (!(r1.is_zero() && r2.is_zero())) {
+      ASSERT_EQ(r1.bits, r2.bits) << to_string(a) << " " << to_string(b);
+    }
+  }
+}
+
+TEST(Fma, UnitMultiplierMatchesAdd) {
+  ValueGen gen(FpFormat::binary32(), 0xf3a6);
+  const FpValue one = make_one(FpFormat::binary32());
+  for (int i = 0; i < 50000; ++i) {
+    const auto [a, c] = gen.correlated_pair();
+    FpEnv e1 = FpEnv::ieee();
+    FpEnv e2 = FpEnv::ieee();
+    ASSERT_EQ(fma(a, one, c, e1).bits, add(a, c, e2).bits)
+        << to_string(a) << " " << to_string(c);
+  }
+}
+
+TEST(Fma, InfAndNaNRules) {
+  const FpFormat fmt = FpFormat::binary64();
+  const FpValue inf = make_inf(fmt);
+  const FpValue zero = make_zero(fmt);
+  const FpValue one = make_one(fmt);
+  {
+    FpEnv env = FpEnv::ieee();
+    EXPECT_TRUE(fma(inf, zero, one, env).is_nan());
+    EXPECT_TRUE(env.any(kFlagInvalid));
+  }
+  {
+    // 0 * inf + qNaN: NaN result AND invalid.
+    FpEnv env = FpEnv::ieee();
+    EXPECT_TRUE(fma(zero, inf, make_qnan(fmt), env).is_nan());
+    EXPECT_TRUE(env.any(kFlagInvalid));
+  }
+  {
+    // inf * 1 + (-inf): invalid.
+    FpEnv env = FpEnv::ieee();
+    EXPECT_TRUE(fma(inf, one, neg(inf), env).is_nan());
+    EXPECT_TRUE(env.any(kFlagInvalid));
+  }
+  {
+    // inf * 1 + inf = inf.
+    FpEnv env = FpEnv::ieee();
+    EXPECT_TRUE(fma(inf, one, inf, env).is_inf());
+    EXPECT_FALSE(env.any(kFlagInvalid));
+  }
+  {
+    // finite * finite + inf = inf (c's sign).
+    FpEnv env = FpEnv::ieee();
+    const FpValue r = fma(one, one, neg(inf), env);
+    EXPECT_TRUE(r.is_inf());
+    EXPECT_TRUE(r.sign());
+  }
+}
+
+TEST(Fma, ExactCancellationSign) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue r = fma(f32(2.0f), f32(3.0f), f32(-6.0f), env);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_FALSE(r.sign());
+  FpEnv down = FpEnv::ieee(RoundingMode::kTowardNegative);
+  const FpValue r2 = fma(f32(2.0f), f32(3.0f), f32(-6.0f), down);
+  EXPECT_TRUE(r2.is_zero());
+  EXPECT_TRUE(r2.sign());
+}
+
+TEST(Fma, PaperEnvFlushes) {
+  FpEnv env = FpEnv::paper();
+  // Product in the subnormal range flushes even with a zero addend.
+  const FpValue r = fma(f32(0x1p-100f), f32(0x1p-30f),
+                        make_zero(FpFormat::binary32()), env);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_TRUE(env.any(kFlagUnderflow));
+}
+
+TEST(Fma, MismatchedFormatsThrow) {
+  FpEnv env = FpEnv::ieee();
+  EXPECT_THROW(fma(f32(1.0f), f32(1.0f), f64(1.0), env),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flopsim::fp

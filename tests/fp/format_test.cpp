@@ -1,0 +1,80 @@
+#include "fp/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace flopsim::fp {
+namespace {
+
+TEST(Format, Binary32Fields) {
+  const FpFormat f = FpFormat::binary32();
+  EXPECT_EQ(f.exp_bits(), 8);
+  EXPECT_EQ(f.frac_bits(), 23);
+  EXPECT_EQ(f.total_bits(), 32);
+  EXPECT_EQ(f.sig_bits(), 24);
+  EXPECT_EQ(f.bias(), 127);
+  EXPECT_EQ(f.max_biased_exp(), 255);
+  EXPECT_EQ(f.max_finite_exp(), 254);
+  EXPECT_EQ(f.frac_mask(), 0x007fffffu);
+  EXPECT_EQ(f.exp_mask(), 0x7f800000u);
+  EXPECT_EQ(f.sign_mask(), 0x80000000u);
+  EXPECT_EQ(f.bits_mask(), 0xffffffffu);
+  EXPECT_EQ(f.quiet_bit(), 0x00400000u);
+}
+
+TEST(Format, Binary64Fields) {
+  const FpFormat f = FpFormat::binary64();
+  EXPECT_EQ(f.total_bits(), 64);
+  EXPECT_EQ(f.bias(), 1023);
+  EXPECT_EQ(f.max_biased_exp(), 2047);
+  EXPECT_EQ(f.sign_mask(), 0x8000000000000000ull);
+  EXPECT_EQ(f.exp_mask(), 0x7ff0000000000000ull);
+  EXPECT_EQ(f.frac_mask(), 0x000fffffffffffffull);
+}
+
+TEST(Format, Binary48Fields) {
+  // The paper's middle precision: binary64 exponent range, 36-bit fraction.
+  const FpFormat f = FpFormat::binary48();
+  EXPECT_EQ(f.total_bits(), 48);
+  EXPECT_EQ(f.exp_bits(), 11);
+  EXPECT_EQ(f.frac_bits(), 36);
+  EXPECT_EQ(f.bias(), 1023);
+}
+
+TEST(Format, SmallPresets) {
+  EXPECT_EQ(FpFormat::binary16().total_bits(), 16);
+  EXPECT_EQ(FpFormat::binary16().bias(), 15);
+  EXPECT_EQ(FpFormat::bfloat16().total_bits(), 16);
+  EXPECT_EQ(FpFormat::bfloat16().bias(), 127);
+}
+
+TEST(Format, CustomAccepted) {
+  const FpFormat f(6, 17);
+  EXPECT_EQ(f.total_bits(), 24);
+  EXPECT_EQ(f.bias(), 31);
+}
+
+TEST(Format, InvalidRejected) {
+  EXPECT_THROW(FpFormat(1, 10), std::invalid_argument);   // exp too small
+  EXPECT_THROW(FpFormat(16, 10), std::invalid_argument);  // exp too large
+  EXPECT_THROW(FpFormat(8, 0), std::invalid_argument);    // no fraction
+  EXPECT_THROW(FpFormat(8, 53), std::invalid_argument);   // frac too large
+  EXPECT_THROW(FpFormat(15, 52), std::invalid_argument);  // total > 64
+}
+
+TEST(Format, Equality) {
+  EXPECT_EQ(FpFormat::binary32(), FpFormat(8, 23));
+  EXPECT_NE(FpFormat::binary32(), FpFormat::bfloat16());
+  EXPECT_NE(FpFormat(8, 23), FpFormat(8, 24));
+}
+
+TEST(Format, Names) {
+  EXPECT_EQ(FpFormat::binary32().name(), "binary32");
+  EXPECT_EQ(FpFormat::binary48().name(), "binary48");
+  EXPECT_EQ(FpFormat::binary64().name(), "binary64");
+  EXPECT_EQ(FpFormat(6, 17).name(), "fp<e6,f17>");
+}
+
+}  // namespace
+}  // namespace flopsim::fp

@@ -1,0 +1,135 @@
+// Directed multiplication cases.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace flopsim::fp {
+namespace {
+
+using testing::f32;
+
+TEST(Mul, SimpleExact) {
+  FpEnv env = FpEnv::ieee();
+  EXPECT_EQ(mul(f32(3.0f), f32(4.0f), env).bits, f32(12.0f).bits);
+  EXPECT_EQ(env.flags, kFlagNone);
+}
+
+TEST(Mul, SignRules) {
+  FpEnv env = FpEnv::ieee();
+  EXPECT_FALSE(mul(f32(2.0f), f32(3.0f), env).sign());
+  EXPECT_TRUE(mul(f32(-2.0f), f32(3.0f), env).sign());
+  EXPECT_TRUE(mul(f32(2.0f), f32(-3.0f), env).sign());
+  EXPECT_FALSE(mul(f32(-2.0f), f32(-3.0f), env).sign());
+}
+
+TEST(Mul, PowerOfTwoIsExact) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue x = f32(1.7182817f);
+  const FpValue r = mul(x, f32(0.5f), env);
+  EXPECT_EQ(r.bits, f32(1.7182817f * 0.5f).bits);
+  EXPECT_FALSE(env.any(kFlagInexact));
+}
+
+TEST(Mul, ByOneIsIdentity) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue one = make_one(FpFormat::binary32());
+  for (float v : {0.0f, -0.0f, 1.0f, -123.75f, 3.4e38f, 1e-40f}) {
+    EXPECT_EQ(mul(f32(v), one, env).bits, f32(v).bits) << v;
+  }
+  EXPECT_EQ(env.flags, kFlagNone);
+}
+
+TEST(Mul, ByZeroGivesSignedZero) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue z = make_zero(FpFormat::binary32());
+  EXPECT_FALSE(mul(f32(5.0f), z, env).sign());
+  EXPECT_TRUE(mul(f32(-5.0f), z, env).sign());
+  EXPECT_TRUE(mul(f32(5.0f), neg(z), env).sign());
+}
+
+TEST(Mul, InfTimesZeroIsInvalid) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue r =
+      mul(make_inf(FpFormat::binary32()), make_zero(FpFormat::binary32()), env);
+  EXPECT_TRUE(r.is_nan());
+  EXPECT_TRUE(env.any(kFlagInvalid));
+}
+
+TEST(Mul, InfTimesFiniteIsInf) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue r = mul(make_inf(FpFormat::binary32()), f32(-2.0f), env);
+  EXPECT_TRUE(r.is_inf());
+  EXPECT_TRUE(r.sign());
+  EXPECT_FALSE(env.any(kFlagInvalid));
+}
+
+TEST(Mul, OverflowRaisesAndRespectsRounding) {
+  const FpValue big = f32(2e38f);
+  {
+    FpEnv env = FpEnv::ieee();
+    EXPECT_TRUE(mul(big, big, env).is_inf());
+    EXPECT_TRUE(env.any(kFlagOverflow));
+  }
+  {
+    FpEnv env = FpEnv::ieee(RoundingMode::kTowardZero);
+    EXPECT_EQ(mul(big, big, env).bits,
+              make_max_finite(FpFormat::binary32()).bits);
+  }
+}
+
+TEST(Mul, UnderflowToSubnormal) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue tiny = f32(0x1p-100f);
+  const FpValue r = mul(tiny, f32(0x1p-30f), env);  // 2^-130: subnormal
+  EXPECT_TRUE(r.is_subnormal());
+  EXPECT_EQ(r.bits, f32(0x1p-130f).bits);
+}
+
+TEST(Mul, UnderflowToZeroRaisesUnderflow) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue tiny = f32(0x1p-126f);
+  const FpValue r = mul(tiny, f32(0x1p-80f), env);  // 2^-206: below range
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_TRUE(env.any(kFlagUnderflow));
+  EXPECT_TRUE(env.any(kFlagInexact));
+}
+
+TEST(Mul, SubnormalTimesLargeRecovers) {
+  FpEnv env = FpEnv::ieee();
+  // Smallest subnormal (2^-149) times 2^100 = 2^-49, a normal number.
+  const FpValue snm = FpValue(1, FpFormat::binary32());
+  const FpValue r = mul(snm, f32(0x1p100f), env);
+  EXPECT_EQ(r.bits, f32(0x1p-49f).bits);
+  EXPECT_FALSE(env.any(kFlagInexact));
+}
+
+TEST(Mul, RoundTiesToEven) {
+  // (1 + 2^-23)^2 = 1 + 2^-22 + 2^-46; the 2^-46 tail ties... not a tie:
+  // it rounds down to 1 + 2^-22 under RNE (tail below guard is 2^-46 < half
+  // of 2^-23 ulp at result exponent 0).
+  FpEnv env = FpEnv::ieee();
+  const FpValue a = FpValue(f32(1.0f).bits + 1, FpFormat::binary32());
+  const FpValue r = mul(a, a, env);
+  EXPECT_EQ(r.bits, f32(1.0f).bits + 2);
+  EXPECT_TRUE(env.any(kFlagInexact));
+}
+
+TEST(Mul, Binary48MantissaWidth) {
+  // (2^18 + 1)^2 = 2^36 + 2^19 + 1 fits exactly in a 36-bit fraction
+  // (37-bit significand).
+  const FpFormat fmt = FpFormat::binary48();
+  FpEnv env = FpEnv::ieee();
+  const FpValue x = from_double(262145.0, fmt, env);  // 2^18 + 1
+  const FpValue r = mul(x, x, env);
+  EXPECT_EQ(to_double_exact(r), 262145.0 * 262145.0);
+  EXPECT_FALSE(env.any(kFlagInexact));
+}
+
+TEST(Mul, MismatchedFormatsThrow) {
+  FpEnv env = FpEnv::ieee();
+  EXPECT_THROW(mul(f32(1.0f), make_one(FpFormat::binary64()), env),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flopsim::fp

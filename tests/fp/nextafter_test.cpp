@@ -1,0 +1,96 @@
+// next_up / next_down / ulp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.hpp"
+
+namespace flopsim::fp {
+namespace {
+
+using testing::as_double;
+using testing::as_float;
+using testing::f32;
+using testing::f64;
+
+TEST(NextAfter, MatchesHostNextafter32) {
+  testing::ValueGen gen(FpFormat::binary32(), 0x0a1);
+  for (int i = 0; i < 100000; ++i) {
+    const FpValue a = gen.uniform_bits();
+    if (a.is_nan()) continue;
+    const FpValue up = next_up(a);
+    const FpValue dn = next_down(a);
+    const float host_up =
+        std::nextafterf(as_float(a), std::numeric_limits<float>::infinity());
+    const float host_dn =
+        std::nextafterf(as_float(a), -std::numeric_limits<float>::infinity());
+    if (!a.is_inf()) {
+      ASSERT_TRUE(testing::BitsMatchHost(up, host_up)) << to_string(a);
+      ASSERT_TRUE(testing::BitsMatchHost(dn, host_dn)) << to_string(a);
+    }
+  }
+}
+
+TEST(NextAfter, MatchesHostNextafter64) {
+  testing::ValueGen gen(FpFormat::binary64(), 0x0a2);
+  for (int i = 0; i < 100000; ++i) {
+    const FpValue a = gen.uniform_bits();
+    if (a.is_nan() || a.is_inf()) continue;
+    ASSERT_TRUE(testing::BitsMatchHost(
+        next_up(a),
+        std::nextafter(as_double(a),
+                       std::numeric_limits<double>::infinity())))
+        << to_string(a);
+  }
+}
+
+TEST(NextAfter, EdgeCases) {
+  const FpFormat fmt = FpFormat::binary32();
+  // +inf saturates up; steps down to max finite.
+  EXPECT_TRUE(next_up(make_inf(fmt)).is_inf());
+  EXPECT_EQ(next_down(make_inf(fmt)).bits, make_max_finite(fmt).bits);
+  // -0 steps up to the smallest positive subnormal.
+  EXPECT_EQ(next_up(make_zero(fmt, true)).bits, 1u);
+  EXPECT_EQ(next_up(make_zero(fmt, false)).bits, 1u);
+  // Largest subnormal steps up into the normals.
+  const FpValue max_sub(fmt.frac_mask(), fmt);
+  EXPECT_EQ(next_up(max_sub).bits, make_min_normal(fmt).bits);
+  // NaN passes through.
+  EXPECT_TRUE(next_up(make_qnan(fmt)).is_nan());
+  // Round trip.
+  EXPECT_EQ(next_down(next_up(f32(1.5f))).bits, f32(1.5f).bits);
+}
+
+TEST(NextAfter, UlpAgainstDefinition) {
+  // ulp(v) == next_up(|v|) - |v| for finite non-max values.
+  testing::ValueGen gen(FpFormat::binary48(), 0x0a3);
+  for (int i = 0; i < 50000; ++i) {
+    const FpValue a = gen.uniform_bits();
+    if (a.is_nan() || a.is_inf()) continue;
+    const FpValue mag = abs(a);
+    if (mag.bits == make_max_finite(FpFormat::binary48()).bits) continue;
+    FpEnv env = FpEnv::ieee();
+    const FpValue diff = sub(next_up(mag), mag, env);
+    ASSERT_EQ(ulp(a).bits, diff.bits) << to_string(a);
+    ASSERT_FALSE(env.any(kFlagInexact));  // ulp is exactly representable
+  }
+}
+
+TEST(NextAfter, UlpKnownValues) {
+  EXPECT_EQ(testing::as_float(ulp(f32(1.0f))), 0x1p-23f);
+  EXPECT_EQ(testing::as_float(ulp(f32(-2.0f))), 0x1p-22f);
+  EXPECT_EQ(ulp(make_zero(FpFormat::binary32())).bits, 1u);
+  EXPECT_TRUE(ulp(make_inf(FpFormat::binary32())).is_inf());
+  EXPECT_TRUE(ulp(make_qnan(FpFormat::binary32())).is_inf());
+  // Values just above the normal threshold: spacing is subnormal-sized.
+  const FpValue just_normal = make_min_normal(FpFormat::binary32());
+  EXPECT_EQ(ulp(just_normal).bits, 1u);
+  // A value whose binade spacing lands in the subnormal range.
+  const FpValue small = compose(FpFormat::binary32(), false, 5, 0);  // 2^-122
+  const FpValue u = ulp(small);
+  EXPECT_TRUE(u.is_subnormal());
+  EXPECT_EQ(to_double_exact(u), std::ldexp(1.0, 5 - 127 - 23));
+}
+
+}  // namespace
+}  // namespace flopsim::fp

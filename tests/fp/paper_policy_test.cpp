@@ -1,0 +1,121 @@
+// The paper's hardware policy: flush-to-zero subnormals, no NaN support,
+// only round-to-nearest and truncation. FpEnv::paper() must reproduce it.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace flopsim::fp {
+namespace {
+
+using testing::f32;
+
+TEST(PaperPolicy, SubnormalInputsReadAsZero) {
+  FpEnv env = FpEnv::paper();
+  const FpValue sub = FpValue(0x00400000, FpFormat::binary32());  // large subnormal
+  const FpValue r = add(sub, sub, env);
+  // With inputs flushed, 0 + 0 = 0 (host would give a normal 2^-125... no,
+  // 2*0x00400000 stays subnormal; either way paper mode must give zero).
+  EXPECT_TRUE(r.is_zero());
+}
+
+TEST(PaperPolicy, SubnormalResultsFlushToZero) {
+  FpEnv env = FpEnv::paper();
+  const FpValue a = f32(0x1p-100f);
+  const FpValue b = f32(0x1p-30f);
+  const FpValue r = mul(a, b, env);  // true value 2^-130 is subnormal
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_TRUE(env.any(kFlagUnderflow));
+}
+
+TEST(PaperPolicy, MinNormalResultSurvives) {
+  FpEnv env = FpEnv::paper();
+  const FpValue r = mul(f32(0x1p-100f), f32(0x1p-26f), env);  // 2^-126
+  EXPECT_EQ(r.bits, make_min_normal(FpFormat::binary32()).bits);
+  EXPECT_FALSE(env.any(kFlagUnderflow));
+}
+
+TEST(PaperPolicy, InvalidProducesInfinityNotNaN) {
+  FpEnv env = FpEnv::paper();
+  const FpValue inf = make_inf(FpFormat::binary32());
+  const FpValue r = sub(inf, inf, env);
+  EXPECT_TRUE(r.is_inf());
+  EXPECT_FALSE(r.is_nan());
+  EXPECT_TRUE(env.any(kFlagInvalid));
+}
+
+TEST(PaperPolicy, NaNEncodingsReadAsInfinity) {
+  FpEnv env = FpEnv::paper();
+  const FpValue nan_bits = make_qnan(FpFormat::binary32());
+  const FpValue r = add(nan_bits, f32(1.0f), env);
+  EXPECT_TRUE(r.is_inf());
+}
+
+TEST(PaperPolicy, TruncationNeverIncreasesMagnitude) {
+  FpEnv env = FpEnv::paper(RoundingMode::kTowardZero);
+  testing::ValueGen gen(FpFormat::binary32(), 77);
+  for (int i = 0; i < 50000; ++i) {
+    const auto [a, b] = gen.correlated_pair();
+    FpEnv trunc_env = FpEnv::paper(RoundingMode::kTowardZero);
+    FpEnv rne_env = FpEnv::paper(RoundingMode::kNearestEven);
+    const FpValue rt = mul(a, b, trunc_env);
+    const FpValue rn = mul(a, b, rne_env);
+    if (rt.is_finite() && rn.is_finite()) {
+      ASSERT_LE(std::abs(to_double_exact(rt)), std::abs(to_double_exact(rn)) *
+                                                   (1 + 1e-6))
+          << to_string(a) << " * " << to_string(b);
+    }
+  }
+  (void)env;
+}
+
+TEST(PaperPolicy, TruncatedAddMatchesHostTowardZeroOnNormals) {
+  // On operands and results in the normal range, paper-mode truncation must
+  // equal IEEE round-toward-zero.
+  testing::ValueGen gen(FpFormat::binary32(), 78);
+  for (int i = 0; i < 50000; ++i) {
+    const auto [a, b] = gen.correlated_pair();
+    FpEnv paper_env = FpEnv::paper(RoundingMode::kTowardZero);
+    FpEnv ieee_env = FpEnv::ieee(RoundingMode::kTowardZero);
+    const FpValue rp = add(a, b, paper_env);
+    const FpValue ri = add(a, b, ieee_env);
+    if (!ri.is_subnormal() && !rp.is_zero()) {
+      ASSERT_EQ(rp.bits, ri.bits)
+          << to_string(a) << " + " << to_string(b);
+    }
+  }
+}
+
+TEST(PaperPolicy, AgreesWithIeeeOnNormalRange) {
+  // Away from subnormals and NaNs the paper cores compute IEEE results:
+  // the paper's only numeric deviations are at the format edges.
+  testing::ValueGen gen(FpFormat::binary64(), 79);
+  for (int i = 0; i < 100000; ++i) {
+    const auto [a, b] = gen.correlated_pair();
+    FpEnv paper_env = FpEnv::paper();
+    FpEnv ieee_env = FpEnv::ieee();
+    const FpValue rp = add(a, b, paper_env);
+    const FpValue ri = add(a, b, ieee_env);
+    if (!ri.is_subnormal()) {
+      ASSERT_EQ(rp.bits, ri.bits);
+    }
+    const FpValue mp = mul(a, b, paper_env);
+    const FpValue mi = mul(a, b, ieee_env);
+    if (!mi.is_subnormal()) {
+      ASSERT_EQ(mp.bits, mi.bits);
+    }
+  }
+}
+
+TEST(PaperPolicy, ExceptionFlagsCarryAcrossOps) {
+  // The paper: "At every stage exceptions are detected and carried forward".
+  FpEnv env = FpEnv::paper();
+  const FpValue maxf = make_max_finite(FpFormat::binary32());
+  (void)mul(maxf, maxf, env);                      // overflow
+  (void)mul(f32(0x1p-100f), f32(0x1p-100f), env);  // underflow
+  EXPECT_TRUE(env.any(kFlagOverflow));
+  EXPECT_TRUE(env.any(kFlagUnderflow));
+  EXPECT_TRUE(env.any(kFlagInexact));
+}
+
+}  // namespace
+}  // namespace flopsim::fp

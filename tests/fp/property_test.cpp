@@ -1,0 +1,255 @@
+// Property-based sweeps over all supported formats (TEST_P), exercising
+// algebraic invariants the arithmetic must satisfy in any precision —
+// including binary48, which has no host twin to compare against.
+#include <gtest/gtest.h>
+
+#include <cfenv>
+
+#include "test_util.hpp"
+
+namespace flopsim::fp {
+namespace {
+
+using testing::ValueGen;
+
+class FormatPropertyTest : public ::testing::TestWithParam<FpFormat> {
+ protected:
+  FpFormat fmt() const { return GetParam(); }
+};
+
+TEST_P(FormatPropertyTest, AdditionCommutes) {
+  ValueGen gen(fmt(), 0x900d0001);
+  for (int i = 0; i < 20000; ++i) {
+    const auto [a, b] = gen.correlated_pair();
+    FpEnv e1 = FpEnv::ieee();
+    FpEnv e2 = FpEnv::ieee();
+    ASSERT_EQ(add(a, b, e1).bits, add(b, a, e2).bits)
+        << to_string(a) << " " << to_string(b);
+    ASSERT_EQ(e1.flags, e2.flags);
+  }
+}
+
+TEST_P(FormatPropertyTest, MultiplicationCommutes) {
+  ValueGen gen(fmt(), 0x900d0002);
+  for (int i = 0; i < 20000; ++i) {
+    const FpValue a = gen.uniform_bits();
+    const FpValue b = gen.uniform_bits();
+    FpEnv e1 = FpEnv::ieee();
+    FpEnv e2 = FpEnv::ieee();
+    const FpValue r1 = mul(a, b, e1);
+    const FpValue r2 = mul(b, a, e2);
+    if (r1.is_nan()) {
+      ASSERT_TRUE(r2.is_nan());
+    } else {
+      ASSERT_EQ(r1.bits, r2.bits) << to_string(a) << " " << to_string(b);
+    }
+  }
+}
+
+TEST_P(FormatPropertyTest, AddZeroIsIdentityForNonzero) {
+  ValueGen gen(fmt(), 0x900d0003);
+  const FpValue zero = make_zero(fmt());
+  for (int i = 0; i < 20000; ++i) {
+    const FpValue a = gen.near_exp(fmt().bias(), fmt().bias() - 1);
+    FpEnv env = FpEnv::ieee();
+    ASSERT_EQ(add(a, zero, env).bits, a.bits) << to_string(a);
+    ASSERT_EQ(env.flags, kFlagNone);
+  }
+}
+
+TEST_P(FormatPropertyTest, MulOneIsIdentity) {
+  ValueGen gen(fmt(), 0x900d0004);
+  const FpValue one = make_one(fmt());
+  for (int i = 0; i < 20000; ++i) {
+    const FpValue a = gen.uniform_bits();
+    if (a.is_nan()) continue;
+    FpEnv env = FpEnv::ieee();
+    ASSERT_EQ(mul(a, one, env).bits, a.bits) << to_string(a);
+  }
+}
+
+TEST_P(FormatPropertyTest, SubSelfIsZero) {
+  ValueGen gen(fmt(), 0x900d0005);
+  for (int i = 0; i < 20000; ++i) {
+    const FpValue a = gen.uniform_bits();
+    if (!a.is_finite()) continue;
+    FpEnv env = FpEnv::ieee();
+    const FpValue r = sub(a, a, env);
+    ASSERT_TRUE(r.is_zero()) << to_string(a);
+    ASSERT_FALSE(r.sign());
+  }
+}
+
+TEST_P(FormatPropertyTest, NegationAntiCommutes) {
+  // a - b == -(b - a) bit-for-bit except at exact zero (sign of zero).
+  ValueGen gen(fmt(), 0x900d0006);
+  for (int i = 0; i < 20000; ++i) {
+    const auto [a, b] = gen.correlated_pair();
+    FpEnv e1 = FpEnv::ieee();
+    FpEnv e2 = FpEnv::ieee();
+    const FpValue r1 = sub(a, b, e1);
+    const FpValue r2 = neg(sub(b, a, e2));
+    if (r1.is_zero() && r2.is_zero()) continue;
+    ASSERT_EQ(r1.bits, r2.bits) << to_string(a) << " " << to_string(b);
+  }
+}
+
+TEST_P(FormatPropertyTest, RoundingEnvelope) {
+  // For every rounding mode, the result lies within one ulp of the nearest
+  // mode's result, and directed modes bracket it.
+  ValueGen gen(fmt(), 0x900d0007);
+  for (int i = 0; i < 10000; ++i) {
+    const auto [a, b] = gen.correlated_pair();
+    FpEnv rne = FpEnv::ieee(RoundingMode::kNearestEven);
+    FpEnv rtz = FpEnv::ieee(RoundingMode::kTowardZero);
+    FpEnv rup = FpEnv::ieee(RoundingMode::kTowardPositive);
+    FpEnv rdn = FpEnv::ieee(RoundingMode::kTowardNegative);
+    const double n = to_double_exact(add(a, b, rne));
+    const double z = to_double_exact(add(a, b, rtz));
+    const double u = to_double_exact(add(a, b, rup));
+    const double d = to_double_exact(add(a, b, rdn));
+    ASSERT_LE(d, u) << to_string(a) << " " << to_string(b);
+    ASSERT_GE(n, d);
+    ASSERT_LE(n, z == 0 ? u : u);  // n within [d, u]
+    ASSERT_LE(std::abs(z), std::max(std::abs(d), std::abs(u)));
+  }
+}
+
+TEST_P(FormatPropertyTest, SqrtSquareWithinOneUlp) {
+  ValueGen gen(fmt(), 0x900d0008);
+  for (int i = 0; i < 10000; ++i) {
+    // Positive values away from overflow: exp in middle half of the range.
+    const FpValue a =
+        abs(gen.near_exp(fmt().bias(), std::max(1, fmt().bias() / 2)));
+    FpEnv env = FpEnv::ieee();
+    const FpValue s = sqrt(a, env);
+    const FpValue back = mul(s, s, env);
+    const double rel = std::abs(to_double_exact(back) - to_double_exact(a));
+    const double tol =
+        std::abs(to_double_exact(a)) * std::ldexp(4.0, -fmt().frac_bits());
+    ASSERT_LE(rel, tol) << to_string(a);
+  }
+}
+
+TEST_P(FormatPropertyTest, DivMulRoundTripWithinUlps) {
+  ValueGen gen(fmt(), 0x900d0009);
+  for (int i = 0; i < 10000; ++i) {
+    const FpValue a = gen.near_exp(fmt().bias(), fmt().bias() / 3);
+    const FpValue b = gen.near_exp(fmt().bias(), fmt().bias() / 3);
+    if (b.is_zero()) continue;
+    FpEnv env = FpEnv::ieee();
+    const FpValue q = div(a, b, env);
+    const FpValue back = mul(q, b, env);
+    const double rel =
+        std::abs(to_double_exact(back) - to_double_exact(a));
+    const double tol =
+        std::abs(to_double_exact(a)) * std::ldexp(4.0, -fmt().frac_bits());
+    ASSERT_LE(rel, tol) << to_string(a) << " " << to_string(b);
+  }
+}
+
+TEST_P(FormatPropertyTest, ConversionThroughWiderIsLossless) {
+  if (fmt() == FpFormat::binary64()) return;
+  ValueGen gen(fmt(), 0x900d000a);
+  for (int i = 0; i < 20000; ++i) {
+    const FpValue a = gen.uniform_bits();
+    if (a.is_nan()) continue;
+    FpEnv env = FpEnv::ieee();
+    const FpValue wide = convert(a, FpFormat::binary64(), env);
+    const FpValue back = convert(wide, fmt(), env);
+    ASSERT_EQ(back.bits, a.bits) << to_string(a);
+    ASSERT_FALSE(env.any(kFlagInexact));
+  }
+}
+
+TEST_P(FormatPropertyTest, AdditionMonotoneInFirstArgument) {
+  ValueGen gen(fmt(), 0x900d000b);
+  for (int i = 0; i < 10000; ++i) {
+    const auto [a, c] = gen.correlated_pair();
+    const FpValue b = gen.near_exp(a.biased_exp(), 3);
+    FpEnv e1 = FpEnv::ieee();
+    FpEnv e2 = FpEnv::ieee();
+    const double fa = to_double_exact(a);
+    const double fb = to_double_exact(b);
+    const double r1 = to_double_exact(add(a, c, e1));
+    const double r2 = to_double_exact(add(b, c, e2));
+    if (fa <= fb) {
+      ASSERT_LE(r1, r2) << to_string(a) << " " << to_string(b) << " "
+                        << to_string(c);
+    } else {
+      ASSERT_GE(r1, r2);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, FormatPropertyTest,
+                         ::testing::Values(FpFormat::binary32(),
+                                           FpFormat::binary48(),
+                                           FpFormat::binary64(),
+                                           FpFormat::binary16(),
+                                           FpFormat::bfloat16(),
+                                           FpFormat(6, 17)),
+                         [](const ::testing::TestParamInfo<FpFormat>& info) {
+                           std::string n = info.param.name();
+                           for (char& c : n) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+// Host rounding-mode parity: run the host FPU in each directed mode and
+// compare bit-for-bit. Volatile operands keep the compiler from folding
+// operations at translation time under the default rounding mode.
+class HostRoundingTest : public ::testing::TestWithParam<RoundingMode> {};
+
+int host_mode(RoundingMode m) {
+  switch (m) {
+    case RoundingMode::kNearestEven: return FE_TONEAREST;
+    case RoundingMode::kTowardZero: return FE_TOWARDZERO;
+    case RoundingMode::kTowardPositive: return FE_UPWARD;
+    case RoundingMode::kTowardNegative: return FE_DOWNWARD;
+  }
+  return FE_TONEAREST;
+}
+
+TEST_P(HostRoundingTest, AddMulParity) {
+  const RoundingMode mode = GetParam();
+  ValueGen gen(FpFormat::binary64(), 0x5eed2000 + static_cast<int>(mode));
+  ASSERT_EQ(std::fesetround(host_mode(mode)), 0);
+  for (int i = 0; i < 50000; ++i) {
+    const auto [a, b] = gen.correlated_pair();
+    volatile double va = testing::as_double(a);
+    volatile double vb = testing::as_double(b);
+    const double hadd = va + vb;
+    const double hmul = va * vb;
+    FpEnv e1 = FpEnv::ieee(mode);
+    FpEnv e2 = FpEnv::ieee(mode);
+    const FpValue radd = add(a, b, e1);
+    const FpValue rmul = mul(a, b, e2);
+    if (!testing::BitsMatchHost(radd, hadd) ||
+        !testing::BitsMatchHost(rmul, hmul)) {
+      std::fesetround(FE_TONEAREST);
+      FAIL() << "mode=" << to_string(mode) << " a=" << to_string(a)
+             << " b=" << to_string(b);
+    }
+  }
+  std::fesetround(FE_TONEAREST);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, HostRoundingTest,
+                         ::testing::Values(RoundingMode::kNearestEven,
+                                           RoundingMode::kTowardZero,
+                                           RoundingMode::kTowardPositive,
+                                           RoundingMode::kTowardNegative),
+                         [](const ::testing::TestParamInfo<RoundingMode>& i) {
+                           std::string n = to_string(i.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace flopsim::fp

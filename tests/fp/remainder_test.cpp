@@ -1,0 +1,157 @@
+// IEEE remainder and roundToIntegral: host parity and directed cases.
+#include <gtest/gtest.h>
+
+#include <cfenv>
+#include <cmath>
+
+#include "test_util.hpp"
+
+namespace flopsim::fp {
+namespace {
+
+using testing::as_double;
+using testing::as_float;
+using testing::f32;
+using testing::f64;
+
+TEST(Remainder, HostParity64) {
+  testing::ValueGen gen(FpFormat::binary64(), 0x4e4);
+  for (int i = 0; i < 100000; ++i) {
+    const FpValue a = gen.uniform_bits();
+    const FpValue b = gen.uniform_bits();
+    FpEnv env = FpEnv::ieee();
+    const FpValue r = remainder(a, b, env);
+    const double host = std::remainder(as_double(a), as_double(b));
+    ASSERT_TRUE(testing::BitsMatchHost(r, host))
+        << to_string(a) << " rem " << to_string(b);
+  }
+}
+
+TEST(Remainder, HostParity32Correlated) {
+  testing::ValueGen gen(FpFormat::binary32(), 0x4e5);
+  for (int i = 0; i < 100000; ++i) {
+    const auto [a, b] = gen.correlated_pair();
+    FpEnv env = FpEnv::ieee();
+    const FpValue r = remainder(a, b, env);
+    const float host = std::remainderf(as_float(a), as_float(b));
+    ASSERT_TRUE(testing::BitsMatchHost(r, host))
+        << to_string(a) << " rem " << to_string(b);
+  }
+}
+
+TEST(Remainder, AlwaysExact) {
+  testing::ValueGen gen(FpFormat::binary48(), 0x4e6);
+  for (int i = 0; i < 50000; ++i) {
+    const auto [a, b] = gen.correlated_pair();
+    FpEnv env = FpEnv::ieee();
+    (void)remainder(a, b, env);
+    ASSERT_FALSE(env.any(kFlagInexact))
+        << to_string(a) << " rem " << to_string(b);
+  }
+}
+
+TEST(Remainder, Specials) {
+  const FpFormat fmt = FpFormat::binary64();
+  const FpValue inf = make_inf(fmt);
+  const FpValue zero = make_zero(fmt);
+  {
+    FpEnv env = FpEnv::ieee();
+    EXPECT_TRUE(remainder(inf, f64(2.0), env).is_nan());
+    EXPECT_TRUE(env.any(kFlagInvalid));
+  }
+  {
+    FpEnv env = FpEnv::ieee();
+    EXPECT_TRUE(remainder(f64(2.0), zero, env).is_nan());
+    EXPECT_TRUE(env.any(kFlagInvalid));
+  }
+  {
+    FpEnv env = FpEnv::ieee();
+    EXPECT_EQ(remainder(f64(-3.5), inf, env).bits, f64(-3.5).bits);
+    EXPECT_EQ(remainder(neg(zero), f64(3.0), env).bits, neg(zero).bits);
+  }
+}
+
+TEST(Remainder, KnownValues) {
+  FpEnv env = FpEnv::ieee();
+  EXPECT_EQ(as_double(remainder(f64(5.0), f64(2.0), env)), 1.0);
+  EXPECT_EQ(as_double(remainder(f64(6.0), f64(2.0), env)), 0.0);
+  EXPECT_EQ(as_double(remainder(f64(7.0), f64(2.0), env)), -1.0);  // ties even
+  EXPECT_EQ(as_double(remainder(f64(5.0), f64(-2.0), env)), 1.0);
+  EXPECT_EQ(as_double(remainder(f64(-5.0), f64(2.0), env)), -1.0);
+  // Zero result keeps a's sign.
+  const FpValue z = remainder(f64(-4.0), f64(2.0), env);
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_TRUE(z.sign());
+}
+
+class RintModeTest : public ::testing::TestWithParam<RoundingMode> {};
+
+int host_mode(RoundingMode m) {
+  switch (m) {
+    case RoundingMode::kNearestEven: return FE_TONEAREST;
+    case RoundingMode::kTowardZero: return FE_TOWARDZERO;
+    case RoundingMode::kTowardPositive: return FE_UPWARD;
+    case RoundingMode::kTowardNegative: return FE_DOWNWARD;
+  }
+  return FE_TONEAREST;
+}
+
+TEST_P(RintModeTest, HostParity) {
+  const RoundingMode mode = GetParam();
+  testing::ValueGen gen(FpFormat::binary64(), 0x417 + static_cast<int>(mode));
+  ASSERT_EQ(std::fesetround(host_mode(mode)), 0);
+  bool ok = true;
+  std::string failure;
+  for (int i = 0; i < 100000 && ok; ++i) {
+    const FpValue a = gen.uniform_bits();
+    FpEnv env = FpEnv::ieee(mode);
+    const FpValue r = round_to_integral(a, env);
+    volatile double va = as_double(a);
+    const double host = std::nearbyint(va);
+    if (!testing::BitsMatchHost(r, host)) {
+      ok = false;
+      failure = to_string(a);
+    }
+  }
+  std::fesetround(FE_TONEAREST);
+  EXPECT_TRUE(ok) << failure;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, RintModeTest,
+                         ::testing::Values(RoundingMode::kNearestEven,
+                                           RoundingMode::kTowardZero,
+                                           RoundingMode::kTowardPositive,
+                                           RoundingMode::kTowardNegative),
+                         [](const ::testing::TestParamInfo<RoundingMode>& i) {
+                           std::string n = to_string(i.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Rint, DirectedCases) {
+  FpEnv env = FpEnv::ieee();
+  EXPECT_EQ(as_double(round_to_integral(f64(2.5), env)), 2.0);   // ties even
+  EXPECT_EQ(as_double(round_to_integral(f64(3.5), env)), 4.0);
+  EXPECT_EQ(as_double(round_to_integral(f64(-0.4), env)), -0.0);
+  EXPECT_TRUE(round_to_integral(f64(-0.4), env).sign());  // signed zero
+  EXPECT_EQ(as_double(round_to_integral(f64(1e18), env)), 1e18);  // integral
+  EXPECT_TRUE(env.any(kFlagInexact));
+  env.clear_flags();
+  (void)round_to_integral(f64(4.0), env);
+  EXPECT_FALSE(env.any(kFlagInexact));  // exact input: no flag
+}
+
+TEST(Rint, SubnormalInput) {
+  FpEnv env = FpEnv::ieee();
+  const FpValue tiny(1, FpFormat::binary32());  // smallest subnormal
+  const FpValue r = round_to_integral(tiny, env);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_TRUE(env.any(kFlagInexact));
+  FpEnv up = FpEnv::ieee(RoundingMode::kTowardPositive);
+  EXPECT_EQ(as_float(round_to_integral(tiny, up)), 1.0f);
+}
+
+}  // namespace
+}  // namespace flopsim::fp

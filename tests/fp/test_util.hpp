@@ -1,0 +1,111 @@
+// Shared helpers for the softfloat test suites: deterministic random value
+// generation (with exponent-correlated and special-value cases) and
+// host-hardware comparison utilities.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "fp/ops.hpp"
+
+namespace flopsim::fp::testing {
+
+/// Deterministic generator of "interesting" operands in a format: uniform
+/// bit patterns, exponent-correlated pairs (to hit alignment/cancellation),
+/// and a sprinkle of specials.
+class ValueGen {
+ public:
+  ValueGen(FpFormat fmt, std::uint64_t seed) : fmt_(fmt), rng_(seed) {}
+
+  FpValue uniform_bits() {
+    return FpValue(rng_() & fmt_.bits_mask(), fmt_);
+  }
+
+  /// A finite value whose biased exponent is near `anchor_exp` (within
+  /// +-window), for stressing alignment paths.
+  FpValue near_exp(int anchor_exp, int window) {
+    const int lo = std::max(1, anchor_exp - window);
+    const int hi = std::min(fmt_.max_finite_exp(), anchor_exp + window);
+    std::uniform_int_distribution<int> exp_dist(lo, hi);
+    const int e = exp_dist(rng_);
+    const u64 frac = rng_() & fmt_.frac_mask();
+    const bool sign = (rng_() & 1) != 0;
+    return compose(fmt_, sign, e, frac);
+  }
+
+  /// A pair sharing a correlated exponent — the regime where massive
+  /// cancellation and sticky-bit behaviour live.
+  std::pair<FpValue, FpValue> correlated_pair() {
+    std::uniform_int_distribution<int> anchor(1, fmt_.max_finite_exp());
+    const int a = anchor(rng_);
+    std::uniform_int_distribution<int> window(0, 4);
+    return {near_exp(a, 2), near_exp(a, window(rng_))};
+  }
+
+  FpValue special(int which) {
+    switch (which % 8) {
+      case 0: return make_zero(fmt_, false);
+      case 1: return make_zero(fmt_, true);
+      case 2: return make_inf(fmt_, false);
+      case 3: return make_inf(fmt_, true);
+      case 4: return make_qnan(fmt_);
+      case 5: return make_max_finite(fmt_, (which & 8) != 0);
+      case 6: return make_min_normal(fmt_, (which & 8) != 0);
+      default:
+        // smallest subnormal
+        return FpValue(u64{1} | ((which & 8) ? fmt_.sign_mask() : 0), fmt_);
+    }
+  }
+
+  std::mt19937_64& rng() { return rng_; }
+
+ private:
+  FpFormat fmt_;
+  std::mt19937_64 rng_;
+};
+
+inline FpValue f32(float x) {
+  return FpValue(std::bit_cast<std::uint32_t>(x), FpFormat::binary32());
+}
+
+inline FpValue f64(double x) {
+  return FpValue(std::bit_cast<std::uint64_t>(x), FpFormat::binary64());
+}
+
+inline float as_float(const FpValue& v) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(v.bits));
+}
+
+inline double as_double(const FpValue& v) {
+  return std::bit_cast<double>(v.bits);
+}
+
+/// Bit-exact equality except NaN, where any-NaN matches any-NaN (payload
+/// propagation is implementation-defined on hosts).
+template <typename Host>  // float or double
+::testing::AssertionResult BitsMatchHost(const FpValue& ours, Host host) {
+  const bool our_nan = ours.is_nan();
+  const bool host_nan = std::isnan(host);
+  if (our_nan || host_nan) {
+    if (our_nan && host_nan) return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "NaN mismatch: ours=" << to_string(ours) << " host=" << host;
+  }
+  std::uint64_t host_bits;
+  if constexpr (sizeof(Host) == 4) {
+    host_bits = std::bit_cast<std::uint32_t>(host);
+  } else {
+    host_bits = std::bit_cast<std::uint64_t>(host);
+  }
+  if (host_bits == ours.bits) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "bit mismatch: ours=" << to_string(ours) << " host=" << host
+         << " host_bits=0x" << std::hex << host_bits;
+}
+
+}  // namespace flopsim::fp::testing

@@ -1,0 +1,92 @@
+#include "fp/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace flopsim::fp {
+namespace {
+
+using testing::f32;
+
+TEST(Value, FieldExtraction) {
+  const FpValue v = f32(-1.5f);  // sign=1, exp=127, frac=0.5 -> 0x400000
+  EXPECT_TRUE(v.sign());
+  EXPECT_EQ(v.biased_exp(), 127);
+  EXPECT_EQ(v.frac(), 0x400000u);
+}
+
+TEST(Value, ConstructorMasksToFormat) {
+  const FpValue v(~u64{0}, FpFormat::binary32());
+  EXPECT_EQ(v.bits, 0xffffffffull);
+}
+
+TEST(Value, ClassifyAllClasses) {
+  const FpFormat fmt = FpFormat::binary32();
+  EXPECT_EQ(classify(make_zero(fmt)), FpClass::kZero);
+  EXPECT_EQ(classify(make_zero(fmt, true)), FpClass::kZero);
+  EXPECT_EQ(classify(FpValue(1, fmt)), FpClass::kSubnormal);
+  EXPECT_EQ(classify(make_one(fmt)), FpClass::kNormal);
+  EXPECT_EQ(classify(make_max_finite(fmt)), FpClass::kNormal);
+  EXPECT_EQ(classify(make_inf(fmt)), FpClass::kInfinity);
+  EXPECT_EQ(classify(make_qnan(fmt)), FpClass::kQuietNaN);
+  // Signaling NaN: quiet bit clear, nonzero payload.
+  EXPECT_EQ(classify(FpValue(fmt.exp_mask() | 1, fmt)),
+            FpClass::kSignalingNaN);
+}
+
+TEST(Value, PredicateHelpers) {
+  const FpFormat fmt = FpFormat::binary64();
+  EXPECT_TRUE(make_zero(fmt, true).is_zero());
+  EXPECT_TRUE(FpValue(1, fmt).is_subnormal());
+  EXPECT_TRUE(make_one(fmt).is_normal());
+  EXPECT_TRUE(make_one(fmt).is_finite());
+  EXPECT_TRUE(make_inf(fmt).is_inf());
+  EXPECT_FALSE(make_inf(fmt).is_finite());
+  EXPECT_TRUE(make_qnan(fmt).is_nan());
+}
+
+TEST(Value, CanonicalConstructorsMatchHostBits) {
+  EXPECT_EQ(make_one(FpFormat::binary32()).bits, f32(1.0f).bits);
+  EXPECT_EQ(make_one(FpFormat::binary32(), true).bits, f32(-1.0f).bits);
+  EXPECT_EQ(make_inf(FpFormat::binary32()).bits,
+            f32(std::numeric_limits<float>::infinity()).bits);
+  EXPECT_EQ(make_max_finite(FpFormat::binary32()).bits,
+            f32(std::numeric_limits<float>::max()).bits);
+  EXPECT_EQ(make_min_normal(FpFormat::binary32()).bits,
+            f32(std::numeric_limits<float>::min()).bits);
+}
+
+TEST(Value, ComposeRoundTrips) {
+  const FpFormat fmt = FpFormat::binary48();
+  const FpValue v = compose(fmt, true, 1000, 0x123456789ull);
+  EXPECT_TRUE(v.sign());
+  EXPECT_EQ(v.biased_exp(), 1000);
+  EXPECT_EQ(v.frac(), 0x123456789ull);
+}
+
+TEST(Value, ComposeMasksOutOfRangeFields) {
+  const FpFormat fmt = FpFormat::binary32();
+  const FpValue v = compose(fmt, false, 0x1ff, ~u64{0});
+  EXPECT_EQ(v.biased_exp(), 0xff);
+  EXPECT_EQ(v.frac(), fmt.frac_mask());
+}
+
+TEST(Value, ToStringMentionsClassAndValue) {
+  const std::string s = to_string(f32(1.0f));
+  EXPECT_NE(s.find("binary32"), std::string::npos);
+  EXPECT_NE(s.find("normal"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+  EXPECT_NE(to_string(make_qnan(FpFormat::binary64())).find("qnan"),
+            std::string::npos);
+}
+
+TEST(Value, ToStringSubnormalApproximation) {
+  // Smallest binary32 subnormal is about 1.4e-45.
+  const std::string s = to_string(FpValue(1, FpFormat::binary32()));
+  EXPECT_NE(s.find("subnormal"), std::string::npos);
+  EXPECT_NE(s.find("e-45"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flopsim::fp

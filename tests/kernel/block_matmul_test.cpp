@@ -1,0 +1,89 @@
+// Blocked execution: equivalence with unblocked arithmetic, analytic cost
+// model, block-size padding effects (the Figure 6 mechanism).
+#include "kernel/block_matmul.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace flopsim::kernel {
+namespace {
+
+PeConfig fast_cfg() {
+  PeConfig c;
+  c.adder_stages = 4;
+  c.mult_stages = 3;  // PL = 7
+  return c;
+}
+
+Matrix random_matrix(int n, fp::FpFormat fmt, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<double> v(static_cast<std::size_t>(n) * n);
+  for (double& x : v) {
+    x = (static_cast<double>(rng() % 4000) - 2000.0) / 64.0;
+  }
+  return matrix_from_doubles(v, n, fmt);
+}
+
+class BlockSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockSizeTest, BitExactAgainstUnblockedReference) {
+  const int b = GetParam();
+  const int n = 16;
+  const PeConfig cfg = fast_cfg();
+  const Matrix a = random_matrix(n, cfg.fmt, 41);
+  const Matrix bm = random_matrix(n, cfg.fmt, 42);
+  const BlockMatmulRun run = block_matmul(a, bm, b, cfg);
+  const Matrix ref = reference_gemm(a, bm, cfg.fmt, cfg.rounding);
+  ASSERT_EQ(run.c.bits, ref.bits) << "b=" << b;
+  EXPECT_EQ(run.hazards, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, BlockSizeTest, ::testing::Values(1, 2, 4, 8, 16),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "b" + std::to_string(info.param);
+                         });
+
+TEST(BlockMatmul, StatsFormulas) {
+  const BlockMatmulStats st = block_matmul_stats(16, 4, 7);
+  EXPECT_EQ(st.block_products, 64);
+  EXPECT_EQ(st.block_schedule.n_eff, 7);  // b=4 < PL=7: padded
+  EXPECT_EQ(st.cycles, 64 * st.block_schedule.total_cycles());
+  EXPECT_GT(st.padded_issues, 0);
+  EXPECT_NEAR(st.padding_fraction, 3.0 / 7.0, 1e-12);
+}
+
+TEST(BlockMatmul, LargeBlocksAvoidPadding) {
+  const BlockMatmulStats st = block_matmul_stats(16, 8, 7);
+  EXPECT_EQ(st.block_schedule.n_eff, 8);
+  EXPECT_EQ(st.padded_issues, 0);
+  EXPECT_DOUBLE_EQ(st.padding_fraction, 0.0);
+}
+
+TEST(BlockMatmul, SmallerBlocksWasteMoreWork) {
+  // Figure 6's mechanism: total MAC issues rise as b shrinks below PL.
+  long prev = 0;
+  for (int b : {16, 8, 4, 2, 1}) {
+    const long issues = block_matmul_stats(16, b, 7).mac_issues;
+    EXPECT_GE(issues, prev) << "b=" << b;
+    prev = issues;
+  }
+  EXPECT_GT(block_matmul_stats(16, 1, 7).mac_issues,
+            block_matmul_stats(16, 16, 7).mac_issues);
+}
+
+TEST(BlockMatmul, InvalidBlockSizeThrows) {
+  EXPECT_THROW(block_matmul_stats(16, 3, 7), std::invalid_argument);
+  EXPECT_THROW(block_matmul_stats(16, 0, 7), std::invalid_argument);
+  EXPECT_THROW(block_matmul_stats(16, 32, 7), std::invalid_argument);
+}
+
+TEST(BlockMatmul, RunSizeMismatchThrows) {
+  const PeConfig cfg = fast_cfg();
+  const Matrix a = random_matrix(8, cfg.fmt, 1);
+  const Matrix b = random_matrix(4, cfg.fmt, 2);
+  EXPECT_THROW(block_matmul(a, b, 4, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flopsim::kernel

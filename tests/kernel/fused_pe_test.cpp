@@ -1,0 +1,135 @@
+// Fused-MAC PEs in the kernel: bit-exactness against the fused reference,
+// the changed hazard window, and the accuracy benefit.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analysis/accuracy.hpp"
+#include "fp/ops.hpp"
+#include "kernel/matmul.hpp"
+
+namespace flopsim::kernel {
+namespace {
+
+PeConfig fused_cfg() {
+  PeConfig c;
+  c.adder_stages = 4;
+  c.mult_stages = 3;
+  c.use_fused_mac = true;  // MAC depth = 7
+  return c;
+}
+
+Matrix random_matrix(int n, fp::FpFormat fmt, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<double> v(static_cast<std::size_t>(n) * n);
+  for (double& x : v) {
+    // Dense mantissas: products are inexact, so fused vs separate rounding
+    // actually differs.
+    x = (static_cast<double>(rng() % 2000000) - 1000000.0) / 3137.0;
+  }
+  return matrix_from_doubles(v, n, fmt);
+}
+
+TEST(FusedPe, SingleMacBitExact) {
+  ProcessingElement pe(fused_cfg());
+  EXPECT_EQ(pe.total_latency(), 7);
+  fp::FpEnv env = fp::FpEnv::paper();
+  const fp::FpFormat fmt = fp::FpFormat::binary32();
+  const fp::u64 a = fp::from_double(3.0, fmt, env).bits;
+  const fp::u64 b = fp::from_double(4.0, fmt, env).bits;
+  pe.set_acc(2, fp::from_double(10.0, fmt, env).bits);
+  pe.step(ProcessingElement::MacIssue{a, b, 2});
+  while (!pe.drained()) pe.step(std::nullopt);
+  EXPECT_EQ(fp::to_double_exact(fp::FpValue(pe.acc(2), fmt)), 22.0);
+}
+
+TEST(FusedPe, HazardWindowIsFullMacLatency) {
+  // With the addend read at issue, the window is Lmac (7), not Ladd (4).
+  PeConfig cfg = fused_cfg();
+  for (int spacing : {5, 6, 7}) {
+    ProcessingElement pe(cfg);
+    const fp::u64 one = fp::make_one(fp::FpFormat::binary32()).bits;
+    pe.step(ProcessingElement::MacIssue{one, one, 1});
+    for (int t = 1; t < spacing; ++t) pe.step(std::nullopt);
+    pe.step(ProcessingElement::MacIssue{one, one, 1});
+    while (!pe.drained()) pe.step(std::nullopt);
+    if (spacing < 7) {
+      EXPECT_GT(pe.hazards(), 0) << spacing;
+    } else {
+      EXPECT_EQ(pe.hazards(), 0) << spacing;
+      EXPECT_EQ(fp::to_double_exact(
+                    fp::FpValue(pe.acc(1), fp::FpFormat::binary32())),
+                2.0);
+    }
+  }
+}
+
+TEST(FusedPe, MatmulBitExactAgainstFusedReference) {
+  const PeConfig cfg = fused_cfg();
+  for (int n : {4, 8, 13}) {
+    LinearArrayMatmul array(n, cfg);
+    const Matrix a = random_matrix(n, cfg.fmt, 600 + n);
+    const Matrix b = random_matrix(n, cfg.fmt, 700 + n);
+    const MatmulRun run = array.run(a, b);
+    ASSERT_EQ(run.c.bits,
+              reference_gemm_fused(a, b, cfg.fmt, cfg.rounding).bits)
+        << "n=" << n;
+    EXPECT_EQ(run.hazards, 0);
+  }
+}
+
+TEST(FusedPe, FusedResultsDifferFromSeparate) {
+  // Single rounding per accumulate: generally not bit-identical to the
+  // paper PE's two-rounding MAC on the same problem.
+  const int n = 12;
+  const PeConfig fused = fused_cfg();
+  PeConfig separate = fused_cfg();
+  separate.use_fused_mac = false;
+  const Matrix a = random_matrix(n, fused.fmt, 31);
+  const Matrix b = random_matrix(n, fused.fmt, 32);
+  LinearArrayMatmul fa(n, fused);
+  LinearArrayMatmul sa(n, separate);
+  const MatmulRun fr = fa.run(a, b);
+  const MatmulRun sr = sa.run(a, b);
+  EXPECT_NE(fr.c.bits, sr.c.bits);
+}
+
+TEST(FusedPe, FusedIsAtLeastAsAccurate) {
+  // Against a binary64 reference the fused accumulate cannot be worse on
+  // average (it performs a superset of the exact arithmetic per step).
+  const int n = 16;
+  PeConfig fused = fused_cfg();
+  std::mt19937_64 rng(55);
+  std::vector<double> av(n * n), bv(n * n);
+  for (double& x : av) x = (static_cast<double>(rng() % 20000) - 10000) / 97.0;
+  for (double& x : bv) x = (static_cast<double>(rng() % 20000) - 10000) / 89.0;
+  const Matrix a32 = matrix_from_doubles(av, n, fused.fmt);
+  const Matrix b32 = matrix_from_doubles(bv, n, fused.fmt);
+  const Matrix a64 = matrix_from_doubles(av, n, fp::FpFormat::binary64());
+  const Matrix b64 = matrix_from_doubles(bv, n, fp::FpFormat::binary64());
+  const Matrix ref64 = reference_gemm(a64, b64, fp::FpFormat::binary64(),
+                                      fused.rounding);
+  const Matrix cf =
+      reference_gemm_fused(a32, b32, fused.fmt, fused.rounding);
+  const Matrix cs = reference_gemm(a32, b32, fused.fmt, fused.rounding);
+  const auto stf = analysis::compare_to_reference(cf.bits, fused.fmt,
+                                                  ref64.bits);
+  const auto sts = analysis::compare_to_reference(cs.bits, fused.fmt,
+                                                  ref64.bits);
+  EXPECT_LE(stf.mean_rel_error, sts.mean_rel_error * 1.05);
+}
+
+TEST(FusedPe, ResourceAndFrequencyProfile) {
+  PeConfig fused = fused_cfg();
+  PeConfig separate = fused_cfg();
+  separate.use_fused_mac = false;
+  const ProcessingElement pf(fused);
+  const ProcessingElement ps(separate);
+  EXPECT_EQ(pf.total_latency(), ps.total_latency());  // matched depth
+  EXPECT_GT(pf.mac_resources().slices, 0);
+  // Same BMULT count (the array is shared structure).
+  EXPECT_EQ(pf.mac_resources().bmults, ps.mac_resources().bmults);
+}
+
+}  // namespace
+}  // namespace flopsim::kernel

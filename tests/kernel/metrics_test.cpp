@@ -1,0 +1,153 @@
+// Kernel-level metrics: the paper's headline numbers and Figure 4-6 shapes.
+#include "kernel/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flopsim::kernel {
+namespace {
+
+const device::Device kDev = device::xc2vp125();
+
+TEST(Metrics, ReferenceConfigsHaveThePaperPLs) {
+  EXPECT_EQ(KernelDesign(pe_min_pipelined()).pl(), 10);
+  EXPECT_EQ(KernelDesign(pe_moderate_pipelined()).pl(), 19);
+  EXPECT_EQ(KernelDesign(pe_max_pipelined()).pl(), 25);
+}
+
+TEST(Metrics, SinglePrecisionGflopsInPaperBand) {
+  // Paper: "about 15GFLOPS" / 19.6 GFLOPS for 32-bit on the XC2VP125.
+  const KernelDesign d(pe_moderate_pipelined());
+  EXPECT_GT(d.device_gflops(kDev), 15.0);
+  EXPECT_LT(d.device_gflops(kDev), 26.0);
+}
+
+TEST(Metrics, DoublePrecisionGflopsInPaperBand) {
+  // Paper: ~8 GFLOPS double precision.
+  const KernelDesign d(pe_double_optimal());
+  EXPECT_GT(d.device_gflops(kDev), 6.0);
+  EXPECT_LT(d.device_gflops(kDev), 12.0);
+}
+
+TEST(Metrics, SpeedupOverProcessorsMatchesPaper) {
+  const KernelDesign d(pe_moderate_pipelined());
+  const double fpga = d.device_gflops(kDev);
+  const auto p4 = power::pentium4_254();
+  const auto g4 = power::g4_1000();
+  // Paper: 6X over the 2.54 GHz P4, 3X over the 1 GHz G4.
+  EXPECT_GT(fpga / p4.gflops_single, 4.5);
+  EXPECT_LT(fpga / p4.gflops_single, 8.0);
+  EXPECT_GT(fpga / g4.gflops_single, 2.2);
+  EXPECT_LT(fpga / g4.gflops_single, 4.5);
+}
+
+TEST(Metrics, GflopsPerWattAdvantage) {
+  // Paper: "upto 6x improvement (for single precision) in terms of the
+  // GFLOPS/W metric over that of general purpose processors".
+  const KernelDesign d(pe_moderate_pipelined());
+  const double fpga = d.gflops_per_watt(kDev);
+  const double best_proc = power::g4_1000().gflops_per_watt_single();
+  EXPECT_GT(fpga / best_proc, 3.0);
+  EXPECT_LT(fpga / best_proc, 8.0);
+  // Versus the P4 the gap is enormous.
+  EXPECT_GT(fpga / power::pentium4_254().gflops_per_watt_single(), 10.0);
+}
+
+TEST(Metrics, DevicePowerPlausible) {
+  for (const PeConfig& cfg : {pe_min_pipelined(), pe_moderate_pipelined(),
+                              pe_max_pipelined(), pe_double_optimal()}) {
+    const KernelDesign d(cfg);
+    EXPECT_GT(d.device_power_w(kDev), 3.0);
+    EXPECT_LT(d.device_power_w(kDev), 30.0);
+  }
+}
+
+TEST(Metrics, DeeperUnitsFewerPEs) {
+  // Deep pipelining costs area, so fewer PEs fit — the paper's core
+  // tradeoff ("the device will accommodate fewer PEs if deeply pipelined
+  // units occupying a large area are used").
+  EXPECT_GT(KernelDesign(pe_min_pipelined()).max_pes(kDev),
+            KernelDesign(pe_moderate_pipelined()).max_pes(kDev));
+  EXPECT_GT(KernelDesign(pe_moderate_pipelined()).max_pes(kDev),
+            KernelDesign(pe_max_pipelined()).max_pes(kDev));
+}
+
+TEST(Metrics, DeeperUnitsHigherClock) {
+  EXPECT_LT(KernelDesign(pe_min_pipelined()).freq_mhz(),
+            KernelDesign(pe_moderate_pipelined()).freq_mhz());
+  EXPECT_LE(KernelDesign(pe_moderate_pipelined()).freq_mhz(),
+            KernelDesign(pe_max_pipelined()).freq_mhz());
+}
+
+TEST(Metrics, LatencyDropsWithDeeperPipelinesAtLargeN) {
+  // Figure 5(c): for n past the padding regime, the deep design's higher
+  // clock wins on wall-clock latency.
+  const int n = 64;
+  EXPECT_LT(KernelDesign(pe_max_pipelined()).latency_us(n),
+            KernelDesign(pe_min_pipelined()).latency_us(n));
+}
+
+TEST(Metrics, SmallProblemsWasteEnergyOnDeepPipelines) {
+  // Figure 4: at n = 10 the pl = 25 design pads 60% of its work.
+  const KernelDesign dmin(pe_min_pipelined());
+  const KernelDesign dmax(pe_max_pipelined());
+  EXPECT_DOUBLE_EQ(dmin.padding_waste_fraction(10), 0.0);
+  EXPECT_NEAR(dmax.padding_waste_fraction(10), 0.6, 1e-12);
+  EXPECT_GT(dmax.pe_energy(10).total_nj, 1.8 * dmin.pe_energy(10).total_nj);
+}
+
+TEST(Metrics, LargeProblemsCloseTheEnergyGap) {
+  // Figure 5(a): the deep designs' energy disadvantage shrinks as n grows;
+  // at n = 30 the moderate design is already the cheapest.
+  const KernelDesign dmin(pe_min_pipelined());
+  const KernelDesign dmod(pe_moderate_pipelined());
+  const KernelDesign dmax(pe_max_pipelined());
+  const double ratio_small =
+      dmax.pe_energy(10).total_nj / dmin.pe_energy(10).total_nj;
+  const double ratio_large =
+      dmax.pe_energy(60).total_nj / dmin.pe_energy(60).total_nj;
+  EXPECT_GT(ratio_small, 2.0);
+  EXPECT_LT(ratio_large, 1.2);
+  EXPECT_LT(dmod.pe_energy(30).total_nj, dmin.pe_energy(30).total_nj);
+}
+
+TEST(Metrics, EnergyComponentsPresent) {
+  const power::EnergyReport rep =
+      KernelDesign(pe_moderate_pipelined()).pe_energy(16);
+  for (const char* name : {"MAC", "Storage", "IO", "Misc"}) {
+    EXPECT_GT(rep.component_nj(name), 0.0) << name;
+  }
+  // MAC dominates a PE's energy (the paper: FP units can be
+  // "resource/latency/energy dominant").
+  EXPECT_GT(rep.component_nj("MAC"), rep.component_nj("Storage"));
+  EXPECT_GT(rep.component_nj("MAC"), rep.component_nj("Misc"));
+}
+
+TEST(Metrics, BlockedEnergyRisesForSmallBlocks) {
+  // Figure 6(a): b << PL wastes energy on padding.
+  const KernelDesign d(pe_max_pipelined());  // PL = 25
+  const double e2 = d.pe_energy_blocked(16, 2).total_nj;
+  const double e4 = d.pe_energy_blocked(16, 4).total_nj;
+  const double e16 = d.pe_energy_blocked(16, 16).total_nj;
+  EXPECT_GT(e2, e4);
+  EXPECT_GT(e4, e16);
+}
+
+TEST(Metrics, EnergyMonotoneInProblemSize) {
+  const KernelDesign d(pe_moderate_pipelined());
+  double prev = 0.0;
+  for (int n : {4, 8, 16, 32, 64}) {
+    const double e = d.pe_energy(n).total_nj;
+    EXPECT_GT(e, prev) << n;
+    prev = e;
+  }
+}
+
+TEST(Metrics, LatencyCyclesMatchesSchedule) {
+  const KernelDesign d(pe_min_pipelined());
+  EXPECT_EQ(d.latency_cycles(32), make_schedule(32, d.pl()).total_cycles());
+  EXPECT_NEAR(d.latency_us(32),
+              d.latency_cycles(32) / d.freq_mhz(), 1e-12);
+}
+
+}  // namespace
+}  // namespace flopsim::kernel

@@ -1,0 +1,128 @@
+// StreamingReducer: full-throughput hazard-free accumulation + lane tree.
+#include "kernel/reducer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fp/ops.hpp"
+
+namespace flopsim::kernel {
+namespace {
+
+units::UnitConfig cfg_with_stages(int s) {
+  units::UnitConfig c;
+  c.stages = s;
+  return c;
+}
+
+std::vector<fp::u64> random_values(fp::FpFormat fmt, int n,
+                                   std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<fp::u64> v(static_cast<std::size_t>(n));
+  fp::FpEnv env = fp::FpEnv::paper();
+  for (auto& x : v) {
+    x = fp::from_double((static_cast<double>(rng() % 2000) - 1000.0) / 64.0,
+                        fmt, env)
+            .bits;
+  }
+  return v;
+}
+
+class ReducerDepthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReducerDepthTest, MatchesReferenceBitExactly) {
+  const int stages = GetParam();
+  const fp::FpFormat fmt = fp::FpFormat::binary32();
+  const units::UnitConfig cfg = cfg_with_stages(stages);
+  StreamingReducer red(fmt, cfg);
+  const auto values = random_values(fmt, 1000, 77 + stages);
+  for (fp::u64 v : values) red.push(v);
+  const fp::u64 total = red.finish();
+  EXPECT_EQ(total, StreamingReducer::reference(values, fmt, cfg));
+}
+
+TEST_P(ReducerDepthTest, LanesMatchAdderLatency) {
+  const int stages = GetParam();
+  StreamingReducer red(fp::FpFormat::binary32(), cfg_with_stages(stages));
+  EXPECT_EQ(red.lanes(), red.adder().latency() + 1);
+}
+
+TEST_P(ReducerDepthTest, FullThroughputPlusLogarithmicTail) {
+  const int stages = GetParam();
+  const fp::FpFormat fmt = fp::FpFormat::binary32();
+  StreamingReducer red(fmt, cfg_with_stages(stages));
+  const int n = 2000;
+  for (fp::u64 v : random_values(fmt, n, 5)) red.push(v);
+  (void)red.finish();
+  // One push per cycle plus a drain+tree tail bounded by ~K levels.
+  const long tail = red.cycles() - n;
+  EXPECT_GT(tail, 0);
+  EXPECT_LT(tail, 20L * red.lanes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ReducerDepthTest,
+                         ::testing::Values(1, 2, 4, 8, 12, 16));
+
+TEST(Reducer, EmptySumIsZero) {
+  StreamingReducer red(fp::FpFormat::binary64(), cfg_with_stages(6));
+  EXPECT_EQ(red.finish(), 0u);
+}
+
+TEST(Reducer, SingleValue) {
+  const fp::FpFormat fmt = fp::FpFormat::binary64();
+  StreamingReducer red(fmt, cfg_with_stages(6));
+  fp::FpEnv env = fp::FpEnv::paper();
+  const fp::u64 v = fp::from_double(3.25, fmt, env).bits;
+  red.push(v);
+  EXPECT_EQ(fp::to_double_exact(fp::FpValue(red.finish(), fmt)), 3.25);
+}
+
+TEST(Reducer, ReusableAfterFinish) {
+  const fp::FpFormat fmt = fp::FpFormat::binary32();
+  const units::UnitConfig cfg = cfg_with_stages(8);
+  StreamingReducer red(fmt, cfg);
+  const auto first = random_values(fmt, 100, 11);
+  for (fp::u64 v : first) red.push(v);
+  (void)red.finish();
+  const auto second = random_values(fmt, 137, 12);
+  for (fp::u64 v : second) red.push(v);
+  EXPECT_EQ(red.finish(), StreamingReducer::reference(second, fmt, cfg));
+}
+
+TEST(Reducer, ExactIntegerSum) {
+  // Integer-valued inputs below the mantissa width sum exactly regardless
+  // of lane/tree association.
+  const fp::FpFormat fmt = fp::FpFormat::binary32();
+  StreamingReducer red(fmt, cfg_with_stages(10));
+  fp::FpEnv env = fp::FpEnv::paper();
+  long expect = 0;
+  for (int i = 1; i <= 500; ++i) {
+    red.push(fp::from_double(i, fmt, env).bits);
+    expect += i;
+  }
+  EXPECT_EQ(fp::to_double_exact(fp::FpValue(red.finish(), fmt)),
+            static_cast<double>(expect));
+}
+
+TEST(Reducer, FlagsAccumulate) {
+  const fp::FpFormat fmt = fp::FpFormat::binary32();
+  StreamingReducer red(fmt, cfg_with_stages(4));
+  const fp::u64 maxf = fp::make_max_finite(fmt).bits;
+  // Same lane gets max+max eventually -> overflow.
+  for (int i = 0; i < 2 * red.lanes(); ++i) red.push(maxf);
+  (void)red.finish();
+  EXPECT_TRUE((red.flags() & fp::kFlagOverflow) != 0);
+}
+
+TEST(Reducer, Binary48Works) {
+  const fp::FpFormat fmt = fp::FpFormat::binary48();
+  const units::UnitConfig cfg = cfg_with_stages(9);
+  StreamingReducer red(fmt, cfg);
+  const auto values = random_values(fmt, 777, 13);
+  for (fp::u64 v : values) red.push(v);
+  EXPECT_EQ(red.finish(), StreamingReducer::reference(values, fmt, cfg));
+}
+
+}  // namespace
+}  // namespace flopsim::kernel

@@ -1,0 +1,154 @@
+// Power and energy models: scaling laws, glitch behaviour, measured
+// activity, processor references.
+#include <gtest/gtest.h>
+
+#include "power/activity.hpp"
+#include "power/energy_model.hpp"
+#include "power/processors.hpp"
+#include "power/unit_power.hpp"
+
+namespace flopsim::power {
+namespace {
+
+const device::TechModel kTech = device::TechModel::virtex2pro7();
+
+TEST(PowerModel, ScalesLinearlyWithFrequency) {
+  device::Resources r{500, 1000, 800, 4, 1};
+  const PowerBreakdown p100 = estimate_power(r, 100.0, 0.5, kTech);
+  const PowerBreakdown p200 = estimate_power(r, 200.0, 0.5, kTech);
+  EXPECT_NEAR(p200.total_mw(), 2.0 * p100.total_mw(), 1e-9);
+}
+
+TEST(PowerModel, ClockIndependentOfActivity) {
+  device::Resources r{500, 1000, 800, 0, 0};
+  const PowerBreakdown lo = estimate_power(r, 100.0, 0.1, kTech);
+  const PowerBreakdown hi = estimate_power(r, 100.0, 0.9, kTech);
+  EXPECT_DOUBLE_EQ(lo.clock_mw, hi.clock_mw);
+  EXPECT_LT(lo.logic_mw, hi.logic_mw);
+  EXPECT_LT(lo.signal_mw, hi.signal_mw);
+}
+
+TEST(PowerModel, ZeroResourcesZeroPower) {
+  EXPECT_DOUBLE_EQ(estimate_power({}, 200.0, 0.5, kTech).total_mw(), 0.0);
+}
+
+TEST(PowerModel, EnergyAccountingClosure) {
+  device::Resources r{100, 200, 150, 0, 0};
+  const PowerBreakdown p = estimate_power(r, 100.0, 0.5, kTech);
+  // 100 MHz for 1e6 cycles = 10 ms; E = P * t.
+  const double e = energy_nj(p, 100.0, 1e6);
+  EXPECT_NEAR(e, p.total_mw() * 1e-3 * 0.01 * 1e9, 1e-6);
+  EXPECT_DOUBLE_EQ(energy_nj(p, 0.0, 100), 0.0);
+}
+
+TEST(PowerModel, GlitchFactorShape) {
+  EXPECT_DOUBLE_EQ(glitch_factor(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(glitch_factor(0.5), 1.0);
+  EXPECT_GT(glitch_factor(3.0), glitch_factor(2.0));
+  EXPECT_DOUBLE_EQ(glitch_factor(100.0), 3.0);  // capped
+}
+
+TEST(UnitPower, DeeperPipelineFewerPiecesPerStage) {
+  units::UnitConfig c1;
+  c1.stages = 1;
+  units::UnitConfig c8 = c1;
+  c8.stages = 8;
+  const units::FpUnit u1(units::UnitKind::kAdder, fp::FpFormat::binary32(), c1);
+  const units::FpUnit u8(units::UnitKind::kAdder, fp::FpFormat::binary32(), c8);
+  EXPECT_GT(avg_pieces_per_stage(u1), avg_pieces_per_stage(u8));
+}
+
+TEST(UnitPower, PowerAtFixedFrequencyVariesModeratelyWithDepth) {
+  // Figure 3: power varies with depth — FF/clock power grows, glitch power
+  // shrinks; the deep end must be register-dominated (rising).
+  units::UnitConfig cfg;
+  std::vector<double> p;
+  const units::FpUnit probe(units::UnitKind::kAdder, fp::FpFormat::binary64(),
+                            cfg);
+  const int maxs = probe.max_stages();
+  for (int s = 1; s <= maxs; ++s) {
+    units::UnitConfig c = cfg;
+    c.stages = s;
+    units::FpUnit u(units::UnitKind::kAdder, fp::FpFormat::binary64(), c);
+    p.push_back(unit_power(u, 100.0).total_mw());
+  }
+  EXPECT_GT(p.back(), *std::min_element(p.begin(), p.end()) * 1.1)
+      << "deep end should rise above the minimum";
+  for (double v : p) {
+    EXPECT_GT(v, 50.0);
+    EXPECT_LT(v, 1000.0);  // XPower-plausible band for a 64-bit core
+  }
+}
+
+TEST(UnitPower, WiderFormatBurnsMore) {
+  units::UnitConfig cfg;
+  cfg.stages = 8;
+  const units::FpUnit u32(units::UnitKind::kAdder, fp::FpFormat::binary32(),
+                          cfg);
+  const units::FpUnit u64(units::UnitKind::kAdder, fp::FpFormat::binary64(),
+                          cfg);
+  EXPECT_GT(unit_power(u64, 100.0).total_mw(),
+            unit_power(u32, 100.0).total_mw());
+}
+
+TEST(Activity, MeasuredActivityInPlausibleBand) {
+  units::UnitConfig cfg;
+  cfg.stages = 6;
+  units::FpUnit u(units::UnitKind::kAdder, fp::FpFormat::binary32(), cfg);
+  const ActivityStats st = measure_activity(u, 2000);
+  EXPECT_GT(st.avg_toggle_rate, 0.05);
+  EXPECT_LE(st.avg_toggle_rate, 1.0);
+  EXPECT_GT(st.bits_observed, 0);
+  EXPECT_EQ(st.cycles, 2000 + u.latency());
+}
+
+TEST(Activity, DeterministicForSameSeed) {
+  units::UnitConfig cfg;
+  cfg.stages = 4;
+  units::FpUnit u(units::UnitKind::kMultiplier, fp::FpFormat::binary32(), cfg);
+  const double a = measure_activity(u, 500, 42).avg_toggle_rate;
+  const double b = measure_activity(u, 500, 42).avg_toggle_rate;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(EnergyModel, ComponentsSumToTotal) {
+  std::vector<Component> comps = {
+      {"A", {100, 200, 150, 0, 0}, 0.5, 1000.0},
+      {"B", {50, 100, 80, 0, 1}, 0.3, 500.0},
+  };
+  const EnergyReport rep = estimate_energy(comps, 100.0, 2000.0, kTech);
+  double sum = 0.0;
+  for (const auto& e : rep.entries) sum += e.energy_nj;
+  EXPECT_NEAR(sum, rep.total_nj, 1e-9);
+  EXPECT_GT(rep.component_nj("A"), rep.component_nj("B"));
+  EXPECT_DOUBLE_EQ(rep.component_nj("missing"), 0.0);
+}
+
+TEST(EnergyModel, ClockChargedForFullRuntime) {
+  // A component active for 0 cycles still burns clock energy all run long.
+  std::vector<Component> comps = {{"idle", {100, 200, 150, 0, 0}, 0.5, 0.0}};
+  const EnergyReport rep = estimate_energy(comps, 100.0, 1000.0, kTech);
+  EXPECT_GT(rep.total_nj, 0.0);
+}
+
+TEST(EnergyModel, EnergyProportionalToActiveCycles) {
+  std::vector<Component> c1 = {{"x", {100, 200, 0, 0, 0}, 0.5, 1000.0}};
+  std::vector<Component> c2 = {{"x", {100, 200, 0, 0, 0}, 0.5, 2000.0}};
+  const double e1 = estimate_energy(c1, 100.0, 4000.0, kTech).total_nj;
+  const double e2 = estimate_energy(c2, 100.0, 4000.0, kTech).total_nj;
+  EXPECT_GT(e2, e1);
+}
+
+TEST(Processors, PaperRatiosEncoded) {
+  const ProcessorModel p4 = pentium4_254();
+  const ProcessorModel g4 = g4_1000();
+  // The paper's comparison targets: ~6x over P4 and ~3x over G4 against
+  // ~19.6 GFLOPS mean the processors sustain ~3.3 / ~6.5 GFLOPS.
+  EXPECT_NEAR(p4.gflops_single, 3.3, 0.5);
+  EXPECT_NEAR(g4.gflops_single, 6.5, 0.5);
+  EXPECT_GT(g4.gflops_per_watt_single(), p4.gflops_per_watt_single());
+  EXPECT_EQ(processor_database().size(), 2u);
+}
+
+}  // namespace
+}  // namespace flopsim::power

@@ -1,0 +1,181 @@
+// Pipeline planner: balanced partition, legality, timing and area models.
+#include "rtl/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flopsim::rtl {
+namespace {
+
+Piece make_piece(const std::string& name, double delay, int slices,
+                 int live_bits, bool cut_after = true) {
+  Piece p;
+  p.name = name;
+  p.group = "test";
+  p.delay_ns = delay;
+  p.area.slices = slices;
+  p.area.luts = slices * 2;
+  p.live_bits = live_bits;
+  p.cut_after = cut_after;
+  p.eval = [](SignalSet& s) { s[0] += 1; };
+  return p;
+}
+
+PieceChain uniform_chain(int n, double delay = 1.0) {
+  PieceChain c;
+  for (int i = 0; i < n; ++i) {
+    c.push_back(make_piece("p" + std::to_string(i), delay, 10, 32));
+  }
+  return c;
+}
+
+TEST(Pipeline, MaxStagesCountsCuttableBoundaries) {
+  EXPECT_EQ(max_stages(uniform_chain(1)), 1);
+  EXPECT_EQ(max_stages(uniform_chain(5)), 5);
+  PieceChain c = uniform_chain(5);
+  c[1].cut_after = false;
+  c[3].cut_after = false;
+  EXPECT_EQ(max_stages(c), 3);
+}
+
+TEST(Pipeline, PlanClampsDepth) {
+  const PieceChain c = uniform_chain(4);
+  EXPECT_EQ(plan_pipeline(c, 0).stages(), 1);
+  EXPECT_EQ(plan_pipeline(c, 1).stages(), 1);
+  EXPECT_EQ(plan_pipeline(c, 4).stages(), 4);
+  EXPECT_EQ(plan_pipeline(c, 99).stages(), 4);
+}
+
+TEST(Pipeline, PlanCoversChainExactly) {
+  const PieceChain c = uniform_chain(7);
+  for (int s = 1; s <= 7; ++s) {
+    const PipelinePlan plan = plan_pipeline(c, s);
+    ASSERT_EQ(plan.stages(), s);
+    EXPECT_EQ(plan.stage_begin.front(), 0);
+    EXPECT_EQ(plan.stage_begin.back(), 7);
+    for (int i = 1; i < static_cast<int>(plan.stage_begin.size()); ++i) {
+      EXPECT_GT(plan.stage_begin[i], plan.stage_begin[i - 1]);
+    }
+  }
+}
+
+TEST(Pipeline, PlanRespectsIllegalCuts) {
+  PieceChain c = uniform_chain(6);
+  c[0].cut_after = false;
+  c[2].cut_after = false;
+  c[4].cut_after = false;
+  for (int s = 1; s <= max_stages(c); ++s) {
+    const PipelinePlan plan = plan_pipeline(c, s);
+    for (int i = 1; i < plan.stages(); ++i) {
+      const int cut_after_piece = plan.stage_begin[i] - 1;
+      EXPECT_TRUE(c[cut_after_piece].cut_after)
+          << "illegal cut after piece " << cut_after_piece;
+    }
+  }
+}
+
+TEST(Pipeline, BalancedPartitionOfUnevenDelays) {
+  PieceChain c;
+  // Delays 5, 1, 1, 1, 5, 1: with 2 stages the best split is 7/7... the
+  // optimum is max 8 (5+1+1+1 | 5+1) vs (5+1+1 | 1+5+1) = 7.
+  for (double d : {5.0, 1.0, 1.0, 1.0, 5.0, 1.0}) {
+    c.push_back(make_piece("p", d, 1, 8));
+  }
+  const device::TechModel tech = device::TechModel::virtex2pro7();
+  const PipelinePlan plan = plan_pipeline(c, 2);
+  const Timing t = evaluate_timing(c, plan, tech);
+  EXPECT_DOUBLE_EQ(t.critical_ns, 7.0);
+}
+
+TEST(Pipeline, CriticalDelayNonIncreasingWithDepth) {
+  PieceChain c;
+  for (double d : {3.0, 1.5, 2.0, 4.0, 0.5, 1.0, 2.5, 3.5}) {
+    c.push_back(make_piece("p", d, 5, 16));
+  }
+  const device::TechModel tech = device::TechModel::virtex2pro7();
+  double prev = 1e9;
+  for (int s = 1; s <= max_stages(c); ++s) {
+    const Timing t = evaluate_timing(c, plan_pipeline(c, s), tech);
+    EXPECT_LE(t.critical_ns, prev) << "stages=" << s;
+    prev = t.critical_ns;
+  }
+}
+
+TEST(Pipeline, SingleStageDelayIsChainSum) {
+  const PieceChain c = uniform_chain(5, 2.0);
+  const device::TechModel tech = device::TechModel::virtex2pro7();
+  const Timing t = evaluate_timing(c, plan_pipeline(c, 1), tech);
+  EXPECT_DOUBLE_EQ(t.critical_ns, 10.0);
+  EXPECT_DOUBLE_EQ(t.period_ns, 10.0 + tech.register_overhead_ns());
+  EXPECT_NEAR(t.freq_mhz, 1000.0 / t.period_ns, 1e-9);
+}
+
+TEST(Pipeline, MaxDepthDelayIsWorstPiece) {
+  PieceChain c;
+  for (double d : {1.0, 4.5, 2.0}) c.push_back(make_piece("p", d, 5, 16));
+  const device::TechModel tech = device::TechModel::virtex2pro7();
+  const Timing t = evaluate_timing(c, plan_pipeline(c, 3), tech);
+  EXPECT_DOUBLE_EQ(t.critical_ns, 4.5);
+  EXPECT_EQ(t.critical_stage, 1);
+}
+
+TEST(Pipeline, AreaGrowsWithDepth) {
+  const PieceChain c = uniform_chain(10);
+  const device::TechModel tech = device::TechModel::virtex2pro7();
+  int prev_ffs = -1;
+  int prev_slices = -1;
+  for (int s = 1; s <= 10; ++s) {
+    const AreaBreakdown a =
+        evaluate_area(c, plan_pipeline(c, s), tech, device::Objective::kArea);
+    EXPECT_GT(a.pipeline_ffs, prev_ffs) << "stages=" << s;
+    EXPECT_GE(a.total.slices, prev_slices) << "stages=" << s;
+    prev_ffs = a.pipeline_ffs;
+    prev_slices = a.total.slices;
+    EXPECT_EQ(a.logic.slices, 100);  // logic area is depth-independent
+  }
+}
+
+TEST(Pipeline, FfAbsorptionDelaysSliceGrowth) {
+  // A chain with generous logic slices absorbs shallow pipelining for free.
+  const PieceChain c = uniform_chain(10);
+  const device::TechModel tech = device::TechModel::virtex2pro7();
+  const AreaBreakdown a1 =
+      evaluate_area(c, plan_pipeline(c, 1), tech, device::Objective::kArea);
+  const AreaBreakdown a2 =
+      evaluate_area(c, plan_pipeline(c, 2), tech, device::Objective::kArea);
+  // Depth 2 adds one 32-bit latch: 100 slices * 2 FF * 0.55 = 110-FF capacity
+  // absorbs it; slices must not move.
+  EXPECT_EQ(a1.total.slices, a2.total.slices);
+  EXPECT_GT(a2.absorbed_ffs, 0);
+}
+
+TEST(Pipeline, SpeedObjectiveInflatesArea) {
+  const PieceChain c = uniform_chain(6);
+  const device::TechModel tech = device::TechModel::virtex2pro7();
+  const auto plan = plan_pipeline(c, 3);
+  const AreaBreakdown area_obj =
+      evaluate_area(c, plan, tech, device::Objective::kArea);
+  const AreaBreakdown speed_obj =
+      evaluate_area(c, plan, tech, device::Objective::kSpeed);
+  EXPECT_GT(speed_obj.total.slices, area_obj.total.slices);
+}
+
+TEST(Pipeline, EmptyChainThrows) {
+  EXPECT_THROW(plan_pipeline(PieceChain{}, 1), std::invalid_argument);
+}
+
+TEST(Pipeline, EvaluateChainRunsAllPieces) {
+  const PieceChain c = uniform_chain(5);
+  SignalSet s;
+  s.valid = true;
+  evaluate_chain(c, s);
+  EXPECT_EQ(s[0], 5u);
+}
+
+TEST(Pipeline, ChainLogicAreaSums) {
+  const PieceChain c = uniform_chain(4);
+  EXPECT_EQ(chain_logic_area(c).slices, 40);
+  EXPECT_EQ(chain_logic_area(c).luts, 80);
+}
+
+}  // namespace
+}  // namespace flopsim::rtl

@@ -1,0 +1,130 @@
+// TraceRecorder: text and VCD dumps of pipeline activity.
+#include "rtl/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include <algorithm>
+
+namespace flopsim::rtl {
+namespace {
+
+PieceChain counting_chain(int n) {
+  PieceChain c;
+  for (int i = 0; i < n; ++i) {
+    Piece p;
+    p.name = "p" + std::to_string(i);
+    p.group = "t";
+    p.delay_ns = 1.0;
+    p.area.slices = 1;
+    p.live_bits = 64;
+    p.eval = [](SignalSet& s) { s[0] += 1; };
+    c.push_back(std::move(p));
+  }
+  return c;
+}
+
+TEST(Trace, CapturesEveryCycle) {
+  const PieceChain chain = counting_chain(4);
+  PipelineSim sim(&chain, plan_pipeline(chain, 4));
+  TraceRecorder rec({0});
+  for (int i = 0; i < 6; ++i) {
+    SignalSet in;
+    in.valid = true;
+    in[0] = static_cast<fp::u64>(10 * i);
+    sim.step(in);
+    rec.capture(sim);
+  }
+  EXPECT_EQ(rec.cycles(), 6);
+}
+
+TEST(Trace, TextDumpShape) {
+  const PieceChain chain = counting_chain(3);
+  PipelineSim sim(&chain, plan_pipeline(chain, 3));
+  TraceRecorder rec({0, 1});
+  for (int i = 0; i < 4; ++i) {
+    SignalSet in;
+    in.valid = true;
+    in[0] = 7;
+    sim.step(in);
+    rec.capture(sim);
+  }
+  std::ostringstream os;
+  rec.dump_text(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("cycle"), std::string::npos);
+  EXPECT_NE(s.find("s0.L0"), std::string::npos);
+  EXPECT_NE(s.find("s2.L1"), std::string::npos);
+  // 1 header + 4 cycles.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 5);
+}
+
+TEST(Trace, EmptyTraceSafe) {
+  TraceRecorder rec;
+  std::ostringstream os;
+  rec.dump_text(os);
+  EXPECT_NE(os.str().find("empty"), std::string::npos);
+}
+
+TEST(Trace, VcdStructure) {
+  const PieceChain chain = counting_chain(2);
+  PipelineSim sim(&chain, plan_pipeline(chain, 2));
+  TraceRecorder rec({0});
+  for (int i = 0; i < 3; ++i) {
+    SignalSet in;
+    in.valid = true;
+    in[0] = static_cast<fp::u64>(i);
+    sim.step(in);
+    rec.capture(sim);
+  }
+  std::ostringstream os;
+  rec.dump_vcd(os, "testbench");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("$timescale"), std::string::npos);
+  EXPECT_NE(s.find("$scope module testbench"), std::string::npos);
+  EXPECT_NE(s.find("stage0_valid"), std::string::npos);
+  EXPECT_NE(s.find("stage1_lane0"), std::string::npos);
+  EXPECT_NE(s.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(s.find("#0"), std::string::npos);
+  EXPECT_NE(s.find("#2"), std::string::npos);
+  // Value changes present (64-bit binary vectors).
+  EXPECT_NE(s.find("b0000"), std::string::npos);
+}
+
+TEST(Trace, VcdOnlyEmitsChanges) {
+  const PieceChain chain = counting_chain(1);
+  PipelineSim sim(&chain, plan_pipeline(chain, 1));
+  TraceRecorder rec({0});
+  // Feed the same value repeatedly: after cycle 1 nothing changes.
+  for (int i = 0; i < 5; ++i) {
+    SignalSet in;
+    in.valid = true;
+    in[0] = 42;
+    sim.step(in);
+    rec.capture(sim);
+  }
+  std::ostringstream os;
+  rec.dump_vcd(os);
+  const std::string s = os.str();
+  // Exactly one 64-bit value change for lane 0 (at #0).
+  std::size_t count = 0;
+  for (std::size_t pos = s.find("\nb"); pos != std::string::npos;
+       pos = s.find("\nb", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Trace, ClearResets) {
+  const PieceChain chain = counting_chain(2);
+  PipelineSim sim(&chain, plan_pipeline(chain, 2));
+  TraceRecorder rec;
+  sim.step(std::nullopt);
+  rec.capture(sim);
+  rec.clear();
+  EXPECT_EQ(rec.cycles(), 0);
+}
+
+}  // namespace
+}  // namespace flopsim::rtl

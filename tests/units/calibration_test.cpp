@@ -1,0 +1,109 @@
+// Calibration-anchor regression: the technology model was fitted to the
+// datapoints the paper states in prose (see device/tech.hpp). This suite
+// pins them so future model edits cannot silently drift the reproduction.
+#include <gtest/gtest.h>
+
+#include "device/tech.hpp"
+#include "units/fp_unit.hpp"
+
+namespace flopsim::units {
+namespace {
+
+const device::TechModel kTech = device::TechModel::virtex2pro7();
+const device::Objective kArea = device::Objective::kArea;
+
+double stage_mhz(double comb_ns) {
+  return 1000.0 / (comb_ns + kTech.register_overhead_ns());
+}
+
+TEST(Calibration, SmallComparatorsReach250MHz) {
+  // "Comparators of a bitwidth less than or equal to 11 can achieve 250MHz."
+  EXPECT_GE(stage_mhz(kTech.comparator_delay(11, kArea) +
+                      kTech.gate_delay(kArea)),
+            240.0);
+}
+
+TEST(Calibration, MantissaComparatorNear220MHz) {
+  // "The mantissa comparator for double precision can achieve a frequency
+  // of 220MHz" — ours models the 63-bit magnitude compare.
+  const double mhz = stage_mhz(kTech.comparator_delay(63, kArea));
+  EXPECT_GE(mhz, 220.0);
+  EXPECT_LE(mhz, 320.0);
+}
+
+TEST(Calibration, ThreeMuxLevelsExceed200MHz) {
+  // "Three muxes in serial can be considered as a stage and a frequency of
+  // more than 200Mhz can be achieved by doing so."
+  const double three = kTech.mux_level_delay(56, kArea) +
+                       2 * kTech.mux_level_chained_delay(56, kArea);
+  EXPECT_GT(stage_mhz(three), 200.0);
+  // "Higher frequencies require two-mux stages."
+  const double two = kTech.mux_level_delay(56, kArea) +
+                     kTech.mux_level_chained_delay(56, kArea);
+  EXPECT_GT(stage_mhz(two), stage_mhz(three) + 20.0);
+}
+
+TEST(Calibration, WideAdderNeedsChunksFor200MHz) {
+  // "A 54bit adder/subtractor can achieve 200MHz with 4 pipelining stages."
+  EXPECT_LT(stage_mhz(kTech.adder_delay(54, kArea)), 150.0);
+  EXPECT_GT(stage_mhz(kTech.adder_delay(14, kArea)), 200.0);
+}
+
+TEST(Calibration, PriorityEncoderMustSplitAt54Bits) {
+  // "For 54bits it has to be broken into two smaller priority encoders and
+  // a 3bit adder, to achieve a frequency greater than 2[00]MHz."
+  EXPECT_LT(stage_mhz(kTech.priority_encoder_delay(54, kArea)), 200.0);
+  EXPECT_GT(stage_mhz(kTech.priority_encoder_delay(27, kArea) +
+                      kTech.adder_chained_delay(3, kArea)),
+            200.0);
+}
+
+TEST(Calibration, WideMultiplierNeedsSevenStages) {
+  // "For the 54bit fixed-point multiplication, seven pipelining stages are
+  // required to achieve a frequency of 200MHz": the binary64 mantissa
+  // pipeline (bmult + csa levels + cpa chunks) spans ~7 pieces.
+  UnitConfig cfg;
+  const FpUnit mul64(UnitKind::kMultiplier, fp::FpFormat::binary64(), cfg);
+  int mantissa_pieces = 0;
+  for (const rtl::Piece& p : mul64.pieces()) {
+    if (p.group == "mantissa_mul" || p.group == "cpa") ++mantissa_pieces;
+  }
+  EXPECT_GE(mantissa_pieces, 6);
+  EXPECT_LE(mantissa_pieces, 8);
+}
+
+TEST(Calibration, AbstractThroughputClaims) {
+  // "We achieve throughput rates of more than 240Mhz (200Mhz) for single
+  // (double) precision operations by deeply pipelining the units."
+  for (UnitKind kind : {UnitKind::kAdder, UnitKind::kMultiplier}) {
+    UnitConfig cfg;
+    cfg.stages = 99;
+    EXPECT_GT(FpUnit(kind, fp::FpFormat::binary32(), cfg).freq_mhz(), 240.0)
+        << to_string(kind);
+    EXPECT_GT(FpUnit(kind, fp::FpFormat::binary64(), cfg).freq_mhz(), 200.0)
+        << to_string(kind);
+  }
+}
+
+TEST(Calibration, EmbeddedMultiplierBudget) {
+  // XC2VP125-era MULT18X18s handle 17 unsigned bits per chunk: 4 blocks for
+  // single precision, 16 for double — the counts the GFLOPS ceiling uses.
+  UnitConfig cfg;
+  EXPECT_EQ(FpUnit(UnitKind::kMultiplier, fp::FpFormat::binary32(), cfg)
+                .area()
+                .total.bmults,
+            4);
+  EXPECT_EQ(FpUnit(UnitKind::kMultiplier, fp::FpFormat::binary64(), cfg)
+                .area()
+                .total.bmults,
+            16);
+}
+
+TEST(Calibration, RegisterOverheadBand) {
+  // One ns of clk->q + setup + skew: the fixed tax every stage pays.
+  EXPECT_GT(kTech.register_overhead_ns(), 0.5);
+  EXPECT_LT(kTech.register_overhead_ns(), 2.0);
+}
+
+}  // namespace
+}  // namespace flopsim::units

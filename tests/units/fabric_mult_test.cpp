@@ -1,0 +1,98 @@
+// LUT-fabric multiplier variant: same bits, different resource profile.
+#include <gtest/gtest.h>
+
+#include "fp/ops.hpp"
+#include "units/fp_unit.hpp"
+#include "../fp/test_util.hpp"
+
+namespace flopsim::units {
+namespace {
+
+using fp::FpEnv;
+using fp::FpFormat;
+using fp::FpValue;
+using fp::testing::ValueGen;
+
+class FabricMultTest : public ::testing::TestWithParam<FpFormat> {};
+
+TEST_P(FabricMultTest, BitExactWithSoftfloat) {
+  UnitConfig cfg;
+  cfg.use_embedded_multipliers = false;
+  const FpUnit unit(UnitKind::kMultiplier, GetParam(), cfg);
+  ValueGen gen(GetParam(), 0xfab1);
+  for (int i = 0; i < 60000; ++i) {
+    const FpValue a = gen.uniform_bits();
+    const FpValue b = gen.uniform_bits();
+    FpEnv env = FpEnv::paper();
+    const FpValue ref = fp::mul(a, b, env);
+    const UnitOutput out = unit.evaluate({a.bits, b.bits, false});
+    ASSERT_EQ(out.result, ref.bits)
+        << to_string(a) << " * " << to_string(b);
+    ASSERT_EQ(out.flags, env.flags);
+  }
+}
+
+TEST_P(FabricMultTest, SameBitsAsEmbeddedVariant) {
+  UnitConfig fab;
+  fab.use_embedded_multipliers = false;
+  UnitConfig emb;
+  const FpUnit fu(UnitKind::kMultiplier, GetParam(), fab);
+  const FpUnit eu(UnitKind::kMultiplier, GetParam(), emb);
+  ValueGen gen(GetParam(), 0xfab2);
+  for (int i = 0; i < 20000; ++i) {
+    const UnitInput in{gen.uniform_bits().bits, gen.uniform_bits().bits,
+                       false};
+    ASSERT_EQ(fu.evaluate(in).result, eu.evaluate(in).result);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, FabricMultTest,
+                         ::testing::Values(FpFormat::binary32(),
+                                           FpFormat::binary48(),
+                                           FpFormat::binary64(),
+                                           FpFormat(4, 3)),
+                         [](const ::testing::TestParamInfo<FpFormat>& i) {
+                           std::string n = i.param.name();
+                           for (char& c : n) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+TEST(FabricMult, TradesBmultsForSlices) {
+  UnitConfig fab;
+  fab.use_embedded_multipliers = false;
+  UnitConfig emb;
+  const FpUnit fu(UnitKind::kMultiplier, FpFormat::binary64(), fab);
+  const FpUnit eu(UnitKind::kMultiplier, FpFormat::binary64(), emb);
+  EXPECT_EQ(fu.area().total.bmults, 0);
+  EXPECT_GT(eu.area().total.bmults, 0);
+  EXPECT_GT(fu.area().total.slices, 1.5 * eu.area().total.slices);
+  // Fabric rows expose more cut points.
+  EXPECT_GT(fu.max_stages(), eu.max_stages());
+}
+
+TEST(FabricMult, IeeeModeComposes) {
+  UnitConfig cfg;
+  cfg.use_embedded_multipliers = false;
+  cfg.ieee_mode = true;
+  const FpUnit unit(UnitKind::kMultiplier, FpFormat::binary32(), cfg);
+  ValueGen gen(FpFormat::binary32(), 0xfab3);
+  for (int i = 0; i < 30000; ++i) {
+    const FpValue a = gen.uniform_bits();
+    const FpValue b = gen.uniform_bits();
+    FpEnv env = FpEnv::ieee();
+    const FpValue ref = fp::mul(a, b, env);
+    const fp::u64 want =
+        ref.is_nan()
+            ? (FpFormat::binary32().exp_mask() | FpFormat::binary32().quiet_bit())
+            : ref.bits;
+    ASSERT_EQ(unit.evaluate({a.bits, b.bits, false}).result, want)
+        << to_string(a) << " * " << to_string(b);
+  }
+}
+
+}  // namespace
+}  // namespace flopsim::units

@@ -1,0 +1,109 @@
+// Generalization fuzz: the unit generators must be bit-exact for ARBITRARY
+// formats, not just the paper's three — random (exp, frac) shapes stress
+// chunking boundaries (single-BMULT multipliers, one-chunk adders, odd
+// shifter level counts...).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fp/ops.hpp"
+#include "units/converter_unit.hpp"
+#include "units/fp_unit.hpp"
+#include "../fp/test_util.hpp"
+
+namespace flopsim::units {
+namespace {
+
+using fp::FpEnv;
+using fp::FpFormat;
+using fp::FpValue;
+using fp::testing::ValueGen;
+
+std::vector<FpFormat> random_formats(int count, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<FpFormat> fmts;
+  while (static_cast<int>(fmts.size()) < count) {
+    const int e = 2 + static_cast<int>(rng() % 11);   // 2..12
+    const int f = 1 + static_cast<int>(rng() % 52);   // 1..52
+    if (1 + e + f > 64) continue;
+    fmts.emplace_back(e, f);
+  }
+  return fmts;
+}
+
+TEST(RandomFormat, AllUnitsMatchSoftfloat) {
+  for (const FpFormat& fmt : random_formats(10, 0xf02)) {
+    UnitConfig cfg;
+    const FpUnit adder(UnitKind::kAdder, fmt, cfg);
+    const FpUnit mult(UnitKind::kMultiplier, fmt, cfg);
+    const FpUnit divi(UnitKind::kDivider, fmt, cfg);
+    const FpUnit sqr(UnitKind::kSqrt, fmt, cfg);
+    ValueGen gen(fmt, 0xf03);
+    for (int i = 0; i < 4000; ++i) {
+      const FpValue a = gen.uniform_bits();
+      const FpValue b = gen.uniform_bits();
+      {
+        FpEnv env = FpEnv::paper();
+        const FpValue ref = fp::add(a, b, env);
+        ASSERT_EQ(adder.evaluate({a.bits, b.bits, false}).result, ref.bits)
+            << fmt.name() << ": " << to_string(a) << " + " << to_string(b);
+      }
+      {
+        FpEnv env = FpEnv::paper();
+        const FpValue ref = fp::mul(a, b, env);
+        ASSERT_EQ(mult.evaluate({a.bits, b.bits, false}).result, ref.bits)
+            << fmt.name() << ": " << to_string(a) << " * " << to_string(b);
+      }
+      {
+        FpEnv env = FpEnv::paper();
+        const FpValue ref = fp::div(a, b, env);
+        ASSERT_EQ(divi.evaluate({a.bits, b.bits, false}).result, ref.bits)
+            << fmt.name() << ": " << to_string(a) << " / " << to_string(b);
+      }
+      {
+        FpEnv env = FpEnv::paper();
+        const FpValue ref = fp::sqrt(a, env);
+        ASSERT_EQ(sqr.evaluate({a.bits, 0, false}).result, ref.bits)
+            << fmt.name() << ": sqrt " << to_string(a);
+      }
+    }
+  }
+}
+
+TEST(RandomFormat, ConvertersMatchSoftfloat) {
+  const auto fmts = random_formats(6, 0xf04);
+  for (std::size_t i = 0; i + 1 < fmts.size(); i += 2) {
+    const FpFormat src = fmts[i];
+    const FpFormat dst = fmts[i + 1];
+    UnitConfig cfg;
+    const FormatConverter cvt(src, dst, cfg);
+    ValueGen gen(src, 0xf05);
+    for (int k = 0; k < 8000; ++k) {
+      const FpValue a = gen.uniform_bits();
+      FpEnv env = FpEnv::paper();
+      const FpValue ref = fp::convert(a, dst, env);
+      ASSERT_EQ(cvt.evaluate(a.bits).result, ref.bits)
+          << src.name() << "->" << dst.name() << ": " << to_string(a);
+    }
+  }
+}
+
+TEST(RandomFormat, TimingAndAreaAlwaysSane) {
+  for (const FpFormat& fmt : random_formats(12, 0xf06)) {
+    for (UnitKind kind : {UnitKind::kAdder, UnitKind::kMultiplier,
+                          UnitKind::kDivider, UnitKind::kSqrt}) {
+      UnitConfig cfg;
+      const FpUnit unit(kind, fmt, cfg);
+      EXPECT_GT(unit.max_stages(), 1) << fmt.name();
+      EXPECT_GT(unit.freq_mhz(), 1.0) << fmt.name();
+      EXPECT_GT(unit.area().total.slices, 0) << fmt.name();
+      UnitConfig deep;
+      deep.stages = unit.max_stages();
+      const FpUnit du(kind, fmt, deep);
+      EXPECT_GE(du.freq_mhz(), unit.freq_mhz()) << fmt.name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flopsim::units

@@ -1,0 +1,153 @@
+// flopsim-gen: a command-line floating-point core generator, in the spirit
+// of the FPU generation tools the paper cites (Liang, Tessier & Mencer,
+// FCCM'03). Prints a full "datasheet" for a requested core: the piece
+// chain, the register placement at the requested depth, timing, area,
+// power, and the depth sweep with the recommended (opt) configuration.
+//
+// Usage:
+//   flopsim-gen <add|mul|div|sqrt|mac> <32|48|64> [stages] [area|speed]
+//   flopsim-gen cvt <src-bits> <dst-bits> [stages]
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "analysis/pareto.hpp"
+#include "analysis/report.hpp"
+#include "analysis/sweep.hpp"
+#include "power/unit_power.hpp"
+#include "units/converter_unit.hpp"
+
+namespace {
+
+using namespace flopsim;
+
+fp::FpFormat format_of(const std::string& bits) {
+  if (bits == "32") return fp::FpFormat::binary32();
+  if (bits == "48") return fp::FpFormat::binary48();
+  if (bits == "64") return fp::FpFormat::binary64();
+  if (bits == "16") return fp::FpFormat::binary16();
+  throw std::invalid_argument("unknown precision: " + bits);
+}
+
+void print_datasheet(const units::FpUnit& unit) {
+  const rtl::Timing t = unit.timing();
+  const rtl::AreaBreakdown a = unit.area();
+  std::printf("%s\n", unit.name().c_str());
+  std::printf("  stages       %d (max %d)\n", unit.stages(),
+              unit.max_stages());
+  std::printf("  clock        %.1f MHz (critical stage %d: %.2f ns)\n",
+              t.freq_mhz, t.critical_stage, t.critical_ns);
+  std::printf("  area         %s\n", a.total.to_string().c_str());
+  std::printf("  registers    %d FFs (%d absorbed into logic slices)\n",
+              a.pipeline_ffs, a.absorbed_ffs);
+  std::printf("  freq/area    %.4f MHz/slice\n", unit.freq_per_area());
+  std::printf("  power        %.1f mW @ 100 MHz\n\n",
+              power::unit_power(unit, 100.0).total_mw());
+
+  // Piece chain with the register placement.
+  const rtl::PieceChain& pieces = unit.pieces();
+  const rtl::PipelinePlan& plan = unit.plan();
+  std::printf("  pipeline plan (|| = register):\n    ");
+  int stage = 0;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (stage + 1 < plan.stages() &&
+        static_cast<int>(i) == plan.stage_begin[stage + 1]) {
+      std::printf("|| ");
+      ++stage;
+    }
+    std::printf("%s ", pieces[i].name.c_str());
+  }
+  std::printf("||\n\n");
+}
+
+int generate_arith(const std::string& op, const std::string& bits, int argc,
+                   char** argv) {
+  units::UnitKind kind;
+  if (op == "add") {
+    kind = units::UnitKind::kAdder;
+  } else if (op == "mul") {
+    kind = units::UnitKind::kMultiplier;
+  } else if (op == "div") {
+    kind = units::UnitKind::kDivider;
+  } else if (op == "sqrt") {
+    kind = units::UnitKind::kSqrt;
+  } else if (op == "mac") {
+    kind = units::UnitKind::kMac;
+  } else {
+    throw std::invalid_argument("unknown operation: " + op);
+  }
+  const fp::FpFormat fmt = format_of(bits);
+
+  units::UnitConfig cfg;
+  if (argc > 3 && std::isdigit(static_cast<unsigned char>(argv[3][0]))) {
+    cfg.stages = std::atoi(argv[3]);
+  }
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "speed") == 0) {
+      cfg.objective = device::Objective::kSpeed;
+    } else if (std::strcmp(argv[i], "ieee") == 0) {
+      cfg.ieee_mode = true;  // denormal + NaN hardware
+    } else if (std::strcmp(argv[i], "fabric") == 0) {
+      cfg.use_embedded_multipliers = false;  // LUT mantissa multiplier
+    }
+  }
+
+  // If no stage count given, recommend the freq/area optimum.
+  const analysis::SweepResult sweep =
+      analysis::sweep_unit(kind, fmt, cfg.objective);
+  const analysis::Selection sel = analysis::select_min_max_opt(sweep);
+  if (cfg.stages == 1 && (argc <= 3 ||
+                          !std::isdigit(static_cast<unsigned char>(
+                              argv[3][0])))) {
+    cfg.stages = sel.opt.stages;
+    std::printf("(no depth given: using the freq/area optimum, %d stages)\n\n",
+                cfg.stages);
+  }
+
+  const units::FpUnit unit(kind, fmt, cfg);
+  print_datasheet(unit);
+
+  std::printf("  depth sweep: min s=%d %.0fMHz/%dsl | opt s=%d %.0fMHz/%dsl "
+              "| max s=%d %.0fMHz/%dsl\n",
+              sel.min.stages, sel.min.freq_mhz, sel.min.area.slices,
+              sel.opt.stages, sel.opt.freq_mhz, sel.opt.area.slices,
+              sel.max.stages, sel.max.freq_mhz, sel.max.area.slices);
+  return 0;
+}
+
+int generate_cvt(int argc, char** argv) {
+  if (argc < 4) throw std::invalid_argument("cvt needs <src> <dst>");
+  const fp::FpFormat src = format_of(argv[2]);
+  const fp::FpFormat dst = format_of(argv[3]);
+  units::UnitConfig cfg;
+  if (argc > 4) cfg.stages = std::atoi(argv[4]);
+  const units::FormatConverter cvt(src, dst, cfg);
+  const rtl::Timing t = cvt.timing();
+  std::printf("%s\n", cvt.name().c_str());
+  std::printf("  stages     %d (max %d)\n", cvt.stages(), cvt.max_stages());
+  std::printf("  clock      %.1f MHz (critical %.2f ns)\n", t.freq_mhz,
+              t.critical_ns);
+  std::printf("  area       %s\n", cvt.area().total.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <add|mul|div|sqrt|mac> <32|48|64> [stages] "
+                 "[area|speed] [ieee] [fabric]\n       %s cvt <src-bits> "
+                 "<dst-bits> [stages]\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  try {
+    if (std::strcmp(argv[1], "cvt") == 0) return generate_cvt(argc, argv);
+    return generate_arith(argv[1], argv[2], argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,245 @@
+#include "analysis/seu.hpp"
+
+#include <algorithm>
+#include <random>
+
+namespace flopsim::analysis {
+
+namespace {
+
+bool same_output(const std::optional<units::UnitOutput>& a,
+                 const std::optional<units::UnitOutput>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a.has_value()) return true;
+  return a->result == b->result && a->flags == b->flags;
+}
+
+}  // namespace
+
+UnitSeuResult run_unit_campaign(units::UnitKind kind, fp::FpFormat fmt,
+                                const units::UnitConfig& cfg,
+                                const SeuCampaignConfig& camp) {
+  UnitSeuResult res;
+
+  units::FpUnit probe(kind, fmt, cfg);
+  const int horizon = camp.vectors + probe.latency() + 2;
+  const std::vector<units::UnitInput> workload =
+      fault::campaign_workload(kind, fmt, camp.vectors, camp.seed);
+
+  // Golden run: the clean pipeline over the identical stream.
+  std::vector<std::optional<units::UnitOutput>> golden;
+  golden.reserve(static_cast<std::size_t>(horizon));
+  probe.reset();
+  for (int t = 0; t < horizon; ++t) {
+    probe.step(t < camp.vectors
+                   ? std::optional<units::UnitInput>(
+                         workload[static_cast<std::size_t>(t)])
+                   : std::nullopt);
+    golden.push_back(probe.output());
+  }
+
+  const fault::LatchProfile profile =
+      fault::profile_unit_latches(probe, camp.vectors, camp.seed);
+  res.occupied_bits = profile.total_bits();
+  res.pipeline_ffs = probe.area().pipeline_ffs;
+
+  const fault::FaultCampaign campaign =
+      fault::FaultCampaign::random(profile, horizon, camp.faults, camp.seed + 1);
+
+  fault::HardenedUnit hardened(kind, fmt, cfg, camp.scheme);
+  for (const fault::Fault& f : campaign.faults()) {
+    hardened.reset();
+    hardened.arm(fault::FaultCampaign::from_list({f}));
+    bool corrupted = false;        // copy 0's own output vs golden
+    bool hardened_differs = false; // post-voter output vs golden
+    bool mismatch = false;         // checker fired at any cycle
+    for (int t = 0; t < horizon; ++t) {
+      const fault::HardenedUnit::Output out = hardened.step(
+          t < camp.vectors ? std::optional<units::UnitInput>(
+                                 workload[static_cast<std::size_t>(t)])
+                           : std::nullopt);
+      const std::optional<units::UnitOutput>& g =
+          golden[static_cast<std::size_t>(t)];
+      corrupted |= !same_output(out.raw, g);
+      hardened_differs |= !same_output(out.out, g);
+      mismatch |= out.mismatch;
+    }
+    hardened.disarm();
+
+    ++res.injected;
+    if (corrupted) ++res.corrupted;
+    if (camp.scheme == fault::Scheme::kTmr) {
+      if (hardened_differs) {
+        ++res.silent;
+      } else if (corrupted) {
+        ++res.corrected;
+      } else {
+        ++res.masked;
+      }
+    } else {
+      if (corrupted && !mismatch) {
+        ++res.silent;
+      } else if (mismatch) {
+        ++res.detected;
+      } else {
+        ++res.masked;
+      }
+    }
+  }
+  return res;
+}
+
+std::vector<SeuDepthPoint> seu_depth_sweep(units::UnitKind kind,
+                                           fp::FpFormat fmt,
+                                           const std::vector<int>& depths,
+                                           const SeuCampaignConfig& camp,
+                                           const SeuRateModel& rate) {
+  std::vector<SeuDepthPoint> points;
+  points.reserve(depths.size());
+  for (int d : depths) {
+    units::UnitConfig cfg;
+    cfg.stages = d;
+    SeuCampaignConfig c = camp;
+    c.scheme = fault::Scheme::kNone;
+    const UnitSeuResult r = run_unit_campaign(kind, fmt, cfg, c);
+    const units::FpUnit unit(kind, fmt, cfg);
+    SeuDepthPoint p;
+    p.stages = unit.stages();
+    p.freq_mhz = unit.timing().freq_mhz;
+    p.pipeline_ffs = r.pipeline_ffs;
+    p.occupied_bits = r.occupied_bits;
+    p.avf = r.avf();
+    p.sdc_fraction = r.sdc_fraction();
+    p.sdc_fit = rate.fit(r.pipeline_ffs, r.avf());
+    p.tmr_area_x = fault::hardening_cost(unit, fault::Scheme::kTmr).area_factor;
+    points.push_back(p);
+  }
+  return points;
+}
+
+ReliableSelection select_min_max_opt_reliable(const SweepResult& sweep,
+                                              double max_fit,
+                                              const SeuRateModel& rate,
+                                              double avf_derate) {
+  ReliableSelection sel;
+  sel.unconstrained = select_min_max_opt(sweep);
+  const DesignPoint* best = nullptr;
+  const DesignPoint* least_vulnerable = nullptr;
+  for (const DesignPoint& p : sweep.points) {
+    const double fit = rate.fit(p.pipeline_ffs, avf_derate);
+    if (least_vulnerable == nullptr ||
+        p.pipeline_ffs < least_vulnerable->pipeline_ffs) {
+      least_vulnerable = &p;
+    }
+    if (fit <= max_fit &&
+        (best == nullptr || p.freq_per_area > best->freq_per_area)) {
+      best = &p;
+    }
+  }
+  if (best != nullptr) {
+    sel.opt = *best;
+    sel.feasible = true;
+  } else if (least_vulnerable != nullptr) {
+    sel.opt = *least_vulnerable;
+  }
+  sel.fit_at_opt = rate.fit(sel.opt.pipeline_ffs, avf_derate);
+  return sel;
+}
+
+namespace {
+
+// One kernel-campaign fault: which PE, which structure inside it.
+struct PeFault {
+  int pe = 0;
+  enum Target { kMultLatch, kAddLatch, kAccumulator } target = kAccumulator;
+  fault::Fault fault;
+};
+
+}  // namespace
+
+MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
+                                    const MatmulSeuConfig& camp) {
+  MatmulSeuResult res;
+  const int n = camp.n;
+  std::mt19937_64 rng(camp.seed);
+
+  // Deterministic operands with magnitudes near 1 so products stay finite.
+  std::vector<double> av, bv;
+  av.reserve(static_cast<std::size_t>(n) * n);
+  bv.reserve(static_cast<std::size_t>(n) * n);
+  for (int i = 0; i < n * n; ++i) {
+    av.push_back((static_cast<double>(rng() % 2001) - 1000.0) / 499.0);
+    bv.push_back((static_cast<double>(rng() % 2001) - 1000.0) / 499.0);
+  }
+  const kernel::Matrix a = kernel::matrix_from_doubles(av, n, cfg.fmt);
+  const kernel::Matrix b = kernel::matrix_from_doubles(bv, n, cfg.fmt);
+
+  kernel::LinearArrayMatmul array(n, cfg);
+  const kernel::MatmulRun clean = array.run(a, b);
+  const long horizon = clean.cycles;
+
+  // Latch-fault sample spaces for the PE's two units.
+  units::FpUnit mult_probe(units::UnitKind::kMultiplier, cfg.fmt,
+                           cfg.mult_config());
+  units::FpUnit add_probe(units::UnitKind::kAdder, cfg.fmt,
+                          cfg.adder_config());
+  const fault::LatchProfile mult_profile =
+      fault::profile_unit_latches(mult_probe, 24, camp.seed + 2);
+  const fault::LatchProfile add_profile =
+      fault::profile_unit_latches(add_probe, 24, camp.seed + 3);
+
+  std::vector<PeFault> faults;
+  faults.reserve(static_cast<std::size_t>(camp.faults));
+  const int acc_count = static_cast<int>(
+      camp.accumulator_fraction * static_cast<double>(camp.faults) + 0.5);
+  for (int i = 0; i < camp.faults; ++i) {
+    PeFault pf;
+    pf.pe = static_cast<int>(rng() % static_cast<std::uint64_t>(n));
+    if (i < acc_count) {
+      pf.target = PeFault::kAccumulator;
+      const fault::FaultCampaign acc = fault::FaultCampaign::random_accumulator(
+          n, cfg.fmt.total_bits(), horizon, 1, rng());
+      pf.fault = acc.faults().front();
+    } else {
+      const bool mult = (rng() & 1) != 0;
+      pf.target = mult ? PeFault::kMultLatch : PeFault::kAddLatch;
+      const fault::FaultCampaign latch = fault::FaultCampaign::random(
+          mult ? mult_profile : add_profile, horizon, 1, rng());
+      if (latch.empty()) continue;
+      pf.fault = latch.faults().front();
+    }
+    faults.push_back(pf);
+  }
+
+  for (const PeFault& pf : faults) {
+    fault::FaultInjector injector({pf.fault});
+    kernel::ProcessingElement& pe = array.pe(pf.pe);
+    switch (pf.target) {
+      case PeFault::kMultLatch:
+        pe.multiplier().set_latch_observer(&injector);
+        break;
+      case PeFault::kAddLatch:
+        pe.adder().set_latch_observer(&injector);
+        break;
+      case PeFault::kAccumulator:
+        pe.set_storage_observer(&injector);
+        break;
+    }
+    const kernel::MatmulRun faulty = array.run(a, b);
+    pe.multiplier().set_latch_observer(nullptr);
+    pe.adder().set_latch_observer(nullptr);
+    pe.set_storage_observer(nullptr);
+
+    ++res.injected;
+    const bool corrupted =
+        faulty.c.bits != clean.c.bits || faulty.flags != clean.flags;
+    if (corrupted) {
+      ++res.silent;  // the bare kernel has no detection hardware
+    } else {
+      ++res.masked;
+    }
+  }
+  return res;
+}
+
+}  // namespace flopsim::analysis

@@ -1,0 +1,134 @@
+// Soft-error vulnerability analysis — the reliability axis the paper's
+// min/max/opt depth selection cannot see.
+//
+// Every pipeline register a deeper design adds is one more SRAM-backed
+// state bit exposed to single-event upsets. This module runs seeded
+// fault-injection campaigns against the cycle-accurate units and kernels,
+// measures the architectural vulnerability factor (AVF: the fraction of
+// latch-bit upsets that corrupt the architectural result, using the golden
+// `fp::` reference via the unit's own clean run as oracle), converts it to
+// a silent-data-corruption FIT rate, and extends the paper's
+// select_min_max_opt with a reliability constraint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/pareto.hpp"
+#include "fault/hardening.hpp"
+#include "kernel/matmul.hpp"
+
+namespace flopsim::analysis {
+
+/// Per-fault verdict of a hardened (or bare) unit campaign.
+enum class FaultOutcome { kMasked, kDetected, kCorrected, kSilent };
+
+struct SeuCampaignConfig {
+  int vectors = 32;  ///< workload operands driven through the pipe
+  int faults = 48;   ///< upsets injected, one per run (single-fault model)
+  std::uint64_t seed = 0x5eed;
+  fault::Scheme scheme = fault::Scheme::kNone;
+};
+
+struct UnitSeuResult {
+  int injected = 0;
+  int masked = 0;     ///< never reached the architectural output
+  int detected = 0;   ///< checker fired (parity/residue/compare)
+  int corrected = 0;  ///< TMR: raw copy corrupted, voted output clean
+  int silent = 0;     ///< corrupted the output with no error indication
+  /// Raw (pre-voter) corruption count — the scheme-independent AVF
+  /// numerator.
+  int corrupted = 0;
+  long occupied_bits = 0;  ///< AVF sample space (occupied latch bits)
+  int pipeline_ffs = 0;    ///< physical latch bits (upset cross-section)
+
+  double avf() const {
+    return injected > 0 ? static_cast<double>(corrupted) / injected : 0.0;
+  }
+  double sdc_fraction() const {
+    return injected > 0 ? static_cast<double>(silent) / injected : 0.0;
+  }
+};
+
+/// Inject `camp.faults` single upsets (one per run) into a unit at the
+/// configured depth and classify each against the golden run.
+UnitSeuResult run_unit_campaign(units::UnitKind kind, fp::FpFormat fmt,
+                                const units::UnitConfig& cfg,
+                                const SeuCampaignConfig& camp);
+
+/// Raw-fabric upset-rate model (configuration-independent user state only;
+/// see ROADMAP for configuration-memory follow-ons).
+struct SeuRateModel {
+  /// Upset rate of SRAM state, FIT per Mbit — Virtex-II-era neutron+alpha
+  /// order of magnitude.
+  double fit_per_mbit = 400.0;
+
+  /// Failures-in-time (events per 1e9 device-hours) of `bits` state bits
+  /// derated by the architectural vulnerability factor.
+  double fit(int bits, double avf) const {
+    return fit_per_mbit * (static_cast<double>(bits) / 1e6) * avf;
+  }
+};
+
+struct SeuDepthPoint {
+  int stages = 0;
+  double freq_mhz = 0.0;
+  int pipeline_ffs = 0;
+  long occupied_bits = 0;
+  double avf = 0.0;
+  double sdc_fraction = 0.0;
+  double sdc_fit = 0.0;     ///< rate.fit(pipeline_ffs, avf), unhardened
+  double tmr_area_x = 1.0;  ///< TMR area factor at this depth
+};
+
+/// Campaign at each requested depth (depths are clamped like UnitConfig).
+std::vector<SeuDepthPoint> seu_depth_sweep(units::UnitKind kind,
+                                           fp::FpFormat fmt,
+                                           const std::vector<int>& depths,
+                                           const SeuCampaignConfig& camp,
+                                           const SeuRateModel& rate = {});
+
+/// The paper's min/max/opt selection with a reliability constraint: opt
+/// becomes the best freq/area design whose unhardened SDC FIT (pipeline
+/// FFs x rate x avf_derate) stays within `max_fit`. When nothing
+/// qualifies, the least-vulnerable point is returned and `feasible` is
+/// false.
+struct ReliableSelection {
+  Selection unconstrained;
+  DesignPoint opt;
+  double fit_at_opt = 0.0;
+  bool feasible = false;
+};
+
+ReliableSelection select_min_max_opt_reliable(const SweepResult& sweep,
+                                              double max_fit,
+                                              const SeuRateModel& rate = {},
+                                              double avf_derate = 1.0);
+
+// --- kernel-level campaign ---------------------------------------------
+
+struct MatmulSeuConfig {
+  int n = 4;
+  int faults = 24;
+  std::uint64_t seed = 0x5eed;
+  /// Fraction of faults aimed at PE BRAM accumulator words; the rest hit
+  /// multiplier/adder stage latches.
+  double accumulator_fraction = 0.5;
+};
+
+struct MatmulSeuResult {
+  int injected = 0;
+  int masked = 0;
+  int silent = 0;  ///< result matrix or flags corrupted (no detection HW)
+  double sdc_fraction() const {
+    return injected > 0 ? static_cast<double>(silent) / injected : 0.0;
+  }
+};
+
+/// Single-fault campaign over the linear-array matmul kernel: the oracle
+/// is the clean cycle-accurate run (itself pinned bit-for-bit to
+/// reference_gemm by the kernel tests).
+MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
+                                    const MatmulSeuConfig& camp);
+
+}  // namespace flopsim::analysis

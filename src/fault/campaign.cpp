@@ -1,0 +1,205 @@
+#include "fault/campaign.hpp"
+
+#include <bit>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace flopsim::fault {
+
+namespace {
+
+// Deterministic helpers on top of mt19937_64: the standard distributions
+// are implementation-defined, so campaigns roll their own to keep a seed
+// reproducible across toolchains.
+std::uint64_t draw_below(std::mt19937_64& rng, std::uint64_t n) {
+  return n == 0 ? 0 : rng() % n;
+}
+
+double draw_unit(std::mt19937_64& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+long draw_poisson(std::mt19937_64& rng, double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth: multiply uniforms until the product drops below e^-mean.
+    const double limit = std::exp(-mean);
+    long k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= draw_unit(rng);
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation is fine at campaign scale.
+  const double u1 = draw_unit(rng);
+  const double u2 = draw_unit(rng);
+  const double z =
+      std::sqrt(-2.0 * std::log(u1 + 1e-18)) * std::cos(6.283185307179586 * u2);
+  const double v = mean + std::sqrt(mean) * z;
+  return v < 0.0 ? 0 : static_cast<long>(v + 0.5);
+}
+
+}  // namespace
+
+long LatchProfile::total_bits() const {
+  long bits = 0;
+  for (const auto& stage : occupied) {
+    for (fp::u64 mask : stage) bits += std::popcount(mask);
+  }
+  if (include_valid) bits += stages();
+  if (include_flags) bits += 8L * stages();
+  return bits;
+}
+
+LatchProfile profile_unit_latches(units::FpUnit& unit, int vectors,
+                                  std::uint64_t seed) {
+  LatchProfile profile;
+  profile.occupied.assign(static_cast<std::size_t>(unit.stages()), {});
+  const std::vector<units::UnitInput> workload =
+      campaign_workload(unit.kind(), unit.format(), vectors, seed);
+  unit.reset();
+  const int total = vectors + unit.latency() + 2;
+  for (int t = 0; t < total; ++t) {
+    if (t < vectors) {
+      unit.step(workload[static_cast<std::size_t>(t)]);
+    } else {
+      unit.step(std::nullopt);
+    }
+    const std::vector<rtl::SignalSet>& latches = unit.latches();
+    for (std::size_t s = 0; s < latches.size(); ++s) {
+      for (int l = 0; l < rtl::kMaxSignals; ++l) {
+        profile.occupied[s][static_cast<std::size_t>(l)] |= latches[s][l];
+      }
+    }
+  }
+  unit.reset();
+  return profile;
+}
+
+std::vector<units::UnitInput> campaign_workload(units::UnitKind kind,
+                                                fp::FpFormat fmt, int count,
+                                                std::uint64_t seed) {
+  std::mt19937_64 rng(seed ^ 0x5eu);
+  std::vector<units::UnitInput> workload;
+  workload.reserve(static_cast<std::size_t>(count));
+  const fp::u64 mask = fmt.bits_mask();
+  for (int i = 0; i < count; ++i) {
+    units::UnitInput in;
+    in.a = rng() & mask;
+    in.b = rng() & mask;
+    in.subtract = kind == units::UnitKind::kAdder && (i & 1) != 0;
+    if (kind == units::UnitKind::kMac) in.c = rng() & mask;
+    workload.push_back(in);
+  }
+  return workload;
+}
+
+FaultCampaign FaultCampaign::from_list(std::vector<Fault> faults) {
+  FaultCampaign c;
+  c.faults_ = std::move(faults);
+  return c;
+}
+
+namespace {
+
+// Flatten the profile's occupied bits into (stage, lane, bit) triples so
+// uniform sampling is an index draw.
+struct BitSite {
+  int stage;
+  int lane;
+  int bit;
+};
+
+std::vector<BitSite> flatten(const LatchProfile& profile) {
+  std::vector<BitSite> sites;
+  for (int s = 0; s < profile.stages(); ++s) {
+    const auto& lanes = profile.occupied[static_cast<std::size_t>(s)];
+    for (int l = 0; l < rtl::kMaxSignals; ++l) {
+      fp::u64 mask = lanes[static_cast<std::size_t>(l)];
+      while (mask != 0) {
+        const int bit = std::countr_zero(mask);
+        sites.push_back({s, l, bit});
+        mask &= mask - 1;
+      }
+    }
+    if (profile.include_valid) sites.push_back({s, kValidLane, 0});
+    if (profile.include_flags) {
+      for (int b = 0; b < 8; ++b) sites.push_back({s, kFlagsLane, b});
+    }
+  }
+  return sites;
+}
+
+std::vector<Fault> place_faults(const LatchProfile& profile, long horizon,
+                                long count, std::mt19937_64& rng) {
+  const std::vector<BitSite> sites = flatten(profile);
+  std::vector<Fault> faults;
+  if (sites.empty() || horizon <= 0) return faults;
+  faults.reserve(static_cast<std::size_t>(count));
+  for (long i = 0; i < count; ++i) {
+    const BitSite& site =
+        sites[static_cast<std::size_t>(draw_below(rng, sites.size()))];
+    Fault f;
+    f.cycle = static_cast<long>(
+        draw_below(rng, static_cast<std::uint64_t>(horizon)));
+    f.site = FaultSite::kStageLatch;
+    f.index = site.stage;
+    f.lane = site.lane;
+    f.bit = site.bit;
+    faults.push_back(f);
+  }
+  return faults;
+}
+
+}  // namespace
+
+FaultCampaign FaultCampaign::random(const LatchProfile& profile, long horizon,
+                                    int count, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  FaultCampaign c;
+  c.faults_ = place_faults(profile, horizon, count, rng);
+  return c;
+}
+
+FaultCampaign FaultCampaign::poisson(const LatchProfile& profile, long horizon,
+                                     double upsets_per_bit_cycle,
+                                     std::uint64_t seed) {
+  if (upsets_per_bit_cycle < 0.0) {
+    throw std::invalid_argument("FaultCampaign: negative upset rate");
+  }
+  std::mt19937_64 rng(seed);
+  const double mean = upsets_per_bit_cycle *
+                      static_cast<double>(profile.total_bits()) *
+                      static_cast<double>(horizon);
+  const long count = draw_poisson(rng, mean);
+  FaultCampaign c;
+  c.faults_ = place_faults(profile, horizon, count, rng);
+  return c;
+}
+
+FaultCampaign FaultCampaign::random_accumulator(int rows, int word_bits,
+                                                long horizon, int count,
+                                                std::uint64_t seed) {
+  if (rows <= 0 || word_bits <= 0 || word_bits > 64) {
+    throw std::invalid_argument("FaultCampaign: bad accumulator geometry");
+  }
+  std::mt19937_64 rng(seed);
+  FaultCampaign c;
+  c.faults_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Fault f;
+    f.site = FaultSite::kAccumulator;
+    f.cycle = static_cast<long>(
+        draw_below(rng, static_cast<std::uint64_t>(horizon > 0 ? horizon : 1)));
+    f.index = static_cast<int>(draw_below(rng, static_cast<std::uint64_t>(rows)));
+    f.bit = static_cast<int>(
+        draw_below(rng, static_cast<std::uint64_t>(word_bits)));
+    c.faults_.push_back(f);
+  }
+  return c;
+}
+
+}  // namespace flopsim::fault

@@ -1,0 +1,84 @@
+// Seeded, reproducible fault campaigns.
+//
+// A campaign is a fault list. It can be given explicitly, drawn uniformly
+// over the *occupied* latch-bit space of a unit (bits observed carrying
+// data under a calibration workload — the architectural-vulnerability-
+// factor denominator), or drawn from a Poisson upset-rate model (upsets
+// per bit-cycle over the physical state bits, the way raw fabric upset
+// rates are quoted). Everything is driven by one std::mt19937_64 with an
+// explicit algorithm on top, so the same seed yields the same fault list
+// on every platform and every run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "units/fp_unit.hpp"
+
+namespace flopsim::fault {
+
+/// Per-stage OR-mask of every latch bit observed set during a calibration
+/// run — the sample space for random latch faults. Bits that never carry a
+/// one under the workload are excluded: flipping them is either impossible
+/// (the lane is unused by this unit) or equivalent to flipping an occupied
+/// bit at another time.
+struct LatchProfile {
+  std::vector<std::array<fp::u64, rtl::kMaxSignals>> occupied;
+  bool include_valid = false;  ///< also sample the DONE bit
+  bool include_flags = false;  ///< also sample the carried flag byte
+
+  int stages() const { return static_cast<int>(occupied.size()); }
+  /// Occupied data bits (plus valid/flag bits when included) per stage,
+  /// summed — the AVF denominator.
+  long total_bits() const;
+};
+
+/// Drive `vectors` deterministic operands (plus drain bubbles) through a
+/// fresh copy of the unit's pipeline and OR every latch observed. The unit
+/// is reset before and after.
+LatchProfile profile_unit_latches(units::FpUnit& unit, int vectors,
+                                  std::uint64_t seed);
+
+/// Deterministic operand stream for campaigns: uniform encodings of the
+/// unit's format with alternating subtract for adders. The same (fmt,
+/// count, seed) always yields the same stream.
+std::vector<units::UnitInput> campaign_workload(units::UnitKind kind,
+                                                fp::FpFormat fmt, int count,
+                                                std::uint64_t seed);
+
+class FaultCampaign {
+ public:
+  /// An explicit fault list.
+  static FaultCampaign from_list(std::vector<Fault> faults);
+
+  /// `count` faults uniform over the profile's occupied bits x stages x
+  /// [0, horizon) cycles.
+  static FaultCampaign random(const LatchProfile& profile, long horizon,
+                              int count, std::uint64_t seed);
+
+  /// Poisson upset-rate model: the number of faults is Poisson-distributed
+  /// with mean `upsets_per_bit_cycle * profile.total_bits() * horizon`,
+  /// each fault then placed like random().
+  static FaultCampaign poisson(const LatchProfile& profile, long horizon,
+                               double upsets_per_bit_cycle,
+                               std::uint64_t seed);
+
+  /// `count` single-bit accumulator upsets: row uniform in [0, rows),
+  /// bit uniform in [0, word_bits), cycle uniform in [0, horizon).
+  static FaultCampaign random_accumulator(int rows, int word_bits,
+                                          long horizon, int count,
+                                          std::uint64_t seed);
+
+  const std::vector<Fault>& faults() const { return faults_; }
+  bool empty() const { return faults_.empty(); }
+  std::size_t size() const { return faults_.size(); }
+
+  FaultInjector make_injector() const { return FaultInjector(faults_); }
+
+ private:
+  std::vector<Fault> faults_;
+};
+
+}  // namespace flopsim::fault

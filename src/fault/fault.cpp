@@ -1,0 +1,79 @@
+#include "fault/fault.hpp"
+
+#include <stdexcept>
+
+namespace flopsim::fault {
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kStageLatch: return "latch";
+    case FaultSite::kAccumulator: return "accumulator";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(std::vector<Fault> faults)
+    : faults_(std::move(faults)), armed_(faults_.size(), 1) {
+  for (const Fault& f : faults_) {
+    if (f.bit < 0 || f.bit >= 64) {
+      throw std::invalid_argument("FaultInjector: bit out of [0, 64)");
+    }
+    if (f.site == FaultSite::kStageLatch &&
+        (f.lane >= rtl::kMaxSignals || f.lane < kFlagsLane)) {
+      throw std::invalid_argument("FaultInjector: bad latch lane");
+    }
+  }
+}
+
+void FaultInjector::apply_latch_fault(std::size_t i, rtl::SignalSet& latch) {
+  const Fault& f = faults_[i];
+  AppliedFault log{f, 0, 0};
+  if (f.lane == kValidLane) {
+    log.before = latch.valid ? 1 : 0;
+    latch.valid = !latch.valid;
+    log.after = latch.valid ? 1 : 0;
+  } else if (f.lane == kFlagsLane) {
+    log.before = latch.flags;
+    latch.flags ^= static_cast<std::uint8_t>(1u << (f.bit & 7));
+    log.after = latch.flags;
+  } else {
+    log.before = latch[f.lane];
+    latch[f.lane] ^= fp::u64{1} << f.bit;
+    log.after = latch[f.lane];
+  }
+  applied_.push_back(log);
+}
+
+void FaultInjector::on_latch(long cycle, int stage, rtl::SignalSet& latch) {
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (!armed_[i]) continue;
+    const Fault& f = faults_[i];
+    if (f.site != FaultSite::kStageLatch || f.cycle != cycle ||
+        f.index != stage) {
+      continue;
+    }
+    armed_[i] = 0;
+    apply_latch_fault(i, latch);
+  }
+}
+
+void FaultInjector::on_storage(long cycle, std::vector<fp::u64>& acc) {
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (!armed_[i]) continue;
+    const Fault& f = faults_[i];
+    if (f.site != FaultSite::kAccumulator || f.cycle != cycle) continue;
+    armed_[i] = 0;
+    if (f.index < 0 || f.index >= static_cast<int>(acc.size())) continue;
+    AppliedFault log{f, acc[static_cast<std::size_t>(f.index)], 0};
+    acc[static_cast<std::size_t>(f.index)] ^= fp::u64{1} << f.bit;
+    log.after = acc[static_cast<std::size_t>(f.index)];
+    applied_.push_back(log);
+  }
+}
+
+void FaultInjector::rewind() {
+  armed_.assign(faults_.size(), 1);
+  applied_.clear();
+}
+
+}  // namespace flopsim::fault

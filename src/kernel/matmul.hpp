@@ -56,6 +56,8 @@ class LinearArrayMatmul {
   const ProcessingElement& pe(int j) const {
     return pes_[static_cast<std::size_t>(j)];
   }
+  /// Mutable access for fault-hook attachment (see src/fault/).
+  ProcessingElement& pe(int j) { return pes_[static_cast<std::size_t>(j)]; }
 
  private:
   int n_;

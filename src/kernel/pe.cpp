@@ -72,6 +72,8 @@ void ProcessingElement::step(const std::optional<MacIssue>& issue) {
       --pending_writes_[static_cast<std::size_t>(row)];
       --in_flight_;
     }
+    if (storage_observer_ != nullptr) storage_observer_->on_storage(cycles_, acc_);
+    ++cycles_;
     return;
   }
 
@@ -113,6 +115,8 @@ void ProcessingElement::step(const std::optional<MacIssue>& issue) {
     --pending_writes_[static_cast<std::size_t>(row)];
     --in_flight_;
   }
+  if (storage_observer_ != nullptr) storage_observer_->on_storage(cycles_, acc_);
+  ++cycles_;
 }
 
 void ProcessingElement::clear() {
@@ -127,6 +131,7 @@ void ProcessingElement::clear() {
   in_flight_ = 0;
   mac_issues_ = 0;
   hazards_ = 0;
+  cycles_ = 0;
   flags_ = 0;
 }
 

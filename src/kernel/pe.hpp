@@ -21,6 +21,17 @@
 
 namespace flopsim::kernel {
 
+/// Observer called at the end of every PE clock with the accumulator bank —
+/// the narrow hook the fault layer uses to flip BRAM-resident bits (SEU
+/// injection). With no observer attached the PE behaves exactly as before.
+class StorageObserver {
+ public:
+  virtual ~StorageObserver() = default;
+  /// `cycle` is the 0-based clock just completed (== cycles() before the
+  /// step finished); `acc` is the live accumulator bank, mutable in place.
+  virtual void on_storage(long cycle, std::vector<fp::u64>& acc) = 0;
+};
+
 struct PeConfig {
   fp::FpFormat fmt = fp::FpFormat::binary32();
   int adder_stages = 8;
@@ -70,6 +81,14 @@ class ProcessingElement {
   /// Accumulator reads that raced a pending writeback (stale data read).
   long hazards() const { return hazards_; }
   std::uint8_t flags() const { return flags_; }
+  /// Clocks stepped since construction / the last clear().
+  long cycles() const { return cycles_; }
+
+  /// Attach (or detach with nullptr) the end-of-cycle storage observer.
+  /// Not owned; survives clear().
+  void set_storage_observer(StorageObserver* observer) {
+    storage_observer_ = observer;
+  }
 
   /// Per-PE FPGA resources: units + storage + control. Control includes the
   /// latency-proportional control shift registers the paper describes.
@@ -83,6 +102,9 @@ class ProcessingElement {
 
   const units::FpUnit& adder() const { return adder_; }
   const units::FpUnit& multiplier() const { return mult_; }
+  /// Mutable access for fault-hook attachment (FpUnit::set_latch_observer).
+  units::FpUnit& adder() { return adder_; }
+  units::FpUnit& multiplier() { return mult_; }
 
  private:
   PeConfig cfg_;
@@ -99,7 +121,9 @@ class ProcessingElement {
   int in_flight_ = 0;
   long mac_issues_ = 0;
   long hazards_ = 0;
+  long cycles_ = 0;
   std::uint8_t flags_ = 0;
+  StorageObserver* storage_observer_ = nullptr;  // not owned
 };
 
 }  // namespace flopsim::kernel

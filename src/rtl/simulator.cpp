@@ -28,6 +28,7 @@ void PipelineSim::step(const std::optional<SignalSet>& input) {
       }
     }
     latch_[s] = work;
+    if (observer_ != nullptr) observer_->on_latch(cycles_, s, latch_[s]);
   }
   ++cycles_;
 }

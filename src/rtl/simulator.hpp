@@ -13,6 +13,19 @@
 
 namespace flopsim::rtl {
 
+/// Observer called immediately after a stage latch loads on a clock edge —
+/// the narrow hook the fault layer uses to flip latched bits (SEU
+/// injection). With no observer attached the simulator behaves exactly as
+/// before; an attached observer that never mutates the latch is a no-op.
+class LatchObserver {
+ public:
+  virtual ~LatchObserver() = default;
+  /// `cycle` is the 0-based clock this edge belongs to (== cycles() before
+  /// the step completes); `stage` indexes latches()/the stage output
+  /// register just written; `latch` may be mutated in place.
+  virtual void on_latch(long cycle, int stage, SignalSet& latch) = 0;
+};
+
 class PipelineSim {
  public:
   PipelineSim(const PieceChain* chain, PipelinePlan plan);
@@ -37,11 +50,17 @@ class PipelineSim {
   /// measurement and debugging).
   const std::vector<SignalSet>& latches() const { return latch_; }
 
+  /// Attach (or detach with nullptr) the post-latch observer. Not owned;
+  /// survives reset().
+  void set_latch_observer(LatchObserver* observer) { observer_ = observer; }
+  LatchObserver* latch_observer() const { return observer_; }
+
  private:
   const PieceChain* chain_;  // not owned
   PipelinePlan plan_;
   std::vector<SignalSet> latch_;  // latch_[s] = output register of stage s
   long cycles_ = 0;
+  LatchObserver* observer_ = nullptr;  // not owned
 };
 
 }  // namespace flopsim::rtl

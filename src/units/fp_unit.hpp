@@ -78,6 +78,11 @@ class FpUnit {
   const std::vector<rtl::SignalSet>& latches() const {
     return sim_.latches();
   }
+  /// Post-latch observer hook (fault injection). Nullptr detaches; the
+  /// zero-observer path is bit-identical to an unobserved unit.
+  void set_latch_observer(rtl::LatchObserver* observer) {
+    sim_.set_latch_observer(observer);
+  }
 
  private:
   UnitKind kind_;

@@ -1,0 +1,123 @@
+// SEU campaign analysis: depth-vs-vulnerability trend, the reliability-
+// constrained min/max/opt selection, and the kernel-level campaign.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/seu.hpp"
+#include "analysis/sweep.hpp"
+
+namespace flopsim::analysis {
+namespace {
+
+TEST(SeuCampaign, UnitCampaignIsDeterministic) {
+  units::UnitConfig cfg;
+  cfg.stages = 5;
+  SeuCampaignConfig camp;
+  camp.faults = 24;
+  const UnitSeuResult a = run_unit_campaign(
+      units::UnitKind::kAdder, fp::FpFormat::binary32(), cfg, camp);
+  const UnitSeuResult b = run_unit_campaign(
+      units::UnitKind::kAdder, fp::FpFormat::binary32(), cfg, camp);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.masked, b.masked);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.corrected, b.corrected);
+  EXPECT_EQ(a.silent, b.silent);
+  EXPECT_EQ(a.corrupted, b.corrupted);
+  EXPECT_EQ(a.occupied_bits, b.occupied_bits);
+
+  EXPECT_EQ(a.injected, 24);
+  EXPECT_EQ(a.masked + a.detected + a.silent + a.corrected, a.injected);
+}
+
+// Deeper pipelines expose more state: FF count grows monotonically with
+// depth and the silent-corruption FIT at the deepest point exceeds the
+// combinational (1-stage) point. Per-depth AVF itself is a noisy Monte
+// Carlo estimate, so the trend is asserted on the physical exposure.
+TEST(SeuCampaign, DepthSweepShowsGrowingExposure) {
+  units::UnitConfig probe_cfg;
+  const units::FpUnit probe(units::UnitKind::kAdder, fp::FpFormat::binary32(),
+                            probe_cfg);
+  const int max = probe.max_stages();
+  const std::vector<int> depths{1, max / 3, (2 * max) / 3, max};
+
+  SeuCampaignConfig camp;
+  camp.faults = 64;
+  const std::vector<SeuDepthPoint> points = seu_depth_sweep(
+      units::UnitKind::kAdder, fp::FpFormat::binary32(), depths, camp);
+
+  ASSERT_EQ(points.size(), depths.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].stages, depths[i]);
+    EXPECT_GE(points[i].avf, 0.0);
+    EXPECT_LE(points[i].avf, 1.0);
+    EXPECT_GT(points[i].occupied_bits, 0);
+    EXPECT_GE(points[i].tmr_area_x, 3.0);
+    if (i > 0) {
+      EXPECT_GT(points[i].pipeline_ffs, points[i - 1].pipeline_ffs);
+      EXPECT_GE(points[i].occupied_bits, points[i - 1].occupied_bits);
+    }
+  }
+  EXPECT_GT(points.back().sdc_fit, points.front().sdc_fit);
+}
+
+TEST(SeuCampaign, ReliableSelectionHonorsTheFitCap) {
+  const SweepResult sweep =
+      sweep_unit(units::UnitKind::kAdder, fp::FpFormat::binary64());
+  const SeuRateModel rate;
+
+  // A huge cap changes nothing.
+  const ReliableSelection loose =
+      select_min_max_opt_reliable(sweep, 1e9, rate, 1.0);
+  EXPECT_TRUE(loose.feasible);
+  EXPECT_EQ(loose.opt.stages, loose.unconstrained.opt.stages);
+
+  // A cap below the unconstrained optimum forces a shallower design.
+  const double opt_fit =
+      rate.fit(loose.unconstrained.opt.pipeline_ffs, 1.0);
+  const ReliableSelection tight =
+      select_min_max_opt_reliable(sweep, opt_fit * 0.6, rate, 1.0);
+  EXPECT_TRUE(tight.feasible);
+  EXPECT_LT(tight.opt.stages, loose.unconstrained.opt.stages);
+  EXPECT_LE(tight.fit_at_opt, opt_fit * 0.6);
+  // Still the best MHz/slice among the qualifying points.
+  for (const DesignPoint& p : sweep.points) {
+    if (rate.fit(p.pipeline_ffs, 1.0) <= opt_fit * 0.6) {
+      EXPECT_LE(p.freq_per_area, tight.opt.freq_per_area);
+    }
+  }
+
+  // An impossible cap falls back to the least-vulnerable point.
+  const ReliableSelection impossible =
+      select_min_max_opt_reliable(sweep, 0.0, rate, 1.0);
+  EXPECT_FALSE(impossible.feasible);
+  for (const DesignPoint& p : sweep.points) {
+    EXPECT_LE(impossible.opt.pipeline_ffs, p.pipeline_ffs);
+  }
+}
+
+TEST(SeuCampaign, MatmulCampaignIsDeterministicAndFindsSdc) {
+  kernel::PeConfig cfg;
+  cfg.adder_stages = 2;
+  cfg.mult_stages = 2;
+  MatmulSeuConfig camp;
+  camp.faults = 24;
+  const MatmulSeuResult a = run_matmul_campaign(cfg, camp);
+  const MatmulSeuResult b = run_matmul_campaign(cfg, camp);
+
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.masked, b.masked);
+  EXPECT_EQ(a.silent, b.silent);
+
+  EXPECT_GT(a.injected, 0);
+  EXPECT_EQ(a.masked + a.silent, a.injected);
+  // The bare kernel has no detection hardware: some upsets must land in
+  // the result as silent corruptions.
+  EXPECT_GT(a.silent, 0);
+  EXPECT_GT(a.sdc_fraction(), 0.0);
+  EXPECT_LE(a.sdc_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace flopsim::analysis

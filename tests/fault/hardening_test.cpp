@@ -1,0 +1,131 @@
+// Hardened-core invariants: TMR corrects and duplicate/parity detect every
+// single-bit latch upset, and the cost model stays within sane bounds.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/seu.hpp"
+#include "fault/hardening.hpp"
+
+namespace flopsim::fault {
+namespace {
+
+std::vector<int> test_depths(units::UnitKind kind, fp::FpFormat fmt) {
+  units::UnitConfig cfg;
+  const units::FpUnit probe(kind, fmt, cfg);
+  const int max = probe.max_stages();
+  return {1, (1 + max) / 2, max};
+}
+
+analysis::UnitSeuResult campaign(units::UnitKind kind, fp::FpFormat fmt,
+                                 int stages, Scheme scheme) {
+  units::UnitConfig cfg;
+  cfg.stages = stages;
+  analysis::SeuCampaignConfig camp;
+  camp.vectors = 20;
+  camp.faults = 24;
+  camp.scheme = scheme;
+  return analysis::run_unit_campaign(kind, fmt, cfg, camp);
+}
+
+// TMR must correct every single-bit latch upset: the voted output never
+// differs from the golden run.
+TEST(Hardening, TmrCorrectsEverySingleBitUpset) {
+  const fp::FpFormat fmt = fp::FpFormat::binary16();
+  for (const units::UnitKind kind :
+       {units::UnitKind::kAdder, units::UnitKind::kMultiplier}) {
+    for (const int stages : test_depths(kind, fmt)) {
+      const analysis::UnitSeuResult r =
+          campaign(kind, fmt, stages, Scheme::kTmr);
+      SCOPED_TRACE(std::string(units::to_string(kind)) + " s" +
+                   std::to_string(stages));
+      EXPECT_EQ(r.injected, 24);
+      EXPECT_EQ(r.silent, 0);
+      // Every fault that corrupted copy 0's output was voted away.
+      EXPECT_EQ(r.corrected, r.corrupted);
+      EXPECT_EQ(r.masked + r.corrected, r.injected);
+    }
+  }
+}
+
+// Duplicate-and-compare must flag every output-corrupting upset.
+TEST(Hardening, DuplicateDetectsEverySingleBitUpset) {
+  const fp::FpFormat fmt = fp::FpFormat::binary16();
+  for (const int stages : test_depths(units::UnitKind::kAdder, fmt)) {
+    const analysis::UnitSeuResult r =
+        campaign(units::UnitKind::kAdder, fmt, stages, Scheme::kDuplicate);
+    SCOPED_TRACE("s" + std::to_string(stages));
+    EXPECT_EQ(r.silent, 0);
+    EXPECT_GE(r.detected, r.corrupted);  // compare fires on any divergence
+  }
+}
+
+// Parity covers every single-bit latch upset (odd weight by definition).
+TEST(Hardening, ParityDetectsEverySingleBitUpset) {
+  const fp::FpFormat fmt = fp::FpFormat::binary16();
+  for (const int stages : test_depths(units::UnitKind::kMultiplier, fmt)) {
+    const analysis::UnitSeuResult r =
+        campaign(units::UnitKind::kMultiplier, fmt, stages, Scheme::kParity);
+    SCOPED_TRACE("s" + std::to_string(stages));
+    EXPECT_EQ(r.silent, 0);
+  }
+}
+
+TEST(Hardening, SchemeNamesRoundTrip) {
+  for (const Scheme s : {Scheme::kNone, Scheme::kParity, Scheme::kResidue,
+                         Scheme::kDuplicate, Scheme::kTmr}) {
+    EXPECT_EQ(parse_scheme(to_string(s)), s);
+  }
+  EXPECT_EQ(parse_scheme("dup"), Scheme::kDuplicate);
+  EXPECT_THROW(parse_scheme("bogus"), std::invalid_argument);
+}
+
+TEST(Hardening, CostFactorsStayInSaneBounds) {
+  for (const auto& [kind, fmt] :
+       {std::pair{units::UnitKind::kMultiplier, fp::FpFormat::binary32()},
+        std::pair{units::UnitKind::kAdder, fp::FpFormat::binary64()}}) {
+    units::UnitConfig cfg;
+    cfg.stages = 6;
+    const units::FpUnit unit(kind, fmt, cfg);
+    SCOPED_TRACE(unit.name());
+
+    const HardeningCost none = hardening_cost(unit, Scheme::kNone);
+    EXPECT_DOUBLE_EQ(none.area_factor, 1.0);
+    EXPECT_DOUBLE_EQ(none.freq_factor, 1.0);
+    EXPECT_EQ(none.extra_latency_cycles, 0);
+
+    const HardeningCost parity = hardening_cost(unit, Scheme::kParity);
+    const HardeningCost residue = hardening_cost(unit, Scheme::kResidue);
+    const HardeningCost dup = hardening_cost(unit, Scheme::kDuplicate);
+    const HardeningCost tmr = hardening_cost(unit, Scheme::kTmr);
+
+    // Light checkers: well under a second copy.
+    EXPECT_GT(parity.area_factor, 1.0);
+    EXPECT_LT(parity.area_factor, 1.6);
+    EXPECT_GT(residue.area_factor, 1.0);
+    EXPECT_LT(residue.area_factor, 1.6);
+
+    // Duplication: two copies plus a comparator; TMR: three plus a voter.
+    EXPECT_GE(dup.area_factor, 2.0);
+    EXPECT_LT(dup.area_factor, 3.0);
+    EXPECT_GE(tmr.area_factor, 3.0);
+    EXPECT_LT(tmr.area_factor, 4.5);
+    EXPECT_EQ(dup.extra_latency_cycles, 1);
+    EXPECT_EQ(tmr.extra_latency_cycles, 1);
+
+    for (const HardeningCost& c : {parity, residue, dup, tmr}) {
+      EXPECT_LE(c.freq_factor, 1.0 + 1e-9);
+      EXPECT_GT(c.freq_factor, 0.5);
+      EXPECT_GE(c.power_factor, 1.0);
+      EXPECT_EQ(c.total.slices, c.base.slices + c.overhead.slices);
+      EXPECT_GE(c.power_mw_100, c.base_power_mw_100);
+    }
+    EXPECT_GT(tmr.power_factor, dup.power_factor);
+    EXPECT_GT(dup.power_factor, parity.power_factor);
+  }
+}
+
+}  // namespace
+}  // namespace flopsim::fault

@@ -1,0 +1,19 @@
+# Runs ${TOOL} with ${ARGS} (a ;-list) and asserts the bad-argument
+# contract: exit code 2 and a usage message on stderr.
+execute_process(
+  COMMAND ${TOOL} ${ARGS}
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+)
+
+if(NOT exit_code EQUAL 2)
+  message(FATAL_ERROR
+          "${TOOL} ${ARGS}: expected exit code 2, got '${exit_code}'\n"
+          "stderr: ${err}")
+endif()
+
+if(NOT err MATCHES "usage:")
+  message(FATAL_ERROR
+          "${TOOL} ${ARGS}: stderr lacks a usage message\nstderr: ${err}")
+endif()

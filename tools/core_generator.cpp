@@ -6,21 +6,33 @@
 //
 // Usage:
 //   flopsim-gen <add|mul|div|sqrt|mac> <32|48|64> [stages] [area|speed]
+//               [ieee] [fabric] [--harden=<parity|residue|dup|tmr>]
 //   flopsim-gen cvt <src-bits> <dst-bits> [stages]
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "analysis/pareto.hpp"
 #include "analysis/report.hpp"
 #include "analysis/sweep.hpp"
+#include "fault/hardening.hpp"
 #include "power/unit_power.hpp"
 #include "units/converter_unit.hpp"
 
 namespace {
 
 using namespace flopsim;
+
+void print_usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s <add|mul|div|sqrt|mac> <16|32|48|64> [stages] "
+               "[area|speed] [ieee] [fabric] "
+               "[--harden=<parity|residue|dup|tmr>]\n"
+               "       %s cvt <src-bits> <dst-bits> [stages]\n",
+               prog, prog);
+}
 
 fp::FpFormat format_of(const std::string& bits) {
   if (bits == "32") return fp::FpFormat::binary32();
@@ -80,6 +92,7 @@ int generate_arith(const std::string& op, const std::string& bits, int argc,
   const fp::FpFormat fmt = format_of(bits);
 
   units::UnitConfig cfg;
+  std::optional<fault::Scheme> harden;
   if (argc > 3 && std::isdigit(static_cast<unsigned char>(argv[3][0]))) {
     cfg.stages = std::atoi(argv[3]);
   }
@@ -90,6 +103,8 @@ int generate_arith(const std::string& op, const std::string& bits, int argc,
       cfg.ieee_mode = true;  // denormal + NaN hardware
     } else if (std::strcmp(argv[i], "fabric") == 0) {
       cfg.use_embedded_multipliers = false;  // LUT mantissa multiplier
+    } else if (std::strncmp(argv[i], "--harden=", 9) == 0) {
+      harden = fault::parse_scheme(argv[i] + 9);
     }
   }
 
@@ -107,6 +122,18 @@ int generate_arith(const std::string& op, const std::string& bits, int argc,
 
   const units::FpUnit unit(kind, fmt, cfg);
   print_datasheet(unit);
+
+  if (harden.has_value()) {
+    const fault::HardeningCost h = fault::hardening_cost(unit, *harden);
+    std::printf("  hardened (%s):\n", fault::to_string(*harden));
+    std::printf("    area       %s (x%.2f)\n", h.total.to_string().c_str(),
+                h.area_factor);
+    std::printf("    clock      %.1f MHz (x%.2f)\n", h.freq_mhz,
+                h.freq_factor);
+    std::printf("    power      %.1f mW @ 100 MHz (x%.2f)\n", h.power_mw_100,
+                h.power_factor);
+    std::printf("    latency    +%d cycle(s)\n\n", h.extra_latency_cycles);
+  }
 
   std::printf("  depth sweep: min s=%d %.0fMHz/%dsl | opt s=%d %.0fMHz/%dsl "
               "| max s=%d %.0fMHz/%dsl\n",
@@ -136,16 +163,17 @@ int generate_cvt(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: %s <add|mul|div|sqrt|mac> <32|48|64> [stages] "
-                 "[area|speed] [ieee] [fabric]\n       %s cvt <src-bits> "
-                 "<dst-bits> [stages]\n",
-                 argv[0], argv[0]);
+    print_usage(argv[0]);
     return 2;
   }
   try {
     if (std::strcmp(argv[1], "cvt") == 0) return generate_cvt(argc, argv);
     return generate_arith(argv[1], argv[2], argc, argv);
+  } catch (const std::invalid_argument& e) {
+    // Bad op/precision/scheme names land here: report, show usage, exit 2.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    print_usage(argv[0]);
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

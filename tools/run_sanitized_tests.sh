@@ -1,0 +1,23 @@
+#!/bin/sh
+# Build the full tree with a sanitizer and run the test suite under it.
+#
+#   SAN=undefined tools/run_sanitized_tests.sh   (default)
+#   SAN=address   tools/run_sanitized_tests.sh
+#
+# Uses a separate build directory (build-$SAN) so the normal build stays
+# untouched.
+set -eu
+
+SAN="${SAN:-undefined}"
+case "$SAN" in
+  address|undefined) ;;
+  *) echo "error: SAN must be 'address' or 'undefined', got '$SAN'" >&2
+     exit 2 ;;
+esac
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-$SAN"
+
+cmake -B "$BUILD" -S "$ROOT" -DFLOPSIM_SANITIZE="$SAN"
+cmake --build "$BUILD" -j "$(nproc)"
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"

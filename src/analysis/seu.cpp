@@ -146,12 +146,52 @@ ReliableSelection select_min_max_opt_reliable(const SweepResult& sweep,
   return sel;
 }
 
+ReliableSelection select_min_max_opt_reliable(const SweepResult& sweep,
+                                              double max_fit,
+                                              const SeuRateModel& rate,
+                                              double avf_derate,
+                                              const CramRateModel& cram) {
+  ReliableSelection sel;
+  sel.unconstrained = select_min_max_opt(sweep);
+  const auto total_fit = [&](const DesignPoint& p) {
+    return rate.fit(p.pipeline_ffs, avf_derate) + cram.fit(p.area);
+  };
+  const DesignPoint* best = nullptr;
+  const DesignPoint* least_vulnerable = nullptr;
+  for (const DesignPoint& p : sweep.points) {
+    const double fit = total_fit(p);
+    if (least_vulnerable == nullptr || fit < total_fit(*least_vulnerable)) {
+      least_vulnerable = &p;
+    }
+    if (fit <= max_fit &&
+        (best == nullptr || p.freq_per_area > best->freq_per_area)) {
+      best = &p;
+    }
+  }
+  if (best != nullptr) {
+    sel.opt = *best;
+    sel.feasible = true;
+  } else if (least_vulnerable != nullptr) {
+    sel.opt = *least_vulnerable;
+  }
+  sel.cram_fit_at_opt = cram.fit(sel.opt.area);
+  sel.fit_at_opt =
+      rate.fit(sel.opt.pipeline_ffs, avf_derate) + sel.cram_fit_at_opt;
+  return sel;
+}
+
 namespace {
 
 // One kernel-campaign fault: which PE, which structure inside it.
 struct PeFault {
   int pe = 0;
-  enum Target { kMultLatch, kAddLatch, kAccumulator } target = kAccumulator;
+  enum Target {
+    kMultLatch,
+    kAddLatch,
+    kAccumulator,
+    kConfigMult,  ///< persistent config upset in the multiplier's logic
+    kConfigAdd,   ///< persistent config upset in the adder's logic
+  } target = kAccumulator;
   fault::Fault fault;
 };
 
@@ -162,6 +202,9 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
   MatmulSeuResult res;
   const int n = camp.n;
   std::mt19937_64 rng(camp.seed);
+
+  kernel::PeConfig pe_cfg = cfg;
+  pe_cfg.ecc_accumulators = camp.scheme == fault::Scheme::kEcc;
 
   // Deterministic operands with magnitudes near 1 so products stay finite.
   std::vector<double> av, bv;
@@ -174,7 +217,7 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
   const kernel::Matrix a = kernel::matrix_from_doubles(av, n, cfg.fmt);
   const kernel::Matrix b = kernel::matrix_from_doubles(bv, n, cfg.fmt);
 
-  kernel::LinearArrayMatmul array(n, cfg);
+  kernel::LinearArrayMatmul array(n, pe_cfg);
   const kernel::MatmulRun clean = array.run(a, b);
   const long horizon = clean.cycles;
 
@@ -211,14 +254,35 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
     faults.push_back(pf);
   }
 
+  // Configuration upsets ride on top of the legacy draw sequence (appended
+  // after it, so config_fraction == 0 reproduces the old campaign bit for
+  // bit): a struck LUT/route in one unit's stage logic forces a stuck mask
+  // until the next scrub pass.
+  const int config_count = static_cast<int>(
+      camp.config_fraction * static_cast<double>(camp.faults) + 0.5);
+  for (int i = 0; i < config_count; ++i) {
+    PeFault pf;
+    pf.pe = static_cast<int>(rng() % static_cast<std::uint64_t>(n));
+    const bool mult = (rng() & 1) != 0;
+    pf.target = mult ? PeFault::kConfigMult : PeFault::kConfigAdd;
+    const fault::FaultCampaign config = fault::FaultCampaign::cram(
+        mult ? mult_profile : add_profile, horizon, 1, rng(),
+        camp.scrub_period_cycles);
+    if (config.empty()) continue;
+    pf.fault = config.faults().front();
+    faults.push_back(pf);
+  }
+
   for (const PeFault& pf : faults) {
     fault::FaultInjector injector({pf.fault});
     kernel::ProcessingElement& pe = array.pe(pf.pe);
     switch (pf.target) {
       case PeFault::kMultLatch:
+      case PeFault::kConfigMult:
         pe.multiplier().set_latch_observer(&injector);
         break;
       case PeFault::kAddLatch:
+      case PeFault::kConfigAdd:
         pe.adder().set_latch_observer(&injector);
         break;
       case PeFault::kAccumulator:
@@ -233,8 +297,25 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
     ++res.injected;
     const bool corrupted =
         faulty.c.bits != clean.c.bits || faulty.flags != clean.flags;
+    const bool acc_site = pf.target == PeFault::kAccumulator;
+    const bool config_site =
+        pf.target == PeFault::kConfigMult || pf.target == PeFault::kConfigAdd;
+    if (acc_site) ++res.acc_injected;
+    else if (config_site) ++res.config_injected;
+    else ++res.latch_injected;
+
     if (corrupted) {
-      ++res.silent;  // the bare kernel has no detection hardware
+      // ECC can still flag what it cannot fix (double errors).
+      if (pe.ecc_detections() > 0) {
+        ++res.detected;
+      } else {
+        ++res.silent;
+        if (acc_site) ++res.acc_silent;
+        else if (config_site) ++res.config_silent;
+        else ++res.latch_silent;
+      }
+    } else if (pe.ecc_corrections() > 0) {
+      ++res.corrected;  // the upset reached storage; SECDED repaired it
     } else {
       ++res.masked;
     }

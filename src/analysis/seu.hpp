@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analysis/pareto.hpp"
+#include "fault/cram.hpp"
 #include "fault/hardening.hpp"
 #include "kernel/matmul.hpp"
 
@@ -56,8 +57,8 @@ UnitSeuResult run_unit_campaign(units::UnitKind kind, fp::FpFormat fmt,
                                 const units::UnitConfig& cfg,
                                 const SeuCampaignConfig& camp);
 
-/// Raw-fabric upset-rate model (configuration-independent user state only;
-/// see ROADMAP for configuration-memory follow-ons).
+/// Raw-fabric upset-rate model for *user state* (pipeline latches, BRAM
+/// words). Configuration memory is CramRateModel below.
 struct SeuRateModel {
   /// Upset rate of SRAM state, FIT per Mbit — Virtex-II-era neutron+alpha
   /// order of magnitude.
@@ -67,6 +68,27 @@ struct SeuRateModel {
   /// derated by the architectural vulnerability factor.
   double fit(int bits, double avf) const {
     return fit_per_mbit * (static_cast<double>(bits) / 1e6) * avf;
+  }
+};
+
+/// Configuration-memory upset-rate model: essential bits of the design's
+/// footprint (fault::CramModel) struck at the raw CRAM rate, derated by
+/// the probability the upset corrupts output before scrubbing repairs it
+/// (fault::ScrubModel). A persistent fault that is scrubbed before the
+/// kernel streams data contributes nothing.
+struct CramRateModel {
+  /// Raw configuration-cell upset rate, FIT per Mbit. CRAM cells are
+  /// somewhat harder than user flip-flops on the same process.
+  double fit_per_mbit = 150.0;
+  fault::CramModel cram;
+  fault::ScrubModel scrub;
+  /// Mission length used when scrubbing is disabled (exposure = mission/2).
+  double mission_s = 3600.0;
+
+  /// Effective SDC FIT of configuration upsets for a design using `used`.
+  double fit(const device::Resources& used) const {
+    return fit_per_mbit * cram.essential_mbit(used) *
+           scrub.observe_probability(mission_s);
   }
 };
 
@@ -96,7 +118,8 @@ std::vector<SeuDepthPoint> seu_depth_sweep(units::UnitKind kind,
 struct ReliableSelection {
   Selection unconstrained;
   DesignPoint opt;
-  double fit_at_opt = 0.0;
+  double fit_at_opt = 0.0;       ///< total (latch + CRAM) FIT at opt
+  double cram_fit_at_opt = 0.0;  ///< CRAM share of fit_at_opt
   bool feasible = false;
 };
 
@@ -104,6 +127,17 @@ ReliableSelection select_min_max_opt_reliable(const SweepResult& sweep,
                                               double max_fit,
                                               const SeuRateModel& rate = {},
                                               double avf_derate = 1.0);
+
+/// Same selection with the configuration-memory term included: a point
+/// qualifies when latch FIT + CRAM FIT (over its full area footprint)
+/// stays within `max_fit`. Shorter scrub periods shrink the CRAM term and
+/// re-admit larger/faster designs — the trade the ext_cram_scrub bench
+/// sweeps.
+ReliableSelection select_min_max_opt_reliable(const SweepResult& sweep,
+                                              double max_fit,
+                                              const SeuRateModel& rate,
+                                              double avf_derate,
+                                              const CramRateModel& cram);
 
 // --- kernel-level campaign ---------------------------------------------
 
@@ -114,12 +148,31 @@ struct MatmulSeuConfig {
   /// Fraction of faults aimed at PE BRAM accumulator words; the rest hit
   /// multiplier/adder stage latches.
   double accumulator_fraction = 0.5;
+  /// Storage hardening: kEcc turns on PeConfig::ecc_accumulators (SECDED
+  /// on the accumulator bank). Other schemes leave the kernel bare.
+  fault::Scheme scheme = fault::Scheme::kNone;
+  /// Additionally inject round(config_fraction * faults) persistent
+  /// configuration upsets (FaultSite::kConfig) into unit stage logic.
+  /// 0 keeps the campaign (and its RNG draw sequence) exactly legacy.
+  double config_fraction = 0.0;
+  /// Scrub period for those config upsets, in kernel cycles; a struck
+  /// piece repairs at the next scrub boundary. <= 0: persists all run.
+  long scrub_period_cycles = 0;
 };
 
 struct MatmulSeuResult {
   int injected = 0;
   int masked = 0;
-  int silent = 0;  ///< result matrix or flags corrupted (no detection HW)
+  int detected = 0;   ///< ECC double-error raised (corrupted but flagged)
+  int corrected = 0;  ///< ECC repaired the upset; output clean
+  int silent = 0;  ///< result matrix or flags corrupted, no error signal
+  // Per-site breakdown (injected/silent pairs).
+  int acc_injected = 0;
+  int acc_silent = 0;
+  int latch_injected = 0;
+  int latch_silent = 0;
+  int config_injected = 0;
+  int config_silent = 0;
   double sdc_fraction() const {
     return injected > 0 ? static_cast<double>(silent) / injected : 0.0;
   }

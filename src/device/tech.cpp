@@ -24,6 +24,12 @@ TechModel TechModel::virtex2pro7() {
   t.par_speed_factor_ = 1.12;
   t.ffs_per_slice_ = 2;
   t.ff_absorption_ = 0.55;
+  // Essential configuration cells per occupied primitive (see header): two
+  // 16-bit LUT masks + slice control + used local routing per slice; an
+  // embedded MULT18X18 and a BRAM are mostly routing/port configuration.
+  t.config_bits_per_slice_ = 200;
+  t.config_bits_per_bmult_ = 1800;
+  t.config_bits_per_bram_ = 1100;
   // Power coefficients (1.5 V core, mW/MHz scaled per 100 elements).
   t.clock_mw_per_mhz_100ff_ = 0.030;
   t.logic_mw_per_mhz_100lut_ = 0.040;

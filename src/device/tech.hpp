@@ -72,6 +72,19 @@ class TechModel {
   Resources csa_level_area(int bits, Objective o) const;
   Resources lut_logic_area(int bits, Objective o) const;
 
+  // --- configuration memory --------------------------------------------------
+  // SRAM configuration cells backing each occupied primitive — the CRAM
+  // upset cross-section (src/fault/cram.hpp). Counted as *essential* bits:
+  // LUT masks, slice control, and the share of routing a placed design
+  // actually drives, not the device's full frame count. Order-of-magnitude
+  // Virtex-II-class constants (~780 total config bits/slice device-wide, of
+  // which roughly a quarter are design-essential for packed logic).
+  int config_bits_per_slice() const { return config_bits_per_slice_; }
+  int config_bits_per_bmult() const { return config_bits_per_bmult_; }
+  /// Port/aspect/routing configuration only — BRAM *contents* are user
+  /// state, already modeled by the accumulator fault site.
+  int config_bits_per_bram() const { return config_bits_per_bram_; }
+
   // --- packing --------------------------------------------------------------
   /// FFs per slice (Virtex-II Pro: 2).
   int ffs_per_slice() const { return ffs_per_slice_; }
@@ -122,6 +135,9 @@ class TechModel {
   double par_speed_factor_;    // SPEED PAR extra slices for routing
   int ffs_per_slice_;
   double ff_absorption_;
+  int config_bits_per_slice_;
+  int config_bits_per_bmult_;
+  int config_bits_per_bram_;
   double clock_mw_per_mhz_100ff_;
   double logic_mw_per_mhz_100lut_;
   double signal_mw_per_mhz_100net_;

@@ -5,6 +5,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "fault/secded.hpp"
+
 namespace flopsim::fault {
 
 namespace {
@@ -97,12 +99,6 @@ std::vector<units::UnitInput> campaign_workload(units::UnitKind kind,
   return workload;
 }
 
-FaultCampaign FaultCampaign::from_list(std::vector<Fault> faults) {
-  FaultCampaign c;
-  c.faults_ = std::move(faults);
-  return c;
-}
-
 namespace {
 
 // Flatten the profile's occupied bits into (stage, lane, bit) triples so
@@ -154,52 +150,171 @@ std::vector<Fault> place_faults(const LatchProfile& profile, long horizon,
   return faults;
 }
 
+// Uniform draws over the profile's occupied *data* bits only (config upsets
+// rewire datapath logic; the valid/flag shift registers are user state and
+// already covered by kStageLatch). The stuck mask spans `mask_bits`
+// occupied bits upward from the struck one; repair lands on the first
+// scrub boundary after the strike.
+std::vector<Fault> place_config_faults(const LatchProfile& profile,
+                                       long horizon, long count,
+                                       long scrub_period_cycles, int mask_bits,
+                                       std::mt19937_64& rng) {
+  std::vector<BitSite> sites;
+  for (const BitSite& s : flatten(profile)) {
+    if (s.lane >= 0) sites.push_back(s);
+  }
+  std::vector<Fault> faults;
+  if (sites.empty() || horizon <= 0) return faults;
+  faults.reserve(static_cast<std::size_t>(count));
+  for (long i = 0; i < count; ++i) {
+    const BitSite& site =
+        sites[static_cast<std::size_t>(draw_below(rng, sites.size()))];
+    const fp::u64 occupied =
+        profile.occupied[static_cast<std::size_t>(site.stage)]
+                        [static_cast<std::size_t>(site.lane)];
+    const int width = mask_bits < 1 ? 1 : mask_bits;
+    fp::u64 span = width >= 64 ? ~fp::u64{0}
+                               : ((fp::u64{1} << width) - 1) << site.bit;
+    Fault f;
+    f.cycle = static_cast<long>(
+        draw_below(rng, static_cast<std::uint64_t>(horizon)));
+    f.site = FaultSite::kConfig;
+    f.index = site.stage;
+    f.lane = site.lane;
+    f.bit = site.bit;
+    f.mask = span & occupied;  // nonzero: the struck bit itself is occupied
+    f.stuck = rng() & f.mask;
+    f.repair_cycle =
+        scrub_period_cycles > 0
+            ? (f.cycle / scrub_period_cycles + 1) * scrub_period_cycles
+            : -1;
+    faults.push_back(f);
+  }
+  return faults;
+}
+
+const LatchProfile& require_profile(const CampaignSpec& spec) {
+  if (spec.profile == nullptr) {
+    throw std::invalid_argument("CampaignSpec: this source needs a profile");
+  }
+  return *spec.profile;
+}
+
 }  // namespace
+
+FaultCampaign FaultCampaign::make(const CampaignSpec& spec) {
+  using Source = CampaignSpec::Source;
+  FaultCampaign c;
+  switch (spec.source) {
+    case Source::kList:
+      c.faults_ = spec.faults;
+      return c;
+    case Source::kRandom: {
+      std::mt19937_64 rng(spec.seed);
+      c.faults_ =
+          place_faults(require_profile(spec), spec.horizon, spec.count, rng);
+      return c;
+    }
+    case Source::kPoisson: {
+      if (spec.rate < 0.0) {
+        throw std::invalid_argument("FaultCampaign: negative upset rate");
+      }
+      const LatchProfile& profile = require_profile(spec);
+      std::mt19937_64 rng(spec.seed);
+      const double mean = spec.rate *
+                          static_cast<double>(profile.total_bits()) *
+                          static_cast<double>(spec.horizon);
+      const long count = draw_poisson(rng, mean);
+      c.faults_ = place_faults(profile, spec.horizon, count, rng);
+      return c;
+    }
+    case Source::kAccumulator: {
+      if (spec.rows <= 0 || spec.word_bits <= 0 ||
+          spec.word_bits > kSecdedWordBits) {
+        throw std::invalid_argument("FaultCampaign: bad accumulator geometry");
+      }
+      std::mt19937_64 rng(spec.seed);
+      c.faults_.reserve(static_cast<std::size_t>(spec.count));
+      for (int i = 0; i < spec.count; ++i) {
+        Fault f;
+        f.site = FaultSite::kAccumulator;
+        f.cycle = static_cast<long>(draw_below(
+            rng,
+            static_cast<std::uint64_t>(spec.horizon > 0 ? spec.horizon : 1)));
+        f.index = static_cast<int>(
+            draw_below(rng, static_cast<std::uint64_t>(spec.rows)));
+        f.bit = static_cast<int>(
+            draw_below(rng, static_cast<std::uint64_t>(spec.word_bits)));
+        c.faults_.push_back(f);
+      }
+      return c;
+    }
+    case Source::kCram: {
+      std::mt19937_64 rng(spec.seed);
+      c.faults_ = place_config_faults(require_profile(spec), spec.horizon,
+                                      spec.count, spec.scrub_period_cycles,
+                                      spec.mask_bits, rng);
+      return c;
+    }
+  }
+  throw std::invalid_argument("CampaignSpec: unknown source");
+}
+
+FaultCampaign FaultCampaign::from_list(std::vector<Fault> faults) {
+  CampaignSpec spec;
+  spec.source = CampaignSpec::Source::kList;
+  spec.faults = std::move(faults);
+  return make(spec);
+}
 
 FaultCampaign FaultCampaign::random(const LatchProfile& profile, long horizon,
                                     int count, std::uint64_t seed) {
-  std::mt19937_64 rng(seed);
-  FaultCampaign c;
-  c.faults_ = place_faults(profile, horizon, count, rng);
-  return c;
+  CampaignSpec spec;
+  spec.source = CampaignSpec::Source::kRandom;
+  spec.profile = &profile;
+  spec.horizon = horizon;
+  spec.count = count;
+  spec.seed = seed;
+  return make(spec);
 }
 
 FaultCampaign FaultCampaign::poisson(const LatchProfile& profile, long horizon,
                                      double upsets_per_bit_cycle,
                                      std::uint64_t seed) {
-  if (upsets_per_bit_cycle < 0.0) {
-    throw std::invalid_argument("FaultCampaign: negative upset rate");
-  }
-  std::mt19937_64 rng(seed);
-  const double mean = upsets_per_bit_cycle *
-                      static_cast<double>(profile.total_bits()) *
-                      static_cast<double>(horizon);
-  const long count = draw_poisson(rng, mean);
-  FaultCampaign c;
-  c.faults_ = place_faults(profile, horizon, count, rng);
-  return c;
+  CampaignSpec spec;
+  spec.source = CampaignSpec::Source::kPoisson;
+  spec.profile = &profile;
+  spec.horizon = horizon;
+  spec.rate = upsets_per_bit_cycle;
+  spec.seed = seed;
+  return make(spec);
 }
 
 FaultCampaign FaultCampaign::random_accumulator(int rows, int word_bits,
                                                 long horizon, int count,
                                                 std::uint64_t seed) {
-  if (rows <= 0 || word_bits <= 0 || word_bits > 64) {
-    throw std::invalid_argument("FaultCampaign: bad accumulator geometry");
-  }
-  std::mt19937_64 rng(seed);
-  FaultCampaign c;
-  c.faults_.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    Fault f;
-    f.site = FaultSite::kAccumulator;
-    f.cycle = static_cast<long>(
-        draw_below(rng, static_cast<std::uint64_t>(horizon > 0 ? horizon : 1)));
-    f.index = static_cast<int>(draw_below(rng, static_cast<std::uint64_t>(rows)));
-    f.bit = static_cast<int>(
-        draw_below(rng, static_cast<std::uint64_t>(word_bits)));
-    c.faults_.push_back(f);
-  }
-  return c;
+  CampaignSpec spec;
+  spec.source = CampaignSpec::Source::kAccumulator;
+  spec.rows = rows;
+  spec.word_bits = word_bits;
+  spec.horizon = horizon;
+  spec.count = count;
+  spec.seed = seed;
+  return make(spec);
+}
+
+FaultCampaign FaultCampaign::cram(const LatchProfile& profile, long horizon,
+                                  int count, std::uint64_t seed,
+                                  long scrub_period_cycles, int mask_bits) {
+  CampaignSpec spec;
+  spec.source = CampaignSpec::Source::kCram;
+  spec.profile = &profile;
+  spec.horizon = horizon;
+  spec.count = count;
+  spec.seed = seed;
+  spec.scrub_period_cycles = scrub_period_cycles;
+  spec.mask_bits = mask_bits;
+  return make(spec);
 }
 
 }  // namespace flopsim::fault

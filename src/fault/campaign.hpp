@@ -3,11 +3,18 @@
 // A campaign is a fault list. It can be given explicitly, drawn uniformly
 // over the *occupied* latch-bit space of a unit (bits observed carrying
 // data under a calibration workload — the architectural-vulnerability-
-// factor denominator), or drawn from a Poisson upset-rate model (upsets
-// per bit-cycle over the physical state bits, the way raw fabric upset
-// rates are quoted). Everything is driven by one std::mt19937_64 with an
-// explicit algorithm on top, so the same seed yields the same fault list
-// on every platform and every run.
+// factor denominator), drawn from a Poisson upset-rate model (upsets per
+// bit-cycle over the physical state bits, the way raw fabric upset rates
+// are quoted), aimed at PE accumulator words, or placed in configuration
+// memory (persistent stuck-logic faults bounded by a scrub period).
+// Everything is driven by one std::mt19937_64 with an explicit algorithm
+// on top, so the same seed yields the same fault list on every platform
+// and every run.
+//
+// All sources funnel through one declarative description, CampaignSpec,
+// and a single constructor, FaultCampaign::make(spec). The per-source
+// static factories remain as thin wrappers: make() with equal parameters
+// reproduces their fault lists exactly (same RNG draw sequence).
 #pragma once
 
 #include <array>
@@ -48,8 +55,50 @@ std::vector<units::UnitInput> campaign_workload(units::UnitKind kind,
                                                 fp::FpFormat fmt, int count,
                                                 std::uint64_t seed);
 
+/// Declarative campaign description: pick a source, fill the fields that
+/// source reads (the others are ignored), hand it to FaultCampaign::make.
+struct CampaignSpec {
+  enum class Source {
+    kList,         ///< the explicit `faults` list, verbatim
+    kRandom,       ///< `count` uniform draws over `profile` x horizon
+    kPoisson,      ///< Poisson(`rate` x profile bits x horizon) draws
+    kAccumulator,  ///< `count` single-bit accumulator upsets
+    kCram,         ///< `count` persistent configuration upsets
+  };
+
+  Source source = Source::kList;
+  std::uint64_t seed = 0;
+  /// Campaign length in cycles; fault strike times are uniform in
+  /// [0, horizon). Read by every random source.
+  long horizon = 0;
+
+  std::vector<Fault> faults;  ///< kList only
+
+  /// Occupied-bit sample space (kRandom / kPoisson / kCram). Borrowed, not
+  /// owned: must outlive the make() call (not the campaign).
+  const LatchProfile* profile = nullptr;
+
+  int count = 0;      ///< kRandom / kAccumulator / kCram: faults to place
+  double rate = 0.0;  ///< kPoisson: upsets per bit-cycle
+
+  int rows = 0;        ///< kAccumulator: accumulator bank depth
+  int word_bits = 64;  ///< kAccumulator: bits sampled per word (<= 72;
+                       ///< > 64 reaches the SECDED check byte)
+
+  /// kCram: cycles between scrub passes; a struck configuration repairs at
+  /// the next scrub boundary after the strike. <= 0 means never repaired.
+  long scrub_period_cycles = 0;
+  /// kCram: width of the stuck mask a single upset imposes — a LUT/routing
+  /// flip typically perturbs a couple of adjacent signal bits, not one.
+  int mask_bits = 2;
+};
+
 class FaultCampaign {
  public:
+  /// The one constructor: build the fault list `spec` describes. Equal
+  /// parameters reproduce the corresponding legacy factory exactly.
+  static FaultCampaign make(const CampaignSpec& spec);
+
   /// An explicit fault list.
   static FaultCampaign from_list(std::vector<Fault> faults);
 
@@ -70,6 +119,15 @@ class FaultCampaign {
   static FaultCampaign random_accumulator(int rows, int word_bits,
                                           long horizon, int count,
                                           std::uint64_t seed);
+
+  /// `count` persistent configuration upsets (FaultSite::kConfig): the
+  /// struck site is uniform over the profile's occupied *data* bits, the
+  /// stuck mask covers `mask_bits` occupied bits upward from it, the stuck
+  /// value is a random draw under that mask, and the fault repairs at the
+  /// first scrub boundary after the strike (never, if no scrub period).
+  static FaultCampaign cram(const LatchProfile& profile, long horizon,
+                            int count, std::uint64_t seed,
+                            long scrub_period_cycles = 0, int mask_bits = 2);
 
   const std::vector<Fault>& faults() const { return faults_; }
   bool empty() const { return faults_.empty(); }

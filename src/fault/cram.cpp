@@ -1,0 +1,21 @@
+#include "fault/cram.hpp"
+
+#include <cmath>
+
+namespace flopsim::fault {
+
+double CramModel::essential_bits(const device::Resources& used) const {
+  const double raw =
+      static_cast<double>(used.slices) * tech.config_bits_per_slice() +
+      static_cast<double>(used.bmults) * tech.config_bits_per_bmult() +
+      static_cast<double>(used.brams) * tech.config_bits_per_bram();
+  return raw * essential_fraction;
+}
+
+double ScrubModel::observe_probability(double mission_s) const {
+  const double exposure = mean_exposure_s(mission_s);
+  if (exposure <= 0.0 || duty <= 0.0 || kernel_s <= 0.0) return 0.0;
+  return 1.0 - std::exp(-duty * exposure / kernel_s);
+}
+
+}  // namespace flopsim::fault

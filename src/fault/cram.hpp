@@ -1,0 +1,76 @@
+// Configuration-memory (CRAM) upset and scrubbing models.
+//
+// On an SRAM-based FPGA the user design itself is stored in configuration
+// memory: LUT truth tables, routing mux selects, control bits. A particle
+// strike there does not flip one latched datum — it rewires the circuit,
+// and the corruption persists until the configuration is repaired. Two
+// things bound that exposure:
+//
+//  * CramModel maps a core's resource footprint (device::Resources against
+//    the TechModel's per-primitive essential-bit counts) to the number of
+//    configuration bits whose upset actually changes behaviour — the
+//    "essential bits" of vendor soft-error tooling. Most CRAM bits in a
+//    frame belong to unused fabric; only the essential fraction matters.
+//
+//  * ScrubModel captures periodic configuration scrubbing (readback +
+//    rewrite of the golden bitstream). Scrubbing cannot prevent an upset,
+//    but it converts an unbounded persistent fault into a bounded exposure
+//    window: a strike uniformly distributed inside a scrub period sits in
+//    the design for period/2 on average before repair.
+//
+// The cycle-level twin of these rate models is FaultSite::kConfig in
+// fault.hpp: a struck piece forces a stuck value under a mask on one stage
+// latch lane from the strike edge until its repair edge.
+#pragma once
+
+#include "device/resources.hpp"
+#include "device/tech.hpp"
+
+namespace flopsim::fault {
+
+/// Essential-configuration-bit accounting for a resource footprint.
+struct CramModel {
+  device::TechModel tech = device::TechModel::virtex2pro7();
+  /// Fraction of a used primitive's configuration bits whose upset is
+  /// design-visible (vendor essential-bit reports sit well below 1.0 even
+  /// for occupied logic; routing dominates and most mux bits are benign).
+  double essential_fraction = 0.4;
+
+  /// Essential configuration bits for a design occupying @p used.
+  /// BRAM *contents* are user state (FaultSite::kAccumulator), so only the
+  /// block's interface/initialisation configuration is counted here.
+  double essential_bits(const device::Resources& used) const;
+
+  /// Same, in Mbit — the unit SEU rates are quoted in.
+  double essential_mbit(const device::Resources& used) const {
+    return essential_bits(used) / 1.0e6;
+  }
+};
+
+/// Periodic configuration scrubbing with a duty-cycled mission profile.
+struct ScrubModel {
+  /// Seconds between scrub passes over the full device; <= 0 disables
+  /// scrubbing (a configuration upset then persists for the mission).
+  double period_s = 0.0;
+  /// Fraction of wall time the kernel is actually streaming data (an upset
+  /// landing in an idle window is repaired before it can corrupt output).
+  double duty = 1.0;
+  /// Seconds one kernel invocation runs — the granularity at which a
+  /// persistent fault produces one corrupted result set.
+  double kernel_s = 1.0e-3;
+
+  bool enabled() const { return period_s > 0.0; }
+
+  /// Mean residence time of a configuration upset: period/2 under
+  /// scrubbing, else half the mission (uniform strike time).
+  double mean_exposure_s(double mission_s) const {
+    return 0.5 * (enabled() ? period_s : mission_s);
+  }
+
+  /// Probability that a configuration upset corrupts at least one kernel
+  /// invocation before repair: 1 - exp(-duty * exposure / kernel_s).
+  /// Monotone in the scrub period — the knob the bench sweeps.
+  double observe_probability(double mission_s) const;
+};
+
+}  // namespace flopsim::fault

@@ -24,20 +24,32 @@ inline constexpr int kFlagsLane = -2;  ///< the carried exception-flag byte
 
 enum class FaultSite {
   kStageLatch,   ///< a pipeline-stage output register of a unit
-  kAccumulator,  ///< a PE BRAM accumulator word
+  kAccumulator,  ///< a PE BRAM accumulator word (bits [0,64) data; with
+                 ///< SECDED, bits [64,72) address the ECC check byte)
+  kConfig,       ///< a configuration-memory upset: the struck piece's
+                 ///< stage output is rewired, forcing `stuck` under `mask`
+                 ///< on one latch lane every cycle until repaired
 };
 
 const char* to_string(FaultSite site);
 
 struct Fault {
-  long cycle = 0;  ///< 0-based clock edge at which the bit flips
+  long cycle = 0;  ///< 0-based clock edge at which the bit flips (kConfig:
+                   ///< the strike edge — corruption persists from here)
   FaultSite site = FaultSite::kStageLatch;
-  /// Stage-latch index (kStageLatch) or accumulator row (kAccumulator).
+  /// Stage-latch index (kStageLatch/kConfig) or accumulator row
+  /// (kAccumulator).
   int index = 0;
-  /// Data lane in [0, rtl::kMaxSignals), or kValidLane / kFlagsLane.
-  /// Ignored for kAccumulator.
+  /// Data lane in [0, rtl::kMaxSignals), or kValidLane / kFlagsLane
+  /// (kStageLatch only). Ignored for kAccumulator.
   int lane = 0;
   int bit = 0;  ///< bit within the 64-bit lane / accumulator word
+  // --- kConfig only -------------------------------------------------------
+  fp::u64 mask = 0;   ///< lane bits driven by the rewired logic
+  fp::u64 stuck = 0;  ///< value forced under `mask`
+  /// First clock edge at which the configuration has been scrubbed back
+  /// (corruption applies on edges [cycle, repair_cycle)); < 0 = never.
+  long repair_cycle = -1;
 
   friend bool operator==(const Fault&, const Fault&) = default;
 };
@@ -62,6 +74,7 @@ class FaultInjector : public rtl::LatchObserver, public kernel::StorageObserver 
 
   void on_latch(long cycle, int stage, rtl::SignalSet& latch) override;
   void on_storage(long cycle, std::vector<fp::u64>& acc) override;
+  void on_check_bits(long cycle, std::vector<std::uint8_t>& check) override;
 
   const std::vector<Fault>& faults() const { return faults_; }
   /// Faults whose cycle has been reached and whose target existed.
@@ -74,7 +87,8 @@ class FaultInjector : public rtl::LatchObserver, public kernel::StorageObserver 
   void apply_latch_fault(std::size_t i, rtl::SignalSet& latch);
 
   std::vector<Fault> faults_;
-  std::vector<char> armed_;  // parallel to faults_
+  std::vector<char> armed_;   // parallel to faults_
+  std::vector<char> logged_;  // kConfig: first application already logged
   std::vector<AppliedFault> applied_;
 };
 

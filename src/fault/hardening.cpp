@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fault/secded.hpp"
+
 namespace flopsim::fault {
 
 const char* to_string(Scheme s) {
@@ -12,16 +14,23 @@ const char* to_string(Scheme s) {
     case Scheme::kResidue: return "residue";
     case Scheme::kDuplicate: return "dup";
     case Scheme::kTmr: return "tmr";
+    case Scheme::kEcc: return "ecc";
   }
   return "unknown";
 }
 
-Scheme parse_scheme(const std::string& name) {
+std::optional<Scheme> try_parse_scheme(const std::string& name) {
   if (name == "none") return Scheme::kNone;
   if (name == "parity") return Scheme::kParity;
   if (name == "residue") return Scheme::kResidue;
   if (name == "dup" || name == "duplicate") return Scheme::kDuplicate;
   if (name == "tmr") return Scheme::kTmr;
+  if (name == "ecc" || name == "secded") return Scheme::kEcc;
+  return std::nullopt;
+}
+
+Scheme parse_scheme(const std::string& name) {
+  if (const std::optional<Scheme> s = try_parse_scheme(name)) return *s;
   throw std::invalid_argument("unknown hardening scheme: " + name);
 }
 
@@ -85,6 +94,15 @@ HardeningCost hardening_cost(const units::FpUnit& unit, Scheme scheme) {
       c.freq_mhz = std::min(c.base_freq_mhz, 1000.0 / voter_period);
       extra_power = 2.0 * c.base_power_mw_100 +
                     power::estimate_power(voter, 100.0, 0.5, tech).total_mw();
+      break;
+    }
+    case Scheme::kEcc: {
+      // SECDED(72,64) encoder + decoder/corrector on the accumulator BRAM
+      // port; the check byte rides the BRAM parity bits (no extra BRAM).
+      // The corrector adds one registered stage on the read path.
+      oh = secded_area(tech, obj);
+      c.extra_latency_cycles = 1;
+      extra_power = power::estimate_power(oh, 100.0, 0.5, tech).total_mw();
       break;
     }
   }
@@ -153,6 +171,7 @@ HardenedUnit::Output HardenedUnit::step(
   r.raw = copies_.front().output();
   switch (scheme_) {
     case Scheme::kNone:
+    case Scheme::kEcc:  // storage scheme: the unit datapath is unhardened
       r.out = r.raw;
       break;
     case Scheme::kParity:

@@ -15,6 +15,12 @@
 //                  output-corrupting upset by construction.
 //  * kTmr        — triple modular redundancy with a bitwise majority
 //                  voter. Corrects every single-copy upset.
+//  * kEcc        — SECDED(72,64) on the PE's BRAM accumulator bank
+//                  (secded.hpp): corrects single-bit storage upsets on
+//                  read, detects double-bit ones. A storage scheme — the
+//                  unit datapath itself is unhardened, so at unit level it
+//                  steps like kNone; its effect shows up in the kernel
+//                  campaign (PeConfig::ecc_accumulators).
 //
 // Duplicate and TMR are *simulated* (two/three real pipelines stepped in
 // lockstep, faults injected into copy 0 only, outputs compared/voted
@@ -34,11 +40,14 @@
 
 namespace flopsim::fault {
 
-enum class Scheme { kNone, kParity, kResidue, kDuplicate, kTmr };
+enum class Scheme { kNone, kParity, kResidue, kDuplicate, kTmr, kEcc };
 
 const char* to_string(Scheme s);
-/// Parse "none|parity|residue|dup|duplicate|tmr"; throws
-/// std::invalid_argument on anything else.
+/// Parse "none|parity|residue|dup|duplicate|tmr|ecc|secded"; nullopt on
+/// anything else. The non-throwing primitive every CLI flag should route
+/// through (usage + exit 2 beats an uncaught exception).
+std::optional<Scheme> try_parse_scheme(const std::string& name);
+/// Throwing wrapper over try_parse_scheme (std::invalid_argument).
 Scheme parse_scheme(const std::string& name);
 
 /// Cost of hardening relative to the unhardened core, at the same depth.

@@ -1,0 +1,138 @@
+#include "fault/secded.hpp"
+
+#include <array>
+#include <bit>
+
+namespace flopsim::fault {
+
+namespace {
+
+constexpr bool is_pow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+// data bit i <-> Hamming codeword position data_pos[i] (the i-th
+// non-power-of-two position in [3, 71]).
+constexpr std::array<int, kSecdedDataBits> make_data_pos() {
+  std::array<int, kSecdedDataBits> pos{};
+  int i = 0;
+  for (int p = 1; p < kSecdedWordBits; ++p) {
+    if (!is_pow2(p)) pos[static_cast<std::size_t>(i++)] = p;
+  }
+  return pos;
+}
+constexpr std::array<int, kSecdedDataBits> kDataPos = make_data_pos();
+
+// Inverse map: codeword position -> data bit index, or -1 for check
+// positions (0 and the powers of two).
+constexpr std::array<int, kSecdedWordBits> make_pos_to_data() {
+  std::array<int, kSecdedWordBits> inv{};
+  for (int p = 0; p < kSecdedWordBits; ++p) inv[static_cast<std::size_t>(p)] = -1;
+  for (int i = 0; i < kSecdedDataBits; ++i) {
+    inv[static_cast<std::size_t>(kDataPos[static_cast<std::size_t>(i)])] = i;
+  }
+  return inv;
+}
+constexpr std::array<int, kSecdedWordBits> kPosToData = make_pos_to_data();
+
+// Hamming syndrome of the data bits alone: XOR of data_pos[i] over set bits.
+int data_syndrome(fp::u64 data) {
+  int s = 0;
+  while (data != 0) {
+    s ^= kDataPos[static_cast<std::size_t>(std::countr_zero(data))];
+    data &= data - 1;
+  }
+  return s;
+}
+
+// Check-byte layout: bit 0 = overall parity (position 0), bit 1+k = Hamming
+// check bit at position 1<<k.
+int check_syndrome(std::uint8_t check) {
+  int s = 0;
+  for (int k = 0; k < 7; ++k) {
+    if (check & (1u << (k + 1))) s ^= 1 << k;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::uint8_t secded_encode(fp::u64 data) {
+  const int s = data_syndrome(data);
+  std::uint8_t check = 0;
+  for (int k = 0; k < 7; ++k) {
+    if (s & (1 << k)) check |= static_cast<std::uint8_t>(1u << (k + 1));
+  }
+  // Overall parity covers every codeword bit (data + the 7 Hamming bits),
+  // making total codeword weight even.
+  const int ones = std::popcount(data) + std::popcount(static_cast<unsigned>(
+                                             check & 0xFEu));
+  if (ones & 1) check |= 1u;
+  return check;
+}
+
+const char* to_string(SecdedStatus s) {
+  switch (s) {
+    case SecdedStatus::kClean: return "clean";
+    case SecdedStatus::kCorrectedData: return "corrected-data";
+    case SecdedStatus::kCorrectedCheck: return "corrected-check";
+    case SecdedStatus::kDoubleError: return "double-error";
+  }
+  return "unknown";
+}
+
+SecdedDecode secded_decode(fp::u64 data, std::uint8_t check) {
+  SecdedDecode d;
+  d.data = data;
+  d.check = check;
+  d.syndrome = data_syndrome(data) ^ check_syndrome(check);
+  const int ones = std::popcount(data) + std::popcount(static_cast<unsigned>(check));
+  const bool parity_odd = (ones & 1) != 0;
+
+  if (d.syndrome == 0 && !parity_odd) {
+    d.status = SecdedStatus::kClean;
+    return d;
+  }
+  if (parity_odd) {
+    // Exactly one codeword bit flipped; the syndrome names its position.
+    if (d.syndrome == 0) {
+      d.check ^= 1u;  // the overall-parity bit itself
+      d.status = SecdedStatus::kCorrectedCheck;
+    } else if (d.syndrome < kSecdedWordBits &&
+               kPosToData[static_cast<std::size_t>(d.syndrome)] >= 0) {
+      d.data ^= fp::u64{1}
+                << kPosToData[static_cast<std::size_t>(d.syndrome)];
+      d.status = SecdedStatus::kCorrectedData;
+    } else if (is_pow2(d.syndrome)) {
+      d.check ^= static_cast<std::uint8_t>(
+          1u << (std::countr_zero(static_cast<unsigned>(d.syndrome)) + 1));
+      d.status = SecdedStatus::kCorrectedCheck;
+    } else {
+      // Syndrome outside the codeword (>= 3 flips): report double-error.
+      d.status = SecdedStatus::kDoubleError;
+    }
+    return d;
+  }
+  // Even parity with a nonzero syndrome: two flips, detect only.
+  d.status = SecdedStatus::kDoubleError;
+  return d;
+}
+
+device::Resources secded_area(const device::TechModel& tech,
+                              device::Objective objective) {
+  (void)objective;
+  device::Resources r;
+  // Each of the 8 check bits XORs ~36 of the 72 codeword bits; a fresh
+  // 3-input-per-LUT tree needs ceil((36-1)/3) + 1 ~ 13 LUTs. One such bank
+  // for the write-side encoder, one for the read-side syndrome, plus the
+  // 7->72 syndrome decode (~24 LUTs) and the 64-bit correction XOR row.
+  const int xor_bank = kSecdedCheckBits * 13;
+  r.luts = 2 * xor_bank + 24 + kSecdedDataBits;
+  r.ffs = kSecdedCheckBits + 8;  // registered syndrome + status flags
+  r.slices = (r.luts + 1) / 2;
+  // The check byte itself rides in the BRAM parity bits: no extra BRAM.
+  const int check_ff_slices = static_cast<int>(
+      r.ffs / (tech.ffs_per_slice() * tech.ff_absorption() + 1));
+  r.slices += check_ff_slices;
+  return r;
+}
+
+}  // namespace flopsim::fault

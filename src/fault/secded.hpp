@@ -1,0 +1,60 @@
+// SECDED(72,64): single-error-correct / double-error-detect Hamming code
+// over a 64-bit word — the classic BRAM-protection code, and the fifth
+// hardening scheme (fault::Scheme::kEcc).
+//
+// Construction: an extended Hamming code. Codeword positions 1..71 are the
+// standard Hamming layout (check bits at the power-of-two positions 1, 2,
+// 4, 8, 16, 32, 64; the 64 data bits fill the remaining positions in
+// ascending order), plus an overall-parity bit at position 0. The syndrome
+// of a single flipped position is that position's index, so correction is
+// an index decode; a double flip leaves overall parity even with a nonzero
+// syndrome, which is the detect-only signature.
+//
+// This header is dependency-light on purpose: kernel/pe.cpp includes it to
+// protect the PE's BRAM accumulators without pulling the fault campaign
+// layer (which itself depends on the kernel) into a cycle.
+#pragma once
+
+#include <cstdint>
+
+#include "device/tech.hpp"
+#include "fp/bits.hpp"
+
+namespace flopsim::fault {
+
+inline constexpr int kSecdedDataBits = 64;
+inline constexpr int kSecdedCheckBits = 8;  ///< 7 Hamming + overall parity
+inline constexpr int kSecdedWordBits = kSecdedDataBits + kSecdedCheckBits;
+
+/// Check byte for a data word. Bit 0 is the overall-parity bit (codeword
+/// position 0); bits 1..7 are the Hamming check bits at codeword positions
+/// 1, 2, 4, 8, 16, 32, 64.
+std::uint8_t secded_encode(fp::u64 data);
+
+enum class SecdedStatus {
+  kClean,           ///< no error
+  kCorrectedData,   ///< single flip in a data bit, corrected
+  kCorrectedCheck,  ///< single flip in a check bit, corrected
+  kDoubleError,     ///< two flips: detected, not correctable
+};
+
+const char* to_string(SecdedStatus s);
+
+struct SecdedDecode {
+  fp::u64 data = 0;        ///< corrected data word
+  std::uint8_t check = 0;  ///< corrected check byte
+  SecdedStatus status = SecdedStatus::kClean;
+  int syndrome = 0;  ///< raw Hamming syndrome (flipped codeword position)
+};
+
+SecdedDecode secded_decode(fp::u64 data, std::uint8_t check);
+
+/// LUT-fabric cost of one encoder + one decoder/corrector: eight ~36-input
+/// XOR trees each way, a 7->72 syndrome decode, and the correction XOR
+/// row. The eight check bits themselves ride in the block RAM's parity
+/// bits (Virtex-II BRAMs provide one parity bit per data byte — exactly
+/// SECDED(72,64)'s budget), so no extra BRAM is charged.
+device::Resources secded_area(const device::TechModel& tech,
+                              device::Objective objective);
+
+}  // namespace flopsim::fault

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fault/secded.hpp"
+
 namespace flopsim::kernel {
 
 units::UnitConfig PeConfig::adder_config() const {
@@ -32,12 +34,68 @@ ProcessingElement::ProcessingElement(const PeConfig& cfg)
       mult_(units::UnitKind::kMultiplier, cfg.fmt, cfg.mult_config()),
       adder_(units::UnitKind::kAdder, cfg.fmt, cfg.adder_config()),
       acc_(static_cast<std::size_t>(cfg.storage_rows), 0),
+      acc_check_(cfg.ecc_accumulators
+                     ? static_cast<std::size_t>(cfg.storage_rows)
+                     : 0,
+                 fault::secded_encode(0)),
       pending_writes_(static_cast<std::size_t>(cfg.storage_rows), 0) {
   if (cfg.storage_rows <= 0) {
     throw std::invalid_argument("PeConfig: storage_rows must be positive");
   }
   if (cfg.use_fused_mac) {
     mac_.emplace(units::UnitKind::kMac, cfg.fmt, cfg.mac_config());
+  }
+}
+
+fp::u64 ProcessingElement::read_acc(int row) {
+  const std::size_t r = static_cast<std::size_t>(row);
+  if (!cfg_.ecc_accumulators) return acc_[r];
+  const fault::SecdedDecode d = fault::secded_decode(acc_[r], acc_check_[r]);
+  switch (d.status) {
+    case fault::SecdedStatus::kClean:
+      break;
+    case fault::SecdedStatus::kCorrectedData:
+    case fault::SecdedStatus::kCorrectedCheck:
+      ++ecc_corrections_;
+      acc_[r] = d.data;
+      acc_check_[r] = d.check;
+      break;
+    case fault::SecdedStatus::kDoubleError:
+      ++ecc_detections_;
+      break;
+  }
+  return d.data;
+}
+
+void ProcessingElement::write_acc(int row, fp::u64 v) {
+  const std::size_t r = static_cast<std::size_t>(row);
+  acc_[r] = v;
+  if (cfg_.ecc_accumulators) acc_check_[r] = fault::secded_encode(v);
+}
+
+fp::u64 ProcessingElement::acc(int row) const {
+  const std::size_t r = static_cast<std::size_t>(row);
+  if (!cfg_.ecc_accumulators) return acc_.at(r);
+  const fault::SecdedDecode d =
+      fault::secded_decode(acc_.at(r), acc_check_.at(r));
+  switch (d.status) {
+    case fault::SecdedStatus::kClean:
+      break;
+    case fault::SecdedStatus::kCorrectedData:
+    case fault::SecdedStatus::kCorrectedCheck:
+      ++ecc_corrections_;
+      break;
+    case fault::SecdedStatus::kDoubleError:
+      ++ecc_detections_;
+      break;
+  }
+  return d.data;
+}
+
+void ProcessingElement::set_acc(int row, fp::u64 v) {
+  acc_.at(static_cast<std::size_t>(row)) = v;
+  if (cfg_.ecc_accumulators) {
+    acc_check_.at(static_cast<std::size_t>(row)) = fault::secded_encode(v);
   }
 }
 
@@ -56,7 +114,8 @@ void ProcessingElement::step(const std::optional<MacIssue>& issue) {
       }
       const std::size_t row = static_cast<std::size_t>(issue->row);
       if (pending_writes_[row] > 0) ++hazards_;
-      mac_->step(units::UnitInput{issue->a, issue->b, false, acc_[row]});
+      mac_->step(
+          units::UnitInput{issue->a, issue->b, false, read_acc(issue->row)});
       adder_rows_.push(issue->row);
       ++pending_writes_[row];
       ++mac_issues_;
@@ -67,12 +126,17 @@ void ProcessingElement::step(const std::optional<MacIssue>& issue) {
     if (const auto out = mac_->output()) {
       const int row = adder_rows_.front();
       adder_rows_.pop();
-      acc_[static_cast<std::size_t>(row)] = out->result;
+      write_acc(row, out->result);
       flags_ |= out->flags;
       --pending_writes_[static_cast<std::size_t>(row)];
       --in_flight_;
     }
-    if (storage_observer_ != nullptr) storage_observer_->on_storage(cycles_, acc_);
+    if (storage_observer_ != nullptr) {
+      storage_observer_->on_storage(cycles_, acc_);
+      if (cfg_.ecc_accumulators) {
+        storage_observer_->on_check_bits(cycles_, acc_check_);
+      }
+    }
     ++cycles_;
     return;
   }
@@ -99,8 +163,7 @@ void ProcessingElement::step(const std::optional<MacIssue>& issue) {
     const int row = mult_rows_.front();
     mult_rows_.pop();
     if (pending_writes_[static_cast<std::size_t>(row)] > 0) ++hazards_;
-    add_stage_reg_ = units::UnitInput{
-        prod->result, acc_[static_cast<std::size_t>(row)], false};
+    add_stage_reg_ = units::UnitInput{prod->result, read_acc(row), false};
     flags_ |= prod->flags;
     adder_rows_.push(row);
     ++pending_writes_[static_cast<std::size_t>(row)];
@@ -110,17 +173,23 @@ void ProcessingElement::step(const std::optional<MacIssue>& issue) {
   if (const auto sum = adder_.output()) {
     const int row = adder_rows_.front();
     adder_rows_.pop();
-    acc_[static_cast<std::size_t>(row)] = sum->result;
+    write_acc(row, sum->result);
     flags_ |= sum->flags;
     --pending_writes_[static_cast<std::size_t>(row)];
     --in_flight_;
   }
-  if (storage_observer_ != nullptr) storage_observer_->on_storage(cycles_, acc_);
+  if (storage_observer_ != nullptr) {
+    storage_observer_->on_storage(cycles_, acc_);
+    if (cfg_.ecc_accumulators) {
+      storage_observer_->on_check_bits(cycles_, acc_check_);
+    }
+  }
   ++cycles_;
 }
 
 void ProcessingElement::clear() {
   std::fill(acc_.begin(), acc_.end(), 0);
+  std::fill(acc_check_.begin(), acc_check_.end(), fault::secded_encode(0));
   std::fill(pending_writes_.begin(), pending_writes_.end(), 0);
   mult_rows_ = {};
   adder_rows_ = {};
@@ -133,6 +202,8 @@ void ProcessingElement::clear() {
   hazards_ = 0;
   cycles_ = 0;
   flags_ = 0;
+  ecc_corrections_ = 0;
+  ecc_detections_ = 0;
 }
 
 device::Resources ProcessingElement::mac_resources() const {
@@ -148,6 +219,9 @@ device::Resources ProcessingElement::storage_resources() const {
   r.ffs = 2 * n;
   r.luts = n;
   r.slices = n;
+  if (cfg_.ecc_accumulators) {
+    r = r + fault::secded_area(cfg_.tech, cfg_.objective);
+  }
   return r;
 }
 

@@ -30,6 +30,13 @@ class StorageObserver {
   /// `cycle` is the 0-based clock just completed (== cycles() before the
   /// step finished); `acc` is the live accumulator bank, mutable in place.
   virtual void on_storage(long cycle, std::vector<fp::u64>& acc) = 0;
+  /// Called right after on_storage when the bank carries SECDED check
+  /// bytes (PeConfig::ecc_accumulators): lets the fault layer strike the
+  /// code bits too. Default ignores them.
+  virtual void on_check_bits(long cycle, std::vector<std::uint8_t>& check) {
+    (void)cycle;
+    (void)check;
+  }
 };
 
 struct PeConfig {
@@ -45,6 +52,10 @@ struct PeConfig {
   /// the paper's multiplier + adder pair. Extension; the MAC depth is
   /// adder_stages + mult_stages for comparability.
   bool use_fused_mac = false;
+  /// Protect the accumulator bank with SECDED(72,64): encode on every
+  /// write, correct single-bit / detect double-bit upsets on every read
+  /// (fault::Scheme::kEcc). The check byte rides the BRAM parity bits.
+  bool ecc_accumulators = false;
 
   units::UnitConfig adder_config() const;
   units::UnitConfig mult_config() const;
@@ -70,8 +81,11 @@ class ProcessingElement {
   int adder_latency() const { return adder_.latency(); }
   int mult_latency() const { return mult_.latency(); }
 
-  fp::u64 acc(int row) const { return acc_.at(static_cast<std::size_t>(row)); }
-  void set_acc(int row, fp::u64 v) { acc_.at(static_cast<std::size_t>(row)) = v; }
+  /// Accumulator word as architecture reads it: with ECC enabled the read
+  /// passes through the SECDED corrector (single-bit upsets are repaired,
+  /// double-bit ones counted as detected and returned raw).
+  fp::u64 acc(int row) const;
+  void set_acc(int row, fp::u64 v);
   void clear();
 
   /// True when no MAC is in flight.
@@ -80,6 +94,10 @@ class ProcessingElement {
   long mac_issues() const { return mac_issues_; }
   /// Accumulator reads that raced a pending writeback (stale data read).
   long hazards() const { return hazards_; }
+  /// ECC: single-bit upsets repaired on read / double-bit upsets detected
+  /// (uncorrectable, word returned raw). Always 0 without ecc_accumulators.
+  long ecc_corrections() const { return ecc_corrections_; }
+  long ecc_detections() const { return ecc_detections_; }
   std::uint8_t flags() const { return flags_; }
   /// Clocks stepped since construction / the last clear().
   long cycles() const { return cycles_; }
@@ -107,11 +125,17 @@ class ProcessingElement {
   units::FpUnit& multiplier() { return mult_; }
 
  private:
+  /// Read acc_[row] through the SECDED corrector, repairing the stored
+  /// word in place (read-modify-write, as a BRAM ECC controller does).
+  fp::u64 read_acc(int row);
+  void write_acc(int row, fp::u64 v);
+
   PeConfig cfg_;
   units::FpUnit mult_;
   units::FpUnit adder_;
   std::optional<units::FpUnit> mac_;  // engaged when cfg.use_fused_mac
   std::vector<fp::u64> acc_;
+  std::vector<std::uint8_t> acc_check_;  // SECDED check bytes (ECC only)
   std::vector<int> pending_writes_;  // per row, writebacks in flight
   /// Registered operand stage between multiplier output and adder input —
   /// the accumulator read happens when this register loads.
@@ -121,6 +145,10 @@ class ProcessingElement {
   int in_flight_ = 0;
   long mac_issues_ = 0;
   long hazards_ = 0;
+  // Mutable: the architectural read `acc()` is logically const but still
+  // exercises the corrector, and its verdicts must be observable.
+  mutable long ecc_corrections_ = 0;
+  mutable long ecc_detections_ = 0;
   long cycles_ = 0;
   std::uint8_t flags_ = 0;
   StorageObserver* storage_observer_ = nullptr;  // not owned

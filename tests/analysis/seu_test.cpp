@@ -119,5 +119,120 @@ TEST(SeuCampaign, MatmulCampaignIsDeterministicAndFindsSdc) {
   EXPECT_LE(a.sdc_fraction(), 1.0);
 }
 
+// SECDED accumulators: every single-bit accumulator upset is repaired on
+// the next read, so accumulator SDC must drop to exactly zero while the
+// corrector's repair count proves the upsets actually landed.
+TEST(SeuCampaign, EccEliminatesAccumulatorSdc) {
+  kernel::PeConfig cfg;
+  cfg.adder_stages = 2;
+  cfg.mult_stages = 2;
+  MatmulSeuConfig camp;
+  camp.faults = 24;
+  camp.accumulator_fraction = 1.0;  // aim everything at the BRAM bank
+
+  const MatmulSeuResult bare = run_matmul_campaign(cfg, camp);
+  EXPECT_EQ(bare.acc_injected, bare.injected);
+  EXPECT_GT(bare.acc_silent, 0) << "unprotected bank must show SDC";
+
+  camp.scheme = fault::Scheme::kEcc;
+  const MatmulSeuResult ecc = run_matmul_campaign(cfg, camp);
+  EXPECT_EQ(ecc.injected, bare.injected) << "same campaign either way";
+  EXPECT_EQ(ecc.acc_silent, 0);
+  EXPECT_EQ(ecc.silent, 0);
+  EXPECT_GT(ecc.corrected, 0) << "upsets landed and were repaired";
+  EXPECT_EQ(ecc.masked + ecc.corrected + ecc.detected + ecc.silent,
+            ecc.injected);
+
+  // Determinism holds with the corrector in the loop.
+  const MatmulSeuResult again = run_matmul_campaign(cfg, camp);
+  EXPECT_EQ(again.corrected, ecc.corrected);
+  EXPECT_EQ(again.masked, ecc.masked);
+}
+
+// Persistent configuration upsets ride on top of the legacy campaign; a
+// scrub period bounds how long they corrupt the stream. Deep pipelines so
+// enough cross-stage lanes are architecturally live for a stuck route to
+// reach the result (at 2+2 nearly every signal dies inside its own stage).
+TEST(SeuCampaign, ConfigFaultsAreDeterministicAndScrubBounded) {
+  kernel::PeConfig cfg;
+  cfg.adder_stages = 8;
+  cfg.mult_stages = 5;
+  MatmulSeuConfig camp;
+  camp.faults = 16;
+  camp.config_fraction = 0.5;
+
+  const MatmulSeuResult a = run_matmul_campaign(cfg, camp);
+  const MatmulSeuResult b = run_matmul_campaign(cfg, camp);
+  EXPECT_EQ(a.config_injected, 8);
+  EXPECT_EQ(b.config_injected, a.config_injected);
+  EXPECT_EQ(b.config_silent, a.config_silent);
+  EXPECT_EQ(b.silent, a.silent);
+  EXPECT_GT(a.config_silent, 0)
+      << "an unscrubbed stuck datapath must corrupt the result";
+  EXPECT_EQ(a.masked + a.corrected + a.detected + a.silent, a.injected);
+
+  // Config faults append to the legacy draws: the base campaign's verdicts
+  // are untouched.
+  MatmulSeuConfig legacy = camp;
+  legacy.config_fraction = 0.0;
+  const MatmulSeuResult base = run_matmul_campaign(cfg, legacy);
+  EXPECT_EQ(a.injected, base.injected + a.config_injected);
+  EXPECT_EQ(a.acc_silent, base.acc_silent);
+  EXPECT_EQ(a.latch_silent, base.latch_silent);
+
+  // An aggressive scrub period cannot increase config SDC.
+  MatmulSeuConfig scrubbed = camp;
+  scrubbed.scrub_period_cycles = 8;
+  const MatmulSeuResult s = run_matmul_campaign(cfg, scrubbed);
+  EXPECT_EQ(s.config_injected, a.config_injected);
+  EXPECT_LE(s.config_silent, a.config_silent);
+}
+
+// The CRAM-aware selection: with the configuration term zeroed it matches
+// the latch-only overload, and shrinking the scrub period monotonically
+// shrinks the CRAM FIT it reports.
+TEST(SeuCampaign, CramSelectionRespondsToScrubPeriod) {
+  const SweepResult sweep =
+      sweep_unit(units::UnitKind::kMultiplier, fp::FpFormat::binary64());
+  const SeuRateModel rate;
+  const Selection sel = select_min_max_opt(sweep);
+  const double cap = rate.fit(sel.opt.pipeline_ffs, 1.0) * 0.6;
+
+  CramRateModel zero;
+  zero.fit_per_mbit = 0.0;
+  const ReliableSelection with_zero =
+      select_min_max_opt_reliable(sweep, cap, rate, 1.0, zero);
+  const ReliableSelection latch_only =
+      select_min_max_opt_reliable(sweep, cap, rate, 1.0);
+  EXPECT_EQ(with_zero.opt.stages, latch_only.opt.stages);
+  EXPECT_EQ(with_zero.feasible, latch_only.feasible);
+  EXPECT_DOUBLE_EQ(with_zero.cram_fit_at_opt, 0.0);
+
+  double prev_cram = 1e300;
+  bool was_feasible = false;
+  for (const double period : {0.0, 0.01, 1e-3, 1e-4, 1e-5}) {
+    CramRateModel cram;
+    cram.scrub.period_s = period;
+    cram.scrub.duty = 0.1;
+    const ReliableSelection rs =
+        select_min_max_opt_reliable(sweep, cap, rate, 1.0, cram);
+    EXPECT_GE(rs.fit_at_opt, rs.cram_fit_at_opt);
+    if (rs.feasible) {
+      EXPECT_LE(rs.fit_at_opt, cap);
+    }
+    // The per-point CRAM term shrinks with the period, so a feasible
+    // selection can never become infeasible under faster scrubbing.
+    EXPECT_GE(static_cast<int>(rs.feasible), static_cast<int>(was_feasible))
+        << "feasibility lost at period " << period;
+    // At the unconstrained opt's footprint the CRAM FIT is monotone too.
+    const double opt_cram = cram.fit(sel.opt.area);
+    EXPECT_LE(opt_cram, prev_cram + 1e-9);
+    prev_cram = opt_cram;
+    was_feasible = rs.feasible;
+  }
+  EXPECT_TRUE(was_feasible)
+      << "aggressive scrubbing must re-admit some design under the cap";
+}
+
 }  // namespace
 }  // namespace flopsim::analysis

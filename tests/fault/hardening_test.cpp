@@ -75,11 +75,47 @@ TEST(Hardening, ParityDetectsEverySingleBitUpset) {
 
 TEST(Hardening, SchemeNamesRoundTrip) {
   for (const Scheme s : {Scheme::kNone, Scheme::kParity, Scheme::kResidue,
-                         Scheme::kDuplicate, Scheme::kTmr}) {
+                         Scheme::kDuplicate, Scheme::kTmr, Scheme::kEcc}) {
     EXPECT_EQ(parse_scheme(to_string(s)), s);
   }
   EXPECT_EQ(parse_scheme("dup"), Scheme::kDuplicate);
+  EXPECT_EQ(parse_scheme("secded"), Scheme::kEcc);
   EXPECT_THROW(parse_scheme("bogus"), std::invalid_argument);
+}
+
+// The non-throwing primitive the CLI flags route through.
+TEST(Hardening, TryParseSchemeNeverThrows) {
+  EXPECT_EQ(try_parse_scheme("tmr"), Scheme::kTmr);
+  EXPECT_EQ(try_parse_scheme("ecc"), Scheme::kEcc);
+  EXPECT_EQ(try_parse_scheme("secded"), Scheme::kEcc);
+  EXPECT_EQ(try_parse_scheme("bogus"), std::nullopt);
+  EXPECT_EQ(try_parse_scheme(""), std::nullopt);
+  EXPECT_EQ(try_parse_scheme("ECC"), std::nullopt);  // names are exact
+}
+
+// SECDED buys accumulator protection far below duplication's price: no
+// second datapath copy, no extra BRAM (the check byte rides the block
+// RAM's parity bits).
+TEST(Hardening, EccCostsLessThanDuplication) {
+  for (const auto& [kind, fmt] :
+       {std::pair{units::UnitKind::kMultiplier, fp::FpFormat::binary32()},
+        std::pair{units::UnitKind::kAdder, fp::FpFormat::binary64()}}) {
+    units::UnitConfig cfg;
+    cfg.stages = 6;
+    const units::FpUnit unit(kind, fmt, cfg);
+    SCOPED_TRACE(unit.name());
+
+    const HardeningCost ecc = hardening_cost(unit, Scheme::kEcc);
+    const HardeningCost dup = hardening_cost(unit, Scheme::kDuplicate);
+    EXPECT_GT(ecc.area_factor, 1.0);
+    EXPECT_LT(ecc.overhead.slices, dup.overhead.slices);
+    EXPECT_LT(ecc.area_factor, dup.area_factor);
+    EXPECT_LT(ecc.power_mw_100, dup.power_mw_100);
+    EXPECT_LT(ecc.power_factor, dup.power_factor);
+    EXPECT_EQ(ecc.overhead.brams, 0);
+    EXPECT_EQ(ecc.extra_latency_cycles, 1);
+    EXPECT_DOUBLE_EQ(ecc.freq_factor, 1.0);
+  }
 }
 
 TEST(Hardening, CostFactorsStayInSaneBounds) {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //   flopsim-gen <add|mul|div|sqrt|mac> <32|48|64> [stages] [area|speed]
-//               [ieee] [fabric] [--harden=<parity|residue|dup|tmr>]
+//               [ieee] [fabric] [--harden=<parity|residue|dup|tmr|ecc>]
 //   flopsim-gen cvt <src-bits> <dst-bits> [stages]
 #include <cstdio>
 #include <cstring>
@@ -29,7 +29,7 @@ void print_usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s <add|mul|div|sqrt|mac> <16|32|48|64> [stages] "
                "[area|speed] [ieee] [fabric] "
-               "[--harden=<parity|residue|dup|tmr>]\n"
+               "[--harden=<parity|residue|dup|tmr|ecc>]\n"
                "       %s cvt <src-bits> <dst-bits> [stages]\n",
                prog, prog);
 }
@@ -104,7 +104,13 @@ int generate_arith(const std::string& op, const std::string& bits, int argc,
     } else if (std::strcmp(argv[i], "fabric") == 0) {
       cfg.use_embedded_multipliers = false;  // LUT mantissa multiplier
     } else if (std::strncmp(argv[i], "--harden=", 9) == 0) {
-      harden = fault::parse_scheme(argv[i] + 9);
+      harden = fault::try_parse_scheme(argv[i] + 9);
+      if (!harden.has_value()) {
+        std::fprintf(stderr, "error: unknown hardening scheme: %s\n",
+                     argv[i] + 9);
+        print_usage(argv[0]);
+        return 2;
+      }
     }
   }
 

@@ -1,9 +1,16 @@
 // Shared plumbing for the table/figure bench binaries: print every table to
 // stdout and, when invoked with `--csv <dir>`, drop a CSV per table for
-// plotting.
+// plotting. The Monte-Carlo benches additionally take `--threads=<n>`
+// (worker threads for the campaign engine; 0 = auto) and `--json <path>`
+// (append one machine-readable record per campaign — name, trials,
+// threads, wall-clock ms — as JSON lines, conventionally to
+// BENCH_campaign.json, so CI can track campaign throughput over time).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -49,6 +56,90 @@ inline void emit(const std::vector<analysis::Table>& tables, int argc,
 
 inline void emit(const analysis::Table& t, int argc, char** argv) {
   emit(std::vector<analysis::Table>{t}, argc, argv);
+}
+
+/// One timed fault campaign, as recorded in BENCH_campaign.json.
+struct CampaignRecord {
+  std::string name;
+  long trials = 0;
+  int threads = 0;      ///< requested worker threads (0 = auto)
+  double wall_ms = 0.0;
+};
+
+/// Collects CampaignRecords and appends them as JSON lines. A bench
+/// creates one journal, wraps its campaigns in time(), and calls write()
+/// once at exit with the `--json` path (no-op when the flag is absent).
+class CampaignJournal {
+ public:
+  explicit CampaignJournal(int threads) : threads_(threads) {}
+
+  /// Run `fn` (a callable returning the campaign result), time it, and
+  /// file the record under `name`/`trials`.
+  template <typename Fn>
+  auto time(const std::string& name, long trials, Fn&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    CampaignRecord rec;
+    rec.name = name;
+    rec.trials = trials;
+    rec.threads = threads_;
+    rec.wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    records_.push_back(rec);
+    return result;
+  }
+
+  const std::vector<CampaignRecord>& records() const { return records_; }
+  int threads() const { return threads_; }
+
+  /// Append every record to `path` as one JSON object per line. Returns
+  /// false (with a warning on stderr) when the file cannot be opened;
+  /// silently does nothing when `path` is empty.
+  bool write(const std::string& path) const {
+    if (path.empty()) return true;
+    std::ofstream out(path, std::ios::app);
+    if (!out) {
+      std::cerr << "warning: could not write " << path << "\n";
+      return false;
+    }
+    for (const CampaignRecord& r : records_) {
+      out << "{\"campaign\": \"" << r.name << "\", \"trials\": " << r.trials
+          << ", \"threads\": " << r.threads << ", \"wall_ms\": " << r.wall_ms
+          << "}\n";
+    }
+    return out.good();
+  }
+
+ private:
+  int threads_;
+  std::vector<CampaignRecord> records_;
+};
+
+/// The `--json <path>` flag (empty when absent).
+inline std::string json_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return {};
+}
+
+/// Parse `--threads=<n>`: absent -> 0 (auto), n >= 1 -> n, anything else
+/// (junk, zero, negative) -> -1 so the caller can print usage and exit 2.
+inline int threads_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      const std::string v = arg.substr(10);
+      if (v.empty() ||
+          v.find_first_not_of("0123456789") != std::string::npos) {
+        return -1;
+      }
+      const long n = std::atol(v.c_str());
+      return n >= 1 && n <= 1024 ? static_cast<int>(n) : -1;
+    }
+  }
+  return 0;
 }
 
 }  // namespace flopsim::bench

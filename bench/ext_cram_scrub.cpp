@@ -9,7 +9,8 @@
 // persistent-config faults per storage scheme (SECDED accumulators vs
 // bare), and prices ECC against duplication.
 //
-// Usage: ext_cram_scrub [--scheme=<none|ecc>] [--csv <dir>]
+// Usage: ext_cram_scrub [--scheme=<none|ecc>] [--threads=<n>]
+//                       [--csv <dir>] [--json <path>]
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -33,7 +34,7 @@ const std::vector<double> kScrubPeriods{0.0, 1.0, 0.1, 0.01, 1e-3, 1e-4};
 // an upset scrubbed before the next burst never corrupts output.
 constexpr double kDuty = 0.1;
 
-analysis::Table essential_bits_table() {
+analysis::Table essential_bits_table(int threads) {
   const fault::CramModel cram;
   const analysis::CramRateModel rate;  // scrub off: mission/2 exposure
   analysis::Table t(
@@ -44,7 +45,9 @@ analysis::Table essential_bits_table() {
        {fp::FpFormat::binary32(), fp::FpFormat::binary64()}) {
     for (const units::UnitKind kind :
          {units::UnitKind::kAdder, units::UnitKind::kMultiplier}) {
-      const analysis::SweepResult sweep = analysis::sweep_unit(kind, fmt);
+      const analysis::SweepResult sweep = analysis::sweep_unit(
+          kind, fmt, device::Objective::kArea,
+          device::TechModel::virtex2pro7(), threads);
       const analysis::Selection sel = analysis::select_min_max_opt(sweep);
       const device::Resources area = sel.opt.area;
       t.add_row({unit_title(kind, fmt),
@@ -59,9 +62,10 @@ analysis::Table essential_bits_table() {
   return t;
 }
 
-analysis::Table fit_vs_scrub_table() {
-  const analysis::SweepResult sweep =
-      analysis::sweep_unit(units::UnitKind::kMultiplier, fp::FpFormat::binary64());
+analysis::Table fit_vs_scrub_table(int threads) {
+  const analysis::SweepResult sweep = analysis::sweep_unit(
+      units::UnitKind::kMultiplier, fp::FpFormat::binary64(),
+      device::Objective::kArea, device::TechModel::virtex2pro7(), threads);
   const analysis::Selection sel = analysis::select_min_max_opt(sweep);
   const analysis::SeuRateModel latch_rate;
 
@@ -85,7 +89,7 @@ analysis::Table fit_vs_scrub_table() {
   return t;
 }
 
-analysis::Table reliable_selection_cram_table() {
+analysis::Table reliable_selection_cram_table(int threads) {
   const analysis::SeuRateModel latch_rate;
   analysis::Table t(
       "min/max/opt with latch + CRAM FIT constraint (binary64 mult)",
@@ -113,7 +117,8 @@ analysis::Table reliable_selection_cram_table() {
   return t;
 }
 
-analysis::Table kernel_sdc_table(const std::vector<fault::Scheme>& schemes) {
+analysis::Table kernel_sdc_table(const std::vector<fault::Scheme>& schemes,
+                                 bench::CampaignJournal& journal) {
   analysis::Table t(
       "Matmul kernel SDC by storage scheme (n=4, binary32, acc+latch+config)",
       {"scheme", "scrub cyc", "injected", "masked", "corrected", "detected",
@@ -128,8 +133,13 @@ analysis::Table kernel_sdc_table(const std::vector<fault::Scheme>& schemes) {
       camp.scheme = scheme;
       camp.config_fraction = 0.25;
       camp.scrub_period_cycles = scrub;
-      const analysis::MatmulSeuResult r =
-          analysis::run_matmul_campaign(cfg, camp);
+      camp.threads = journal.threads();
+      const analysis::MatmulSeuResult r = journal.time(
+          std::string("cram_matmul_campaign:") + fault::to_string(scheme) +
+              ":scrub" + std::to_string(scrub),
+          camp.faults + static_cast<long>(camp.config_fraction * camp.faults +
+                                          0.5),
+          [&] { return analysis::run_matmul_campaign(cfg, camp); });
       const auto frac = [](int silent, int injected) {
         return injected > 0
                    ? analysis::Table::num(
@@ -178,9 +188,14 @@ analysis::Table ecc_cost_table() {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--scheme=<none|ecc>] [--csv <dir>]\n"
+               "usage: %s [--scheme=<none|ecc>] [--threads=<n>]\n"
+               "          [--csv <dir>] [--json <path>]\n"
                "  --scheme=  restrict the kernel SDC table to one storage\n"
-               "             scheme (default: none and ecc)\n",
+               "             scheme (default: none and ecc)\n"
+               "  --threads= campaign worker threads (default: auto via\n"
+               "             FLOPSIM_THREADS, then hardware concurrency)\n"
+               "  --json     append per-campaign timing records (JSON lines,\n"
+               "             conventionally BENCH_campaign.json)\n",
                argv0);
   return 2;
 }
@@ -190,6 +205,8 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace flopsim;
   std::vector<fault::Scheme> schemes{fault::Scheme::kNone, fault::Scheme::kEcc};
+  const int threads = bench::threads_flag(argc, argv);
+  if (threads < 0) return usage(argv[0]);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--scheme=", 0) == 0) {
@@ -197,16 +214,20 @@ int main(int argc, char** argv) {
           fault::try_parse_scheme(arg.substr(9));
       if (!s.has_value()) return usage(argv[0]);
       schemes = {*s};
-    } else if (arg == "--csv" && i + 1 < argc) {
-      ++i;  // value consumed by bench::emit
+    } else if ((arg == "--csv" || arg == "--json") && i + 1 < argc) {
+      ++i;  // value consumed by bench::emit / CampaignJournal::write
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      continue;
     } else {
       return usage(argv[0]);
     }
   }
-  bench::emit(essential_bits_table(), argc, argv);
-  bench::emit(fit_vs_scrub_table(), argc, argv);
-  bench::emit(reliable_selection_cram_table(), argc, argv);
-  bench::emit(kernel_sdc_table(schemes), argc, argv);
+  bench::CampaignJournal journal(threads);
+  bench::emit(essential_bits_table(threads), argc, argv);
+  bench::emit(fit_vs_scrub_table(threads), argc, argv);
+  bench::emit(reliable_selection_cram_table(threads), argc, argv);
+  bench::emit(kernel_sdc_table(schemes, journal), argc, argv);
   bench::emit(ecc_cost_table(), argc, argv);
+  journal.write(bench::json_path(argc, argv));
   return 0;
 }

@@ -1,7 +1,10 @@
 #include "analysis/seu.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <random>
+
+#include "exec/parallel.hpp"
 
 namespace flopsim::analysis {
 
@@ -13,6 +16,14 @@ bool same_output(const std::optional<units::UnitOutput>& a,
   if (!a.has_value()) return true;
   return a->result == b->result && a->flags == b->flags;
 }
+
+/// Per-trial verdict of one unit-campaign fault, filled by whichever
+/// worker owns the trial and reduced in fault-list order afterwards.
+struct UnitTrial {
+  bool corrupted = false;         // copy 0's own output vs golden
+  bool hardened_differs = false;  // post-voter output vs golden
+  bool mismatch = false;          // checker fired at any cycle
+};
 
 }  // namespace
 
@@ -43,43 +54,53 @@ UnitSeuResult run_unit_campaign(units::UnitKind kind, fp::FpFormat fmt,
   res.occupied_bits = profile.total_bits();
   res.pipeline_ffs = probe.area().pipeline_ffs;
 
+  // The whole fault list is drawn before any trial runs: the determinism
+  // anchor. Every trial is a pure function of (fault, golden, workload).
   const fault::FaultCampaign campaign =
       fault::FaultCampaign::random(profile, horizon, camp.faults, camp.seed + 1);
+  const std::vector<fault::Fault>& faults = campaign.faults();
+  std::vector<UnitTrial> trials(faults.size());
 
-  fault::HardenedUnit hardened(kind, fmt, cfg, camp.scheme);
-  for (const fault::Fault& f : campaign.faults()) {
-    hardened.reset();
-    hardened.arm(fault::FaultCampaign::from_list({f}));
-    bool corrupted = false;        // copy 0's own output vs golden
-    bool hardened_differs = false; // post-voter output vs golden
-    bool mismatch = false;         // checker fired at any cycle
-    for (int t = 0; t < horizon; ++t) {
-      const fault::HardenedUnit::Output out = hardened.step(
-          t < camp.vectors ? std::optional<units::UnitInput>(
-                                 workload[static_cast<std::size_t>(t)])
-                           : std::nullopt);
-      const std::optional<units::UnitOutput>& g =
-          golden[static_cast<std::size_t>(t)];
-      corrupted |= !same_output(out.raw, g);
-      hardened_differs |= !same_output(out.out, g);
-      mismatch |= out.mismatch;
-    }
-    hardened.disarm();
+  const fault::HardenedUnit proto(kind, fmt, cfg, camp.scheme);
+  exec::parallel_for_chunked(
+      faults.size(), camp.threads,
+      [&](int /*worker*/, std::size_t begin, std::size_t end) {
+        fault::HardenedUnit hardened = proto.clone();
+        for (std::size_t i = begin; i < end; ++i) {
+          hardened.reset();
+          hardened.arm(fault::FaultCampaign::from_list({faults[i]}));
+          UnitTrial& trial = trials[i];
+          for (int t = 0; t < horizon; ++t) {
+            const fault::HardenedUnit::Output out = hardened.step(
+                t < camp.vectors ? std::optional<units::UnitInput>(
+                                       workload[static_cast<std::size_t>(t)])
+                                 : std::nullopt);
+            const std::optional<units::UnitOutput>& g =
+                golden[static_cast<std::size_t>(t)];
+            trial.corrupted |= !same_output(out.raw, g);
+            trial.hardened_differs |= !same_output(out.out, g);
+            trial.mismatch |= out.mismatch;
+          }
+          hardened.disarm();
+        }
+      });
 
+  // Ordered reduction: fault-list order, never worker-arrival order.
+  for (const UnitTrial& trial : trials) {
     ++res.injected;
-    if (corrupted) ++res.corrupted;
+    if (trial.corrupted) ++res.corrupted;
     if (camp.scheme == fault::Scheme::kTmr) {
-      if (hardened_differs) {
+      if (trial.hardened_differs) {
         ++res.silent;
-      } else if (corrupted) {
+      } else if (trial.corrupted) {
         ++res.corrected;
       } else {
         ++res.masked;
       }
     } else {
-      if (corrupted && !mismatch) {
+      if (trial.corrupted && !trial.mismatch) {
         ++res.silent;
-      } else if (mismatch) {
+      } else if (trial.mismatch) {
         ++res.detected;
       } else {
         ++res.masked;
@@ -94,26 +115,31 @@ std::vector<SeuDepthPoint> seu_depth_sweep(units::UnitKind kind,
                                            const std::vector<int>& depths,
                                            const SeuCampaignConfig& camp,
                                            const SeuRateModel& rate) {
-  std::vector<SeuDepthPoint> points;
-  points.reserve(depths.size());
-  for (int d : depths) {
-    units::UnitConfig cfg;
-    cfg.stages = d;
-    SeuCampaignConfig c = camp;
-    c.scheme = fault::Scheme::kNone;
-    const UnitSeuResult r = run_unit_campaign(kind, fmt, cfg, c);
-    const units::FpUnit unit(kind, fmt, cfg);
-    SeuDepthPoint p;
-    p.stages = unit.stages();
-    p.freq_mhz = unit.timing().freq_mhz;
-    p.pipeline_ffs = r.pipeline_ffs;
-    p.occupied_bits = r.occupied_bits;
-    p.avf = r.avf();
-    p.sdc_fraction = r.sdc_fraction();
-    p.sdc_fit = rate.fit(r.pipeline_ffs, r.avf());
-    p.tmr_area_x = fault::hardening_cost(unit, fault::Scheme::kTmr).area_factor;
-    points.push_back(p);
-  }
+  std::vector<SeuDepthPoint> points(depths.size());
+  exec::parallel_for_chunked(
+      depths.size(), camp.threads,
+      [&](int /*worker*/, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          units::UnitConfig cfg;
+          cfg.stages = depths[i];
+          SeuCampaignConfig c = camp;
+          c.scheme = fault::Scheme::kNone;
+          c.threads = 1;  // the depth grid is the parallel axis here
+          const UnitSeuResult r = run_unit_campaign(kind, fmt, cfg, c);
+          const units::FpUnit unit(kind, fmt, cfg);
+          SeuDepthPoint p;
+          p.stages = unit.stages();
+          p.freq_mhz = unit.timing().freq_mhz;
+          p.pipeline_ffs = r.pipeline_ffs;
+          p.occupied_bits = r.occupied_bits;
+          p.avf = r.avf();
+          p.sdc_fraction = r.sdc_fraction();
+          p.sdc_fit = rate.fit(r.pipeline_ffs, r.avf());
+          p.tmr_area_x =
+              fault::hardening_cost(unit, fault::Scheme::kTmr).area_factor;
+          points[i] = p;
+        }
+      });
   return points;
 }
 
@@ -125,11 +151,14 @@ ReliableSelection select_min_max_opt_reliable(const SweepResult& sweep,
   sel.unconstrained = select_min_max_opt(sweep);
   const DesignPoint* best = nullptr;
   const DesignPoint* least_vulnerable = nullptr;
+  double least_fit = 0.0;
   for (const DesignPoint& p : sweep.points) {
     const double fit = rate.fit(p.pipeline_ffs, avf_derate);
-    if (least_vulnerable == nullptr ||
-        p.pipeline_ffs < least_vulnerable->pipeline_ffs) {
+    // Infeasible fallback: minimum modelled FIT — the quantity the cap is
+    // expressed in (mirrors the CRAM overload below).
+    if (least_vulnerable == nullptr || fit < least_fit) {
       least_vulnerable = &p;
+      least_fit = fit;
     }
     if (fit <= max_fit &&
         (best == nullptr || p.freq_per_area > best->freq_per_area)) {
@@ -158,10 +187,12 @@ ReliableSelection select_min_max_opt_reliable(const SweepResult& sweep,
   };
   const DesignPoint* best = nullptr;
   const DesignPoint* least_vulnerable = nullptr;
+  double least_fit = 0.0;
   for (const DesignPoint& p : sweep.points) {
     const double fit = total_fit(p);
-    if (least_vulnerable == nullptr || fit < total_fit(*least_vulnerable)) {
+    if (least_vulnerable == nullptr || fit < least_fit) {
       least_vulnerable = &p;
+      least_fit = fit;
     }
     if (fit <= max_fit &&
         (best == nullptr || p.freq_per_area > best->freq_per_area)) {
@@ -195,6 +226,32 @@ struct PeFault {
   fault::Fault fault;
 };
 
+/// Per-trial verdict of one kernel-campaign fault.
+struct KernelTrial {
+  bool corrupted = false;
+  bool ecc_detected = false;   // pe.ecc_detections() > 0 after the run
+  bool ecc_corrected = false;  // pe.ecc_corrections() > 0 after the run
+};
+
+// A single-fault draw can come back empty (the sampled profile exposes no
+// occupied site for that source); the legacy loop silently dropped the
+// trial, so the campaign ran fewer than camp.faults faults and the
+// accumulator/config fractions drifted from spec. Redraw with the next
+// rng() seed until non-empty — bounded, and consuming extra draws only on
+// the empty path, so a campaign whose draws all land keeps the legacy
+// sequence bit for bit.
+constexpr int kMaxRedraws = 16;
+
+template <typename DrawFn>
+fault::FaultCampaign redraw_until_nonempty(std::mt19937_64& rng,
+                                           const DrawFn& draw) {
+  fault::FaultCampaign c = draw(rng());
+  for (int retry = 0; c.empty() && retry < kMaxRedraws; ++retry) {
+    c = draw(rng());
+  }
+  return c;
+}
+
 }  // namespace
 
 MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
@@ -217,20 +274,23 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
   const kernel::Matrix a = kernel::matrix_from_doubles(av, n, cfg.fmt);
   const kernel::Matrix b = kernel::matrix_from_doubles(bv, n, cfg.fmt);
 
+  // One shared golden run; every trial compares against it.
   kernel::LinearArrayMatmul array(n, pe_cfg);
   const kernel::MatmulRun clean = array.run(a, b);
   const long horizon = clean.cycles;
 
   // Latch-fault sample spaces for the PE's two units.
-  units::FpUnit mult_probe(units::UnitKind::kMultiplier, cfg.fmt,
-                           cfg.mult_config());
-  units::FpUnit add_probe(units::UnitKind::kAdder, cfg.fmt,
-                          cfg.adder_config());
+  const units::FpUnit mult_probe(units::UnitKind::kMultiplier, cfg.fmt,
+                                 cfg.mult_config());
+  const units::FpUnit add_probe(units::UnitKind::kAdder, cfg.fmt,
+                                cfg.adder_config());
   const fault::LatchProfile mult_profile =
       fault::profile_unit_latches(mult_probe, 24, camp.seed + 2);
   const fault::LatchProfile add_profile =
       fault::profile_unit_latches(add_probe, 24, camp.seed + 3);
 
+  // Pre-draw the complete fault list before any trial runs (the
+  // determinism anchor for the parallel trial loop below).
   std::vector<PeFault> faults;
   faults.reserve(static_cast<std::size_t>(camp.faults));
   const int acc_count = static_cast<int>(
@@ -246,9 +306,12 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
     } else {
       const bool mult = (rng() & 1) != 0;
       pf.target = mult ? PeFault::kMultLatch : PeFault::kAddLatch;
-      const fault::FaultCampaign latch = fault::FaultCampaign::random(
-          mult ? mult_profile : add_profile, horizon, 1, rng());
-      if (latch.empty()) continue;
+      const fault::FaultCampaign latch =
+          redraw_until_nonempty(rng, [&](std::uint64_t seed) {
+            return fault::FaultCampaign::random(
+                mult ? mult_profile : add_profile, horizon, 1, seed);
+          });
+      if (latch.empty()) continue;  // no occupied site even after redraws
       pf.fault = latch.faults().front();
     }
     faults.push_back(pf);
@@ -265,38 +328,65 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
     pf.pe = static_cast<int>(rng() % static_cast<std::uint64_t>(n));
     const bool mult = (rng() & 1) != 0;
     pf.target = mult ? PeFault::kConfigMult : PeFault::kConfigAdd;
-    const fault::FaultCampaign config = fault::FaultCampaign::cram(
-        mult ? mult_profile : add_profile, horizon, 1, rng(),
-        camp.scrub_period_cycles);
-    if (config.empty()) continue;
+    const fault::FaultCampaign config =
+        redraw_until_nonempty(rng, [&](std::uint64_t seed) {
+          return fault::FaultCampaign::cram(mult ? mult_profile : add_profile,
+                                           horizon, 1, seed,
+                                           camp.scrub_period_cycles);
+        });
+    if (config.empty()) continue;  // no occupied site even after redraws
     pf.fault = config.faults().front();
     faults.push_back(pf);
   }
 
-  for (const PeFault& pf : faults) {
-    fault::FaultInjector injector({pf.fault});
-    kernel::ProcessingElement& pe = array.pe(pf.pe);
-    switch (pf.target) {
-      case PeFault::kMultLatch:
-      case PeFault::kConfigMult:
-        pe.multiplier().set_latch_observer(&injector);
-        break;
-      case PeFault::kAddLatch:
-      case PeFault::kConfigAdd:
-        pe.adder().set_latch_observer(&injector);
-        break;
-      case PeFault::kAccumulator:
-        pe.set_storage_observer(&injector);
-        break;
-    }
-    const kernel::MatmulRun faulty = array.run(a, b);
-    pe.multiplier().set_latch_observer(nullptr);
-    pe.adder().set_latch_observer(nullptr);
-    pe.set_storage_observer(nullptr);
+  // Trial loop: each worker re-runs the kernel on its own array replica
+  // (run() clears every PE first, so a replica's trial is bit-identical to
+  // the legacy reuse of one array). Verdicts land in per-fault slots.
+  std::vector<KernelTrial> trials(faults.size());
+  exec::parallel_for_chunked(
+      faults.size(), camp.threads,
+      [&](int worker, std::size_t begin, std::size_t end) {
+        // Worker 0 reuses the golden array (exactly the legacy serial
+        // loop); the others run on their own replicas.
+        std::optional<kernel::LinearArrayMatmul> replica;
+        if (worker != 0) replica.emplace(array.clone());
+        kernel::LinearArrayMatmul& worker_array =
+            worker == 0 ? array : *replica;
+        for (std::size_t i = begin; i < end; ++i) {
+          const PeFault& pf = faults[i];
+          fault::FaultInjector injector({pf.fault});
+          kernel::ProcessingElement& pe = worker_array.pe(pf.pe);
+          switch (pf.target) {
+            case PeFault::kMultLatch:
+            case PeFault::kConfigMult:
+              pe.multiplier().set_latch_observer(&injector);
+              break;
+            case PeFault::kAddLatch:
+            case PeFault::kConfigAdd:
+              pe.adder().set_latch_observer(&injector);
+              break;
+            case PeFault::kAccumulator:
+              pe.set_storage_observer(&injector);
+              break;
+          }
+          const kernel::MatmulRun faulty = worker_array.run(a, b);
+          pe.multiplier().set_latch_observer(nullptr);
+          pe.adder().set_latch_observer(nullptr);
+          pe.set_storage_observer(nullptr);
 
+          KernelTrial& trial = trials[i];
+          trial.corrupted =
+              faulty.c.bits != clean.c.bits || faulty.flags != clean.flags;
+          trial.ecc_detected = pe.ecc_detections() > 0;
+          trial.ecc_corrected = pe.ecc_corrections() > 0;
+        }
+      });
+
+  // Ordered reduction over the pre-drawn fault list.
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const PeFault& pf = faults[i];
+    const KernelTrial& trial = trials[i];
     ++res.injected;
-    const bool corrupted =
-        faulty.c.bits != clean.c.bits || faulty.flags != clean.flags;
     const bool acc_site = pf.target == PeFault::kAccumulator;
     const bool config_site =
         pf.target == PeFault::kConfigMult || pf.target == PeFault::kConfigAdd;
@@ -304,9 +394,9 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
     else if (config_site) ++res.config_injected;
     else ++res.latch_injected;
 
-    if (corrupted) {
+    if (trial.corrupted) {
       // ECC can still flag what it cannot fix (double errors).
-      if (pe.ecc_detections() > 0) {
+      if (trial.ecc_detected) {
         ++res.detected;
       } else {
         ++res.silent;
@@ -314,7 +404,7 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
         else if (config_site) ++res.config_silent;
         else ++res.latch_silent;
       }
-    } else if (pe.ecc_corrections() > 0) {
+    } else if (trial.ecc_corrected) {
       ++res.corrected;  // the upset reached storage; SECDED repaired it
     } else {
       ++res.masked;

@@ -29,6 +29,11 @@ struct SeuCampaignConfig {
   int faults = 48;   ///< upsets injected, one per run (single-fault model)
   std::uint64_t seed = 0x5eed;
   fault::Scheme scheme = fault::Scheme::kNone;
+  /// Worker threads for the trial loop (exec::parallel_for_chunked).
+  /// 0 = auto (FLOPSIM_THREADS, then hardware_concurrency); 1 = serial.
+  /// The fault list is pre-drawn and tallies reduce in fault-list order,
+  /// so results are bit-identical for every thread count.
+  int threads = 0;
 };
 
 struct UnitSeuResult {
@@ -104,6 +109,9 @@ struct SeuDepthPoint {
 };
 
 /// Campaign at each requested depth (depths are clamped like UnitConfig).
+/// The per-depth loop runs on camp.threads workers (each depth's inner
+/// campaign is serial); every depth writes its own slot, so the sweep is
+/// bit-identical at any thread count.
 std::vector<SeuDepthPoint> seu_depth_sweep(units::UnitKind kind,
                                            fp::FpFormat fmt,
                                            const std::vector<int>& depths,
@@ -113,8 +121,10 @@ std::vector<SeuDepthPoint> seu_depth_sweep(units::UnitKind kind,
 /// The paper's min/max/opt selection with a reliability constraint: opt
 /// becomes the best freq/area design whose unhardened SDC FIT (pipeline
 /// FFs x rate x avf_derate) stays within `max_fit`. When nothing
-/// qualifies, the least-vulnerable point is returned and `feasible` is
-/// false.
+/// qualifies, the point with the minimum modelled FIT — the very quantity
+/// the cap is expressed in — is returned and `feasible` is false. Both
+/// overloads use that same fallback rule (the CRAM one over latch + CRAM
+/// FIT).
 struct ReliableSelection {
   Selection unconstrained;
   DesignPoint opt;
@@ -158,6 +168,11 @@ struct MatmulSeuConfig {
   /// Scrub period for those config upsets, in kernel cycles; a struck
   /// piece repairs at the next scrub boundary. <= 0: persists all run.
   long scrub_period_cycles = 0;
+  /// Worker threads for the per-fault loop; each worker re-runs the kernel
+  /// on its own array replica against the shared golden run. 0 = auto
+  /// (FLOPSIM_THREADS, then hardware_concurrency); 1 = serial. Tallies
+  /// reduce in fault-list order: bit-identical at any thread count.
+  int threads = 0;
 };
 
 struct MatmulSeuResult {

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "exec/parallel.hpp"
 #include "power/unit_power.hpp"
 
 namespace flopsim::analysis {
@@ -15,7 +16,7 @@ const DesignPoint& SweepResult::at_stages(int stages) const {
 
 SweepResult sweep_unit(units::UnitKind kind, fp::FpFormat fmt,
                        device::Objective objective,
-                       const device::TechModel& tech) {
+                       const device::TechModel& tech, int threads) {
   SweepResult result;
   result.kind = kind;
   result.fmt = fmt;
@@ -26,22 +27,27 @@ SweepResult sweep_unit(units::UnitKind kind, fp::FpFormat fmt,
   cfg.tech = tech;
   const units::FpUnit probe(kind, fmt, cfg);
   const int maxs = probe.max_stages();
-  result.points.reserve(static_cast<std::size_t>(maxs));
-  for (int s = 1; s <= maxs; ++s) {
-    cfg.stages = s;
-    const units::FpUnit unit(kind, fmt, cfg);
-    DesignPoint p;
-    p.stages = s;
-    const rtl::Timing t = unit.timing();
-    p.freq_mhz = t.freq_mhz;
-    p.critical_ns = t.critical_ns;
-    const rtl::AreaBreakdown a = unit.area();
-    p.area = a.total;
-    p.pipeline_ffs = a.pipeline_ffs;
-    p.freq_per_area = unit.freq_per_area();
-    p.power_mw_100 = power::unit_power(unit, 100.0).total_mw();
-    result.points.push_back(p);
-  }
+  result.points.assign(static_cast<std::size_t>(maxs), {});
+  exec::parallel_for_chunked(
+      static_cast<std::size_t>(maxs), threads,
+      [&](int /*worker*/, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          units::UnitConfig point_cfg = cfg;
+          point_cfg.stages = static_cast<int>(i) + 1;
+          const units::FpUnit unit(kind, fmt, point_cfg);
+          DesignPoint p;
+          p.stages = point_cfg.stages;
+          const rtl::Timing t = unit.timing();
+          p.freq_mhz = t.freq_mhz;
+          p.critical_ns = t.critical_ns;
+          const rtl::AreaBreakdown a = unit.area();
+          p.area = a.total;
+          p.pipeline_ffs = a.pipeline_ffs;
+          p.freq_per_area = unit.freq_per_area();
+          p.power_mw_100 = power::unit_power(unit, 100.0).total_mw();
+          result.points[i] = p;
+        }
+      });
   return result;
 }
 

@@ -28,11 +28,15 @@ struct SweepResult {
   const DesignPoint& at_stages(int stages) const;
 };
 
-/// Generate and evaluate the unit at every pipeline depth.
+/// Generate and evaluate the unit at every pipeline depth. The per-depth
+/// loop runs on `threads` workers (0 = auto: FLOPSIM_THREADS, then
+/// hardware_concurrency; 1 = serial); every depth writes its own slot, so
+/// the result is identical at any thread count.
 SweepResult sweep_unit(units::UnitKind kind, fp::FpFormat fmt,
                        device::Objective objective = device::Objective::kArea,
                        const device::TechModel& tech =
-                           device::TechModel::virtex2pro7());
+                           device::TechModel::virtex2pro7(),
+                       int threads = 0);
 
 /// The paper's three evaluated precisions.
 std::vector<fp::FpFormat> paper_formats();

@@ -1,0 +1,146 @@
+#include "exec/parallel.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flopsim::exec {
+
+int resolve_threads(int requested) {
+  if (requested >= 1) {
+    return requested > kMaxThreads ? kMaxThreads : requested;
+  }
+  if (const char* env = std::getenv("FLOPSIM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return v > kMaxThreads ? kMaxThreads : static_cast<int>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return 1;
+  return hw > static_cast<unsigned>(kMaxThreads) ? kMaxThreads
+                                                 : static_cast<int>(hw);
+}
+
+ThreadPool::Chunk ThreadPool::chunk_of(std::size_t count, int threads,
+                                       int worker) {
+  Chunk c;
+  if (threads < 1 || worker < 0 || worker >= threads) return c;
+  const std::size_t t = static_cast<std::size_t>(threads);
+  const std::size_t w = static_cast<std::size_t>(worker);
+  const std::size_t base = count / t;
+  const std::size_t rem = count % t;
+  c.begin = w * base + (w < rem ? w : rem);
+  c.end = c.begin + base + (w < rem ? 1 : 0);
+  return c;
+}
+
+struct ThreadPool::Impl {
+  std::mutex m;
+  std::condition_variable work_cv;   // new generation / stop
+  std::condition_variable done_cv;   // pending hit zero
+  const ChunkFn* fn = nullptr;       // borrowed for the current generation
+  std::size_t count = 0;
+  std::uint64_t generation = 0;
+  int pending = 0;
+  bool stop = false;
+  std::vector<std::exception_ptr> errors;  // one slot per worker index
+  std::vector<std::thread> workers;        // workers 1..threads-1
+};
+
+ThreadPool::ThreadPool(int threads)
+    : threads_(threads < 1 ? 1 : (threads > kMaxThreads ? kMaxThreads
+                                                        : threads)),
+      impl_(std::make_unique<Impl>()) {
+  impl_->errors.assign(static_cast<std::size_t>(threads_), nullptr);
+  impl_->workers.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int w = 1; w < threads_; ++w) {
+    impl_->workers.emplace_back([this, w] {
+      Impl& s = *impl_;
+      std::uint64_t seen = 0;
+      for (;;) {
+        const ChunkFn* fn = nullptr;
+        std::size_t count = 0;
+        {
+          std::unique_lock<std::mutex> lk(s.m);
+          s.work_cv.wait(lk,
+                         [&] { return s.stop || s.generation != seen; });
+          if (s.stop) return;
+          seen = s.generation;
+          fn = s.fn;
+          count = s.count;
+        }
+        std::exception_ptr err;
+        try {
+          const Chunk c = chunk_of(count, threads_, w);
+          if (c.begin < c.end) (*fn)(w, c.begin, c.end);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        {
+          std::lock_guard<std::mutex> lk(s.m);
+          s.errors[static_cast<std::size_t>(w)] = err;
+          if (--s.pending == 0) s.done_cv.notify_all();
+        }
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->m);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+}
+
+void ThreadPool::run_chunked(std::size_t count, const ChunkFn& fn) {
+  Impl& s = *impl_;
+  {
+    std::lock_guard<std::mutex> lk(s.m);
+    s.fn = &fn;
+    s.count = count;
+    s.errors.assign(static_cast<std::size_t>(threads_), nullptr);
+    s.pending = threads_ - 1;
+    ++s.generation;
+  }
+  s.work_cv.notify_all();
+
+  std::exception_ptr own;
+  try {
+    const Chunk c = chunk_of(count, threads_, 0);
+    if (c.begin < c.end) fn(0, c.begin, c.end);
+  } catch (...) {
+    own = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lk(s.m);
+  s.done_cv.wait(lk, [&] { return s.pending == 0; });
+  s.errors[0] = own;
+  for (const std::exception_ptr& e : s.errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void parallel_for_chunked(std::size_t count, int threads,
+                          const ThreadPool::ChunkFn& fn) {
+  int t = resolve_threads(threads);
+  if (static_cast<std::size_t>(t) > count) {
+    t = count < 1 ? 1 : static_cast<int>(count);
+  }
+  if (t <= 1) {
+    if (count > 0) fn(0, 0, count);
+    return;
+  }
+  ThreadPool pool(t);
+  pool.run_chunked(count, fn);
+}
+
+}  // namespace flopsim::exec

@@ -1,0 +1,83 @@
+// Deterministic host-side parallelism for the Monte-Carlo campaign and
+// sweep engines.
+//
+// Every hot loop in the analysis layer is an embarrassingly parallel trial
+// loop: the fault list (or depth grid) is fully drawn up front, each trial
+// is independent, and the tallies are a fold over per-trial verdicts. This
+// layer supplies the one primitive those loops need — parallel_for_chunked,
+// a fixed-size thread pool running *static* contiguous chunks — under a
+// strict determinism contract:
+//
+//  * Work is split into exactly `threads` contiguous chunks of [0, count),
+//    assigned by worker index (never stolen, never rebalanced), so which
+//    worker computes which trial is a pure function of (count, threads).
+//  * Workers only write per-index slots the caller pre-sized; the caller
+//    reduces those slots in index (fault-list) order afterwards, never in
+//    arrival order.
+//  * Therefore results are bit-identical for every thread count, including
+//    1 — the serial fallback, which runs the body inline on the caller with
+//    no pool at all (and is what FLOPSIM_THREADS=1 selects).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace flopsim::exec {
+
+/// Worker thread count to use. `requested >= 1` wins as-is (clamped to
+/// kMaxThreads); 0 means auto: the FLOPSIM_THREADS environment variable
+/// when set to a positive integer, else std::thread::hardware_concurrency()
+/// (1 when the implementation reports it as unavailable/0).
+int resolve_threads(int requested = 0);
+
+inline constexpr int kMaxThreads = 256;
+
+/// A fixed-size pool of `threads - 1` background workers (chunk 0 always
+/// runs on the calling thread, so a 1-thread pool spawns nothing and is
+/// purely serial). Reusable: run_chunked may be called any number of times.
+class ThreadPool {
+ public:
+  /// `threads` is clamped to [1, kMaxThreads].
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// fn(worker, begin, end): process indices [begin, end) as worker
+  /// `worker` in [0, threads()).
+  using ChunkFn =
+      std::function<void(int worker, std::size_t begin, std::size_t end)>;
+
+  /// Split [0, count) into threads() static contiguous chunks (the first
+  /// count % threads chunks are one index longer) and run fn on each —
+  /// chunk 0 on the calling thread. Blocks until every chunk finished.
+  /// If chunks threw, rethrows the lowest-worker-index exception (a
+  /// deterministic choice) after all workers have quiesced.
+  void run_chunked(std::size_t count, const ChunkFn& fn);
+
+  struct Chunk {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  /// The static chunk assignment: worker `worker` of `threads` owns
+  /// [begin, end) of [0, count). Exposed for tests and for callers that
+  /// need to reason about worker-local state.
+  static Chunk chunk_of(std::size_t count, int threads, int worker);
+
+ private:
+  struct Impl;
+  int threads_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot convenience over ThreadPool: resolve_threads(threads), clamp to
+/// count (never more workers than trials), run fn over the static chunks
+/// and return when all are done. With one effective thread the body runs
+/// inline — no threads are created and no synchronization happens.
+void parallel_for_chunked(std::size_t count, int threads,
+                          const ThreadPool::ChunkFn& fn);
+
+}  // namespace flopsim::exec

@@ -56,28 +56,27 @@ long LatchProfile::total_bits() const {
   return bits;
 }
 
-LatchProfile profile_unit_latches(units::FpUnit& unit, int vectors,
+LatchProfile profile_unit_latches(const units::FpUnit& unit, int vectors,
                                   std::uint64_t seed) {
+  units::FpUnit probe = unit.clone();  // fresh pipeline; caller's untouched
   LatchProfile profile;
-  profile.occupied.assign(static_cast<std::size_t>(unit.stages()), {});
+  profile.occupied.assign(static_cast<std::size_t>(probe.stages()), {});
   const std::vector<units::UnitInput> workload =
-      campaign_workload(unit.kind(), unit.format(), vectors, seed);
-  unit.reset();
-  const int total = vectors + unit.latency() + 2;
+      campaign_workload(probe.kind(), probe.format(), vectors, seed);
+  const int total = vectors + probe.latency() + 2;
   for (int t = 0; t < total; ++t) {
     if (t < vectors) {
-      unit.step(workload[static_cast<std::size_t>(t)]);
+      probe.step(workload[static_cast<std::size_t>(t)]);
     } else {
-      unit.step(std::nullopt);
+      probe.step(std::nullopt);
     }
-    const std::vector<rtl::SignalSet>& latches = unit.latches();
+    const std::vector<rtl::SignalSet>& latches = probe.latches();
     for (std::size_t s = 0; s < latches.size(); ++s) {
       for (int l = 0; l < rtl::kMaxSignals; ++l) {
         profile.occupied[s][static_cast<std::size_t>(l)] |= latches[s][l];
       }
     }
   }
-  unit.reset();
   return profile;
 }
 

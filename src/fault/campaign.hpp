@@ -43,9 +43,10 @@ struct LatchProfile {
 };
 
 /// Drive `vectors` deterministic operands (plus drain bubbles) through a
-/// fresh copy of the unit's pipeline and OR every latch observed. The unit
-/// is reset before and after.
-LatchProfile profile_unit_latches(units::FpUnit& unit, int vectors,
+/// fresh clone of the unit's pipeline and OR every latch observed. The
+/// passed unit is never touched (const-correct: safe to call on a probe
+/// shared across campaign worker threads).
+LatchProfile profile_unit_latches(const units::FpUnit& unit, int vectors,
                                   std::uint64_t seed);
 
 /// Deterministic operand stream for campaigns: uniform encodings of the

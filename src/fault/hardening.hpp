@@ -97,6 +97,13 @@ class HardenedUnit {
   /// call arm() again or FaultInjector::rewind() to replay them).
   void reset();
 
+  /// A fresh (reset, disarmed) hardened unit with the same kind, format,
+  /// configuration and scheme — one per campaign worker.
+  HardenedUnit clone() const {
+    return HardenedUnit(primary().kind(), primary().format(),
+                        primary().config(), scheme_);
+  }
+
   Scheme scheme() const { return scheme_; }
   const units::FpUnit& primary() const { return copies_.front(); }
   long detections() const { return detections_; }

@@ -52,6 +52,14 @@ class LinearArrayMatmul {
   /// rule). Used by tests to demonstrate the hazard window.
   void set_pad_threshold(int pl) { pad_override_ = pl; }
 
+  /// A fresh array with the same geometry and PE configuration (pad
+  /// override included) — one replica per campaign worker.
+  LinearArrayMatmul clone() const {
+    LinearArrayMatmul copy(n_, cfg_);
+    copy.pad_override_ = pad_override_;
+    return copy;
+  }
+
   int n() const { return n_; }
   const ProcessingElement& pe(int j) const {
     return pes_[static_cast<std::size_t>(j)];

@@ -49,6 +49,11 @@ class FpUnit {
   const UnitConfig& config() const { return cfg_; }
   std::string name() const;
 
+  /// A fresh (reset) unit with this unit's exact configuration. The
+  /// const-correct way to replicate a configured core — campaign workers
+  /// clone the probe instead of sharing one mutable pipeline.
+  FpUnit clone() const { return FpUnit(kind_, fmt_, cfg_); }
+
   /// Pipeline depth actually realized (requested depth clamped).
   int stages() const { return plan_.stages(); }
   /// Latency in cycles (== stages: one register level per stage).

@@ -97,6 +97,43 @@ TEST(SeuCampaign, ReliableSelectionHonorsTheFitCap) {
   }
 }
 
+// When no point satisfies the cap, both overloads must fall back to the
+// point with the minimum modelled FIT — the very quantity the cap is
+// expressed in — and report feasible = false. (The two overloads model
+// different FITs: latch-only versus latch + CRAM, where the CRAM term
+// scales with area footprint rather than FF count.)
+TEST(SeuCampaign, InfeasibleCapFallsBackToMinimumModelledFit) {
+  const SweepResult sweep =
+      sweep_unit(units::UnitKind::kAdder, fp::FpFormat::binary32());
+  const SeuRateModel rate;
+  const double derate = 0.5;
+
+  // Latch-only overload.
+  const ReliableSelection latch =
+      select_min_max_opt_reliable(sweep, 0.0, rate, derate);
+  EXPECT_FALSE(latch.feasible);
+  for (const DesignPoint& p : sweep.points) {
+    EXPECT_LE(latch.fit_at_opt, rate.fit(p.pipeline_ffs, derate));
+  }
+  EXPECT_DOUBLE_EQ(latch.fit_at_opt,
+                   rate.fit(latch.opt.pipeline_ffs, derate));
+
+  // CRAM-aware overload: the fallback minimizes the *total* modelled FIT.
+  CramRateModel cram;  // scrubbing disabled: mission/2 exposure, term > 0
+  const ReliableSelection total =
+      select_min_max_opt_reliable(sweep, 0.0, rate, derate, cram);
+  EXPECT_FALSE(total.feasible);
+  EXPECT_GT(total.cram_fit_at_opt, 0.0);
+  for (const DesignPoint& p : sweep.points) {
+    EXPECT_LE(total.fit_at_opt,
+              rate.fit(p.pipeline_ffs, derate) + cram.fit(p.area));
+  }
+  EXPECT_DOUBLE_EQ(total.fit_at_opt,
+                   rate.fit(total.opt.pipeline_ffs, derate) +
+                       cram.fit(total.opt.area));
+  EXPECT_DOUBLE_EQ(total.cram_fit_at_opt, cram.fit(total.opt.area));
+}
+
 TEST(SeuCampaign, MatmulCampaignIsDeterministicAndFindsSdc) {
   kernel::PeConfig cfg;
   cfg.adder_stages = 2;

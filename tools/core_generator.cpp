@@ -7,8 +7,14 @@
 // Usage:
 //   flopsim-gen <add|mul|div|sqrt|mac> <32|48|64> [stages] [area|speed]
 //               [ieee] [fabric] [--harden=<parity|residue|dup|tmr|ecc>]
+//               [--threads=<n>]
 //   flopsim-gen cvt <src-bits> <dst-bits> [stages]
+//
+// --threads= sets the worker count for the depth sweep behind the opt
+// recommendation (0/absent = auto via FLOPSIM_THREADS, then hardware
+// concurrency); the sweep is bit-identical at any thread count.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -29,7 +35,7 @@ void print_usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s <add|mul|div|sqrt|mac> <16|32|48|64> [stages] "
                "[area|speed] [ieee] [fabric] "
-               "[--harden=<parity|residue|dup|tmr|ecc>]\n"
+               "[--harden=<parity|residue|dup|tmr|ecc>] [--threads=<n>]\n"
                "       %s cvt <src-bits> <dst-bits> [stages]\n",
                prog, prog);
 }
@@ -93,6 +99,7 @@ int generate_arith(const std::string& op, const std::string& bits, int argc,
 
   units::UnitConfig cfg;
   std::optional<fault::Scheme> harden;
+  int threads = 0;
   if (argc > 3 && std::isdigit(static_cast<unsigned char>(argv[3][0]))) {
     cfg.stages = std::atoi(argv[3]);
   }
@@ -111,12 +118,21 @@ int generate_arith(const std::string& op, const std::string& bits, int argc,
         print_usage(argv[0]);
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const std::string v = argv[i] + 10;
+      if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos ||
+          std::atol(v.c_str()) < 1 || std::atol(v.c_str()) > 1024) {
+        std::fprintf(stderr, "error: bad thread count: %s\n", v.c_str());
+        print_usage(argv[0]);
+        return 2;
+      }
+      threads = std::atoi(v.c_str());
     }
   }
 
   // If no stage count given, recommend the freq/area optimum.
-  const analysis::SweepResult sweep =
-      analysis::sweep_unit(kind, fmt, cfg.objective);
+  const analysis::SweepResult sweep = analysis::sweep_unit(
+      kind, fmt, cfg.objective, device::TechModel::virtex2pro7(), threads);
   const analysis::Selection sel = analysis::select_min_max_opt(sweep);
   if (cfg.stages == 1 && (argc <= 3 ||
                           !std::isdigit(static_cast<unsigned char>(

@@ -3,6 +3,13 @@
 #
 #   SAN=undefined tools/run_sanitized_tests.sh   (default)
 #   SAN=address   tools/run_sanitized_tests.sh
+#   SAN=thread    tools/run_sanitized_tests.sh
+#
+# thread is special-cased: TSan only pays off on code that actually runs
+# threads, and the full suite under it is painfully slow — so it builds the
+# tree with -fsanitize=thread but runs only the `tsan`-labelled suites (the
+# exec pool tests plus the campaign determinism suite) with enough workers
+# to exercise the parallel trial loops.
 #
 # Uses a separate build directory (build-$SAN) so the normal build stays
 # untouched.
@@ -10,8 +17,9 @@ set -eu
 
 SAN="${SAN:-undefined}"
 case "$SAN" in
-  address|undefined) ;;
-  *) echo "error: SAN must be 'address' or 'undefined', got '$SAN'" >&2
+  address|undefined|thread) ;;
+  *) echo "error: SAN must be 'address', 'undefined' or 'thread'," \
+          "got '$SAN'" >&2
      exit 2 ;;
 esac
 
@@ -20,4 +28,9 @@ BUILD="$ROOT/build-$SAN"
 
 cmake -B "$BUILD" -S "$ROOT" -DFLOPSIM_SANITIZE="$SAN"
 cmake --build "$BUILD" -j "$(nproc)"
-ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+if [ "$SAN" = thread ]; then
+  FLOPSIM_THREADS=4 ctest --test-dir "$BUILD" --output-on-failure \
+    -L tsan -j "$(nproc)"
+else
+  ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+fi

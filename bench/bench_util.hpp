@@ -5,17 +5,25 @@
 // (append one machine-readable record per campaign — name, trials,
 // threads, wall-clock ms — as JSON lines, conventionally to
 // BENCH_campaign.json, so CI can track campaign throughput over time).
+//
+// Flag parsing for the campaign benches lives in obs::parse_cli (which
+// also owns --metrics=/--trace=); the JSON emission goes through the
+// obs:: sinks so the record format is written down exactly once. The line
+// format is byte-identical to the original hand-rolled emission (locked
+// by tests/obs/sink_golden_test.cpp).
 #pragma once
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/report.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
 
 namespace flopsim::bench {
 
@@ -40,9 +48,8 @@ inline std::string slug(const std::string& title) {
   return s;
 }
 
-inline void emit(const std::vector<analysis::Table>& tables, int argc,
-                 char** argv) {
-  const std::string dir = csv_dir(argc, argv);
+inline void emit_to(const std::vector<analysis::Table>& tables,
+                    const std::string& dir) {
   for (const analysis::Table& t : tables) {
     t.print(std::cout);
     if (!dir.empty()) {
@@ -52,6 +59,15 @@ inline void emit(const std::vector<analysis::Table>& tables, int argc,
       }
     }
   }
+}
+
+inline void emit_to(const analysis::Table& t, const std::string& dir) {
+  emit_to(std::vector<analysis::Table>{t}, dir);
+}
+
+inline void emit(const std::vector<analysis::Table>& tables, int argc,
+                 char** argv) {
+  emit_to(tables, csv_dir(argc, argv));
 }
 
 inline void emit(const analysis::Table& t, int argc, char** argv) {
@@ -74,12 +90,16 @@ class CampaignJournal {
   explicit CampaignJournal(int threads) : threads_(threads) {}
 
   /// Run `fn` (a callable returning the campaign result), time it, and
-  /// file the record under `name`/`trials`.
+  /// file the record under `name`/`trials`. Under `--trace=` the whole
+  /// campaign also shows up as one "journal" span.
   template <typename Fn>
   auto time(const std::string& name, long trials, Fn&& fn) {
+    auto span = obs::Tracer::global().span(name, "journal",
+                                           {{"trials", trials}});
     const auto t0 = std::chrono::steady_clock::now();
     auto result = fn();
     const auto t1 = std::chrono::steady_clock::now();
+    span.end();
     CampaignRecord rec;
     rec.name = name;
     rec.trials = trials;
@@ -90,6 +110,9 @@ class CampaignJournal {
     return result;
   }
 
+  /// File a pre-built record (tests use this to pin wall_ms).
+  void add(CampaignRecord rec) { records_.push_back(std::move(rec)); }
+
   const std::vector<CampaignRecord>& records() const { return records_; }
   int threads() const { return threads_; }
 
@@ -97,49 +120,25 @@ class CampaignJournal {
   /// false (with a warning on stderr) when the file cannot be opened;
   /// silently does nothing when `path` is empty.
   bool write(const std::string& path) const {
-    if (path.empty()) return true;
-    std::ofstream out(path, std::ios::app);
-    if (!out) {
+    obs::JsonlSink sink(path);  // append: benches share one file per CI job
+    if (!sink.ok()) {
       std::cerr << "warning: could not write " << path << "\n";
       return false;
     }
     for (const CampaignRecord& r : records_) {
-      out << "{\"campaign\": \"" << r.name << "\", \"trials\": " << r.trials
-          << ", \"threads\": " << r.threads << ", \"wall_ms\": " << r.wall_ms
-          << "}\n";
+      obs::JsonObject o;
+      o.field("campaign", r.name)
+          .field("trials", r.trials)
+          .field("threads", r.threads)
+          .field("wall_ms", r.wall_ms);
+      sink.write(o);
     }
-    return out.good();
+    return sink.good();
   }
 
  private:
   int threads_;
   std::vector<CampaignRecord> records_;
 };
-
-/// The `--json <path>` flag (empty when absent).
-inline std::string json_path(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--json") return argv[i + 1];
-  }
-  return {};
-}
-
-/// Parse `--threads=<n>`: absent -> 0 (auto), n >= 1 -> n, anything else
-/// (junk, zero, negative) -> -1 so the caller can print usage and exit 2.
-inline int threads_flag(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--threads=", 0) == 0) {
-      const std::string v = arg.substr(10);
-      if (v.empty() ||
-          v.find_first_not_of("0123456789") != std::string::npos) {
-        return -1;
-      }
-      const long n = std::atol(v.c_str());
-      return n >= 1 && n <= 1024 ? static_cast<int>(n) : -1;
-    }
-  }
-  return 0;
-}
 
 }  // namespace flopsim::bench

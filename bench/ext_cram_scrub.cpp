@@ -11,6 +11,7 @@
 //
 // Usage: ext_cram_scrub [--scheme=<none|ecc>] [--threads=<n>]
 //                       [--csv <dir>] [--json <path>]
+//                       [--metrics=<path>] [--trace=<path>]
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -19,6 +20,7 @@
 #include "analysis/pareto.hpp"
 #include "analysis/seu.hpp"
 #include "bench_util.hpp"
+#include "obs/cli.hpp"
 
 namespace {
 
@@ -190,12 +192,15 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--scheme=<none|ecc>] [--threads=<n>]\n"
                "          [--csv <dir>] [--json <path>]\n"
+               "          [--metrics=<path>] [--trace=<path>]\n"
                "  --scheme=  restrict the kernel SDC table to one storage\n"
                "             scheme (default: none and ecc)\n"
                "  --threads= campaign worker threads (default: auto via\n"
                "             FLOPSIM_THREADS, then hardware concurrency)\n"
                "  --json     append per-campaign timing records (JSON lines,\n"
-               "             conventionally BENCH_campaign.json)\n",
+               "             conventionally BENCH_campaign.json)\n"
+               "  --metrics= dump the metrics registry as JSON lines at exit\n"
+               "  --trace=   write a Chrome/Perfetto trace-event JSON file\n",
                argv0);
   return 2;
 }
@@ -205,29 +210,25 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace flopsim;
   std::vector<fault::Scheme> schemes{fault::Scheme::kNone, fault::Scheme::kEcc};
-  const int threads = bench::threads_flag(argc, argv);
-  if (threads < 0) return usage(argv[0]);
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+  const obs::CliArgs cli = obs::parse_cli(argc, argv);
+  if (!cli.ok() || !cli.vcd_path.empty()) return usage(argv[0]);
+  for (const std::string& arg : cli.rest) {
     if (arg.rfind("--scheme=", 0) == 0) {
       const std::optional<fault::Scheme> s =
           fault::try_parse_scheme(arg.substr(9));
       if (!s.has_value()) return usage(argv[0]);
       schemes = {*s};
-    } else if ((arg == "--csv" || arg == "--json") && i + 1 < argc) {
-      ++i;  // value consumed by bench::emit / CampaignJournal::write
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      continue;
     } else {
       return usage(argv[0]);
     }
   }
-  bench::CampaignJournal journal(threads);
-  bench::emit(essential_bits_table(threads), argc, argv);
-  bench::emit(fit_vs_scrub_table(threads), argc, argv);
-  bench::emit(reliable_selection_cram_table(threads), argc, argv);
-  bench::emit(kernel_sdc_table(schemes, journal), argc, argv);
-  bench::emit(ecc_cost_table(), argc, argv);
-  journal.write(bench::json_path(argc, argv));
-  return 0;
+  obs::init_observability(cli);
+  bench::CampaignJournal journal(cli.threads);
+  bench::emit_to(essential_bits_table(cli.threads), cli.csv_dir);
+  bench::emit_to(fit_vs_scrub_table(cli.threads), cli.csv_dir);
+  bench::emit_to(reliable_selection_cram_table(cli.threads), cli.csv_dir);
+  bench::emit_to(kernel_sdc_table(schemes, journal), cli.csv_dir);
+  bench::emit_to(ecc_cost_table(), cli.csv_dir);
+  journal.write(cli.json_path);
+  return obs::flush_observability(cli) ? 0 : 1;
 }

@@ -5,6 +5,9 @@
 #include <random>
 
 #include "exec/parallel.hpp"
+#include "obs/probe.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 
 namespace flopsim::analysis {
 
@@ -31,6 +34,9 @@ UnitSeuResult run_unit_campaign(units::UnitKind kind, fp::FpFormat fmt,
                                 const units::UnitConfig& cfg,
                                 const SeuCampaignConfig& camp) {
   UnitSeuResult res;
+  obs::Tracer& tracer = obs::Tracer::global();
+  obs::Registry& reg = obs::Registry::global();
+  auto campaign_span = tracer.span("unit_campaign", "campaign");
 
   units::FpUnit probe(kind, fmt, cfg);
   const int horizon = camp.vectors + probe.latency() + 2;
@@ -40,15 +46,25 @@ UnitSeuResult run_unit_campaign(units::UnitKind kind, fp::FpFormat fmt,
   // Golden run: the clean pipeline over the identical stream.
   std::vector<std::optional<units::UnitOutput>> golden;
   golden.reserve(static_cast<std::size_t>(horizon));
-  probe.reset();
-  for (int t = 0; t < horizon; ++t) {
-    probe.step(t < camp.vectors
-                   ? std::optional<units::UnitInput>(
-                         workload[static_cast<std::size_t>(t)])
-                   : std::nullopt);
-    golden.push_back(probe.output());
+  {
+    auto golden_span = tracer.span("golden", "campaign");
+    probe.reset();
+    for (int t = 0; t < horizon; ++t) {
+      probe.step(t < camp.vectors
+                     ? std::optional<units::UnitInput>(
+                           workload[static_cast<std::size_t>(t)])
+                     : std::nullopt);
+      golden.push_back(probe.output());
+    }
   }
+  // Occupancy of the clean pipeline over the campaign workload, recorded
+  // on the caller's thread (thread-count-invariant by construction).
+  obs::record_unit_occupancy(
+      reg,
+      std::string("pipeline.") + units::to_string(kind) + "." + fmt.name(),
+      probe);
 
+  auto draw_span = tracer.span("draw", "campaign");
   const fault::LatchProfile profile =
       fault::profile_unit_latches(probe, camp.vectors, camp.seed);
   res.occupied_bits = profile.total_bits();
@@ -60,7 +76,11 @@ UnitSeuResult run_unit_campaign(units::UnitKind kind, fp::FpFormat fmt,
       fault::FaultCampaign::random(profile, horizon, camp.faults, camp.seed + 1);
   const std::vector<fault::Fault>& faults = campaign.faults();
   std::vector<UnitTrial> trials(faults.size());
+  draw_span.end();
 
+  obs::ProgressReporter progress("unit campaign",
+                                 static_cast<long>(faults.size()));
+  auto inject_span = tracer.span("inject", "campaign");
   const fault::HardenedUnit proto(kind, fmt, cfg, camp.scheme);
   exec::parallel_for_chunked(
       faults.size(), camp.threads,
@@ -82,10 +102,13 @@ UnitSeuResult run_unit_campaign(units::UnitKind kind, fp::FpFormat fmt,
             trial.mismatch |= out.mismatch;
           }
           hardened.disarm();
+          progress.tick();
         }
       });
+  inject_span.end();
 
   // Ordered reduction: fault-list order, never worker-arrival order.
+  auto reduce_span = tracer.span("reduce", "campaign");
   for (const UnitTrial& trial : trials) {
     ++res.injected;
     if (trial.corrupted) ++res.corrupted;
@@ -107,6 +130,14 @@ UnitSeuResult run_unit_campaign(units::UnitKind kind, fp::FpFormat fmt,
       }
     }
   }
+  reduce_span.end();
+
+  reg.counter("campaign.unit.trials").add(res.injected);
+  reg.counter("campaign.unit.corrupted").add(res.corrupted);
+  reg.counter("campaign.unit.masked").add(res.masked);
+  reg.counter("campaign.unit.detected").add(res.detected);
+  reg.counter("campaign.unit.corrected").add(res.corrected);
+  reg.counter("campaign.unit.silent").add(res.silent);
   return res;
 }
 
@@ -115,6 +146,8 @@ std::vector<SeuDepthPoint> seu_depth_sweep(units::UnitKind kind,
                                            const std::vector<int>& depths,
                                            const SeuCampaignConfig& camp,
                                            const SeuRateModel& rate) {
+  auto sweep_span =
+      obs::Tracer::global().span("seu_depth_sweep", "campaign");
   std::vector<SeuDepthPoint> points(depths.size());
   exec::parallel_for_chunked(
       depths.size(), camp.threads,
@@ -257,6 +290,9 @@ fault::FaultCampaign redraw_until_nonempty(std::mt19937_64& rng,
 MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
                                     const MatmulSeuConfig& camp) {
   MatmulSeuResult res;
+  obs::Tracer& tracer = obs::Tracer::global();
+  obs::Registry& reg = obs::Registry::global();
+  auto campaign_span = tracer.span("matmul_campaign", "campaign");
   const int n = camp.n;
   std::mt19937_64 rng(camp.seed);
 
@@ -275,9 +311,16 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
   const kernel::Matrix b = kernel::matrix_from_doubles(bv, n, cfg.fmt);
 
   // One shared golden run; every trial compares against it.
+  auto golden_span = tracer.span("golden", "campaign");
   kernel::LinearArrayMatmul array(n, pe_cfg);
   const kernel::MatmulRun clean = array.run(a, b);
   const long horizon = clean.cycles;
+  golden_span.end();
+  // Per-PE MAC utilization + unit occupancy of the clean kernel run,
+  // recorded before any trial perturbs the golden array's counters.
+  obs::record_matmul_utilization(reg, "kernel.matmul", array);
+
+  auto draw_span = tracer.span("draw", "campaign");
 
   // Latch-fault sample spaces for the PE's two units.
   const units::FpUnit mult_probe(units::UnitKind::kMultiplier, cfg.fmt,
@@ -338,10 +381,14 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
     pf.fault = config.faults().front();
     faults.push_back(pf);
   }
+  draw_span.end();
 
   // Trial loop: each worker re-runs the kernel on its own array replica
   // (run() clears every PE first, so a replica's trial is bit-identical to
   // the legacy reuse of one array). Verdicts land in per-fault slots.
+  obs::ProgressReporter progress("matmul campaign",
+                                 static_cast<long>(faults.size()));
+  auto inject_span = tracer.span("inject", "campaign");
   std::vector<KernelTrial> trials(faults.size());
   exec::parallel_for_chunked(
       faults.size(), camp.threads,
@@ -379,10 +426,13 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
               faulty.c.bits != clean.c.bits || faulty.flags != clean.flags;
           trial.ecc_detected = pe.ecc_detections() > 0;
           trial.ecc_corrected = pe.ecc_corrections() > 0;
+          progress.tick();
         }
       });
+  inject_span.end();
 
   // Ordered reduction over the pre-drawn fault list.
+  auto reduce_span = tracer.span("reduce", "campaign");
   for (std::size_t i = 0; i < faults.size(); ++i) {
     const PeFault& pf = faults[i];
     const KernelTrial& trial = trials[i];
@@ -410,6 +460,19 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
       ++res.masked;
     }
   }
+  reduce_span.end();
+
+  reg.counter("campaign.matmul.trials").add(res.injected);
+  reg.counter("campaign.matmul.masked").add(res.masked);
+  reg.counter("campaign.matmul.detected").add(res.detected);
+  reg.counter("campaign.matmul.corrected").add(res.corrected);
+  reg.counter("campaign.matmul.silent").add(res.silent);
+  reg.counter("campaign.matmul.acc_injected").add(res.acc_injected);
+  reg.counter("campaign.matmul.acc_silent").add(res.acc_silent);
+  reg.counter("campaign.matmul.latch_injected").add(res.latch_injected);
+  reg.counter("campaign.matmul.latch_silent").add(res.latch_silent);
+  reg.counter("campaign.matmul.config_injected").add(res.config_injected);
+  reg.counter("campaign.matmul.config_silent").add(res.config_silent);
   return res;
 }
 

@@ -8,7 +8,26 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace flopsim::exec {
+
+namespace {
+
+/// Run one chunk under a worker span. With the tracer disabled (the
+/// default) this is one relaxed atomic load on top of the chunk itself.
+void run_chunk_traced(const ThreadPool::ChunkFn& fn, int worker,
+                      std::size_t begin, std::size_t end) {
+  auto span = obs::Tracer::global().span(
+      "chunk", "worker",
+      {{"worker", static_cast<long>(worker)},
+       {"begin", static_cast<long>(begin)},
+       {"end", static_cast<long>(end)}});
+  fn(worker, begin, end);
+}
+
+}  // namespace
 
 int resolve_threads(int requested) {
   if (requested >= 1) {
@@ -62,6 +81,8 @@ ThreadPool::ThreadPool(int threads)
   for (int w = 1; w < threads_; ++w) {
     impl_->workers.emplace_back([this, w] {
       Impl& s = *impl_;
+      // Pin the worker's metric shard / trace timeline row to its index.
+      obs::set_thread_id(w);
       std::uint64_t seen = 0;
       for (;;) {
         const ChunkFn* fn = nullptr;
@@ -78,7 +99,7 @@ ThreadPool::ThreadPool(int threads)
         std::exception_ptr err;
         try {
           const Chunk c = chunk_of(count, threads_, w);
-          if (c.begin < c.end) (*fn)(w, c.begin, c.end);
+          if (c.begin < c.end) run_chunk_traced(*fn, w, c.begin, c.end);
         } catch (...) {
           err = std::current_exception();
         }
@@ -116,7 +137,7 @@ void ThreadPool::run_chunked(std::size_t count, const ChunkFn& fn) {
   std::exception_ptr own;
   try {
     const Chunk c = chunk_of(count, threads_, 0);
-    if (c.begin < c.end) fn(0, c.begin, c.end);
+    if (c.begin < c.end) run_chunk_traced(fn, 0, c.begin, c.end);
   } catch (...) {
     own = std::current_exception();
   }
@@ -136,7 +157,7 @@ void parallel_for_chunked(std::size_t count, int threads,
     t = count < 1 ? 1 : static_cast<int>(count);
   }
   if (t <= 1) {
-    if (count > 0) fn(0, 0, count);
+    if (count > 0) run_chunk_traced(fn, 0, 0, count);
     return;
   }
   ThreadPool pool(t);

@@ -17,6 +17,12 @@
 //  * Therefore results are bit-identical for every thread count, including
 //    1 — the serial fallback, which runs the body inline on the caller with
 //    no pool at all (and is what FLOPSIM_THREADS=1 selects).
+//
+// Instrumentation: every chunk execution is wrapped in an obs:: span
+// (name "chunk", category "worker", tid = worker index) so a `--trace=`
+// run shows per-worker utilization; with the tracer disabled this costs
+// one relaxed atomic load per chunk. Workers pin obs::set_thread_id to
+// their index, which also fixes their metric shard deterministically.
 #pragma once
 
 #include <cstddef>

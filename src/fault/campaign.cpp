@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "fault/secded.hpp"
+#include "obs/metrics.hpp"
 
 namespace flopsim::fault {
 
@@ -202,6 +203,15 @@ const LatchProfile& require_profile(const CampaignSpec& spec) {
 }  // namespace
 
 FaultCampaign FaultCampaign::make(const CampaignSpec& spec) {
+  FaultCampaign c = make_impl(spec);
+  // Registry tallies only — draw sequences and fault lists are untouched.
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("fault.campaigns_built").inc();
+  reg.counter("fault.faults_drawn").add(static_cast<long>(c.faults_.size()));
+  return c;
+}
+
+FaultCampaign FaultCampaign::make_impl(const CampaignSpec& spec) {
   using Source = CampaignSpec::Source;
   FaultCampaign c;
   switch (spec.source) {

@@ -137,6 +137,8 @@ class FaultCampaign {
   FaultInjector make_injector() const { return FaultInjector(faults_); }
 
  private:
+  static FaultCampaign make_impl(const CampaignSpec& spec);
+
   std::vector<Fault> faults_;
 };
 

@@ -44,6 +44,11 @@ class Systolic2dMatmul {
 
   int n() const { return n_; }
   int batch() const { return batch_; }
+  /// PE at grid row i, column j (row-major). For probes and tests.
+  const ProcessingElement& pe(int i, int j) const {
+    return grid_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+                 static_cast<std::size_t>(j)];
+  }
   /// Minimum hazard-free batch for this PE configuration.
   int min_batch() const;
   /// Grid resources: n^2 PEs.

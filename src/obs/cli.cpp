@@ -1,0 +1,63 @@
+#include "obs/cli.hpp"
+
+#include <cstdlib>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace flopsim::obs {
+
+int parse_threads_value(const std::string& v) {
+  if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos) {
+    return -1;
+  }
+  const long n = std::atol(v.c_str());
+  return n >= 1 && n <= 1024 ? static_cast<int>(n) : -1;
+}
+
+CliArgs parse_cli(int argc, char** argv) {
+  CliArgs cli;
+  const auto eq_value = [](const std::string& arg, const char* flag,
+                           std::string* out) {
+    const std::string prefix = std::string(flag) + "=";
+    if (arg.rfind(prefix, 0) != 0) return false;
+    *out = arg.substr(prefix.size());
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg.rfind("--threads=", 0) == 0) {
+      cli.threads = parse_threads_value(arg.substr(10));
+      if (cli.threads < 0 && cli.error.empty()) cli.error = arg;
+    } else if (arg == "--json" || arg == "--csv") {
+      if (i + 1 >= argc) {
+        if (cli.error.empty()) cli.error = arg;
+        continue;
+      }
+      (arg == "--json" ? cli.json_path : cli.csv_dir) = argv[++i];
+    } else if (eq_value(arg, "--metrics", &value)) {
+      cli.metrics_path = value;
+    } else if (eq_value(arg, "--trace", &value)) {
+      cli.trace_path = value;
+    } else if (eq_value(arg, "--vcd", &value)) {
+      cli.vcd_path = value;
+    } else {
+      cli.rest.push_back(arg);
+    }
+  }
+  return cli;
+}
+
+void init_observability(const CliArgs& cli) {
+  if (!cli.trace_path.empty()) Tracer::global().enable();
+}
+
+bool flush_observability(const CliArgs& cli) {
+  bool ok = true;
+  ok &= Registry::global().write_jsonl_file(cli.metrics_path);
+  ok &= Tracer::global().write_chrome_json_file(cli.trace_path);
+  return ok;
+}
+
+}  // namespace flopsim::obs

@@ -1,0 +1,52 @@
+// Shared command-line plumbing for the tools and benches.
+//
+// Before this helper, `--threads=`/`--json` parsing was copy-pasted
+// across ext_seu_vulnerability, ext_cram_scrub, and flopsim-gen with
+// slightly different error paths. parse_cli owns the observability and
+// campaign flags once:
+//
+//   --threads=<n>    campaign worker threads (absent -> 0 = auto,
+//                    anything not in [1, 1024] -> error)
+//   --json <path>    append per-campaign timing records (JSON lines)
+//   --csv <dir>      per-table CSV emission directory
+//   --metrics=<path> dump the metrics registry as JSON lines at exit
+//   --trace=<path>   enable span tracing; write Chrome trace JSON at exit
+//   --vcd=<path>     waveform capture (flopsim-gen)
+//
+// Tokens the parser does not own land in `rest` in order, so each tool
+// keeps its own positional/extra flags (op names, --scheme=, --harden=)
+// and decides itself whether an unrecognized token is an error.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flopsim::obs {
+
+struct CliArgs {
+  int threads = 0;  ///< 0 = auto; parse errors set `error` instead
+  std::string csv_dir;
+  std::string json_path;
+  std::string metrics_path;
+  std::string trace_path;
+  std::string vcd_path;
+  std::vector<std::string> rest;  ///< unconsumed argv[1..] tokens
+  std::string error;              ///< first offending token; empty = ok
+
+  bool ok() const { return error.empty(); }
+};
+
+CliArgs parse_cli(int argc, char** argv);
+
+/// `--threads=` value validation: absent semantics are the caller's; a
+/// string not representing an integer in [1, 1024] returns -1.
+int parse_threads_value(const std::string& v);
+
+/// Arm tracing when --trace= was given. Call before the workload runs.
+void init_observability(const CliArgs& cli);
+
+/// Write --metrics/--trace outputs (global registry / tracer). Returns
+/// false when any requested write failed (warning already on stderr).
+bool flush_observability(const CliArgs& cli);
+
+}  // namespace flopsim::obs

@@ -1,0 +1,204 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/sink.hpp"
+
+namespace flopsim::obs {
+
+namespace {
+
+std::atomic<int> g_next_thread_id{1};  // 0 is the main thread's default
+
+thread_local int tls_thread_id = -1;
+
+// Static initialization runs on the thread that will enter main(), so this
+// is what gives the main thread id 0 by convention.
+const bool g_main_thread_pinned = [] {
+  tls_thread_id = 0;
+  return true;
+}();
+
+}  // namespace
+
+int thread_id() {
+  if (tls_thread_id < 0) {
+    // First query on an unpinned thread: the thread that constructed the
+    // process (main) keeps 0 by convention — exec pins its workers, so
+    // anything else is a stray thread and gets the next free id.
+    tls_thread_id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_thread_id;
+}
+
+void set_thread_id(int id) { tls_thread_id = id < 0 ? 0 : id; }
+
+int thread_shard() { return thread_id() & (kShards - 1); }
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+  }
+  const std::size_t slots = bounds_.size() + 1;
+  for (Shard& s : shards_) {
+    s.buckets = std::make_unique<std::atomic<long>[]>(slots);
+    for (std::size_t i = 0; i < slots; ++i) s.buckets[i].store(0);
+  }
+}
+
+void Histogram::observe(double v) {
+  Shard& s = shards_[static_cast<std::size_t>(thread_shard())];
+  const std::size_t b = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  s.buckets[b].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  double old = s.sum.load(std::memory_order_relaxed);
+  while (!s.sum.compare_exchange_weak(old, old + v,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.assign(bounds_.size() + 1, 0);
+  for (const Shard& s : shards_) {  // shard-index order, never arrival order
+    for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+      snap.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(m_);
+  Entry& e = metrics_[name];
+  if (e.counter == nullptr) {
+    if (e.gauge != nullptr || e.histogram != nullptr) {
+      throw std::invalid_argument("metric registered with another type: " +
+                                  name);
+    }
+    e.kind = Kind::kCounter;
+    e.counter = std::make_unique<Counter>();
+  }
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(m_);
+  Entry& e = metrics_[name];
+  if (e.gauge == nullptr) {
+    if (e.counter != nullptr || e.histogram != nullptr) {
+      throw std::invalid_argument("metric registered with another type: " +
+                                  name);
+    }
+    e.kind = Kind::kGauge;
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lk(m_);
+  Entry& e = metrics_[name];
+  if (e.histogram == nullptr) {
+    if (e.counter != nullptr || e.gauge != nullptr) {
+      throw std::invalid_argument("metric registered with another type: " +
+                                  name);
+    }
+    e.kind = Kind::kHistogram;
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  } else if (e.histogram->bounds() != bounds) {
+    throw std::invalid_argument("histogram re-registered with new bounds: " +
+                                name);
+  }
+  return *e.histogram;
+}
+
+bool Registry::empty() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return metrics_.empty();
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lk(m_);
+  metrics_.clear();
+}
+
+void Registry::write_jsonl(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(m_);
+  for (const auto& [name, e] : metrics_) {  // std::map: sorted names
+    JsonObject obj;
+    obj.field("metric", name);
+    switch (e.kind) {
+      case Kind::kCounter:
+        obj.field("type", "counter").field("value", e.counter->value());
+        break;
+      case Kind::kGauge:
+        obj.field("type", "gauge").field("value", e.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram::Snapshot s = e.histogram->snapshot();
+        obj.field("type", "histogram")
+            .field_raw("bounds", json_array(s.bounds))
+            .field_raw("buckets", json_array(s.buckets))
+            .field("count", s.count)
+            .field("sum", s.sum);
+        break;
+      }
+    }
+    os << obj.str() << "\n";
+  }
+}
+
+bool Registry::write_jsonl_file(const std::string& path) const {
+  if (path.empty()) return true;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "warning: could not write " << path << "\n";
+    return false;
+  }
+  write_jsonl(out);
+  return out.good();
+}
+
+void Registry::write_summary(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(m_);
+  os << "-- metrics --\n";
+  for (const auto& [name, e] : metrics_) {
+    os << "  " << name << "  ";
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << e.counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        os << e.gauge->value() << "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram::Snapshot s = e.histogram->snapshot();
+        os << "count=" << s.count << " sum=" << s.sum << " buckets[";
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+          if (i > 0) os << " ";
+          os << s.buckets[i];
+        }
+        os << "]\n";
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace flopsim::obs

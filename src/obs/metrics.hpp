@@ -1,0 +1,163 @@
+// Layer 2.9 — `obs/`: the process-wide metrics registry.
+//
+// Named counters, gauges, and fixed-bucket histograms for instrumenting
+// the simulator's own runtime behaviour (campaign throughput, pipeline
+// occupancy, worker utilization) the way the paper instruments its
+// hardware through XPower and post-PAR timing.
+//
+// Determinism contract (the campaign engine's bit-identity guarantee must
+// survive instrumentation):
+//
+//  * Metric updates never synchronize trial work: counters and histogram
+//    buckets are sharded across `kShards` cache-line-padded slots indexed
+//    by the caller's thread shard (exec::ThreadPool pins worker w to
+//    shard w; unpinned threads are assigned round-robin), each slot a
+//    relaxed atomic. No locks on the hot path.
+//  * Reads merge the shards in shard-index order — never arrival order —
+//    so counter values and histogram bucket counts (integers) are exactly
+//    reproducible at any thread count. Histogram `sum` is a double and is
+//    reproducible for a fixed shard assignment; the campaign layer only
+//    records histograms from ordered caller-side code, so its metrics
+//    output is thread-count-invariant too.
+//  * Registration (`Registry::counter` etc.) takes a mutex and returns a
+//    stable reference; hot paths look a metric up once and keep the
+//    reference.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace flopsim::obs {
+
+/// Shard count for thread-sharded metric slots. Power of two.
+inline constexpr int kShards = 16;
+
+/// This thread's small integer id: 0 for the main thread, the worker
+/// index for exec::ThreadPool workers, round-robin for anything else.
+/// Used both as the metric shard (mod kShards) and as the trace tid.
+int thread_id();
+/// Pin the calling thread's id (exec::ThreadPool calls this with the
+/// worker index when a worker starts).
+void set_thread_id(int id);
+/// thread_id() folded into [0, kShards).
+int thread_shard();
+
+/// Monotonic counter, thread-sharded.
+class Counter {
+ public:
+  void add(long n = 1) {
+    shards_[static_cast<std::size_t>(thread_shard())].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+
+  /// Ordered merge: shard 0 + shard 1 + ... (exact for integers).
+  long value() const {
+    long total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<long> v{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-write-wins instantaneous value (not sharded: a gauge is a
+/// snapshot, not a sum).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram. `bounds` are ascending inclusive upper bounds;
+/// an implicit overflow bucket catches everything above the last bound,
+/// so there are bounds.size() + 1 buckets. A value lands in the first
+/// bucket whose bound satisfies `v <= bound`.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;
+    std::vector<long> buckets;  ///< bounds.size() + 1 entries
+    long count = 0;
+    double sum = 0.0;
+  };
+  /// Shard-index-ordered merge of every slot.
+  Snapshot snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<long>[]> buckets;  // bounds_.size() + 1
+    std::atomic<long> count{0};
+    std::atomic<double> sum{0.0};
+  };
+  std::vector<double> bounds_;
+  std::array<Shard, kShards> shards_;
+};
+
+/// Named metric store. `Registry::global()` is the process-wide instance
+/// every instrumented layer feeds; tests build their own.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& global();
+
+  /// Find-or-create. References stay valid for the registry's lifetime.
+  /// Re-registering a name as a different metric type, or a histogram
+  /// with different bounds, throws std::invalid_argument.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  bool empty() const;
+  /// Drop every metric (tests; between independent tool runs).
+  void clear();
+
+  /// One JSON object per metric, one per line, names in sorted order:
+  ///   {"metric": "x", "type": "counter", "value": 3}
+  ///   {"metric": "y", "type": "gauge", "value": 0.5}
+  ///   {"metric": "z", "type": "histogram", "bounds": [...],
+  ///    "buckets": [...], "count": 7, "sum": 4.25}
+  void write_jsonl(std::ostream& os) const;
+  /// write_jsonl to `path` (truncating). False + stderr warning on
+  /// failure; true no-op when `path` is empty.
+  bool write_jsonl_file(const std::string& path) const;
+
+  /// Human-readable summary table (sorted by name).
+  void write_summary(std::ostream& os) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind = Kind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  mutable std::mutex m_;
+  std::map<std::string, Entry> metrics_;  // ordered: deterministic emission
+};
+
+}  // namespace flopsim::obs

@@ -1,0 +1,66 @@
+#include "obs/probe.hpp"
+
+#include "kernel/matmul.hpp"
+#include "kernel/systolic2d.hpp"
+#include "rtl/simulator.hpp"
+#include "units/fp_unit.hpp"
+
+namespace flopsim::obs {
+
+std::vector<double> fraction_bounds() {
+  return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+void record_pipeline_occupancy(Registry& reg, const std::string& prefix,
+                               const rtl::PipelineSim& sim) {
+  const long cycles = sim.cycles();
+  if (cycles <= 0) return;
+  Histogram& occ = reg.histogram(prefix + ".occupancy", fraction_bounds());
+  const std::vector<long>& valid = sim.valid_cycles();
+  long valid_total = 0;
+  for (const long v : valid) {
+    occ.observe(static_cast<double>(v) / static_cast<double>(cycles));
+    valid_total += v;
+  }
+  const long stages = static_cast<long>(valid.size());
+  reg.counter(prefix + ".cycles").add(cycles);
+  reg.counter(prefix + ".valid_cycles").add(valid_total);
+  reg.counter(prefix + ".bubble_cycles").add(cycles * stages - valid_total);
+}
+
+void record_unit_occupancy(Registry& reg, const std::string& prefix,
+                           const units::FpUnit& unit) {
+  record_pipeline_occupancy(reg, prefix, unit.sim());
+}
+
+void record_pe_utilization(Registry& reg, const std::string& prefix,
+                           const kernel::ProcessingElement& pe) {
+  const long cycles = pe.cycles();
+  if (cycles <= 0) return;
+  reg.histogram(prefix + ".mac_utilization", fraction_bounds())
+      .observe(static_cast<double>(pe.mac_issues()) /
+               static_cast<double>(cycles));
+  reg.counter(prefix + ".mac_issues").add(pe.mac_issues());
+  reg.counter(prefix + ".hazards").add(pe.hazards());
+  reg.counter(prefix + ".cycles").add(cycles);
+  record_unit_occupancy(reg, prefix + ".mult", pe.multiplier());
+  record_unit_occupancy(reg, prefix + ".add", pe.adder());
+}
+
+void record_matmul_utilization(Registry& reg, const std::string& prefix,
+                               const kernel::LinearArrayMatmul& array) {
+  for (int j = 0; j < array.n(); ++j) {
+    record_pe_utilization(reg, prefix, array.pe(j));
+  }
+}
+
+void record_systolic_utilization(Registry& reg, const std::string& prefix,
+                                 const kernel::Systolic2dMatmul& grid) {
+  for (int i = 0; i < grid.n(); ++i) {
+    for (int j = 0; j < grid.n(); ++j) {
+      record_pe_utilization(reg, prefix, grid.pe(i, j));
+    }
+  }
+}
+
+}  // namespace flopsim::obs

@@ -1,0 +1,65 @@
+// Simulation probes: fold the cycle-accurate layers' built-in activity
+// counters into the metrics registry.
+//
+// The counters themselves live where the cycles happen — PipelineSim
+// tallies per-stage valid cycles as it steps, ProcessingElement already
+// counts MAC issues and clocks — so probing is a pure read: call a
+// record_* helper after a run and the occupancy/utilization lands in the
+// registry as histograms + counters. Because recording happens on the
+// caller's thread after the simulation, probes never touch the campaign
+// engine's determinism.
+//
+// Naming convention: `<prefix>.occupancy` (histogram of per-stage valid
+// fraction), `<prefix>.cycles` / `<prefix>.valid_cycles` /
+// `<prefix>.bubble_cycles` (counters), `<prefix>.mac_utilization`
+// (histogram of per-PE issue fraction), `<prefix>.mac_issues` /
+// `<prefix>.hazards` (counters).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace flopsim::rtl {
+class PipelineSim;
+}
+namespace flopsim::units {
+class FpUnit;
+}
+namespace flopsim::kernel {
+class ProcessingElement;
+class LinearArrayMatmul;
+class Systolic2dMatmul;
+}  // namespace flopsim::kernel
+
+namespace flopsim::obs {
+
+/// Decile bucket bounds for fractions in [0, 1].
+std::vector<double> fraction_bounds();
+
+/// Per-stage occupancy of a pipeline: observe valid_cycles[s]/cycles for
+/// every stage into `<prefix>.occupancy`, and accumulate the cycle
+/// counters. No-op on a sim that has not stepped.
+void record_pipeline_occupancy(Registry& reg, const std::string& prefix,
+                               const rtl::PipelineSim& sim);
+
+/// The same, reading through a unit's simulator.
+void record_unit_occupancy(Registry& reg, const std::string& prefix,
+                           const units::FpUnit& unit);
+
+/// One PE's MAC utilization (mac_issues/cycles) plus issue/hazard
+/// counters, and the occupancy of its internal unit pipelines under
+/// `<prefix>.mult` / `<prefix>.add`.
+void record_pe_utilization(Registry& reg, const std::string& prefix,
+                           const kernel::ProcessingElement& pe);
+
+/// Every PE of a linear matmul array under one prefix.
+void record_matmul_utilization(Registry& reg, const std::string& prefix,
+                               const kernel::LinearArrayMatmul& array);
+
+/// Every PE of a 2-D systolic grid under one prefix.
+void record_systolic_utilization(Registry& reg, const std::string& prefix,
+                                 const kernel::Systolic2dMatmul& grid);
+
+}  // namespace flopsim::obs

@@ -1,0 +1,79 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#ifdef _WIN32
+#else
+#include <unistd.h>
+#endif
+
+namespace flopsim::obs {
+
+namespace {
+
+constexpr long long kMinReportIntervalUs = 200000;  // 200 ms
+
+}  // namespace
+
+bool ProgressReporter::enabled_by_environment() {
+  if (const char* env = std::getenv("FLOPSIM_PROGRESS")) {
+    return std::strcmp(env, "1") == 0;
+  }
+#ifdef _WIN32
+  return false;
+#else
+  return isatty(STDERR_FILENO) != 0;
+#endif
+}
+
+ProgressReporter::ProgressReporter(std::string label, long total,
+                                   Registry& reg)
+    : label_(std::move(label)),
+      total_(total),
+      registry_counter_(reg.counter("campaign.trials_completed")),
+      enabled_(enabled_by_environment()),
+      t0_(std::chrono::steady_clock::now()) {}
+
+ProgressReporter::~ProgressReporter() {
+  if (printed_.load(std::memory_order_relaxed)) report(true);
+}
+
+void ProgressReporter::tick(long n) {
+  done_.fetch_add(n, std::memory_order_relaxed);
+  registry_counter_.add(n);
+  if (!enabled_) return;
+  const long long now_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0_)
+          .count();
+  long long last = last_report_us_.load(std::memory_order_relaxed);
+  if (now_us - last < kMinReportIntervalUs) return;
+  // One worker wins the interval; the rest return to their trials.
+  if (last_report_us_.compare_exchange_strong(last, now_us,
+                                              std::memory_order_relaxed)) {
+    report(false);
+  }
+}
+
+void ProgressReporter::report(bool final_line) {
+  const long done = done_.load(std::memory_order_relaxed);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+          .count();
+  const double rate = secs > 0.0 ? static_cast<double>(done) / secs : 0.0;
+  char total_buf[32];
+  if (total_ > 0) {
+    std::snprintf(total_buf, sizeof total_buf, "%ld", total_);
+  } else {
+    std::snprintf(total_buf, sizeof total_buf, "?");
+  }
+  std::fprintf(stderr, "\r%s: %ld/%s trials (%.0f trials/s)%s",
+               label_.c_str(), done, total_buf, rate,
+               final_line ? "\n" : "");
+  std::fflush(stderr);
+  printed_.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace flopsim::obs

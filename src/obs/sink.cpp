@@ -1,0 +1,119 @@
+#include "obs/sink.hpp"
+
+#include <cstdio>
+
+namespace flopsim::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonObject& JsonObject::raw_value(const std::string& key,
+                                  const std::string& rendered) {
+  if (!first_) body_ << ", ";
+  first_ = false;
+  body_ << "\"" << json_escape(key) << "\": " << rendered;
+  return *this;
+}
+
+JsonObject& JsonObject::field(const std::string& key, const std::string& v) {
+  return raw_value(key, "\"" + json_escape(v) + "\"");
+}
+
+JsonObject& JsonObject::field(const std::string& key, const char* v) {
+  return field(key, std::string(v));
+}
+
+JsonObject& JsonObject::field(const std::string& key, long v) {
+  std::ostringstream os;
+  os << v;
+  return raw_value(key, os.str());
+}
+
+JsonObject& JsonObject::field(const std::string& key, int v) {
+  return field(key, static_cast<long>(v));
+}
+
+JsonObject& JsonObject::field(const std::string& key, double v) {
+  std::ostringstream os;
+  os << v;  // default 6 significant digits: the legacy emission format
+  return raw_value(key, os.str());
+}
+
+JsonObject& JsonObject::field(const std::string& key, bool v) {
+  return raw_value(key, v ? "true" : "false");
+}
+
+JsonObject& JsonObject::field_raw(const std::string& key,
+                                  const std::string& json) {
+  return raw_value(key, json);
+}
+
+std::string JsonObject::str() const { return "{" + body_.str() + "}"; }
+
+namespace {
+
+template <typename T>
+std::string join_array(const std::vector<T>& vs) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << vs[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace
+
+std::string json_array(const std::vector<double>& vs) {
+  return join_array(vs);
+}
+
+std::string json_array(const std::vector<long>& vs) { return join_array(vs); }
+
+JsonlSink::JsonlSink(const std::string& path, bool append) : path_(path) {
+  if (!path_.empty()) {
+    out_.open(path_, append ? std::ios::app : std::ios::trunc);
+  }
+}
+
+void JsonlSink::write(const JsonObject& obj) { write_line(obj.str()); }
+
+void JsonlSink::write_line(const std::string& json) {
+  if (path_.empty() || !out_) return;
+  out_ << json << "\n";
+}
+
+}  // namespace flopsim::obs

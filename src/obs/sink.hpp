@@ -1,0 +1,69 @@
+// Observability sinks: minimal JSON building plus a JSON-lines file
+// appender. Everything the repo emits as machine-readable output —
+// BENCH_campaign.json records, the metrics registry dump, the Chrome
+// trace — funnels through these helpers so the formatting (field order,
+// `": "` / `", "` separators, default-ostream double formatting) is
+// written down exactly once.
+//
+// Doubles format via ostream's default (6 significant digits), which is
+// what the hand-rolled BENCH_campaign.json emission always used — the
+// byte-compatibility anchor for the CampaignJournal port (locked by
+// tests/obs/sink_golden_test.cpp).
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace flopsim::obs {
+
+/// Backslash-escape quotes/backslashes and \uXXXX-escape control bytes.
+std::string json_escape(const std::string& s);
+
+/// Ordered JSON object builder: fields render in insertion order as
+/// {"k": v, "k2": v2}. Values format exactly like `ostream <<` does.
+class JsonObject {
+ public:
+  JsonObject& field(const std::string& key, const std::string& v);
+  JsonObject& field(const std::string& key, const char* v);
+  JsonObject& field(const std::string& key, long v);
+  JsonObject& field(const std::string& key, int v);
+  JsonObject& field(const std::string& key, double v);
+  JsonObject& field(const std::string& key, bool v);
+  /// `json` is spliced in verbatim (nested arrays/objects).
+  JsonObject& field_raw(const std::string& key, const std::string& json);
+
+  std::string str() const;
+
+ private:
+  JsonObject& raw_value(const std::string& key, const std::string& rendered);
+  std::ostringstream body_;
+  bool first_ = true;
+};
+
+/// "[1, 2.5, 3]" with ostream-default double formatting.
+std::string json_array(const std::vector<double>& vs);
+std::string json_array(const std::vector<long>& vs);
+
+/// Append-mode JSON-lines writer: one object per line. The contract the
+/// campaign journal relies on — append so several benches can share one
+/// BENCH_campaign.json across a CI job.
+class JsonlSink {
+ public:
+  /// Opens `path` (append by default). An empty path yields a sink that
+  /// is ok() but discards writes — the "flag absent" no-op.
+  explicit JsonlSink(const std::string& path, bool append = true);
+
+  bool ok() const { return path_.empty() || static_cast<bool>(out_); }
+  void write(const JsonObject& obj);
+  void write_line(const std::string& json);
+  /// Stream still healthy after the writes so far.
+  bool good() const { return path_.empty() || out_.good(); }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace flopsim::obs

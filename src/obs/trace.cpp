@@ -1,0 +1,134 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+
+namespace flopsim::obs {
+
+namespace {
+
+// Fixed-point microseconds: default ostream formatting would flip large
+// timestamps into scientific notation and lose sub-microsecond ordering.
+std::string us_fixed(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::global() {
+  static Tracer instance;
+  return instance;
+}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::Span::Span(Tracer* tracer, std::string name, std::string cat,
+                   std::vector<std::pair<std::string, long>> args)
+    : tracer_(tracer),
+      name_(std::move(name)),
+      cat_(std::move(cat)),
+      args_(std::move(args)),
+      t0_(std::chrono::steady_clock::now()) {}
+
+void Tracer::Span::swap(Span& other) noexcept {
+  std::swap(tracer_, other.tracer_);
+  std::swap(name_, other.name_);
+  std::swap(cat_, other.cat_);
+  std::swap(args_, other.args_);
+  std::swap(t0_, other.t0_);
+}
+
+void Tracer::Span::end() {
+  if (tracer_ == nullptr) return;
+  Tracer* t = tracer_;
+  tracer_ = nullptr;
+  const auto t1 = std::chrono::steady_clock::now();
+  TraceEvent ev;
+  ev.name = std::move(name_);
+  ev.cat = std::move(cat_);
+  ev.tid = thread_id();
+  ev.ts_us =
+      std::chrono::duration<double, std::micro>(t0_ - t->epoch_).count();
+  ev.dur_us = std::chrono::duration<double, std::micro>(t1 - t0_).count();
+  ev.args = std::move(args_);
+  t->record(std::move(ev));
+}
+
+Tracer::Span Tracer::span(std::string name, std::string cat,
+                          std::vector<std::pair<std::string, long>> args) {
+  if (!enabled()) return Span();
+  return Span(this, std::move(name), std::move(cat), std::move(args));
+}
+
+void Tracer::record(TraceEvent ev) {
+  std::lock_guard<std::mutex> lk(m_);
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return events_;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(m_);
+  events_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(m_);
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& ev : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+    JsonObject obj;
+    obj.field("name", ev.name)
+        .field("cat", ev.cat)
+        .field("ph", "X")
+        .field("pid", 1)
+        .field("tid", ev.tid)
+        .field_raw("ts", us_fixed(ev.ts_us))
+        .field_raw("dur", us_fixed(ev.dur_us));
+    if (!ev.args.empty()) {
+      JsonObject args;
+      for (const auto& [k, v] : ev.args) args.field(k, v);
+      obj.field_raw("args", args.str());
+    }
+    os << obj.str();
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+bool Tracer::write_chrome_json_file(const std::string& path) const {
+  if (path.empty()) return true;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "warning: could not write " << path << "\n";
+    return false;
+  }
+  write_chrome_json(out);
+  return out.good();
+}
+
+}  // namespace flopsim::obs

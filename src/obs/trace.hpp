@@ -1,0 +1,106 @@
+// Span tracing: scoped RAII timers emitting Chrome trace-event JSON.
+//
+// The exported file loads directly in chrome://tracing and Perfetto
+// (ui.perfetto.dev): complete events (`"ph": "X"`) with microsecond
+// timestamps relative to the tracer's epoch, one timeline row per thread
+// id (obs::thread_id — worker index for exec::ThreadPool workers, 0 for
+// the main thread).
+//
+// The tracer is disabled by default; a disabled tracer's span() hands
+// back an inert object and costs one relaxed atomic load, so hot paths
+// (worker chunks, campaign phases) stay unperturbed unless `--trace=` is
+// given. Recording an event takes a mutex — spans are chunk/phase
+// granularity, far off the per-trial hot path, and timestamps are wall
+// clock anyway; the determinism contract covers tallies and metrics,
+// never trace timings.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flopsim::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  int tid = 0;
+  double ts_us = 0.0;   ///< start, microseconds since tracer epoch
+  double dur_us = 0.0;  ///< duration, microseconds
+  /// Small numeric payload rendered into the event's "args" object.
+  std::vector<std::pair<std::string, long>> args;
+};
+
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& global();
+
+  void enable(bool on = true) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// RAII timer: records a complete event on destruction (or end()).
+  /// Default-constructed / disabled-tracer spans are inert.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept { swap(other); }
+    Span& operator=(Span&& other) noexcept {
+      end();
+      swap(other);
+      return *this;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { end(); }
+
+    /// Record now instead of at scope exit; further calls are no-ops.
+    void end();
+
+   private:
+    friend class Tracer;
+    Span(Tracer* tracer, std::string name, std::string cat,
+         std::vector<std::pair<std::string, long>> args);
+    void swap(Span& other) noexcept;
+
+    Tracer* tracer_ = nullptr;  // nullptr = inert
+    std::string name_;
+    std::string cat_;
+    std::vector<std::pair<std::string, long>> args_;
+    std::chrono::steady_clock::time_point t0_{};
+  };
+
+  Span span(std::string name, std::string cat,
+            std::vector<std::pair<std::string, long>> args = {});
+
+  void record(TraceEvent ev);
+
+  std::vector<TraceEvent> events() const;
+  std::size_t event_count() const;
+  /// Drop recorded events and restart the timestamp epoch.
+  void clear();
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"} — the Chrome/
+  /// Perfetto trace-event container format.
+  void write_chrome_json(std::ostream& os) const;
+  /// write_chrome_json to `path` (truncating). False + stderr warning on
+  /// failure; true no-op when `path` is empty.
+  bool write_chrome_json_file(const std::string& path) const;
+
+  double now_us() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex m_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace flopsim::obs

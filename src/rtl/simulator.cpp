@@ -10,6 +10,7 @@ PipelineSim::PipelineSim(const PieceChain* chain, PipelinePlan plan)
     throw std::invalid_argument("PipelineSim: empty chain or plan");
   }
   latch_.resize(static_cast<std::size_t>(plan_.stages()));
+  valid_cycles_.assign(static_cast<std::size_t>(plan_.stages()), 0);
 }
 
 void PipelineSim::step(const std::optional<SignalSet>& input) {
@@ -29,12 +30,14 @@ void PipelineSim::step(const std::optional<SignalSet>& input) {
     }
     latch_[s] = work;
     if (observer_ != nullptr) observer_->on_latch(cycles_, s, latch_[s]);
+    if (latch_[s].valid) ++valid_cycles_[static_cast<std::size_t>(s)];
   }
   ++cycles_;
 }
 
 void PipelineSim::reset() {
   for (SignalSet& l : latch_) l = SignalSet{};
+  valid_cycles_.assign(latch_.size(), 0);
   cycles_ = 0;
 }
 

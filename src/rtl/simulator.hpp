@@ -50,6 +50,11 @@ class PipelineSim {
   /// measurement and debugging).
   const std::vector<SignalSet>& latches() const { return latch_; }
 
+  /// Per-stage count of cycles the stage's output latch held valid data
+  /// since construction/reset — the occupancy numerator the obs/ probes
+  /// read (bubbles for stage s are cycles() - valid_cycles()[s]).
+  const std::vector<long>& valid_cycles() const { return valid_cycles_; }
+
   /// Attach (or detach with nullptr) the post-latch observer. Not owned;
   /// survives reset().
   void set_latch_observer(LatchObserver* observer) { observer_ = observer; }
@@ -59,6 +64,7 @@ class PipelineSim {
   const PieceChain* chain_;  // not owned
   PipelinePlan plan_;
   std::vector<SignalSet> latch_;  // latch_[s] = output register of stage s
+  std::vector<long> valid_cycles_;  // per stage, cycles latched valid
   long cycles_ = 0;
   LatchObserver* observer_ = nullptr;  // not owned
 };

@@ -83,6 +83,9 @@ class FpUnit {
   const std::vector<rtl::SignalSet>& latches() const {
     return sim_.latches();
   }
+  /// The cycle-accurate simulator itself — read-only access for the
+  /// obs/ occupancy probes and rtl::TraceRecorder waveform capture.
+  const rtl::PipelineSim& sim() const { return sim_; }
   /// Post-latch observer hook (fault injection). Nullptr detaches; the
   /// zero-observer path is bit-identical to an unobserved unit.
   void set_latch_observer(rtl::LatchObserver* observer) {

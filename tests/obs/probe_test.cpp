@@ -1,0 +1,104 @@
+#include "obs/probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "kernel/matmul.hpp"
+#include "kernel/systolic2d.hpp"
+#include "obs/metrics.hpp"
+#include "units/fp_unit.hpp"
+
+namespace flopsim::obs {
+namespace {
+
+units::FpUnit stepped_adder(int vectors) {
+  units::UnitConfig cfg;
+  cfg.stages = 4;
+  units::FpUnit unit(units::UnitKind::kAdder, fp::FpFormat::binary32(), cfg);
+  const std::vector<units::UnitInput> workload = fault::campaign_workload(
+      unit.kind(), unit.format(), vectors, /*seed=*/7);
+  for (int t = 0; t < vectors + unit.latency() + 2; ++t) {
+    if (t < vectors) {
+      unit.step(workload[static_cast<std::size_t>(t)]);
+    } else {
+      unit.step(std::nullopt);
+    }
+  }
+  return unit;
+}
+
+TEST(Probe, PipelineOccupancyAccountsEveryStageCycle) {
+  Registry reg;
+  const units::FpUnit unit = stepped_adder(16);
+  record_unit_occupancy(reg, "pipeline.add", unit);
+
+  const long cycles = reg.counter("pipeline.add.cycles").value();
+  const long valid = reg.counter("pipeline.add.valid_cycles").value();
+  const long bubble = reg.counter("pipeline.add.bubble_cycles").value();
+  EXPECT_GT(cycles, 0);
+  EXPECT_GT(valid, 0);
+  // valid + bubble partitions stages x cycles exactly.
+  EXPECT_EQ(valid + bubble, cycles * unit.stages());
+
+  const Histogram::Snapshot occ =
+      reg.histogram("pipeline.add.occupancy", fraction_bounds()).snapshot();
+  EXPECT_EQ(occ.count, unit.stages());  // one observation per stage
+  EXPECT_GE(occ.sum, 0.0);
+  EXPECT_LE(occ.sum, static_cast<double>(unit.stages()));
+}
+
+TEST(Probe, FreshPipelineRecordsNothing) {
+  Registry reg;
+  units::UnitConfig cfg;
+  cfg.stages = 3;
+  const units::FpUnit unit(units::UnitKind::kMultiplier,
+                           fp::FpFormat::binary32(), cfg);
+  record_unit_occupancy(reg, "pipeline.mul", unit);
+  EXPECT_TRUE(reg.empty());
+}
+
+TEST(Probe, MatmulUtilizationCoversEveryPe) {
+  Registry reg;
+  kernel::PeConfig cfg;
+  cfg.adder_stages = 2;
+  cfg.mult_stages = 2;
+  kernel::LinearArrayMatmul array(3, cfg);
+  const kernel::Matrix a = kernel::matrix_from_doubles(
+      {1, 2, 3, 4, 5, 6, 7, 8, 9}, 3, fp::FpFormat::binary32());
+  const kernel::MatmulRun run = array.run(a, a);
+  ASSERT_GT(run.cycles, 0);
+
+  record_matmul_utilization(reg, "kernel.matmul", array);
+  const Histogram::Snapshot util =
+      reg.histogram("kernel.matmul.mac_utilization", fraction_bounds())
+          .snapshot();
+  EXPECT_EQ(util.count, 3);  // one observation per PE
+  EXPECT_EQ(reg.counter("kernel.matmul.mac_issues").value(), run.mac_issues);
+  EXPECT_GT(reg.counter("kernel.matmul.cycles").value(), 0);
+}
+
+TEST(Probe, SystolicUtilizationCoversTheGrid) {
+  Registry reg;
+  kernel::PeConfig cfg;
+  cfg.adder_stages = 2;
+  cfg.mult_stages = 2;
+  kernel::Systolic2dMatmul grid(2, /*batch=*/3, cfg);  // >= Ladd + 1
+  const kernel::Matrix a = kernel::matrix_from_doubles(
+      {1, 2, 3, 4}, 2, fp::FpFormat::binary32());
+  const std::vector<kernel::Matrix> batch(
+      static_cast<std::size_t>(grid.batch()), a);
+  const kernel::Systolic2dRun run = grid.run(batch, batch);
+  ASSERT_GT(run.cycles, 0);
+
+  record_systolic_utilization(reg, "kernel.systolic", grid);
+  const Histogram::Snapshot util =
+      reg.histogram("kernel.systolic.mac_utilization", fraction_bounds())
+          .snapshot();
+  EXPECT_EQ(util.count, 4);  // 2x2 grid: one observation per PE
+}
+
+}  // namespace
+}  // namespace flopsim::obs

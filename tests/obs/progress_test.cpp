@@ -1,0 +1,52 @@
+#include "obs/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace flopsim::obs {
+namespace {
+
+// Scoped FLOPSIM_PROGRESS override (tests must not depend on whether the
+// runner's stderr is a TTY).
+struct ProgressEnvGuard {
+  explicit ProgressEnvGuard(const char* v) {
+    setenv("FLOPSIM_PROGRESS", v, 1);
+  }
+  ~ProgressEnvGuard() { unsetenv("FLOPSIM_PROGRESS"); }
+};
+
+TEST(Progress, TicksFeedTheRegistryCounterEvenWhenSilent) {
+  ProgressEnvGuard env("0");
+  Registry reg;
+  {
+    ProgressReporter progress("test campaign", 10, reg);
+    for (int i = 0; i < 10; ++i) progress.tick();
+    EXPECT_EQ(progress.done(), 10);
+  }
+  EXPECT_EQ(reg.counter("campaign.trials_completed").value(), 10);
+}
+
+TEST(Progress, BatchTicksAccumulate) {
+  ProgressEnvGuard env("0");
+  Registry reg;
+  ProgressReporter progress("batch", 0, reg);
+  progress.tick(3);
+  progress.tick(4);
+  EXPECT_EQ(progress.done(), 7);
+  EXPECT_EQ(reg.counter("campaign.trials_completed").value(), 7);
+}
+
+TEST(Progress, EnvironmentOverrideWins) {
+  {
+    ProgressEnvGuard env("1");
+    EXPECT_TRUE(ProgressReporter::enabled_by_environment());
+  }
+  {
+    ProgressEnvGuard env("0");
+    EXPECT_FALSE(ProgressReporter::enabled_by_environment());
+  }
+}
+
+}  // namespace
+}  // namespace flopsim::obs

@@ -1,0 +1,133 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "exec/parallel.hpp"
+
+namespace flopsim::obs {
+namespace {
+
+// Structural JSON check without a parser dependency: quotes pair up and
+// braces/brackets balance outside strings.
+void expect_well_formed(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      ASSERT_GE(depth, 0);
+    }
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth, 0);
+}
+
+// The global tracer is process state; scope enablement per test.
+struct TracerGuard {
+  TracerGuard() {
+    Tracer::global().clear();
+    Tracer::global().enable();
+  }
+  ~TracerGuard() {
+    Tracer::global().enable(false);
+    Tracer::global().clear();
+  }
+};
+
+TEST(Tracer, DisabledSpanIsInertAndFree) {
+  Tracer::global().enable(false);
+  Tracer::global().clear();
+  {
+    auto span = Tracer::global().span("noop", "test");
+  }
+  EXPECT_EQ(Tracer::global().event_count(), 0u);
+}
+
+TEST(Tracer, SpanRecordsCompleteEvent) {
+  TracerGuard guard;
+  {
+    auto span = Tracer::global().span("phase", "campaign", {{"trials", 7}});
+  }
+  const auto events = Tracer::global().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "phase");
+  EXPECT_EQ(events[0].cat, "campaign");
+  EXPECT_GE(events[0].ts_us, 0.0);
+  EXPECT_GE(events[0].dur_us, 0.0);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "trials");
+  EXPECT_EQ(events[0].args[0].second, 7);
+}
+
+TEST(Tracer, EndIsIdempotentAndMoveSafe) {
+  TracerGuard guard;
+  auto span = Tracer::global().span("a", "test");
+  span.end();
+  span.end();
+  auto moved = std::move(span);
+  moved.end();
+  EXPECT_EQ(Tracer::global().event_count(), 1u);
+}
+
+TEST(Tracer, ChromeJsonIsWellFormed) {
+  TracerGuard guard;
+  { auto s = Tracer::global().span("alpha", "campaign", {{"n", 3}}); }
+  { auto s = Tracer::global().span("beta \"quoted\"", "worker"); }
+  std::ostringstream os;
+  Tracer::global().write_chrome_json(os);
+  const std::string json = os.str();
+  expect_well_formed(json);
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("beta \\\"quoted\\\""), std::string::npos);
+  // Fixed-point timestamps: never scientific notation.
+  EXPECT_EQ(json.find("e+"), std::string::npos);
+}
+
+TEST(Tracer, EmptyTraceIsStillAValidContainer) {
+  TracerGuard guard;
+  std::ostringstream os;
+  Tracer::global().write_chrome_json(os);
+  expect_well_formed(os.str());
+  EXPECT_NE(os.str().find("\"traceEvents\": ["), std::string::npos);
+}
+
+TEST(Tracer, WorkerChunksEmitOneSpanPerWorker) {
+  TracerGuard guard;
+  exec::ThreadPool pool(4);
+  pool.run_chunked(64, [](int, std::size_t, std::size_t) {});
+  const auto events = Tracer::global().events();
+  int chunk_spans = 0;
+  bool tids[4] = {false, false, false, false};
+  for (const TraceEvent& ev : events) {
+    if (ev.name != "chunk") continue;
+    ++chunk_spans;
+    ASSERT_GE(ev.tid, 0);
+    ASSERT_LT(ev.tid, 4);
+    tids[ev.tid] = true;
+  }
+  EXPECT_EQ(chunk_spans, 4);
+  for (const bool seen : tids) EXPECT_TRUE(seen);
+}
+
+}  // namespace
+}  // namespace flopsim::obs

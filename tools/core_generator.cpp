@@ -7,24 +7,36 @@
 // Usage:
 //   flopsim-gen <add|mul|div|sqrt|mac> <32|48|64> [stages] [area|speed]
 //               [ieee] [fabric] [--harden=<parity|residue|dup|tmr|ecc>]
-//               [--threads=<n>]
+//               [--threads=<n>] [--vcd=<path>] [--metrics=<path>]
+//               [--trace=<path>]
 //   flopsim-gen cvt <src-bits> <dst-bits> [stages]
 //
 // --threads= sets the worker count for the depth sweep behind the opt
 // recommendation (0/absent = auto via FLOPSIM_THREADS, then hardware
 // concurrency); the sweep is bit-identical at any thread count.
+// --vcd= drives a deterministic calibration workload through the core and
+// dumps the stage-register waveform (GTKWave-loadable VCD); the same run
+// feeds the pipeline occupancy metrics that --metrics= exports. Flag
+// parsing is shared with the campaign benches (obs::parse_cli).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "analysis/pareto.hpp"
 #include "analysis/report.hpp"
 #include "analysis/sweep.hpp"
+#include "fault/campaign.hpp"
 #include "fault/hardening.hpp"
+#include "obs/cli.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
 #include "power/unit_power.hpp"
+#include "rtl/trace.hpp"
 #include "units/converter_unit.hpp"
 
 namespace {
@@ -35,7 +47,8 @@ void print_usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s <add|mul|div|sqrt|mac> <16|32|48|64> [stages] "
                "[area|speed] [ieee] [fabric] "
-               "[--harden=<parity|residue|dup|tmr|ecc>] [--threads=<n>]\n"
+               "[--harden=<parity|residue|dup|tmr|ecc>] [--threads=<n>] "
+               "[--vcd=<path>] [--metrics=<path>] [--trace=<path>]\n"
                "       %s cvt <src-bits> <dst-bits> [stages]\n",
                prog, prog);
 }
@@ -79,8 +92,48 @@ void print_datasheet(const units::FpUnit& unit) {
   std::printf("||\n\n");
 }
 
-int generate_arith(const std::string& op, const std::string& bits, int argc,
-                   char** argv) {
+/// Drive the calibration workload through a clone of `unit`, capturing the
+/// waveform for --vcd= and folding the run's per-stage occupancy into the
+/// metrics registry for --metrics=. Skipped when neither flag is given.
+int run_capture_workload(const units::FpUnit& unit, const obs::CliArgs& cli) {
+  if (cli.vcd_path.empty() && cli.metrics_path.empty()) return 0;
+  auto span = obs::Tracer::global().span("capture_workload", "tool");
+  constexpr int kVectors = 32;
+  units::FpUnit probe = unit.clone();
+  const std::vector<units::UnitInput> workload = fault::campaign_workload(
+      probe.kind(), probe.format(), kVectors, /*seed=*/1);
+  rtl::TraceRecorder recorder;
+  const int total = kVectors + probe.latency() + 2;
+  for (int t = 0; t < total; ++t) {
+    if (t < kVectors) {
+      probe.step(workload[static_cast<std::size_t>(t)]);
+    } else {
+      probe.step(std::nullopt);
+    }
+    if (!cli.vcd_path.empty()) recorder.capture(probe.sim());
+  }
+  obs::record_unit_occupancy(
+      obs::Registry::global(),
+      std::string("pipeline.") + units::to_string(probe.kind()) + "." +
+          probe.format().name(),
+      probe);
+  if (!cli.vcd_path.empty()) {
+    std::ofstream out(cli.vcd_path);
+    if (!out) {
+      std::fprintf(stderr, "error: could not write %s\n",
+                   cli.vcd_path.c_str());
+      return 1;
+    }
+    recorder.dump_vcd(out, "flopsim_gen");
+    std::printf("  waveform     %s (%ld cycles)\n\n", cli.vcd_path.c_str(),
+                recorder.cycles());
+  }
+  return 0;
+}
+
+int generate_arith(const obs::CliArgs& cli, const char* prog) {
+  const std::vector<std::string>& args = cli.rest;
+  const std::string& op = args[0];
   units::UnitKind kind;
   if (op == "add") {
     kind = units::UnitKind::kAdder;
@@ -95,48 +148,37 @@ int generate_arith(const std::string& op, const std::string& bits, int argc,
   } else {
     throw std::invalid_argument("unknown operation: " + op);
   }
-  const fp::FpFormat fmt = format_of(bits);
+  const fp::FpFormat fmt = format_of(args[1]);
 
   units::UnitConfig cfg;
   std::optional<fault::Scheme> harden;
-  int threads = 0;
-  if (argc > 3 && std::isdigit(static_cast<unsigned char>(argv[3][0]))) {
-    cfg.stages = std::atoi(argv[3]);
-  }
-  for (int i = 3; i < argc; ++i) {
-    if (std::strcmp(argv[i], "speed") == 0) {
+  const bool explicit_stages =
+      args.size() > 2 && std::isdigit(static_cast<unsigned char>(args[2][0]));
+  if (explicit_stages) cfg.stages = std::atoi(args[2].c_str());
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "speed") {
       cfg.objective = device::Objective::kSpeed;
-    } else if (std::strcmp(argv[i], "ieee") == 0) {
+    } else if (args[i] == "ieee") {
       cfg.ieee_mode = true;  // denormal + NaN hardware
-    } else if (std::strcmp(argv[i], "fabric") == 0) {
+    } else if (args[i] == "fabric") {
       cfg.use_embedded_multipliers = false;  // LUT mantissa multiplier
-    } else if (std::strncmp(argv[i], "--harden=", 9) == 0) {
-      harden = fault::try_parse_scheme(argv[i] + 9);
+    } else if (args[i].rfind("--harden=", 0) == 0) {
+      harden = fault::try_parse_scheme(args[i].substr(9));
       if (!harden.has_value()) {
         std::fprintf(stderr, "error: unknown hardening scheme: %s\n",
-                     argv[i] + 9);
-        print_usage(argv[0]);
+                     args[i].c_str() + 9);
+        print_usage(prog);
         return 2;
       }
-    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      const std::string v = argv[i] + 10;
-      if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos ||
-          std::atol(v.c_str()) < 1 || std::atol(v.c_str()) > 1024) {
-        std::fprintf(stderr, "error: bad thread count: %s\n", v.c_str());
-        print_usage(argv[0]);
-        return 2;
-      }
-      threads = std::atoi(v.c_str());
     }
   }
 
   // If no stage count given, recommend the freq/area optimum.
   const analysis::SweepResult sweep = analysis::sweep_unit(
-      kind, fmt, cfg.objective, device::TechModel::virtex2pro7(), threads);
+      kind, fmt, cfg.objective, device::TechModel::virtex2pro7(),
+      cli.threads);
   const analysis::Selection sel = analysis::select_min_max_opt(sweep);
-  if (cfg.stages == 1 && (argc <= 3 ||
-                          !std::isdigit(static_cast<unsigned char>(
-                              argv[3][0])))) {
+  if (cfg.stages == 1 && !explicit_stages) {
     cfg.stages = sel.opt.stages;
     std::printf("(no depth given: using the freq/area optimum, %d stages)\n\n",
                 cfg.stages);
@@ -144,6 +186,8 @@ int generate_arith(const std::string& op, const std::string& bits, int argc,
 
   const units::FpUnit unit(kind, fmt, cfg);
   print_datasheet(unit);
+  const int capture_rc = run_capture_workload(unit, cli);
+  if (capture_rc != 0) return capture_rc;
 
   if (harden.has_value()) {
     const fault::HardeningCost h = fault::hardening_cost(unit, *harden);
@@ -165,12 +209,12 @@ int generate_arith(const std::string& op, const std::string& bits, int argc,
   return 0;
 }
 
-int generate_cvt(int argc, char** argv) {
-  if (argc < 4) throw std::invalid_argument("cvt needs <src> <dst>");
-  const fp::FpFormat src = format_of(argv[2]);
-  const fp::FpFormat dst = format_of(argv[3]);
+int generate_cvt(const std::vector<std::string>& args) {
+  if (args.size() < 3) throw std::invalid_argument("cvt needs <src> <dst>");
+  const fp::FpFormat src = format_of(args[1]);
+  const fp::FpFormat dst = format_of(args[2]);
   units::UnitConfig cfg;
-  if (argc > 4) cfg.stages = std::atoi(argv[4]);
+  if (args.size() > 3) cfg.stages = std::atoi(args[3].c_str());
   const units::FormatConverter cvt(src, dst, cfg);
   const rtl::Timing t = cvt.timing();
   std::printf("%s\n", cvt.name().c_str());
@@ -184,13 +228,27 @@ int generate_cvt(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  using namespace flopsim;
+  const obs::CliArgs cli = obs::parse_cli(argc, argv);
+  if (!cli.ok()) {
+    std::fprintf(stderr, "error: bad argument: %s\n", cli.error.c_str());
     print_usage(argv[0]);
     return 2;
   }
+  if (cli.rest.size() < 2) {
+    print_usage(argv[0]);
+    return 2;
+  }
+  obs::init_observability(cli);
   try {
-    if (std::strcmp(argv[1], "cvt") == 0) return generate_cvt(argc, argv);
-    return generate_arith(argv[1], argv[2], argc, argv);
+    int rc;
+    if (cli.rest[0] == "cvt") {
+      rc = generate_cvt(cli.rest);
+    } else {
+      rc = generate_arith(cli, argv[0]);
+    }
+    if (rc == 0 && !obs::flush_observability(cli)) rc = 1;
+    return rc;
   } catch (const std::invalid_argument& e) {
     // Bad op/precision/scheme names land here: report, show usage, exit 2.
     std::fprintf(stderr, "error: %s\n", e.what());

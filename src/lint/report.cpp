@@ -1,0 +1,61 @@
+#include "lint/report.hpp"
+
+#include <sstream>
+
+#include "obs/sink.hpp"
+
+namespace flopsim::lint {
+
+std::string format_finding(const Finding& f) {
+  std::ostringstream os;
+  os << f.subject << ": ";
+  if (f.piece >= 0) {
+    os << "piece " << f.piece;
+    if (!f.piece_name.empty()) os << " '" << f.piece_name << "'";
+    os << " ";
+  }
+  if (f.lane >= 0) os << "lane " << f.lane << " ";
+  if (f.boundary >= 0 && f.piece < 0) os << "boundary " << f.boundary << " ";
+  os << to_string(f.severity) << " [" << f.rule << "]: " << f.message;
+  return os.str();
+}
+
+void write_text(std::ostream& os, const Report& report, bool include_notes) {
+  int shown = 0;
+  for (const Finding& f : report.findings) {
+    if (f.severity == Severity::kNote && !include_notes) continue;
+    os << format_finding(f) << "\n";
+    ++shown;
+  }
+  os << shown << " finding" << (shown == 1 ? "" : "s") << ": "
+     << report.errors() << " error" << (report.errors() == 1 ? "" : "s")
+     << ", " << report.warnings() << " warning"
+     << (report.warnings() == 1 ? "" : "s") << "\n";
+}
+
+int write_jsonl(std::ostream& os, const Report& report, bool include_notes) {
+  int lines = 0;
+  for (const Finding& f : report.findings) {
+    if (f.severity == Severity::kNote && !include_notes) continue;
+    obs::JsonObject obj;
+    obj.field("rule", f.rule)
+        .field("severity", to_string(f.severity))
+        .field("subject", f.subject)
+        .field("piece", f.piece)
+        .field("piece_name", f.piece_name)
+        .field("lane", f.lane)
+        .field("boundary", f.boundary)
+        .field("message", f.message);
+    os << obj.str() << "\n";
+    ++lines;
+  }
+  obs::JsonObject summary;
+  summary.field("summary", true)
+      .field("findings", static_cast<int>(report.findings.size()))
+      .field("errors", report.errors())
+      .field("warnings", report.warnings());
+  os << summary.str() << "\n";
+  return lines + 1;
+}
+
+}  // namespace flopsim::lint

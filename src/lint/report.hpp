@@ -1,0 +1,31 @@
+// Rendering of lint Reports: compiler-style text diagnostics and a
+// JSON-lines form (one finding object per line, a trailing summary line)
+// for CI artifacts. Both render findings in their stored order — the
+// engine emits rules deterministically, so the output is golden-testable.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "lint/lint.hpp"
+
+namespace flopsim::lint {
+
+/// Compiler-style lines:
+///   fp_add<binary32>/s3: piece 4 'align_l2' lane 9: error [DL101] reads ...
+/// followed by a one-line summary (always printed, even when clean).
+void write_text(std::ostream& os, const Report& report,
+                bool include_notes = false);
+
+/// One JSON object per finding:
+///   {"rule": "DL101", "severity": "error", "subject": ..., "piece": 4,
+///    "piece_name": "align_l2", "lane": 9, "boundary": -1, "message": ...}
+/// then a summary object {"summary": true, "findings": N, "errors": E,
+/// "warnings": W}. Returns the number of lines written.
+int write_jsonl(std::ostream& os, const Report& report,
+                bool include_notes = false);
+
+/// The text form of one finding (no trailing newline).
+std::string format_finding(const Finding& f);
+
+}  // namespace flopsim::lint

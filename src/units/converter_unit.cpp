@@ -110,7 +110,7 @@ rtl::PieceChain build_converter_chain(fp::FpFormat src, fp::FpFormat dst,
       p.name = "round_mant_c" + std::to_string(c);
       p.group = "round";
       p.delay_ns = tech.adder_delay(bits, obj);
-      p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
+      if (c > 0) p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
       p.area = tech.adder_area(bits, obj);
       p.live_bits = 1 + (Ed + 3) + (Fd + 2) + 3 + 3;
       const bool last = c == rm_chunks - 1;

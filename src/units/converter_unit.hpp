@@ -54,6 +54,10 @@ class FormatConverter {
   /// Combinational reference.
   Output evaluate(fp::u64 in) const;
 
+  const UnitConfig& config() const { return cfg_; }
+  const rtl::PieceChain& pieces() const { return *chain_; }
+  const rtl::PipelinePlan& plan() const { return plan_; }
+
  private:
   fp::FpFormat src_;
   fp::FpFormat dst_;

@@ -184,7 +184,7 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.name = "align_l" + std::to_string(l);
     p.group = "align";
     p.delay_ns = tech.mux_level_delay(W, obj);
-    p.delay_chained_ns = tech.mux_level_chained_delay(W, obj);
+    if (l > 0) p.delay_chained_ns = tech.mux_level_chained_delay(W, obj);
     p.area = tech.mux_level_area(W, obj);
     p.live_bits = E + 2 * W + (levels - l) + 6;
     p.eval = [l](rtl::SignalSet& s) {
@@ -206,7 +206,7 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.name = "madd_c" + std::to_string(c);
     p.group = "mantissa_add";
     p.delay_ns = tech.adder_delay(hi - lo, obj);
-    p.delay_chained_ns = tech.adder_chained_delay(hi - lo, obj);
+    if (c > 0) p.delay_chained_ns = tech.adder_chained_delay(hi - lo, obj);
     p.area = tech.adder_area(hi - lo, obj);
     p.live_bits = E + W + (W + 1) + 2 + 6;
     p.cut_after = true;
@@ -261,10 +261,13 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.eval = [W](rtl::SignalSet& s) {
       // Encode the leading one within the upper half [W/2, W).
       const int half = W / 2;
+      // Found-flag in bit 8 above the 8-bit index — the 9-bit encoding the
+      // hardware encoder actually produces (a sign-bit style flag would
+      // occupy a full 64-bit lane in the register-width accounting).
       const u64 hi_bits = s[kSum] >> half;
       s[kPenc] = hi_bits != 0
-                     ? (u64{1} << 63) | static_cast<u64>(
-                                            half + fp::msb_index64(hi_bits))
+                     ? (u64{1} << 8) | static_cast<u64>(
+                                           half + fp::msb_index64(hi_bits))
                      : 0;
     };
     chain.push_back(std::move(p));
@@ -284,7 +287,7 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.live_bits = E + 1 + W + 7 + 6;
     p.eval = [F, W](rtl::SignalSet& s) {
       int msb;
-      if (s[kPenc] >> 63) {
+      if (s[kPenc] >> 8) {
         msb = static_cast<int>(s[kPenc] & fp::mask64(8));
       } else if (s[kSum] != 0) {
         msb = fp::msb_index64(s[kSum] & fp::mask64(W / 2));
@@ -316,7 +319,7 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.name = "norm_l" + std::to_string(l);
     p.group = "norm_shift";
     p.delay_ns = tech.mux_level_delay(W, obj);
-    p.delay_chained_ns = tech.mux_level_chained_delay(W, obj);
+    if (l > 0) p.delay_chained_ns = tech.mux_level_chained_delay(W, obj);
     p.area = tech.mux_level_area(W, obj);
     p.live_bits = (E + 1) + W + (levels - l) + 6;
     p.eval = [l](rtl::SignalSet& s) {
@@ -375,7 +378,7 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.name = "round_mant_c" + std::to_string(c);
     p.group = "round";
     p.delay_ns = tech.adder_delay(bits, obj);
-    p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
+    if (c > 0) p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
     p.area = tech.adder_area(bits, obj);
     p.live_bits = (E + 1) + (F + 2) + 3 + 6;
     const bool last = c == rm_chunks - 1;

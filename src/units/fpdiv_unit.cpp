@@ -269,7 +269,7 @@ rtl::PieceChain build_divider_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.name = "round_mant_c" + std::to_string(c);
     p.group = "round";
     p.delay_ns = tech.adder_delay(bits, obj);
-    p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
+    if (c > 0) p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
     p.area = tech.adder_area(bits, obj);
     p.live_bits = (E + 2) + (F + 2) + 3 + 6;
     const bool last = c == rm_chunks - 1;

@@ -226,7 +226,7 @@ rtl::PieceChain build_mac_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
       p.name = "cpa_c" + std::to_string(c);
       p.group = "cpa";
       p.delay_ns = tech.adder_delay(cpa_chunk, obj);
-      p.delay_chained_ns = tech.adder_chained_delay(cpa_chunk, obj);
+      if (c > 0) p.delay_chained_ns = tech.adder_chained_delay(cpa_chunk, obj);
       p.area = tech.adder_area(cpa_chunk, obj);
       p.live_bits = prod_bits + sig_bits + 2 * (E + 2) + 10;
       p.eval = [](rtl::SignalSet&) {};  // value already exact in the lanes
@@ -314,10 +314,14 @@ rtl::PieceChain build_mac_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
               ? std::min(16, frame_bits - c * 16)
               : 16;
       p.delay_ns = tech.adder_delay(bits, obj);
-      p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
+      if (c > 0) p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
       p.area = tech.adder_area(bits, obj);
-      p.live_bits = frame_bits + 1 + (E + 2) + 10;
       const bool last = c == n_chunks - 1;
+      // A register inside the chunk sequence still holds BOTH frames (the
+      // sum only replaces them once the final carry resolves); after the
+      // last chunk the (frame+1)-bit sum alone remains.
+      p.live_bits =
+          (last ? frame_bits + 1 : 2 * frame_bits) + (E + 2) + 10;
       p.eval = [last](rtl::SignalSet& s) {
         if (!last) return;  // the full op resolves with the final carry
         const u128 big = get128(s, kBigLo);
@@ -389,7 +393,9 @@ rtl::PieceChain build_mac_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.name = "norm_l" + std::to_string(l);
     p.group = "norm_shift";
     p.delay_ns = tech.mux_level_delay(frame_bits, obj);
-    p.delay_chained_ns = tech.mux_level_chained_delay(frame_bits, obj);
+    if (l > 0) {
+      p.delay_chained_ns = tech.mux_level_chained_delay(frame_bits, obj);
+    }
     p.area = tech.mux_level_area(frame_bits, obj);
     p.live_bits = frame_bits + (E + 2) + (align_levels - l) + 10;
     p.eval = [l](rtl::SignalSet& s) {
@@ -457,7 +463,7 @@ rtl::PieceChain build_mac_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.name = "round_mant_c" + std::to_string(c);
     p.group = "round";
     p.delay_ns = tech.adder_delay(bits, obj);
-    p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
+    if (c > 0) p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
     p.area = tech.adder_area(bits, obj);
     p.live_bits = (E + 2) + (F + 2) + 3 + 10;
     const bool last = c == rm_chunks - 1;

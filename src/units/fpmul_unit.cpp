@@ -230,11 +230,22 @@ rtl::PieceChain build_multiplier_chain(fp::FpFormat fmt,
       const int gr = std::min(rows_per_piece, rows - g * rows_per_piece);
       p.delay_ns = tech.csa_level_delay(prod_bits, obj) +
                    (gr - 1) * tech.csa_level_chained_delay(prod_bits, obj);
-      p.delay_chained_ns = gr * tech.csa_level_chained_delay(prod_bits, obj);
+      if (g > 0) {
+        p.delay_chained_ns = gr * tech.csa_level_chained_delay(prod_bits, obj);
+      }
       p.area = tech.csa_level_area(prod_bits, obj) * gr;
-      p.live_bits = prod_bits + sig_bits + (E + 2) + 6;
       const bool first = g == 0;
       const int row_lo = g * rows_per_piece;
+      // A cut mid-accumulation latches BOTH mantissa operands (the rows
+      // still to come read them) next to the carry-save accumulator, of
+      // which only sig + 2*rows_done + 1 bits are nonzero yet; the final
+      // row set retires the operands and leaves the full product.
+      p.live_bits =
+          (g == n_pieces - 1
+               ? prod_bits + sig_bits
+               : 2 * sig_bits +
+                     std::min(prod_bits, sig_bits + 2 * (row_lo + gr) + 1)) +
+          (E + 2) + 6;
       p.eval = [first, row_lo, gr](rtl::SignalSet& s) {
         if (first) {
           s[kProdLo] = 0;
@@ -290,7 +301,7 @@ rtl::PieceChain build_multiplier_chain(fp::FpFormat fmt,
     p.name = "cpa_c" + std::to_string(c);
     p.group = "cpa";
     p.delay_ns = tech.adder_delay(cpa_chunk, obj);
-    p.delay_chained_ns = tech.adder_chained_delay(cpa_chunk, obj);
+    if (c > 0) p.delay_chained_ns = tech.adder_chained_delay(cpa_chunk, obj);
     p.area = tech.adder_area(cpa_chunk, obj);
     const bool last = c == n_cpa - 1;
     const bool do_bias = csa_levels == 0 && c == 0;
@@ -385,7 +396,7 @@ rtl::PieceChain build_multiplier_chain(fp::FpFormat fmt,
     p.name = "round_mant_c" + std::to_string(c);
     p.group = "round";
     p.delay_ns = tech.adder_delay(bits, obj);
-    p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
+    if (c > 0) p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
     p.area = tech.adder_area(bits, obj);
     p.live_bits = (E + 2) + (F + 2) + 3 + 6;
     const bool last = c == rm_chunks - 1;

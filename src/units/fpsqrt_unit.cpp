@@ -142,7 +142,7 @@ rtl::PieceChain build_sqrt_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.group = "sqrt";
     p.delay_ns = (0.45 + 1.2 * 0.5 + 0.017 * (F + 4)) *
                  (obj == device::Objective::kSpeed ? 0.88 : 1.0);
-    p.delay_chained_ns = p.delay_ns * 0.8;
+    if (r > 0) p.delay_chained_ns = p.delay_ns * 0.8;
     p.area = tech.adder_area(F + 4, obj);
     p.live_bits = 128 + (F + 6) * 2 + (E + 2) + 4;
     const int bits_this_row = std::min(2, root_bits - 2 * r);
@@ -163,7 +163,7 @@ rtl::PieceChain build_sqrt_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.name = "round_mant_c" + std::to_string(c);
     p.group = "round";
     p.delay_ns = tech.adder_delay(bits, obj);
-    p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
+    if (c > 0) p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
     p.area = tech.adder_area(bits, obj);
     p.live_bits = (E + 2) + (F + 2) + 3 + 4;
     const bool last = c == rm_chunks - 1;

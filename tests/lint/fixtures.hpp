@@ -1,0 +1,67 @@
+// Synthetic piece chains for the lint-rule tests: one clean three-piece
+// chain whose declarations all hold, plus per-rule mutations that seed
+// exactly the defect a rule exists to catch. Keeping the chain tiny makes
+// each failing test's diagnostic readable.
+#pragma once
+
+#include "lint/lint.hpp"
+#include "rtl/piece.hpp"
+
+namespace flopsim::lint::testing {
+
+// Lane map of the toy chain: lanes 0 (a) and 1 (b) arrive from the
+// contract; "sum" computes lane 2 = a + b, "twist" folds lane 2 into
+// lane 3, "pack" writes the result into lane 0. Stimuli are 16-bit, so
+// every intermediate fits well under the declared 18-bit live widths.
+inline rtl::PieceChain toy_chain() {
+  rtl::PieceChain chain;
+
+  rtl::Piece sum;
+  sum.name = "sum";
+  sum.group = "front";
+  sum.delay_ns = 1.0;
+  sum.area.slices = 8;
+  sum.area.luts = 16;
+  sum.live_bits = 18;
+  sum.eval = [](rtl::SignalSet& s) { s[2] = s[0] + s[1]; };
+  chain.push_back(sum);
+
+  rtl::Piece twist;
+  twist.name = "twist";
+  twist.group = "mid";
+  twist.delay_ns = 1.2;
+  twist.area.slices = 6;
+  twist.area.luts = 12;
+  twist.live_bits = 18;
+  twist.eval = [](rtl::SignalSet& s) { s[3] = s[2] ^ (s[2] >> 7); };
+  chain.push_back(twist);
+
+  rtl::Piece pack;
+  pack.name = "pack";
+  pack.group = "mid";
+  pack.delay_ns = 0.9;
+  pack.delay_chained_ns = 0.5;  // legal: predecessor "twist" shares "mid"
+  pack.area.slices = 4;
+  pack.area.luts = 8;
+  pack.live_bits = 18;
+  pack.eval = [](rtl::SignalSet& s) { s[0] = s[3] + 1; };
+  chain.push_back(pack);
+
+  return chain;
+}
+
+inline ChainContract toy_contract(int vectors = 12) {
+  ChainContract contract;
+  contract.name = "toy";
+  contract.input_lanes = {0, 1};
+  contract.result_lane = 0;
+  for (int v = 0; v < vectors; ++v) {
+    rtl::SignalSet s;
+    s[0] = (0xB5ADu * static_cast<fp::u64>(v + 1)) & 0xFFFF;
+    s[1] = (0x94D1u * static_cast<fp::u64>(v + 3)) & 0xFFFF;
+    contract.stimuli.push_back(s);
+  }
+  return contract;
+}
+
+}  // namespace flopsim::lint::testing

@@ -1,0 +1,132 @@
+// Reporter goldens: the text and JSON-lines renderings are CI artifacts,
+// so their exact shape is pinned here byte-for-byte.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.hpp"
+#include "lint/report.hpp"
+#include "fixtures.hpp"
+
+namespace flopsim::lint {
+namespace {
+
+Finding piece_level() {
+  Finding f;
+  f.rule = "DL101";
+  f.severity = Severity::kError;
+  f.subject = "fp_add<binary32>/s3";
+  f.piece = 4;
+  f.piece_name = "align_l2";
+  f.lane = 9;
+  f.message = "reads lane 9 before any piece (or the input contract) wrote it";
+  return f;
+}
+
+Finding boundary_level() {
+  Finding f;
+  f.rule = "DL306";
+  f.severity = Severity::kError;
+  f.subject = "toy";
+  f.boundary = 2;
+  f.message = "claimed \"7\" \\ bits";  // exercises JSON escaping
+  return f;
+}
+
+Finding note_level() {
+  Finding f;
+  f.rule = "DL105";
+  f.severity = Severity::kNote;
+  f.subject = "toy";
+  f.piece = 0;
+  f.piece_name = "pad";
+  f.message = "accesses no lanes (timing/area placeholder)";
+  return f;
+}
+
+Report golden_report() {
+  Report r;
+  r.add(piece_level());
+  r.add(boundary_level());
+  r.add(note_level());
+  return r;
+}
+
+TEST(LintReport, FormatFindingGolden) {
+  EXPECT_EQ(format_finding(piece_level()),
+            "fp_add<binary32>/s3: piece 4 'align_l2' lane 9 error [DL101]: "
+            "reads lane 9 before any piece (or the input contract) wrote it");
+  EXPECT_EQ(format_finding(boundary_level()),
+            "toy: boundary 2 error [DL306]: claimed \"7\" \\ bits");
+}
+
+TEST(LintReport, WriteTextGolden) {
+  std::ostringstream os;
+  write_text(os, golden_report());
+  EXPECT_EQ(os.str(),
+            "fp_add<binary32>/s3: piece 4 'align_l2' lane 9 error [DL101]: "
+            "reads lane 9 before any piece (or the input contract) wrote it\n"
+            "toy: boundary 2 error [DL306]: claimed \"7\" \\ bits\n"
+            "2 findings: 2 errors, 0 warnings\n");
+}
+
+TEST(LintReport, WriteTextSingularSummary) {
+  Report r;
+  Finding f = piece_level();
+  f.severity = Severity::kWarning;
+  r.add(f);
+  std::ostringstream os;
+  write_text(os, r);
+  EXPECT_NE(os.str().find("1 finding: 0 errors, 1 warning\n"),
+            std::string::npos);
+}
+
+TEST(LintReport, WriteJsonlGolden) {
+  std::ostringstream os;
+  const int lines = write_jsonl(os, golden_report());
+  EXPECT_EQ(lines, 3);  // two findings + the summary; the note is filtered
+  EXPECT_EQ(
+      os.str(),
+      "{\"rule\": \"DL101\", \"severity\": \"error\", \"subject\": "
+      "\"fp_add<binary32>/s3\", \"piece\": 4, \"piece_name\": \"align_l2\", "
+      "\"lane\": 9, \"boundary\": -1, \"message\": \"reads lane 9 before any "
+      "piece (or the input contract) wrote it\"}\n"
+      "{\"rule\": \"DL306\", \"severity\": \"error\", \"subject\": \"toy\", "
+      "\"piece\": -1, \"piece_name\": \"\", \"lane\": -1, \"boundary\": 2, "
+      "\"message\": \"claimed \\\"7\\\" \\\\ bits\"}\n"
+      "{\"summary\": true, \"findings\": 3, \"errors\": 2, \"warnings\": "
+      "0}\n");
+}
+
+TEST(LintReport, WriteJsonlIncludesNotesOnRequest) {
+  std::ostringstream os;
+  const int lines = write_jsonl(os, golden_report(), /*include_notes=*/true);
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(os.str().find("\"severity\": \"note\""), std::string::npos);
+}
+
+// An end-to-end report from a seeded defect stays one-object-per-line and
+// closes with the summary object.
+TEST(LintReport, JsonlLinesAreWellFormedForEngineOutput) {
+  rtl::PieceChain chain = testing::toy_chain();
+  chain[1].eval = [](rtl::SignalSet& s) { s[3] = s[2] ^ s[5]; };
+  const Report report = lint_chain(chain, testing::toy_contract());
+  ASSERT_FALSE(report.findings.empty());
+
+  std::ostringstream os;
+  write_jsonl(os, report);
+  std::istringstream in(os.str());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), report.findings.size() + 1);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_NE(lines.back().find("\"summary\": true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flopsim::lint

@@ -1,0 +1,95 @@
+// The shipping gate: every generated unit kind at every paper precision —
+// and every format-converter pair — lints with zero error-severity
+// findings at shallow, mid, and maximum pipeline depth. This is the same
+// check tools/flopsim-lint runs in CI, pinned into ctest so a unit edit
+// that breaks a declaration fails the fast loop too.
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "analysis/sweep.hpp"
+#include "lint/lint.hpp"
+#include "lint/report.hpp"
+#include "units/converter_unit.hpp"
+#include "units/fp_unit.hpp"
+
+namespace flopsim {
+namespace {
+
+lint::Options fast_opts() {
+  lint::Options opts;
+  opts.vectors = 8;  // the --fast vector count; inference converges by here
+  return opts;
+}
+
+std::string rendered(const lint::Report& r) {
+  std::ostringstream os;
+  lint::write_text(os, r);
+  return os.str();
+}
+
+TEST(LintZoo, ShippedUnitsLintClean) {
+  static constexpr units::UnitKind kKinds[] = {
+      units::UnitKind::kAdder, units::UnitKind::kMultiplier,
+      units::UnitKind::kDivider, units::UnitKind::kSqrt,
+      units::UnitKind::kMac};
+  for (units::UnitKind kind : kKinds) {
+    for (const fp::FpFormat& fmt : analysis::paper_formats()) {
+      units::UnitConfig probe_cfg;
+      probe_cfg.stages = 1;
+      const units::FpUnit probe(kind, fmt, probe_cfg);
+      const int max = probe.max_stages();
+      for (int depth : std::set<int>{1, (1 + max) / 2, max}) {
+        units::UnitConfig cfg;
+        cfg.stages = depth;
+        const units::FpUnit unit(kind, fmt, cfg);
+        const lint::Report report = lint::lint_unit(unit, fast_opts());
+        EXPECT_TRUE(report.clean())
+            << unit.name() << " @ depth " << depth << "\n" << rendered(report);
+      }
+    }
+  }
+}
+
+TEST(LintZoo, ConverterPairsLintClean) {
+  for (const fp::FpFormat& src : analysis::paper_formats()) {
+    for (const fp::FpFormat& dst : analysis::paper_formats()) {
+      if (src.total_bits() == dst.total_bits()) continue;
+      units::UnitConfig probe_cfg;
+      probe_cfg.stages = 1;
+      const units::FormatConverter probe(src, dst, probe_cfg);
+      for (int depth : std::set<int>{1, probe.max_stages()}) {
+        units::UnitConfig cfg;
+        cfg.stages = depth;
+        const units::FormatConverter cvt(src, dst, cfg);
+        const lint::Report report = lint::lint_converter(cvt, fast_opts());
+        EXPECT_TRUE(report.clean())
+            << cvt.name() << " @ depth " << depth << "\n" << rendered(report);
+      }
+    }
+  }
+}
+
+// Non-default build options must lint clean too: the speed objective and
+// the LUT-fabric multiplier change the chains the units emit.
+TEST(LintZoo, SpeedAndFabricVariantsLintClean) {
+  units::UnitConfig cfg;
+  cfg.stages = 4;
+  cfg.objective = device::Objective::kSpeed;
+  const units::FpUnit speed_mul(units::UnitKind::kMultiplier,
+                                fp::FpFormat::binary32(), cfg);
+  EXPECT_TRUE(lint::lint_unit(speed_mul, fast_opts()).clean())
+      << rendered(lint::lint_unit(speed_mul, fast_opts()));
+
+  units::UnitConfig fabric;
+  fabric.stages = 4;
+  fabric.use_embedded_multipliers = false;
+  const units::FpUnit fabric_mul(units::UnitKind::kMultiplier,
+                                 fp::FpFormat::binary32(), fabric);
+  EXPECT_TRUE(lint::lint_unit(fabric_mul, fast_opts()).clean())
+      << rendered(lint::lint_unit(fabric_mul, fast_opts()));
+}
+
+}  // namespace
+}  // namespace flopsim

@@ -24,6 +24,7 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,8 @@
 #include "analysis/sweep.hpp"
 #include "fault/campaign.hpp"
 #include "fault/hardening.hpp"
+#include "lint/lint.hpp"
+#include "lint/report.hpp"
 #include "obs/cli.hpp"
 #include "obs/probe.hpp"
 #include "obs/trace.hpp"
@@ -46,7 +49,7 @@ using namespace flopsim;
 void print_usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s <add|mul|div|sqrt|mac> <16|32|48|64> [stages] "
-               "[area|speed] [ieee] [fabric] "
+               "[area|speed] [ieee] [fabric] [--lint] "
                "[--harden=<parity|residue|dup|tmr|ecc>] [--threads=<n>] "
                "[--vcd=<path>] [--metrics=<path>] [--trace=<path>]\n"
                "       %s cvt <src-bits> <dst-bits> [stages]\n",
@@ -152,11 +155,14 @@ int generate_arith(const obs::CliArgs& cli, const char* prog) {
 
   units::UnitConfig cfg;
   std::optional<fault::Scheme> harden;
+  bool run_lint = false;
   const bool explicit_stages =
       args.size() > 2 && std::isdigit(static_cast<unsigned char>(args[2][0]));
   if (explicit_stages) cfg.stages = std::atoi(args[2].c_str());
   for (std::size_t i = 2; i < args.size(); ++i) {
-    if (args[i] == "speed") {
+    if (args[i] == "--lint") {
+      run_lint = true;
+    } else if (args[i] == "speed") {
       cfg.objective = device::Objective::kSpeed;
     } else if (args[i] == "ieee") {
       cfg.ieee_mode = true;  // denormal + NaN hardware
@@ -189,6 +195,16 @@ int generate_arith(const obs::CliArgs& cli, const char* prog) {
   const int capture_rc = run_capture_workload(unit, cli);
   if (capture_rc != 0) return capture_rc;
 
+  int lint_rc = 0;
+  if (run_lint) {
+    const lint::Report report = lint::lint_unit(unit);
+    std::printf("  lint:\n");
+    std::ostringstream lint_out;
+    lint::write_text(lint_out, report);
+    std::printf("%s\n", lint_out.str().c_str());
+    if (!report.clean()) lint_rc = 1;
+  }
+
   if (harden.has_value()) {
     const fault::HardeningCost h = fault::hardening_cost(unit, *harden);
     std::printf("  hardened (%s):\n", fault::to_string(*harden));
@@ -206,7 +222,7 @@ int generate_arith(const obs::CliArgs& cli, const char* prog) {
               sel.min.stages, sel.min.freq_mhz, sel.min.area.slices,
               sel.opt.stages, sel.opt.freq_mhz, sel.opt.area.slices,
               sel.max.stages, sel.max.freq_mhz, sel.max.area.slices);
-  return 0;
+  return lint_rc;
 }
 
 int generate_cvt(const std::vector<std::string>& args) {

@@ -33,4 +33,7 @@ if [ "$SAN" = thread ]; then
     -L tsan -j "$(nproc)"
 else
   ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+  # The datapath lint gate under the same sanitizer: the probe executes
+  # every piece eval, so UBSan/ASan sweep the whole unit zoo here too.
+  "$BUILD/tools/flopsim-lint" --fast
 fi

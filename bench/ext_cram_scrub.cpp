@@ -20,7 +20,9 @@
 #include "analysis/pareto.hpp"
 #include "analysis/seu.hpp"
 #include "bench_util.hpp"
+#include "exec/cancel.hpp"
 #include "obs/cli.hpp"
+#include "run_policy.hpp"
 
 namespace {
 
@@ -120,7 +122,8 @@ analysis::Table reliable_selection_cram_table(int threads) {
 }
 
 analysis::Table kernel_sdc_table(const std::vector<fault::Scheme>& schemes,
-                                 bench::CampaignJournal& journal) {
+                                 bench::CampaignJournal& journal,
+                                 bench::RunPolicy& policy) {
   analysis::Table t(
       "Matmul kernel SDC by storage scheme (n=4, binary32, acc+latch+config)",
       {"scheme", "scrub cyc", "injected", "masked", "corrected", "detected",
@@ -136,12 +139,17 @@ analysis::Table kernel_sdc_table(const std::vector<fault::Scheme>& schemes,
       camp.config_fraction = 0.25;
       camp.scrub_period_cycles = scrub;
       camp.threads = journal.threads();
+      const std::string name = std::string("cram_matmul_campaign:") +
+                               fault::to_string(scheme) + ":scrub" +
+                               std::to_string(scrub);
       const analysis::MatmulSeuResult r = journal.time(
-          std::string("cram_matmul_campaign:") + fault::to_string(scheme) +
-              ":scrub" + std::to_string(scrub),
+          name,
           camp.faults + static_cast<long>(camp.config_fraction * camp.faults +
                                           0.5),
-          [&] { return analysis::run_matmul_campaign(cfg, camp); });
+          [&] {
+            return analysis::run_matmul_campaign(cfg, camp, policy.control());
+          });
+      policy.note_matmul(name, r);
       const auto frac = [](int silent, int injected) {
         return injected > 0
                    ? analysis::Table::num(
@@ -193,6 +201,9 @@ int usage(const char* argv0) {
                "usage: %s [--scheme=<none|ecc>] [--threads=<n>]\n"
                "          [--csv <dir>] [--json <path>]\n"
                "          [--metrics=<path>] [--trace=<path>]\n"
+               "          [--checkpoint=<dir>] [--resume]\n"
+               "          [--time-budget=<sec>] [--trial-budget=<n>]\n"
+               "          [--stop-halfwidth=<frac>] [--fsync-interval=<n>]\n"
                "  --scheme=  restrict the kernel SDC table to one storage\n"
                "             scheme (default: none and ecc)\n"
                "  --threads= campaign worker threads (default: auto via\n"
@@ -200,9 +211,13 @@ int usage(const char* argv0) {
                "  --json     append per-campaign timing records (JSON lines,\n"
                "             conventionally BENCH_campaign.json)\n"
                "  --metrics= dump the metrics registry as JSON lines at exit\n"
-               "  --trace=   write a Chrome/Perfetto trace-event JSON file\n",
-               argv0);
-  return 2;
+               "  --trace=   write a Chrome/Perfetto trace-event JSON file\n"
+               "  --checkpoint=/--resume/--time-budget=/--trial-budget=/\n"
+               "  --stop-halfwidth= crash-safe campaign journaling, run\n"
+               "             budgets, and convergence early-stop; an\n"
+               "             interrupted-but-resumable run exits %d\n",
+               argv0, obs::kExitInterrupted);
+  return obs::kExitUsage;
 }
 
 }  // namespace
@@ -224,11 +239,22 @@ int main(int argc, char** argv) {
   }
   obs::init_observability(cli);
   bench::CampaignJournal journal(cli.threads);
-  bench::emit_to(essential_bits_table(cli.threads), cli.csv_dir);
-  bench::emit_to(fit_vs_scrub_table(cli.threads), cli.csv_dir);
-  bench::emit_to(reliable_selection_cram_table(cli.threads), cli.csv_dir);
-  bench::emit_to(kernel_sdc_table(schemes, journal), cli.csv_dir);
-  bench::emit_to(ecc_cost_table(), cli.csv_dir);
+  bench::RunPolicy policy(cli);
+  try {
+    bench::emit_to(essential_bits_table(cli.threads), cli.csv_dir);
+    bench::emit_to(fit_vs_scrub_table(cli.threads), cli.csv_dir);
+    bench::emit_to(reliable_selection_cram_table(cli.threads), cli.csv_dir);
+    bench::emit_to(kernel_sdc_table(schemes, journal, policy), cli.csv_dir);
+    bench::emit_to(ecc_cost_table(), cli.csv_dir);
+  } catch (const exec::Interrupted& e) {
+    std::fprintf(stderr, "interrupted (%s): sweep abandoned\n",
+                 exec::to_string(e.reason));
+    journal.write(cli.json_path);
+    obs::flush_observability(cli);
+    return obs::kExitInterrupted;
+  }
   journal.write(cli.json_path);
-  return obs::flush_observability(cli) ? 0 : 1;
+  const int base = obs::flush_observability(cli) ? obs::kExitOk
+                                                 : obs::kExitRuntime;
+  return policy.exit_code(base);
 }

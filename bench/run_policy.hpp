@@ -1,0 +1,120 @@
+// Resilience policy for the campaign benches.
+//
+// Translates the shared CLI flags (--checkpoint=/--resume/--time-budget=/
+// --trial-budget=/--stop-halfwidth=/--fsync-interval=) into the
+// analysis::CampaignRunControl every campaign in the binary runs under,
+// wired to the process-global cancel token with SIGINT/SIGTERM handlers
+// installed. After each campaign the bench files the run status here;
+// an interrupted campaign prints a partial-result summary (trials
+// accounted, headline estimate with its 95% half-width, how to resume)
+// and the process exits with obs::kExitInterrupted instead of 0.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/seu.hpp"
+#include "exec/cancel.hpp"
+#include "obs/cli.hpp"
+
+namespace flopsim::bench {
+
+class RunPolicy {
+ public:
+  explicit RunPolicy(const obs::CliArgs& cli) {
+    control_.cancel = &exec::global_cancel_token();
+    control_.checkpoint_dir = cli.checkpoint_dir;
+    control_.resume = cli.resume;
+    control_.fsync_interval = cli.fsync_interval;
+    control_.stop_half_width = cli.stop_half_width;
+    total_budget_ = cli.trial_budget;
+    exec::install_signal_handlers();
+    if (cli.time_budget_s > 0.0) {
+      control_.cancel->set_deadline_after(cli.time_budget_s);
+    }
+  }
+
+  /// The control the next campaign should run under. The trial budget is
+  /// process-wide: each campaign sees only what the earlier ones left.
+  const analysis::CampaignRunControl& control() {
+    if (total_budget_ > 0) {
+      const long remaining = total_budget_ - spent_;
+      control_.trial_budget = remaining > 0 ? remaining : 1;
+      if (remaining <= 0) {
+        control_.cancel->request(exec::CancelToken::Reason::kTrialBudget);
+      }
+    }
+    return control_;
+  }
+  exec::CancelToken* cancel() const { return control_.cancel; }
+
+  /// File one unit campaign's outcome; on interruption, summarize the
+  /// partial FIT estimate.
+  void note_unit(const std::string& name, const analysis::UnitSeuResult& r,
+                 const analysis::SeuRateModel& rate = {}) {
+    charge(r.run);
+    if (!r.run.interrupted) return;
+    const double fit = rate.fit(r.pipeline_ffs, r.sdc_fraction());
+    const double hw = rate.fit(
+        r.pipeline_ffs, analysis::proportion_half_width(r.silent, r.injected));
+    summarize(name, r.run);
+    std::fprintf(stderr, "  partial SDC FIT %.4f +/- %.4f (95%%) over %d trials\n",
+                 fit, hw, r.injected);
+  }
+
+  /// File one matmul campaign's outcome (headline rate is SDC fraction).
+  void note_matmul(const std::string& name,
+                   const analysis::MatmulSeuResult& r) {
+    charge(r.run);
+    if (!r.run.interrupted) return;
+    summarize(name, r.run);
+    std::fprintf(
+        stderr, "  partial SDC fraction %.4f +/- %.4f (95%%) over %d trials\n",
+        r.sdc_fraction(),
+        analysis::proportion_half_width(r.silent, r.injected), r.injected);
+  }
+
+  /// File one depth sweep's outcome.
+  void note_sweep(const std::string& name, const analysis::SeuSweepRun& r) {
+    charge(r.run);
+    if (!r.run.interrupted) return;
+    summarize(name, r.run);
+  }
+
+  bool interrupted() const { return interrupted_; }
+
+  /// Final process exit code: interruption wins over `base` (0/1).
+  int exit_code(int base) const {
+    return interrupted_ ? obs::kExitInterrupted : base;
+  }
+
+ private:
+  void charge(const analysis::CampaignRunStatus& run) {
+    spent_ += run.trials_executed;
+    if (total_budget_ > 0 && spent_ >= total_budget_) {
+      control_.cancel->request(exec::CancelToken::Reason::kTrialBudget);
+    }
+  }
+
+  void summarize(const std::string& name,
+                 const analysis::CampaignRunStatus& run) {
+    interrupted_ = true;
+    std::fprintf(
+        stderr,
+        "interrupted (%s): %s stopped after %ld/%ld chunks "
+        "(%ld restored, %ld trials run this invocation)%s\n",
+        exec::to_string(run.stop_reason), name.c_str(),
+        run.chunks_completed + run.chunks_restored, run.chunks_total,
+        run.chunks_restored, run.trials_executed,
+        control_.checkpoint_dir.empty()
+            ? "; no --checkpoint= was given, progress is not saved"
+            : "; checkpoint flushed, re-run with --resume to continue");
+  }
+
+  analysis::CampaignRunControl control_;
+  long total_budget_ = 0;  // process-wide; 0 = unlimited
+  long spent_ = 0;
+  bool interrupted_ = false;
+};
+
+}  // namespace flopsim::bench

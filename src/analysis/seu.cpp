@@ -1,10 +1,17 @@
 #include "analysis/seu.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
 #include <optional>
 #include <random>
+#include <stdexcept>
 
 #include "exec/parallel.hpp"
+#include "fault/checkpoint.hpp"
 #include "obs/probe.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
@@ -28,11 +35,114 @@ struct UnitTrial {
   bool mismatch = false;          // checker fired at any cycle
 };
 
+// --- checkpoint plumbing shared by the campaign drivers ----------------
+
+/// One trial verdict <-> one sidecar byte. Bits: 0 corrupted,
+/// 1 hardened_differs, 2 mismatch. The byte IS the checkpoint format for
+/// unit campaigns; changing it invalidates existing sidecars (bump the
+/// spec-hash salt below if it ever has to change).
+std::uint8_t encode_unit_trial(const UnitTrial& t) {
+  return static_cast<std::uint8_t>((t.corrupted ? 1 : 0) |
+                                   (t.hardened_differs ? 2 : 0) |
+                                   (t.mismatch ? 4 : 0));
+}
+
+UnitTrial decode_unit_trial(std::uint8_t b) {
+  UnitTrial t;
+  t.corrupted = (b & 1) != 0;
+  t.hardened_differs = (b & 2) != 0;
+  t.mismatch = (b & 4) != 0;
+  return t;
+}
+
+/// Whether a unit trial reduces to "silent" under the campaign's scheme —
+/// factored out so the running convergence tally cannot drift from the
+/// final ordered reduction.
+bool unit_trial_silent(const UnitTrial& t, fault::Scheme scheme) {
+  if (scheme == fault::Scheme::kTmr) return t.hardened_differs;
+  return t.corrupted && !t.mismatch;
+}
+
+void fold_fault(fault::SpecHash& h, const fault::Fault& f) {
+  h.i64(f.cycle)
+      .i64(static_cast<long long>(f.site))
+      .i64(f.index)
+      .i64(f.lane)
+      .i64(f.bit)
+      .u64(f.mask)
+      .u64(f.stuck)
+      .i64(f.repair_cycle);
+}
+
+/// A campaign's live checkpoint: the skip set restored from the sidecar
+/// plus the writer the remaining chunks append to. Inactive (no writer, no
+/// skips) when the control has no checkpoint directory.
+struct CheckpointSession {
+  std::vector<char> skip;  ///< per-chunk; empty when nothing restored
+  std::unique_ptr<fault::CheckpointWriter> writer;
+  long restored = 0;
+};
+
+/// Open (and on resume, restore) the sidecar for spec `key`.
+/// `restore_chunk(index, bytes)` decodes one stored chunk back into the
+/// caller's slots and returns false to reject it (bad size). The sidecar
+/// is rewritten via a temp file so a pre-existing torn tail can never
+/// swallow this run's appends.
+CheckpointSession open_checkpoint_session(
+    const CampaignRunControl& ctl, std::uint64_t key, std::size_t count,
+    std::size_t chunk, std::size_t nchunks,
+    const std::function<bool(std::size_t, const std::vector<std::uint8_t>&)>&
+        restore_chunk) {
+  CheckpointSession s;
+  if (ctl.checkpoint_dir.empty() || count == 0) return s;
+  const std::string path = fault::checkpoint_path(ctl.checkpoint_dir, key);
+  std::map<std::size_t, std::vector<std::uint8_t>> keep;
+  if (ctl.resume) {
+    const fault::CheckpointLoad load = fault::load_checkpoint(path);
+    if (load.found) {
+      if (load.spec_hash != key || load.count != count ||
+          load.chunk != chunk) {
+        throw std::runtime_error(
+            "checkpoint " + path +
+            " was written by a different campaign (spec/count/chunk "
+            "mismatch); refusing to mix tallies");
+      }
+      s.skip.assign(nchunks, 0);
+      for (const auto& [index, data] : load.chunks) {
+        if (!restore_chunk(index, data)) continue;
+        s.skip[index] = 1;
+        ++s.restored;
+        keep.emplace(index, data);
+      }
+    }
+  }
+  s.writer = fault::rewrite_checkpoint(path, key, count, chunk,
+                                       ctl.fsync_interval, keep);
+  return s;
+}
+
 }  // namespace
+
+double proportion_half_width(long successes, long n) {
+  if (n <= 0) return 0.0;
+  // Agresti-Coull adjustment: the plain normal approximation collapses to
+  // a zero half-width at p == 0 or 1, which would trip any convergence
+  // threshold after one all-masked chunk. p~ = (s+2)/(n+4) never does.
+  const double nt = static_cast<double>(n) + 4.0;
+  const double p = (static_cast<double>(successes) + 2.0) / nt;
+  return 1.96 * std::sqrt(p * (1.0 - p) / nt);
+}
 
 UnitSeuResult run_unit_campaign(units::UnitKind kind, fp::FpFormat fmt,
                                 const units::UnitConfig& cfg,
                                 const SeuCampaignConfig& camp) {
+  return run_unit_campaign(kind, fmt, cfg, camp, CampaignRunControl{});
+}
+
+UnitSeuResult run_unit_campaign(units::UnitKind kind, fp::FpFormat fmt,
+                                const units::UnitConfig& cfg,
+                                const SeuCampaignConfig& camp,
+                                const CampaignRunControl& control) {
   UnitSeuResult res;
   obs::Tracer& tracer = obs::Tracer::global();
   obs::Registry& reg = obs::Registry::global();
@@ -78,12 +188,92 @@ UnitSeuResult run_unit_campaign(units::UnitKind kind, fp::FpFormat fmt,
   std::vector<UnitTrial> trials(faults.size());
   draw_span.end();
 
-  obs::ProgressReporter progress("unit campaign",
-                                 static_cast<long>(faults.size()));
+  // Static checkpoint grid: boundaries depend only on (count, chunk), so
+  // a resume at a different thread count re-runs the same chunks.
+  const std::size_t count = faults.size();
+  const std::size_t chunk =
+      control.chunk_trials > 0 ? control.chunk_trials : 16;
+  const std::size_t nchunks = exec::grid_chunk_count(count, 1, chunk);
+
+  // Campaign identity: everything the trial outcomes are a function of,
+  // including the drawn fault list itself (the strongest possible key).
+  fault::SpecHash spec;
+  spec.str("unit_campaign v1");
+  spec.str(units::to_string(kind)).str(fmt.name());
+  spec.i64(probe.stages());
+  spec.i64(static_cast<long long>(camp.scheme));
+  spec.i64(camp.vectors).i64(camp.faults).u64(camp.seed).i64(horizon);
+  spec.i64(static_cast<long long>(cfg.rounding))
+      .i64(static_cast<long long>(cfg.objective))
+      .i64(cfg.ieee_mode ? 1 : 0)
+      .i64(cfg.use_embedded_multipliers ? 1 : 0);
+  spec.i64(static_cast<long long>(chunk));
+  spec.i64(static_cast<long long>(count));
+  for (const fault::Fault& f : faults) fold_fault(spec, f);
+
+  // Convergence tallies run over every accounted trial — restored chunks
+  // included, so a resumed campaign's early stop sees the full sample.
+  long done_trials = 0;
+  long done_silent = 0;
+  CheckpointSession ckpt = open_checkpoint_session(
+      control, spec.value(), count, chunk, nchunks,
+      [&](std::size_t index, const std::vector<std::uint8_t>& data) {
+        const std::size_t begin = index * chunk;
+        const std::size_t end = std::min(count, begin + chunk);
+        if (data.size() != end - begin) return false;
+        for (std::size_t i = begin; i < end; ++i) {
+          trials[i] = decode_unit_trial(data[i - begin]);
+          if (unit_trial_silent(trials[i], camp.scheme)) ++done_silent;
+        }
+        done_trials += static_cast<long>(end - begin);
+        return true;
+      });
+
+  exec::CancelToken local_token;
+  exec::CancelToken* cancel =
+      control.cancel != nullptr ? control.cancel : &local_token;
+
+  obs::ProgressReporter progress("unit campaign", static_cast<long>(count));
+  // Restored trials count as already-done progress.
+  for (long i = 0; i < done_trials; ++i) progress.tick();
   auto inject_span = tracer.span("inject", "campaign");
   const fault::HardenedUnit proto(kind, fmt, cfg, camp.scheme);
-  exec::parallel_for_chunked(
-      faults.size(), camp.threads,
+
+  long executed = 0;
+  exec::GridOptions grid_opts;
+  grid_opts.chunk = chunk;
+  grid_opts.skip = ckpt.skip.empty() ? nullptr : &ckpt.skip;
+  grid_opts.cancel = cancel;
+  grid_opts.on_chunk_done = [&](std::size_t c, std::size_t begin,
+                                std::size_t end) {
+    const long nt = static_cast<long>(end - begin);
+    executed += nt;
+    done_trials += nt;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (unit_trial_silent(trials[i], camp.scheme)) ++done_silent;
+    }
+    if (ckpt.writer != nullptr) {
+      std::vector<std::uint8_t> data;
+      data.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i) {
+        data.push_back(encode_unit_trial(trials[i]));
+      }
+      ckpt.writer->append(c, data);
+    }
+    if (control.trial_budget > 0 && executed >= control.trial_budget) {
+      cancel->request(exec::CancelToken::Reason::kTrialBudget);
+    }
+    if (control.stop_half_width > 0.0) {
+      const double hw = control.rate.fit(
+          res.pipeline_ffs, proportion_half_width(done_silent, done_trials));
+      if (hw <= control.stop_half_width) {
+        cancel->request(exec::CancelToken::Reason::kConverged);
+      }
+    }
+  };
+
+  const exec::GridResult grid = exec::parallel_for_grid(
+      count, camp.threads,
       [&](int /*worker*/, std::size_t begin, std::size_t end) {
         fault::HardenedUnit hardened = proto.clone();
         for (std::size_t i = begin; i < end; ++i) {
@@ -104,29 +294,46 @@ UnitSeuResult run_unit_campaign(units::UnitKind kind, fp::FpFormat fmt,
           hardened.disarm();
           progress.tick();
         }
-      });
+      },
+      grid_opts);
   inject_span.end();
+  if (ckpt.writer != nullptr) ckpt.writer->flush();
 
-  // Ordered reduction: fault-list order, never worker-arrival order.
+  res.run.chunks_total = static_cast<long>(grid.chunks);
+  res.run.chunks_completed = static_cast<long>(grid.completed);
+  res.run.chunks_restored = ckpt.restored;
+  res.run.trials_executed = executed;
+  res.run.interrupted = !grid.complete();
+  res.run.stop_reason = cancel->reason();
+
+  // Ordered reduction: fault-list order, never worker-arrival order. Only
+  // accounted (run or restored) chunks contribute — with every chunk done
+  // this is exactly the legacy flat fold over the fault list.
   auto reduce_span = tracer.span("reduce", "campaign");
-  for (const UnitTrial& trial : trials) {
-    ++res.injected;
-    if (trial.corrupted) ++res.corrupted;
-    if (camp.scheme == fault::Scheme::kTmr) {
-      if (trial.hardened_differs) {
-        ++res.silent;
-      } else if (trial.corrupted) {
-        ++res.corrected;
+  for (std::size_t c = 0; c < grid.chunks; ++c) {
+    if (grid.done[c] == 0) continue;
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(count, begin + chunk);
+    for (std::size_t i = begin; i < end; ++i) {
+      const UnitTrial& trial = trials[i];
+      ++res.injected;
+      if (trial.corrupted) ++res.corrupted;
+      if (camp.scheme == fault::Scheme::kTmr) {
+        if (trial.hardened_differs) {
+          ++res.silent;
+        } else if (trial.corrupted) {
+          ++res.corrected;
+        } else {
+          ++res.masked;
+        }
       } else {
-        ++res.masked;
-      }
-    } else {
-      if (trial.corrupted && !trial.mismatch) {
-        ++res.silent;
-      } else if (trial.mismatch) {
-        ++res.detected;
-      } else {
-        ++res.masked;
+        if (trial.corrupted && !trial.mismatch) {
+          ++res.silent;
+        } else if (trial.mismatch) {
+          ++res.detected;
+        } else {
+          ++res.masked;
+        }
       }
     }
   }
@@ -138,6 +345,10 @@ UnitSeuResult run_unit_campaign(units::UnitKind kind, fp::FpFormat fmt,
   reg.counter("campaign.unit.detected").add(res.detected);
   reg.counter("campaign.unit.corrected").add(res.corrected);
   reg.counter("campaign.unit.silent").add(res.silent);
+  reg.counter("campaign.chunks.completed")
+      .add(static_cast<long>(grid.completed));
+  reg.counter("campaign.chunks.restored").add(ckpt.restored);
+  if (res.run.interrupted) reg.counter("campaign.interrupted").inc();
   return res;
 }
 
@@ -146,11 +357,112 @@ std::vector<SeuDepthPoint> seu_depth_sweep(units::UnitKind kind,
                                            const std::vector<int>& depths,
                                            const SeuCampaignConfig& camp,
                                            const SeuRateModel& rate) {
+  return seu_depth_sweep(kind, fmt, depths, camp, rate, CampaignRunControl{})
+      .points;
+}
+
+namespace {
+
+// A finished depth point is the sweep's checkpoint unit: 8 little-endian
+// 64-bit words (ints widened, doubles bit-cast), so restore is exact.
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::vector<std::uint8_t> encode_depth_point(const SeuDepthPoint& p) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64);
+  put_u64(out, static_cast<std::uint64_t>(static_cast<std::int64_t>(p.stages)));
+  put_u64(out, std::bit_cast<std::uint64_t>(p.freq_mhz));
+  put_u64(out, static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(p.pipeline_ffs)));
+  put_u64(out, static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(p.occupied_bits)));
+  put_u64(out, std::bit_cast<std::uint64_t>(p.avf));
+  put_u64(out, std::bit_cast<std::uint64_t>(p.sdc_fraction));
+  put_u64(out, std::bit_cast<std::uint64_t>(p.sdc_fit));
+  put_u64(out, std::bit_cast<std::uint64_t>(p.tmr_area_x));
+  return out;
+}
+
+SeuDepthPoint decode_depth_point(const std::vector<std::uint8_t>& data) {
+  SeuDepthPoint p;
+  p.stages = static_cast<int>(static_cast<std::int64_t>(get_u64(&data[0])));
+  p.freq_mhz = std::bit_cast<double>(get_u64(&data[8]));
+  p.pipeline_ffs =
+      static_cast<int>(static_cast<std::int64_t>(get_u64(&data[16])));
+  p.occupied_bits =
+      static_cast<long>(static_cast<std::int64_t>(get_u64(&data[24])));
+  p.avf = std::bit_cast<double>(get_u64(&data[32]));
+  p.sdc_fraction = std::bit_cast<double>(get_u64(&data[40]));
+  p.sdc_fit = std::bit_cast<double>(get_u64(&data[48]));
+  p.tmr_area_x = std::bit_cast<double>(get_u64(&data[56]));
+  return p;
+}
+
+}  // namespace
+
+SeuSweepRun seu_depth_sweep(units::UnitKind kind, fp::FpFormat fmt,
+                            const std::vector<int>& depths,
+                            const SeuCampaignConfig& camp,
+                            const SeuRateModel& rate,
+                            const CampaignRunControl& control) {
   auto sweep_span =
       obs::Tracer::global().span("seu_depth_sweep", "campaign");
-  std::vector<SeuDepthPoint> points(depths.size());
-  exec::parallel_for_chunked(
-      depths.size(), camp.threads,
+  SeuSweepRun out;
+  out.points.assign(depths.size(), SeuDepthPoint{});
+  const std::size_t count = depths.size();
+  const std::size_t chunk = 1;  // one depth = one recoverable unit
+  const std::size_t nchunks = count;
+
+  fault::SpecHash spec;
+  spec.str("seu_depth_sweep v1");
+  spec.str(units::to_string(kind)).str(fmt.name());
+  spec.i64(camp.vectors).i64(camp.faults).u64(camp.seed);
+  spec.f64(rate.fit_per_mbit);
+  spec.i64(static_cast<long long>(count));
+  for (const int d : depths) spec.i64(d);
+
+  CheckpointSession ckpt = open_checkpoint_session(
+      control, spec.value(), count, chunk, nchunks,
+      [&](std::size_t index, const std::vector<std::uint8_t>& data) {
+        if (data.size() != 64) return false;
+        out.points[index] = decode_depth_point(data);
+        return true;
+      });
+
+  exec::CancelToken local_token;
+  exec::CancelToken* cancel =
+      control.cancel != nullptr ? control.cancel : &local_token;
+
+  long executed = 0;  // inner-campaign trials, camp.faults per depth
+  exec::GridOptions grid_opts;
+  grid_opts.chunk = chunk;
+  grid_opts.skip = ckpt.skip.empty() ? nullptr : &ckpt.skip;
+  grid_opts.cancel = cancel;
+  grid_opts.on_chunk_done = [&](std::size_t c, std::size_t /*begin*/,
+                                std::size_t /*end*/) {
+    executed += camp.faults;
+    if (ckpt.writer != nullptr) {
+      ckpt.writer->append(c, encode_depth_point(out.points[c]));
+    }
+    if (control.trial_budget > 0 && executed >= control.trial_budget) {
+      cancel->request(exec::CancelToken::Reason::kTrialBudget);
+    }
+  };
+
+  const exec::GridResult grid = exec::parallel_for_grid(
+      count, camp.threads,
       [&](int /*worker*/, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
           units::UnitConfig cfg;
@@ -170,10 +482,25 @@ std::vector<SeuDepthPoint> seu_depth_sweep(units::UnitKind kind,
           p.sdc_fit = rate.fit(r.pipeline_ffs, r.avf());
           p.tmr_area_x =
               fault::hardening_cost(unit, fault::Scheme::kTmr).area_factor;
-          points[i] = p;
+          out.points[i] = p;
         }
-      });
-  return points;
+      },
+      grid_opts);
+  if (ckpt.writer != nullptr) ckpt.writer->flush();
+
+  out.done = grid.done;
+  out.run.chunks_total = static_cast<long>(grid.chunks);
+  out.run.chunks_completed = static_cast<long>(grid.completed);
+  out.run.chunks_restored = ckpt.restored;
+  out.run.trials_executed = executed;
+  out.run.interrupted = !grid.complete();
+  out.run.stop_reason = cancel->reason();
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("campaign.chunks.completed")
+      .add(static_cast<long>(grid.completed));
+  reg.counter("campaign.chunks.restored").add(ckpt.restored);
+  if (out.run.interrupted) reg.counter("campaign.interrupted").inc();
+  return out;
 }
 
 ReliableSelection select_min_max_opt_reliable(const SweepResult& sweep,
@@ -289,6 +616,32 @@ fault::FaultCampaign redraw_until_nonempty(std::mt19937_64& rng,
 
 MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
                                     const MatmulSeuConfig& camp) {
+  return run_matmul_campaign(cfg, camp, CampaignRunControl{});
+}
+
+namespace {
+
+/// Kernel-trial sidecar byte: bit 0 corrupted, 1 ecc_detected,
+/// 2 ecc_corrected.
+std::uint8_t encode_kernel_trial(const KernelTrial& t) {
+  return static_cast<std::uint8_t>((t.corrupted ? 1 : 0) |
+                                   (t.ecc_detected ? 2 : 0) |
+                                   (t.ecc_corrected ? 4 : 0));
+}
+
+KernelTrial decode_kernel_trial(std::uint8_t b) {
+  KernelTrial t;
+  t.corrupted = (b & 1) != 0;
+  t.ecc_detected = (b & 2) != 0;
+  t.ecc_corrected = (b & 4) != 0;
+  return t;
+}
+
+}  // namespace
+
+MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
+                                    const MatmulSeuConfig& camp,
+                                    const CampaignRunControl& control) {
   MatmulSeuResult res;
   obs::Tracer& tracer = obs::Tracer::global();
   obs::Registry& reg = obs::Registry::global();
@@ -354,7 +707,17 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
             return fault::FaultCampaign::random(
                 mult ? mult_profile : add_profile, horizon, 1, seed);
           });
-      if (latch.empty()) continue;  // no occupied site even after redraws
+      if (latch.empty()) {
+        // Dropping the trial shrinks the campaign below camp.faults and
+        // skews the site mix — make the silent path loud.
+        reg.counter("campaign.matmul.draws_exhausted").inc();
+        std::fprintf(stderr,
+                     "warning: matmul campaign: %s latch fault draw still "
+                     "empty after %d redraws; dropping trial %d of %d\n",
+                     mult ? "multiplier" : "adder", kMaxRedraws, i,
+                     camp.faults);
+        continue;
+      }
       pf.fault = latch.faults().front();
     }
     faults.push_back(pf);
@@ -377,21 +740,105 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
                                            horizon, 1, seed,
                                            camp.scrub_period_cycles);
         });
-    if (config.empty()) continue;  // no occupied site even after redraws
+    if (config.empty()) {
+      reg.counter("campaign.matmul.draws_exhausted").inc();
+      std::fprintf(stderr,
+                   "warning: matmul campaign: %s config fault draw still "
+                   "empty after %d redraws; dropping trial %d of %d\n",
+                   mult ? "multiplier" : "adder", kMaxRedraws, i,
+                   config_count);
+      continue;
+    }
     pf.fault = config.faults().front();
     faults.push_back(pf);
   }
   draw_span.end();
 
+  // Static checkpoint grid over the pre-drawn fault list (see the unit
+  // campaign above for the scheme; the key folds the drawn faults so two
+  // campaigns with different draws can never share a sidecar).
+  const std::size_t count = faults.size();
+  const std::size_t chunk =
+      control.chunk_trials > 0 ? control.chunk_trials : 16;
+  const std::size_t nchunks = exec::grid_chunk_count(count, 1, chunk);
+  std::vector<KernelTrial> trials(count);
+
+  fault::SpecHash spec;
+  spec.str("matmul_campaign v1");
+  spec.i64(camp.n).str(cfg.fmt.name());
+  spec.i64(camp.faults).u64(camp.seed);
+  spec.f64(camp.accumulator_fraction).f64(camp.config_fraction);
+  spec.i64(static_cast<long long>(camp.scheme));
+  spec.i64(camp.scrub_period_cycles).i64(horizon);
+  spec.i64(cfg.mult_config().stages).i64(cfg.adder_config().stages);
+  spec.i64(static_cast<long long>(chunk));
+  spec.i64(static_cast<long long>(count));
+  for (const PeFault& pf : faults) {
+    spec.i64(pf.pe).i64(static_cast<long long>(pf.target));
+    fold_fault(spec, pf.fault);
+  }
+
+  long done_trials = 0;
+  long done_silent = 0;
+  CheckpointSession ckpt = open_checkpoint_session(
+      control, spec.value(), count, chunk, nchunks,
+      [&](std::size_t index, const std::vector<std::uint8_t>& data) {
+        const std::size_t begin = index * chunk;
+        const std::size_t end = std::min(count, begin + chunk);
+        if (data.size() != end - begin) return false;
+        for (std::size_t i = begin; i < end; ++i) {
+          trials[i] = decode_kernel_trial(data[i - begin]);
+          if (trials[i].corrupted && !trials[i].ecc_detected) ++done_silent;
+        }
+        done_trials += static_cast<long>(end - begin);
+        return true;
+      });
+
+  exec::CancelToken local_token;
+  exec::CancelToken* cancel =
+      control.cancel != nullptr ? control.cancel : &local_token;
+
   // Trial loop: each worker re-runs the kernel on its own array replica
   // (run() clears every PE first, so a replica's trial is bit-identical to
   // the legacy reuse of one array). Verdicts land in per-fault slots.
   obs::ProgressReporter progress("matmul campaign",
-                                 static_cast<long>(faults.size()));
+                                 static_cast<long>(count));
+  for (long i = 0; i < done_trials; ++i) progress.tick();
   auto inject_span = tracer.span("inject", "campaign");
-  std::vector<KernelTrial> trials(faults.size());
-  exec::parallel_for_chunked(
-      faults.size(), camp.threads,
+
+  long executed = 0;
+  exec::GridOptions grid_opts;
+  grid_opts.chunk = chunk;
+  grid_opts.skip = ckpt.skip.empty() ? nullptr : &ckpt.skip;
+  grid_opts.cancel = cancel;
+  grid_opts.on_chunk_done = [&](std::size_t c, std::size_t begin,
+                                std::size_t end) {
+    const long nt = static_cast<long>(end - begin);
+    executed += nt;
+    done_trials += nt;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (trials[i].corrupted && !trials[i].ecc_detected) ++done_silent;
+    }
+    if (ckpt.writer != nullptr) {
+      std::vector<std::uint8_t> data;
+      data.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i) {
+        data.push_back(encode_kernel_trial(trials[i]));
+      }
+      ckpt.writer->append(c, data);
+    }
+    if (control.trial_budget > 0 && executed >= control.trial_budget) {
+      cancel->request(exec::CancelToken::Reason::kTrialBudget);
+    }
+    if (control.stop_half_width > 0.0 &&
+        proportion_half_width(done_silent, done_trials) <=
+            control.stop_half_width) {
+      cancel->request(exec::CancelToken::Reason::kConverged);
+    }
+  };
+
+  const exec::GridResult grid = exec::parallel_for_grid(
+      count, camp.threads,
       [&](int worker, std::size_t begin, std::size_t end) {
         // Worker 0 reuses the golden array (exactly the legacy serial
         // loop); the others run on their own replicas.
@@ -428,36 +875,51 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
           trial.ecc_corrected = pe.ecc_corrections() > 0;
           progress.tick();
         }
-      });
+      },
+      grid_opts);
   inject_span.end();
+  if (ckpt.writer != nullptr) ckpt.writer->flush();
 
-  // Ordered reduction over the pre-drawn fault list.
+  res.run.chunks_total = static_cast<long>(grid.chunks);
+  res.run.chunks_completed = static_cast<long>(grid.completed);
+  res.run.chunks_restored = ckpt.restored;
+  res.run.trials_executed = executed;
+  res.run.interrupted = !grid.complete();
+  res.run.stop_reason = cancel->reason();
+
+  // Ordered reduction over the pre-drawn fault list; only accounted (run
+  // or restored) chunks contribute.
   auto reduce_span = tracer.span("reduce", "campaign");
-  for (std::size_t i = 0; i < faults.size(); ++i) {
-    const PeFault& pf = faults[i];
-    const KernelTrial& trial = trials[i];
-    ++res.injected;
-    const bool acc_site = pf.target == PeFault::kAccumulator;
-    const bool config_site =
-        pf.target == PeFault::kConfigMult || pf.target == PeFault::kConfigAdd;
-    if (acc_site) ++res.acc_injected;
-    else if (config_site) ++res.config_injected;
-    else ++res.latch_injected;
+  for (std::size_t c = 0; c < grid.chunks; ++c) {
+    if (grid.done[c] == 0) continue;
+    const std::size_t cbegin = c * chunk;
+    const std::size_t cend = std::min(count, cbegin + chunk);
+    for (std::size_t i = cbegin; i < cend; ++i) {
+      const PeFault& pf = faults[i];
+      const KernelTrial& trial = trials[i];
+      ++res.injected;
+      const bool acc_site = pf.target == PeFault::kAccumulator;
+      const bool config_site = pf.target == PeFault::kConfigMult ||
+                               pf.target == PeFault::kConfigAdd;
+      if (acc_site) ++res.acc_injected;
+      else if (config_site) ++res.config_injected;
+      else ++res.latch_injected;
 
-    if (trial.corrupted) {
-      // ECC can still flag what it cannot fix (double errors).
-      if (trial.ecc_detected) {
-        ++res.detected;
+      if (trial.corrupted) {
+        // ECC can still flag what it cannot fix (double errors).
+        if (trial.ecc_detected) {
+          ++res.detected;
+        } else {
+          ++res.silent;
+          if (acc_site) ++res.acc_silent;
+          else if (config_site) ++res.config_silent;
+          else ++res.latch_silent;
+        }
+      } else if (trial.ecc_corrected) {
+        ++res.corrected;  // the upset reached storage; SECDED repaired it
       } else {
-        ++res.silent;
-        if (acc_site) ++res.acc_silent;
-        else if (config_site) ++res.config_silent;
-        else ++res.latch_silent;
+        ++res.masked;
       }
-    } else if (trial.ecc_corrected) {
-      ++res.corrected;  // the upset reached storage; SECDED repaired it
-    } else {
-      ++res.masked;
     }
   }
   reduce_span.end();
@@ -473,6 +935,10 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
   reg.counter("campaign.matmul.latch_silent").add(res.latch_silent);
   reg.counter("campaign.matmul.config_injected").add(res.config_injected);
   reg.counter("campaign.matmul.config_silent").add(res.config_silent);
+  reg.counter("campaign.chunks.completed")
+      .add(static_cast<long>(grid.completed));
+  reg.counter("campaign.chunks.restored").add(ckpt.restored);
+  if (res.run.interrupted) reg.counter("campaign.interrupted").inc();
   return res;
 }
 

@@ -12,9 +12,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "analysis/pareto.hpp"
+#include "exec/cancel.hpp"
 #include "fault/cram.hpp"
 #include "fault/hardening.hpp"
 #include "kernel/matmul.hpp"
@@ -36,6 +38,18 @@ struct SeuCampaignConfig {
   int threads = 0;
 };
 
+/// How a resilient campaign invocation ended and what it covered. Embedded
+/// in every campaign result; all-defaults means "ran to completion with no
+/// checkpointing involved" — exactly the legacy behaviour.
+struct CampaignRunStatus {
+  bool interrupted = false;  ///< cancelled before every chunk finished
+  exec::CancelToken::Reason stop_reason = exec::CancelToken::Reason::kNone;
+  long chunks_total = 0;
+  long chunks_completed = 0;  ///< chunks run by THIS invocation
+  long chunks_restored = 0;   ///< chunks restored from a checkpoint
+  long trials_executed = 0;   ///< trials run by THIS invocation
+};
+
 struct UnitSeuResult {
   int injected = 0;
   int masked = 0;     ///< never reached the architectural output
@@ -47,6 +61,7 @@ struct UnitSeuResult {
   int corrupted = 0;
   long occupied_bits = 0;  ///< AVF sample space (occupied latch bits)
   int pipeline_ffs = 0;    ///< physical latch bits (upset cross-section)
+  CampaignRunStatus run;
 
   double avf() const {
     return injected > 0 ? static_cast<double>(corrupted) / injected : 0.0;
@@ -55,6 +70,13 @@ struct UnitSeuResult {
     return injected > 0 ? static_cast<double>(silent) / injected : 0.0;
   }
 };
+
+/// 95% confidence half-width of the proportion `successes / n`, using the
+/// Agresti-Coull adjusted estimate p~ = (s+2)/(n+4) so an early all-masked
+/// (or all-silent) sample never reports a zero width. 0 when n == 0. The
+/// convergence early-stop compares this — scaled to FIT for unit
+/// campaigns — against CampaignRunControl::stop_half_width.
+double proportion_half_width(long successes, long n);
 
 /// Inject `camp.faults` single upsets (one per run) into a unit at the
 /// configured depth and classify each against the golden run.
@@ -75,6 +97,54 @@ struct SeuRateModel {
     return fit_per_mbit * (static_cast<double>(bits) / 1e6) * avf;
   }
 };
+
+// --- resilient execution -----------------------------------------------
+//
+// Campaigns run on exec::parallel_for_grid: a static chunk grid whose
+// boundaries depend only on (trial count, chunk_trials), never on the
+// thread count. Each finished chunk's verdict bytes are journalled to a
+// fault::CheckpointWriter sidecar keyed by a content hash of the campaign
+// spec (unit, precision, depth, hardening, seeds, trial count, chunking).
+// Resume restores finished chunks into their slots, skips them, runs the
+// rest, and replays the ordered reduction — bit-identical to an
+// uninterrupted run at any thread count. Cancellation (signals, budgets,
+// convergence) is polled between chunks; in-flight chunks always finish
+// and are checkpointed before return.
+
+struct CampaignRunControl {
+  /// Polled at chunk boundaries; nullptr = campaign makes a private token
+  /// (budgets and convergence still work, signals do not reach it).
+  exec::CancelToken* cancel = nullptr;
+  /// Directory for checkpoint sidecars (one file per campaign spec hash).
+  /// Empty = no checkpointing.
+  std::string checkpoint_dir;
+  /// Restore and skip chunks recorded in an existing sidecar. A sidecar
+  /// whose spec hash / trial count / chunk size disagree with this
+  /// campaign throws std::runtime_error — mixed tallies are refused.
+  bool resume = false;
+  /// fsync the sidecar every N appends (<= 0: only at close).
+  long fsync_interval = 8;
+  /// Trials per grid chunk — the checkpoint granularity. Must match
+  /// between the interrupted run and the resume.
+  std::size_t chunk_trials = 16;
+  /// Stop after this many trials executed by THIS invocation (0 = off);
+  /// charged per chunk, so the overshoot is at most chunk_trials - 1.
+  long trial_budget = 0;
+  /// Early-stop once the 95% confidence half-width of the campaign's
+  /// headline rate drops to or below this (0 = off). Unit campaigns
+  /// measure it in FIT via `rate`; matmul campaigns in SDC fraction.
+  double stop_half_width = 0.0;
+  /// Converts the unit-campaign SDC proportion to FIT for the early stop.
+  SeuRateModel rate;
+};
+
+/// run_unit_campaign with checkpoint/resume, budgets, and cancellation.
+/// With a default-constructed control the tallies are bit-identical to the
+/// legacy overload (the grid reduction replays the flat fault-list fold).
+UnitSeuResult run_unit_campaign(units::UnitKind kind, fp::FpFormat fmt,
+                                const units::UnitConfig& cfg,
+                                const SeuCampaignConfig& camp,
+                                const CampaignRunControl& control);
 
 /// Configuration-memory upset-rate model: essential bits of the design's
 /// footprint (fault::CramModel) struck at the raw CRAM rate, derated by
@@ -117,6 +187,21 @@ std::vector<SeuDepthPoint> seu_depth_sweep(units::UnitKind kind,
                                            const std::vector<int>& depths,
                                            const SeuCampaignConfig& camp,
                                            const SeuRateModel& rate = {});
+
+/// Depth sweep with resilience: one grid chunk per depth (the sweep's
+/// checkpoint granularity is a finished depth point, charged to the trial
+/// budget as camp.faults inner trials). stop_half_width does not apply
+/// here; checkpoint/resume/budgets/cancel do.
+struct SeuSweepRun {
+  std::vector<SeuDepthPoint> points;  ///< unfinished depths left zeroed
+  std::vector<char> done;             ///< per-depth: restored or computed
+  CampaignRunStatus run;
+};
+SeuSweepRun seu_depth_sweep(units::UnitKind kind, fp::FpFormat fmt,
+                            const std::vector<int>& depths,
+                            const SeuCampaignConfig& camp,
+                            const SeuRateModel& rate,
+                            const CampaignRunControl& control);
 
 /// The paper's min/max/opt selection with a reliability constraint: opt
 /// becomes the best freq/area design whose unhardened SDC FIT (pipeline
@@ -188,6 +273,7 @@ struct MatmulSeuResult {
   int latch_silent = 0;
   int config_injected = 0;
   int config_silent = 0;
+  CampaignRunStatus run;
   double sdc_fraction() const {
     return injected > 0 ? static_cast<double>(silent) / injected : 0.0;
   }
@@ -198,5 +284,11 @@ struct MatmulSeuResult {
 /// reference_gemm by the kernel tests).
 MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
                                     const MatmulSeuConfig& camp);
+
+/// run_matmul_campaign with checkpoint/resume, budgets, and cancellation;
+/// stop_half_width is in SDC-fraction units here.
+MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
+                                    const MatmulSeuConfig& camp,
+                                    const CampaignRunControl& control);
 
 }  // namespace flopsim::analysis

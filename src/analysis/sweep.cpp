@@ -16,7 +16,8 @@ const DesignPoint& SweepResult::at_stages(int stages) const {
 
 SweepResult sweep_unit(units::UnitKind kind, fp::FpFormat fmt,
                        device::Objective objective,
-                       const device::TechModel& tech, int threads) {
+                       const device::TechModel& tech, int threads,
+                       exec::CancelToken* cancel) {
   SweepResult result;
   result.kind = kind;
   result.fmt = fmt;
@@ -28,7 +29,13 @@ SweepResult sweep_unit(units::UnitKind kind, fp::FpFormat fmt,
   const units::FpUnit probe(kind, fmt, cfg);
   const int maxs = probe.max_stages();
   result.points.assign(static_cast<std::size_t>(maxs), {});
-  exec::parallel_for_chunked(
+  // One grid chunk per depth so cancellation lands between depth points;
+  // chunk boundaries fixed by the grid keep the per-depth slot writes (and
+  // so the result) bit-identical to the legacy chunked loop.
+  exec::GridOptions opts;
+  opts.chunk = 1;
+  opts.cancel = cancel;
+  const exec::GridResult grid = exec::parallel_for_grid(
       static_cast<std::size_t>(maxs), threads,
       [&](int /*worker*/, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
@@ -47,7 +54,15 @@ SweepResult sweep_unit(units::UnitKind kind, fp::FpFormat fmt,
           p.power_mw_100 = power::unit_power(unit, 100.0).total_mw();
           result.points[i] = p;
         }
-      });
+      },
+      opts);
+  if (!grid.complete()) {
+    // A partial depth grid is not a usable sweep (selection would quietly
+    // run over whatever depths happened to finish) — fail loudly.
+    throw exec::Interrupted(cancel != nullptr
+                                ? cancel->reason()
+                                : exec::CancelToken::Reason::kOther);
+  }
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "device/tech.hpp"
+#include "exec/cancel.hpp"
 #include "units/fp_unit.hpp"
 
 namespace flopsim::analysis {
@@ -32,11 +33,17 @@ struct SweepResult {
 /// loop runs on `threads` workers (0 = auto: FLOPSIM_THREADS, then
 /// hardware_concurrency; 1 = serial); every depth writes its own slot, so
 /// the result is identical at any thread count.
+///
+/// `cancel`, when non-null, is polled at depth boundaries; a sweep is
+/// all-or-nothing (select_min_max_opt over a partial grid would silently
+/// pick from what happens to be done), so cancellation mid-sweep throws
+/// exec::Interrupted instead of returning a partial result.
 SweepResult sweep_unit(units::UnitKind kind, fp::FpFormat fmt,
                        device::Objective objective = device::Objective::kArea,
                        const device::TechModel& tech =
                            device::TechModel::virtex2pro7(),
-                       int threads = 0);
+                       int threads = 0,
+                       exec::CancelToken* cancel = nullptr);
 
 /// The paper's three evaluated precisions.
 std::vector<fp::FpFormat> paper_formats();

@@ -1,0 +1,85 @@
+#include "exec/cancel.hpp"
+
+#include <chrono>
+#include <csignal>
+#include <string>
+
+namespace flopsim::exec {
+
+namespace {
+
+long long steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::atomic<int> g_last_signal{0};
+
+extern "C" void cancel_on_signal(int sig) {
+  // Async-signal-safe: lock-free atomic stores only.
+  g_last_signal.store(sig, std::memory_order_relaxed);
+  global_cancel_token().request(CancelToken::Reason::kSignal);
+}
+
+}  // namespace
+
+bool CancelToken::cancelled() const {
+  if (flag_.load(std::memory_order_acquire)) return true;
+  const long long deadline = deadline_us_.load(std::memory_order_relaxed);
+  if (deadline != 0 && steady_now_us() >= deadline) {
+    int expected = static_cast<int>(Reason::kNone);
+    reason_.compare_exchange_strong(expected,
+                                    static_cast<int>(Reason::kTimeBudget),
+                                    std::memory_order_relaxed);
+    flag_.store(true, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+void CancelToken::set_deadline_after(double seconds) {
+  if (seconds <= 0.0) {
+    deadline_us_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  deadline_us_.store(steady_now_us() +
+                         static_cast<long long>(seconds * 1e6),
+                     std::memory_order_relaxed);
+}
+
+void CancelToken::reset() {
+  flag_.store(false, std::memory_order_relaxed);
+  reason_.store(static_cast<int>(Reason::kNone), std::memory_order_relaxed);
+  deadline_us_.store(0, std::memory_order_relaxed);
+}
+
+const char* to_string(CancelToken::Reason r) {
+  switch (r) {
+    case CancelToken::Reason::kNone: return "none";
+    case CancelToken::Reason::kSignal: return "signal";
+    case CancelToken::Reason::kTimeBudget: return "time-budget";
+    case CancelToken::Reason::kTrialBudget: return "trial-budget";
+    case CancelToken::Reason::kConverged: return "converged";
+    case CancelToken::Reason::kOther: return "other";
+  }
+  return "unknown";
+}
+
+CancelToken& global_cancel_token() {
+  static CancelToken token;
+  return token;
+}
+
+void install_signal_handlers() {
+  std::signal(SIGINT, cancel_on_signal);
+  std::signal(SIGTERM, cancel_on_signal);
+}
+
+int last_signal() { return g_last_signal.load(std::memory_order_relaxed); }
+
+Interrupted::Interrupted(CancelToken::Reason r)
+    : std::runtime_error(std::string("interrupted (") + to_string(r) + ")"),
+      reason(r) {}
+
+}  // namespace flopsim::exec

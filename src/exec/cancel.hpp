@@ -1,0 +1,88 @@
+// Cooperative cancellation for long-running campaigns and sweeps.
+//
+// A killed Monte-Carlo run used to lose every tally; this token is the
+// resilience layer's stop signal. Producers (SIGINT/SIGTERM handlers, run
+// budgets, convergence early-stop) call request(); consumers (the grid
+// engine in exec/parallel.hpp, the campaign drivers) poll cancelled() at
+// chunk boundaries, finish the chunks already in flight, flush their
+// checkpoint, and return a partial result. Nothing is ever torn down
+// mid-trial, so a cancelled campaign's completed chunks are bit-identical
+// to the same chunks of an uninterrupted run.
+//
+// Everything here is lock-free atomics: request() is async-signal-safe
+// (the installed SIGINT/SIGTERM handlers call it directly) and cancelled()
+// is cheap enough to poll per chunk. The first request() wins the recorded
+// reason; later requests keep the flag set but do not overwrite it.
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+
+namespace flopsim::exec {
+
+class CancelToken {
+ public:
+  enum class Reason : int {
+    kNone = 0,
+    kSignal,       ///< SIGINT/SIGTERM via install_signal_handlers()
+    kTimeBudget,   ///< the set_deadline_after() deadline passed
+    kTrialBudget,  ///< a trial budget was exhausted
+    kConverged,    ///< confidence half-width early stop
+    kOther,        ///< programmatic request()
+  };
+
+  /// Request cancellation. First caller's reason sticks. Safe from any
+  /// thread and from signal handlers.
+  void request(Reason r = Reason::kOther) {
+    int expected = static_cast<int>(Reason::kNone);
+    reason_.compare_exchange_strong(expected, static_cast<int>(r),
+                                    std::memory_order_relaxed);
+    flag_.store(true, std::memory_order_release);
+  }
+
+  /// True once request() was called or the deadline (if any) has passed.
+  /// The deadline check promotes itself into a sticky kTimeBudget request
+  /// so the reason survives later polls.
+  bool cancelled() const;
+
+  Reason reason() const {
+    return static_cast<Reason>(reason_.load(std::memory_order_relaxed));
+  }
+
+  /// Arm a wall-clock deadline `seconds` from now (<= 0 disarms).
+  void set_deadline_after(double seconds);
+
+  /// Clear flag, reason, and deadline (tests; between independent runs).
+  void reset();
+
+ private:
+  mutable std::atomic<bool> flag_{false};
+  mutable std::atomic<int> reason_{static_cast<int>(Reason::kNone)};
+  /// Deadline in microseconds on the steady clock; 0 = unarmed.
+  std::atomic<long long> deadline_us_{0};
+};
+
+const char* to_string(CancelToken::Reason r);
+
+/// The process-wide token the signal handlers feed. Tools and benches
+/// poll this one unless they thread their own.
+CancelToken& global_cancel_token();
+
+/// Route SIGINT and SIGTERM into global_cancel_token().request(kSignal).
+/// Idempotent. The handler only touches lock-free atomics; the previous
+/// disposition is replaced (campaign tools own their shutdown).
+void install_signal_handlers();
+
+/// Signal number that triggered the global token (0 if none yet).
+int last_signal();
+
+/// Thrown by sweeps and other all-or-nothing loops when cancellation
+/// arrives mid-run and a partial result would be meaningless. Campaign
+/// drivers do NOT throw this — they return partial tallies instead.
+class Interrupted : public std::runtime_error {
+ public:
+  explicit Interrupted(CancelToken::Reason r);
+  CancelToken::Reason reason;
+};
+
+}  // namespace flopsim::exec

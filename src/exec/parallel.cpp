@@ -1,5 +1,6 @@
 #include "exec/parallel.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -8,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "exec/cancel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -162,6 +164,84 @@ void parallel_for_chunked(std::size_t count, int threads,
   }
   ThreadPool pool(t);
   pool.run_chunked(count, fn);
+}
+
+namespace {
+
+/// Effective worker count for a grid run: never more workers than chunks.
+int grid_threads(std::size_t nchunks, int threads) {
+  int t = resolve_threads(threads);
+  if (static_cast<std::size_t>(t) > nchunks) {
+    t = nchunks < 1 ? 1 : static_cast<int>(nchunks);
+  }
+  return t;
+}
+
+std::size_t resolve_grid_chunk(std::size_t count, int threads,
+                               std::size_t chunk) {
+  if (chunk > 0) return chunk;
+  // Legacy layout: one chunk per effective worker.
+  const int t = grid_threads(count, threads);
+  return (count + static_cast<std::size_t>(t) - 1) /
+         static_cast<std::size_t>(t);
+}
+
+}  // namespace
+
+std::size_t grid_chunk_count(std::size_t count, int threads,
+                             std::size_t chunk) {
+  if (count == 0) return 0;
+  const std::size_t c = resolve_grid_chunk(count, threads, chunk);
+  return (count + c - 1) / c;
+}
+
+GridResult parallel_for_grid(std::size_t count, int threads,
+                             const ThreadPool::ChunkFn& fn,
+                             const GridOptions& opts) {
+  GridResult result;
+  if (count == 0) return result;
+  const std::size_t chunk = resolve_grid_chunk(count, threads, opts.chunk);
+  const std::size_t nchunks = (count + chunk - 1) / chunk;
+  result.chunks = nchunks;
+  result.done.assign(nchunks, 0);
+
+  std::mutex done_mutex;  // serializes on_chunk_done + the shared counters
+  std::size_t completed = 0;
+  std::size_t skipped = 0;
+
+  // Each worker owns a contiguous span of grid chunks (static assignment,
+  // same discipline as run_chunked) and walks it chunk by chunk, checking
+  // the skip set and the cancellation token between chunks.
+  const ThreadPool::ChunkFn span_fn = [&](int worker, std::size_t cb,
+                                          std::size_t ce) {
+    for (std::size_t c = cb; c < ce; ++c) {
+      if (opts.skip != nullptr && (*opts.skip)[c] != 0) {
+        std::lock_guard<std::mutex> lk(done_mutex);
+        result.done[c] = 1;
+        ++skipped;
+        continue;
+      }
+      if (opts.cancel != nullptr && opts.cancel->cancelled()) break;
+      const std::size_t begin = c * chunk;
+      const std::size_t end = std::min(count, begin + chunk);
+      fn(worker, begin, end);
+      std::lock_guard<std::mutex> lk(done_mutex);
+      result.done[c] = 1;
+      ++completed;
+      if (opts.on_chunk_done) opts.on_chunk_done(c, begin, end);
+    }
+  };
+
+  const int t = grid_threads(nchunks, threads);
+  if (t <= 1) {
+    run_chunk_traced(span_fn, 0, 0, nchunks);
+  } else {
+    ThreadPool pool(t);
+    pool.run_chunked(nchunks, span_fn);
+  }
+  result.completed = completed;
+  result.skipped = skipped;
+  return result;
 }
 
 }  // namespace flopsim::exec

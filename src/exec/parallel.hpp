@@ -28,8 +28,11 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <vector>
 
 namespace flopsim::exec {
+
+class CancelToken;
 
 /// Worker thread count to use. `requested >= 1` wins as-is (clamped to
 /// kMaxThreads); 0 means auto: the FLOPSIM_THREADS environment variable
@@ -85,5 +88,60 @@ class ThreadPool {
 /// inline — no threads are created and no synchronization happens.
 void parallel_for_chunked(std::size_t count, int threads,
                           const ThreadPool::ChunkFn& fn);
+
+// --- static-grid execution (the resilience substrate) -------------------
+//
+// parallel_for_chunked's chunk boundaries are a function of the thread
+// count, which is exactly wrong for checkpointing: a campaign resumed at a
+// different --threads= must re-run the *same* remaining chunks. The grid
+// variant fixes the chunk boundaries by an explicit chunk size instead —
+// a pure function of (count, chunk) — and distributes contiguous spans of
+// grid chunks across the pool's static workers. Per-trial slot writes and
+// the caller's ordered reduction keep results bit-identical at any thread
+// count, for any chunk size, and across any interrupt/resume split.
+
+struct GridOptions {
+  /// Trials per grid chunk. 0 = one chunk per effective worker (exactly
+  /// parallel_for_chunked's legacy layout). Checkpointed campaigns pass an
+  /// explicit size so the grid survives thread-count changes.
+  std::size_t chunk = 0;
+  /// Per-chunk skip flags (restored-from-checkpoint chunks); nonzero
+  /// entries are not run but count as done. Must have at least
+  /// grid_chunk_count entries when non-null.
+  const std::vector<char>* skip = nullptr;
+  /// Polled between chunks; once cancelled() no further chunks start
+  /// (in-flight chunks always finish).
+  CancelToken* cancel = nullptr;
+  /// Invoked after each chunk this invocation runs, SERIALIZED under one
+  /// internal mutex (safe place for checkpoint appends and running
+  /// tallies). Invocation order across workers is nondeterministic — only
+  /// per-chunk exactly-once is guaranteed.
+  std::function<void(std::size_t chunk_index, std::size_t begin,
+                     std::size_t end)>
+      on_chunk_done;
+};
+
+struct GridResult {
+  std::size_t chunks = 0;     ///< grid chunks over [0, count)
+  std::size_t completed = 0;  ///< chunks run by this invocation
+  std::size_t skipped = 0;    ///< chunks skipped via GridOptions::skip
+  std::vector<char> done;     ///< per-chunk: skipped or completed
+
+  /// Every chunk done (restored or run) — false means cancelled mid-run.
+  bool complete() const { return completed + skipped == chunks; }
+};
+
+/// Number of grid chunks parallel_for_grid(count, threads, ..., opts)
+/// executes for `chunk` trials per chunk (0 resolves like GridOptions).
+std::size_t grid_chunk_count(std::size_t count, int threads,
+                             std::size_t chunk);
+
+/// Run fn over the static chunk grid: fn(worker, begin, end) once per
+/// grid chunk, contiguous chunk spans assigned per worker, chunk
+/// boundaries independent of the thread count when opts.chunk > 0.
+/// Serial (inline, no pool) with one effective worker.
+GridResult parallel_for_grid(std::size_t count, int threads,
+                             const ThreadPool::ChunkFn& fn,
+                             const GridOptions& opts = {});
 
 }  // namespace flopsim::exec

@@ -24,12 +24,45 @@ CliArgs parse_cli(int argc, char** argv) {
     *out = arg.substr(prefix.size());
     return true;
   };
+  // Strictly-positive decimal parse for budget values; -1 on garbage.
+  const auto parse_positive = [](const std::string& v) -> double {
+    if (v.empty()) return -1.0;
+    char* end = nullptr;
+    const double x = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0' || !(x > 0.0)) return -1.0;
+    return x;
+  };
+  const auto parse_count = [](const std::string& v, long min) -> long {
+    if (v.empty() ||
+        v.find_first_not_of("0123456789") != std::string::npos) {
+      return -1;
+    }
+    const long n = std::atol(v.c_str());
+    return n >= min ? n : -1;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string value;
     if (arg.rfind("--threads=", 0) == 0) {
       cli.threads = parse_threads_value(arg.substr(10));
       if (cli.threads < 0 && cli.error.empty()) cli.error = arg;
+    } else if (eq_value(arg, "--checkpoint", &value)) {
+      cli.checkpoint_dir = value;
+      if (value.empty() && cli.error.empty()) cli.error = arg;
+    } else if (arg == "--resume") {
+      cli.resume = true;
+    } else if (eq_value(arg, "--time-budget", &value)) {
+      cli.time_budget_s = parse_positive(value);
+      if (cli.time_budget_s < 0.0 && cli.error.empty()) cli.error = arg;
+    } else if (eq_value(arg, "--trial-budget", &value)) {
+      cli.trial_budget = parse_count(value, 1);
+      if (cli.trial_budget < 0 && cli.error.empty()) cli.error = arg;
+    } else if (eq_value(arg, "--stop-halfwidth", &value)) {
+      cli.stop_half_width = parse_positive(value);
+      if (cli.stop_half_width < 0.0 && cli.error.empty()) cli.error = arg;
+    } else if (eq_value(arg, "--fsync-interval", &value)) {
+      cli.fsync_interval = parse_count(value, 0);
+      if (cli.fsync_interval < 0 && cli.error.empty()) cli.error = arg;
     } else if (arg == "--json" || arg == "--csv") {
       if (i + 1 >= argc) {
         if (cli.error.empty()) cli.error = arg;

@@ -41,6 +41,47 @@ TEST(ChunkOf, PartitionsEveryCountExactlyOnce) {
   }
 }
 
+TEST(ChunkOf, OutOfRangeWorkerOwnsNothing) {
+  // A worker index outside [0, threads) — or a degenerate thread count —
+  // must never claim indices: the empty chunk is the contract, not UB.
+  struct Case {
+    std::size_t count;
+    int threads;
+    int worker;
+  };
+  const Case cases[] = {{10, 4, 4}, {10, 4, 17}, {10, 4, -1},
+                        {10, 0, 0}, {10, -3, 0}};
+  for (const Case& k : cases) {
+    const ThreadPool::Chunk c =
+        ThreadPool::chunk_of(k.count, k.threads, k.worker);
+    EXPECT_EQ(c.begin, 0u) << k.count << "/" << k.threads << "/" << k.worker;
+    EXPECT_EQ(c.end, 0u) << k.count << "/" << k.threads << "/" << k.worker;
+  }
+}
+
+TEST(ChunkOf, ZeroCountGivesEveryWorkerAnEmptyChunk) {
+  for (int w = 0; w < 8; ++w) {
+    const ThreadPool::Chunk c = ThreadPool::chunk_of(0, 8, w);
+    EXPECT_EQ(c.begin, c.end);
+  }
+}
+
+TEST(ChunkOf, FewerTrialsThanWorkersLeavesTheTailEmpty) {
+  // count < threads: the first `count` workers get one index each, the
+  // rest get empty chunks — never a negative-length or overlapping span.
+  const std::size_t count = 3;
+  const int threads = 8;
+  for (int w = 0; w < threads; ++w) {
+    const ThreadPool::Chunk c = ThreadPool::chunk_of(count, threads, w);
+    if (static_cast<std::size_t>(w) < count) {
+      EXPECT_EQ(c.begin, static_cast<std::size_t>(w));
+      EXPECT_EQ(c.end, static_cast<std::size_t>(w) + 1);
+    } else {
+      EXPECT_EQ(c.begin, c.end) << "worker " << w;
+    }
+  }
+}
+
 TEST(ResolveThreads, ExplicitRequestWinsAndIsClamped) {
   EXPECT_EQ(resolve_threads(1), 1);
   EXPECT_EQ(resolve_threads(4), 4);
@@ -54,6 +95,22 @@ TEST(ResolveThreads, EnvironmentDrivesTheAutoPath) {
   EXPECT_EQ(resolve_threads(2), 2) << "explicit request beats the env";
   ASSERT_EQ(setenv("FLOPSIM_THREADS", "junk", 1), 0);
   EXPECT_GE(resolve_threads(0), 1) << "garbage falls back to hardware";
+  ASSERT_EQ(unsetenv("FLOPSIM_THREADS"), 0);
+}
+
+TEST(ResolveThreads, DegenerateEnvValuesFallBackOrClamp) {
+  // Zero and negative are not valid worker counts: auto falls through to
+  // hardware concurrency instead of honouring them.
+  ASSERT_EQ(setenv("FLOPSIM_THREADS", "0", 1), 0);
+  EXPECT_GE(resolve_threads(0), 1);
+  ASSERT_EQ(setenv("FLOPSIM_THREADS", "-4", 1), 0);
+  EXPECT_GE(resolve_threads(0), 1);
+  // Trailing garbage after digits is garbage, not a number.
+  ASSERT_EQ(setenv("FLOPSIM_THREADS", "4x", 1), 0);
+  EXPECT_GE(resolve_threads(0), 1);
+  // A huge-but-valid value is clamped to the pool ceiling, not rejected.
+  ASSERT_EQ(setenv("FLOPSIM_THREADS", "999999", 1), 0);
+  EXPECT_EQ(resolve_threads(0), kMaxThreads);
   ASSERT_EQ(unsetenv("FLOPSIM_THREADS"), 0);
 }
 

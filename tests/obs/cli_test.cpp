@@ -83,5 +83,56 @@ TEST(ParseCli, MissingTwoTokenValueSetsError) {
   EXPECT_FALSE(cli2.ok());
 }
 
+TEST(ParseCli, ConsumesEveryResilienceFlag) {
+  const CliArgs cli = parse({"--checkpoint=ckdir", "--resume",
+                             "--time-budget=2.5", "--trial-budget=100",
+                             "--stop-halfwidth=0.05", "--fsync-interval=0"});
+  EXPECT_TRUE(cli.ok());
+  EXPECT_EQ(cli.checkpoint_dir, "ckdir");
+  EXPECT_TRUE(cli.resume);
+  EXPECT_DOUBLE_EQ(cli.time_budget_s, 2.5);
+  EXPECT_EQ(cli.trial_budget, 100);
+  EXPECT_DOUBLE_EQ(cli.stop_half_width, 0.05);
+  EXPECT_EQ(cli.fsync_interval, 0);
+  EXPECT_TRUE(cli.wants_resilience());
+  EXPECT_TRUE(cli.rest.empty());
+}
+
+TEST(ParseCli, ResilienceDefaultsAreOff) {
+  const CliArgs cli = parse({"--threads=2"});
+  EXPECT_TRUE(cli.ok());
+  EXPECT_FALSE(cli.wants_resilience());
+  EXPECT_TRUE(cli.checkpoint_dir.empty());
+  EXPECT_FALSE(cli.resume);
+  EXPECT_EQ(cli.fsync_interval, 8) << "default fsync cadence";
+}
+
+TEST(ParseCli, EachResilienceFlagAloneWantsResilience) {
+  EXPECT_TRUE(parse({"--checkpoint=d"}).wants_resilience());
+  EXPECT_TRUE(parse({"--resume"}).wants_resilience());
+  EXPECT_TRUE(parse({"--time-budget=1"}).wants_resilience());
+  EXPECT_TRUE(parse({"--trial-budget=1"}).wants_resilience());
+  EXPECT_TRUE(parse({"--stop-halfwidth=0.1"}).wants_resilience());
+  // The fsync cadence alone requests nothing: it only modifies
+  // --checkpoint= behaviour.
+  EXPECT_FALSE(parse({"--fsync-interval=4"}).wants_resilience());
+}
+
+TEST(ParseCli, BadResilienceValuesSetError) {
+  for (const std::string& bad :
+       {std::string("--checkpoint="), std::string("--time-budget="),
+        std::string("--time-budget=0"), std::string("--time-budget=-1"),
+        std::string("--time-budget=junk"), std::string("--trial-budget=0"),
+        std::string("--trial-budget=ten"), std::string("--trial-budget=-5"),
+        std::string("--stop-halfwidth=0"),
+        std::string("--stop-halfwidth=-0.1"),
+        std::string("--fsync-interval=-1"),
+        std::string("--fsync-interval=2x")}) {
+    const CliArgs cli = parse({bad});
+    EXPECT_FALSE(cli.ok()) << bad;
+    EXPECT_EQ(cli.error, bad);
+  }
+}
+
 }  // namespace
 }  // namespace flopsim::obs

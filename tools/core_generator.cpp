@@ -31,6 +31,7 @@
 #include "analysis/pareto.hpp"
 #include "analysis/report.hpp"
 #include "analysis/sweep.hpp"
+#include "exec/cancel.hpp"
 #include "fault/campaign.hpp"
 #include "fault/hardening.hpp"
 #include "lint/lint.hpp"
@@ -174,7 +175,7 @@ int generate_arith(const obs::CliArgs& cli, const char* prog) {
         std::fprintf(stderr, "error: unknown hardening scheme: %s\n",
                      args[i].c_str() + 9);
         print_usage(prog);
-        return 2;
+        return obs::kExitUsage;
       }
     }
   }
@@ -182,7 +183,7 @@ int generate_arith(const obs::CliArgs& cli, const char* prog) {
   // If no stage count given, recommend the freq/area optimum.
   const analysis::SweepResult sweep = analysis::sweep_unit(
       kind, fmt, cfg.objective, device::TechModel::virtex2pro7(),
-      cli.threads);
+      cli.threads, &exec::global_cancel_token());
   const analysis::Selection sel = analysis::select_min_max_opt(sweep);
   if (cfg.stages == 1 && !explicit_stages) {
     cfg.stages = sel.opt.stages;
@@ -249,13 +250,27 @@ int main(int argc, char** argv) {
   if (!cli.ok()) {
     std::fprintf(stderr, "error: bad argument: %s\n", cli.error.c_str());
     print_usage(argv[0]);
-    return 2;
+    return obs::kExitUsage;
+  }
+  // No Monte-Carlo campaign here, so there is nothing to checkpoint or
+  // sample-bound; only the wall-clock budget applies (to the depth sweep).
+  if (!cli.checkpoint_dir.empty() || cli.resume || cli.trial_budget > 0 ||
+      cli.stop_half_width > 0.0) {
+    std::fprintf(stderr,
+                 "error: --checkpoint=/--resume/--trial-budget=/"
+                 "--stop-halfwidth= only apply to campaign benches\n");
+    print_usage(argv[0]);
+    return obs::kExitUsage;
   }
   if (cli.rest.size() < 2) {
     print_usage(argv[0]);
-    return 2;
+    return obs::kExitUsage;
   }
   obs::init_observability(cli);
+  exec::install_signal_handlers();
+  if (cli.time_budget_s > 0.0) {
+    exec::global_cancel_token().set_deadline_after(cli.time_budget_s);
+  }
   try {
     int rc;
     if (cli.rest[0] == "cvt") {
@@ -263,15 +278,19 @@ int main(int argc, char** argv) {
     } else {
       rc = generate_arith(cli, argv[0]);
     }
-    if (rc == 0 && !obs::flush_observability(cli)) rc = 1;
+    if (rc == 0 && !obs::flush_observability(cli)) rc = obs::kExitRuntime;
     return rc;
+  } catch (const exec::Interrupted& e) {
+    std::fprintf(stderr, "interrupted (%s): depth sweep abandoned\n",
+                 exec::to_string(e.reason));
+    return obs::kExitInterrupted;
   } catch (const std::invalid_argument& e) {
     // Bad op/precision/scheme names land here: report, show usage, exit 2.
     std::fprintf(stderr, "error: %s\n", e.what());
     print_usage(argv[0]);
-    return 2;
+    return obs::kExitUsage;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return obs::kExitRuntime;
   }
 }

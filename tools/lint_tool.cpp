@@ -183,7 +183,17 @@ int main(int argc, char** argv) {
   if (!cli.ok()) {
     std::fprintf(stderr, "error: bad argument: %s\n", cli.error.c_str());
     print_usage(argv[0]);
-    return 2;
+    return obs::kExitUsage;
+  }
+  // The lint gate has no campaign and finishes in seconds: every
+  // resilience flag is a usage error here.
+  if (cli.wants_resilience()) {
+    std::fprintf(stderr,
+                 "error: --checkpoint=/--resume/--time-budget=/"
+                 "--trial-budget=/--stop-halfwidth= only apply to campaign "
+                 "benches\n");
+    print_usage(argv[0]);
+    return obs::kExitUsage;
   }
   try {
     ToolOptions opts;
@@ -218,17 +228,17 @@ int main(int argc, char** argv) {
       if (!out) {
         std::fprintf(stderr, "error: could not write %s\n",
                      cli.json_path.c_str());
-        return 1;
+        return obs::kExitRuntime;
       }
       lint::write_jsonl(out, tally.all, opts.lint.notes);
     }
-    return tally.all.clean() ? 0 : 1;
+    return tally.all.clean() ? obs::kExitOk : obs::kExitRuntime;
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     print_usage(argv[0]);
-    return 2;
+    return obs::kExitUsage;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return obs::kExitRuntime;
   }
 }

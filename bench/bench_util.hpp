@@ -80,6 +80,10 @@ struct CampaignRecord {
   long trials = 0;
   int threads = 0;      ///< requested worker threads (0 = auto)
   double wall_ms = 0.0;
+  /// Evaluation backend the campaign ran under ("interpreted"/"compiled"/
+  /// "bitsliced"); empty = unspecified, and the JSON field is omitted so
+  /// records from before the backend existed stay byte-identical.
+  std::string backend;
 };
 
 /// Collects CampaignRecords and appends them as JSON lines. A bench
@@ -87,13 +91,22 @@ struct CampaignRecord {
 /// once at exit with the `--json` path (no-op when the flag is absent).
 class CampaignJournal {
  public:
-  explicit CampaignJournal(int threads) : threads_(threads) {}
+  explicit CampaignJournal(int threads, std::string backend = {})
+      : threads_(threads), backend_(std::move(backend)) {}
 
   /// Run `fn` (a callable returning the campaign result), time it, and
   /// file the record under `name`/`trials`. Under `--trace=` the whole
   /// campaign also shows up as one "journal" span.
   template <typename Fn>
   auto time(const std::string& name, long trials, Fn&& fn) {
+    return time(name, trials, backend_, std::forward<Fn>(fn));
+  }
+
+  /// Same, with a per-record backend override (the backend-throughput
+  /// comparison runs one campaign per backend under a single journal).
+  template <typename Fn>
+  auto time(const std::string& name, long trials, const std::string& backend,
+            Fn&& fn) {
     auto span = obs::Tracer::global().span(name, "journal",
                                            {{"trials", trials}});
     const auto t0 = std::chrono::steady_clock::now();
@@ -106,6 +119,7 @@ class CampaignJournal {
     rec.threads = threads_;
     rec.wall_ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
+    rec.backend = backend;
     records_.push_back(rec);
     return result;
   }
@@ -131,6 +145,7 @@ class CampaignJournal {
           .field("trials", r.trials)
           .field("threads", r.threads)
           .field("wall_ms", r.wall_ms);
+      if (!r.backend.empty()) o.field("backend", r.backend);
       sink.write(o);
     }
     return sink.good();
@@ -138,6 +153,7 @@ class CampaignJournal {
 
  private:
   int threads_;
+  std::string backend_;  ///< default for time(); empty = field omitted
   std::vector<CampaignRecord> records_;
 };
 

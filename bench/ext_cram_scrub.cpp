@@ -10,7 +10,7 @@
 // bare), and prices ECC against duplication.
 //
 // Usage: ext_cram_scrub [--scheme=<none|ecc>] [--threads=<n>]
-//                       [--csv <dir>] [--json <path>]
+//                       [--backend=<b>] [--csv <dir>] [--json <path>]
 //                       [--metrics=<path>] [--trace=<path>]
 #include <cstdio>
 #include <optional>
@@ -22,6 +22,7 @@
 #include "bench_util.hpp"
 #include "exec/cancel.hpp"
 #include "obs/cli.hpp"
+#include "rtl/evaluator.hpp"
 #include "run_policy.hpp"
 
 namespace {
@@ -100,7 +101,8 @@ analysis::Table reliable_selection_cram_table(int threads) {
       {"scrub period s", "FIT cap", "capped stages", "CRAM FIT", "total FIT",
        "feasible"});
   const analysis::SweepResult sweep = analysis::sweep_unit(
-      units::UnitKind::kMultiplier, fp::FpFormat::binary64());
+      units::UnitKind::kMultiplier, fp::FpFormat::binary64(),
+      device::Objective::kArea, device::TechModel::virtex2pro7(), threads);
   const analysis::Selection sel = analysis::select_min_max_opt(sweep);
   // Same cap the SEU bench uses for the latch-only selection: with the
   // CRAM term added, only aggressive scrubbing can make it feasible again.
@@ -139,6 +141,7 @@ analysis::Table kernel_sdc_table(const std::vector<fault::Scheme>& schemes,
       camp.config_fraction = 0.25;
       camp.scrub_period_cycles = scrub;
       camp.threads = journal.threads();
+      camp.backend = policy.backend();
       const std::string name = std::string("cram_matmul_campaign:") +
                                fault::to_string(scheme) + ":scrub" +
                                std::to_string(scrub);
@@ -199,7 +202,7 @@ analysis::Table ecc_cost_table() {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--scheme=<none|ecc>] [--threads=<n>]\n"
-               "          [--csv <dir>] [--json <path>]\n"
+               "          [--backend=<b>] [--csv <dir>] [--json <path>]\n"
                "          [--metrics=<path>] [--trace=<path>]\n"
                "          [--checkpoint=<dir>] [--resume]\n"
                "          [--time-budget=<sec>] [--trial-budget=<n>]\n"
@@ -208,6 +211,11 @@ int usage(const char* argv0) {
                "             scheme (default: none and ecc)\n"
                "  --threads= campaign worker threads (default: auto via\n"
                "             FLOPSIM_THREADS, then hardware concurrency)\n"
+               "  --backend= campaign trial evaluation backend: interpreted,\n"
+               "             compiled, or bitsliced (default: FLOPSIM_BACKEND,\n"
+               "             then interpreted); the matmul campaign has no\n"
+               "             fast path yet and falls back (counted in\n"
+               "             campaign.matmul.backend_fallback)\n"
                "  --json     append per-campaign timing records (JSON lines,\n"
                "             conventionally BENCH_campaign.json)\n"
                "  --metrics= dump the metrics registry as JSON lines at exit\n"
@@ -238,7 +246,10 @@ int main(int argc, char** argv) {
     }
   }
   obs::init_observability(cli);
-  bench::CampaignJournal journal(cli.threads);
+  bench::CampaignJournal journal(
+      cli.threads, cli.backend == rtl::EvalBackend::kAuto
+                       ? std::string{}
+                       : std::string(rtl::to_string(cli.backend)));
   bench::RunPolicy policy(cli);
   try {
     bench::emit_to(essential_bits_table(cli.threads), cli.csv_dir);
@@ -250,10 +261,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "interrupted (%s): sweep abandoned\n",
                  exec::to_string(e.reason));
     journal.write(cli.json_path);
+    policy.summarize_exhausted_draws();
     obs::flush_observability(cli);
     return obs::kExitInterrupted;
   }
   journal.write(cli.json_path);
+  policy.summarize_exhausted_draws();
   const int base = obs::flush_observability(cli) ? obs::kExitOk
                                                  : obs::kExitRuntime;
   return policy.exit_code(base);

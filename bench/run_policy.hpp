@@ -21,7 +21,7 @@ namespace flopsim::bench {
 
 class RunPolicy {
  public:
-  explicit RunPolicy(const obs::CliArgs& cli) {
+  explicit RunPolicy(const obs::CliArgs& cli) : backend_(cli.backend) {
     control_.cancel = &exec::global_cancel_token();
     control_.checkpoint_dir = cli.checkpoint_dir;
     control_.resume = cli.resume;
@@ -48,6 +48,10 @@ class RunPolicy {
   }
   exec::CancelToken* cancel() const { return control_.cancel; }
 
+  /// The --backend= choice every campaign in the binary runs under
+  /// (kAuto when the flag is absent: FLOPSIM_BACKEND, else interpreted).
+  rtl::EvalBackend backend() const { return backend_; }
+
   /// File one unit campaign's outcome; on interruption, summarize the
   /// partial FIT estimate.
   void note_unit(const std::string& name, const analysis::UnitSeuResult& r,
@@ -66,6 +70,7 @@ class RunPolicy {
   void note_matmul(const std::string& name,
                    const analysis::MatmulSeuResult& r) {
     charge(r.run);
+    draws_exhausted_ += r.draws_exhausted;
     if (!r.run.interrupted) return;
     summarize(name, r.run);
     std::fprintf(
@@ -82,6 +87,20 @@ class RunPolicy {
   }
 
   bool interrupted() const { return interrupted_; }
+
+  /// End-of-run summary. Each dropped trial shrank a matmul campaign below
+  /// its configured `faults` and skewed its SDC estimate, so the condition
+  /// is surfaced once, visibly, instead of only as scattered per-trial
+  /// warnings and the campaign.matmul.draws_exhausted counter. Benches
+  /// call this on every exit path (normal and interrupted).
+  void summarize_exhausted_draws() const {
+    if (draws_exhausted_ == 0) return;
+    std::fprintf(stderr,
+                 "note: %ld matmul trial(s) dropped after fault-site redraw "
+                 "exhaustion; affected campaigns ran under their configured "
+                 "trial count (metric: campaign.matmul.draws_exhausted)\n",
+                 draws_exhausted_);
+  }
 
   /// Final process exit code: interruption wins over `base` (0/1).
   int exit_code(int base) const {
@@ -112,8 +131,10 @@ class RunPolicy {
   }
 
   analysis::CampaignRunControl control_;
+  rtl::EvalBackend backend_ = rtl::EvalBackend::kAuto;
   long total_budget_ = 0;  // process-wide; 0 = unlimited
   long spent_ = 0;
+  long draws_exhausted_ = 0;  // matmul trials dropped across all campaigns
   bool interrupted_ = false;
 };
 

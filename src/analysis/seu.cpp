@@ -63,6 +63,67 @@ bool unit_trial_silent(const UnitTrial& t, fault::Scheme scheme) {
   return t.corrupted && !t.mismatch;
 }
 
+// --- evaluator fast path ------------------------------------------------
+
+/// Whether the compiled/bitsliced evaluators' guarantees cover this
+/// campaign: every fault a one-shot data-lane latch flip, and the compiled
+/// chain free of the behaviours (DONE writes, nondeterminism) that make
+/// the scheme mapping below unsound. Anything else runs interpreted.
+bool fast_path_covers(const std::vector<fault::Fault>& faults,
+                      const rtl::CompileStats& stats) {
+  if (stats.alters_valid || stats.nondeterministic) return false;
+  for (const fault::Fault& f : faults) {
+    if (f.site != fault::FaultSite::kStageLatch || f.lane < 0 ||
+        f.lane >= rtl::kMaxSignals || f.bit < 0 || f.bit >= 64) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Map an evaluator verdict onto the scheme-aware trial the legacy
+/// HardenedUnit loop produces — the exact per-scheme truth table, byte
+/// for byte (these bytes ARE the checkpoint format):
+///  * kNone / kEcc  — no checker; the hardened output is copy 0's.
+///  * kParity       — the per-stage parity checker fires on every applied
+///                    flip (single-bit upsets always have odd weight),
+///                    struck or bubble alike.
+///  * kResidue      — the mod-3 checker fires only when the corruption
+///                    reaches the result significand of a valid output.
+///  * kDuplicate    — compare-against-clean-copy: fires iff observables
+///                    differ.
+///  * kTmr          — the voter outvotes the single struck copy, so the
+///                    hardened output never differs; disagreement shows up
+///                    as a mismatch.
+UnitTrial map_fast_trial(const rtl::UpsetTrial& t, fault::Scheme scheme,
+                         fp::u64 clean_result, fp::u64 frac_mask) {
+  UnitTrial u;
+  u.corrupted = t.corrupted;
+  switch (scheme) {
+    case fault::Scheme::kNone:
+    case fault::Scheme::kEcc:
+      u.hardened_differs = t.corrupted;
+      break;
+    case fault::Scheme::kParity:
+      u.hardened_differs = t.corrupted;
+      u.mismatch = true;
+      break;
+    case fault::Scheme::kResidue:
+      u.hardened_differs = t.corrupted;
+      u.mismatch = t.struck && t.valid &&
+                   ((t.result ^ clean_result) & frac_mask) != 0;
+      break;
+    case fault::Scheme::kDuplicate:
+      u.hardened_differs = t.corrupted;
+      u.mismatch = t.corrupted;
+      break;
+    case fault::Scheme::kTmr:
+      u.mismatch = t.corrupted;
+      break;
+  }
+  return u;
+}
+
 void fold_fault(fault::SpecHash& h, const fault::Fault& f) {
   h.i64(f.cycle)
       .i64(static_cast<long long>(f.site))
@@ -182,11 +243,44 @@ UnitSeuResult run_unit_campaign(units::UnitKind kind, fp::FpFormat fmt,
 
   // The whole fault list is drawn before any trial runs: the determinism
   // anchor. Every trial is a pure function of (fault, golden, workload).
-  const fault::FaultCampaign campaign =
-      fault::FaultCampaign::random(profile, horizon, camp.faults, camp.seed + 1);
+  fault::CampaignSpec draw_spec;
+  draw_spec.source = fault::CampaignSpec::Source::kRandom;
+  draw_spec.profile = &profile;
+  draw_spec.horizon = horizon;
+  draw_spec.count = camp.faults;
+  draw_spec.seed = camp.seed + 1;
+  draw_spec.backend = camp.backend;
+  const fault::FaultCampaign campaign = fault::FaultCampaign::make(draw_spec);
   const std::vector<fault::Fault>& faults = campaign.faults();
   std::vector<UnitTrial> trials(faults.size());
   draw_span.end();
+
+  // Backend selection: compile once per campaign, fork per worker. The
+  // evaluator is only trusted where its guarantees hold (fast_path_covers);
+  // everything else — and every kInterpreted request — runs the legacy
+  // HardenedUnit loop. Tallies and checkpoint bytes are backend-invariant,
+  // which is why the backend never folds into the spec hash below.
+  const rtl::EvalBackend backend = rtl::resolve_backend(camp.backend);
+  std::unique_ptr<rtl::Evaluator> evaluator;
+  if (backend != rtl::EvalBackend::kInterpreted && !faults.empty()) {
+    rtl::CompileContract contract;
+    contract.input_lanes = {units::detail::kLaneInA, units::detail::kLaneInB,
+                            units::detail::kLaneInCtl, units::detail::kLaneInC};
+    contract.result_lane = units::detail::kLaneResult;
+    contract.stimuli.reserve(workload.size());
+    for (const units::UnitInput& in : workload) {
+      contract.stimuli.push_back(units::FpUnit::pack(in));
+    }
+    evaluator =
+        rtl::make_evaluator(backend, probe.pieces(), probe.plan(), contract);
+    const rtl::CompileStats* cs = evaluator->compile_stats();
+    if (cs == nullptr || !fast_path_covers(faults, *cs)) {
+      evaluator.reset();
+      reg.counter("campaign.unit.backend_fallback").inc();
+    } else {
+      evaluator->bind(contract.stimuli, horizon);
+    }
+  }
 
   // Static checkpoint grid: boundaries depend only on (count, chunk), so
   // a resume at a different thread count re-runs the same chunks.
@@ -272,9 +366,38 @@ UnitSeuResult run_unit_campaign(units::UnitKind kind, fp::FpFormat fmt,
     }
   };
 
+  const int eval_stages = evaluator != nullptr ? evaluator->stages() : 0;
+  const fp::u64 frac_mask = fmt.frac_mask();
   const exec::GridResult grid = exec::parallel_for_grid(
       count, camp.threads,
       [&](int /*worker*/, std::size_t begin, std::size_t end) {
+        if (evaluator != nullptr) {
+          // Compiled / bitsliced fast path: one forked evaluator per
+          // chunk, the whole chunk batched through trials().
+          const std::unique_ptr<rtl::Evaluator> ev = evaluator->fork();
+          const std::size_t nt = end - begin;
+          std::vector<rtl::LatchUpset> upsets(nt);
+          std::vector<rtl::UpsetTrial> verdicts(nt);
+          for (std::size_t i = begin; i < end; ++i) {
+            const fault::Fault& f = faults[i];
+            upsets[i - begin] =
+                rtl::LatchUpset{f.cycle, f.index, f.lane, f.bit};
+          }
+          ev->trials(upsets.data(), verdicts.data(), nt);
+          for (std::size_t i = begin; i < end; ++i) {
+            const rtl::UpsetTrial& v = verdicts[i - begin];
+            const long vec = faults[i].cycle - faults[i].index;
+            const fp::u64 clean_result =
+                v.struck ? ev->clean_state(static_cast<int>(vec),
+                                           eval_stages - 1)
+                               .lane[units::detail::kLaneResult]
+                         : 0;
+            trials[i] =
+                map_fast_trial(v, camp.scheme, clean_result, frac_mask);
+            progress.tick();
+          }
+          return;
+        }
         fault::HardenedUnit hardened = proto.clone();
         for (std::size_t i = begin; i < end; ++i) {
           hardened.reset();
@@ -649,6 +772,13 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
   const int n = camp.n;
   std::mt19937_64 rng(camp.seed);
 
+  // Kernel trials re-run the whole stateful array; the unit evaluators
+  // cannot stand in for that, so a compiled/bitsliced request downgrades
+  // to the interpreted kernel loop (documented fallback, counted).
+  if (rtl::resolve_backend(camp.backend) != rtl::EvalBackend::kInterpreted) {
+    reg.counter("campaign.matmul.backend_fallback").inc();
+  }
+
   kernel::PeConfig pe_cfg = cfg;
   pe_cfg.ecc_accumulators = camp.scheme == fault::Scheme::kEcc;
 
@@ -696,20 +826,32 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
     pf.pe = static_cast<int>(rng() % static_cast<std::uint64_t>(n));
     if (i < acc_count) {
       pf.target = PeFault::kAccumulator;
-      const fault::FaultCampaign acc = fault::FaultCampaign::random_accumulator(
-          n, cfg.fmt.total_bits(), horizon, 1, rng());
+      fault::CampaignSpec acc_spec;
+      acc_spec.source = fault::CampaignSpec::Source::kAccumulator;
+      acc_spec.rows = n;
+      acc_spec.word_bits = cfg.fmt.total_bits();
+      acc_spec.horizon = horizon;
+      acc_spec.count = 1;
+      acc_spec.seed = rng();
+      const fault::FaultCampaign acc = fault::FaultCampaign::make(acc_spec);
       pf.fault = acc.faults().front();
     } else {
       const bool mult = (rng() & 1) != 0;
       pf.target = mult ? PeFault::kMultLatch : PeFault::kAddLatch;
       const fault::FaultCampaign latch =
           redraw_until_nonempty(rng, [&](std::uint64_t seed) {
-            return fault::FaultCampaign::random(
-                mult ? mult_profile : add_profile, horizon, 1, seed);
+            fault::CampaignSpec latch_spec;
+            latch_spec.source = fault::CampaignSpec::Source::kRandom;
+            latch_spec.profile = mult ? &mult_profile : &add_profile;
+            latch_spec.horizon = horizon;
+            latch_spec.count = 1;
+            latch_spec.seed = seed;
+            return fault::FaultCampaign::make(latch_spec);
           });
       if (latch.empty()) {
         // Dropping the trial shrinks the campaign below camp.faults and
         // skews the site mix — make the silent path loud.
+        ++res.draws_exhausted;
         reg.counter("campaign.matmul.draws_exhausted").inc();
         std::fprintf(stderr,
                      "warning: matmul campaign: %s latch fault draw still "
@@ -736,11 +878,17 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
     pf.target = mult ? PeFault::kConfigMult : PeFault::kConfigAdd;
     const fault::FaultCampaign config =
         redraw_until_nonempty(rng, [&](std::uint64_t seed) {
-          return fault::FaultCampaign::cram(mult ? mult_profile : add_profile,
-                                           horizon, 1, seed,
-                                           camp.scrub_period_cycles);
+          fault::CampaignSpec config_spec;
+          config_spec.source = fault::CampaignSpec::Source::kCram;
+          config_spec.profile = mult ? &mult_profile : &add_profile;
+          config_spec.horizon = horizon;
+          config_spec.count = 1;
+          config_spec.seed = seed;
+          config_spec.scrub_period_cycles = camp.scrub_period_cycles;
+          return fault::FaultCampaign::make(config_spec);
         });
     if (config.empty()) {
+      ++res.draws_exhausted;
       reg.counter("campaign.matmul.draws_exhausted").inc();
       std::fprintf(stderr,
                    "warning: matmul campaign: %s config fault draw still "

@@ -20,6 +20,7 @@
 #include "fault/cram.hpp"
 #include "fault/hardening.hpp"
 #include "kernel/matmul.hpp"
+#include "rtl/evaluator.hpp"
 
 namespace flopsim::analysis {
 
@@ -36,6 +37,14 @@ struct SeuCampaignConfig {
   /// The fault list is pre-drawn and tallies reduce in fault-list order,
   /// so results are bit-identical for every thread count.
   int threads = 0;
+  /// Trial evaluation backend (rtl::Evaluator). kAuto resolves via
+  /// FLOPSIM_BACKEND, defaulting to the interpreted reference. The
+  /// compiled/bitsliced fast paths produce bit-identical tallies (and
+  /// checkpoint bytes — the backend never enters the spec hash); a
+  /// campaign whose faults or chain fall outside their guarantees
+  /// (non-latch faults, DONE-writing pieces) silently falls back to the
+  /// interpreted loop and bumps campaign.unit.backend_fallback.
+  rtl::EvalBackend backend = rtl::EvalBackend::kAuto;
 };
 
 /// How a resilient campaign invocation ended and what it covered. Embedded
@@ -258,6 +267,11 @@ struct MatmulSeuConfig {
   /// (FLOPSIM_THREADS, then hardware_concurrency); 1 = serial. Tallies
   /// reduce in fault-list order: bit-identical at any thread count.
   int threads = 0;
+  /// Requested evaluation backend. The kernel campaign's trials are whole
+  /// matmul runs with stateful PEs — outside the unit evaluators' scope —
+  /// so any non-interpreted request falls back to the interpreted kernel
+  /// loop (campaign.matmul.backend_fallback counts the downgrades).
+  rtl::EvalBackend backend = rtl::EvalBackend::kAuto;
 };
 
 struct MatmulSeuResult {
@@ -273,6 +287,10 @@ struct MatmulSeuResult {
   int latch_silent = 0;
   int config_injected = 0;
   int config_silent = 0;
+  /// Trials dropped because a single-fault draw stayed empty through every
+  /// redraw — each one shrinks the campaign below `faults` and skews the
+  /// site mix, so runners surface this in their end-of-run summary.
+  int draws_exhausted = 0;
   CampaignRunStatus run;
   double sdc_fraction() const {
     return injected > 0 ? static_cast<double>(silent) / injected : 0.0;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "rtl/evaluator.hpp"
 #include "units/fp_unit.hpp"
 
 namespace flopsim::fault {
@@ -92,6 +93,13 @@ struct CampaignSpec {
   /// kCram: width of the stuck mask a single upset imposes — a LUT/routing
   /// flip typically perturbs a couple of adjacent signal bits, not one.
   int mask_bits = 2;
+
+  /// How the campaign drivers evaluate the trials this spec seeds
+  /// (rtl::Evaluator backend selection; see SeuCampaignConfig::backend).
+  /// Purely advisory here: fault drawing ignores it, and it never enters
+  /// a campaign's checkpoint spec hash — every backend produces the same
+  /// tallies, so sidecars stay shareable across backends.
+  rtl::EvalBackend backend = rtl::EvalBackend::kAuto;
 };
 
 class FaultCampaign {
@@ -105,18 +113,25 @@ class FaultCampaign {
 
   /// `count` faults uniform over the profile's occupied bits x stages x
   /// [0, horizon) cycles.
+  /// Deprecated: fill a CampaignSpec (Source::kRandom) and call make().
+  [[deprecated("use CampaignSpec{Source::kRandom} + FaultCampaign::make")]]
   static FaultCampaign random(const LatchProfile& profile, long horizon,
                               int count, std::uint64_t seed);
 
   /// Poisson upset-rate model: the number of faults is Poisson-distributed
   /// with mean `upsets_per_bit_cycle * profile.total_bits() * horizon`,
   /// each fault then placed like random().
+  /// Deprecated: fill a CampaignSpec (Source::kPoisson) and call make().
+  [[deprecated("use CampaignSpec{Source::kPoisson} + FaultCampaign::make")]]
   static FaultCampaign poisson(const LatchProfile& profile, long horizon,
                                double upsets_per_bit_cycle,
                                std::uint64_t seed);
 
   /// `count` single-bit accumulator upsets: row uniform in [0, rows),
   /// bit uniform in [0, word_bits), cycle uniform in [0, horizon).
+  /// Deprecated: fill a CampaignSpec (Source::kAccumulator), call make().
+  [[deprecated(
+      "use CampaignSpec{Source::kAccumulator} + FaultCampaign::make")]]
   static FaultCampaign random_accumulator(int rows, int word_bits,
                                           long horizon, int count,
                                           std::uint64_t seed);
@@ -126,6 +141,8 @@ class FaultCampaign {
   /// stuck mask covers `mask_bits` occupied bits upward from it, the stuck
   /// value is a random draw under that mask, and the fault repairs at the
   /// first scrub boundary after the strike (never, if no scrub period).
+  /// Deprecated: fill a CampaignSpec (Source::kCram) and call make().
+  [[deprecated("use CampaignSpec{Source::kCram} + FaultCampaign::make")]]
   static FaultCampaign cram(const LatchProfile& profile, long horizon,
                             int count, std::uint64_t seed,
                             long scrub_period_cycles = 0, int mask_bits = 2);

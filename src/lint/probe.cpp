@@ -176,6 +176,9 @@ ChainAccess infer_chain_access(const rtl::PieceChain& chain,
         if (!states_equal(rerun, state)) pa.nondeterministic = true;
       }
 
+      if (state.flags != pre.flags) pa.writes_flags = true;
+      if (state.valid != pre.valid) pa.writes_valid = true;
+
       // Writes: lanes whose value changed. Anything a const access hit is
       // a definite read.
       for (int l = 0; l < kMaxSignals; ++l) {

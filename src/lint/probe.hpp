@@ -42,6 +42,12 @@ struct PieceAccess {
   bool nondeterministic = false;
   /// The eval accessed at least one lane.
   bool touched = false;
+  /// The piece changed SignalSet::flags in at least one stimulus vector.
+  bool writes_flags = false;
+  /// The piece changed SignalSet::valid in at least one stimulus vector.
+  /// Units never should (DONE belongs to the simulator); the compiled
+  /// evaluation backends refuse chains where this fires (rtl/program.*).
+  bool writes_valid = false;
 };
 
 struct ChainAccess {

@@ -46,6 +46,13 @@ CliArgs parse_cli(int argc, char** argv) {
     if (arg.rfind("--threads=", 0) == 0) {
       cli.threads = parse_threads_value(arg.substr(10));
       if (cli.threads < 0 && cli.error.empty()) cli.error = arg;
+    } else if (eq_value(arg, "--backend", &value)) {
+      const std::optional<rtl::EvalBackend> b = rtl::try_parse_backend(value);
+      if (b.has_value()) {
+        cli.backend = *b;
+      } else if (cli.error.empty()) {
+        cli.error = arg;
+      }
     } else if (eq_value(arg, "--checkpoint", &value)) {
       cli.checkpoint_dir = value;
       if (value.empty() && cli.error.empty()) cli.error = arg;

@@ -7,6 +7,10 @@
 //
 //   --threads=<n>    campaign worker threads (absent -> 0 = auto,
 //                    anything not in [1, 1024] -> error)
+//   --backend=<b>    campaign trial evaluation backend: interpreted,
+//                    compiled, or bitsliced (absent -> auto: the
+//                    FLOPSIM_BACKEND env var, else interpreted; any
+//                    other value -> error)
 //   --json <path>    append per-campaign timing records (JSON lines)
 //   --csv <dir>      per-table CSV emission directory
 //   --metrics=<path> dump the metrics registry as JSON lines at exit
@@ -31,6 +35,8 @@
 #include <string>
 #include <vector>
 
+#include "rtl/evaluator.hpp"
+
 namespace flopsim::obs {
 
 // Process exit taxonomy, uniform across flopsim-gen, flopsim-lint, and
@@ -47,6 +53,9 @@ inline constexpr int kExitInterrupted = 75;
 
 struct CliArgs {
   int threads = 0;  ///< 0 = auto; parse errors set `error` instead
+  /// --backend= value, pre-validated by rtl::try_parse_backend; kAuto when
+  /// the flag is absent (an unknown name sets `error` instead).
+  rtl::EvalBackend backend = rtl::EvalBackend::kAuto;
   std::string csv_dir;
   std::string json_path;
   std::string metrics_path;

@@ -30,7 +30,9 @@ rtl::PieceChain build_chain(UnitKind kind, fp::FpFormat fmt,
   throw std::invalid_argument("FpUnit: unknown kind");
 }
 
-rtl::SignalSet pack_input(const UnitInput& in) {
+}  // namespace
+
+rtl::SignalSet FpUnit::pack(const UnitInput& in) {
   rtl::SignalSet s;
   s.valid = true;
   s[detail::kLaneInA] = in.a;
@@ -39,8 +41,6 @@ rtl::SignalSet pack_input(const UnitInput& in) {
   s[detail::kLaneInC] = in.c;
   return s;
 }
-
-}  // namespace
 
 FpUnit::FpUnit(UnitKind kind, fp::FpFormat fmt, const UnitConfig& cfg)
     : kind_(kind),
@@ -70,7 +70,7 @@ double FpUnit::freq_per_area() const {
 
 void FpUnit::step(const std::optional<UnitInput>& in) {
   if (in.has_value()) {
-    sim_.step(pack_input(*in));
+    sim_.step(FpUnit::pack(*in));
   } else {
     sim_.step(std::nullopt);
   }
@@ -85,7 +85,7 @@ std::optional<UnitOutput> FpUnit::output() const {
 void FpUnit::reset() { sim_.reset(); }
 
 UnitOutput FpUnit::evaluate(const UnitInput& in) const {
-  rtl::SignalSet s = pack_input(in);
+  rtl::SignalSet s = FpUnit::pack(in);
   rtl::evaluate_chain(*chain_, s);
   return UnitOutput{s[detail::kLaneResult], s.flags};
 }

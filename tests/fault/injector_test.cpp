@@ -2,6 +2,7 @@
 // zero-fault bit-exactness guarantee.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -23,15 +24,26 @@ LatchProfile profile_of(units::UnitKind kind, fp::FpFormat fmt, int stages) {
   return profile_unit_latches(unit, 24, 0x5eed);
 }
 
+CampaignSpec random_spec(const LatchProfile& profile, long horizon, int count,
+                         std::uint64_t seed) {
+  CampaignSpec spec;
+  spec.source = CampaignSpec::Source::kRandom;
+  spec.profile = &profile;
+  spec.horizon = horizon;
+  spec.count = count;
+  spec.seed = seed;
+  return spec;
+}
+
 TEST(FaultCampaign, SameSeedSameRandomFaultList) {
   const LatchProfile profile =
       profile_of(units::UnitKind::kAdder, fp::FpFormat::binary32(), 6);
-  const FaultCampaign a = FaultCampaign::random(profile, 40, 32, 0x5eed);
-  const FaultCampaign b = FaultCampaign::random(profile, 40, 32, 0x5eed);
+  const FaultCampaign a = FaultCampaign::make(random_spec(profile, 40, 32, 0x5eed));
+  const FaultCampaign b = FaultCampaign::make(random_spec(profile, 40, 32, 0x5eed));
   ASSERT_EQ(a.size(), 32u);
   EXPECT_EQ(a.faults(), b.faults());
 
-  const FaultCampaign c = FaultCampaign::random(profile, 40, 32, 0x5eee);
+  const FaultCampaign c = FaultCampaign::make(random_spec(profile, 40, 32, 0x5eee));
   EXPECT_NE(a.faults(), c.faults());
 }
 
@@ -40,8 +52,14 @@ TEST(FaultCampaign, SameSeedSamePoissonFaultList) {
       profile_of(units::UnitKind::kMultiplier, fp::FpFormat::binary32(), 5);
   // Rate chosen so the expected count is a handful of faults.
   const double rate = 8.0 / (static_cast<double>(profile.total_bits()) * 40.0);
-  const FaultCampaign a = FaultCampaign::poisson(profile, 40, rate, 7);
-  const FaultCampaign b = FaultCampaign::poisson(profile, 40, rate, 7);
+  CampaignSpec spec;
+  spec.source = CampaignSpec::Source::kPoisson;
+  spec.profile = &profile;
+  spec.horizon = 40;
+  spec.rate = rate;
+  spec.seed = 7;
+  const FaultCampaign a = FaultCampaign::make(spec);
+  const FaultCampaign b = FaultCampaign::make(spec);
   EXPECT_EQ(a.faults(), b.faults());
 }
 
@@ -61,7 +79,7 @@ TEST(FaultCampaign, WorkloadIsDeterministic) {
 TEST(FaultCampaign, RandomFaultsLandInsideTheProfile) {
   const LatchProfile profile =
       profile_of(units::UnitKind::kAdder, fp::FpFormat::binary64(), 8);
-  const FaultCampaign camp = FaultCampaign::random(profile, 50, 64, 1);
+  const FaultCampaign camp = FaultCampaign::make(random_spec(profile, 50, 64, 1));
   for (const Fault& f : camp.faults()) {
     EXPECT_EQ(f.site, FaultSite::kStageLatch);
     EXPECT_GE(f.cycle, 0);

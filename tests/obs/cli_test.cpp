@@ -75,6 +75,29 @@ TEST(ParseCli, BadThreadsSetsError) {
   }
 }
 
+TEST(ParseCli, BackendDefaultsToAutoAndParsesEveryName) {
+  EXPECT_EQ(parse({}).backend, rtl::EvalBackend::kAuto);
+  EXPECT_EQ(parse({"--backend=interpreted"}).backend,
+            rtl::EvalBackend::kInterpreted);
+  EXPECT_EQ(parse({"--backend=compiled"}).backend,
+            rtl::EvalBackend::kCompiled);
+  EXPECT_EQ(parse({"--backend=bitsliced"}).backend,
+            rtl::EvalBackend::kBitsliced);
+}
+
+TEST(ParseCli, BadBackendSetsError) {
+  // "auto" is the absent-flag default, not an accepted spelling: spelling
+  // it out would suggest a fourth backend exists.
+  for (const std::string& bad :
+       {std::string("--backend=bogus"), std::string("--backend="),
+        std::string("--backend=auto"), std::string("--backend=Compiled")}) {
+    const CliArgs cli = parse({bad});
+    EXPECT_FALSE(cli.ok()) << bad;
+    EXPECT_EQ(cli.error, bad);
+    EXPECT_EQ(cli.backend, rtl::EvalBackend::kAuto) << bad;
+  }
+}
+
 TEST(ParseCli, MissingTwoTokenValueSetsError) {
   const CliArgs cli = parse({"--json"});
   EXPECT_FALSE(cli.ok());

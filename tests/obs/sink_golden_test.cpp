@@ -65,9 +65,9 @@ TEST(CampaignJournal, BenchCampaignJsonIsByteIdenticalToLegacyFormat) {
   std::remove(path.c_str());
 
   bench::CampaignJournal journal(4);
-  journal.add({"unit_campaign:mult<binary32>:tmr", 32, 4, 12.5});
-  journal.add({"seu_depth_sweep:add<binary64>", 200, 4, 1234.56789});
-  journal.add({"matmul_campaign:n4:a8m5", 24, 4, 0.123456789});
+  journal.add({"unit_campaign:mult<binary32>:tmr", 32, 4, 12.5, ""});
+  journal.add({"seu_depth_sweep:add<binary64>", 200, 4, 1234.56789, ""});
+  journal.add({"matmul_campaign:n4:a8m5", 24, 4, 0.123456789, ""});
   ASSERT_TRUE(journal.write(path));
 
   const std::string expected =
@@ -82,13 +82,43 @@ TEST(CampaignJournal, BenchCampaignJsonIsByteIdenticalToLegacyFormat) {
   // Appending (several benches sharing one BENCH_campaign.json in a CI
   // job) keeps prior records.
   bench::CampaignJournal more(1);
-  more.add({"extra", 1, 1, 2.0});
+  more.add({"extra", 1, 1, 2.0, ""});
   ASSERT_TRUE(more.write(path));
   EXPECT_EQ(read_file(path),
             expected +
                 "{\"campaign\": \"extra\", \"trials\": 1, \"threads\": 1, "
                 "\"wall_ms\": 2}\n");
   std::remove(path.c_str());
+}
+
+// Records that carry a backend (--backend= was given, or the throughput
+// comparison stamped one per run) append it as a trailing field; records
+// without one stay on the legacy format above, byte-for-byte.
+TEST(CampaignJournal, BackendFieldIsEmittedOnlyWhenSet) {
+  const std::string path =
+      testing::TempDir() + "/flopsim_sink_golden_backend.json";
+  std::remove(path.c_str());
+
+  bench::CampaignJournal journal(2, "bitsliced");
+  journal.add({"unit_campaign:mult<binary32>:tmr", 32, 2, 12.5, "bitsliced"});
+  journal.add({"matmul_campaign:n4:a8m5", 24, 2, 2.0, ""});
+  ASSERT_TRUE(journal.write(path));
+  EXPECT_EQ(read_file(path),
+            "{\"campaign\": \"unit_campaign:mult<binary32>:tmr\", "
+            "\"trials\": 32, \"threads\": 2, \"wall_ms\": 12.5, "
+            "\"backend\": \"bitsliced\"}\n"
+            "{\"campaign\": \"matmul_campaign:n4:a8m5\", \"trials\": 24, "
+            "\"threads\": 2, \"wall_ms\": 2}\n");
+  std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, TimeStampsTheJournalDefaultBackend) {
+  bench::CampaignJournal journal(2, "compiled");
+  journal.time("probe", 5, [] { return 0; });
+  journal.time("probe2", 5, "interpreted", [] { return 0; });
+  ASSERT_EQ(journal.records().size(), 2u);
+  EXPECT_EQ(journal.records()[0].backend, "compiled");
+  EXPECT_EQ(journal.records()[1].backend, "interpreted");
 }
 
 TEST(CampaignJournal, TimeRunsTheCallableAndFilesARecord) {

@@ -14,6 +14,9 @@
 // --threads= sets the worker count for the depth sweep behind the opt
 // recommendation (0/absent = auto via FLOPSIM_THREADS, then hardware
 // concurrency); the sweep is bit-identical at any thread count.
+// --backend= is accepted (and its value validated) for flag-compatibility
+// with the campaign benches, but there is no Monte-Carlo campaign here so
+// the choice has no effect on the datasheet.
 // --vcd= drives a deterministic calibration workload through the core and
 // dumps the stage-register waveform (GTKWave-loadable VCD); the same run
 // feeds the pipeline occupancy metrics that --metrics= exports. Flag
@@ -52,6 +55,7 @@ void print_usage(const char* prog) {
                "usage: %s <add|mul|div|sqrt|mac> <16|32|48|64> [stages] "
                "[area|speed] [ieee] [fabric] [--lint] "
                "[--harden=<parity|residue|dup|tmr|ecc>] [--threads=<n>] "
+               "[--backend=<interpreted|compiled|bitsliced>] "
                "[--vcd=<path>] [--metrics=<path>] [--trace=<path>]\n"
                "       %s cvt <src-bits> <dst-bits> [stages]\n",
                prog, prog);

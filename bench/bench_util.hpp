@@ -84,6 +84,10 @@ struct CampaignRecord {
   /// "bitsliced"); empty = unspecified, and the JSON field is omitted so
   /// records from before the backend existed stay byte-identical.
   std::string backend;
+  /// Trials the campaign dropped short of its configured count (fault-site
+  /// draw exhaustion). 0 = full campaign, and the JSON field is omitted so
+  /// existing records stay byte-identical.
+  long dropped = 0;
 };
 
 /// Collects CampaignRecords and appends them as JSON lines. A bench
@@ -127,6 +131,13 @@ class CampaignJournal {
   /// File a pre-built record (tests use this to pin wall_ms).
   void add(CampaignRecord rec) { records_.push_back(std::move(rec)); }
 
+  /// Annotate the most recent record with its dropped-trial count (the
+  /// result is only known after time() returns). No-op for 0 or when no
+  /// record has been filed yet.
+  void note_dropped(long dropped) {
+    if (dropped > 0 && !records_.empty()) records_.back().dropped = dropped;
+  }
+
   const std::vector<CampaignRecord>& records() const { return records_; }
   int threads() const { return threads_; }
 
@@ -146,6 +157,7 @@ class CampaignJournal {
           .field("threads", r.threads)
           .field("wall_ms", r.wall_ms);
       if (!r.backend.empty()) o.field("backend", r.backend);
+      if (r.dropped > 0) o.field("dropped", r.dropped);
       sink.write(o);
     }
     return sink.good();

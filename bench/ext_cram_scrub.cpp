@@ -153,6 +153,7 @@ analysis::Table kernel_sdc_table(const std::vector<fault::Scheme>& schemes,
             return analysis::run_matmul_campaign(cfg, camp, policy.control());
           });
       policy.note_matmul(name, r);
+      journal.note_dropped(r.draws_exhausted);
       const auto frac = [](int silent, int injected) {
         return injected > 0
                    ? analysis::Table::num(

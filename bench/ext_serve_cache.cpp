@@ -1,0 +1,132 @@
+// Extension bench: the serve layer's memoization payoff, measured
+// without a socket. The same campaign-heavy request mix is evaluated
+// twice through one serve::Service — pass 1 cold (every cacheable
+// request misses and simulates), pass 2 warm (every cacheable request is
+// a lookup). The table on stdout is fully deterministic (request and
+// counter tallies plus the byte-identity verdict); the wall-clock
+// speedup — the nondeterministic part — goes to stderr, where the CI
+// serve-smoke job reads its socket-side equivalent from replay
+// summaries instead.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+#include "obs/metrics.hpp"
+#include "serve/cache.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace flopsim;
+
+std::vector<std::string> request_mix() {
+  // Twelve unique design points, several repeated within the pass — the
+  // Tables 1-2 sweep shape the cache is built for.
+  std::vector<std::string> unique = {
+      "{\"type\": \"campaign\", \"op\": \"add\", \"bits\": 32, "
+      "\"stages\": 4, \"faults\": 48, \"vectors\": 16, \"seed\": 201}",
+      "{\"type\": \"campaign\", \"op\": \"mul\", \"bits\": 64, "
+      "\"stages\": 6, \"faults\": 48, \"vectors\": 16, \"seed\": 202}",
+      "{\"type\": \"campaign\", \"op\": \"div\", \"bits\": 32, "
+      "\"stages\": 8, \"scheme\": \"tmr\", \"faults\": 48, "
+      "\"vectors\": 16, \"seed\": 203}",
+      "{\"type\": \"campaign\", \"op\": \"mac\", \"bits\": 32, "
+      "\"stages\": 6, \"faults\": 48, \"vectors\": 16, \"seed\": 204}",
+      "{\"type\": \"campaign\", \"op\": \"add\", \"bits\": 64, "
+      "\"stages\": 8, \"scheme\": \"residue\", \"faults\": 48, "
+      "\"vectors\": 16, \"seed\": 205}",
+      "{\"type\": \"campaign\", \"kernel\": \"matmul\", \"n\": 4, "
+      "\"bits\": 32, \"faults\": 32, \"seed\": 206}",
+      "{\"type\": \"campaign\", \"kernel\": \"matmul\", \"n\": 4, "
+      "\"bits\": 32, \"faults\": 32, \"seed\": 206, \"scheme\": \"ecc\"}",
+      "{\"type\": \"plan\", \"op\": \"add\", \"bits\": 32}",
+      "{\"type\": \"plan\", \"op\": \"mul\", \"bits\": 64}",
+      "{\"type\": \"plan\", \"op\": \"sqrt\", \"bits\": 64, "
+      "\"harden\": \"tmr\"}",
+      "{\"type\": \"plan\", \"op\": \"cvt\", \"src_bits\": 64, "
+      "\"dst_bits\": 32}",
+      "{\"type\": \"plan\", \"op\": \"div\", \"bits\": 32, \"stages\": 10}",
+  };
+  std::vector<std::string> mix = unique;
+  // Repeat half the points: even a cold pass sees some within-pass hits,
+  // like a real sweep client would produce.
+  for (std::size_t i = 0; i < unique.size(); i += 2) {
+    mix.push_back(unique[i]);
+  }
+  return mix;
+}
+
+struct PassResult {
+  std::vector<std::string> responses;
+  long hits = 0;
+  long misses = 0;
+  double median_us = 0.0;
+};
+
+PassResult run_pass(serve::Service& service, obs::Registry& reg,
+                    const std::vector<std::string>& lines) {
+  const long hits0 = reg.counter("serve.cache.hit").value();
+  const long misses0 = reg.counter("serve.cache.miss").value();
+  PassResult pass;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(lines.size());
+  for (const std::string& line : lines) {
+    const auto t0 = std::chrono::steady_clock::now();
+    pass.responses.push_back(service.handle_line(line));
+    const auto t1 = std::chrono::steady_clock::now();
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  pass.hits = reg.counter("serve.cache.hit").value() - hits0;
+  pass.misses = reg.counter("serve.cache.miss").value() - misses0;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  pass.median_us = latencies_us[latencies_us.size() / 2];
+  return pass;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace flopsim;
+
+  obs::Registry reg;
+  serve::ResultCache cache({.capacity = 256, .dir = "", .shards = 4}, reg);
+  serve::Service service({}, &cache, reg);
+
+  const std::vector<std::string> lines = request_mix();
+  const PassResult cold = run_pass(service, reg, lines);
+  const PassResult warm = run_pass(service, reg, lines);
+  const bool identical = cold.responses == warm.responses;
+  bool all_ok = true;
+  for (const std::string& r : cold.responses) {
+    if (r.find("\"status\": 0") == std::string::npos) {
+      std::fprintf(stderr, "error: request failed: %s\n", r.c_str());
+      all_ok = false;
+    }
+  }
+
+  analysis::Table t(
+      "Extension: serve cache, cold vs. warm pass over one request mix",
+      {"pass", "requests", "cache hits", "cache misses",
+       "responses byte-identical"});
+  t.add_row({"cold", analysis::Table::num(static_cast<long>(lines.size())),
+             analysis::Table::num(cold.hits),
+             analysis::Table::num(cold.misses), "-"});
+  t.add_row({"warm", analysis::Table::num(static_cast<long>(lines.size())),
+             analysis::Table::num(warm.hits),
+             analysis::Table::num(warm.misses), identical ? "yes" : "NO"});
+  bench::emit(t, argc, argv);
+
+  // Wall-clock is machine-dependent: stderr only, never in the table.
+  std::fprintf(stderr,
+               "serve cache: median %.1f us cold -> %.1f us warm "
+               "(%.0fx) over %zu requests\n",
+               cold.median_us, warm.median_us,
+               warm.median_us > 0.0 ? cold.median_us / warm.median_us : 0.0,
+               lines.size());
+  return identical && all_ok ? 0 : 1;
+}

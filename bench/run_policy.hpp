@@ -91,14 +91,14 @@ class RunPolicy {
   /// End-of-run summary. Each dropped trial shrank a matmul campaign below
   /// its configured `faults` and skewed its SDC estimate, so the condition
   /// is surfaced once, visibly, instead of only as scattered per-trial
-  /// warnings and the campaign.matmul.draws_exhausted counter. Benches
+  /// warnings and the campaign.matmul.dropped_trials counter. Benches
   /// call this on every exit path (normal and interrupted).
   void summarize_exhausted_draws() const {
     if (draws_exhausted_ == 0) return;
     std::fprintf(stderr,
                  "note: %ld matmul trial(s) dropped after fault-site redraw "
                  "exhaustion; affected campaigns ran under their configured "
-                 "trial count (metric: campaign.matmul.draws_exhausted)\n",
+                 "trial count (metric: campaign.matmul.dropped_trials)\n",
                  draws_exhausted_);
   }
 

@@ -255,6 +255,20 @@ UnitSeuResult run_unit_campaign(units::UnitKind kind, fp::FpFormat fmt,
   std::vector<UnitTrial> trials(faults.size());
   draw_span.end();
 
+  // A profile with no occupied sites yields a short (or empty) fault list:
+  // the campaign silently runs fewer trials than requested. Account for
+  // the shortfall the same way the matmul campaign accounts its dropped
+  // redraws, so /metrics and BENCH records can surface it.
+  if (static_cast<int>(faults.size()) < camp.faults) {
+    const long dropped =
+        static_cast<long>(camp.faults) - static_cast<long>(faults.size());
+    reg.counter("campaign.unit.dropped_trials").add(dropped);
+    std::fprintf(stderr,
+                 "warning: unit campaign: dropped %ld of %d trials (no "
+                 "occupied fault sites to draw)\n",
+                 dropped, camp.faults);
+  }
+
   // Backend selection: compile once per campaign, fork per worker. The
   // evaluator is only trusted where its guarantees hold (fast_path_covers);
   // everything else — and every kInterpreted request — runs the legacy
@@ -852,7 +866,7 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
         // Dropping the trial shrinks the campaign below camp.faults and
         // skews the site mix — make the silent path loud.
         ++res.draws_exhausted;
-        reg.counter("campaign.matmul.draws_exhausted").inc();
+        reg.counter("campaign.matmul.dropped_trials").inc();
         std::fprintf(stderr,
                      "warning: matmul campaign: %s latch fault draw still "
                      "empty after %d redraws; dropping trial %d of %d\n",
@@ -889,7 +903,7 @@ MatmulSeuResult run_matmul_campaign(const kernel::PeConfig& cfg,
         });
     if (config.empty()) {
       ++res.draws_exhausted;
-      reg.counter("campaign.matmul.draws_exhausted").inc();
+      reg.counter("campaign.matmul.dropped_trials").inc();
       std::fprintf(stderr,
                    "warning: matmul campaign: %s config fault draw still "
                    "empty after %d redraws; dropping trial %d of %d\n",

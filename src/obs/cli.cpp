@@ -7,6 +7,16 @@
 
 namespace flopsim::obs {
 
+std::optional<long> parse_int_arg(const std::string& v, long min, long max) {
+  if (v.empty() || v.size() > 18 ||
+      v.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  const long n = std::atol(v.c_str());
+  if (n < min || n > max) return std::nullopt;
+  return n;
+}
+
 int parse_threads_value(const std::string& v) {
   if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos) {
     return -1;

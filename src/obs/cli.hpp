@@ -32,6 +32,7 @@
 // and decides itself whether an unrecognized token is an error.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,12 @@ CliArgs parse_cli(int argc, char** argv);
 /// `--threads=` value validation: absent semantics are the caller's; a
 /// string not representing an integer in [1, 1024] returns -1.
 int parse_threads_value(const std::string& v);
+
+/// Strict decimal parse of a tool operand: every character a digit, value
+/// within [min, max]. nullopt on empty strings, signs, trailing junk
+/// ("3x"), or out-of-range values — the checked replacement for bare
+/// std::atoi on positionals; callers turn nullopt into usage + exit 2.
+std::optional<long> parse_int_arg(const std::string& v, long min, long max);
 
 /// Arm tracing when --trace= was given. Call before the workload runs.
 void init_observability(const CliArgs& cli);

@@ -1,0 +1,192 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace flopsim::serve {
+
+namespace {
+
+constexpr char kShardHeader[] = "flopsim-cache v1";
+
+bool parse_hex16(const std::string& tok, std::uint64_t* out) {
+  if (tok.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (char c : tok) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(CacheConfig cfg, obs::Registry& reg)
+    : cfg_(std::move(cfg)) {
+  cfg_.capacity = std::max<std::size_t>(1, cfg_.capacity);
+  cfg_.shards = std::clamp(cfg_.shards, 1, 256);
+  hits_ = &reg.counter("serve.cache.hit");
+  misses_ = &reg.counter("serve.cache.miss");
+  inserts_ = &reg.counter("serve.cache.insert");
+  evictions_ = &reg.counter("serve.cache.eviction");
+  disk_loaded_ = &reg.counter("serve.cache.disk_loaded");
+  entries_ = &reg.gauge("serve.cache.entries");
+  if (!cfg_.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cfg_.dir, ec);
+    if (ec) {
+      std::fprintf(stderr,
+                   "warning: serve cache: could not create %s (%s); "
+                   "running memory-only\n",
+                   cfg_.dir.c_str(), ec.message().c_str());
+      cfg_.dir.clear();
+    } else {
+      load_disk_tier();
+    }
+  }
+}
+
+std::optional<std::string> ResultCache::lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(m_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_->inc();
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+  hits_->inc();
+  return it->second->second;
+}
+
+void ResultCache::insert(std::uint64_t key, const std::string& body) {
+  std::lock_guard<std::mutex> lock(m_);
+  insert_locked(key, body, /*durable=*/true);
+}
+
+void ResultCache::insert_locked(std::uint64_t key, const std::string& body,
+                                bool durable) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Content-addressed: same key means same bytes; just refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= cfg_.capacity) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    evictions_->inc();
+  }
+  lru_.emplace_front(key, body);
+  index_.emplace(key, lru_.begin());
+  inserts_->inc();
+  entries_->set(static_cast<double>(lru_.size()));
+  if (durable && !cfg_.dir.empty()) append_shard(key, body);
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return lru_.size();
+}
+
+std::vector<std::uint64_t> ResultCache::keys_mru_first() const {
+  std::lock_guard<std::mutex> lock(m_);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(lru_.size());
+  for (const auto& [key, body] : lru_) keys.push_back(key);
+  return keys;
+}
+
+int ResultCache::shard_of(std::uint64_t key) const {
+  return static_cast<int>((key >> 56) % static_cast<std::uint64_t>(
+                                            cfg_.shards));
+}
+
+std::string ResultCache::shard_path(const std::string& dir, int shard,
+                                    int shards) {
+  std::ostringstream path;
+  path << dir << "/cache-" << shard << "of" << shards << ".jsonl";
+  return path.str();
+}
+
+// Shard line format (one entry per line, append-only):
+//   flopsim-cache v1 shard=<i> of=<n>
+//   e <16 hex key> <body byte count> <body>
+// The byte count makes a torn tail detectable: a truncated final line
+// fails the length check and is dropped, everything before it loads.
+std::size_t ResultCache::load_disk_tier() {
+  std::size_t loaded = 0;
+  for (int s = 0; s < cfg_.shards; ++s) {
+    std::ifstream in(shard_path(cfg_.dir, s, cfg_.shards));
+    if (!in) continue;
+    std::string line;
+    if (!std::getline(in, line) ||
+        line.rfind(kShardHeader, 0) != 0) {
+      std::fprintf(stderr,
+                   "warning: serve cache: shard %d has no valid header; "
+                   "ignoring file\n",
+                   s);
+      continue;
+    }
+    while (std::getline(in, line)) {
+      if (line.rfind("e ", 0) != 0) break;  // torn tail or foreign line
+      const std::size_t key_end = line.find(' ', 2);
+      if (key_end == std::string::npos) break;
+      const std::size_t len_end = line.find(' ', key_end + 1);
+      if (len_end == std::string::npos) break;
+      std::uint64_t key = 0;
+      if (!parse_hex16(line.substr(2, key_end - 2), &key)) break;
+      const std::string len_tok = line.substr(key_end + 1,
+                                              len_end - key_end - 1);
+      if (len_tok.empty() ||
+          len_tok.find_first_not_of("0123456789") != std::string::npos) {
+        break;
+      }
+      const std::size_t len =
+          static_cast<std::size_t>(std::stoull(len_tok));
+      const std::string body = line.substr(len_end + 1);
+      if (body.size() != len) break;  // torn tail
+      std::lock_guard<std::mutex> lock(m_);
+      insert_locked(key, body, /*durable=*/false);
+      ++loaded;
+    }
+  }
+  disk_loaded_->add(static_cast<long>(loaded));
+  return loaded;
+}
+
+void ResultCache::append_shard(std::uint64_t key, const std::string& body) {
+  const std::string path = shard_path(cfg_.dir, shard_of(key), cfg_.shards);
+  const bool fresh = !std::ifstream(path).good();
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "warning: serve cache: could not append to %s\n",
+                 path.c_str());
+    return;
+  }
+  if (fresh) {
+    out << kShardHeader << " shard=" << shard_of(key) << " of="
+        << cfg_.shards << "\n";
+  }
+  out << "e " << hex16(key) << " " << body.size() << " " << body << "\n";
+}
+
+}  // namespace flopsim::serve

@@ -1,0 +1,110 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace flopsim::serve {
+
+namespace {
+
+int try_connect(const std::string& unix_path, int port) {
+  if (!unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (unix_path.size() >= sizeof addr.sun_path) return -1;
+    std::memcpy(addr.sun_path, unix_path.c_str(), unix_path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+    return fd;
+  }
+  ::close(fd);
+  return -1;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buf_.clear();
+}
+
+bool Client::connect(const std::string& unix_path, int port,
+                     double timeout_s, std::string* error) {
+  close();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (true) {
+    fd_ = try_connect(unix_path, port);
+    if (fd_ >= 0) return true;
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  if (error != nullptr) {
+    *error = unix_path.empty()
+                 ? "could not connect to 127.0.0.1:" + std::to_string(port)
+                 : "could not connect to " + unix_path;
+  }
+  return false;
+}
+
+bool Client::send_line(const std::string& line) {
+  if (fd_ < 0) return false;
+  std::string out = line;
+  out.push_back('\n');
+  const char* p = out.data();
+  std::size_t n = out.size();
+  while (n > 0) {
+    const ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool Client::recv_line(std::string* line) {
+  if (fd_ < 0) return false;
+  while (true) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      *line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace flopsim::serve

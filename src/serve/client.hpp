@@ -1,0 +1,55 @@
+// Layer 3.3 — a minimal blocking JSONL client for flopsim-serve.
+//
+// Used by the tool's replay/metrics/shutdown subcommands, the serve tests,
+// and the CI smoke job. Deliberately synchronous: one request line out,
+// one response line back — which is also what makes replay latencies
+// honest per-request measurements.
+#pragma once
+
+#include <string>
+
+namespace flopsim::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Movable: the fd transfers, the source disconnects.
+  Client(Client&& other) noexcept
+      : fd_(other.fd_), buf_(std::move(other.buf_)) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      buf_ = std::move(other.buf_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Connect to a Unix-domain socket path or (when `unix_path` is empty)
+  /// loopback TCP `port`. Retries for up to `timeout_s` seconds — the CI
+  /// smoke job races server startup. False (with *error set) on failure.
+  bool connect(const std::string& unix_path, int port, double timeout_s,
+               std::string* error);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Send one request line (the newline is appended here).
+  bool send_line(const std::string& line);
+  /// Read one response line (newline stripped). False on EOF/error.
+  bool recv_line(std::string* line);
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+}  // namespace flopsim::serve

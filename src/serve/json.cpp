@@ -1,0 +1,325 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace flopsim::serve {
+
+namespace {
+/// Nesting cap: a request line is a flat object or close to it; anything
+/// deeper than this is hostile or garbage, not a design-point query.
+constexpr int kMaxDepth = 32;
+}  // namespace
+
+const std::string& JsonValue::empty_string() {
+  static const std::string s;
+  return s;
+}
+
+long long JsonValue::as_int(long long def) const {
+  if (kind_ == Kind::kInt) return int_;
+  if (kind_ == Kind::kDouble) return static_cast<long long>(dbl_);
+  return def;
+}
+
+double JsonValue::as_double(double def) const {
+  if (kind_ == Kind::kDouble) return dbl_;
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  return def;
+}
+
+const JsonValue* JsonValue::get(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = members_.find(key);
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::integer(long long n) {
+  JsonValue v;
+  v.kind_ = Kind::kInt;
+  v.int_ = n;
+  v.dbl_ = static_cast<double>(n);
+  return v;
+}
+
+JsonValue JsonValue::number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kDouble;
+  v.dbl_ = d;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<JsonValue> run(std::string* error) {
+    JsonValue v;
+    if (!value(v, 0)) {
+      if (error != nullptr) {
+        *error = "offset " + std::to_string(pos_) + ": " + what_;
+      }
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "offset " + std::to_string(pos_) + ": trailing characters";
+      }
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  bool fail(const char* what) {
+    if (what_.empty()) what_ = what;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word, JsonValue v, JsonValue* out) {
+    const std::size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) return fail("invalid literal");
+    pos_ += n;
+    *out = std::move(v);
+    return true;
+  }
+
+  bool value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        return literal("null", JsonValue::null(), &out);
+      case 't':
+        return literal("true", JsonValue::boolean(true), &out);
+      case 'f':
+        return literal("false", JsonValue::boolean(false), &out);
+      case '"': {
+        std::string s;
+        if (!string_body(&s)) return false;
+        out = JsonValue::string(std::move(s));
+        return true;
+      }
+      case '[':
+        return array_body(out, depth);
+      case '{':
+        return object_body(out, depth);
+      default:
+        return number_body(out);
+    }
+  }
+
+  bool string_body(std::string* out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      if (++pos_ >= text_.size()) return fail("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad \\u escape digit");
+            }
+          }
+          // UTF-8 encode the BMP code point; surrogate pairs are beyond
+          // what the request schema needs and are rejected.
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            return fail("surrogate \\u escapes unsupported");
+          }
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number_body(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    bool digits = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        digits = true;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+      } else {
+        break;
+      }
+      ++pos_;
+    }
+    if (!digits) {
+      pos_ = start;
+      return fail("invalid value");
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    errno = 0;
+    char* end = nullptr;
+    if (integral) {
+      const long long n = std::strtoll(tok.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        out = JsonValue::integer(n);
+        return true;
+      }
+      // Out-of-range integer text: fall through to the double reading.
+      errno = 0;
+    }
+    const double d = std::strtod(tok.c_str(), &end);
+    if (errno != 0 || end == nullptr || *end != '\0') {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    out = JsonValue::number(d);
+    return true;
+  }
+
+  bool array_body(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    out.kind_ = JsonValue::Kind::kArray;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      if (!value(item, depth + 1)) return false;
+      out.items_.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool object_body(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    out.kind_ = JsonValue::Kind::kObject;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected member name");
+      }
+      std::string key;
+      if (!string_body(&key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':'");
+      }
+      ++pos_;
+      JsonValue member;
+      if (!value(member, depth + 1)) return false;
+      if (!out.members_.emplace(key, std::move(member)).second) {
+        return fail("duplicate member name");
+      }
+      out.keys_.push_back(std::move(key));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string what_;
+
+  friend std::optional<JsonValue> parse_json(const std::string&, std::string*);
+};
+
+std::optional<JsonValue> parse_json(const std::string& text,
+                                    std::string* error) {
+  Parser p(text);
+  return p.run(error);
+}
+
+}  // namespace flopsim::serve

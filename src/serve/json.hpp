@@ -1,0 +1,93 @@
+// Minimal JSON parsing for the serve layer's request side.
+//
+// The repo's machine-readable *output* all funnels through obs::JsonObject
+// (insertion-ordered fields, ostream-default double formatting — the
+// byte-identity anchor for cached responses). This header adds the missing
+// half: a small recursive-descent reader for the JSONL *requests* a
+// flopsim-serve client sends. It parses one value per line into an
+// immutable tree and offers typed accessors with defaults, which is all
+// the request schema needs — no serialization, no mutation, no DOM
+// editing.
+//
+// Integers are kept exact (a number token without '.', 'e', 'E' parses as
+// long long), so seeds up to 2^63-1 survive the trip; everything else is
+// a double. Parse failures return nullopt with a one-line error message
+// naming the byte offset — the server turns that into a status-2
+// response instead of dying.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace flopsim::serve {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  /// Exact integer (parsed without '.', 'e', 'E').
+  bool is_int() const { return kind_ == Kind::kInt; }
+
+  // Typed reads; the default comes back on any kind mismatch.
+  bool as_bool(bool def = false) const {
+    return kind_ == Kind::kBool ? bool_ : def;
+  }
+  long long as_int(long long def = 0) const;
+  double as_double(double def = 0.0) const;
+  const std::string& as_string(const std::string& def = empty_string()) const {
+    return kind_ == Kind::kString ? str_ : def;
+  }
+
+  /// Object member by key; nullptr when absent or not an object.
+  const JsonValue* get(const std::string& key) const;
+  /// Member names in source order (objects reject duplicate keys at parse).
+  const std::vector<std::string>& keys() const { return keys_; }
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  std::size_t size() const {
+    return kind_ == Kind::kArray ? items_.size() : keys_.size();
+  }
+
+  // Builders (the parser's internals; tests use them for fixtures).
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool b);
+  static JsonValue integer(long long v);
+  static JsonValue number(double v);
+  static JsonValue string(std::string s);
+
+ private:
+  friend class Parser;
+  static const std::string& empty_string();
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  long long int_ = 0;
+  double dbl_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> items_;            // kArray
+  std::vector<std::string> keys_;           // kObject, source order
+  std::map<std::string, JsonValue> members_;  // kObject
+};
+
+/// Parse one complete JSON value (trailing whitespace allowed, anything
+/// else after it is an error). On failure returns nullopt and, when
+/// `error` is non-null, stores "offset N: <what>".
+std::optional<JsonValue> parse_json(const std::string& text,
+                                    std::string* error = nullptr);
+
+}  // namespace flopsim::serve

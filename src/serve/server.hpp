@@ -1,0 +1,115 @@
+// Layer 3.3 — the flopsim-serve socket front end.
+//
+// A long-running JSONL request/response server over a Unix-domain or
+// loopback-TCP socket. The shape is deliberately the repo's hardware
+// discipline transplanted to software: a fixed set of worker "PEs"
+// (the exec:: thread pool) fed through a *bounded* admission FIFO.
+// When the FIFO is full the server does what a FIFO-coupled PE array
+// does — it exerts backpressure immediately instead of buffering
+// without bound: the request is rejected right away with a typed
+// status-75 response (the exit taxonomy's "interrupted / retry later"
+// code) and never starts evaluating.
+//
+// Concurrency layout:
+//
+//  * one accept thread;
+//  * one reader thread per connection: splits lines, parses envelopes,
+//    answers ping/metrics/shutdown and malformed lines inline (a
+//    saturated server must still answer its health probes), and pushes
+//    everything else into the bounded queue;
+//  * `workers` evaluation loops on an exec::ThreadPool, started once via
+//    run_chunked(workers, ...) from a dispatcher thread — the same
+//    static-chunk pool the campaign engines use, so serve workers get
+//    pinned obs:: thread ids (deterministic metric shards) for free;
+//  * per-connection ordered write-back: each request carries its arrival
+//    sequence number, and a response — computed, cached, or rejected —
+//    is written only when every earlier response of that connection has
+//    been written. Clients see strict request order; the queue may
+//    complete out of order underneath.
+//
+// Metrics (obs:: registry): serve.queue.depth gauge, serve.requests.rejected
+// counter, serve.connections counter — alongside the Service's own
+// serve.requests/latency and the cache's serve.cache.* family.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace flopsim::serve {
+
+struct ServerConfig {
+  /// Unix-domain socket path; takes precedence over `port` when set.
+  std::string unix_path;
+  /// Loopback TCP port (used when unix_path is empty).
+  int port = 0;
+  /// Evaluation worker count (exec::ThreadPool size), clamped to >= 1.
+  int workers = 2;
+  /// Bounded admission queue capacity; a request arriving with the queue
+  /// full is rejected with status 75. Clamped to >= 1.
+  std::size_t queue_capacity = 64;
+};
+
+class Server {
+ public:
+  /// `service` must outlive the server.
+  Server(ServerConfig cfg, Service& service);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen. False (with *error set) on socket failures — the
+  /// tool turns that into exit 1.
+  bool start(std::string* error);
+
+  /// Serve until a shutdown request arrives or request_stop() is called.
+  /// Drains queued work before returning.
+  void run();
+
+  /// Signal-handler/other-thread safe stop request.
+  void request_stop();
+
+  const ServerConfig& config() const { return cfg_; }
+
+ private:
+  struct Connection;
+  struct Job {
+    std::shared_ptr<Connection> conn;
+    std::uint64_t seq = 0;
+    ParsedRequest req;
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void worker_loop();
+  /// Queue a job; false (queue full) leaves the job untouched.
+  bool try_enqueue(Job job);
+  static void complete(const std::shared_ptr<Connection>& conn,
+                       std::uint64_t seq, std::string response);
+
+  ServerConfig cfg_;
+  Service& service_;
+  int listen_fd_ = -1;
+
+  std::atomic<bool> stopping_{false};
+
+  std::mutex queue_m_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+
+  std::thread accept_thread_;
+  std::mutex conns_m_;
+  std::vector<std::weak_ptr<Connection>> conns_;
+  std::vector<std::thread> reader_threads_;
+};
+
+}  // namespace flopsim::serve

@@ -1,0 +1,135 @@
+// The serve layer's request parser: one JSON value per line, exact
+// integers, strict errors (offset-tagged), bounded depth, duplicate-key
+// rejection. The parser is the first thing an untrusted client byte
+// stream meets, so the rejection paths get as much coverage as the
+// accepting ones.
+#include "serve/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace flopsim::serve {
+namespace {
+
+TEST(JsonParse, Primitives) {
+  EXPECT_TRUE(parse_json("null")->is_null());
+  EXPECT_TRUE(parse_json("true")->as_bool());
+  EXPECT_FALSE(parse_json("false")->as_bool(true));
+  EXPECT_EQ(parse_json("42")->as_int(), 42);
+  EXPECT_DOUBLE_EQ(parse_json("2.5")->as_double(), 2.5);
+  EXPECT_EQ(parse_json("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParse, IntegersStayExact) {
+  // A number token without '.', 'e', 'E' parses as long long — seeds up
+  // to 2^63-1 survive the trip bit-for-bit.
+  const auto v = parse_json("9223372036854775807");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->is_int());
+  EXPECT_EQ(v->as_int(), 9223372036854775807LL);
+  EXPECT_EQ(parse_json("-42")->as_int(), -42);
+
+  // '.' or an exponent demotes to double: still a number, not an int.
+  EXPECT_FALSE(parse_json("1.0")->is_int());
+  EXPECT_FALSE(parse_json("1e3")->is_int());
+  EXPECT_TRUE(parse_json("1e3")->is_number());
+  EXPECT_DOUBLE_EQ(parse_json("1e3")->as_double(), 1000.0);
+}
+
+TEST(JsonParse, TypedAccessorsFallBackOnMismatch) {
+  const JsonValue s = *parse_json("\"text\"");
+  EXPECT_EQ(s.as_int(7), 7);
+  EXPECT_DOUBLE_EQ(s.as_double(1.5), 1.5);
+  EXPECT_FALSE(s.as_bool(false));
+  EXPECT_EQ(parse_json("3")->as_string("fallback"), "fallback");
+  // Numeric kinds cross-convert rather than falling back.
+  EXPECT_EQ(parse_json("2.9")->as_int(0), 2);
+  EXPECT_DOUBLE_EQ(parse_json("4")->as_double(0.0), 4.0);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json("\"a\\\"b\\\\c\"")->as_string(), "a\"b\\c");
+  EXPECT_EQ(parse_json("\"\\n\\t\"")->as_string(), "\n\t");
+  // \u0041 = 'A'; \u00e9 = U+00E9 as two UTF-8 bytes.
+  EXPECT_EQ(parse_json("\"\\u0041\"")->as_string(), "A");
+  EXPECT_EQ(parse_json("\"\\u00e9\"")->as_string(), "\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsLoneSurrogate) {
+  std::string err;
+  EXPECT_FALSE(parse_json("\"\\ud800\"", &err).has_value());
+  EXPECT_NE(err.find("offset"), std::string::npos);
+}
+
+TEST(JsonParse, ArraysAndObjects) {
+  const auto v = parse_json("{\"a\": [1, 2, 3], \"b\": {\"c\": true}}");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+  const JsonValue* a = v->get("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_EQ(a->items()[2].as_int(), 3);
+  const JsonValue* b = v->get("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(b->get("c"), nullptr);
+  EXPECT_TRUE(b->get("c")->as_bool());
+  EXPECT_EQ(v->get("missing"), nullptr);
+}
+
+TEST(JsonParse, ObjectKeysKeepSourceOrder) {
+  const auto v = parse_json("{\"z\": 1, \"a\": 2, \"m\": 3}");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->keys().size(), 3u);
+  EXPECT_EQ(v->keys()[0], "z");
+  EXPECT_EQ(v->keys()[1], "a");
+  EXPECT_EQ(v->keys()[2], "m");
+}
+
+TEST(JsonParse, RejectsDuplicateKeys) {
+  // A request with a repeated field is ambiguous — which value would the
+  // cache key fold in? Reject at parse.
+  std::string err;
+  EXPECT_FALSE(parse_json("{\"a\": 1, \"a\": 2}", &err).has_value());
+  EXPECT_NE(err.find("duplicate"), std::string::npos);
+}
+
+TEST(JsonParse, RejectsTrailingGarbage) {
+  std::string err;
+  EXPECT_FALSE(parse_json("1 2", &err).has_value());
+  EXPECT_FALSE(parse_json("{} x", &err).has_value());
+  // ...but trailing whitespace is fine (lines may carry a stray '\r').
+  EXPECT_TRUE(parse_json("{\"a\": 1}  \t").has_value());
+}
+
+TEST(JsonParse, RejectsTruncatedInput) {
+  std::string err;
+  EXPECT_FALSE(parse_json("{\"a\": ", &err).has_value());
+  EXPECT_FALSE(parse_json("[1, 2", &err).has_value());
+  EXPECT_FALSE(parse_json("\"unterminated", &err).has_value());
+  EXPECT_FALSE(parse_json("", &err).has_value());
+}
+
+TEST(JsonParse, BoundsNestingDepth) {
+  // A hostile client can't stack-overflow the reader thread.
+  std::string deep;
+  for (int i = 0; i < 40; ++i) deep += '[';
+  for (int i = 0; i < 40; ++i) deep += ']';
+  std::string err;
+  EXPECT_FALSE(parse_json(deep, &err).has_value());
+  EXPECT_NE(err.find("offset"), std::string::npos);
+
+  std::string ok = "1";
+  for (int i = 0; i < 8; ++i) ok = "[" + ok + "]";
+  EXPECT_TRUE(parse_json(ok).has_value());
+}
+
+TEST(JsonParse, ErrorsNameTheByteOffset) {
+  std::string err;
+  EXPECT_FALSE(parse_json("not json", &err).has_value());
+  EXPECT_EQ(err.rfind("offset 0:", 0), 0u) << err;
+}
+
+}  // namespace
+}  // namespace flopsim::serve

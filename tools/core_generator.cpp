@@ -163,12 +163,22 @@ int generate_arith(const obs::CliArgs& cli, const char* prog) {
   bool run_lint = false;
   const bool explicit_stages =
       args.size() > 2 && std::isdigit(static_cast<unsigned char>(args[2][0]));
-  if (explicit_stages) cfg.stages = std::atoi(args[2].c_str());
+  if (explicit_stages) {
+    // A digit-leading token is a stage count or a mistake — "3x" used to
+    // atoi() to 3 silently; now it is a usage error.
+    const std::optional<long> stages = obs::parse_int_arg(args[2], 1, 10000);
+    if (!stages.has_value()) {
+      throw std::invalid_argument("bad stage count: " + args[2]);
+    }
+    cfg.stages = static_cast<int>(*stages);
+  }
   for (std::size_t i = 2; i < args.size(); ++i) {
     if (args[i] == "--lint") {
       run_lint = true;
     } else if (args[i] == "speed") {
       cfg.objective = device::Objective::kSpeed;
+    } else if (args[i] == "area") {
+      cfg.objective = device::Objective::kArea;
     } else if (args[i] == "ieee") {
       cfg.ieee_mode = true;  // denormal + NaN hardware
     } else if (args[i] == "fabric") {
@@ -181,6 +191,10 @@ int generate_arith(const obs::CliArgs& cli, const char* prog) {
         print_usage(prog);
         return obs::kExitUsage;
       }
+    } else if (i == 2 && explicit_stages) {
+      // already consumed as the stage count
+    } else {
+      throw std::invalid_argument("unknown argument: " + args[i]);
     }
   }
 
@@ -232,10 +246,19 @@ int generate_arith(const obs::CliArgs& cli, const char* prog) {
 
 int generate_cvt(const std::vector<std::string>& args) {
   if (args.size() < 3) throw std::invalid_argument("cvt needs <src> <dst>");
+  if (args.size() > 4) {
+    throw std::invalid_argument("unknown argument: " + args[4]);
+  }
   const fp::FpFormat src = format_of(args[1]);
   const fp::FpFormat dst = format_of(args[2]);
   units::UnitConfig cfg;
-  if (args.size() > 3) cfg.stages = std::atoi(args[3].c_str());
+  if (args.size() > 3) {
+    const std::optional<long> stages = obs::parse_int_arg(args[3], 1, 10000);
+    if (!stages.has_value()) {
+      throw std::invalid_argument("bad stage count: " + args[3]);
+    }
+    cfg.stages = static_cast<int>(*stages);
+  }
   const units::FormatConverter cvt(src, dst, cfg);
   const rtl::Timing t = cvt.timing();
   std::printf("%s\n", cvt.name().c_str());

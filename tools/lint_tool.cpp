@@ -56,6 +56,12 @@ fp::FpFormat format_of(const std::string& bits) {
   throw std::invalid_argument("unknown precision: " + bits);
 }
 
+int parse_stages(const std::string& tok) {
+  const std::optional<long> n = obs::parse_int_arg(tok, 1, 10000);
+  if (!n.has_value()) throw std::invalid_argument("bad stage count: " + tok);
+  return static_cast<int>(*n);
+}
+
 units::UnitKind kind_of(const std::string& op) {
   if (op == "add") return units::UnitKind::kAdder;
   if (op == "mul") return units::UnitKind::kMultiplier;
@@ -83,12 +89,21 @@ std::vector<std::string> take_flags(const std::vector<std::string>& rest,
     } else if (tok == "--notes") {
       opts.lint.notes = true;
     } else if (tok.rfind("--vectors=", 0) == 0) {
-      const int n = std::atoi(tok.c_str() + 10);
-      if (n < 1) throw std::invalid_argument("bad vector count: " + tok);
-      opts.lint.vectors = n;
+      // atoi() accepted "--vectors=3x" as 3; the checked parse does not.
+      const std::optional<long> n =
+          obs::parse_int_arg(tok.substr(10), 1, 1 << 20);
+      if (!n.has_value()) {
+        throw std::invalid_argument("bad vector count: " + tok);
+      }
+      opts.lint.vectors = static_cast<int>(*n);
     } else if (tok.rfind("--seed=", 0) == 0) {
+      const std::string value = tok.substr(7);
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        throw std::invalid_argument("bad seed: " + tok);
+      }
       opts.lint.seed =
-          static_cast<std::uint64_t>(std::strtoull(tok.c_str() + 7, nullptr,
+          static_cast<std::uint64_t>(std::strtoull(value.c_str(), nullptr,
                                                    10));
     } else if (tok == "speed") {
       opts.cfg.objective = device::Objective::kSpeed;
@@ -208,7 +223,7 @@ int main(int argc, char** argv) {
         throw std::invalid_argument("cvt needs <src> <dst>");
       }
       const int stages =
-          positional.size() > 3 ? std::atoi(positional[3].c_str()) : 1;
+          positional.size() > 3 ? parse_stages(positional[3]) : 1;
       lint_one_cvt(format_of(positional[1]), format_of(positional[2]), stages,
                    opts, tally);
     } else {
@@ -218,7 +233,7 @@ int main(int argc, char** argv) {
       const units::UnitKind kind = kind_of(positional[0]);
       const fp::FpFormat fmt = format_of(positional[1]);
       const int stages =
-          positional.size() > 2 ? std::atoi(positional[2].c_str()) : 1;
+          positional.size() > 2 ? parse_stages(positional[2]) : 1;
       lint_one_unit(kind, fmt, stages, opts, tally);
     }
 

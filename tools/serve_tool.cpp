@@ -1,0 +1,343 @@
+// flopsim-serve: the long-running design-space evaluation service.
+//
+// ROADMAP's "production-scale serving" direction: instead of one process
+// per design-point query (flopsim-gen), a resident server answers JSONL
+// requests over a Unix-domain or loopback-TCP socket, memoizing every
+// plan/campaign response in a content-addressed cache (serve/cache.hpp)
+// so repeated design points cost microseconds instead of re-simulation.
+//
+// Subcommands:
+//   serve     --unix=<path> | --port=<n>  [--workers=<n>] [--queue=<n>]
+//             [--cache-capacity=<n>] [--cache-dir=<dir>] [--cache-shards=<n>]
+//             [--threads=<n>] [--backend=<b>] [--metrics=<path>]
+//             run the server until a shutdown request or SIGINT/SIGTERM.
+//   eval      <requests.jsonl>  [--cache-capacity=] [--cache-dir=] ...
+//             no-socket batch mode: evaluate each request line through the
+//             same Service and print the response lines to stdout.
+//   replay    <requests.jsonl> --unix=|--port= [--out=<path>]
+//             [--summary=<path>]
+//             send each line synchronously, one response per request, and
+//             record per-request latency; --summary= writes a JSON object
+//             with the median/mean microseconds (the CI cache-speedup
+//             check reads it).
+//   metrics   --unix=|--port=   print the server's /metrics-style response.
+//   shutdown  --unix=|--port=   ask the server to stop.
+//
+// Per-request status codes reuse the process exit taxonomy (obs/cli.hpp):
+// 0 ok, 1 evaluation failure, 2 malformed request, 75 rejected by
+// backpressure. The tool itself exits 0/1/2 the same way.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/cancel.hpp"
+#include "obs/cli.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace flopsim;
+
+void print_usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s serve    --unix=<path>|--port=<n> [--workers=<n>] "
+      "[--queue=<n>]\n"
+      "                        [--cache-capacity=<n>] [--cache-dir=<dir>] "
+      "[--cache-shards=<n>]\n"
+      "                        [--threads=<n>] [--backend=<b>] "
+      "[--metrics=<path>] [--trace=<path>]\n"
+      "       %s eval     <requests.jsonl> [cache flags as above]\n"
+      "       %s replay   <requests.jsonl> --unix=<path>|--port=<n> "
+      "[--out=<path>] [--summary=<path>]\n"
+      "       %s metrics  --unix=<path>|--port=<n>\n"
+      "       %s shutdown --unix=<path>|--port=<n>\n",
+      prog, prog, prog, prog, prog);
+}
+
+struct ServeFlags {
+  std::string unix_path;
+  int port = 0;
+  int workers = 2;
+  long queue = 64;
+  long cache_capacity = 4096;
+  std::string cache_dir;
+  long cache_shards = 4;
+  std::string out_path;
+  std::string summary_path;
+  std::vector<std::string> positional;
+};
+
+/// Parse the serve-specific tokens out of parse_cli's `rest`. Throws
+/// std::invalid_argument on malformed values or unknown flags.
+ServeFlags take_serve_flags(const std::vector<std::string>& rest) {
+  ServeFlags f;
+  const auto int_flag = [](const std::string& tok, std::size_t prefix,
+                           long min, long max) -> long {
+    const std::optional<long> n =
+        obs::parse_int_arg(tok.substr(prefix), min, max);
+    if (!n.has_value()) throw std::invalid_argument("bad value: " + tok);
+    return *n;
+  };
+  for (std::size_t i = 1; i < rest.size(); ++i) {
+    const std::string& tok = rest[i];
+    if (tok.rfind("--unix=", 0) == 0) {
+      f.unix_path = tok.substr(7);
+      if (f.unix_path.empty()) throw std::invalid_argument("empty --unix=");
+    } else if (tok.rfind("--port=", 0) == 0) {
+      f.port = static_cast<int>(int_flag(tok, 7, 1, 65535));
+    } else if (tok.rfind("--workers=", 0) == 0) {
+      f.workers = static_cast<int>(int_flag(tok, 10, 1, 256));
+    } else if (tok.rfind("--queue=", 0) == 0) {
+      f.queue = int_flag(tok, 8, 1, 1 << 20);
+    } else if (tok.rfind("--cache-capacity=", 0) == 0) {
+      f.cache_capacity = int_flag(tok, 17, 1, 1 << 28);
+    } else if (tok.rfind("--cache-dir=", 0) == 0) {
+      f.cache_dir = tok.substr(12);
+    } else if (tok.rfind("--cache-shards=", 0) == 0) {
+      f.cache_shards = int_flag(tok, 15, 1, 256);
+    } else if (tok.rfind("--out=", 0) == 0) {
+      f.out_path = tok.substr(6);
+    } else if (tok.rfind("--summary=", 0) == 0) {
+      f.summary_path = tok.substr(10);
+    } else if (tok.rfind("--", 0) == 0) {
+      throw std::invalid_argument("unknown flag: " + tok);
+    } else {
+      f.positional.push_back(tok);
+    }
+  }
+  return f;
+}
+
+serve::ResultCache make_cache(const ServeFlags& f, obs::Registry& reg) {
+  serve::CacheConfig cc;
+  cc.capacity = static_cast<std::size_t>(f.cache_capacity);
+  cc.dir = f.cache_dir;
+  cc.shards = static_cast<int>(f.cache_shards);
+  return serve::ResultCache(cc, reg);
+}
+
+int run_serve(const obs::CliArgs& cli, const ServeFlags& f) {
+  if (f.unix_path.empty() && f.port == 0) {
+    throw std::invalid_argument("serve needs --unix= or --port=");
+  }
+  obs::Registry& reg = obs::Registry::global();
+  serve::ResultCache cache = make_cache(f, reg);
+  serve::ServiceConfig sc;
+  sc.threads = cli.threads == 0 ? 1 : cli.threads;
+  sc.backend = cli.backend;
+  serve::Service service(sc, &cache, reg);
+  serve::ServerConfig srv;
+  srv.unix_path = f.unix_path;
+  srv.port = f.port;
+  srv.workers = f.workers;
+  srv.queue_capacity = static_cast<std::size_t>(f.queue);
+  serve::Server server(srv, service);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return obs::kExitRuntime;
+  }
+  // SIGINT/SIGTERM land in the global cancel token (the campaign
+  // machinery's signal path); a watcher forwards them to the server.
+  exec::install_signal_handlers();
+  std::thread watcher([&server] {
+    while (!exec::global_cancel_token().cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    server.request_stop();
+  });
+  std::fprintf(stderr, "flopsim-serve: listening on %s\n",
+               f.unix_path.empty()
+                   ? ("127.0.0.1:" + std::to_string(f.port)).c_str()
+                   : f.unix_path.c_str());
+  server.run();
+  // Unblock the watcher if shutdown came from a request, not a signal.
+  exec::global_cancel_token().request(exec::CancelToken::Reason::kOther);
+  watcher.join();
+  if (!obs::flush_observability(cli)) return obs::kExitRuntime;
+  return obs::kExitOk;
+}
+
+int run_eval(const obs::CliArgs& cli, const ServeFlags& f) {
+  if (f.positional.empty()) {
+    throw std::invalid_argument("eval needs a requests file");
+  }
+  std::ifstream in(f.positional[0]);
+  if (!in) {
+    std::fprintf(stderr, "error: could not read %s\n",
+                 f.positional[0].c_str());
+    return obs::kExitRuntime;
+  }
+  obs::Registry& reg = obs::Registry::global();
+  serve::ResultCache cache = make_cache(f, reg);
+  serve::ServiceConfig sc;
+  sc.threads = cli.threads == 0 ? 1 : cli.threads;
+  sc.backend = cli.backend;
+  serve::Service service(sc, &cache, reg);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::printf("%s\n", service.handle_line(line).c_str());
+  }
+  if (!obs::flush_observability(cli)) return obs::kExitRuntime;
+  return obs::kExitOk;
+}
+
+int run_replay(const ServeFlags& f) {
+  if (f.positional.empty()) {
+    throw std::invalid_argument("replay needs a requests file");
+  }
+  if (f.unix_path.empty() && f.port == 0) {
+    throw std::invalid_argument("replay needs --unix= or --port=");
+  }
+  std::ifstream in(f.positional[0]);
+  if (!in) {
+    std::fprintf(stderr, "error: could not read %s\n",
+                 f.positional[0].c_str());
+    return obs::kExitRuntime;
+  }
+  serve::Client client;
+  std::string error;
+  if (!client.connect(f.unix_path, f.port, 5.0, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return obs::kExitRuntime;
+  }
+  std::ofstream out;
+  if (!f.out_path.empty()) {
+    out.open(f.out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: could not write %s\n",
+                   f.out_path.c_str());
+      return obs::kExitRuntime;
+    }
+  }
+  std::vector<double> latencies_us;
+  const auto wall0 = std::chrono::steady_clock::now();
+  std::string line;
+  std::string response;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!client.send_line(line) || !client.recv_line(&response)) {
+      std::fprintf(stderr, "error: server connection lost mid-replay\n");
+      return obs::kExitRuntime;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    if (out.is_open()) {
+      out << response << "\n";
+    } else {
+      std::printf("%s\n", response.c_str());
+    }
+  }
+  const auto wall1 = std::chrono::steady_clock::now();
+  if (latencies_us.empty()) {
+    std::fprintf(stderr, "error: no requests in %s\n",
+                 f.positional[0].c_str());
+    return obs::kExitRuntime;
+  }
+  std::vector<double> sorted = latencies_us;
+  std::sort(sorted.begin(), sorted.end());
+  const double median_us = sorted[sorted.size() / 2];
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  obs::JsonObject summary;
+  summary.field("requests", static_cast<long>(latencies_us.size()))
+      .field("median_us", median_us)
+      .field("mean_us", sum / static_cast<double>(sorted.size()))
+      .field("min_us", sorted.front())
+      .field("max_us", sorted.back())
+      .field("wall_ms",
+             std::chrono::duration<double, std::milli>(wall1 - wall0)
+                 .count());
+  if (!f.summary_path.empty()) {
+    std::ofstream sout(f.summary_path);
+    if (!sout) {
+      std::fprintf(stderr, "error: could not write %s\n",
+                   f.summary_path.c_str());
+      return obs::kExitRuntime;
+    }
+    sout << summary.str() << "\n";
+  } else {
+    std::fprintf(stderr, "replay: %s\n", summary.str().c_str());
+  }
+  return obs::kExitOk;
+}
+
+int run_one_request(const ServeFlags& f, const std::string& request) {
+  if (f.unix_path.empty() && f.port == 0) {
+    throw std::invalid_argument("need --unix= or --port=");
+  }
+  serve::Client client;
+  std::string error;
+  if (!client.connect(f.unix_path, f.port, 5.0, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return obs::kExitRuntime;
+  }
+  std::string response;
+  if (!client.send_line(request) || !client.recv_line(&response)) {
+    std::fprintf(stderr, "error: no response from server\n");
+    return obs::kExitRuntime;
+  }
+  std::printf("%s\n", response.c_str());
+  return obs::kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace flopsim;
+  const obs::CliArgs cli = obs::parse_cli(argc, argv);
+  if (!cli.ok()) {
+    std::fprintf(stderr, "error: bad argument: %s\n", cli.error.c_str());
+    print_usage(argv[0]);
+    return obs::kExitUsage;
+  }
+  if (cli.wants_resilience()) {
+    std::fprintf(stderr,
+                 "error: --checkpoint=/--resume/--time-budget=/"
+                 "--trial-budget=/--stop-halfwidth= only apply to campaign "
+                 "benches\n");
+    print_usage(argv[0]);
+    return obs::kExitUsage;
+  }
+  if (cli.rest.empty()) {
+    print_usage(argv[0]);
+    return obs::kExitUsage;
+  }
+  try {
+    const std::string& cmd = cli.rest[0];
+    const ServeFlags flags = take_serve_flags(cli.rest);
+    obs::init_observability(cli);
+    if (cmd == "serve") return run_serve(cli, flags);
+    if (cmd == "eval") return run_eval(cli, flags);
+    if (cmd == "replay") return run_replay(flags);
+    if (cmd == "metrics") {
+      return run_one_request(flags, "{\"type\": \"metrics\"}");
+    }
+    if (cmd == "shutdown") {
+      return run_one_request(flags, "{\"type\": \"shutdown\"}");
+    }
+    throw std::invalid_argument("unknown subcommand: " + cmd);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    print_usage(argv[0]);
+    return obs::kExitUsage;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return obs::kExitRuntime;
+  }
+}

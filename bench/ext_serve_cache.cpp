@@ -7,6 +7,11 @@
 // speedup — the nondeterministic part — goes to stderr, where the CI
 // serve-smoke job reads its socket-side equivalent from replay
 // summaries instead.
+//
+// Observability flags ride the shared obs::parse_cli plumbing:
+// --metrics=<path> dumps the global registry (serve.* counters and the
+// serve.phase.* latency histograms) at exit; --trace=<path> writes a
+// Chrome trace with one span per pass and the eval work nested under it.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -15,7 +20,9 @@
 
 #include "analysis/report.hpp"
 #include "bench_util.hpp"
+#include "obs/cli.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/cache.hpp"
 #include "serve/service.hpp"
 
@@ -68,7 +75,11 @@ struct PassResult {
 };
 
 PassResult run_pass(serve::Service& service, obs::Registry& reg,
-                    const std::vector<std::string>& lines) {
+                    const std::vector<std::string>& lines,
+                    const char* pass_name) {
+  // Under --trace= the two passes show up as sibling span groups; each
+  // request's eval work parents under its pass span via the TLS context.
+  auto span = obs::Tracer::global().span(pass_name, "bench");
   const long hits0 = reg.counter("serve.cache.hit").value();
   const long misses0 = reg.counter("serve.cache.miss").value();
   PassResult pass;
@@ -88,18 +99,38 @@ PassResult run_pass(serve::Service& service, obs::Registry& reg,
   return pass;
 }
 
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--csv <dir>] [--threads=<n>] [--metrics=<path>] "
+               "[--trace=<path>]\n",
+               argv0);
+  return flopsim::obs::kExitUsage;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace flopsim;
 
-  obs::Registry reg;
+  const obs::CliArgs cli = obs::parse_cli(argc, argv);
+  // No campaign journal or waveform here: resilience flags, --vcd=, and
+  // anything parse_cli did not consume are usage errors, same taxonomy
+  // as the campaign benches.
+  if (!cli.ok() || cli.wants_resilience() || !cli.vcd_path.empty() ||
+      !cli.rest.empty()) {
+    return usage(argv[0]);
+  }
+  obs::init_observability(cli);
+
+  // The global registry, so --metrics= dumps the serve.* counters and
+  // serve.phase.* histograms this run produced.
+  obs::Registry& reg = obs::Registry::global();
   serve::ResultCache cache({.capacity = 256, .dir = "", .shards = 4}, reg);
   serve::Service service({}, &cache, reg);
 
   const std::vector<std::string> lines = request_mix();
-  const PassResult cold = run_pass(service, reg, lines);
-  const PassResult warm = run_pass(service, reg, lines);
+  const PassResult cold = run_pass(service, reg, lines, "cold_pass");
+  const PassResult warm = run_pass(service, reg, lines, "warm_pass");
   const bool identical = cold.responses == warm.responses;
   bool all_ok = true;
   for (const std::string& r : cold.responses) {
@@ -119,7 +150,7 @@ int main(int argc, char** argv) {
   t.add_row({"warm", analysis::Table::num(static_cast<long>(lines.size())),
              analysis::Table::num(warm.hits),
              analysis::Table::num(warm.misses), identical ? "yes" : "NO"});
-  bench::emit(t, argc, argv);
+  bench::emit_to(t, cli.csv_dir);
 
   // Wall-clock is machine-dependent: stderr only, never in the table.
   std::fprintf(stderr,
@@ -128,5 +159,6 @@ int main(int argc, char** argv) {
                cold.median_us, warm.median_us,
                warm.median_us > 0.0 ? cold.median_us / warm.median_us : 0.0,
                lines.size());
-  return identical && all_ok ? 0 : 1;
+  const bool flushed = obs::flush_observability(cli);
+  return identical && all_ok && flushed ? obs::kExitOk : obs::kExitRuntime;
 }

@@ -67,6 +67,7 @@ struct ThreadPool::Impl {
   std::condition_variable done_cv;   // pending hit zero
   const ChunkFn* fn = nullptr;       // borrowed for the current generation
   std::size_t count = 0;
+  obs::SpanContext ctx{};            // caller's span scope, per generation
   std::uint64_t generation = 0;
   int pending = 0;
   bool stop = false;
@@ -89,6 +90,7 @@ ThreadPool::ThreadPool(int threads)
       for (;;) {
         const ChunkFn* fn = nullptr;
         std::size_t count = 0;
+        obs::SpanContext ctx;
         {
           std::unique_lock<std::mutex> lk(s.m);
           s.work_cv.wait(lk,
@@ -97,9 +99,13 @@ ThreadPool::ThreadPool(int threads)
           seen = s.generation;
           fn = s.fn;
           count = s.count;
+          ctx = s.ctx;
         }
         std::exception_ptr err;
         try {
+          // Work runs in the caller's trace scope: a serve request's
+          // worker-side chunk spans land under the owning request.
+          obs::ScopedSpanContext scope(ctx);
           const Chunk c = chunk_of(count, threads_, w);
           if (c.begin < c.end) run_chunk_traced(*fn, w, c.begin, c.end);
         } catch (...) {
@@ -130,6 +136,7 @@ void ThreadPool::run_chunked(std::size_t count, const ChunkFn& fn) {
     std::lock_guard<std::mutex> lk(s.m);
     s.fn = &fn;
     s.count = count;
+    s.ctx = obs::current_span_context();
     s.errors.assign(static_cast<std::size_t>(threads_), nullptr);
     s.pending = threads_ - 1;
     ++s.generation;

@@ -23,6 +23,10 @@
 // run shows per-worker utilization; with the tracer disabled this costs
 // one relaxed atomic load per chunk. Workers pin obs::set_thread_id to
 // their index, which also fixes their metric shard deterministically.
+// run_chunked also captures the calling thread's obs::SpanContext and
+// installs it around every worker chunk, so work done on behalf of a
+// traced scope (a serve request) keeps its parent/child span linkage
+// across the pool boundary.
 #pragma once
 
 #include <cstddef>

@@ -63,6 +63,25 @@ void Histogram::observe(double v) {
   }
 }
 
+double Histogram::Snapshot::quantile(double q) const {
+  if (count <= 0 || bounds.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double prev = cum;
+    cum += static_cast<double>(buckets[i]);
+    if (cum >= target && buckets[i] > 0) {
+      if (i == bounds.size()) return bounds.back();  // overflow bucket
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double frac = (target - prev) / static_cast<double>(buckets[i]);
+      return lo + frac * (hi - lo);
+    }
+  }
+  return bounds.back();
+}
+
 Histogram::Snapshot Histogram::snapshot() const {
   Snapshot snap;
   snap.bounds = bounds_;
@@ -156,11 +175,67 @@ void Registry::write_jsonl(std::ostream& os) const {
             .field_raw("bounds", json_array(s.bounds))
             .field_raw("buckets", json_array(s.buckets))
             .field("count", s.count)
-            .field("sum", s.sum);
+            .field("sum", s.sum)
+            .field("p50", s.quantile(0.50))
+            .field("p95", s.quantile(0.95))
+            .field("p99", s.quantile(0.99));
         break;
       }
     }
     os << obj.str() << "\n";
+  }
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted
+/// names map dots (and anything else) to underscores.
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void Registry::write_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(m_);
+  for (const auto& [name, e] : metrics_) {  // std::map: sorted names
+    const std::string pn = prometheus_name(name);
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << pn << " counter\n"
+           << pn << " " << e.counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << pn << " gauge\n"
+           << pn << " " << e.gauge->value() << "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram::Snapshot s = e.histogram->snapshot();
+        os << "# TYPE " << pn << " histogram\n";
+        long cum = 0;
+        for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+          cum += s.buckets[i];
+          os << pn << "_bucket{le=\"" << s.bounds[i] << "\"} " << cum
+             << "\n";
+        }
+        cum += s.buckets.back();
+        os << pn << "_bucket{le=\"+Inf\"} " << cum << "\n"
+           << pn << "_sum " << s.sum << "\n"
+           << pn << "_count " << s.count << "\n";
+        for (const double q : {0.50, 0.95, 0.99}) {
+          os << pn << "{quantile=\"" << q << "\"} " << s.quantile(q)
+             << "\n";
+        }
+        break;
+      }
+    }
   }
 }
 
@@ -189,7 +264,9 @@ void Registry::write_summary(std::ostream& os) const {
         break;
       case Kind::kHistogram: {
         const Histogram::Snapshot s = e.histogram->snapshot();
-        os << "count=" << s.count << " sum=" << s.sum << " buckets[";
+        os << "count=" << s.count << " sum=" << s.sum
+           << " p50=" << s.quantile(0.50) << " p95=" << s.quantile(0.95)
+           << " p99=" << s.quantile(0.99) << " buckets[";
         for (std::size_t i = 0; i < s.buckets.size(); ++i) {
           if (i > 0) os << " ";
           os << s.buckets[i];

@@ -98,6 +98,12 @@ class Histogram {
     std::vector<long> buckets;  ///< bounds.size() + 1 entries
     long count = 0;
     double sum = 0.0;
+
+    /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside
+    /// the bucket holding rank q*count (bucket 0 interpolates from 0).
+    /// Values in the overflow bucket clamp to the last bound — the
+    /// estimate can only be as sharp as the bucket grid. 0 when empty.
+    double quantile(double q) const;
   };
   /// Shard-index-ordered merge of every slot.
   Snapshot snapshot() const;
@@ -139,8 +145,14 @@ class Registry {
   ///   {"metric": "x", "type": "counter", "value": 3}
   ///   {"metric": "y", "type": "gauge", "value": 0.5}
   ///   {"metric": "z", "type": "histogram", "bounds": [...],
-  ///    "buckets": [...], "count": 7, "sum": 4.25}
+  ///    "buckets": [...], "count": 7, "sum": 4.25,
+  ///    "p50": ..., "p95": ..., "p99": ...}
   void write_jsonl(std::ostream& os) const;
+  /// Prometheus text exposition (version 0.0.4): `# TYPE` comments,
+  /// metric names sanitized to [a-zA-Z0-9_:], histograms as cumulative
+  /// `_bucket{le=...}` series plus `_sum`/`_count` and p50/p95/p99
+  /// quantile gauges. Sorted by name, deterministic like write_jsonl.
+  void write_prometheus(std::ostream& os) const;
   /// write_jsonl to `path` (truncating). False + stderr warning on
   /// failure; true no-op when `path` is empty.
   bool write_jsonl_file(const std::string& path) const;

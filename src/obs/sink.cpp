@@ -116,4 +116,8 @@ void JsonlSink::write_line(const std::string& json) {
   out_ << json << "\n";
 }
 
+void JsonlSink::flush() {
+  if (!path_.empty() && out_) out_.flush();
+}
+
 }  // namespace flopsim::obs

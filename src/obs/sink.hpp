@@ -58,6 +58,8 @@ class JsonlSink {
   bool ok() const { return path_.empty() || static_cast<bool>(out_); }
   void write(const JsonObject& obj);
   void write_line(const std::string& json);
+  /// Push buffered lines to the file (access logs want to be tail-able).
+  void flush();
   /// Stream still healthy after the writes so far.
   bool good() const { return path_.empty() || out_.good(); }
 

@@ -20,7 +20,24 @@ std::string us_fixed(double v) {
   return buf;
 }
 
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+thread_local SpanContext tls_span_context{};
+
 }  // namespace
+
+SpanContext current_span_context() { return tls_span_context; }
+
+std::uint64_t next_span_id() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedSpanContext::ScopedSpanContext(SpanContext ctx)
+    : prev_(tls_span_context) {
+  tls_span_context = ctx;
+}
+
+ScopedSpanContext::~ScopedSpanContext() { tls_span_context = prev_; }
 
 Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
 
@@ -41,13 +58,25 @@ Tracer::Span::Span(Tracer* tracer, std::string name, std::string cat,
       name_(std::move(name)),
       cat_(std::move(cat)),
       args_(std::move(args)),
-      t0_(std::chrono::steady_clock::now()) {}
+      t0_(std::chrono::steady_clock::now()) {
+  // The owning scope is wherever the span *started*; end() may run after
+  // the context was popped (moved spans), so capture it now.
+  const SpanContext ctx = current_span_context();
+  if (ctx.trace_id != 0) {
+    trace_id_ = ctx.trace_id;
+    parent_id_ = ctx.span_id;
+    span_id_ = next_span_id();
+  }
+}
 
 void Tracer::Span::swap(Span& other) noexcept {
   std::swap(tracer_, other.tracer_);
   std::swap(name_, other.name_);
   std::swap(cat_, other.cat_);
   std::swap(args_, other.args_);
+  std::swap(trace_id_, other.trace_id_);
+  std::swap(span_id_, other.span_id_);
+  std::swap(parent_id_, other.parent_id_);
   std::swap(t0_, other.t0_);
 }
 
@@ -63,6 +92,9 @@ void Tracer::Span::end() {
   ev.ts_us =
       std::chrono::duration<double, std::micro>(t0_ - t->epoch_).count();
   ev.dur_us = std::chrono::duration<double, std::micro>(t1 - t0_).count();
+  ev.trace_id = trace_id_;
+  ev.span_id = span_id_;
+  ev.parent_id = parent_id_;
   ev.args = std::move(args_);
   t->record(std::move(ev));
 }
@@ -110,8 +142,13 @@ void Tracer::write_chrome_json(std::ostream& os) const {
         .field("tid", ev.tid)
         .field_raw("ts", us_fixed(ev.ts_us))
         .field_raw("dur", us_fixed(ev.dur_us));
-    if (!ev.args.empty()) {
+    if (!ev.args.empty() || ev.trace_id != 0) {
       JsonObject args;
+      if (ev.trace_id != 0) {
+        args.field_raw("trace", std::to_string(ev.trace_id))
+            .field_raw("span", std::to_string(ev.span_id))
+            .field_raw("parent", std::to_string(ev.parent_id));
+      }
       for (const auto& [k, v] : ev.args) args.field(k, v);
       obj.field_raw("args", args.str());
     }

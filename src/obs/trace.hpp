@@ -6,17 +6,27 @@
 // id (obs::thread_id — worker index for exec::ThreadPool workers, 0 for
 // the main thread).
 //
+// Parent/child spans: every thread carries a SpanContext (trace id +
+// owning span id, both 0 when no request/task is in scope). Spans
+// recorded while a context is installed are stamped with that trace id
+// and parent span id, so a serve request's worker-side chunk spans land
+// under the owning request in the exported trace. exec::ThreadPool
+// propagates the caller's context into its workers; serve installs a
+// per-request context around evaluation. Contexts are plain TLS values —
+// installing one costs two word writes and never synchronizes.
+//
 // The tracer is disabled by default; a disabled tracer's span() hands
 // back an inert object and costs one relaxed atomic load, so hot paths
 // (worker chunks, campaign phases) stay unperturbed unless `--trace=` is
 // given. Recording an event takes a mutex — spans are chunk/phase
 // granularity, far off the per-trial hot path, and timestamps are wall
 // clock anyway; the determinism contract covers tallies and metrics,
-// never trace timings.
+// never trace timings or span ids.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <iosfwd>
 #include <mutex>
 #include <string>
@@ -25,12 +35,47 @@
 
 namespace flopsim::obs {
 
+/// The tracing scope the current thread works under: which trace (e.g.
+/// serve request) owns the work, and which span is the immediate parent.
+/// {0, 0} = no scope; spans recorded there are roots of no trace.
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+};
+
+/// This thread's installed context ({0, 0} when none).
+SpanContext current_span_context();
+
+/// Process-unique span id (never 0). Shared by the tracer and by callers
+/// that build their own span trees (serve request telemetry) so ids never
+/// collide within one trace.
+std::uint64_t next_span_id();
+
+/// RAII: install `ctx` as this thread's span context, restore the
+/// previous one on destruction. Cheap enough for per-job scopes.
+class ScopedSpanContext {
+ public:
+  explicit ScopedSpanContext(SpanContext ctx);
+  ~ScopedSpanContext();
+  ScopedSpanContext(const ScopedSpanContext&) = delete;
+  ScopedSpanContext& operator=(const ScopedSpanContext&) = delete;
+
+ private:
+  SpanContext prev_;
+};
+
 struct TraceEvent {
   std::string name;
   std::string cat;
   int tid = 0;
   double ts_us = 0.0;   ///< start, microseconds since tracer epoch
   double dur_us = 0.0;  ///< duration, microseconds
+  /// Span-tree linkage, stamped from the recording thread's SpanContext.
+  /// 0 = outside any trace scope; rendered into "args" only when set, so
+  /// traces from context-free tools keep their exact historical shape.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
   /// Small numeric payload rendered into the event's "args" object.
   std::vector<std::pair<std::string, long>> args;
 };
@@ -74,6 +119,9 @@ class Tracer {
     std::string name_;
     std::string cat_;
     std::vector<std::pair<std::string, long>> args_;
+    std::uint64_t trace_id_ = 0;   // SpanContext at construction
+    std::uint64_t span_id_ = 0;
+    std::uint64_t parent_id_ = 0;
     std::chrono::steady_clock::time_point t0_{};
   };
 

@@ -5,6 +5,7 @@
 #include <bit>
 #include <cstdlib>
 
+#include "obs/trace.hpp"
 #include "rtl/simulator.hpp"
 
 namespace flopsim::rtl {
@@ -59,6 +60,14 @@ struct Bound {
 std::shared_ptr<const Bound> bind_clean_states(
     const PieceChain& chain, const PipelinePlan& plan,
     const std::vector<SignalSet>& inputs, long horizon) {
+  // The one-time full-pipeline simulation is the expensive part of
+  // bind(); under --trace= this span lands beneath whatever owns the
+  // evaluation (a campaign span, or a serve request's eval span via the
+  // installed obs::SpanContext).
+  auto span = obs::Tracer::global().span(
+      "bind", "evaluator",
+      {{"vectors", static_cast<long>(inputs.size())},
+       {"stages", plan.stages()}});
   auto b = std::make_shared<Bound>();
   b->inputs = inputs;
   b->horizon = horizon;
@@ -264,6 +273,8 @@ class CompiledEvaluator : public Evaluator {
     core_->chain = &chain;
     core_->plan = plan;
     core_->result_lane = contract.result_lane;
+    auto span = obs::Tracer::global().span("compile", "evaluator",
+                                           {{"stages", plan.stages()}});
     core_->program = compile_program(chain, plan, contract);
   }
   explicit CompiledEvaluator(std::shared_ptr<CompiledCore> core)

@@ -42,12 +42,19 @@ bool write_all(int fd, const char* p, std::size_t n) {
 /// the ordered write-back ledger. The last shared_ptr owner (reader thread
 /// or in-flight job) closes the socket.
 struct Server::Connection {
+  /// A completed response awaiting its turn in the ordered flush,
+  /// together with the request's trace (finished once flushed).
+  struct Pending {
+    std::string response;
+    std::shared_ptr<RequestTrace> rt;
+  };
+
   int fd = -1;
   std::uint64_t next_seq = 0;  ///< reader-thread only
 
   std::mutex m;
   std::uint64_t next_write = 0;
-  std::map<std::uint64_t, std::string> ready;
+  std::map<std::uint64_t, Pending> ready;
   bool dead = false;  ///< a write failed; drop everything else
 
   ~Connection() {
@@ -56,7 +63,9 @@ struct Server::Connection {
 };
 
 Server::Server(ServerConfig cfg, Service& service)
-    : cfg_(std::move(cfg)), service_(service) {
+    : cfg_(std::move(cfg)),
+      service_(service),
+      telemetry_(cfg_.telemetry, service.registry()) {
   cfg_.workers = std::max(1, cfg_.workers);
   if (cfg_.queue_capacity == 0) cfg_.queue_capacity = 1;
 }
@@ -203,7 +212,15 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
       const std::uint64_t seq = conn->next_seq++;
+      // The trace starts here — at socket read, before the envelope is
+      // parsed — so queue wait and evaluation are measured against the
+      // moment the request's bytes arrived.
+      std::shared_ptr<RequestTrace> rt = telemetry_.begin();
+      rt->phase_begin(Phase::kParse);
       ParsedRequest req = service_.parse(line);
+      rt->phase_end(Phase::kParse);
+      if (!req.type.empty()) rt->type = req.type;
+      rt->id_json = req.id_json;
       const bool inline_type = req.status != 0 || req.type == "ping" ||
                                req.type == "metrics" ||
                                req.type == "shutdown";
@@ -211,7 +228,11 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
         // Health probes and malformed lines never queue: a saturated
         // server still answers them. Shutdown acks, then stops accepting.
         const bool is_shutdown = req.status == 0 && req.type == "shutdown";
-        complete(conn, seq, service_.evaluate(req));
+        // Evaluate on its own statement: passing `rt.get()` and
+        // `std::move(rt)` as sibling arguments would leave the evaluation
+        // order of the move unspecified.
+        std::string response = service_.evaluate(req, rt.get());
+        complete(conn, seq, std::move(response), std::move(rt));
         if (is_shutdown) request_stop();
         continue;
       }
@@ -219,33 +240,42 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
       job.conn = conn;
       job.seq = seq;
       job.req = std::move(req);
-      if (!try_enqueue(std::move(job))) {
+      job.rt = std::move(rt);
+      if (!try_enqueue(job)) {
         // Backpressure: the bounded FIFO is full (or the server is
         // draining). Typed rejection, never queued, never evaluated.
+        // try_enqueue leaves the job intact on failure, so its trace is
+        // still ours to stamp and finish.
         service_.registry().counter("serve.requests").inc();
         service_.registry().counter("serve.requests.rejected").inc();
+        job.rt->status = 75;
         complete(conn, seq,
                  service_.error_response(
-                     req.id_json.empty() ? "null" : req.id_json, 75,
-                     "backpressure: admission queue full, retry"));
+                     job.req.id_json.empty() ? "null" : job.req.id_json, 75,
+                     "backpressure: admission queue full, retry"),
+                 std::move(job.rt));
       }
     }
     buf.erase(0, start);
     if (buf.size() > kMaxLineBytes) {
       complete(conn, conn->next_seq++,
-               service_.error_response("null", 2, "request line too long"));
+               service_.error_response("null", 2, "request line too long"),
+               nullptr);
       return;
     }
   }
 }
 
-bool Server::try_enqueue(Job job) {
+bool Server::try_enqueue(Job& job) {
   {
     std::lock_guard<std::mutex> lock(queue_m_);
     if (stopping_.load(std::memory_order_relaxed) ||
         queue_.size() >= cfg_.queue_capacity) {
       return false;
     }
+    // Queue wait starts at admission; the dequeuing worker ends it. The
+    // trace hand-off rides queue_m_'s happens-before edge.
+    if (job.rt != nullptr) job.rt->phase_begin(Phase::kQueue);
     queue_.push_back(std::move(job));
     service_.registry().gauge("serve.queue.depth").set(
         static_cast<double>(queue_.size()));
@@ -268,27 +298,44 @@ void Server::worker_loop() {
       service_.registry().gauge("serve.queue.depth").set(
           static_cast<double>(queue_.size()));
     }
-    complete(job.conn, job.seq, service_.evaluate(job.req));
+    if (job.rt != nullptr) job.rt->phase_end(Phase::kQueue);
+    std::string response = service_.evaluate(job.req, job.rt.get());
+    complete(job.conn, job.seq, std::move(response), std::move(job.rt));
     job.conn.reset();
   }
 }
 
 void Server::complete(const std::shared_ptr<Connection>& conn,
-                      std::uint64_t seq, std::string response) {
+                      std::uint64_t seq, std::string response,
+                      std::shared_ptr<RequestTrace> rt) {
   response.push_back('\n');
-  std::lock_guard<std::mutex> lock(conn->m);
-  conn->ready.emplace(seq, std::move(response));
-  // Flush the prefix that is now contiguous: responses reach the client
-  // in request order no matter how the queue completed them.
-  for (auto it = conn->ready.find(conn->next_write);
-       it != conn->ready.end() && it->first == conn->next_write;
-       it = conn->ready.find(conn->next_write)) {
-    if (!conn->dead &&
-        !write_all(conn->fd, it->second.data(), it->second.size())) {
-      conn->dead = true;
+  // Traces flushed this call, finished below after conn->m is released
+  // (telemetry appends never run under a connection lock).
+  std::vector<std::shared_ptr<RequestTrace>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conn->m);
+    conn->ready.emplace(seq,
+                        Connection::Pending{std::move(response), std::move(rt)});
+    // Flush the prefix that is now contiguous: responses reach the client
+    // in request order no matter how the queue completed them.
+    for (auto it = conn->ready.find(conn->next_write);
+         it != conn->ready.end() && it->first == conn->next_write;
+         it = conn->ready.find(conn->next_write)) {
+      Connection::Pending& p = it->second;
+      if (!conn->dead) {
+        if (p.rt != nullptr) p.rt->phase_begin(Phase::kWrite);
+        const bool ok =
+            write_all(conn->fd, p.response.data(), p.response.size());
+        if (p.rt != nullptr) p.rt->phase_end(Phase::kWrite);
+        if (!ok) conn->dead = true;
+      }
+      if (p.rt != nullptr) finished.push_back(std::move(p.rt));
+      conn->ready.erase(it);
+      ++conn->next_write;
     }
-    conn->ready.erase(it);
-    ++conn->next_write;
+  }
+  for (const std::shared_ptr<RequestTrace>& done : finished) {
+    telemetry_.finish(*done);
   }
 }
 

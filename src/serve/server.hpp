@@ -29,7 +29,18 @@
 //
 // Metrics (obs:: registry): serve.queue.depth gauge, serve.requests.rejected
 // counter, serve.connections counter — alongside the Service's own
-// serve.requests/latency and the cache's serve.cache.* family.
+// serve.requests/latency, the cache's serve.cache.* family, and the
+// telemetry hub's serve.phase.* histograms (Layer 3.4). Gauge audit:
+// serve.queue.depth is written only under queue_m_, always to the exact
+// queue_.size() after a push or pop — enqueue and dequeue are its only
+// writers, a rejected (status-75) or failed request never enters the
+// queue, and workers drain every queued job before exiting, so the gauge
+// returns to zero after any burst (locked by a regression test).
+//
+// Request telemetry (Layer 3.4): every request line gets a RequestTrace
+// at socket read; it rides the Job through the queue and the worker pool
+// and is finished after its response's ordered write-back — see
+// serve/telemetry.hpp for the phase decomposition and sink contract.
 #pragma once
 
 #include <atomic>
@@ -43,6 +54,7 @@
 #include <vector>
 
 #include "serve/service.hpp"
+#include "serve/telemetry.hpp"
 
 namespace flopsim::serve {
 
@@ -56,6 +68,9 @@ struct ServerConfig {
   /// Bounded admission queue capacity; a request arriving with the queue
   /// full is rejected with status 75. Clamped to >= 1.
   std::size_t queue_capacity = 64;
+  /// Request telemetry sinks (phase histograms always record; these add
+  /// the JSONL access log and the slow-request span capture).
+  TelemetryConfig telemetry;
 };
 
 class Server {
@@ -80,24 +95,35 @@ class Server {
 
   const ServerConfig& config() const { return cfg_; }
 
+  /// The server's telemetry hub (false ok() means a log sink failed to
+  /// open; the tool treats that as a startup failure).
+  Telemetry& telemetry() { return telemetry_; }
+
  private:
   struct Connection;
   struct Job {
     std::shared_ptr<Connection> conn;
     std::uint64_t seq = 0;
     ParsedRequest req;
+    std::shared_ptr<RequestTrace> rt;
   };
 
   void accept_loop();
   void reader_loop(std::shared_ptr<Connection> conn);
   void worker_loop();
-  /// Queue a job; false (queue full) leaves the job untouched.
-  bool try_enqueue(Job job);
-  static void complete(const std::shared_ptr<Connection>& conn,
-                       std::uint64_t seq, std::string response);
+  /// Queue a job (moving from it and marking its queue-wait phase) on
+  /// success; false (queue full / draining) leaves `job` untouched so
+  /// the caller can still stamp and finish its trace.
+  bool try_enqueue(Job& job);
+  /// Ordered write-back: stash (response, trace), flush the contiguous
+  /// prefix (timing each flushed response's write phase), then finish
+  /// the flushed traces.
+  void complete(const std::shared_ptr<Connection>& conn, std::uint64_t seq,
+                std::string response, std::shared_ptr<RequestTrace> rt);
 
   ServerConfig cfg_;
   Service& service_;
+  Telemetry telemetry_;
   int listen_fd_ = -1;
 
   std::atomic<bool> stopping_{false};

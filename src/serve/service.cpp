@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -17,8 +18,10 @@
 #include "kernel/matmul.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
+#include "obs/trace.hpp"
 #include "power/unit_power.hpp"
 #include "serve/cache.hpp"
+#include "serve/telemetry.hpp"
 #include "units/converter_unit.hpp"
 #include "units/fp_unit.hpp"
 
@@ -126,6 +129,28 @@ const char* objective_name(device::Objective o) {
   return o == device::Objective::kSpeed ? "speed" : "area";
 }
 
+/// Cache lookup timed into the trace's cache phase; stamps hit/miss.
+std::optional<std::string> timed_lookup(ResultCache* cache, std::uint64_t key,
+                                        RequestTrace* rt) {
+  if (cache == nullptr) return std::nullopt;
+  if (rt != nullptr) rt->phase_begin(Phase::kCache);
+  std::optional<std::string> hit = cache->lookup(key);
+  if (rt != nullptr) {
+    rt->phase_end(Phase::kCache);
+    rt->cache = hit.has_value() ? 1 : 0;
+  }
+  return hit;
+}
+
+/// Cache fill, accumulated into the same cache phase as the lookup.
+void timed_insert(ResultCache* cache, std::uint64_t key,
+                  const std::string& rendered, RequestTrace* rt) {
+  if (cache == nullptr) return;
+  if (rt != nullptr) rt->phase_begin(Phase::kCache);
+  cache->insert(key, rendered);
+  if (rt != nullptr) rt->phase_end(Phase::kCache);
+}
+
 void area_fields(obs::JsonObject& o, const device::Resources& area) {
   o.field("slices", area.slices)
       .field("luts", area.luts)
@@ -199,16 +224,28 @@ std::string Service::error_response(const std::string& id_json, int status,
   return o.str();
 }
 
-std::string Service::handle_line(const std::string& line) {
-  return evaluate(parse(line));
+std::string Service::handle_line(const std::string& line,
+                                 Telemetry* telemetry) {
+  if (telemetry == nullptr) return evaluate(parse(line));
+  std::shared_ptr<RequestTrace> rt = telemetry->begin();
+  rt->phase_begin(Phase::kParse);
+  const ParsedRequest req = parse(line);
+  rt->phase_end(Phase::kParse);
+  if (!req.type.empty()) rt->type = req.type;
+  rt->id_json = req.id_json;
+  std::string response = evaluate(req, rt.get());
+  telemetry->finish(*rt);
+  return response;
 }
 
-std::string Service::evaluate(const ParsedRequest& req) {
+std::string Service::evaluate(const ParsedRequest& req, RequestTrace* rt) {
   const auto t0 = std::chrono::steady_clock::now();
   reg_.counter("serve.requests").inc();
   std::string response;
+  int response_status = 0;
   if (req.status != 0) {
     reg_.counter("serve.requests.bad").inc();
+    response_status = req.status;
     response = error_response(req.id_json, req.status, req.error);
   } else {
     int status = 0;
@@ -216,6 +253,11 @@ std::string Service::evaluate(const ParsedRequest& req) {
     std::uint64_t key = 0;
     std::string body;
     try {
+      // Work below runs in the request's trace scope: tracer spans
+      // recorded here (and in exec:: worker chunks, which inherit the
+      // caller's context) parent to this request's eval span.
+      obs::ScopedSpanContext scope(rt != nullptr ? rt->eval_context()
+                                                 : obs::SpanContext{});
       if (req.type == "ping") {
         obs::JsonObject o;
         o.field("pong", true);
@@ -225,11 +267,11 @@ std::string Service::evaluate(const ParsedRequest& req) {
         o.field("shutting_down", true);
         body = o.str();
       } else if (req.type == "metrics") {
-        body = metrics_body();
+        body = metrics_body(req.body);
       } else if (req.type == "plan") {
-        body = evaluate_plan(req.body, &key, &cacheable, &status);
+        body = evaluate_plan(req.body, &key, &cacheable, &status, rt);
       } else {
-        body = evaluate_campaign(req.body, &key, &cacheable, &status);
+        body = evaluate_campaign(req.body, &key, &cacheable, &status, rt);
       }
     } catch (const BadRequest& e) {
       status = 2;
@@ -241,6 +283,7 @@ std::string Service::evaluate(const ParsedRequest& req) {
       status = 1;
       body = e.what();
     }
+    response_status = status;
     if (status == 0) {
       obs::JsonObject o;
       o.field_raw("id", req.id_json).field("status", 0).field_raw("result",
@@ -254,15 +297,25 @@ std::string Service::evaluate(const ParsedRequest& req) {
     }
   }
   const auto t1 = std::chrono::steady_clock::now();
+  const double total_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count();
   reg_.histogram("serve.request.latency_us", kLatencyBoundsUs)
-      .observe(std::chrono::duration<double, std::micro>(t1 - t0).count());
+      .observe(total_us);
+  if (rt != nullptr) {
+    rt->status = response_status;
+    // Eval is the decomposition's remainder: everything this call did
+    // except the cache phase (recorded by evaluate_plan/campaign).
+    rt->phase_record(Phase::kEval, rt->us_since_start(t0),
+                     total_us - rt->phase_us(Phase::kCache));
+  }
   return response;
 }
 
 // --- plan -----------------------------------------------------------------
 
 std::string Service::evaluate_plan(const JsonValue& body, std::uint64_t* key,
-                                   bool* cacheable, int* status) const {
+                                   bool* cacheable, int* status,
+                                   RequestTrace* rt) const {
   (void)status;
   const std::string op = string_field(body, "op", "");
   if (op == "cvt") {
@@ -285,11 +338,9 @@ std::string Service::evaluate_plan(const JsonValue& body, std::uint64_t* key,
     h.i64(static_cast<long long>(cfg.objective));
     *key = h.value();
     *cacheable = true;
-    if (cache_ != nullptr) {
-      if (std::optional<std::string> hit = cache_->lookup(*key);
-          hit.has_value()) {
-        return *hit;
-      }
+    if (std::optional<std::string> hit = timed_lookup(cache_, *key, rt);
+        hit.has_value()) {
+      return *hit;
     }
 
     const units::FormatConverter cvt(src, dst, cfg);
@@ -306,7 +357,7 @@ std::string Service::evaluate_plan(const JsonValue& body, std::uint64_t* key,
         .field("critical_ns", t.critical_ns);
     area_fields(o, a.total);
     const std::string rendered = o.str();
-    if (cache_ != nullptr) cache_->insert(*key, rendered);
+    timed_insert(cache_, *key, rendered, rt);
     return rendered;
   }
 
@@ -340,11 +391,9 @@ std::string Service::evaluate_plan(const JsonValue& body, std::uint64_t* key,
   h.i64(harden.has_value() ? static_cast<long long>(*harden) : -1);
   *key = h.value();
   *cacheable = true;
-  if (cache_ != nullptr) {
-    if (std::optional<std::string> hit = cache_->lookup(*key);
-        hit.has_value()) {
-      return *hit;
-    }
+  if (std::optional<std::string> hit = timed_lookup(cache_, *key, rt);
+      hit.has_value()) {
+    return *hit;
   }
 
   std::optional<analysis::Selection> sel;
@@ -399,7 +448,7 @@ std::string Service::evaluate_plan(const JsonValue& body, std::uint64_t* key,
     o.field_raw("harden", hj.str());
   }
   const std::string rendered = o.str();
-  if (cache_ != nullptr) cache_->insert(*key, rendered);
+  timed_insert(cache_, *key, rendered, rt);
   return rendered;
 }
 
@@ -407,7 +456,7 @@ std::string Service::evaluate_plan(const JsonValue& body, std::uint64_t* key,
 
 std::string Service::evaluate_campaign(const JsonValue& body,
                                        std::uint64_t* key, bool* cacheable,
-                                       int* status) const {
+                                       int* status, RequestTrace* rt) const {
   (void)status;
   const std::string kernel = string_field(body, "kernel", "unit");
   if (kernel == "matmul") {
@@ -447,11 +496,9 @@ std::string Service::evaluate_campaign(const JsonValue& body,
     h.i64(pe.adder_stages).i64(pe.mult_stages);
     *key = h.value();
     *cacheable = true;
-    if (cache_ != nullptr) {
-      if (std::optional<std::string> hit = cache_->lookup(*key);
-          hit.has_value()) {
-        return *hit;
-      }
+    if (std::optional<std::string> hit = timed_lookup(cache_, *key, rt);
+        hit.has_value()) {
+      return *hit;
     }
 
     const analysis::MatmulSeuResult r = analysis::run_matmul_campaign(pe, camp);
@@ -476,7 +523,7 @@ std::string Service::evaluate_campaign(const JsonValue& body,
         .field("dropped_trials", r.draws_exhausted)
         .field("sdc_fraction", r.sdc_fraction());
     const std::string rendered = o.str();
-    if (cache_ != nullptr) cache_->insert(*key, rendered);
+    timed_insert(cache_, *key, rendered, rt);
     return rendered;
   }
   if (kernel != "unit") {
@@ -514,11 +561,9 @@ std::string Service::evaluate_campaign(const JsonValue& body,
   h.i64(camp.vectors).i64(camp.faults).u64(camp.seed);
   *key = h.value();
   *cacheable = true;
-  if (cache_ != nullptr) {
-    if (std::optional<std::string> hit = cache_->lookup(*key);
-        hit.has_value()) {
-      return *hit;
-    }
+  if (std::optional<std::string> hit = timed_lookup(cache_, *key, rt);
+      hit.has_value()) {
+    return *hit;
   }
 
   if (stages == 0) {
@@ -554,13 +599,25 @@ std::string Service::evaluate_campaign(const JsonValue& body,
       .field("sdc_fraction", r.sdc_fraction())
       .field("sdc_fit", rate.fit(r.pipeline_ffs, r.avf()));
   const std::string rendered = o.str();
-  if (cache_ != nullptr) cache_->insert(*key, rendered);
+  timed_insert(cache_, *key, rendered, rt);
   return rendered;
 }
 
 // --- metrics --------------------------------------------------------------
 
-std::string Service::metrics_body() const {
+std::string Service::metrics_body(const JsonValue& body) const {
+  check_members(body, {"id", "type", "format"});
+  const std::string format = string_field(body, "format", "json");
+  if (format == "prometheus") {
+    std::ostringstream text;
+    reg_.write_prometheus(text);
+    obs::JsonObject o;
+    o.field("format", "prometheus").field("text", text.str());
+    return o.str();
+  }
+  if (format != "json") {
+    throw BadRequest("format must be \"json\" or \"prometheus\"");
+  }
   std::ostringstream lines;
   reg_.write_jsonl(lines);
   std::string joined;

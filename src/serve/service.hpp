@@ -31,8 +31,9 @@
 //                run_unit_campaign, "matmul" runs run_matmul_campaign.
 //                Results carry the full tally breakdown, including
 //                dropped_trials for matmul (the draws-exhausted count).
-//   metrics   -> the obs:: registry as a JSON array (the /metrics-style
-//                endpoint); never cached.
+//   metrics   -> the obs:: registry; never cached. Optional "format":
+//                "json" (default, a JSON array of metric objects) or
+//                "prometheus" (text exposition 0.0.4 in result.text).
 //   shutdown  -> acknowledged here; the *server* decides whether to act
 //                on it (the eval batch mode just acks).
 #pragma once
@@ -50,6 +51,8 @@ class Registry;
 namespace flopsim::serve {
 
 class ResultCache;
+class Telemetry;
+struct RequestTrace;
 
 struct ServiceConfig {
   /// Worker threads for each request's *inner* trial/sweep loops
@@ -84,11 +87,17 @@ class Service {
 
   /// Evaluate a parsed request end to end: cache lookup, evaluation on
   /// miss, cache fill, response rendering. Also records the per-request
-  /// latency histogram and request counters.
-  std::string evaluate(const ParsedRequest& req);
+  /// latency histogram and request counters. With `rt` set, records the
+  /// eval/cache phase decomposition and hit/miss into the trace, and
+  /// installs the trace's eval-span context around evaluation so
+  /// worker-side tracer spans land under the owning request.
+  std::string evaluate(const ParsedRequest& req, RequestTrace* rt = nullptr);
 
-  /// parse + evaluate — the batch-mode entry point.
-  std::string handle_line(const std::string& line);
+  /// parse + evaluate — the batch-mode entry point. With `telemetry`
+  /// set, wraps the line in a RequestTrace (parse + eval phases; no
+  /// queue/write phases in batch mode) and finishes it before returning.
+  std::string handle_line(const std::string& line,
+                          Telemetry* telemetry = nullptr);
 
   /// A rendered error response (used by the server for backpressure
   /// rejections, status 75).
@@ -101,10 +110,12 @@ class Service {
 
  private:
   std::string evaluate_plan(const JsonValue& body, std::uint64_t* key,
-                            bool* cacheable, int* status) const;
+                            bool* cacheable, int* status,
+                            RequestTrace* rt) const;
   std::string evaluate_campaign(const JsonValue& body, std::uint64_t* key,
-                                bool* cacheable, int* status) const;
-  std::string metrics_body() const;
+                                bool* cacheable, int* status,
+                                RequestTrace* rt) const;
+  std::string metrics_body(const JsonValue& body) const;
 
   ServiceConfig cfg_;
   ResultCache* cache_;

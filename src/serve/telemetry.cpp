@@ -1,0 +1,157 @@
+#include "serve/telemetry.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace flopsim::serve {
+
+namespace {
+
+/// Phase latency buckets, microseconds: finer than the request-latency
+/// grid because parse/cache/write phases live in the single-digit-µs
+/// range while eval stretches into seconds.
+const std::vector<double> kPhaseBoundsUs = {
+    1,     2.5,   5,      10,     25,     50,     100,
+    250,   500,   1000,   2500,   5000,   10000,  25000,
+    50000, 100000, 250000, 500000, 1000000};
+
+const char* const kPhaseNames[kPhaseCount] = {"parse", "queue", "eval",
+                                              "cache", "write"};
+
+}  // namespace
+
+const char* phase_name(Phase p) {
+  const int i = static_cast<int>(p);
+  return i >= 0 && i < kPhaseCount ? kPhaseNames[i] : "?";
+}
+
+double RequestTrace::us_since_start(
+    std::chrono::steady_clock::time_point t) const {
+  return std::chrono::duration<double, std::micro>(t - t0).count();
+}
+
+void RequestTrace::phase_begin(Phase p) {
+  const int i = static_cast<int>(p);
+  open_[i] = std::chrono::steady_clock::now();
+  if (start_us_[i] < 0) start_us_[i] = us_since_start(open_[i]);
+}
+
+void RequestTrace::phase_end(Phase p) {
+  const int i = static_cast<int>(p);
+  if (start_us_[i] < 0) return;  // end without begin: ignore
+  dur_us_[i] += std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - open_[i])
+                    .count();
+}
+
+void RequestTrace::phase_record(Phase p, double start_us, double dur_us) {
+  const int i = static_cast<int>(p);
+  start_us_[i] = start_us;
+  dur_us_[i] = dur_us < 0 ? 0 : dur_us;
+}
+
+bool RequestTrace::phase_recorded(Phase p) const {
+  return start_us_[static_cast<int>(p)] >= 0;
+}
+
+double RequestTrace::phase_start_us(Phase p) const {
+  const double s = start_us_[static_cast<int>(p)];
+  return s < 0 ? 0.0 : s;
+}
+
+double RequestTrace::phase_us(Phase p) const {
+  return phase_recorded(p) ? dur_us_[static_cast<int>(p)] : 0.0;
+}
+
+Telemetry::Telemetry(obs::Registry& reg) : Telemetry(TelemetryConfig{}, reg) {}
+
+Telemetry::Telemetry(TelemetryConfig cfg, obs::Registry& reg)
+    : cfg_(std::move(cfg)),
+      reg_(reg),
+      access_(cfg_.access_log_path),
+      slow_(cfg_.slow_log_path) {
+  for (int i = 0; i < kPhaseCount; ++i) {
+    phase_hist_[i] = &reg_.histogram(
+        std::string("serve.phase.") + kPhaseNames[i] + "_us", kPhaseBoundsUs);
+  }
+  ok_ = access_.ok() && slow_.ok();
+}
+
+std::shared_ptr<RequestTrace> Telemetry::begin() {
+  auto rt = std::make_shared<RequestTrace>();
+  rt->trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  rt->root_span = obs::next_span_id();
+  for (int i = 0; i < kPhaseCount; ++i) rt->phase_span[i] = obs::next_span_id();
+  rt->t0 = std::chrono::steady_clock::now();
+  return rt;
+}
+
+void Telemetry::finish(RequestTrace& rt) {
+  const double total_us = rt.us_since_start(std::chrono::steady_clock::now());
+  for (int i = 0; i < kPhaseCount; ++i) {
+    const Phase p = static_cast<Phase>(i);
+    if (rt.phase_recorded(p)) phase_hist_[i]->observe(rt.phase_us(p));
+  }
+
+  const bool want_access = !cfg_.access_log_path.empty();
+  const bool want_slow =
+      !cfg_.slow_log_path.empty() && total_us >= cfg_.slow_ms * 1000.0;
+  if (!want_access && !want_slow) return;
+
+  std::lock_guard<std::mutex> lock(m_);
+  if (want_access) {
+    obs::JsonObject o;
+    o.field("trace", static_cast<long>(rt.trace_id))
+        .field_raw("id", rt.id_json.empty() ? "null" : rt.id_json)
+        .field("type", rt.type)
+        .field("status", rt.status)
+        .field("cache", rt.cache)
+        .field("parse_us", rt.phase_us(Phase::kParse))
+        .field("queue_us", rt.phase_us(Phase::kQueue))
+        .field("eval_us", rt.phase_us(Phase::kEval))
+        .field("cache_us", rt.phase_us(Phase::kCache))
+        .field("write_us", rt.phase_us(Phase::kWrite))
+        .field("total_us", total_us);
+    access_.write(o);
+  }
+  if (want_slow) {
+    std::string spans = "[";
+    {
+      obs::JsonObject root;
+      root.field("name", "request")
+          .field("span", static_cast<long>(rt.root_span))
+          .field("parent", 0L)
+          .field("start_us", 0.0)
+          .field("dur_us", total_us);
+      spans += root.str();
+    }
+    for (int i = 0; i < kPhaseCount; ++i) {
+      const Phase p = static_cast<Phase>(i);
+      if (!rt.phase_recorded(p)) continue;
+      obs::JsonObject s;
+      s.field("name", kPhaseNames[i])
+          .field("span", static_cast<long>(rt.phase_span[i]))
+          .field("parent", static_cast<long>(rt.root_span))
+          .field("start_us", rt.phase_start_us(p))
+          .field("dur_us", rt.phase_us(p));
+      spans += ", ";
+      spans += s.str();
+    }
+    spans += "]";
+    obs::JsonObject o;
+    o.field("trace", static_cast<long>(rt.trace_id))
+        .field("type", rt.type)
+        .field("status", rt.status)
+        .field("total_us", total_us)
+        .field_raw("spans", spans);
+    slow_.write(o);
+  }
+  // Line-buffered behaviour: a `tail -f` on the access log (or a test
+  // reading it mid-run) sees each request as soon as it finished.
+  access_.flush();
+  slow_.flush();
+}
+
+}  // namespace flopsim::serve

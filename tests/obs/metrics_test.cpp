@@ -128,7 +128,65 @@ TEST(Registry, WritesSortedJsonl) {
       "{\"metric\": \"b.count\", \"type\": \"counter\", \"value\": 3}\n"
       "{\"metric\": \"c.hist\", \"type\": \"histogram\", "
       "\"bounds\": [1, 2], \"buckets\": [0, 1, 0], "
-      "\"count\": 1, \"sum\": 1.5}\n";
+      "\"count\": 1, \"sum\": 1.5, "
+      "\"p50\": 1.5, \"p95\": 1.95, \"p99\": 1.99}\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBuckets) {
+  Histogram h({10.0, 20.0, 40.0});
+  // 10 observations in (10, 20], none elsewhere: every quantile
+  // interpolates linearly inside the second bucket.
+  for (int i = 0; i < 10; ++i) h.observe(15.0);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 15.0);   // 10 + 0.5 * (20 - 10)
+  EXPECT_DOUBLE_EQ(s.quantile(0.1), 11.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 20.0);
+}
+
+TEST(Histogram, QuantileFirstBucketInterpolatesFromZero) {
+  Histogram h({8.0});
+  h.observe(1.0);
+  h.observe(2.0);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 4.0);  // 0 + (1/2) * 8
+}
+
+TEST(Histogram, QuantileClampsOverflowToLastBound) {
+  Histogram h({1.0, 2.0});
+  h.observe(100.0);  // overflow bucket
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 2.0);
+}
+
+TEST(Histogram, QuantileOfEmptyHistogramIsZero) {
+  Histogram h({1.0, 2.0});
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(Registry, WritesPrometheusExposition) {
+  Registry reg;
+  reg.counter("b.count").add(3);
+  reg.gauge("a.gauge").set(0.5);
+  reg.histogram("c.hist", {1.0, 2.0}).observe(1.5);
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string expected =
+      "# TYPE a_gauge gauge\n"
+      "a_gauge 0.5\n"
+      "# TYPE b_count counter\n"
+      "b_count 3\n"
+      "# TYPE c_hist histogram\n"
+      "c_hist_bucket{le=\"1\"} 0\n"
+      "c_hist_bucket{le=\"2\"} 1\n"
+      "c_hist_bucket{le=\"+Inf\"} 1\n"
+      "c_hist_sum 1.5\n"
+      "c_hist_count 1\n"
+      "c_hist{quantile=\"0.5\"} 1.5\n"
+      "c_hist{quantile=\"0.95\"} 1.95\n"
+      "c_hist{quantile=\"0.99\"} 1.99\n";
   EXPECT_EQ(os.str(), expected);
 }
 
@@ -140,6 +198,9 @@ TEST(Registry, SummaryListsEveryMetric) {
   reg.write_summary(os);
   EXPECT_NE(os.str().find("trials  7"), std::string::npos);
   EXPECT_NE(os.str().find("count=1"), std::string::npos);
+  // Quantiles ride along: one observation at 0.25 in the [0, 0.5) bucket
+  // interpolates to 0.25 at p50 (rank 0.5 of one sample).
+  EXPECT_NE(os.str().find("p50=0.25"), std::string::npos);
 }
 
 }  // namespace

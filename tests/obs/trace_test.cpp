@@ -111,6 +111,89 @@ TEST(Tracer, EmptyTraceIsStillAValidContainer) {
   EXPECT_NE(os.str().find("\"traceEvents\": ["), std::string::npos);
 }
 
+TEST(SpanContext, DefaultIsEmptyAndScopesNestAndRestore) {
+  EXPECT_EQ(current_span_context().trace_id, 0u);
+  EXPECT_EQ(current_span_context().span_id, 0u);
+  {
+    ScopedSpanContext outer({7, 100});
+    EXPECT_EQ(current_span_context().trace_id, 7u);
+    EXPECT_EQ(current_span_context().span_id, 100u);
+    {
+      ScopedSpanContext inner({7, 200});
+      EXPECT_EQ(current_span_context().span_id, 200u);
+    }
+    EXPECT_EQ(current_span_context().span_id, 100u);
+  }
+  EXPECT_EQ(current_span_context().trace_id, 0u);
+}
+
+TEST(SpanContext, NextSpanIdIsNeverZeroAndMonotonic) {
+  const std::uint64_t a = next_span_id();
+  const std::uint64_t b = next_span_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_GT(b, a);
+}
+
+TEST(Tracer, SpanInheritsInstalledContextAsParent) {
+  TracerGuard guard;
+  {
+    ScopedSpanContext scope({42, 9000});
+    auto span = Tracer::global().span("child", "test");
+  }
+  const auto events = Tracer::global().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, 42u);
+  EXPECT_EQ(events[0].parent_id, 9000u);
+  EXPECT_NE(events[0].span_id, 0u);
+}
+
+TEST(Tracer, ContextFreeSpanKeepsHistoricalJsonShape) {
+  TracerGuard guard;
+  { auto span = Tracer::global().span("plain", "test"); }
+  std::ostringstream os;
+  Tracer::global().write_chrome_json(os);
+  // No context installed: no trace/span/parent args, no args object at
+  // all for an argless span — traces from context-free tools are
+  // byte-shaped exactly as before span contexts existed.
+  EXPECT_EQ(os.str().find("\"trace\""), std::string::npos);
+  EXPECT_EQ(os.str().find("\"args\""), std::string::npos);
+}
+
+TEST(Tracer, ContextedSpanRendersLinkageIntoArgs) {
+  TracerGuard guard;
+  {
+    ScopedSpanContext scope({5, 77});
+    auto span = Tracer::global().span("linked", "test");
+  }
+  std::ostringstream os;
+  Tracer::global().write_chrome_json(os);
+  expect_well_formed(os.str());
+  EXPECT_NE(os.str().find("\"trace\": 5"), std::string::npos);
+  EXPECT_NE(os.str().find("\"parent\": 77"), std::string::npos);
+  EXPECT_NE(os.str().find("\"span\": "), std::string::npos);
+}
+
+TEST(Tracer, WorkerChunkSpansInheritCallersContext) {
+  TracerGuard guard;
+  const SpanContext ctx{11, 500};
+  {
+    ScopedSpanContext scope(ctx);
+    exec::ThreadPool pool(4);
+    pool.run_chunked(64, [](int, std::size_t, std::size_t) {});
+  }
+  const auto events = Tracer::global().events();
+  int linked = 0;
+  for (const TraceEvent& ev : events) {
+    if (ev.name != "chunk") continue;
+    EXPECT_EQ(ev.trace_id, 11u);
+    EXPECT_EQ(ev.parent_id, 500u);
+    ++linked;
+  }
+  // Every worker's chunk span — including chunk 0 on the caller — landed
+  // under the owning scope.
+  EXPECT_EQ(linked, 4);
+}
+
 TEST(Tracer, WorkerChunksEmitOneSpanPerWorker) {
   TracerGuard guard;
   exec::ThreadPool pool(4);

@@ -19,6 +19,7 @@
 #include "serve/client.hpp"
 #include "serve/json.hpp"
 #include "serve/service.hpp"
+#include "serve/telemetry.hpp"
 
 namespace flopsim::serve {
 namespace {
@@ -41,14 +42,16 @@ int status_of(const std::string& response) {
 /// A running server with its own registry, cache, and service.
 class Harness {
  public:
-  explicit Harness(int workers, std::size_t queue_capacity = 64)
+  explicit Harness(int workers, std::size_t queue_capacity = 64,
+                   TelemetryConfig telemetry = {})
       : cache_({.capacity = 256, .dir = "", .shards = 4}, reg_),
         service_({}, &cache_, reg_),
         server_(
             ServerConfig{.unix_path = socket_path(),
                          .port = 0,
                          .workers = workers,
-                         .queue_capacity = queue_capacity},
+                         .queue_capacity = queue_capacity,
+                         .telemetry = std::move(telemetry)},
             service_) {
     std::string error;
     ok_ = server_.start(&error);
@@ -211,6 +214,114 @@ TEST(Server, FloodAgainstTinyQueueIsRejectedWithStatus75) {
   EXPECT_GE(ok, 1);
   EXPECT_GE(rejected, 1);
   EXPECT_GE(h.registry().counter("serve.requests.rejected").value(), 1);
+}
+
+TEST(Server, QueueDepthGaugeReturnsToZeroAfterRejectionBurst) {
+  // The serve.queue.depth audit: the gauge is written only under the
+  // queue mutex, always to the exact queue size, and neither status-75
+  // rejections (never enqueued) nor requests that fail during evaluation
+  // (dequeued like any other) may leak depth. Flood a 1-worker/1-slot
+  // server with a mix of slow campaigns and campaigns that fail with
+  // status 2 at evaluation time, then verify the gauge drained to zero.
+  Harness h(/*workers=*/1, /*queue_capacity=*/1);
+  ASSERT_TRUE(h.ok());
+  Client c = h.connect();
+  std::vector<std::string> lines;
+  for (int i = 0; i < 24; ++i) {
+    if (i % 4 == 3) {
+      // Envelope-valid (so it queues) but fails in evaluate_campaign.
+      lines.push_back("{\"id\": " + std::to_string(i) +
+                      ", \"type\": \"campaign\", \"op\": \"add\", "
+                      "\"bits\": 32, \"stages\": 4, "
+                      "\"scheme\": \"bogus\"}");
+    } else {
+      lines.push_back("{\"id\": " + std::to_string(i) +
+                      ", \"type\": \"campaign\", \"op\": \"mul\", "
+                      "\"bits\": 32, \"stages\": 4, \"faults\": 16, "
+                      "\"vectors\": 8, \"seed\": " + std::to_string(i) +
+                      "}");
+    }
+  }
+  const std::vector<std::string> responses = h.roundtrip(c, lines);
+  ASSERT_EQ(responses.size(), lines.size());
+  int rejected = 0;
+  for (const std::string& r : responses) {
+    const int status = status_of(r);
+    EXPECT_TRUE(status == 0 || status == 2 || status == 75) << r;
+    if (status == 75) ++rejected;
+  }
+  EXPECT_GE(rejected, 1);
+  // Every response has been written, so every queued job was dequeued;
+  // the last dequeue set the gauge to the then-current queue size, and
+  // with nothing left in flight that size was zero.
+  EXPECT_EQ(h.registry().gauge("serve.queue.depth").value(), 0.0);
+}
+
+TEST(Server, ConcurrentMetricsReadsDuringEvalAreCleanAtAnyWorkerCount) {
+  // Satellite of the tracing PR: the metrics endpoint (inline on the
+  // reader thread) snapshots every histogram shard while evaluation
+  // workers are observing into them. Run it against in-flight campaigns
+  // at 1/2/8 workers — under TSan in CI this doubles as a race check on
+  // the registry's relaxed-atomic shards and the telemetry phase
+  // histograms.
+  for (const int workers : {1, 2, 8}) {
+    Harness h(workers);
+    ASSERT_TRUE(h.ok());
+    Client flooder = h.connect();
+    constexpr int kCampaigns = 10;
+    for (int i = 0; i < kCampaigns; ++i) {
+      ASSERT_TRUE(flooder.send_line(
+          "{\"id\": " + std::to_string(i) +
+          ", \"type\": \"campaign\", \"op\": \"add\", \"bits\": 32, "
+          "\"stages\": 4, \"faults\": 16, \"vectors\": 8, \"seed\": " +
+          std::to_string(i) + "}"));
+    }
+    std::atomic<int> metrics_ok{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 2; ++t) {
+      readers.emplace_back([&h, &metrics_ok] {
+        Client c = h.connect();
+        std::string response;
+        for (int i = 0; i < 8; ++i) {
+          if (!c.send_line("{\"id\": 7, \"type\": \"metrics\"}")) return;
+          if (!c.recv_line(&response)) return;
+          if (status_of(response) == 0) metrics_ok.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& t : readers) t.join();
+    EXPECT_EQ(metrics_ok.load(), 16) << "workers=" << workers;
+    std::string response;
+    for (int i = 0; i < kCampaigns; ++i) {
+      if (!flooder.recv_line(&response)) break;
+    }
+  }
+}
+
+TEST(Server, PrometheusMetricsFormatOverSocket) {
+  Harness h(/*workers=*/2);
+  ASSERT_TRUE(h.ok());
+  Client c = h.connect();
+  ASSERT_TRUE(c.send_line(
+      "{\"id\": 1, \"type\": \"metrics\", \"format\": \"prometheus\"}"));
+  std::string response;
+  ASSERT_TRUE(c.recv_line(&response));
+  EXPECT_EQ(status_of(response), 0);
+  const auto v = parse_json(response);
+  ASSERT_TRUE(v.has_value());
+  const JsonValue* result = v->get("result");
+  ASSERT_NE(result, nullptr);
+  const JsonValue* text = result->get("text");
+  ASSERT_NE(text, nullptr);
+  EXPECT_NE(text->as_string().find("# TYPE serve_requests counter"),
+            std::string::npos);
+  EXPECT_NE(text->as_string().find("serve_phase_parse_us_bucket{le="),
+            std::string::npos);
+  // An unknown format is a usage error, not a silent JSON fallback.
+  ASSERT_TRUE(c.send_line(
+      "{\"id\": 2, \"type\": \"metrics\", \"format\": \"xml\"}"));
+  ASSERT_TRUE(c.recv_line(&response));
+  EXPECT_EQ(status_of(response), 2);
 }
 
 TEST(Server, SaturatedServerStillAnswersPing) {

@@ -10,17 +10,27 @@
 //   serve     --unix=<path> | --port=<n>  [--workers=<n>] [--queue=<n>]
 //             [--cache-capacity=<n>] [--cache-dir=<dir>] [--cache-shards=<n>]
 //             [--threads=<n>] [--backend=<b>] [--metrics=<path>]
+//             [--trace=<path>] [--access-log=<path>] [--slow-log=<path>]
+//             [--slow-ms=<n>]
 //             run the server until a shutdown request or SIGINT/SIGTERM.
-//   eval      <requests.jsonl>  [--cache-capacity=] [--cache-dir=] ...
+//             --access-log= appends one JSONL line per request (trace id,
+//             status, cache hit/miss, phase timings); --slow-log= dumps
+//             the span tree of requests slower than --slow-ms= (0, the
+//             default, captures every request).
+//   eval      <requests.jsonl>  [--cache-capacity=] [--cache-dir=]
+//             [--access-log=] [--slow-log=] [--slow-ms=] ...
 //             no-socket batch mode: evaluate each request line through the
 //             same Service and print the response lines to stdout.
 //   replay    <requests.jsonl> --unix=|--port= [--out=<path>]
-//             [--summary=<path>]
+//             [--summary=<path>] [--metrics=<path>] [--trace=<path>]
 //             send each line synchronously, one response per request, and
 //             record per-request latency; --summary= writes a JSON object
 //             with the median/mean microseconds (the CI cache-speedup
-//             check reads it).
-//   metrics   --unix=|--port=   print the server's /metrics-style response.
+//             check reads it). --metrics= dumps the client-side latency
+//             histogram; --trace= spans each request round trip.
+//   metrics   --unix=|--port= [--prom]
+//             print the server's /metrics-style response; --prom asks for
+//             and unwraps the Prometheus text exposition.
 //   shutdown  --unix=|--port=   ask the server to stop.
 //
 // Per-request status codes reuse the process exit taxonomy (obs/cli.hpp):
@@ -40,10 +50,13 @@
 #include "obs/cli.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
+#include "obs/trace.hpp"
 #include "serve/cache.hpp"
 #include "serve/client.hpp"
+#include "serve/json.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "serve/telemetry.hpp"
 
 namespace {
 
@@ -58,10 +71,14 @@ void print_usage(const char* prog) {
       "[--cache-shards=<n>]\n"
       "                        [--threads=<n>] [--backend=<b>] "
       "[--metrics=<path>] [--trace=<path>]\n"
-      "       %s eval     <requests.jsonl> [cache flags as above]\n"
+      "                        [--access-log=<path>] [--slow-log=<path>] "
+      "[--slow-ms=<n>]\n"
+      "       %s eval     <requests.jsonl> [cache/telemetry flags as "
+      "above]\n"
       "       %s replay   <requests.jsonl> --unix=<path>|--port=<n> "
       "[--out=<path>] [--summary=<path>]\n"
-      "       %s metrics  --unix=<path>|--port=<n>\n"
+      "                        [--metrics=<path>] [--trace=<path>]\n"
+      "       %s metrics  --unix=<path>|--port=<n> [--prom]\n"
       "       %s shutdown --unix=<path>|--port=<n>\n",
       prog, prog, prog, prog, prog);
 }
@@ -76,7 +93,19 @@ struct ServeFlags {
   long cache_shards = 4;
   std::string out_path;
   std::string summary_path;
+  std::string access_log;
+  std::string slow_log;
+  long slow_ms = 0;
+  bool prom = false;
   std::vector<std::string> positional;
+
+  serve::TelemetryConfig telemetry() const {
+    serve::TelemetryConfig tc;
+    tc.access_log_path = access_log;
+    tc.slow_log_path = slow_log;
+    tc.slow_ms = static_cast<double>(slow_ms);
+    return tc;
+  }
 };
 
 /// Parse the serve-specific tokens out of parse_cli's `rest`. Throws
@@ -111,6 +140,18 @@ ServeFlags take_serve_flags(const std::vector<std::string>& rest) {
       f.out_path = tok.substr(6);
     } else if (tok.rfind("--summary=", 0) == 0) {
       f.summary_path = tok.substr(10);
+    } else if (tok.rfind("--access-log=", 0) == 0) {
+      f.access_log = tok.substr(13);
+      if (f.access_log.empty()) {
+        throw std::invalid_argument("empty --access-log=");
+      }
+    } else if (tok.rfind("--slow-log=", 0) == 0) {
+      f.slow_log = tok.substr(11);
+      if (f.slow_log.empty()) throw std::invalid_argument("empty --slow-log=");
+    } else if (tok.rfind("--slow-ms=", 0) == 0) {
+      f.slow_ms = int_flag(tok, 10, 0, 1L << 30);
+    } else if (tok == "--prom") {
+      f.prom = true;
     } else if (tok.rfind("--", 0) == 0) {
       throw std::invalid_argument("unknown flag: " + tok);
     } else {
@@ -143,7 +184,12 @@ int run_serve(const obs::CliArgs& cli, const ServeFlags& f) {
   srv.port = f.port;
   srv.workers = f.workers;
   srv.queue_capacity = static_cast<std::size_t>(f.queue);
+  srv.telemetry = f.telemetry();
   serve::Server server(srv, service);
+  if (!server.telemetry().ok()) {
+    std::fprintf(stderr, "error: could not open telemetry log\n");
+    return obs::kExitRuntime;
+  }
   std::string error;
   if (!server.start(&error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
@@ -186,16 +232,21 @@ int run_eval(const obs::CliArgs& cli, const ServeFlags& f) {
   sc.threads = cli.threads == 0 ? 1 : cli.threads;
   sc.backend = cli.backend;
   serve::Service service(sc, &cache, reg);
+  serve::Telemetry telemetry(f.telemetry(), reg);
+  if (!telemetry.ok()) {
+    std::fprintf(stderr, "error: could not open telemetry log\n");
+    return obs::kExitRuntime;
+  }
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    std::printf("%s\n", service.handle_line(line).c_str());
+    std::printf("%s\n", service.handle_line(line, &telemetry).c_str());
   }
   if (!obs::flush_observability(cli)) return obs::kExitRuntime;
   return obs::kExitOk;
 }
 
-int run_replay(const ServeFlags& f) {
+int run_replay(const obs::CliArgs& cli, const ServeFlags& f) {
   if (f.positional.empty()) {
     throw std::invalid_argument("replay needs a requests file");
   }
@@ -223,6 +274,12 @@ int run_replay(const ServeFlags& f) {
       return obs::kExitRuntime;
     }
   }
+  // --metrics= support: the client-side round-trip latency histogram
+  // (same bucket grid as the server's per-request latency metric).
+  obs::Histogram& lat_hist = obs::Registry::global().histogram(
+      "replay.latency_us",
+      {50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000,
+       250000, 500000, 1000000});
   std::vector<double> latencies_us;
   const auto wall0 = std::chrono::steady_clock::now();
   std::string line;
@@ -230,13 +287,21 @@ int run_replay(const ServeFlags& f) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     const auto t0 = std::chrono::steady_clock::now();
-    if (!client.send_line(line) || !client.recv_line(&response)) {
-      std::fprintf(stderr, "error: server connection lost mid-replay\n");
-      return obs::kExitRuntime;
+    {
+      // --trace= support: one span per request round trip.
+      auto span = obs::Tracer::global().span(
+          "request", "replay",
+          {{"n", static_cast<long>(latencies_us.size())}});
+      if (!client.send_line(line) || !client.recv_line(&response)) {
+        std::fprintf(stderr, "error: server connection lost mid-replay\n");
+        return obs::kExitRuntime;
+      }
     }
     const auto t1 = std::chrono::steady_clock::now();
-    latencies_us.push_back(
-        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    const double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    lat_hist.observe(us);
+    latencies_us.push_back(us);
     if (out.is_open()) {
       out << response << "\n";
     } else {
@@ -274,10 +339,12 @@ int run_replay(const ServeFlags& f) {
   } else {
     std::fprintf(stderr, "replay: %s\n", summary.str().c_str());
   }
+  if (!obs::flush_observability(cli)) return obs::kExitRuntime;
   return obs::kExitOk;
 }
 
-int run_one_request(const ServeFlags& f, const std::string& request) {
+std::optional<std::string> one_request(const ServeFlags& f,
+                                       const std::string& request) {
   if (f.unix_path.empty() && f.port == 0) {
     throw std::invalid_argument("need --unix= or --port=");
   }
@@ -285,14 +352,45 @@ int run_one_request(const ServeFlags& f, const std::string& request) {
   std::string error;
   if (!client.connect(f.unix_path, f.port, 5.0, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
-    return obs::kExitRuntime;
+    return std::nullopt;
   }
   std::string response;
   if (!client.send_line(request) || !client.recv_line(&response)) {
     std::fprintf(stderr, "error: no response from server\n");
+    return std::nullopt;
+  }
+  return response;
+}
+
+int run_one_request(const ServeFlags& f, const std::string& request) {
+  const std::optional<std::string> response = one_request(f, request);
+  if (!response.has_value()) return obs::kExitRuntime;
+  std::printf("%s\n", response->c_str());
+  return obs::kExitOk;
+}
+
+int run_metrics(const ServeFlags& f) {
+  if (!f.prom) return run_one_request(f, "{\"type\": \"metrics\"}");
+  const std::optional<std::string> response =
+      one_request(f, "{\"type\": \"metrics\", \"format\": \"prometheus\"}");
+  if (!response.has_value()) return obs::kExitRuntime;
+  // Unwrap result.text so the output is the raw text exposition, ready
+  // for a Prometheus scraper (or a human) as-is.
+  const std::optional<serve::JsonValue> parsed = serve::parse_json(*response);
+  const serve::JsonValue* status =
+      parsed.has_value() ? parsed->get("status") : nullptr;
+  if (status == nullptr || !status->is_int() || status->as_int() != 0) {
+    std::fprintf(stderr, "error: %s\n", response->c_str());
     return obs::kExitRuntime;
   }
-  std::printf("%s\n", response.c_str());
+  const serve::JsonValue* result = parsed->get("result");
+  const serve::JsonValue* text =
+      result != nullptr ? result->get("text") : nullptr;
+  if (text == nullptr || !text->is_string()) {
+    std::fprintf(stderr, "error: malformed metrics response\n");
+    return obs::kExitRuntime;
+  }
+  std::printf("%s", text->as_string().c_str());
   return obs::kExitOk;
 }
 
@@ -324,10 +422,8 @@ int main(int argc, char** argv) {
     obs::init_observability(cli);
     if (cmd == "serve") return run_serve(cli, flags);
     if (cmd == "eval") return run_eval(cli, flags);
-    if (cmd == "replay") return run_replay(flags);
-    if (cmd == "metrics") {
-      return run_one_request(flags, "{\"type\": \"metrics\"}");
-    }
+    if (cmd == "replay") return run_replay(cli, flags);
+    if (cmd == "metrics") return run_metrics(flags);
     if (cmd == "shutdown") {
       return run_one_request(flags, "{\"type\": \"shutdown\"}");
     }

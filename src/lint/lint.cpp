@@ -4,9 +4,14 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <unordered_map>
 
 #include "fault/campaign.hpp"
+#include "lint/absint.hpp"
 #include "lint/probe.hpp"
+#include "rtl/program.hpp"
 #include "units/converter_unit.hpp"
 #include "units/fp_unit.hpp"
 
@@ -31,6 +36,10 @@ int Report::count(Severity s) const {
 
 void Report::merge(Report other) {
   for (Finding& f : other.findings) findings.push_back(std::move(f));
+  absint_subjects += other.absint_subjects;
+  absint_boundaries += other.absint_boundaries;
+  absint_exact += other.absint_exact;
+  absint_checks += other.absint_checks;
 }
 
 std::vector<Finding> Report::with_rule(const std::string& rule) const {
@@ -91,15 +100,98 @@ const std::vector<RuleInfo>& rule_registry() {
       {"DL306", Severity::kError,
        "evaluate_area register count disagrees with the live_bits "
        "declarations"},
+      {"DL400", Severity::kError,
+       "a concrete stimulus escaped the abstract state: the piece's sem "
+       "annotation under-approximates its eval"},
+      {"DL401", Severity::kError,
+       "declared live_bits at a cut boundary is below the exactly-proven "
+       "live width (static bound and concrete witness agree; no tolerance)"},
+      {"DL402", Severity::kWarning,
+       "piece output proven constant, but the compiled backend keeps it as "
+       "a call (missed constant fold)"},
+      {"DL403", Severity::kWarning,
+       "lane or piece proven dead beyond the observed liveness the FF model "
+       "and compiled backend rely on"},
+      {"DL404", Severity::kWarning,
+       "unreachable piece ops, or a compiled-backend prune the proofs do "
+       "not support"},
+      {"DL405", Severity::kWarning,
+       "carry/overflow out of a truncated adder/multiplier is reachable "
+       "into a dropped bit"},
   };
   return kRules;
 }
 
 const RuleInfo* find_rule(const std::string& id) {
-  for (const RuleInfo& r : rule_registry()) {
-    if (id == r.id) return &r;
+  // Built once, so every Finding construction pays a hash lookup instead
+  // of a registry scan.
+  static const auto& index = *[] {
+    auto* m = new std::unordered_map<std::string_view, const RuleInfo*>();
+    for (const RuleInfo& r : rule_registry()) m->emplace(r.id, &r);
+    return m;
+  }();
+  const auto it = index.find(id);
+  return it == index.end() ? nullptr : it->second;
+}
+
+namespace {
+
+/// "DL4xx" family wildcards: a trailing run of 'x' makes the entry match
+/// any rule sharing the fixed prefix at the same length.
+bool rule_matches_entry(const std::string& rule, const std::string& entry) {
+  std::size_t fixed = entry.size();
+  while (fixed > 0 && (entry[fixed - 1] == 'x' || entry[fixed - 1] == 'X')) {
+    --fixed;
   }
-  return nullptr;
+  if (fixed == entry.size()) return rule == entry;
+  return rule.size() == entry.size() &&
+         rule.compare(0, fixed, entry, 0, fixed) == 0;
+}
+
+bool entry_matches_any_rule(const std::string& entry) {
+  for (const RuleInfo& r : rule_registry()) {
+    if (rule_matches_entry(r.id, entry)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+RuleFilter RuleFilter::parse(const std::string& spec) {
+  RuleFilter filter;
+  std::stringstream ss(spec);
+  std::string entry;
+  while (std::getline(ss, entry, ',')) {
+    while (!entry.empty() && entry.front() == ' ') entry.erase(0, 1);
+    while (!entry.empty() && entry.back() == ' ') entry.pop_back();
+    if (entry.empty()) continue;
+    const bool negated = entry.front() == '-';
+    if (negated) entry.erase(0, 1);
+    if (entry.empty() || !entry_matches_any_rule(entry)) {
+      throw std::invalid_argument("unknown rule or family '" + entry +
+                                  "' in --rules");
+    }
+    (negated ? filter.exclude : filter.include).push_back(entry);
+  }
+  return filter;
+}
+
+bool RuleFilter::allows(const std::string& rule) const {
+  for (const std::string& e : exclude) {
+    if (rule_matches_entry(rule, e)) return false;
+  }
+  if (include.empty()) return true;
+  for (const std::string& e : include) {
+    if (rule_matches_entry(rule, e)) return true;
+  }
+  return false;
+}
+
+void apply_rule_filter(Report& report, const RuleFilter& filter) {
+  if (filter.empty()) return;
+  std::erase_if(report.findings, [&filter](const Finding& f) {
+    return !filter.allows(f.rule);
+  });
 }
 
 namespace {
@@ -292,10 +384,23 @@ void defuse_rules(const rtl::PieceChain& chain, const ChainContract& contract,
   }
 }
 
+/// Comma-joined "lane:width" detail for a proven boundary.
+std::string absint_lane_detail(const BoundaryBounds& bb) {
+  std::ostringstream out;
+  bool first = true;
+  for (const LaneBound& lb : bb.lanes) {
+    if (lb.demand == 0) continue;
+    if (!first) out << ",";
+    first = false;
+    out << lb.lane << ":" << lb.upper;
+  }
+  return out.str();
+}
+
 void live_bits_rules(const rtl::PieceChain& chain,
                      const ChainContract& contract, const ChainAccess& access,
                      const Options& opts, const std::string& subject,
-                     Report& report) {
+                     const ChainAbsint* absint, Report& report) {
   const int n = static_cast<int>(chain.size());
   if (n == 0) return;
 
@@ -303,6 +408,9 @@ void live_bits_rules(const rtl::PieceChain& chain,
   for (int l : contract.input_lanes) {
     if (l >= 0 && l < kMaxSignals) defined[static_cast<std::size_t>(l)] = true;
   }
+  // DL403 dedup: a lane that stays provably dead across consecutive
+  // boundaries is one finding, reported where the dead stretch starts.
+  std::array<bool, kMaxSignals> dead_reported{};
 
   for (int b = 0; b < n; ++b) {
     for (int l = 0; l < kMaxSignals; ++l) {
@@ -321,6 +429,7 @@ void live_bits_rules(const rtl::PieceChain& chain,
     int inferred = 0;
     std::ostringstream lanes;
     bool first_lane = true;
+    std::vector<int> probe_live;
     if (final_boundary) {
       const auto idx = static_cast<std::size_t>(contract.result_lane);
       inferred = access.width_after[static_cast<std::size_t>(b)][idx];
@@ -339,16 +448,112 @@ void live_bits_rules(const rtl::PieceChain& chain,
         first_lane = false;
         lanes << l << ":" << w;
         inferred += w;
+        probe_live.push_back(l);
+      }
+    }
+
+    const BoundaryBounds* bb = nullptr;
+    if (absint != nullptr && absint->annotated) {
+      for (const BoundaryBounds& cand : absint->boundaries) {
+        if (cand.boundary == b) {
+          bb = &cand;
+          break;
+        }
       }
     }
 
     const int declared = chain[static_cast<std::size_t>(b)].live_bits;
+    if (bb != nullptr) {
+      // DL403: lanes the probe observed as live (read downstream) whose
+      // demanded-bit mask the sem annotations prove empty — the value is
+      // recomputed or ignored past here, so its FFs are waste.
+      for (const LaneBound& lb : bb->lanes) {
+        if (lb.lane < 0 || lb.lane >= kMaxSignals) continue;
+        const auto lidx = static_cast<std::size_t>(lb.lane);
+        if (lb.demand != 0) {
+          dead_reported[lidx] = false;
+          continue;
+        }
+        const bool is_probe_live =
+            std::find(probe_live.begin(), probe_live.end(), lb.lane) !=
+            probe_live.end();
+        if (!is_probe_live || dead_reported[lidx]) continue;
+        dead_reported[lidx] = true;
+        std::ostringstream msg;
+        msg << "lane " << lb.lane << " is read downstream under the probe, "
+            << "but no bit of it is demanded by the sem annotations: provably "
+            << "dead from here until it is rewritten";
+        Finding f = piece_finding("DL403", subject, chain, b, msg.str());
+        f.lane = lb.lane;
+        f.boundary = b;
+        report.add(f);
+      }
+      if (bb->exact()) {
+        // The sandwich collapsed: static upper bound == concrete witness.
+        // The width is known exactly, so the DL201 tolerance is dropped
+        // and a deficit is the provable error DL401.
+        if (declared < bb->upper) {
+          std::ostringstream msg;
+          msg << "declares live_bits = " << declared
+              << " but the live width is exactly " << bb->upper
+              << " — proven: the absint upper bound meets a concrete "
+              << "stimulus witness (lanes " << absint_lane_detail(*bb)
+              << "); the FF-cost model undercounts by "
+              << (bb->upper - declared) << " bits (absint-exact path)";
+          Finding f = piece_finding("DL401", subject, chain, b, msg.str());
+          f.boundary = b;
+          report.add(f);
+        } else if (declared > bb->upper && !final_boundary) {
+          // The final boundary may legitimately count the flag byte and
+          // DONE bit on top of the result lane — widths outside the lane
+          // model — so overcount checks stop at internal boundaries.
+          std::ostringstream msg;
+          msg << "declares live_bits = " << declared
+              << " but the live width is exactly " << bb->upper << " (lanes "
+              << absint_lane_detail(*bb)
+              << "): the FF-cost model overcounts by " << (declared - bb->upper)
+              << " bits (absint-exact path)";
+          Finding f = piece_finding("DL202", subject, chain, b, msg.str());
+          f.boundary = b;
+          report.add(f);
+        }
+      } else {
+        // Sandwich open: probe witness lower bound < proven upper bound.
+        // The tolerance survives only on this path, against the
+        // demand-masked witness.
+        if (declared + opts.live_bits_deficit_tol < bb->lower) {
+          std::ostringstream msg;
+          msg << "declares live_bits = " << declared
+              << " but a concrete stimulus demands at least " << bb->lower
+              << " live bits (proven upper bound " << bb->upper
+              << "): the FF-cost model undercounts by "
+              << (bb->lower - declared)
+              << " bits (probe-witness path, tolerance "
+              << opts.live_bits_deficit_tol << ")";
+          Finding f = piece_finding("DL201", subject, chain, b, msg.str());
+          f.boundary = b;
+          report.add(f);
+        } else if (declared > bb->upper && !final_boundary) {
+          std::ostringstream msg;
+          msg << "declares live_bits = " << declared
+              << " above the proven upper bound " << bb->upper << " (lanes "
+              << absint_lane_detail(*bb)
+              << "): no value can need that many FFs (absint upper-bound "
+              << "path)";
+          Finding f = piece_finding("DL202", subject, chain, b, msg.str());
+          f.boundary = b;
+          report.add(f);
+        }
+      }
+      continue;
+    }
+
     if (declared + opts.live_bits_deficit_tol < inferred) {
       std::ostringstream msg;
       msg << "declares live_bits = " << declared
           << " but the inferred live width is " << inferred << " (lanes "
           << lanes.str() << "): the FF-cost model undercounts by "
-          << (inferred - declared) << " bits";
+          << (inferred - declared) << " bits (probe-only path)";
       Finding f = piece_finding("DL201", subject, chain, b, msg.str());
       f.boundary = b;
       report.add(f);
@@ -357,7 +562,8 @@ void live_bits_rules(const rtl::PieceChain& chain,
       std::ostringstream msg;
       msg << "declares live_bits = " << declared
           << " but the inferred live width is only " << inferred << " (lanes "
-          << lanes.str() << "): the FF-cost model may overcount";
+          << lanes.str()
+          << "): the FF-cost model may overcount (probe-only path)";
       Finding f = piece_finding("DL202", subject, chain, b, msg.str());
       f.boundary = b;
       report.add(f);
@@ -381,8 +587,14 @@ bool plan_well_formed(const rtl::PieceChain& chain,
 
 Report lint_chain(const rtl::PieceChain& chain, const ChainContract& contract,
                   const Options& opts) {
+  return lint_chain(chain, contract, opts, nullptr);
+}
+
+Report lint_chain(const rtl::PieceChain& chain, const ChainContract& contract,
+                  const Options& opts, ChainAbsint* out_absint) {
   const std::string& subject = contract.name;
   Report report;
+  if (out_absint != nullptr) *out_absint = ChainAbsint{};
   structural_rules(chain, subject, report);
 
   // Def-use inference executes the evals; a chain with a missing eval (or
@@ -395,7 +607,23 @@ Report lint_chain(const rtl::PieceChain& chain, const ChainContract& contract,
 
   const ChainAccess access = infer_chain_access(chain, contract, opts);
   defuse_rules(chain, contract, access, opts, subject, report);
-  live_bits_rules(chain, contract, access, opts, subject, report);
+
+  ChainAbsint absint;
+  if (opts.absint) {
+    absint = analyze_chain(chain, contract, opts);
+    if (absint.annotated) {
+      report.absint_subjects = 1;
+      report.absint_boundaries = static_cast<int>(absint.boundaries.size());
+      for (const BoundaryBounds& bb : absint.boundaries) {
+        if (bb.exact()) ++report.absint_exact;
+      }
+      report.absint_checks = absint.containment_checks;
+      report.merge(absint.findings);
+    }
+  }
+  live_bits_rules(chain, contract, access, opts, subject,
+                  absint.annotated ? &absint : nullptr, report);
+  if (out_absint != nullptr) *out_absint = std::move(absint);
   return report;
 }
 
@@ -540,12 +768,42 @@ fp::u64 splitmix64(fp::u64& state) {
 
 }  // namespace
 
+namespace {
+
+/// Cross-check the compiled backend's piece dispositions against the
+/// absint proofs (DL402/DL403/DL404) — the self-check that dead-piece
+/// pruning and constant folding agree with the static liveness story.
+Report compiled_crosscheck(const rtl::PieceChain& chain,
+                           const rtl::PipelinePlan& plan,
+                           const ChainContract& contract,
+                           const ChainAbsint& absint, const Options& opts) {
+  Report report;
+  if (!absint.annotated) return report;
+  rtl::CompileContract cc;
+  cc.input_lanes = contract.input_lanes;
+  cc.result_lane = contract.result_lane;
+  cc.stimuli = contract.stimuli;
+  rtl::CompileOptions co;
+  co.probe_seed = opts.seed;
+  const rtl::CompiledProgram prog = rtl::compile_program(chain, plan, cc, co);
+  std::vector<int> disposition;
+  disposition.reserve(prog.disposition().size());
+  for (const rtl::CompiledProgram::Disposition d : prog.disposition()) {
+    disposition.push_back(static_cast<int>(d));
+  }
+  return crosscheck_compiled(chain, absint, disposition, contract.name);
+}
+
+}  // namespace
+
 Report lint_unit(const units::FpUnit& unit, const Options& opts) {
   const rtl::PieceChain& chain = unit.pieces();
   ChainContract contract;
   contract.name = unit.name();
   contract.input_lanes = {units::detail::kLaneInA, units::detail::kLaneInB,
                           units::detail::kLaneInCtl, units::detail::kLaneInC};
+  const int in_bits = unit.format().total_bits();
+  contract.input_widths = {in_bits, in_bits, 1, in_bits};
   contract.result_lane = units::detail::kLaneResult;
   const std::vector<units::UnitInput> workload = fault::campaign_workload(
       unit.kind(), unit.format(), opts.vectors, opts.seed);
@@ -558,7 +816,9 @@ Report lint_unit(const units::FpUnit& unit, const Options& opts) {
     contract.stimuli.push_back(s);
   }
 
-  Report report = lint_chain(chain, contract, opts);
+  ChainAbsint absint;
+  Report report = lint_chain(chain, contract, opts, &absint);
+  report.merge(compiled_crosscheck(chain, unit.plan(), contract, absint, opts));
   report.merge(lint_plan(chain, unit.plan(), unit.config().tech,
                          unit.config().objective, contract.name, opts));
   report.merge(check_depth_claim(unit.stages(), unit.config().stages,
@@ -572,6 +832,7 @@ Report lint_converter(const units::FormatConverter& cvt, const Options& opts) {
   ChainContract contract;
   contract.name = cvt.name();
   contract.input_lanes = {0};
+  contract.input_widths = {cvt.src().total_bits()};
   contract.result_lane = 0;
   fp::u64 rng = opts.seed * 0x9E3779B97F4A7C15 + 1;
   for (int i = 0; i < opts.vectors; ++i) {
@@ -580,7 +841,9 @@ Report lint_converter(const units::FormatConverter& cvt, const Options& opts) {
     contract.stimuli.push_back(s);
   }
 
-  Report report = lint_chain(chain, contract, opts);
+  ChainAbsint absint;
+  Report report = lint_chain(chain, contract, opts, &absint);
+  report.merge(compiled_crosscheck(chain, cvt.plan(), contract, absint, opts));
   report.merge(lint_plan(chain, cvt.plan(), cvt.config().tech,
                          cvt.config().objective, contract.name, opts));
   report.merge(check_depth_claim(cvt.stages(), cvt.config().stages,

@@ -59,6 +59,15 @@ struct Finding {
 
 struct Report {
   std::vector<Finding> findings;
+  /// Abstract-interpretation coverage counters (src/lint/absint.*):
+  /// subjects whose chains were fully annotated and analyzed, cut
+  /// boundaries with a proven width bound, boundaries where the
+  /// probe-vs-absint sandwich collapsed to an exact width, and concrete
+  /// values verified to lie inside the abstract state.
+  int absint_subjects = 0;
+  int absint_boundaries = 0;
+  int absint_exact = 0;
+  int absint_checks = 0;
 
   int count(Severity s) const;
   int errors() const { return count(Severity::kError); }
@@ -82,8 +91,24 @@ struct RuleInfo {
 /// Every rule the engine knows, in ID order.
 const std::vector<RuleInfo>& rule_registry();
 
-/// Lookup by ID; nullptr for unknown IDs.
+/// Lookup by ID; nullptr for unknown IDs. O(1) after the first call.
 const RuleInfo* find_rule(const std::string& id);
+
+/// Finding filter parsed from a --rules= spec: a comma-separated list of
+/// rule IDs ("DL201") or family wildcards ("DL4xx", any trailing run of
+/// 'x'). Entries prefixed with '-' exclude; the rest form an include
+/// allowlist (empty allowlist = include everything not excluded).
+struct RuleFilter {
+  std::vector<std::string> include;  ///< IDs or family prefixes
+  std::vector<std::string> exclude;
+  /// Throws std::invalid_argument on an entry matching no known rule.
+  static RuleFilter parse(const std::string& spec);
+  bool allows(const std::string& rule) const;
+  bool empty() const { return include.empty() && exclude.empty(); }
+};
+
+/// Drop findings the filter rejects (counters are left untouched).
+void apply_rule_filter(Report& report, const RuleFilter& filter);
 
 struct Options {
   /// Stimulus vectors driven through the chain for def-use inference.
@@ -99,6 +124,11 @@ struct Options {
   int live_bits_excess_slack = 24;
   /// Include note-severity findings (timing-placeholder pieces etc.).
   bool notes = false;
+  /// Run the abstract-interpretation engine (src/lint/absint.*) on fully
+  /// annotated chains: DL4xx rules, proven live_bits bounds, and the
+  /// tolerance-free DL401 path where the probe-vs-absint sandwich is
+  /// exact. Chains with any unannotated piece are skipped either way.
+  bool absint = true;
 };
 
 /// What the chain promises its environment: which lanes arrive initialized
@@ -108,13 +138,23 @@ struct Options {
 struct ChainContract {
   std::string name;             ///< subject for findings
   std::vector<int> input_lanes;
+  /// Declared bit width of each input lane (parallel to `input_lanes`;
+  /// missing entries mean 64). The absint engine seeds its entry state
+  /// from these, so tighter contracts prove tighter bounds.
+  std::vector<int> input_widths;
   int result_lane = 0;
   std::vector<rtl::SignalSet> stimuli;
 };
 
-/// Structural + def-use + live-bits rules over a bare chain.
+/// Structural + def-use + live-bits rules over a bare chain. The second
+/// overload also hands back the abstract-interpretation results (see
+/// lint/absint.hpp) so callers can cross-check other consumers of the
+/// chain — lint_unit feeds them to the compiled-backend crosscheck.
+struct ChainAbsint;
 Report lint_chain(const rtl::PieceChain& chain, const ChainContract& contract,
                   const Options& opts = {});
+Report lint_chain(const rtl::PieceChain& chain, const ChainContract& contract,
+                  const Options& opts, ChainAbsint* out_absint);
 
 /// Plan-level rules (DL3xx) for a chain/plan pair, including the
 /// recomputation cross-checks of evaluate_timing and evaluate_area.

@@ -31,6 +31,16 @@ void write_text(std::ostream& os, const Report& report, bool include_notes) {
      << report.errors() << " error" << (report.errors() == 1 ? "" : "s")
      << ", " << report.warnings() << " warning"
      << (report.warnings() == 1 ? "" : "s") << "\n";
+  // The sandwich coverage line: only rendered once the absint engine has
+  // analyzed at least one subject, so probe-only reports keep their
+  // pre-absint shape.
+  if (report.absint_subjects > 0) {
+    os << "absint: " << report.absint_subjects << " subject"
+       << (report.absint_subjects == 1 ? "" : "s") << " analyzed, "
+       << report.absint_boundaries << " boundaries bounded ("
+       << report.absint_exact << " exact), " << report.absint_checks
+       << " containment checks\n";
+  }
 }
 
 int write_jsonl(std::ostream& os, const Report& report, bool include_notes) {
@@ -54,6 +64,12 @@ int write_jsonl(std::ostream& os, const Report& report, bool include_notes) {
       .field("findings", static_cast<int>(report.findings.size()))
       .field("errors", report.errors())
       .field("warnings", report.warnings());
+  if (report.absint_subjects > 0) {
+    summary.field("absint_subjects", report.absint_subjects)
+        .field("absint_boundaries", report.absint_boundaries)
+        .field("absint_exact", report.absint_exact)
+        .field("absint_checks", report.absint_checks);
+  }
   os << summary.str() << "\n";
   return lines + 1;
 }

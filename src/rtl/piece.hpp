@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "device/resources.hpp"
+#include "rtl/semops.hpp"
 #include "rtl/signals.hpp"
 
 namespace flopsim::rtl {
@@ -33,6 +34,11 @@ struct Piece {
   /// piece's boundary is the always-present output register.
   bool cut_after = true;
   std::function<void(SignalSet&)> eval;
+  /// Declared semantic over-approximation of eval for the abstract-
+  /// interpretation lint engine (see rtl/semops.hpp). Empty = unannotated:
+  /// the engine skips chains with any unannotated piece. A piece whose
+  /// eval does nothing annotates as {sem::nop()}.
+  SemProgram sem;
 };
 
 using PieceChain = std::vector<Piece>;

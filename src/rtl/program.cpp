@@ -3,6 +3,7 @@
 #include <array>
 #include <bit>
 
+#include "lint/absint.hpp"
 #include "lint/probe.hpp"
 
 namespace flopsim::rtl {
@@ -200,6 +201,41 @@ CompiledProgram compile_program(const PieceChain& chain,
     }
     for (std::size_t p = 0; p < n; ++p) {
       if (candidate[p] != 0 && !folds[p].empty()) {
+        prog.disposition_[p] = CompiledProgram::Disposition::kFolded;
+      }
+    }
+  }
+
+  // Absint folding: the observational pass above only folds read-free
+  // pieces; the abstract-interpretation engine proves constness through
+  // dataflow (a piece reading a lane that is itself constant). Same
+  // validation story — the clean-path self-check below rejects a wrong
+  // fold wholesale.
+  if (opts.fold_constants && opts.absint_fold && !contract.stimuli.empty()) {
+    const lint::ChainAbsint absint = lint::analyze_chain(chain, lc, lo);
+    for (std::size_t p = 0; absint.annotated && p < n; ++p) {
+      if (prog.disposition_[p] != CompiledProgram::Disposition::kKept ||
+          !absint.piece_constant[p] || must_keep(access.piece[p])) {
+        continue;
+      }
+      std::array<bool, kMaxSignals> writes{};
+      for (const SemOp& op : chain[p].sem) {
+        if (op.kind == SemOp::Kind::kNop || op.kind == SemOp::Kind::kRead ||
+            op.kind == SemOp::Kind::kFlags || op.dst < 0 ||
+            op.dst >= kMaxSignals) {
+          continue;
+        }
+        writes[static_cast<std::size_t>(op.dst)] = true;
+      }
+      std::vector<CompiledProgram::Store> stores;
+      for (int l = 0; l < kMaxSignals; ++l) {
+        if (!writes[static_cast<std::size_t>(l)]) continue;
+        stores.push_back(CompiledProgram::Store{
+            l, absint.piece_out[p].lane[static_cast<std::size_t>(l)]
+                   .constant_value()});
+      }
+      if (!stores.empty()) {
+        folds[p] = std::move(stores);
         prog.disposition_[p] = CompiledProgram::Disposition::kFolded;
       }
     }

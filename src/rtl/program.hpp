@@ -53,6 +53,12 @@ struct CompileContract {
 struct CompileOptions {
   bool prune_dead_pieces = true;
   bool fold_constants = true;
+  /// Also fold pieces the abstract-interpretation engine proves constant
+  /// through dataflow (lint/absint.*) — catches constants the purely
+  /// observational read-free test misses (e.g. a piece reading a lane
+  /// that is itself proven constant). Requires a fully sem-annotated
+  /// chain; validated by the same clean-path self-check as every fold.
+  bool absint_fold = true;
   std::uint64_t probe_seed = 1;  ///< poison seed for the def-use probe
 };
 

@@ -1,0 +1,242 @@
+// SemOp: a declared semantic over-approximation of one piece's eval.
+//
+// Piece evals are opaque `std::function` blobs, so nothing can interpret
+// them symbolically. A piece that wants the abstract-interpretation lint
+// engine (src/lint/absint.*) to prove facts about it carries a short
+// `sem` program alongside the eval: a straight-line list of SemOps over
+// the same lanes, each a sound over-approximation of what the eval does
+// to that lane. The ops do not have to reproduce the eval bit-for-bit —
+// kHavoc with the right width is always a legal (if coarse) description —
+// but they must CONTAIN it: every concrete lane value the eval can
+// produce must lie inside the abstract value the ops yield. The lint
+// engine enforces this empirically (every probe-observed value is checked
+// against the abstract state; a violation is an error finding), so a
+// wrong annotation is loud, not silently unsound.
+//
+// Width conventions: widths are effective hardware widths in the sense of
+// lint::effective_width — unsigned bit count, or two's-complement width
+// for sign-extended negatives (kHavocSigned).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fp/bits.hpp"
+
+namespace flopsim::rtl {
+
+struct SemOp {
+  enum class Kind : std::uint8_t {
+    kNop,         ///< annotated as doing nothing (timing placeholder)
+    kConst,       ///< dst = imm
+    kCopy,        ///< dst = lane a
+    kHavoc,       ///< dst = unknown value of at most imm unsigned bits
+    kHavocSigned, ///< dst = unknown two's-complement value of imm bits
+    kAnd,         ///< dst = a & (b >= 0 ? lane b : imm)
+    kOr,          ///< dst = a | (b >= 0 ? lane b : imm)
+    kXor,         ///< dst = a ^ (b >= 0 ? lane b : imm)
+    kShlImm,      ///< dst = a << imm
+    kShrImm,      ///< dst = a >> imm
+    kShrJamImm,   ///< dst = shift_right_jam64(a, imm)
+    kShlVar,      ///< dst = a << (lane b value, bounded by imm)
+    kShrVar,      ///< dst = a >> (lane b, bounded by imm)
+    kShrJamVar,   ///< dst = shift_right_jam64(a, lane b, bounded by imm)
+    kAdd,         ///< dst = a + (b >= 0 ? lane b : imm2), physical width imm
+    kSub,         ///< dst = a - (b >= 0 ? lane b : imm2), physical width imm
+    kMul,         ///< dst = a * (b >= 0 ? lane b : imm2), truncated to imm bits
+    kSelect,      ///< dst = cond-bit ? a : b (the mux join)
+    kCmp,         ///< dst = (a REL b) in {0, 1}
+    kRead,        ///< declares a read of lane a with no modeled effect
+    kFlags,       ///< writes SignalSet::flags (reads lane a when a >= 0)
+  };
+
+  Kind kind = Kind::kNop;
+  std::int8_t dst = -1;
+  std::int8_t a = -1;
+  std::int8_t b = -1;
+  /// Lane guarding this op; -1 = unconditional. A guarded op whose
+  /// condition the engine cannot decide joins its result with the old dst.
+  std::int8_t cond = -1;
+  std::uint8_t cond_bit = 0;
+  bool cond_neg = false;  ///< execute when the condition bit is 0
+  fp::u64 imm = 0;        ///< mask / shift distance / width, per kind
+  fp::u64 imm2 = 0;       ///< constant operand for kAdd/kSub/kMul
+};
+
+using SemProgram = std::vector<SemOp>;
+
+/// Concise builders — unit chain builders compose piece annotations from
+/// these. All return by value; append with push_back or initializer lists.
+namespace sem {
+
+inline SemOp nop() { return SemOp{}; }
+
+inline SemOp cst(int dst, fp::u64 value) {
+  SemOp op;
+  op.kind = SemOp::Kind::kConst;
+  op.dst = static_cast<std::int8_t>(dst);
+  op.imm = value;
+  return op;
+}
+
+inline SemOp copy(int dst, int a) {
+  SemOp op;
+  op.kind = SemOp::Kind::kCopy;
+  op.dst = static_cast<std::int8_t>(dst);
+  op.a = static_cast<std::int8_t>(a);
+  return op;
+}
+
+inline SemOp havoc(int dst, int width) {
+  SemOp op;
+  op.kind = SemOp::Kind::kHavoc;
+  op.dst = static_cast<std::int8_t>(dst);
+  op.imm = static_cast<fp::u64>(width);
+  return op;
+}
+
+inline SemOp havocs(int dst, int width) {
+  SemOp op;
+  op.kind = SemOp::Kind::kHavocSigned;
+  op.dst = static_cast<std::int8_t>(dst);
+  op.imm = static_cast<fp::u64>(width);
+  return op;
+}
+
+inline SemOp binop(SemOp::Kind k, int dst, int a, int b) {
+  SemOp op;
+  op.kind = k;
+  op.dst = static_cast<std::int8_t>(dst);
+  op.a = static_cast<std::int8_t>(a);
+  op.b = static_cast<std::int8_t>(b);
+  return op;
+}
+
+inline SemOp band(int dst, int a, fp::u64 mask) {
+  SemOp op = binop(SemOp::Kind::kAnd, dst, a, -1);
+  op.imm = mask;
+  return op;
+}
+
+inline SemOp bor(int dst, int a, int b) {
+  return binop(SemOp::Kind::kOr, dst, a, b);
+}
+
+inline SemOp bxor(int dst, int a, int b) {
+  return binop(SemOp::Kind::kXor, dst, a, b);
+}
+
+inline SemOp shl(int dst, int a, int dist) {
+  SemOp op = binop(SemOp::Kind::kShlImm, dst, a, -1);
+  op.imm = static_cast<fp::u64>(dist);
+  return op;
+}
+
+inline SemOp shr(int dst, int a, int dist) {
+  SemOp op = binop(SemOp::Kind::kShrImm, dst, a, -1);
+  op.imm = static_cast<fp::u64>(dist);
+  return op;
+}
+
+inline SemOp shrjam(int dst, int a, int dist) {
+  SemOp op = binop(SemOp::Kind::kShrJamImm, dst, a, -1);
+  op.imm = static_cast<fp::u64>(dist);
+  return op;
+}
+
+/// Variable-distance shifts: distance comes from lane `dist_lane`, with a
+/// declared maximum `max_dist` (the barrel width the hardware builds).
+inline SemOp shlv(int dst, int a, int dist_lane, int max_dist) {
+  SemOp op = binop(SemOp::Kind::kShlVar, dst, a, dist_lane);
+  op.imm = static_cast<fp::u64>(max_dist);
+  return op;
+}
+
+inline SemOp shrv(int dst, int a, int dist_lane, int max_dist) {
+  SemOp op = binop(SemOp::Kind::kShrVar, dst, a, dist_lane);
+  op.imm = static_cast<fp::u64>(max_dist);
+  return op;
+}
+
+inline SemOp shrjamv(int dst, int a, int dist_lane, int max_dist) {
+  SemOp op = binop(SemOp::Kind::kShrJamVar, dst, a, dist_lane);
+  op.imm = static_cast<fp::u64>(max_dist);
+  return op;
+}
+
+/// dst = a + b through a `width`-bit physical adder. The result is
+/// truncated to `width` bits; the engine reports carry-out reachability
+/// (DL405) when the abstract operands can overflow it. Use width 64 for
+/// a full-machine-word add with no truncation.
+inline SemOp add(int dst, int a, int b, int width = 64) {
+  SemOp op = binop(SemOp::Kind::kAdd, dst, a, b);
+  op.imm = static_cast<fp::u64>(width);
+  return op;
+}
+
+inline SemOp addi(int dst, int a, fp::u64 constant, int width = 64) {
+  SemOp op = binop(SemOp::Kind::kAdd, dst, a, -1);
+  op.imm = static_cast<fp::u64>(width);
+  op.imm2 = constant;
+  return op;
+}
+
+inline SemOp sub(int dst, int a, int b, int width = 64) {
+  SemOp op = binop(SemOp::Kind::kSub, dst, a, b);
+  op.imm = static_cast<fp::u64>(width);
+  return op;
+}
+
+inline SemOp subi(int dst, int a, fp::u64 constant, int width = 64) {
+  SemOp op = binop(SemOp::Kind::kSub, dst, a, -1);
+  op.imm = static_cast<fp::u64>(width);
+  op.imm2 = constant;
+  return op;
+}
+
+/// dst = a * b truncated to `width` bits (the partial-product width the
+/// hardware keeps).
+inline SemOp mul(int dst, int a, int b, int width = 64) {
+  SemOp op = binop(SemOp::Kind::kMul, dst, a, b);
+  op.imm = static_cast<fp::u64>(width);
+  return op;
+}
+
+/// dst = bit `bit` of lane `cond` ? lane a : lane b.
+inline SemOp select(int dst, int cond, int bit, int a, int b) {
+  SemOp op = binop(SemOp::Kind::kSelect, dst, a, b);
+  op.cond = static_cast<std::int8_t>(cond);
+  op.cond_bit = static_cast<std::uint8_t>(bit);
+  return op;
+}
+
+inline SemOp cmp(int dst, int a, int b) {
+  return binop(SemOp::Kind::kCmp, dst, a, b);
+}
+
+inline SemOp read(int lane) {
+  SemOp op;
+  op.kind = SemOp::Kind::kRead;
+  op.a = static_cast<std::int8_t>(lane);
+  return op;
+}
+
+inline SemOp flags(int read_lane = -1) {
+  SemOp op;
+  op.kind = SemOp::Kind::kFlags;
+  op.a = static_cast<std::int8_t>(read_lane);
+  return op;
+}
+
+/// Guard `op` on bit `bit` of lane `cond` (negated when `neg`): the op
+/// only happens when the bit is set (cleared). An undecided condition
+/// makes the engine join the op's result with the lane's prior value.
+inline SemOp onif(SemOp op, int cond, int bit, bool neg = false) {
+  op.cond = static_cast<std::int8_t>(cond);
+  op.cond_bit = static_cast<std::uint8_t>(bit);
+  op.cond_neg = neg;
+  return op;
+}
+
+}  // namespace sem
+}  // namespace flopsim::rtl

@@ -1,5 +1,6 @@
 #include "units/converter_unit.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -9,6 +10,7 @@ namespace flopsim::units {
 namespace {
 
 using fp::u64;
+namespace sm = rtl::sem;
 
 constexpr int kLaneIn = 0;
 constexpr int kLaneResult = 0;
@@ -34,6 +36,16 @@ rtl::PieceChain build_converter_chain(fp::FpFormat src, fp::FpFormat dst,
   const device::Objective obj = cfg.objective;
   const bool rne = cfg.rounding == fp::RoundingMode::kNearestEven;
   const bool narrowing = Fd < Fs;
+  // Width of the re-biased exponent e + delta over e in [0, 2^Es - 1],
+  // under the effective-width convention (signed min-width for negatives).
+  const auto sew = [](long long v) -> int {
+    int w = 0;
+    long long m = v >= 0 ? v : -v - 1;
+    while (m) { ++w; m >>= 1; }
+    return v >= 0 ? w : w + 1;
+  };
+  const int delta = dst.bias() - src.bias();
+  const int exp_w = std::max(sew(delta), sew(((1 << Es) - 1) + delta));
 
   rtl::PieceChain chain;
 
@@ -45,7 +57,9 @@ rtl::PieceChain build_converter_chain(fp::FpFormat src, fp::FpFormat dst,
     p.delay_ns = tech.comparator_delay(Es, obj) + tech.gate_delay(obj);
     p.area = tech.comparator_area(Es, obj) * 2 +
              tech.lut_logic_area(Fs + 1, obj);
-    p.live_bits = 1 + (Es + 2) + (Fs + 1) + 3;
+    p.live_bits = Es + (Fs + 1) + 3;
+    p.sem = {sm::read(kLaneIn), sm::havoc(kCtl, 3), sm::havoc(kWork, Fs + 1),
+             sm::havoc(kExp, Es)};
     p.eval = [src, Fs, Es](rtl::SignalSet& s) {
       const u64 in = s[kLaneIn] & src.bits_mask();
       const int emax = (1 << Es) - 1;
@@ -68,8 +82,8 @@ rtl::PieceChain build_converter_chain(fp::FpFormat src, fp::FpFormat dst,
     p.group = "exponent";
     p.delay_ns = tech.adder_delay(std::max(Es, Ed) + 1, obj);
     p.area = tech.adder_area(std::max(Es, Ed) + 1, obj);
-    p.live_bits = 1 + (Ed + 3) + (Fs + 1) + 3;
-    const int delta = dst.bias() - src.bias();
+    p.live_bits = exp_w + (Fs + 1) + 3;
+    p.sem = {sm::addi(kExp, kExp, delta)};
     p.eval = [delta](rtl::SignalSet& s) {
       s[kExp] = static_cast<u64>(static_cast<fp::i64>(s[kExp]) + delta);
     };
@@ -85,7 +99,12 @@ rtl::PieceChain build_converter_chain(fp::FpFormat src, fp::FpFormat dst,
         narrowing ? tech.lut_logic_delay(obj) : tech.gate_delay(obj);
     p.area = narrowing ? tech.lut_logic_area(Fs - Fd, obj)
                        : device::Resources{};
-    p.live_bits = 1 + (Ed + 3) + (Fd + 4) + 3;
+    p.live_bits = exp_w + (Fd + 4) + 3;
+    if (narrowing) {
+      p.sem = {sm::shl(kWork, kWork, 3), sm::shrjam(kWork, kWork, Fs - Fd)};
+    } else {
+      p.sem = {sm::shl(kWork, kWork, 3 + (Fd - Fs))};
+    }
     p.eval = [Fs, Fd](rtl::SignalSet& s) {
       // Working form: msb of a normal value at Fd + 3 (GRS appended).
       u64 w = s[kWork] << 3;
@@ -112,8 +131,14 @@ rtl::PieceChain build_converter_chain(fp::FpFormat src, fp::FpFormat dst,
       p.delay_ns = tech.adder_delay(bits, obj);
       if (c > 0) p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
       p.area = tech.adder_area(bits, obj);
-      p.live_bits = 1 + (Ed + 3) + (Fd + 2) + 3 + 3;
       const bool last = c == rm_chunks - 1;
+      p.live_bits = exp_w + (last ? (Fd + 2) + 3 : Fd + 4) + 3;
+      if (last) {
+        p.sem = {sm::read(kWork), sm::band(kGrs, kWork, 7),
+                 sm::havoc(kKept, Fd + 2)};
+      } else {
+        p.sem = {sm::nop()};
+      }
       p.eval = [rne, last](rtl::SignalSet& s) {
         if (!last) return;
         const u64 grs = s[kWork] & 7;
@@ -130,7 +155,8 @@ rtl::PieceChain build_converter_chain(fp::FpFormat src, fp::FpFormat dst,
     p.name = "round_exact";
     p.group = "round";
     p.delay_ns = tech.gate_delay(obj);
-    p.live_bits = 1 + (Ed + 3) + (Fd + 2) + 3 + 3;
+    p.live_bits = exp_w + (Fd + 1) + 3;
+    p.sem = {sm::cst(kGrs, 0), sm::shr(kKept, kWork, 3)};
     p.eval = [](rtl::SignalSet& s) {
       s[kGrs] = 0;
       s[kKept] = s[kWork] >> 3;
@@ -147,6 +173,8 @@ rtl::PieceChain build_converter_chain(fp::FpFormat src, fp::FpFormat dst,
     p.area = tech.adder_area(Ed, obj) + tech.comparator_area(Ed, obj) * 2 +
              tech.lut_logic_area(Nd, obj);
     p.live_bits = Nd + 5;
+    p.sem = {sm::read(kCtl), sm::read(kExp), sm::read(kKept), sm::read(kGrs),
+             sm::havoc(kLaneResult, Nd), sm::flags()};
     p.eval = [dst, Fd, Ed, rne, Nd](rtl::SignalSet& s) {
       const int emax = (1 << Ed) - 1;
       const bool sign = (s[kCtl] & kCtlSign) != 0;

@@ -28,6 +28,7 @@ namespace flopsim::units::detail {
 namespace {
 
 using fp::u64;
+namespace sm = rtl::sem;
 
 // Lane assignments (see fp_unit.hpp for the input/output convention).
 constexpr int kExpA = 3;   // biased exponent of A; later: running exponent
@@ -71,6 +72,10 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
   const int E = fmt.exp_bits();
   const int N = fmt.total_bits();
   const int W = F + 4;  // working mantissa width: hidden + frac + GRS
+  // Barrel-shifter depth; also the width of a clamped shift distance.
+  const int levels = fp::msb_index64(static_cast<u64>(W)) + 1;
+  // Width of the normalizer's left-shift distance (at most F + 3).
+  const int penc_w = fp::msb_index64(static_cast<u64>(F + 3)) + 1;
   const device::TechModel& tech = cfg.tech;
   const device::Objective obj = cfg.objective;
   const bool rne = cfg.rounding == fp::RoundingMode::kNearestEven;
@@ -86,7 +91,11 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.group = "denorm";
     p.delay_ns = tech.comparator_delay(E, obj) + tech.gate_delay(obj);
     p.area = tech.comparator_area(E, obj) * 4 + tech.lut_logic_area(F + 1, obj) * 2;
-    p.live_bits = 2 * (1 + E + (F + 1)) + 4;
+    p.live_bits = 2 * (E + (F + 1)) + (ieee ? 9 : 4);
+    p.sem = {sm::read(kLaneInA), sm::read(kLaneInB), sm::read(kLaneInCtl),
+             sm::havoc(kManA, F + 1), sm::havoc(kManB, F + 1),
+             sm::havoc(kExpA, E),     sm::havoc(kExpB, E),
+             sm::havoc(kCtl, ieee ? 9 : 4)};
     p.eval = [fmt, F, E, N, ieee](rtl::SignalSet& s) {
       const u64 a = s[kLaneInA] & fmt.bits_mask();
       const u64 b = s[kLaneInB] & fmt.bits_mask();
@@ -138,7 +147,8 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     // paper's "mantissa comparator for double precision can achieve 220MHz".
     p.delay_ns = tech.comparator_delay(N - 1, obj);
     p.area = tech.comparator_area(N - 1, obj);
-    p.live_bits = 2 * (1 + E + (F + 1)) + 4 + 1;
+    p.live_bits = 2 * (E + (F + 1)) + (ieee ? 9 : 4) + 1;
+    p.sem = {sm::read(kManA), sm::read(kManB), sm::cmp(kAux, kExpA, kExpB)};
     p.eval = [](rtl::SignalSet& s) {
       const bool a_larger =
           (s[kExpA] > s[kExpB]) ||
@@ -156,7 +166,14 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.delay_ns =
         std::max(tech.mux_level_delay(F + 1, obj), tech.adder_delay(E, obj));
     p.area = tech.mux_level_area(2 * (F + 1), obj) + tech.adder_area(E, obj);
-    p.live_bits = (E) + 2 * W + (E + 1) + 6;
+    p.live_bits = E + 2 * W + levels + (ieee ? 9 : 6);
+    // Both mantissa lanes end up holding one of the two (shifted) operands;
+    // havoc at the extended width W contains either choice, so the mux
+    // needs no lane-swap modeling.
+    p.sem = {sm::read(kCtl),  sm::read(kManA), sm::read(kManB),
+             sm::read(kExpB), sm::select(kExpA, kAux, 0, kExpA, kExpB),
+             sm::havoc(kManA, W), sm::havoc(kManB, W),
+             sm::havoc(kAux, levels), sm::havoc(kCtl, ieee ? 9 : 6)};
     p.eval = [W](rtl::SignalSet& s) {
       const bool a_larger = s[kAux] != 0;
       const u64 man_big = a_larger ? s[kManA] : s[kManB];
@@ -178,7 +195,6 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
   }
 
   // ---- alignment barrel shifter (right, with sticky jam) -------------------
-  const int levels = fp::msb_index64(static_cast<u64>(W)) + 1;
   for (int l = 0; l < levels; ++l) {
     rtl::Piece p;
     p.name = "align_l" + std::to_string(l);
@@ -186,7 +202,10 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.delay_ns = tech.mux_level_delay(W, obj);
     if (l > 0) p.delay_chained_ns = tech.mux_level_chained_delay(W, obj);
     p.area = tech.mux_level_area(W, obj);
-    p.live_bits = E + 2 * W + (levels - l) + 6;
+    // The distance register keeps its full width until every level has
+    // consumed its bit (effective width counts up to the top demanded bit).
+    p.live_bits = E + 2 * W + (l + 1 < levels ? levels : 0) + (ieee ? 9 : 6);
+    p.sem = {sm::onif(sm::shrjam(kManB, kManB, 1 << l), kAux, l)};
     p.eval = [l](rtl::SignalSet& s) {
       if ((s[kAux] >> l) & 1) {
         s[kManB] = fp::shift_right_jam64(s[kManB], 1 << l);
@@ -208,10 +227,22 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.delay_ns = tech.adder_delay(hi - lo, obj);
     if (c > 0) p.delay_chained_ns = tech.adder_chained_delay(hi - lo, obj);
     p.area = tech.adder_area(hi - lo, obj);
-    p.live_bits = E + W + (W + 1) + 2 + 6;
     p.cut_after = true;
     const bool first = c == 0;
     const bool last = c == n_chunks - 1;
+    // Mid-ripple both operand lanes stay live in full (later chunks still
+    // read them), the sum has accumulated hi bits, and the carry is one
+    // bit. After the last chunk only the exponent, the W+1-bit sum, and
+    // control survive.
+    p.live_bits = last ? E + (W + 1) + (ieee ? 9 : 6)
+                       : E + 2 * W + hi + 1 + (ieee ? 9 : 6);
+    p.sem = {sm::read(kManA), sm::read(kManB), sm::read(kCtl)};
+    if (!first) {
+      p.sem.push_back(sm::read(kSum));
+      p.sem.push_back(sm::read(kCarry));
+    }
+    p.sem.push_back(sm::havoc(kSum, last ? W + 1 : hi));
+    p.sem.push_back(sm::havoc(kCarry, 1));
     p.eval = [lo, hi, first, last, W](rtl::SignalSet& s) {
       const bool eff_sub = ctl(s, kCtlEffSub);
       if (first) {
@@ -240,7 +271,11 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.delay_ns =
         std::max(tech.mux_level_delay(W, obj), tech.adder_delay(E, obj));
     p.area = tech.mux_level_area(W, obj) + tech.adder_area(E, obj);
-    p.live_bits = E + 1 + (W + 1) + 6;
+    p.live_bits = E + 1 + (W + 1) + (ieee ? 9 : 6);
+    // The exponent bump must be modeled before the shift: the jam clears
+    // the guard bit the shared condition tests.
+    p.sem = {sm::onif(sm::addi(kExpA, kExpA, 1), kSum, W),
+             sm::onif(sm::shrjam(kSum, kSum, 1), kSum, W)};
     p.eval = [W](rtl::SignalSet& s) {
       if ((s[kSum] >> W) & 1) {
         s[kSum] = fp::shift_right_jam64(s[kSum], 1);
@@ -257,7 +292,8 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.group = "normalize";
     p.delay_ns = tech.priority_encoder_delay((W + 1) / 2, obj);
     p.area = tech.priority_encoder_area((W + 1) / 2, obj);
-    p.live_bits = E + 1 + W + 8 + 6;
+    p.live_bits = E + 1 + W + 9 + (ieee ? 9 : 6);
+    p.sem = {sm::read(kSum), sm::havoc(kPenc, 9)};
     p.eval = [W](rtl::SignalSet& s) {
       // Encode the leading one within the upper half [W/2, W).
       const int half = W / 2;
@@ -284,7 +320,9 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.delay_chained_ns = tech.adder_chained_delay(3, obj);
     p.area = tech.priority_encoder_area((W + 1) / 2, obj) +
              tech.adder_area(4, obj);
-    p.live_bits = E + 1 + W + 7 + 6;
+    p.live_bits = E + 1 + W + penc_w + (ieee ? 9 : 7);
+    p.sem = {sm::read(kPenc), sm::read(kSum), sm::read(kCtl),
+             sm::havoc(kPenc, penc_w), sm::havoc(kCtl, ieee ? 9 : 7)};
     p.eval = [F, W](rtl::SignalSet& s) {
       int msb;
       if (s[kPenc] >> 8) {
@@ -306,7 +344,8 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.group = "normalize";
     p.delay_ns = tech.adder_delay(E, obj);
     p.area = tech.adder_area(E, obj);
-    p.live_bits = (E + 1) + W + 7 + 6;
+    p.live_bits = (E + 1) + W + penc_w + (ieee ? 9 : 7);
+    p.sem = {sm::sub(kExpA, kExpA, kPenc)};
     p.eval = [](rtl::SignalSet& s) {
       // Signed running exponent: may go <= 0 (underflow detected at round).
       s[kExpA] = static_cast<u64>(static_cast<fp::i64>(s[kExpA]) -
@@ -321,7 +360,11 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.delay_ns = tech.mux_level_delay(W, obj);
     if (l > 0) p.delay_chained_ns = tech.mux_level_chained_delay(W, obj);
     p.area = tech.mux_level_area(W, obj);
-    p.live_bits = (E + 1) + W + (levels - l) + 6;
+    p.live_bits = (E + 1) + W + (l + 1 < penc_w ? penc_w : 0) + (ieee ? 9 : 7);
+    // A left shift is havoced at W bits rather than modeled: the encoder
+    // guarantees the normalized msb lands at F+3, so no partial shift can
+    // leave the W-bit window, but the shift amount itself is data.
+    p.sem = {sm::read(kSum), sm::onif(sm::havoc(kSum, W), kPenc, l)};
     p.eval = [l](rtl::SignalSet& s) {
       if ((s[kPenc] >> l) & 1) s[kSum] <<= (1 << l);
     };
@@ -338,7 +381,9 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
       p.group = "denorm_result";
       p.delay_ns = tech.adder_delay(E + 1, obj);
       p.area = tech.adder_area(E + 1, obj) + tech.comparator_area(E, obj);
-      p.live_bits = (E + 1) + W + levels + 1 + 8;
+      p.live_bits = (E + 1) + W + levels + 10;
+      p.sem = {sm::read(kExpA), sm::read(kCtl), sm::havoc(kAux, levels),
+               sm::havoc(kCtl, 10)};
       p.eval = [W](rtl::SignalSet& s) {
         const fp::i64 exp = static_cast<fp::i64>(s[kExpA]);
         if (exp <= 0 && !ctl(s, kCtlZeroRes)) {
@@ -358,7 +403,8 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
       p.delay_ns = tech.mux_level_delay(W, obj);
       p.delay_chained_ns = tech.mux_level_chained_delay(W, obj);
       p.area = tech.mux_level_area(W, obj);
-      p.live_bits = (E + 1) + W + (levels - l) + 8;
+      p.live_bits = (E + 1) + W + (l + 1 < levels ? levels : 0) + 10;
+      p.sem = {sm::onif(sm::shrjam(kSum, kSum, 1 << l), kAux, l)};
       p.eval = [l](rtl::SignalSet& s) {
         if ((s[kAux] >> l) & 1) {
           s[kSum] = fp::shift_right_jam64(s[kSum], 1 << l);
@@ -380,8 +426,14 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.delay_ns = tech.adder_delay(bits, obj);
     if (c > 0) p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
     p.area = tech.adder_area(bits, obj);
-    p.live_bits = (E + 1) + (F + 2) + 3 + 6;
+    p.live_bits = (E + 1) + (F + 2) + 3 + (ieee ? 9 : 7);
     const bool last = c == rm_chunks - 1;
+    if (last) {
+      p.sem = {sm::read(kSum), sm::band(kGrs, kSum, 7),
+               sm::havoc(kKept, F + 2)};
+    } else {
+      p.sem = {sm::nop()};
+    }
     p.eval = [rne, last](rtl::SignalSet& s) {
       if (!last) return;
       const u64 grs = s[kSum] & 7;
@@ -400,7 +452,8 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.group = "round";
     p.delay_ns = tech.adder_delay(E, obj);
     p.area = tech.adder_area(E, obj) + tech.comparator_area(E, obj) * 2;
-    p.live_bits = (E + 1) + (F + 2) + 3 + 6;
+    p.live_bits = (E + 1) + (F + 2) + 3 + (ieee ? 9 : 7);
+    p.sem = {sm::nop()};
     p.eval = [](rtl::SignalSet&) {
       // Timing/area placeholder: the carry out of the rounding increment and
       // the range detectors are consumed by the pack piece below.
@@ -415,6 +468,8 @@ rtl::PieceChain build_adder_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.delay_ns = tech.lut_logic_delay(obj);
     p.area = tech.lut_logic_area(N, obj);
     p.live_bits = N + 5;  // result + flags
+    p.sem = {sm::read(kCtl), sm::read(kExpA), sm::read(kKept), sm::read(kGrs),
+             sm::havoc(kLaneResult, N), sm::flags()};
     p.eval = [fmt, F, E, rne, N, ieee](rtl::SignalSet& s) {
       const int emax = (1 << E) - 1;
       const bool inf_a = ctl(s, kCtlInfA);

@@ -19,6 +19,7 @@ namespace flopsim::units::detail {
 namespace {
 
 using fp::u64;
+namespace sm = rtl::sem;
 
 constexpr int kExpA = 3;
 constexpr int kExpB = 4;
@@ -82,7 +83,11 @@ rtl::PieceChain build_divider_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.delay_ns = tech.comparator_delay(E, obj) + tech.gate_delay(obj);
     p.area =
         tech.comparator_area(E, obj) * 4 + tech.lut_logic_area(F + 1, obj) * 2;
-    p.live_bits = 2 * (1 + E + (F + 1)) + 6;
+    p.live_bits = 2 * (E + (F + 1)) + (ieee ? 8 : 6);
+    p.sem = {sm::read(kLaneInA),        sm::read(kLaneInB),
+             sm::havoc(kManA, F + 1),   sm::havoc(kManB, F + 1),
+             sm::havoc(kExpA, E),       sm::havoc(kExpB, E),
+             sm::havoc(kCtl, ieee ? 8 : 6)};
     p.eval = [fmt, F, E, N, ieee](rtl::SignalSet& s) {
       const u64 a = s[kLaneInA] & fmt.bits_mask();
       const u64 b = s[kLaneInB] & fmt.bits_mask();
@@ -136,9 +141,11 @@ rtl::PieceChain build_divider_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
       p.area = tech.priority_encoder_area(F + 1, obj) +
                tech.mux_level_area(F + 1, obj) * lvls +
                tech.adder_area(E + 1, obj);
-      p.live_bits = 2 * (1 + E + 2 + (F + 1)) + 9;
+      p.live_bits = 2 * (F + 1) + (E + 2) + (op == 0 ? E : E + 2) + 8;
       const int lane_m = op == 0 ? kManA : kManB;
       const int lane_e = op == 0 ? kExpA : kExpB;
+      p.sem = {sm::read(lane_m), sm::read(lane_e),
+               sm::havoc(lane_m, F + 1), sm::havocs(lane_e, E + 2)};
       p.eval = [lane_m, lane_e, F](rtl::SignalSet& s) {
         if (s[lane_m] == 0) return;
         const int msb = fp::msb_index64(s[lane_m]);
@@ -161,12 +168,19 @@ rtl::PieceChain build_divider_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
         std::max(tech.comparator_delay(F + 1, obj), tech.adder_delay(E, obj));
     p.area = tech.comparator_area(F + 1, obj) + tech.adder_area(F + 1, obj) +
              tech.adder_area(E, obj) * 2;
-    p.live_bits = (F + 2) + (F + 1) + (F + 5) + (E + 2) + 6;
+    p.live_bits = 2 * (F + 1) + 1 + (ieee ? E + 2 : E + 1) + (ieee ? 8 : 6);
+    p.sem = {sm::read(kManA), sm::read(kManB), sm::havoc(kManA, F + 1),
+             sm::havoc(kQuot, 1), sm::sub(kExp, kExpA, kExpB),
+             sm::addi(kExp, kExp, fmt.bias() - 1)};
     const int bias = fmt.bias();
     p.eval = [bias](rtl::SignalSet& s) {
       // First quotient bit: numerator may equal or exceed the divisor.
       s[kQuot] = 0;
-      if (s[kManB] != 0 && s[kManA] >= s[kManB]) {
+      if (s[kManB] == 0) {
+        // Dead datapath (div-by-zero / inf): flush so the remainder
+        // invariant manA < manB <= 2^(F+1) holds through every row.
+        s[kManA] = 0;
+      } else if (s[kManA] >= s[kManB]) {
         s[kManA] -= s[kManB];
         s[kQuot] = 1;
       }
@@ -190,9 +204,15 @@ rtl::PieceChain build_divider_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
                  (obj == device::Objective::kSpeed ? 0.88 : 1.0);
     p.delay_chained_ns = p.delay_ns * 0.8;
     p.area = tech.adder_area(F + 2, obj);
-    p.live_bits = (F + 2) + (F + 1) + (F + 5) + (E + 2) + 6;
     const int bits_this_row = std::min(2, rest_bits - 2 * r);
     const bool last = r == n_rows - 1;
+    // The quotient register only holds 1 + 2*(rows done) bits so far; the
+    // remainder and divisor retire after the last row.
+    const int quot_w = std::min(F + 5, 1 + 2 * (r + 1));
+    p.live_bits = (last ? 0 : 2 * (F + 1)) + quot_w +
+                  (ieee ? E + 2 : E + 1) + (ieee ? 8 : 6);
+    p.sem = {sm::read(kManA), sm::read(kManB), sm::read(kQuot),
+             sm::havoc(kManA, F + 1), sm::havoc(kQuot, quot_w)};
     p.eval = [bits_this_row, last](rtl::SignalSet& s) {
       for (int i = 0; i < bits_this_row; ++i) div_step(s);
       if (last && s[kManA] != 0) s[kQuot] |= 1;  // remainder -> sticky
@@ -208,7 +228,9 @@ rtl::PieceChain build_divider_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.delay_ns =
         std::max(tech.mux_level_delay(F + 4, obj), tech.adder_delay(E, obj));
     p.area = tech.mux_level_area(F + 4, obj) + tech.adder_area(E, obj);
-    p.live_bits = (F + 4) + (E + 2) + 6;
+    p.live_bits = (F + 4) + (ieee ? E + 2 : E + 1) + (ieee ? 8 : 6);
+    p.sem = {sm::onif(sm::addi(kExp, kExp, 1), kQuot, F + 4),
+             sm::read(kQuot), sm::havoc(kWork, F + 4)};
     p.eval = [F](rtl::SignalSet& s) {
       u64 q = s[kQuot];
       if ((q >> (F + 4)) & 1) {
@@ -230,6 +252,8 @@ rtl::PieceChain build_divider_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
       p.delay_ns = tech.adder_delay(E + 1, obj);
       p.area = tech.adder_area(E + 1, obj) + tech.comparator_area(E, obj);
       p.live_bits = (F + 4) + (E + 2) + wlvls + 9;
+      p.sem = {sm::read(kExp), sm::read(kWork), sm::read(kCtl),
+               sm::havoc(kQuot, wlvls), sm::havoc(kCtl, 9)};
       const int wmax = F + 4;
       p.eval = [wmax](rtl::SignalSet& s) {
         const fp::i64 exp = static_cast<fp::i64>(s[kExp]);
@@ -250,7 +274,8 @@ rtl::PieceChain build_divider_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
       p.delay_ns = tech.mux_level_delay(F + 4, obj);
       p.delay_chained_ns = tech.mux_level_chained_delay(F + 4, obj);
       p.area = tech.mux_level_area(F + 4, obj);
-      p.live_bits = (F + 4) + (E + 2) + (wlvls - l) + 9;
+      p.live_bits = (F + 4) + (E + 2) + (l + 1 < wlvls ? wlvls : 0) + 9;
+      p.sem = {sm::onif(sm::shrjam(kWork, kWork, 1 << l), kQuot, l)};
       p.eval = [l](rtl::SignalSet& s) {
         if ((s[kQuot] >> l) & 1) {
           s[kWork] = fp::shift_right_jam64(s[kWork], 1 << l);
@@ -271,8 +296,15 @@ rtl::PieceChain build_divider_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.delay_ns = tech.adder_delay(bits, obj);
     if (c > 0) p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
     p.area = tech.adder_area(bits, obj);
-    p.live_bits = (E + 2) + (F + 2) + 3 + 6;
     const bool last = c == rm_chunks - 1;
+    p.live_bits = (ieee ? E + 2 : E + 1) +
+                  (last ? (F + 2) + 3 : F + 4) + (ieee ? 9 : 6);
+    if (last) {
+      p.sem = {sm::read(kWork), sm::band(kGrs, kWork, 7),
+               sm::havoc(kKept, F + 2)};
+    } else {
+      p.sem = {sm::nop()};
+    }
     p.eval = [rne, last](rtl::SignalSet& s) {
       if (!last) return;
       const u64 grs = s[kWork] & 7;
@@ -290,7 +322,8 @@ rtl::PieceChain build_divider_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.group = "round";
     p.delay_ns = tech.adder_delay(E, obj);
     p.area = tech.adder_area(E, obj) + tech.comparator_area(E, obj) * 2;
-    p.live_bits = (E + 2) + (F + 2) + 3 + 6;
+    p.live_bits = (ieee ? E + 2 : E + 1) + (F + 2) + 3 + (ieee ? 9 : 6);
+    p.sem = {sm::nop()};
     p.eval = [](rtl::SignalSet&) {};
     chain.push_back(std::move(p));
   }
@@ -301,6 +334,8 @@ rtl::PieceChain build_divider_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.delay_ns = tech.lut_logic_delay(obj);
     p.area = tech.lut_logic_area(N, obj);
     p.live_bits = N + 5;
+    p.sem = {sm::read(kCtl), sm::read(kExp), sm::read(kKept), sm::read(kGrs),
+             sm::havoc(kLaneResult, N), sm::flags()};
     p.eval = [fmt, F, E, rne, N, ieee](rtl::SignalSet& s) {
       const int emax = (1 << E) - 1;
       const bool inf_a = ctl(s, kCtlInfA);

@@ -27,6 +27,7 @@ namespace {
 
 using fp::u128;
 using fp::u64;
+namespace sm = rtl::sem;
 
 // Lanes. The 128-bit frames occupy lane pairs (lo, hi).
 constexpr int kManA = 3;
@@ -97,6 +98,11 @@ rtl::PieceChain build_mac_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
 
   const int chunks = (sig_bits + 16) / 17;
   const int n_bmults = chunks * chunks;
+  // Register-width terms by the effective-width convention: ctl reaches
+  // bit 15 (kCtlItz) in both modes; ieee exponents are signed.
+  const int ctl_w = 16;
+  const int exp_c_w = ieee ? E + 2 : E;
+  const int exp_p_w = ieee ? E + 2 : E + 1;
   int csa_levels = 0;
   for (int r = n_bmults; r > 1; r = (r + 3) / 4) ++csa_levels;
 
@@ -115,7 +121,17 @@ rtl::PieceChain build_mac_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
                       tech.mux_level_area(F + 1, obj) * 6) *
                          3
                    : device::Resources{});
-    p.live_bits = 3 * (1 + E + sig_bits) + 10;
+    p.live_bits = 3 * sig_bits + exp_c_w + exp_p_w + ctl_w;
+    p.sem = {sm::read(kLaneInA), sm::read(kLaneInB), sm::read(kLaneInC),
+             sm::havoc(kManA, sig_bits), sm::havoc(kManB, sig_bits),
+             sm::havoc(kManC, sig_bits), sm::havoc(kCtl, ctl_w)};
+    if (ieee) {
+      p.sem.push_back(sm::havocs(kExpC, E + 2));
+      p.sem.push_back(sm::havocs(kExpP, E + 2));
+    } else {
+      p.sem.push_back(sm::havoc(kExpC, E));
+      p.sem.push_back(sm::havoc(kExpP, E + 1));
+    }
     p.eval = [fmt, F, E, N, ieee](rtl::SignalSet& s) {
       const u64 emax_mask = fp::mask64(E);
       const int emax = (1 << E) - 1;
@@ -186,7 +202,11 @@ rtl::PieceChain build_mac_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.delay_ns = std::max(tech.bmult_delay(obj), tech.adder_delay(E, obj));
     p.area = tech.adder_area(E + 1, obj);
     p.area.bmults = n_bmults;
-    p.live_bits = prod_bits + sig_bits + 2 * (E + 2) + 10;
+    p.live_bits = prod_bits + sig_bits + exp_c_w + exp_p_w + ctl_w;
+    p.sem = {sm::read(kManA), sm::read(kManB),
+             sm::havoc(kBigLo, std::min(prod_bits, 64)),
+             sm::havoc(kBigHi, std::max(0, prod_bits - 64)),
+             sm::subi(kExpP, kExpP, fmt.bias())};
     const int bias = fmt.bias();
     p.eval = [chunks, bias](rtl::SignalSet& s) {
       u128 prod = 0;
@@ -211,7 +231,8 @@ rtl::PieceChain build_mac_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.delay_ns = tech.csa_level_delay(prod_bits, obj);
     p.delay_chained_ns = tech.csa_level_chained_delay(prod_bits, obj);
     p.area = tech.csa_level_area(prod_bits, obj);
-    p.live_bits = prod_bits + sig_bits + 2 * (E + 2) + 10;
+    p.live_bits = prod_bits + sig_bits + exp_c_w + exp_p_w + ctl_w;
+    p.sem = {sm::nop()};
     p.eval = [](rtl::SignalSet&) {
       // Carry-save value progresses; already exact in the lanes.
     };
@@ -228,7 +249,8 @@ rtl::PieceChain build_mac_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
       p.delay_ns = tech.adder_delay(cpa_chunk, obj);
       if (c > 0) p.delay_chained_ns = tech.adder_chained_delay(cpa_chunk, obj);
       p.area = tech.adder_area(cpa_chunk, obj);
-      p.live_bits = prod_bits + sig_bits + 2 * (E + 2) + 10;
+      p.live_bits = prod_bits + sig_bits + exp_c_w + exp_p_w + ctl_w;
+      p.sem = {sm::nop()};
       p.eval = [](rtl::SignalSet&) {};  // value already exact in the lanes
       chain.push_back(std::move(p));
     }
@@ -248,7 +270,15 @@ rtl::PieceChain build_mac_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.area = tech.comparator_area(E + 2, obj) +
              tech.mux_level_area(2 * frame_bits, obj) +
              tech.adder_area(E + 1, obj);
-    p.live_bits = 2 * frame_bits + (E + 2) + 8 + 10;
+    p.live_bits = 2 * frame_bits + (E + 1) + 7 + ctl_w;
+    p.sem = {sm::read(kBigLo), sm::read(kBigHi), sm::read(kManC),
+             sm::read(kExpP),  sm::read(kExpC),  sm::read(kCtl),
+             sm::havoc(kBigLo, std::min(frame_bits, 64)),
+             sm::havoc(kBigHi, std::max(0, frame_bits - 64)),
+             sm::havoc(kSmallLo, std::min(frame_bits, 64)),
+             sm::havoc(kSmallHi, std::max(0, frame_bits - 64)),
+             sm::havocs(kExp, E + 2), sm::havoc(kAux, 7),
+             sm::havoc(kCtl, ctl_w)};
     const int F_ = F;
     p.eval = [F_](rtl::SignalSet& s) {
       const u128 prod = get128(s, kBigLo) << 3;
@@ -292,7 +322,11 @@ rtl::PieceChain build_mac_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.delay_ns = tech.mux_level_delay(frame_bits, obj);
     p.delay_chained_ns = tech.mux_level_chained_delay(frame_bits, obj);
     p.area = tech.mux_level_area(frame_bits, obj);
-    p.live_bits = 2 * frame_bits + (E + 2) + (align_levels - l) + 10;
+    p.live_bits = 2 * frame_bits + (E + 1) +
+                  (l + 1 < align_levels ? 7 : 0) + ctl_w;
+    p.sem = {sm::read(kAux), sm::read(kSmallLo), sm::read(kSmallHi),
+             sm::havoc(kSmallLo, std::min(frame_bits, 64)),
+             sm::havoc(kSmallHi, std::max(0, frame_bits - 64))};
     p.eval = [l](rtl::SignalSet& s) {
       if ((s[kAux] >> l) & 1) {
         put128(s, kSmallLo, fp::shift_right_jam128(get128(s, kSmallLo),
@@ -320,8 +354,20 @@ rtl::PieceChain build_mac_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
       // A register inside the chunk sequence still holds BOTH frames (the
       // sum only replaces them once the final carry resolves); after the
       // last chunk the (frame+1)-bit sum alone remains.
+      // Both frames are bounded by 2^(prod_bits+3), so the resolved sum
+      // still fits the frame width.
       p.live_bits =
-          (last ? frame_bits + 1 : 2 * frame_bits) + (E + 2) + 10;
+          (last ? frame_bits : 2 * frame_bits) + (E + 1) + ctl_w;
+      if (last) {
+        p.sem = {sm::read(kBigLo),   sm::read(kBigHi),
+                 sm::read(kSmallLo), sm::read(kSmallHi),
+                 sm::read(kCtl),
+                 sm::havoc(kBigLo, std::min(frame_bits, 64)),
+                 sm::havoc(kBigHi, std::max(0, frame_bits - 64)),
+                 sm::havoc(kCtl, ctl_w)};
+      } else {
+        p.sem = {sm::nop()};
+      }
       p.eval = [last](rtl::SignalSet& s) {
         if (!last) return;  // the full op resolves with the final carry
         const u128 big = get128(s, kBigLo);
@@ -360,7 +406,8 @@ rtl::PieceChain build_mac_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
                  tech.adder_chained_delay(4, obj);
     p.area = tech.priority_encoder_area(frame_bits / 2, obj) * 2 +
              tech.adder_area(4, obj);
-    p.live_bits = frame_bits + (E + 2) + 8 + 10;
+    p.live_bits = frame_bits + (E + 1) + 8 + ctl_w;
+    p.sem = {sm::read(kBigLo), sm::read(kBigHi), sm::havocs(kPenc, 8)};
     const int F_ = F;
     p.eval = [F_](rtl::SignalSet& s) {
       const u128 sum = get128(s, kBigLo);
@@ -378,7 +425,8 @@ rtl::PieceChain build_mac_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.group = "normalize";
     p.delay_ns = tech.adder_delay(E + 1, obj);
     p.area = tech.adder_area(E + 1, obj);
-    p.live_bits = frame_bits + (E + 2) + 8 + 10;
+    p.live_bits = frame_bits + (E + 2) + 8 + ctl_w;
+    p.sem = {sm::subi(kExp, kExp, F), sm::add(kExp, kExp, kPenc)};
     const int F_ = F;
     p.eval = [F_](rtl::SignalSet& s) {
       // round_pack semantics: value = sig * 2^(exp - bias - F - 3) with the
@@ -397,7 +445,14 @@ rtl::PieceChain build_mac_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
       p.delay_chained_ns = tech.mux_level_chained_delay(frame_bits, obj);
     }
     p.area = tech.mux_level_area(frame_bits, obj);
-    p.live_bits = frame_bits + (E + 2) + (align_levels - l) + 10;
+    // After the last level the high frame lane is dead (rounding reads
+    // only the low lane) and the normalized value fits F+4 bits.
+    p.live_bits = l + 1 < align_levels
+                      ? frame_bits + (E + 2) + 8 + ctl_w
+                      : (F + 4) + (E + 2) + ctl_w;
+    p.sem = {sm::read(kPenc), sm::read(kBigLo), sm::read(kBigHi),
+             sm::havoc(kBigLo, std::min(frame_bits, 64)),
+             sm::havoc(kBigHi, std::max(0, frame_bits - 64))};
     p.eval = [l](rtl::SignalSet& s) {
       const fp::i64 shift = static_cast<fp::i64>(s[kPenc]);
       const fp::i64 mag = shift < 0 ? -shift : shift;
@@ -423,7 +478,9 @@ rtl::PieceChain build_mac_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
       p.group = "denorm_result";
       p.delay_ns = tech.adder_delay(E + 1, obj);
       p.area = tech.adder_area(E + 1, obj) + tech.comparator_area(E, obj);
-      p.live_bits = (F + 4) + (E + 2) + wlvls + 12;
+      p.live_bits = (F + 4) + (E + 2) + wlvls + ctl_w;
+      p.sem = {sm::read(kExp), sm::read(kBigLo), sm::read(kCtl),
+               sm::havoc(kAux, wlvls), sm::havoc(kCtl, ctl_w)};
       const int wmax = F + 4;
       p.eval = [wmax](rtl::SignalSet& s) {
         const fp::i64 exp = static_cast<fp::i64>(s[kExp]);
@@ -444,7 +501,8 @@ rtl::PieceChain build_mac_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
       p.delay_ns = tech.mux_level_delay(F + 4, obj);
       p.delay_chained_ns = tech.mux_level_chained_delay(F + 4, obj);
       p.area = tech.mux_level_area(F + 4, obj);
-      p.live_bits = (F + 4) + (E + 2) + (wlvls - l) + 12;
+      p.live_bits = (F + 4) + (E + 2) + (l + 1 < wlvls ? wlvls : 0) + ctl_w;
+      p.sem = {sm::onif(sm::shrjam(kBigLo, kBigLo, 1 << l), kAux, l)};
       p.eval = [l](rtl::SignalSet& s) {
         if ((s[kAux] >> l) & 1) {
           s[kBigLo] = fp::shift_right_jam64(s[kBigLo], 1 << l);
@@ -465,8 +523,15 @@ rtl::PieceChain build_mac_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.delay_ns = tech.adder_delay(bits, obj);
     if (c > 0) p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
     p.area = tech.adder_area(bits, obj);
-    p.live_bits = (E + 2) + (F + 2) + 3 + 10;
     const bool last = c == rm_chunks - 1;
+    p.live_bits = last ? (E + 2) + (F + 2) + 3 + ctl_w
+                       : (E + 2) + (F + 4) + ctl_w;
+    if (last) {
+      p.sem = {sm::read(kBigLo), sm::band(kGrs, kBigLo, 7),
+               sm::havoc(kKept, F + 2)};
+    } else {
+      p.sem = {sm::nop()};
+    }
     p.eval = [rne, last](rtl::SignalSet& s) {
       if (!last) return;
       const u64 work = s[kBigLo];  // normalized: fits the low lane
@@ -487,6 +552,8 @@ rtl::PieceChain build_mac_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.area = tech.adder_area(E, obj) + tech.comparator_area(E, obj) * 2 +
              tech.lut_logic_area(N, obj);
     p.live_bits = N + 5;
+    p.sem = {sm::read(kCtl), sm::read(kExp), sm::read(kKept), sm::read(kGrs),
+             sm::havoc(kLaneResult, N), sm::flags()};
     p.eval = [fmt, F, E, rne, N, ieee](rtl::SignalSet& s) {
       const int emax = (1 << E) - 1;
       const u64 sign_mask = u64{1} << (N - 1);

@@ -23,6 +23,7 @@ namespace {
 
 using fp::u64;
 using fp::u128;
+namespace sm = rtl::sem;
 
 constexpr int kExpA = 3;
 constexpr int kExpB = 4;
@@ -92,7 +93,11 @@ rtl::PieceChain build_multiplier_chain(fp::FpFormat fmt,
     p.delay_ns = tech.comparator_delay(E, obj) + tech.gate_delay(obj);
     p.area =
         tech.comparator_area(E, obj) * 4 + tech.lut_logic_area(F + 1, obj) * 2;
-    p.live_bits = 2 * (1 + E + sig_bits) + 6;
+    p.live_bits = 2 * (E + sig_bits) + (ieee ? 8 : 6);
+    p.sem = {sm::read(kLaneInA),          sm::read(kLaneInB),
+             sm::havoc(kManA, sig_bits),  sm::havoc(kManB, sig_bits),
+             sm::havoc(kExpA, E),         sm::havoc(kExpB, E),
+             sm::havoc(kCtl, ieee ? 8 : 6)};
     p.eval = [fmt, F, E, N, ieee](rtl::SignalSet& s) {
       const u64 a = s[kLaneInA] & fmt.bits_mask();
       const u64 b = s[kLaneInB] & fmt.bits_mask();
@@ -149,7 +154,8 @@ rtl::PieceChain build_multiplier_chain(fp::FpFormat fmt,
       p.delay_ns = tech.priority_encoder_delay(F + 1, obj);
       p.area = tech.priority_encoder_area(F + 1, obj) * 2 +
                tech.adder_area(E + 1, obj) * 2;
-      p.live_bits = 2 * (1 + E + 2 + sig_bits) + 2 * lvls + 9;
+      p.live_bits = 2 * (E + sig_bits) + 16 + 8;
+      p.sem = {sm::read(kManA), sm::read(kManB), sm::havoc(kProdLo, 16)};
       p.eval = [F](rtl::SignalSet& s) {
         // Shift amounts, packed: low 8 bits for A, next 8 for B.
         u64 packed = 0;
@@ -172,8 +178,18 @@ rtl::PieceChain build_multiplier_chain(fp::FpFormat fmt,
       p.delay_ns = tech.mux_level_delay(F + 1, obj);
       p.delay_chained_ns = tech.mux_level_chained_delay(F + 1, obj);
       p.area = tech.mux_level_area(F + 1, obj) * 2;
-      p.live_bits = 2 * (1 + E + 2 + sig_bits) + 2 * (lvls - l) + 9;
+      // The packed shift-amount register stays 16 bits wide until the last
+      // level retires it; the exponents widen to signed E+2 at that point.
+      p.live_bits = 2 * (E + sig_bits) + (l + 1 < lvls ? 16 : 4) + 8;
       const bool last = l == lvls - 1;
+      p.sem = {sm::read(kProdLo), sm::read(kManA), sm::read(kManB),
+               sm::havoc(kManA, sig_bits), sm::havoc(kManB, sig_bits)};
+      if (last) {
+        p.sem.push_back(sm::read(kExpA));
+        p.sem.push_back(sm::read(kExpB));
+        p.sem.push_back(sm::havocs(kExpA, E + 2));
+        p.sem.push_back(sm::havocs(kExpB, E + 2));
+      }
       p.eval = [l, last](rtl::SignalSet& s) {
         const u64 sa = s[kProdLo] & 0xff;
         const u64 sb = (s[kProdLo] >> 8) & 0xff;
@@ -199,7 +215,13 @@ rtl::PieceChain build_multiplier_chain(fp::FpFormat fmt,
     p.delay_ns = std::max(tech.bmult_delay(obj), tech.adder_delay(E, obj));
     p.area = tech.adder_area(E, obj);
     p.area.bmults = n_bmults;
-    p.live_bits = prod_bits + (E + 2) + 6;
+    // Pre-bias the exponent sum of two E-bit operands needs E+1 bits
+    // (signed E+2 in IEEE mode, where op-normalization can go negative).
+    p.live_bits = prod_bits + (ieee ? E + 2 : E + 1) + (ieee ? 8 : 6);
+    p.sem = {sm::read(kManA), sm::read(kManB),
+             sm::havoc(kProdLo, std::min(prod_bits, 64)),
+             sm::havoc(kProdHi, std::max(0, prod_bits - 64)),
+             sm::add(kExp, kExpA, kExpB)};
     p.eval = [chunks](rtl::SignalSet& s) {
       // The 17-bit chunk products of the MULT18X18 array, combined exactly.
       u128 prod = 0;
@@ -240,12 +262,18 @@ rtl::PieceChain build_multiplier_chain(fp::FpFormat fmt,
       // still to come read them) next to the carry-save accumulator, of
       // which only sig + 2*rows_done + 1 bits are nonzero yet; the final
       // row set retires the operands and leaves the full product.
-      p.live_bits =
-          (g == n_pieces - 1
-               ? prod_bits + sig_bits
-               : 2 * sig_bits +
-                     std::min(prod_bits, sig_bits + 2 * (row_lo + gr) + 1)) +
-          (E + 2) + 6;
+      const int acc_hi =
+          std::min(prod_bits, sig_bits + 2 * (row_lo + gr) + 1);
+      p.live_bits = (g == n_pieces - 1 ? prod_bits : 2 * sig_bits + acc_hi) +
+                    (ieee ? E + 2 : E + 1) + (ieee ? 8 : 6);
+      p.sem = {sm::read(kManA), sm::read(kManB)};
+      if (!first) {
+        p.sem.push_back(sm::read(kProdLo));
+        p.sem.push_back(sm::read(kProdHi));
+      }
+      p.sem.push_back(sm::havoc(kProdLo, std::min(acc_hi, 64)));
+      p.sem.push_back(sm::havoc(kProdHi, std::max(0, acc_hi - 64)));
+      if (first) p.sem.push_back(sm::add(kExp, kExpA, kExpB));
       p.eval = [first, row_lo, gr](rtl::SignalSet& s) {
         if (first) {
           s[kProdLo] = 0;
@@ -277,9 +305,14 @@ rtl::PieceChain build_multiplier_chain(fp::FpFormat fmt,
     p.delay_chained_ns = tech.csa_level_chained_delay(prod_bits, obj);
     p.area = tech.csa_level_area(prod_bits, obj) +
              (l == 0 ? tech.adder_area(E, obj) : device::Resources{});
-    p.live_bits = prod_bits + (E + 2) + 6;
+    p.live_bits = prod_bits + (E + 1) + (ieee ? 8 : 6);
     const bool first = l == 0;
     const int bias = fmt.bias();
+    if (first) {
+      p.sem = {sm::subi(kExp, kExp, bias - 1)};
+    } else {
+      p.sem = {sm::nop()};
+    }
     p.eval = [first, bias](rtl::SignalSet& s) {
       if (first) {
         // Bias subtractor (+1 re-centers the jam normalization below).
@@ -307,7 +340,15 @@ rtl::PieceChain build_multiplier_chain(fp::FpFormat fmt,
     const bool do_bias = csa_levels == 0 && c == 0;
     const int bias = fmt.bias();
     if (last) p.area += tech.lut_logic_area(std::max(1, F - 2), obj);
-    p.live_bits = last ? ((F + 4) + (E + 2) + 6) : (prod_bits + (E + 2) + 6);
+    p.live_bits = last ? ((F + 4) + (E + 1) + (ieee ? 8 : 6))
+                       : (prod_bits + (E + 1) + (ieee ? 8 : 6));
+    if (do_bias) p.sem.push_back(sm::subi(kExp, kExp, bias - 1));
+    if (last) {
+      p.sem.push_back(sm::read(kProdLo));
+      p.sem.push_back(sm::read(kProdHi));
+      p.sem.push_back(sm::havoc(kWork, F + 4));
+    }
+    if (p.sem.empty()) p.sem = {sm::nop()};
     p.eval = [last, do_bias, bias, F](rtl::SignalSet& s) {
       if (do_bias) {
         s[kExp] = static_cast<u64>(static_cast<fp::i64>(s[kExp]) - bias + 1);
@@ -335,7 +376,13 @@ rtl::PieceChain build_multiplier_chain(fp::FpFormat fmt,
     p.delay_ns =
         std::max(tech.mux_level_delay(F + 4, obj), tech.adder_delay(E, obj));
     p.area = tech.mux_level_area(F + 4, obj) + tech.adder_area(E, obj);
-    p.live_bits = (F + 4) + (E + 2) + 6;
+    p.live_bits = (F + 4) + (E + 1) + (ieee ? 8 : 6);
+    // The decrement tests the pre-shift MSB, so it must be modeled before
+    // the shift rewrites that bit (same ordering rule as the adder's
+    // prenorm). A zero significand keeps its guard bit unknown upstream,
+    // so the joined branches still contain the untouched exponent.
+    p.sem = {sm::onif(sm::subi(kExp, kExp, 1), kWork, F + 3, true),
+             sm::onif(sm::shl(kWork, kWork, 1), kWork, F + 3, true)};
     p.eval = [F](rtl::SignalSet& s) {
       // Product of [1,2)x[1,2) is in [1,4): after the jam the MSB sits at
       // F+2 or F+3; align it to F+3.
@@ -356,7 +403,9 @@ rtl::PieceChain build_multiplier_chain(fp::FpFormat fmt,
       p.group = "denorm_result";
       p.delay_ns = tech.adder_delay(E + 1, obj);
       p.area = tech.adder_area(E + 1, obj) + tech.comparator_area(E, obj);
-      p.live_bits = (F + 4) + (E + 2) + wlvls + 9;
+      p.live_bits = (F + 4) + (E + 1) + wlvls + 9;
+      p.sem = {sm::read(kExp), sm::read(kWork), sm::read(kCtl),
+               sm::havoc(kProdLo, wlvls), sm::havoc(kCtl, 9)};
       const int wmax = F + 4;
       p.eval = [wmax](rtl::SignalSet& s) {
         const fp::i64 exp = static_cast<fp::i64>(s[kExp]);
@@ -377,7 +426,10 @@ rtl::PieceChain build_multiplier_chain(fp::FpFormat fmt,
       p.delay_ns = tech.mux_level_delay(F + 4, obj);
       p.delay_chained_ns = tech.mux_level_chained_delay(F + 4, obj);
       p.area = tech.mux_level_area(F + 4, obj);
-      p.live_bits = (F + 4) + (E + 2) + (wlvls - l) + 9;
+      // Like the adder's aligner, the shift-distance register keeps its
+      // full width until every level has consumed its bit.
+      p.live_bits = (F + 4) + (E + 1) + (l + 1 < wlvls ? wlvls : 0) + 9;
+      p.sem = {sm::onif(sm::shrjam(kWork, kWork, 1 << l), kProdLo, l)};
       p.eval = [l](rtl::SignalSet& s) {
         if ((s[kProdLo] >> l) & 1) {
           s[kWork] = fp::shift_right_jam64(s[kWork], 1 << l);
@@ -398,8 +450,17 @@ rtl::PieceChain build_multiplier_chain(fp::FpFormat fmt,
     p.delay_ns = tech.adder_delay(bits, obj);
     if (c > 0) p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
     p.area = tech.adder_area(bits, obj);
-    p.live_bits = (E + 2) + (F + 2) + 3 + 6;
     const bool last = c == rm_chunks - 1;
+    // The unrounded significand stays live until the last chunk splits it
+    // into kept bits and GRS.
+    p.live_bits = last ? (E + 1) + (F + 2) + 3 + (ieee ? 9 : 6)
+                       : (E + 1) + (F + 4) + (ieee ? 9 : 6);
+    if (last) {
+      p.sem = {sm::read(kWork), sm::band(kGrs, kWork, 7),
+               sm::havoc(kKept, F + 2)};
+    } else {
+      p.sem = {sm::nop()};
+    }
     p.eval = [rne, last](rtl::SignalSet& s) {
       if (!last) return;
       const u64 grs = s[kWork] & 7;
@@ -417,7 +478,8 @@ rtl::PieceChain build_multiplier_chain(fp::FpFormat fmt,
     p.group = "round";
     p.delay_ns = tech.adder_delay(E, obj);
     p.area = tech.adder_area(E, obj) + tech.comparator_area(E, obj) * 2;
-    p.live_bits = (E + 2) + (F + 2) + 3 + 6;
+    p.live_bits = (E + 1) + (F + 2) + 3 + (ieee ? 9 : 6);
+    p.sem = {sm::nop()};
     p.eval = [](rtl::SignalSet&) {
       // Timing/area placeholder; consumed by pack below.
     };
@@ -430,6 +492,8 @@ rtl::PieceChain build_multiplier_chain(fp::FpFormat fmt,
     p.delay_ns = tech.lut_logic_delay(obj);
     p.area = tech.lut_logic_area(N, obj);
     p.live_bits = N + 5;
+    p.sem = {sm::read(kCtl), sm::read(kExp), sm::read(kKept), sm::read(kGrs),
+             sm::havoc(kLaneResult, N), sm::flags()};
     p.eval = [fmt, F, E, rne, N, ieee](rtl::SignalSet& s) {
       const int emax = (1 << E) - 1;
       const bool inf_a = ctl(s, kCtlInfA);

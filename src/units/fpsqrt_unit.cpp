@@ -19,6 +19,7 @@ namespace {
 
 using fp::u64;
 using fp::u128;
+namespace sm = rtl::sem;
 
 constexpr int kXLo = 3;   // radicand, low/high lanes (consumed msb-first)
 constexpr int kXHi = 4;
@@ -81,7 +82,14 @@ rtl::PieceChain build_sqrt_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
              (ieee ? tech.priority_encoder_area(F + 1, obj) +
                          tech.mux_level_area(F + 1, obj) * 6
                    : device::Resources{});
-    p.live_bits = 128 + (E + 2) + (F + 6) * 2 + 4;
+    // The radicand rides the top of the 128-bit window, so its bits never
+    // reach the low lane (128 - F - 2 >= 64 for every format): kXLo is
+    // provably constant zero and the remainder/root start at zero.
+    p.live_bits = 64 + E + (ieee ? 5 : 3);
+    p.sem = {sm::read(kLaneInA),  sm::havoc(kXHi, 64),
+             sm::havoc(kXLo, 0),  sm::havoc(kRem, 0),
+             sm::havoc(kRoot, 0), sm::havoc(kExp, E),
+             sm::havoc(kCtl, ieee ? 5 : 3)};
     const int bias = fmt.bias();
     p.eval = [fmt, F, E, N, bias, ieee](rtl::SignalSet& s) {
       const u64 a = s[kLaneInA] & fmt.bits_mask();
@@ -144,9 +152,17 @@ rtl::PieceChain build_sqrt_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
                  (obj == device::Objective::kSpeed ? 0.88 : 1.0);
     if (r > 0) p.delay_chained_ns = p.delay_ns * 0.8;
     p.area = tech.adder_area(F + 4, obj);
-    p.live_bits = 128 + (F + 6) * 2 + (E + 2) + 4;
     const int bits_this_row = std::min(2, root_bits - 2 * r);
     const bool last = r == n_rows - 1;
+    // Root grows two bits per row; the remainder obeys rem <= 2*root
+    // (exactness of the restoring recurrence), so F+6 bits bound it. The
+    // radicand window and remainder retire after the last row.
+    const int root_w = std::min(root_bits, 2 * (r + 1));
+    p.live_bits =
+        (last ? 0 : 64 + (F + 6)) + root_w + E + (ieee ? 5 : 3);
+    p.sem = {sm::read(kXHi), sm::read(kRem), sm::read(kRoot),
+             sm::havoc(kXHi, 64), sm::havoc(kRem, F + 6),
+             sm::havoc(kRoot, root_w)};
     p.eval = [bits_this_row, last](rtl::SignalSet& s) {
       for (int i = 0; i < bits_this_row; ++i) sqrt_step(s);
       if (last && s[kRem] != 0) s[kRoot] |= 1;  // remainder -> sticky
@@ -165,8 +181,14 @@ rtl::PieceChain build_sqrt_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.delay_ns = tech.adder_delay(bits, obj);
     if (c > 0) p.delay_chained_ns = tech.adder_chained_delay(bits, obj);
     p.area = tech.adder_area(bits, obj);
-    p.live_bits = (E + 2) + (F + 2) + 3 + 4;
     const bool last = c == rm_chunks - 1;
+    p.live_bits = E + (last ? (F + 2) + 3 : F + 4) + (ieee ? 5 : 3);
+    if (last) {
+      p.sem = {sm::read(kRoot), sm::band(kGrs, kRoot, 7),
+               sm::havoc(kKept, F + 2)};
+    } else {
+      p.sem = {sm::nop()};
+    }
     p.eval = [rne, last](rtl::SignalSet& s) {
       if (!last) return;
       const u64 grs = s[kRoot] & 7;
@@ -185,6 +207,8 @@ rtl::PieceChain build_sqrt_chain(fp::FpFormat fmt, const UnitConfig& cfg) {
     p.delay_ns = tech.adder_delay(E, obj) + tech.lut_logic_delay(obj);
     p.area = tech.adder_area(E, obj) + tech.lut_logic_area(N, obj);
     p.live_bits = N + 5;
+    p.sem = {sm::read(kCtl), sm::read(kExp), sm::read(kKept), sm::read(kGrs),
+             sm::havoc(kLaneResult, N), sm::flags()};
     p.eval = [fmt, F, N, ieee](rtl::SignalSet& s) {
       const bool sign = (s[kCtl] & kCtlSign) != 0;
       const u64 sign_mask = u64{1} << (N - 1);

@@ -44,15 +44,19 @@ void expect_unit_golden(units::UnitKind kind, fp::FpFormat fmt, int stages,
 }
 
 TEST(CampaignDeterminism, UnitCampaignMatchesSerialGolden) {
+  // FF counts re-pinned after the absint sandwich corrected live_bits
+  // declarations (fpadd mid-ripple under-declaration, fpmul tightening);
+  // the tallies themselves are unchanged — fault sites are drawn from
+  // occupied bits, not the declared widths.
   expect_unit_golden(units::UnitKind::kAdder, fp::FpFormat::binary32(), 5,
                      fault::Scheme::kNone, 24,
-                     {24, 21, 0, 0, 3, 3, 813, 278});
+                     {24, 21, 0, 0, 3, 3, 813, 289});
   expect_unit_golden(units::UnitKind::kAdder, fp::FpFormat::binary32(), 5,
                      fault::Scheme::kTmr, 24,
-                     {24, 21, 0, 3, 0, 3, 813, 278});
+                     {24, 21, 0, 3, 0, 3, 813, 289});
   expect_unit_golden(units::UnitKind::kMultiplier, fp::FpFormat::binary64(),
                      6, fault::Scheme::kParity, 24,
-                     {24, 0, 24, 0, 0, 2, 2904, 552});
+                     {24, 0, 24, 0, 0, 2, 2904, 546});
 }
 
 struct MatmulGolden {
@@ -102,11 +106,14 @@ TEST(CampaignDeterminism, MatmulCampaignMatchesSerialGolden) {
 
 TEST(CampaignDeterminism, DepthSweepMatchesSerialGolden) {
   const std::vector<int> depths{1, 4, 9};
-  const std::vector<int> golden_ffs{38, 199, 514};
+  // FF counts (and the FIT that scales with them) re-pinned after the
+  // absint sandwich corrected live_bits declarations; occupancy, AVF, and
+  // all tallies are unchanged at every depth.
+  const std::vector<int> golden_ffs{38, 205, 481};
   const std::vector<long> golden_occ{192, 662, 1453};
   const std::vector<double> golden_avf{0.125, 0.0, 0.3125};
   const std::vector<double> golden_fit{0.0019000000000000002, 0.0,
-                                       0.064250000000000002};
+                                       0.060124999999999998};
   for (const int threads : kThreadCounts) {
     SeuCampaignConfig camp;
     camp.faults = 16;

@@ -83,6 +83,37 @@ TEST(LintReport, WriteTextSingularSummary) {
             std::string::npos);
 }
 
+// The absint coverage line only appears once the engine analyzed a
+// subject, so probe-only reports keep the exact pre-absint shape pinned
+// above.
+TEST(LintReport, WriteTextAbsintSummaryGolden) {
+  Report r;
+  r.absint_subjects = 2;
+  r.absint_boundaries = 46;
+  r.absint_exact = 8;
+  r.absint_checks = 13296;
+  std::ostringstream os;
+  write_text(os, r);
+  EXPECT_EQ(os.str(),
+            "0 findings: 0 errors, 0 warnings\n"
+            "absint: 2 subjects analyzed, 46 boundaries bounded (8 exact), "
+            "13296 containment checks\n");
+}
+
+TEST(LintReport, WriteJsonlAbsintCountersInSummary) {
+  Report r;
+  r.absint_subjects = 1;
+  r.absint_boundaries = 23;
+  r.absint_exact = 4;
+  r.absint_checks = 6648;
+  std::ostringstream os;
+  write_jsonl(os, r);
+  EXPECT_EQ(os.str(),
+            "{\"summary\": true, \"findings\": 0, \"errors\": 0, "
+            "\"warnings\": 0, \"absint_subjects\": 1, \"absint_boundaries\": "
+            "23, \"absint_exact\": 4, \"absint_checks\": 6648}\n");
+}
+
 TEST(LintReport, WriteJsonlGolden) {
   std::ostringstream os;
   const int lines = write_jsonl(os, golden_report());
